@@ -1,0 +1,74 @@
+// Reproduces Fig. 5 (appendix): convergence and final effectiveness of
+// FCM under the four negative sampling strategies (semi-hard, random,
+// hard, easy), reported as prec@k per training epoch.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace fcm {
+namespace {
+
+int Run() {
+  bench::BenchScale scale = bench::ReadScale();
+  bench::PrintHeader(
+      "Fig. 5: negative sampling strategies vs convergence (prec@k per "
+      "epoch)",
+      "paper Appendix E, Fig. 5", scale);
+  const benchgen::Benchmark b = bench::BuildBench(scale);
+
+  const std::vector<core::NegativeStrategy> strategies = {
+      core::NegativeStrategy::kSemiHard, core::NegativeStrategy::kRandom,
+      core::NegativeStrategy::kHard, core::NegativeStrategy::kEasy};
+
+  const int eval_every = std::max(1, scale.epochs / 2);
+  std::vector<std::string> header = {"Strategy"};
+  for (int e = eval_every - 1; e < scale.epochs; e += eval_every) {
+    header.push_back("ep" + std::to_string(e + 1));
+  }
+  eval::ReportTable table(header);
+
+  for (const auto strategy : strategies) {
+    core::FcmConfig config = bench::DefaultModelConfig(scale);
+    core::FcmModel model(config);
+    baselines::FcmMethod probe(&model);  // Wraps without retraining.
+
+    std::vector<std::string> row = {core::NegativeStrategyName(strategy)};
+    core::TrainOptions options = bench::DefaultTrainOptions(scale);
+    // Convergence study: run the full epoch schedule (no early stop).
+    options.validation_fraction = 0.0;
+    // 4 models: halve the pretraining budget per model.
+    options.pretrain_pairs = 128;
+    options.pretrain_epochs = 4;
+    options.strategy = strategy;
+    options.epoch_callback = [&](int epoch, double) {
+      if ((epoch + 1) % eval_every != 0) return true;
+      // Evaluate the current model on the benchmark queries.
+      probe.Fit(b.lake, b.training);  // Rebuilds cached encodings only.
+      const eval::MethodResults results = eval::EvaluateMethod(probe, b);
+      row.push_back(bench::PrecCell(results.Overall()));
+      std::printf("  %s epoch %d: prec@%d = %.3f\n",
+                  core::NegativeStrategyName(strategy), epoch + 1, scale.k,
+                  results.Overall().prec);
+      std::fflush(stdout);
+      return true;
+    };
+    std::printf("training with %s negatives ...\n",
+                core::NegativeStrategyName(strategy));
+    std::fflush(stdout);
+    core::TrainFcm(&model, b.lake, b.training, options);
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (Fig. 5): semi-hard converges first and reaches the best "
+      "prec; random is close (-10%%); hard and easy plateau lower.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcm
+
+int main() { return fcm::Run(); }

@@ -1,0 +1,160 @@
+// Google-benchmark micro-benchmarks for the substrates: DTW, Hungarian
+// matching, chart rendering, visual extraction, tensor ops, transformer
+// forward/backward, interval tree and LSH queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "chart/renderer.h"
+#include "common/rng.h"
+#include "index/interval_tree.h"
+#include "index/lsh.h"
+#include "nn/attention.h"
+#include "nn/ops.h"
+#include "relevance/dtw.h"
+#include "relevance/hungarian.h"
+#include "vision/classical_extractor.h"
+
+namespace fcm {
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Normal();
+  return v;
+}
+
+void BM_DtwFull(benchmark::State& state) {
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel::DtwDistance(a, b));
+  }
+}
+BENCHMARK(BM_DtwFull)->Arg(64)->Arg(160)->Arg(320);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 2);
+  rel::DtwOptions options;
+  options.band_fraction = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel::DtwDistance(a, b, options));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(64)->Arg(160)->Arg(320);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(3);
+  std::vector<std::vector<double>> w(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : w) {
+    for (auto& x : row) x = rng.Uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel::MaxWeightBipartiteMatching(w));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(8)->Arg(16);
+
+table::UnderlyingData MakeWaves(int m, size_t n) {
+  table::UnderlyingData d;
+  for (int i = 0; i < m; ++i) {
+    table::DataSeries s;
+    for (size_t j = 0; j < n; ++j) {
+      s.y.push_back(std::sin(static_cast<double>(j) * 0.1 + i) * 10.0);
+    }
+    d.push_back(std::move(s));
+  }
+  return d;
+}
+
+void BM_RenderChart(benchmark::State& state) {
+  const auto d = MakeWaves(static_cast<int>(state.range(0)), 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chart::RenderLineChart(d));
+  }
+}
+BENCHMARK(BM_RenderChart)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ClassicalExtract(benchmark::State& state) {
+  const auto chart = chart::RenderLineChart(
+      MakeWaves(static_cast<int>(state.range(0)), 200));
+  vision::ClassicalExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(chart));
+  }
+}
+BENCHMARK(BM_ClassicalExtract)->Arg(1)->Arg(4);
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(5);
+  nn::Tensor a = nn::Tensor::RandomNormal({n, n}, 1.0f, &rng, false);
+  nn::Tensor b = nn::Tensor::RandomNormal({n, n}, 1.0f, &rng, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransformerForward(benchmark::State& state) {
+  common::Rng rng(6);
+  nn::TransformerEncoder encoder(32, 2, 64, 2, 16, &rng);
+  nn::Tensor x = nn::Tensor::RandomNormal({8, 32}, 1.0f, &rng, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(x));
+  }
+}
+BENCHMARK(BM_TransformerForward);
+
+void BM_TransformerForwardBackward(benchmark::State& state) {
+  common::Rng rng(7);
+  nn::TransformerEncoder encoder(32, 2, 64, 2, 16, &rng);
+  nn::Tensor x = nn::Tensor::RandomNormal({8, 32}, 1.0f, &rng, false);
+  for (auto _ : state) {
+    nn::Tensor loss = nn::MeanAll(encoder.Forward(x));
+    loss.Backward();
+    encoder.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TransformerForwardBackward);
+
+void BM_IntervalTreeQuery(benchmark::State& state) {
+  common::Rng rng(8);
+  std::vector<index::Interval> intervals;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const double lo = rng.Uniform(-1000.0, 1000.0);
+    intervals.push_back({lo, lo + rng.Uniform(0.0, 100.0), i});
+  }
+  index::IntervalTree tree(std::move(intervals));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.QueryOverlap(-50.0, 50.0));
+  }
+}
+BENCHMARK(BM_IntervalTreeQuery)->Arg(1000)->Arg(10000);
+
+void BM_LshQuery(benchmark::State& state) {
+  common::Rng rng(9);
+  index::LshConfig config;
+  index::RandomHyperplaneLsh lsh(32, config);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    std::vector<float> v(32);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    lsh.Insert(v, i);
+  }
+  std::vector<float> q(32);
+  for (auto& x : q) x = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.Query(q));
+  }
+}
+BENCHMARK(BM_LshQuery)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace fcm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table V: ablation of the hierarchical cross-modal attention
+// network — FCM vs FCM-HCMAN (mean-pooled encoders + MLP), overall and by
+// line-count stratum.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace fcm {
+namespace {
+
+int Run() {
+  const bench::BenchScale scale = bench::ReadScale();
+  bench::PrintHeader("Table V: FCM vs FCM-HCMAN (matcher ablation)",
+                     "paper Sec. VII-D1, Table V", scale);
+  const benchgen::Benchmark b = bench::BuildBench(scale);
+
+  core::FcmConfig full_config = bench::DefaultModelConfig(scale);
+  core::FcmConfig ablated_config = full_config;
+  ablated_config.use_hcman = false;
+  const core::TrainOptions train_options =
+      bench::DefaultTrainOptions(scale);
+
+  baselines::FcmMethod full(full_config, train_options);
+  baselines::FcmMethod ablated(ablated_config, train_options);
+  ablated.set_name("FCM-HCMAN");
+
+  std::printf("fitting FCM ...\n");
+  std::fflush(stdout);
+  full.Fit(b.lake, b.training);
+  const eval::MethodResults full_results = eval::EvaluateMethod(full, b);
+  std::printf("fitting FCM-HCMAN ...\n");
+  std::fflush(stdout);
+  ablated.Fit(b.lake, b.training);
+  const eval::MethodResults ablated_results =
+      eval::EvaluateMethod(ablated, b);
+
+  eval::ReportTable table({"M", "FCM prec", "FCM ndcg", "FCM-HCMAN prec",
+                           "FCM-HCMAN ndcg"});
+  table.AddRow({"Overall", bench::PrecCell(full_results.Overall()),
+                bench::NdcgCell(full_results.Overall()),
+                bench::PrecCell(ablated_results.Overall()),
+                bench::NdcgCell(ablated_results.Overall())});
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    table.AddRow({benchgen::Benchmark::LineCountBucketName(bucket),
+                  bench::PrecCell(full_results.ByLineBucket(bucket)),
+                  bench::NdcgCell(full_results.ByLineBucket(bucket)),
+                  bench::PrecCell(ablated_results.ByLineBucket(bucket)),
+                  bench::NdcgCell(ablated_results.ByLineBucket(bucket))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (Table V): FCM 0.454/0.347 vs FCM-HCMAN 0.368/0.267 "
+      "overall; the fine-grained matcher's advantage grows with M.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcm
+
+int main() { return fcm::Run(); }

@@ -1,0 +1,65 @@
+// Reproduces Table VI: ablation of the three DA-related layers
+// (transformation layers, HMRL, MoE) — FCM vs FCM-DA, overall and on the
+// with/without-aggregation query splits.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace fcm {
+namespace {
+
+int Run() {
+  const bench::BenchScale scale = bench::ReadScale();
+  bench::PrintHeader("Table VI: impact of the DA-related layers",
+                     "paper Sec. VII-D2, Table VI", scale);
+  const benchgen::Benchmark b = bench::BuildBench(scale);
+
+  core::FcmConfig full_config = bench::DefaultModelConfig(scale);
+  core::FcmConfig ablated_config = full_config;
+  ablated_config.use_da_layers = false;
+  const core::TrainOptions train_options =
+      bench::DefaultTrainOptions(scale);
+
+  baselines::FcmMethod full(full_config, train_options);
+  baselines::FcmMethod ablated(ablated_config, train_options);
+  ablated.set_name("FCM-DA");
+
+  std::printf("fitting FCM ...\n");
+  std::fflush(stdout);
+  full.Fit(b.lake, b.training);
+  const eval::MethodResults fr = eval::EvaluateMethod(full, b);
+  std::printf("fitting FCM-DA (DA layers removed) ...\n");
+  std::fflush(stdout);
+  ablated.Fit(b.lake, b.training);
+  const eval::MethodResults ar = eval::EvaluateMethod(ablated, b);
+
+  eval::ReportTable table(
+      {"", "Metrics", "Overall", "With DA", "Without DA"});
+  const std::string prec_label = "prec@" + std::to_string(scale.k);
+  const std::string ndcg_label = "ndcg@" + std::to_string(scale.k);
+  table.AddRow({"FCM", prec_label, bench::PrecCell(fr.Overall()),
+                bench::PrecCell(fr.WithDa()),
+                bench::PrecCell(fr.WithoutDa())});
+  table.AddRow({"", ndcg_label, bench::NdcgCell(fr.Overall()),
+                bench::NdcgCell(fr.WithDa()),
+                bench::NdcgCell(fr.WithoutDa())});
+  table.AddRow({"FCM-DA", prec_label, bench::PrecCell(ar.Overall()),
+                bench::PrecCell(ar.WithDa()),
+                bench::PrecCell(ar.WithoutDa())});
+  table.AddRow({"", ndcg_label, bench::NdcgCell(ar.Overall()),
+                bench::NdcgCell(ar.WithDa()),
+                bench::NdcgCell(ar.WithoutDa())});
+  table.Print();
+
+  std::printf(
+      "\nPaper (Table VI): removing the DA layers collapses DA-query "
+      "effectiveness (0.398 -> 0.175 prec) while leaving non-DA queries "
+      "essentially unchanged.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcm
+
+int main() { return fcm::Run(); }

@@ -1,0 +1,78 @@
+// Reproduces Table VIII: comparison of indexing strategies — No Index /
+// Interval Tree / LSH / Hybrid — on effectiveness (prec@k, ndcg@k),
+// per-query time, candidates scored, plus index build time and memory.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/metrics.h"
+#include "index/search_engine.h"
+
+namespace fcm {
+namespace {
+
+int Run() {
+  const bench::BenchScale scale = bench::ReadScale();
+  bench::PrintHeader("Table VIII: comparison of indexing strategies",
+                     "paper Sec. VII-F, Table VIII", scale);
+  const benchgen::Benchmark b = bench::BuildBench(scale);
+
+  core::FcmModel model(bench::DefaultModelConfig(scale));
+  std::printf("training FCM ...\n");
+  std::fflush(stdout);
+  core::TrainFcm(&model, b.lake, b.training,
+                 bench::DefaultTrainOptions(scale));
+
+  index::SearchEngine engine(&model, &b.lake);
+  engine.Build();
+
+  const std::vector<index::IndexStrategy> strategies = {
+      index::IndexStrategy::kNoIndex, index::IndexStrategy::kIntervalTree,
+      index::IndexStrategy::kLsh, index::IndexStrategy::kHybrid};
+
+  eval::ReportTable table({"Strategy", "prec@k", "ndcg@k",
+                           "query time (ms)", "candidates"});
+  for (const auto strategy : strategies) {
+    std::vector<double> precs, ndcgs;
+    double total_seconds = 0.0;
+    size_t total_candidates = 0;
+    for (const auto& q : b.queries) {
+      index::QueryStats stats;
+      const auto hits = engine.Search(q.extracted, scale.k, strategy,
+                                      &stats);
+      std::vector<table::TableId> ranked;
+      for (const auto& h : hits) ranked.push_back(h.table_id);
+      precs.push_back(eval::PrecisionAtK(ranked, q.relevant, scale.k));
+      ndcgs.push_back(eval::NdcgAtK(ranked, q.relevant, scale.k));
+      total_seconds += stats.seconds;
+      total_candidates += stats.candidates_scored;
+    }
+    const double n = static_cast<double>(b.queries.size());
+    table.AddRow({index::IndexStrategyName(strategy),
+                  eval::Fmt3(eval::MeanOf(precs)),
+                  eval::Fmt3(eval::MeanOf(ndcgs)),
+                  eval::Fmt1(1000.0 * total_seconds / n),
+                  eval::Fmt1(static_cast<double>(total_candidates) / n)});
+  }
+  table.Print();
+
+  const auto& bs = engine.build_stats();
+  std::printf(
+      "\nBuild: encode %.1fs | interval tree %.3fs, %.1f KB | LSH %.3fs, "
+      "%.1f KB\n",
+      bs.encode_seconds, bs.interval_build_seconds,
+      bs.interval_memory_bytes / 1024.0, bs.lsh_build_seconds,
+      bs.lsh_memory_bytes / 1024.0);
+  std::printf(
+      "\nPaper (Table VIII): interval tree halves query time with zero "
+      "effectiveness loss; LSH prunes much more with a small loss; the "
+      "hybrid is fastest (41x over linear scan) at LSH-level "
+      "effectiveness.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcm
+
+int main() { return fcm::Run(); }

@@ -1,0 +1,118 @@
+#include "baselines/cml.h"
+
+#include <cmath>
+
+#include "core/fcm_model.h"
+#include "nn/ops.h"
+
+namespace fcm::baselines {
+
+namespace {
+
+core::FcmConfig CmlConfig(core::FcmConfig config) {
+  // TURL-style table encoding has no aggregation-aware layers.
+  config.use_da_layers = false;
+  return config;
+}
+
+}  // namespace
+
+CmlModel::CmlModel(const core::FcmConfig& config)
+    : config_(CmlConfig(config)),
+      rng_(config_.seed + 1),
+      chart_encoder_(config_, &rng_),
+      dataset_encoder_(config_, &rng_) {
+  RegisterModule("chart_encoder", &chart_encoder_);
+  RegisterModule("dataset_encoder", &dataset_encoder_);
+  temperature_ = RegisterParameter(
+      "temperature", nn::Tensor::Full({1}, 5.0f, /*requires_grad=*/true));
+}
+
+core::ChartRepresentation CmlModel::EncodeChart(
+    const vision::ExtractedChart& chart) const {
+  return chart_encoder_.Forward(chart);
+}
+
+core::DatasetRepresentation CmlModel::EncodeDataset(
+    const table::Table& t) const {
+  return dataset_encoder_.Forward(t);
+}
+
+nn::Tensor CmlModel::EncodeColumnValues(
+    const std::vector<double>& values) const {
+  return dataset_encoder_.EncodeColumn(values);
+}
+
+nn::Tensor CmlModel::ScoreLogit(const core::ChartRepresentation& chart_rep,
+                                const core::DatasetRepresentation& dataset_rep,
+                                double y_lo, double y_hi) const {
+  FCM_CHECK(!chart_rep.empty());
+  const auto columns = core::FcmModel::FilterColumns(dataset_rep, y_lo, y_hi);
+  FCM_CHECK(!columns.empty());
+
+  std::vector<nn::Tensor> line_means;
+  for (const auto& line : chart_rep) {
+    line_means.push_back(nn::MeanRows(line.representation));
+  }
+  const nn::Tensor chart_vec = nn::MeanRows(nn::StackRows(line_means));
+
+  std::vector<nn::Tensor> col_means;
+  for (const auto* col : columns) {
+    col_means.push_back(nn::MeanRows(col->representation));
+  }
+  const nn::Tensor dataset_vec = nn::MeanRows(nn::StackRows(col_means));
+
+  const nn::Tensor dot = nn::DotProduct(chart_vec, dataset_vec);
+  const nn::Tensor cosine =
+      nn::Mul(dot, nn::Mul(nn::Rsqrt(nn::DotProduct(chart_vec, chart_vec)),
+                           nn::Rsqrt(nn::DotProduct(dataset_vec,
+                                                    dataset_vec))));
+  return nn::Mul(cosine, temperature_);
+}
+
+double CmlModel::ScoreEncoded(const core::ChartRepresentation& chart_rep,
+                              const core::DatasetRepresentation& dataset_rep,
+                              double y_lo, double y_hi) const {
+  if (chart_rep.empty() || dataset_rep.empty()) return 0.0;
+  const nn::Tensor logit = ScoreLogit(chart_rep, dataset_rep, y_lo, y_hi);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit.item())));
+}
+
+double CmlModel::Score(const vision::ExtractedChart& chart,
+                       const table::Table& t) const {
+  if (chart.lines.empty() || t.num_columns() == 0) return 0.0;
+  return ScoreEncoded(EncodeChart(chart), EncodeDataset(t), chart.y_lo,
+                      chart.y_hi);
+}
+
+CmlMethod::CmlMethod(const core::FcmConfig& config,
+                     const core::TrainOptions& train)
+    : train_options_(train), model_(std::make_unique<CmlModel>(config)) {}
+
+void CmlMethod::Fit(const table::DataLake& lake,
+                    const std::vector<core::TrainingTriplet>& training) {
+  core::internal::TrainRelevanceModel(model_.get(), lake, training,
+                                      train_options_);
+  encodings_.clear();
+  encodings_.reserve(lake.size());
+  for (const auto& t : lake.tables()) {
+    encodings_.push_back(core::FcmModel::Detach(model_->EncodeDataset(t)));
+  }
+  query_cache_.clear();
+}
+
+double CmlMethod::Score(const benchgen::QueryRecord& query,
+                        const table::Table& t) const {
+  auto it = query_cache_.find(&query);
+  if (it == query_cache_.end()) {
+    it = query_cache_
+             .emplace(&query, core::FcmModel::Detach(
+                                  model_->EncodeChart(query.extracted)))
+             .first;
+  }
+  const auto& enc = encodings_[static_cast<size_t>(t.id())];
+  if (enc.empty()) return 0.0;
+  return model_->ScoreEncoded(it->second, enc, query.y_lo, query.y_hi);
+}
+
+}  // namespace fcm::baselines

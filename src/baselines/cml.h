@@ -1,0 +1,79 @@
+// CML baseline (paper Sec. VII-B): state-of-the-art unimodal encoders — a
+// ViT-style chart encoder and a TURL-style transformer table encoder —
+// scored by cosine similarity. Architecturally this is FCM's encoders
+// without DA layers and without the cross-modal matcher, which isolates
+// exactly what the paper's comparison isolates.
+
+#ifndef FCM_BASELINES_CML_H_
+#define FCM_BASELINES_CML_H_
+
+#include <map>
+#include <memory>
+
+#include "baselines/method.h"
+#include "core/dataset_encoder.h"
+#include "core/fcm_config.h"
+#include "core/line_chart_encoder.h"
+
+namespace fcm::baselines {
+
+/// The CML network: unimodal encoders + temperature-scaled cosine.
+class CmlModel : public nn::Module {
+ public:
+  explicit CmlModel(const core::FcmConfig& config);
+
+  core::ChartRepresentation EncodeChart(
+      const vision::ExtractedChart& chart) const;
+  core::DatasetRepresentation EncodeDataset(const table::Table& t) const;
+
+  /// Encodes a single column's values to [N2, K] (pretraining hook).
+  nn::Tensor EncodeColumnValues(const std::vector<double>& values) const;
+
+  /// Temperature-scaled cosine logit between mean-pooled chart and dataset
+  /// vectors (columns pre-filtered by the y-tick range, as all methods
+  /// share that step).
+  nn::Tensor ScoreLogit(const core::ChartRepresentation& chart_rep,
+                        const core::DatasetRepresentation& dataset_rep,
+                        double y_lo, double y_hi) const;
+
+  double Score(const vision::ExtractedChart& chart,
+               const table::Table& t) const;
+  double ScoreEncoded(const core::ChartRepresentation& chart_rep,
+                      const core::DatasetRepresentation& dataset_rep,
+                      double y_lo, double y_hi) const;
+
+  const core::FcmConfig& config() const { return config_; }
+
+ private:
+  core::FcmConfig config_;
+  common::Rng rng_;
+  core::LineChartEncoder chart_encoder_;
+  core::DatasetEncoder dataset_encoder_;
+  nn::Tensor temperature_;
+};
+
+/// RetrievalMethod wrapper: trains CmlModel on Fit and caches detached
+/// dataset encodings for scoring.
+class CmlMethod : public RetrievalMethod {
+ public:
+  CmlMethod(const core::FcmConfig& config, const core::TrainOptions& train);
+
+  const char* name() const override { return "CML"; }
+
+  void Fit(const table::DataLake& lake,
+           const std::vector<core::TrainingTriplet>& training) override;
+
+  double Score(const benchgen::QueryRecord& query,
+               const table::Table& t) const override;
+
+ private:
+  core::TrainOptions train_options_;
+  std::unique_ptr<CmlModel> model_;
+  std::vector<core::DatasetRepresentation> encodings_;
+  mutable std::map<const benchgen::QueryRecord*, core::ChartRepresentation>
+      query_cache_;
+};
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_CML_H_

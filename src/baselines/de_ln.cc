@@ -1,0 +1,176 @@
+#include "baselines/de_ln.h"
+
+#include <algorithm>
+
+#include "baselines/deepeye.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "relevance/relevance.h"
+
+namespace fcm::baselines {
+
+namespace {
+
+// Plot-area pixels of a rendered chart as a standalone image.
+std::vector<float> PlotImage(const chart::RenderedChart& rc, int* w,
+                             int* h) {
+  const auto& plot = rc.plot;
+  *w = plot.Width();
+  *h = plot.Height();
+  std::vector<float> image(static_cast<size_t>(*w) * *h);
+  for (int y = 0; y < *h; ++y) {
+    for (int x = 0; x < *w; ++x) {
+      image[static_cast<size_t>(y) * *w + x] =
+          rc.canvas.At(plot.left + x, plot.top + y);
+    }
+  }
+  return image;
+}
+
+}  // namespace
+
+double TrainLineNet(LineNetLite* model, const table::DataLake& lake,
+                    const std::vector<core::TrainingTriplet>& training,
+                    const chart::ChartStyle& style) {
+  std::vector<LineNetLite::TrainingPair> pairs;
+  common::Rng rng(model->config().seed + 13);
+  for (const auto& triplet : training) {
+    if (triplet.chart.lines.empty()) continue;
+    int qw = 0, qh = 0;
+    const auto query_image = CompositeStrips(triplet.chart, &qw, &qh);
+    if (qw == 0) continue;
+
+    auto add_pair = [&](const table::Table& t, bool same) {
+      const auto specs = RecommendLineCharts(t, 1);
+      if (specs.empty()) return;
+      const auto d = chart::BuildUnderlyingData(t, specs[0]);
+      bool any = false;
+      for (const auto& s : d) any = any || !s.empty();
+      if (!any) return;
+      const auto rendered = chart::RenderLineChart(d, style);
+      LineNetLite::TrainingPair p;
+      p.image_a = query_image;
+      p.width_a = qw;
+      p.height_a = qh;
+      p.image_b = PlotImage(rendered, &p.width_b, &p.height_b);
+      p.same_source = same;
+      pairs.push_back(std::move(p));
+    };
+
+    add_pair(lake.Get(triplet.table_id), /*same=*/true);
+    for (int n = 0; n < model->config().negatives_per_positive; ++n) {
+      const auto other =
+          static_cast<table::TableId>(rng.UniformInt(lake.size()));
+      if (other == triplet.table_id) continue;
+      add_pair(lake.Get(other), /*same=*/false);
+    }
+  }
+  const double loss = model->Train(pairs);
+  FCM_LOGS(INFO) << "LineNet trained on " << pairs.size()
+                 << " pairs, final loss " << loss;
+  return loss;
+}
+
+DeLnMethod::DeLnMethod(std::shared_ptr<LineNetLite> linenet,
+                       bool train_on_fit, int num_recommendations,
+                       chart::ChartStyle style)
+    : linenet_(std::move(linenet)),
+      train_on_fit_(train_on_fit),
+      num_recommendations_(num_recommendations),
+      style_(style) {}
+
+void DeLnMethod::Fit(const table::DataLake& lake,
+                     const std::vector<core::TrainingTriplet>& training) {
+  if (train_on_fit_) TrainLineNet(linenet_.get(), lake, training, style_);
+  recommended_embeddings_.assign(lake.size(), {});
+  for (const auto& t : lake.tables()) {
+    const auto specs = RecommendLineCharts(t, num_recommendations_);
+    auto& embeddings =
+        recommended_embeddings_[static_cast<size_t>(t.id())];
+    for (const auto& spec : specs) {
+      const auto d = chart::BuildUnderlyingData(t, spec);
+      bool any = false;
+      for (const auto& s : d) any = any || !s.empty();
+      if (!any) continue;
+      const auto rendered = chart::RenderLineChart(d, style_);
+      int w = 0, h = 0;
+      const auto image = PlotImage(rendered, &w, &h);
+      embeddings.push_back(linenet_->Embed(image, w, h));
+    }
+  }
+  query_cache_.clear();
+}
+
+double DeLnMethod::Score(const benchgen::QueryRecord& query,
+                         const table::Table& t) const {
+  auto it = query_cache_.find(&query);
+  if (it == query_cache_.end()) {
+    it = query_cache_
+             .emplace(&query, linenet_->EmbedExtracted(query.extracted))
+             .first;
+  }
+  const auto& embeddings =
+      recommended_embeddings_[static_cast<size_t>(t.id())];
+  double best = 0.0;
+  for (const auto& e : embeddings) {
+    best = std::max(best, LineNetLite::Similarity(it->second, e));
+  }
+  return best;
+}
+
+OptLnMethod::OptLnMethod(std::shared_ptr<LineNetLite> linenet,
+                         bool train_on_fit, chart::ChartStyle style)
+    : linenet_(std::move(linenet)),
+      train_on_fit_(train_on_fit),
+      style_(style) {}
+
+void OptLnMethod::Fit(const table::DataLake& lake,
+                      const std::vector<core::TrainingTriplet>& training) {
+  if (train_on_fit_) TrainLineNet(linenet_.get(), lake, training, style_);
+  query_cache_.clear();
+}
+
+double OptLnMethod::Score(const benchgen::QueryRecord& query,
+                          const table::Table& t) const {
+  if (query.underlying.empty() || t.num_columns() == 0) return 0.0;
+  auto it = query_cache_.find(&query);
+  if (it == query_cache_.end()) {
+    it = query_cache_
+             .emplace(&query, linenet_->EmbedExtracted(query.extracted))
+             .first;
+  }
+  // Oracle column selection: match the query's true underlying data to the
+  // candidate's columns (impossible in practice — D is unavailable at
+  // query time; this is the declared upper bound).
+  table::UnderlyingData d = query.underlying;
+  for (auto& s : d) {
+    if (s.y.size() > 120) s.y = common::ResampleLinear(s.y, 120);
+    s.x.clear();
+  }
+  rel::RelevanceOptions options;
+  options.dtw.band_fraction = 0.2;
+  const auto detail = rel::RelevanceWithMatching(d, t, options);
+  chart::VisSpec spec;
+  for (int col : detail.series_to_column) {
+    if (col >= 0 && !t.column(static_cast<size_t>(col)).empty()) {
+      spec.y_columns.push_back(col);
+    }
+  }
+  if (spec.y_columns.empty()) return 0.0;
+  const auto candidate_data = chart::BuildUnderlyingData(t, spec);
+  const auto rendered = chart::RenderLineChart(candidate_data, style_);
+  int w = 0, h = 0;
+  std::vector<float> image(static_cast<size_t>(rendered.plot.Width()) *
+                           rendered.plot.Height());
+  w = rendered.plot.Width();
+  h = rendered.plot.Height();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      image[static_cast<size_t>(y) * w + x] =
+          rendered.canvas.At(rendered.plot.left + x, rendered.plot.top + y);
+    }
+  }
+  return LineNetLite::Similarity(it->second, linenet_->Embed(image, w, h));
+}
+
+}  // namespace fcm::baselines

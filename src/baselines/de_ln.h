@@ -1,0 +1,80 @@
+// DE-LN and Opt-LN baselines (paper Sec. VII-B).
+//
+// DE-LN: DeepEye-style VisRec proposes 5 line charts per candidate table;
+// LineNet-style similarity between the query chart and each proposal; the
+// max similarity is Rel'(V, T). Bounded by VisRec quality.
+//
+// Opt-LN: the impossible-in-practice upper bound — LineNet similarity
+// against the chart rendered from the candidate with *oracle* column
+// matching (it peeks at the query's underlying data).
+
+#ifndef FCM_BASELINES_DE_LN_H_
+#define FCM_BASELINES_DE_LN_H_
+
+#include <map>
+#include <memory>
+
+#include "baselines/linenet.h"
+#include "baselines/method.h"
+#include "chart/chart_spec.h"
+
+namespace fcm::baselines {
+
+/// Builds LineNet contrastive training pairs from the benchmark training
+/// triplets (positive: extraction vs re-rendered chart of the same table;
+/// negative: vs charts of other tables) and trains the model.
+double TrainLineNet(LineNetLite* model,
+                    const table::DataLake& lake,
+                    const std::vector<core::TrainingTriplet>& training,
+                    const chart::ChartStyle& style = {});
+
+class DeLnMethod : public RetrievalMethod {
+ public:
+  /// `linenet` may be shared with OptLnMethod; when `train_on_fit` is
+  /// false the model is assumed already trained.
+  DeLnMethod(std::shared_ptr<LineNetLite> linenet, bool train_on_fit = true,
+             int num_recommendations = 5, chart::ChartStyle style = {});
+
+  const char* name() const override { return "DE-LN"; }
+
+  void Fit(const table::DataLake& lake,
+           const std::vector<core::TrainingTriplet>& training) override;
+
+  double Score(const benchgen::QueryRecord& query,
+               const table::Table& t) const override;
+
+ private:
+  std::shared_ptr<LineNetLite> linenet_;
+  bool train_on_fit_;
+  int num_recommendations_;
+  chart::ChartStyle style_;
+  /// Per table id: embeddings of the recommended charts.
+  std::vector<std::vector<std::vector<float>>> recommended_embeddings_;
+  mutable std::map<const benchgen::QueryRecord*, std::vector<float>>
+      query_cache_;
+};
+
+class OptLnMethod : public RetrievalMethod {
+ public:
+  OptLnMethod(std::shared_ptr<LineNetLite> linenet, bool train_on_fit = true,
+              chart::ChartStyle style = {});
+
+  const char* name() const override { return "Opt-LN"; }
+
+  void Fit(const table::DataLake& lake,
+           const std::vector<core::TrainingTriplet>& training) override;
+
+  double Score(const benchgen::QueryRecord& query,
+               const table::Table& t) const override;
+
+ private:
+  std::shared_ptr<LineNetLite> linenet_;
+  bool train_on_fit_;
+  chart::ChartStyle style_;
+  mutable std::map<const benchgen::QueryRecord*, std::vector<float>>
+      query_cache_;
+};
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_DE_LN_H_

@@ -1,0 +1,103 @@
+#include "baselines/deepeye.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace fcm::baselines {
+
+double ColumnChartScore(const std::vector<double>& values) {
+  if (values.size() < 4) return 0.0;
+  const double lo = common::Min(values);
+  const double hi = common::Max(values);
+  const double range = hi - lo;
+  if (range < 1e-12) return 0.0;  // Constant column: nothing to plot.
+
+  // Smoothness: mean absolute step relative to the range. Pure noise has
+  // large steps; a smooth trend has small ones.
+  double mean_step = 0.0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    mean_step += std::fabs(values[i] - values[i - 1]);
+  }
+  mean_step /= static_cast<double>(values.size() - 1) * range;
+  const double smoothness = 1.0 / (1.0 + 10.0 * mean_step);
+
+  // Amplitude significance: stddev relative to the mean magnitude.
+  const double sd = common::Stddev(values);
+  const double scale = std::max(std::fabs(common::Mean(values)), range);
+  const double significance =
+      common::Clamp(sd / (scale + 1e-12), 0.0, 1.0);
+
+  return 0.7 * smoothness + 0.3 * significance;
+}
+
+std::vector<chart::VisSpec> RecommendLineCharts(const table::Table& t,
+                                                int n) {
+  struct Candidate {
+    double score;
+    chart::VisSpec spec;
+  };
+  std::vector<Candidate> candidates;
+
+  std::vector<std::pair<double, int>> column_scores;
+  for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+    column_scores.emplace_back(ColumnChartScore(t.column(ci).values),
+                               static_cast<int>(ci));
+  }
+  std::sort(column_scores.rbegin(), column_scores.rend());
+
+  // Single-line specs for every plottable column.
+  for (const auto& [score, ci] : column_scores) {
+    if (score <= 0.0) continue;
+    chart::VisSpec spec;
+    spec.y_columns = {ci};
+    candidates.push_back({score, spec});
+  }
+
+  // Multi-line specs over range-compatible top columns (a chart with lines
+  // of wildly different ranges wastes vertical resolution — DeepEye-style
+  // goodness penalizes that).
+  auto range_of = [&](int ci) {
+    const auto& v = t.column(static_cast<size_t>(ci)).values;
+    return std::make_pair(common::Min(v), common::Max(v));
+  };
+  for (size_t i = 0; i < column_scores.size(); ++i) {
+    if (column_scores[i].first <= 0.0) continue;
+    chart::VisSpec spec;
+    spec.y_columns = {column_scores[i].second};
+    auto [lo, hi] = range_of(column_scores[i].second);
+    double score_sum = column_scores[i].first;
+    for (size_t j = i + 1; j < column_scores.size() &&
+                           spec.y_columns.size() < 4; ++j) {
+      if (column_scores[j].first <= 0.0) continue;
+      const auto [lo2, hi2] = range_of(column_scores[j].second);
+      const double span = std::max(hi, hi2) - std::min(lo, lo2);
+      const double overlap =
+          std::min(hi, hi2) - std::max(lo, lo2);
+      if (span <= 0.0 || overlap / span < 0.25) continue;  // Incompatible.
+      spec.y_columns.push_back(column_scores[j].second);
+      score_sum += column_scores[j].first;
+      lo = std::min(lo, lo2);
+      hi = std::max(hi, hi2);
+    }
+    if (spec.y_columns.size() >= 2) {
+      candidates.push_back(
+          {1.05 * score_sum / static_cast<double>(spec.y_columns.size()),
+           spec});
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  std::vector<chart::VisSpec> out;
+  for (const auto& c : candidates) {
+    if (static_cast<int>(out.size()) >= n) break;
+    out.push_back(c.spec);
+  }
+  return out;
+}
+
+}  // namespace fcm::baselines

@@ -1,0 +1,28 @@
+// DeepEye-style visualization recommendation (substitute for [14] in the
+// DE-LN baseline): scores candidate line-chart specs for a table with
+// interpretable "goodness" heuristics (trend smoothness, amplitude
+// significance, multi-line range compatibility) and returns the top-n.
+
+#ifndef FCM_BASELINES_DEEPEYE_H_
+#define FCM_BASELINES_DEEPEYE_H_
+
+#include <vector>
+
+#include "chart/chart_spec.h"
+#include "table/table.h"
+
+namespace fcm::baselines {
+
+/// Heuristic chart-worthiness of a single column in [0, 1]: penalizes
+/// constants and pure noise, rewards smooth trends with real amplitude.
+double ColumnChartScore(const std::vector<double>& values);
+
+/// Recommends up to `n` line-chart specs for a table, best first
+/// (single-line specs for the best columns plus multi-line combinations of
+/// range-compatible columns).
+std::vector<chart::VisSpec> RecommendLineCharts(const table::Table& t,
+                                                int n);
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_DEEPEYE_H_

@@ -1,0 +1,42 @@
+#include "baselines/fcm_method.h"
+
+namespace fcm::baselines {
+
+FcmMethod::FcmMethod(const core::FcmConfig& config,
+                     const core::TrainOptions& train)
+    : owned_model_(std::make_unique<core::FcmModel>(config)),
+      model_(owned_model_.get()),
+      train_options_(train),
+      train_on_fit_(true) {}
+
+FcmMethod::FcmMethod(core::FcmModel* model)
+    : model_(model), train_on_fit_(false) {}
+
+void FcmMethod::Fit(const table::DataLake& lake,
+                    const std::vector<core::TrainingTriplet>& training) {
+  if (train_on_fit_) {
+    train_stats_ = core::TrainFcm(model_, lake, training, train_options_);
+  }
+  encodings_.clear();
+  encodings_.reserve(lake.size());
+  for (const auto& t : lake.tables()) {
+    encodings_.push_back(core::FcmModel::Detach(model_->EncodeDataset(t)));
+  }
+  query_cache_.clear();
+}
+
+double FcmMethod::Score(const benchgen::QueryRecord& query,
+                        const table::Table& t) const {
+  auto it = query_cache_.find(&query);
+  if (it == query_cache_.end()) {
+    it = query_cache_
+             .emplace(&query, core::FcmModel::Detach(
+                                  model_->EncodeChart(query.extracted)))
+             .first;
+  }
+  const auto& enc = encodings_[static_cast<size_t>(t.id())];
+  if (enc.empty() || it->second.empty()) return 0.0;
+  return model_->ScoreEncoded(it->second, enc, query.y_lo, query.y_hi);
+}
+
+}  // namespace fcm::baselines

@@ -1,0 +1,48 @@
+// RetrievalMethod wrapper around the FCM model so the evaluation harness
+// treats the paper's contribution and the baselines uniformly.
+
+#ifndef FCM_BASELINES_FCM_METHOD_H_
+#define FCM_BASELINES_FCM_METHOD_H_
+
+#include <map>
+#include <memory>
+
+#include "baselines/method.h"
+#include "core/fcm_model.h"
+
+namespace fcm::baselines {
+
+class FcmMethod : public RetrievalMethod {
+ public:
+  FcmMethod(const core::FcmConfig& config, const core::TrainOptions& train);
+
+  /// Wraps an externally trained model (not owned; must outlive this).
+  explicit FcmMethod(core::FcmModel* model);
+
+  const char* name() const override { return name_; }
+  void set_name(const char* name) { name_ = name; }
+
+  void Fit(const table::DataLake& lake,
+           const std::vector<core::TrainingTriplet>& training) override;
+
+  double Score(const benchgen::QueryRecord& query,
+               const table::Table& t) const override;
+
+  core::FcmModel* model() { return model_; }
+  const core::TrainStats& train_stats() const { return train_stats_; }
+
+ private:
+  const char* name_ = "FCM";
+  std::unique_ptr<core::FcmModel> owned_model_;
+  core::FcmModel* model_ = nullptr;
+  core::TrainOptions train_options_;
+  bool train_on_fit_ = true;
+  core::TrainStats train_stats_;
+  std::vector<core::DatasetRepresentation> encodings_;
+  mutable std::map<const benchgen::QueryRecord*, core::ChartRepresentation>
+      query_cache_;
+};
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_FCM_METHOD_H_

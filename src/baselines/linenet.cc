@@ -1,0 +1,138 @@
+#include "baselines/linenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+#include "vision/image_resize.h"
+
+namespace fcm::baselines {
+
+std::vector<float> CompositeStrips(const vision::ExtractedChart& chart,
+                                   int* width, int* height) {
+  *width = 0;
+  *height = 0;
+  for (const auto& line : chart.lines) {
+    *width = std::max(*width, line.width);
+    *height = std::max(*height, line.height);
+  }
+  std::vector<float> out(static_cast<size_t>(*width) * *height, 0.0f);
+  for (const auto& line : chart.lines) {
+    // Strips may differ in size; resize each onto the composite canvas.
+    const std::vector<float> resized = vision::ResizeBilinear(
+        line.strip, line.width, line.height, *width, *height);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::min(1.0f, out[i] + resized[i]);
+    }
+  }
+  return out;
+}
+
+LineNetLite::LineNetLite(const LineNetConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      patch_projection_(config.image_height * config.patch_width,
+                        config.embed_dim, &rng_),
+      encoder_(config.embed_dim, config.num_heads, config.mlp_hidden,
+               config.num_layers, config.image_width / config.patch_width,
+               &rng_) {
+  RegisterModule("patch_projection", &patch_projection_);
+  RegisterModule("encoder", &encoder_);
+  temperature_ = RegisterParameter(
+      "temperature", nn::Tensor::Full({1}, 5.0f, /*requires_grad=*/true));
+}
+
+nn::Tensor LineNetLite::EmbedTensor(const std::vector<float>& image,
+                                    int width, int height) const {
+  const int h = config_.image_height;
+  const int w = config_.image_width;
+  const int pw = config_.patch_width;
+  const int n = w / pw;
+  const std::vector<float> resized =
+      vision::ResizeBilinear(image, width, height, w, h);
+  std::vector<float> patches(static_cast<size_t>(n) * h * pw);
+  for (int s = 0; s < n; ++s) {
+    for (int y = 0; y < h; ++y) {
+      for (int dx = 0; dx < pw; ++dx) {
+        patches[static_cast<size_t>(s) * h * pw +
+                static_cast<size_t>(y) * pw + dx] =
+            resized[static_cast<size_t>(y) * w + s * pw + dx];
+      }
+    }
+  }
+  const nn::Tensor x =
+      nn::Tensor::FromVector({n, h * pw}, std::move(patches));
+  return nn::MeanRows(encoder_.Forward(patch_projection_.Forward(x)));
+}
+
+std::vector<float> LineNetLite::Embed(const std::vector<float>& image,
+                                      int width, int height) const {
+  const nn::Tensor e = EmbedTensor(image, width, height);
+  return {e.data().begin(), e.data().end()};
+}
+
+std::vector<float> LineNetLite::EmbedExtracted(
+    const vision::ExtractedChart& chart) const {
+  int w = 0, h = 0;
+  const auto image = CompositeStrips(chart, &w, &h);
+  if (w == 0 || h == 0) return std::vector<float>(
+      static_cast<size_t>(config_.embed_dim), 0.0f);
+  return Embed(image, w, h);
+}
+
+std::vector<float> LineNetLite::EmbedRendered(
+    const chart::RenderedChart& chart) const {
+  // Crop the plot area out of the canvas.
+  const auto& plot = chart.plot;
+  const int pw = plot.Width(), ph = plot.Height();
+  std::vector<float> image(static_cast<size_t>(pw) * ph);
+  for (int y = 0; y < ph; ++y) {
+    for (int x = 0; x < pw; ++x) {
+      image[static_cast<size_t>(y) * pw + x] =
+          chart.canvas.At(plot.left + x, plot.top + y);
+    }
+  }
+  return Embed(image, pw, ph);
+}
+
+double LineNetLite::Similarity(const std::vector<float>& a,
+                               const std::vector<float>& b) {
+  std::vector<double> da(a.begin(), a.end());
+  std::vector<double> db(b.begin(), b.end());
+  return common::CosineSimilarity(da, db);
+}
+
+double LineNetLite::Train(const std::vector<TrainingPair>& pairs) {
+  if (pairs.empty()) return 0.0;
+  nn::Adam optimizer(Parameters(), config_.learning_rate);
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t i : order) {
+      const auto& p = pairs[i];
+      const nn::Tensor ea = EmbedTensor(p.image_a, p.width_a, p.height_a);
+      const nn::Tensor eb = EmbedTensor(p.image_b, p.width_b, p.height_b);
+      const nn::Tensor cosine = nn::Mul(
+          nn::DotProduct(ea, eb),
+          nn::Mul(nn::Rsqrt(nn::DotProduct(ea, ea)),
+                  nn::Rsqrt(nn::DotProduct(eb, eb))));
+      const nn::Tensor logit = nn::Mul(cosine, temperature_);
+      nn::Tensor loss = nn::BinaryCrossEntropyWithLogits(
+          logit, p.same_source ? 1.0f : 0.0f);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0);
+      optimizer.Step();
+      epoch_loss += loss.item();
+    }
+    final_loss = epoch_loss / static_cast<double>(pairs.size());
+  }
+  return final_loss;
+}
+
+}  // namespace fcm::baselines

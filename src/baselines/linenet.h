@@ -1,0 +1,83 @@
+// LineNet-style chart-image similarity (substitute for [13] in the DE-LN
+// and Opt-LN baselines): a learned whole-chart image embedding trained
+// contrastively so charts of the same table embed close together.
+
+#ifndef FCM_BASELINES_LINENET_H_
+#define FCM_BASELINES_LINENET_H_
+
+#include <vector>
+
+#include "chart/renderer.h"
+#include "core/fcm_config.h"
+#include "nn/attention.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::baselines {
+
+/// Training/architecture knobs for LineNetLite.
+struct LineNetConfig {
+  int image_height = 32;
+  int image_width = 128;
+  int patch_width = 16;
+  int embed_dim = 32;
+  int num_heads = 2;
+  int num_layers = 2;
+  int mlp_hidden = 64;
+  int epochs = 6;
+  float learning_rate = 1e-3f;
+  int negatives_per_positive = 2;
+  uint64_t seed = 99;
+};
+
+/// ViT-style whole-chart embedder with cosine similarity.
+class LineNetLite : public nn::Module {
+ public:
+  explicit LineNetLite(const LineNetConfig& config = {});
+
+  /// Embeds a raw greyscale chart image (any size; resized internally).
+  std::vector<float> Embed(const std::vector<float>& image, int width,
+                           int height) const;
+
+  /// Embeds the composite of an extracted chart's line strips (queries are
+  /// available only as extractions at search time).
+  std::vector<float> EmbedExtracted(
+      const vision::ExtractedChart& chart) const;
+
+  /// Embeds a rendered chart's plot-area pixels.
+  std::vector<float> EmbedRendered(const chart::RenderedChart& chart) const;
+
+  /// Cosine similarity of two embeddings.
+  static double Similarity(const std::vector<float>& a,
+                           const std::vector<float>& b);
+
+  /// Contrastive training: pairs of images with binary same-table labels.
+  struct TrainingPair {
+    std::vector<float> image_a;
+    int width_a = 0, height_a = 0;
+    std::vector<float> image_b;
+    int width_b = 0, height_b = 0;
+    bool same_source = false;
+  };
+  double Train(const std::vector<TrainingPair>& pairs);
+
+  const LineNetConfig& config() const { return config_; }
+
+ private:
+  nn::Tensor EmbedTensor(const std::vector<float>& image, int width,
+                         int height) const;
+
+  LineNetConfig config_;
+  common::Rng rng_;
+  nn::Linear patch_projection_;
+  nn::TransformerEncoder encoder_;
+  nn::Tensor temperature_;
+};
+
+/// Composites an extracted chart's per-line strips into one greyscale
+/// image (shared by DE-LN/Opt-LN query handling).
+std::vector<float> CompositeStrips(const vision::ExtractedChart& chart,
+                                   int* width, int* height);
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_LINENET_H_

@@ -1,0 +1,38 @@
+// Common interface for all retrieval methods compared in the paper's
+// evaluation (Tables II/III): FCM, CML, Qetch*, DE-LN, Opt-LN.
+
+#ifndef FCM_BASELINES_METHOD_H_
+#define FCM_BASELINES_METHOD_H_
+
+#include <vector>
+
+#include "benchgen/benchmark.h"
+#include "core/training.h"
+#include "table/data_lake.h"
+
+namespace fcm::baselines {
+
+/// A method that scores (line chart query, candidate table) pairs.
+///
+/// Fit receives the repository and training triplets; learned methods
+/// train here, heuristic methods may precompute per-table caches. Score
+/// must only consult `query.extracted` — except Opt-LN, which by design
+/// (paper Sec. VII-B) uses oracle information and is impossible in
+/// practice.
+class RetrievalMethod {
+ public:
+  virtual ~RetrievalMethod() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual void Fit(const table::DataLake& lake,
+                   const std::vector<core::TrainingTriplet>& training) = 0;
+
+  /// Relevance estimate Rel'(V, T); higher = more relevant.
+  virtual double Score(const benchgen::QueryRecord& query,
+                       const table::Table& t) const = 0;
+};
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_METHOD_H_

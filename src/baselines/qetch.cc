@@ -1,0 +1,92 @@
+#include "baselines/qetch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "relevance/hungarian.h"
+
+namespace fcm::baselines {
+
+double QetchMatchError(const std::vector<double>& query_line,
+                       const std::vector<double>& column,
+                       const QetchOptions& options) {
+  if (query_line.empty() || column.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const size_t n = static_cast<size_t>(options.resample_length);
+  // Coarsen the query to sketch granularity first (Qetch matches strokes,
+  // not pixel-exact traces), then bring both to the matching length.
+  const std::vector<double> sketch = common::ResampleLinear(
+      query_line, static_cast<size_t>(options.sketch_length));
+  const std::vector<double> q = common::ResampleLinear(sketch, n);
+  const std::vector<double> c = common::ResampleLinear(column, n);
+
+  const size_t seg_len = n / static_cast<size_t>(options.num_segments);
+  double total = 0.0;
+  for (int s = 0; s < options.num_segments; ++s) {
+    const size_t begin = static_cast<size_t>(s) * seg_len;
+    const size_t end =
+        s == options.num_segments - 1 ? n : begin + seg_len;
+    const size_t len = end - begin;
+    // Optimal least-squares affine fit c_seg -> q_seg: q ~ a * c + b.
+    double mean_q = 0.0, mean_c = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      mean_q += q[i];
+      mean_c += c[i];
+    }
+    mean_q /= static_cast<double>(len);
+    mean_c /= static_cast<double>(len);
+    double cov = 0.0, var_c = 0.0, var_q = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      cov += (c[i] - mean_c) * (q[i] - mean_q);
+      var_c += (c[i] - mean_c) * (c[i] - mean_c);
+      var_q += (q[i] - mean_q) * (q[i] - mean_q);
+    }
+    const double a = var_c > 1e-12 ? cov / var_c : 0.0;
+    const double b = mean_q - a * mean_c;
+    double residual = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double fit = a * c[i] + b;
+      residual += (q[i] - fit) * (q[i] - fit);
+    }
+    // Normalize residual by the query segment's energy so segments of
+    // different amplitudes contribute comparably (Qetch is scale-free).
+    residual /= (var_q + 1e-9);
+    // Local distortion penalty: Qetch punishes how much the candidate must
+    // be stretched to match the sketch segment.
+    const double distortion =
+        std::fabs(std::log(std::max(std::fabs(a), 1e-3)));
+    total += residual + options.distortion_weight * distortion;
+  }
+  return total / static_cast<double>(options.num_segments);
+}
+
+void QetchStarMethod::Fit(const table::DataLake& /*lake*/,
+                          const std::vector<core::TrainingTriplet>&
+                          /*training*/) {
+  // Heuristic method: nothing to fit.
+}
+
+double QetchStarMethod::Score(const benchgen::QueryRecord& query,
+                              const table::Table& t) const {
+  const auto& lines = query.extracted.lines;
+  if (lines.empty() || t.num_columns() == 0) return 0.0;
+  std::vector<std::vector<double>> weights(
+      lines.size(), std::vector<double>(t.num_columns(), 0.0));
+  for (size_t li = 0; li < lines.size(); ++li) {
+    for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+      const auto& col = t.column(ci).values;
+      if (col.empty()) {
+        weights[li][ci] = -1.0;  // Never match empty columns.
+        continue;
+      }
+      const double err = QetchMatchError(lines[li].values, col, options_);
+      weights[li][ci] = 1.0 / (1.0 + err);
+    }
+  }
+  const rel::MatchingResult match = rel::MaxWeightBipartiteMatching(weights);
+  return match.total_weight / static_cast<double>(lines.size());
+}
+
+}  // namespace fcm::baselines

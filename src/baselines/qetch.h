@@ -1,0 +1,54 @@
+// Qetch* baseline (paper Sec. VII-B): Qetch's heuristic scale-tolerant
+// local segment matching, extended to multi-line charts by extracting all
+// lines and aggregating line-to-column scores with maximum bipartite
+// matching (Sec. III-A).
+
+#ifndef FCM_BASELINES_QETCH_H_
+#define FCM_BASELINES_QETCH_H_
+
+#include "baselines/method.h"
+
+namespace fcm::baselines {
+
+/// Qetch matching parameters.
+struct QetchOptions {
+  /// Qetch operates on coarse hand-drawn strokes: the extracted query
+  /// line is first downsampled to this "sketch" resolution, discarding
+  /// the fine detail a human sketch would never carry.
+  int sketch_length = 24;
+  /// Both series are resampled to this length before matching.
+  int resample_length = 64;
+  /// Number of local segments the sketch is divided into.
+  int num_segments = 8;
+  /// Weight of the local-distortion penalty |log scale|.
+  double distortion_weight = 0.5;
+};
+
+/// Scale-free local match error between a query line and a candidate
+/// column: per segment, the candidate is optimally affine-fitted to the
+/// query and residual + distortion penalties accumulate (Qetch's local
+/// matching principle). Lower is better.
+double QetchMatchError(const std::vector<double>& query_line,
+                       const std::vector<double>& column,
+                       const QetchOptions& options = {});
+
+/// RetrievalMethod wrapper (training-free).
+class QetchStarMethod : public RetrievalMethod {
+ public:
+  explicit QetchStarMethod(QetchOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "Qetch*"; }
+
+  void Fit(const table::DataLake& lake,
+           const std::vector<core::TrainingTriplet>& training) override;
+
+  double Score(const benchgen::QueryRecord& query,
+               const table::Table& t) const override;
+
+ private:
+  QetchOptions options_;
+};
+
+}  // namespace fcm::baselines
+
+#endif  // FCM_BASELINES_QETCH_H_

@@ -1,0 +1,235 @@
+#include "benchgen/benchmark.h"
+
+#include <algorithm>
+
+#include "benchgen/series_generator.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "relevance/relevance.h"
+#include "table/noise.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::benchgen {
+
+int Benchmark::LineCountBucket(int m) {
+  if (m <= 1) return 0;
+  if (m <= 4) return 1;
+  if (m <= 7) return 2;
+  return 3;
+}
+
+const char* Benchmark::LineCountBucketName(int bucket) {
+  switch (bucket) {
+    case 0: return "1";
+    case 1: return "2-4";
+    case 2: return "5-7";
+    default: return ">7";
+  }
+}
+
+namespace {
+
+// Table I proportions over the M strata (10161 repo charts: 36/25/21/18%).
+int SampleBucket(common::Rng* rng) {
+  const double u = rng->Uniform();
+  if (u < 0.36) return 0;
+  if (u < 0.61) return 1;
+  if (u < 0.82) return 2;
+  return 3;
+}
+
+int LinesForBucket(int bucket, common::Rng* rng) {
+  switch (bucket) {
+    case 0: return 1;
+    case 1: return 2 + static_cast<int>(rng->UniformInt(3));   // 2-4.
+    case 2: return 5 + static_cast<int>(rng->UniformInt(3));   // 5-7.
+    default: return 8 + static_cast<int>(rng->UniformInt(3));  // 8-10.
+  }
+}
+
+table::Table GenerateTable(const BenchmarkConfig& config, int min_columns,
+                           const std::string& name, common::Rng* rng) {
+  const int rows = config.min_rows +
+                   static_cast<int>(rng->UniformInt(
+                       static_cast<uint64_t>(config.max_rows -
+                                             config.min_rows + 1)));
+  int cols = config.min_columns +
+             static_cast<int>(rng->UniformInt(static_cast<uint64_t>(
+                 config.max_columns - config.min_columns + 1)));
+  cols = std::max(cols, min_columns);
+  table::Table t;
+  t.set_name(name);
+  for (int c = 0; c < cols; ++c) {
+    t.AddColumn(table::Column(
+        common::StrFormat("c%d", c),
+        GenerateSeries(RandomFamily(rng), static_cast<size_t>(rows), rng)));
+  }
+  return t;
+}
+
+// Builds a vis spec with `m` lines over distinct random columns.
+chart::VisSpec MakeSpec(const table::Table& t, int m, bool with_da,
+                        const BenchmarkConfig& config, common::Rng* rng) {
+  chart::VisSpec spec;
+  const auto cols = rng->SampleWithoutReplacement(
+      t.num_columns(), static_cast<size_t>(
+                           std::min<int>(m, static_cast<int>(t.num_columns()))));
+  for (size_t c : cols) spec.y_columns.push_back(static_cast<int>(c));
+  if (with_da) {
+    const auto& ops = table::RealAggregateOps();
+    spec.aggregate = ops[rng->UniformInt(ops.size())];
+    // Window uniform in [2, min(scaled_cap, NR/8)]; paper uses
+    // min(100, NR/10) at full scale.
+    const size_t cap = std::max<size_t>(
+        2, std::min<size_t>(24, t.num_rows() / 8));
+    spec.window_size = 2 + rng->UniformInt(cap - 1);
+  }
+  return spec;
+}
+
+// Resamples underlying data / tables for the ground-truth DTW cost cap.
+table::UnderlyingData ResampleUnderlying(const table::UnderlyingData& d,
+                                         size_t n) {
+  table::UnderlyingData out = d;
+  for (auto& s : out) {
+    if (s.y.size() > n) s.y = common::ResampleLinear(s.y, n);
+    s.x.clear();
+  }
+  return out;
+}
+
+table::Table ResampleTable(const table::Table& t, size_t n) {
+  table::Table out;
+  out.set_name(t.name());
+  out.set_id(t.id());
+  for (const auto& c : t.columns()) {
+    if (c.values.empty()) {
+      out.AddColumn(c);
+    } else if (c.values.size() > n) {
+      out.AddColumn(table::Column(c.name, common::ResampleLinear(c.values, n)));
+    } else {
+      out.AddColumn(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Benchmark BuildBenchmark(const BenchmarkConfig& config,
+                         const vision::VisualElementExtractor& extractor) {
+  Benchmark bench;
+  bench.config = config;
+  common::Rng rng(config.seed);
+  vision::MaskOracleExtractor oracle;
+
+  // ---- Training triplets (several charts per table, as the Plotly
+  // corpus attaches several visualization configs to popular tables) ----
+  for (int i = 0; i < config.num_training_tables; ++i) {
+    table::Table t = GenerateTable(config, /*min_columns=*/0,
+                                   common::StrFormat("train_%d", i), &rng);
+    const table::TableId tid = bench.lake.Add(std::move(t));
+    for (int c = 0; c < config.charts_per_training_table; ++c) {
+      const table::Table& source = bench.lake.Get(tid);
+      const int m = LinesForBucket(SampleBucket(&rng), &rng);
+      const bool da = rng.Bernoulli(config.da_query_fraction);
+      const chart::VisSpec spec = MakeSpec(source, m, da, config, &rng);
+      const table::UnderlyingData d =
+          chart::BuildUnderlyingData(source, spec);
+      const chart::RenderedChart rendered =
+          chart::RenderLineChart(d, config.chart_style);
+      auto extracted = extractor.Extract(rendered);
+      if (!extracted.ok()) extracted = oracle.Extract(rendered);
+      if (!extracted.ok()) continue;
+      core::TrainingTriplet triplet;
+      triplet.chart = std::move(extracted).ValueOrDie();
+      triplet.underlying = d;
+      triplet.table_id = tid;
+      bench.training.push_back(std::move(triplet));
+    }
+  }
+
+  // ---- Background repository tables ----
+  for (int i = 0; i < config.extra_lake_tables; ++i) {
+    bench.lake.Add(GenerateTable(config, /*min_columns=*/0,
+                                 common::StrFormat("lake_%d", i), &rng));
+  }
+
+  // ---- Queries (round-robin over the M strata so Table III has every
+  // bucket) ----
+  for (int i = 0; i < config.num_query_tables; ++i) {
+    const int bucket = i % 4;
+    const int m = LinesForBucket(bucket, &rng);
+    table::Table t = GenerateTable(config, /*min_columns=*/m,
+                                   common::StrFormat("query_%d", i), &rng);
+    const bool da = rng.Bernoulli(config.da_query_fraction);
+    const chart::VisSpec spec = MakeSpec(t, m, da, config, &rng);
+    const table::UnderlyingData d = chart::BuildUnderlyingData(t, spec);
+    const table::TableId tid = bench.lake.Add(std::move(t));
+
+    const chart::RenderedChart rendered =
+        chart::RenderLineChart(d, config.chart_style);
+    auto extracted = extractor.Extract(rendered);
+    if (!extracted.ok()) {
+      FCM_LOGS(WARN) << "query extraction failed ("
+                     << extracted.status().ToString()
+                     << "); falling back to mask oracle";
+      extracted = oracle.Extract(rendered);
+      if (!extracted.ok()) continue;
+    }
+    QueryRecord q;
+    q.extracted = std::move(extracted).ValueOrDie();
+    q.underlying = d;
+    q.source_table = tid;
+    q.num_lines = static_cast<int>(d.size());
+    q.is_da = spec.aggregate != table::AggregateOp::kNone;
+    q.op = spec.aggregate;
+    q.window_size = spec.window_size;
+    q.y_lo = q.extracted.y_lo;
+    q.y_hi = q.extracted.y_hi;
+    bench.queries.push_back(std::move(q));
+  }
+
+  // ---- Noisy near-duplicates per query ----
+  for (auto& q : bench.queries) {
+    const table::Table& src = bench.lake.Get(q.source_table);
+    auto dups = table::MakeNoisyDuplicates(
+        src, static_cast<size_t>(config.duplicates_per_query),
+        config.noise_amplitude, /*x_column=*/-1, &rng);
+    for (auto& dup : dups) bench.lake.Add(std::move(dup));
+  }
+
+  // ---- Ground truth: top-k by Rel(D, T) over the whole repository ----
+  const size_t resample = static_cast<size_t>(config.ground_truth_resample);
+  std::vector<table::Table> resampled_lake;
+  resampled_lake.reserve(bench.lake.size());
+  for (const auto& t : bench.lake.tables()) {
+    resampled_lake.push_back(ResampleTable(t, resample));
+  }
+  rel::RelevanceOptions rel_options;
+  rel_options.dtw.band_fraction = config.ground_truth_band;
+  for (auto& q : bench.queries) {
+    const table::UnderlyingData d = ResampleUnderlying(q.underlying, resample);
+    std::vector<std::pair<double, table::TableId>> scored;
+    scored.reserve(resampled_lake.size());
+    for (const auto& t : resampled_lake) {
+      scored.emplace_back(rel::Relevance(d, t, rel_options), t.id());
+    }
+    const size_t k = std::min<size_t>(
+        static_cast<size_t>(config.ground_truth_k), scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                      scored.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    q.relevant.clear();
+    for (size_t i = 0; i < k; ++i) q.relevant.push_back(scored[i].second);
+  }
+
+  FCM_LOGS(INFO) << "benchmark built: " << bench.lake.size() << " tables, "
+                 << bench.training.size() << " training triplets, "
+                 << bench.queries.size() << " queries";
+  return bench;
+}
+
+}  // namespace fcm::benchgen

@@ -1,0 +1,89 @@
+// Benchmark construction (paper Sec. VII-A), at configurable scale:
+// generate a corpus of (table, vis-spec) records; split into training
+// tables and query tables; per query, render a line chart (optionally
+// DA-based), inject multiplicative noise to create near-duplicate tables,
+// and compute ground truth as the top-k tables by Rel(D, T).
+
+#ifndef FCM_BENCHGEN_BENCHMARK_H_
+#define FCM_BENCHGEN_BENCHMARK_H_
+
+#include <vector>
+
+#include "chart/chart_spec.h"
+#include "chart/renderer.h"
+#include "core/training.h"
+#include "table/aggregate.h"
+#include "table/data_lake.h"
+#include "vision/extracted_chart.h"
+#include "vision/extractor.h"
+
+namespace fcm::benchgen {
+
+/// Scale and behaviour of the generated benchmark. Paper-scale values in
+/// comments.
+struct BenchmarkConfig {
+  int num_training_tables = 60;    // Paper: 3000.
+  /// Charts (training triplets) generated per training table.
+  int charts_per_training_table = 2;
+  int num_query_tables = 24;       // Paper: 100.
+  int extra_lake_tables = 120;     // Background tables in the repository.
+  int duplicates_per_query = 10;   // Paper: 50.
+  int ground_truth_k = 10;         // Paper: 50 (= duplicates_per_query).
+  double noise_amplitude = 0.1;    // U(0.9, 1.1) per the paper.
+  /// Fraction of queries rendered from aggregated data.
+  double da_query_fraction = 0.5;  // Paper: one DA + one non-DA per table.
+  /// Rows per generated table, uniform in [min, max].
+  int min_rows = 96;
+  int max_rows = 320;
+  /// Columns per generated table.
+  int min_columns = 3;
+  int max_columns = 8;
+  /// Ground-truth DTW is computed over series resampled to this length
+  /// (cost control; relative ranks are preserved at benchmark scale).
+  int ground_truth_resample = 160;
+  /// Sakoe-Chiba band fraction for the ground-truth DTW.
+  double ground_truth_band = 0.2;
+  chart::ChartStyle chart_style;
+  uint64_t seed = 2024;
+};
+
+/// One benchmark query: the rendered chart, its extraction, the underlying
+/// data, provenance, and the ground-truth relevant set.
+struct QueryRecord {
+  vision::ExtractedChart extracted;
+  table::UnderlyingData underlying;
+  table::TableId source_table = table::kInvalidTableId;
+  /// Number of lines M (stratification key for Table III).
+  int num_lines = 0;
+  /// Data-aggregation provenance (Table IV).
+  bool is_da = false;
+  table::AggregateOp op = table::AggregateOp::kNone;
+  size_t window_size = 1;
+  /// y range of the query chart.
+  double y_lo = 0.0;
+  double y_hi = 1.0;
+  /// Ground truth: top-k table ids by Rel(D, T), best first.
+  std::vector<table::TableId> relevant;
+};
+
+/// The generated benchmark: repository + training triplets + queries.
+struct Benchmark {
+  table::DataLake lake;
+  std::vector<core::TrainingTriplet> training;
+  std::vector<QueryRecord> queries;
+  BenchmarkConfig config;
+
+  /// Table I style strata over M: {1, 2-4, 5-7, >7} -> bucket 0..3.
+  static int LineCountBucket(int m);
+  static const char* LineCountBucketName(int bucket);
+};
+
+/// Builds the benchmark. `extractor` converts rendered query/training
+/// charts into ExtractedChart (the classical extractor by default — the
+/// whole pipeline then runs from pixels alone).
+Benchmark BuildBenchmark(const BenchmarkConfig& config,
+                         const vision::VisualElementExtractor& extractor);
+
+}  // namespace fcm::benchgen
+
+#endif  // FCM_BENCHGEN_BENCHMARK_H_

@@ -1,0 +1,241 @@
+#include "benchgen/futurework.h"
+
+#include <algorithm>
+
+#include "benchgen/series_generator.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "relevance/relevance.h"
+#include "table/noise.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::benchgen {
+
+namespace {
+
+table::Table GenerateSourceTable(const FutureworkConfig& config,
+                                 const std::string& name, int columns,
+                                 common::Rng* rng) {
+  const int rows =
+      config.min_rows +
+      static_cast<int>(rng->UniformInt(
+          static_cast<uint64_t>(config.max_rows - config.min_rows + 1)));
+  table::Table t;
+  t.set_name(name);
+  for (int c = 0; c < columns; ++c) {
+    t.AddColumn(table::Column(
+        common::StrFormat("c%d", c),
+        GenerateSeries(RandomFamily(rng), static_cast<size_t>(rows), rng)));
+  }
+  return t;
+}
+
+/// Renders + extracts; falls back to the mask oracle like the main
+/// benchmark builder. Returns false when both fail.
+bool RenderAndExtract(const table::UnderlyingData& d,
+                      const chart::ChartStyle& style,
+                      const vision::VisualElementExtractor& extractor,
+                      ExtensionQuery* q) {
+  const chart::RenderedChart rendered = chart::RenderLineChart(d, style);
+  auto extracted = extractor.Extract(rendered);
+  if (!extracted.ok()) {
+    vision::MaskOracleExtractor oracle;
+    extracted = oracle.Extract(rendered);
+    if (!extracted.ok()) return false;
+  }
+  q->extracted = std::move(extracted).ValueOrDie();
+  q->underlying = d;
+  q->y_lo = q->extracted.y_lo;
+  q->y_hi = q->extracted.y_hi;
+  return true;
+}
+
+table::UnderlyingData ResampleUnderlying(const table::UnderlyingData& d,
+                                         size_t n) {
+  table::UnderlyingData out = d;
+  for (auto& s : out) {
+    if (s.y.size() > n) s.y = common::ResampleLinear(s.y, n);
+    s.x.clear();
+  }
+  return out;
+}
+
+/// Adds noisy near-duplicates of `source` and fills `q->relevant` with the
+/// lake-wide top-k by Rel (optionally z-normalized).
+void AddDuplicatesAndGroundTruth(Benchmark* bench,
+                                 const FutureworkConfig& config,
+                                 table::TableId source, bool z_normalize,
+                                 common::Rng* rng, ExtensionQuery* q) {
+  {
+    const table::Table& src = bench->lake.Get(source);
+    auto dups = table::MakeNoisyDuplicates(
+        src, static_cast<size_t>(config.duplicates_per_query),
+        config.noise_amplitude, /*x_column=*/-1, rng);
+    for (auto& dup : dups) bench->lake.Add(std::move(dup));
+  }
+
+  rel::RelevanceOptions options;
+  options.dtw.band_fraction = config.ground_truth_band;
+  options.dtw.z_normalize = z_normalize;
+  const size_t resample =
+      static_cast<size_t>(config.ground_truth_resample);
+  const table::UnderlyingData d = ResampleUnderlying(q->underlying, resample);
+
+  std::vector<std::pair<double, table::TableId>> scored;
+  scored.reserve(bench->lake.size());
+  for (const auto& t : bench->lake.tables()) {
+    // Resample long columns for DTW cost control (mirrors the main
+    // benchmark's ground-truth computation).
+    table::Table rt;
+    rt.set_id(t.id());
+    for (const auto& c : t.columns()) {
+      rt.AddColumn(c.values.size() > resample
+                       ? table::Column(
+                             c.name, common::ResampleLinear(c.values, resample))
+                       : c);
+    }
+    scored.emplace_back(rel::Relevance(d, rt, options), t.id());
+  }
+  const size_t k = std::min<size_t>(
+      static_cast<size_t>(config.ground_truth_k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  q->relevant.clear();
+  for (size_t i = 0; i < k; ++i) q->relevant.push_back(scored[i].second);
+}
+
+}  // namespace
+
+std::vector<ExtensionQuery> MakeMultiDatasetQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config, int num_sources) {
+  common::Rng rng(config.seed);
+  std::vector<ExtensionQuery> queries;
+  for (int i = 0; i < config.num_queries; ++i) {
+    ExtensionQuery q;
+    table::UnderlyingData d;
+    // All sources share a row count so the lines join on the x index.
+    const int rows =
+        config.min_rows +
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(
+            config.max_rows - config.min_rows + 1)));
+    for (int s = 0; s < num_sources; ++s) {
+      table::Table t;
+      t.set_name(common::StrFormat("multids_%d_%d", i, s));
+      const int cols = 2 + static_cast<int>(rng.UniformInt(3));
+      for (int c = 0; c < cols; ++c) {
+        t.AddColumn(table::Column(
+            common::StrFormat("c%d", c),
+            GenerateSeries(RandomFamily(&rng), static_cast<size_t>(rows),
+                           &rng)));
+      }
+      // Plot one random column of this source as one line.
+      table::DataSeries line;
+      line.label = t.name();
+      line.y = t.column(rng.UniformInt(t.num_columns())).values;
+      d.push_back(std::move(line));
+      q.source_tables.push_back(bench->lake.Add(std::move(t)));
+    }
+    if (!RenderAndExtract(d, config.chart_style, extractor, &q)) continue;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<ExtensionQuery> MakeRescaledQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config, table::RescaleOp op) {
+  common::Rng rng(config.seed ^ 0x5c5c5c5cULL);
+  std::vector<ExtensionQuery> queries;
+  for (int i = 0; i < config.num_queries; ++i) {
+    table::Table t = GenerateSourceTable(
+        config, common::StrFormat("rescale_%d", i), /*columns=*/3, &rng);
+    const size_t col = rng.UniformInt(t.num_columns());
+    ExtensionQuery q;
+    q.rescale = op;
+    table::RescaleParams params;
+    if (op == table::RescaleOp::kAffine) {
+      params.factor = 0.25 + 4.0 * rng.Uniform();
+      params.offset = -10.0 + 20.0 * rng.Uniform();
+    }
+    table::DataSeries line;
+    line.label = "rescaled";
+    line.y = table::Rescale(t.column(col).values, op, params);
+    const table::TableId tid = bench->lake.Add(std::move(t));
+    q.source_tables.push_back(tid);
+    if (!RenderAndExtract({line}, config.chart_style, extractor, &q)) {
+      continue;
+    }
+    AddDuplicatesAndGroundTruth(bench, config, tid, /*z_normalize=*/true,
+                                &rng, &q);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<ExtensionQuery> MakeNestedAggQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config) {
+  common::Rng rng(config.seed ^ 0x11223344ULL);
+  std::vector<ExtensionQuery> queries;
+  const auto& ops = table::RealAggregateOps();
+  for (int i = 0; i < config.num_queries; ++i) {
+    table::Table t = GenerateSourceTable(
+        config, common::StrFormat("nested_%d", i), /*columns=*/3, &rng);
+    const size_t col = rng.UniformInt(t.num_columns());
+    ExtensionQuery q;
+    // Two-step pipeline with small windows so enough points survive.
+    q.pipeline.push_back(
+        {ops[rng.UniformInt(ops.size())], 2 + rng.UniformInt(3)});
+    q.pipeline.push_back(
+        {ops[rng.UniformInt(ops.size())], 2 + rng.UniformInt(2)});
+    table::DataSeries line;
+    line.label = table::AggregatePipelineName(q.pipeline);
+    line.y = table::NestedAggregate(t.column(col).values, q.pipeline);
+    const table::TableId tid = bench->lake.Add(std::move(t));
+    q.source_tables.push_back(tid);
+    if (!RenderAndExtract({line}, config.chart_style, extractor, &q)) {
+      continue;
+    }
+    AddDuplicatesAndGroundTruth(bench, config, tid, /*z_normalize=*/false,
+                                &rng, &q);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<ExtensionQuery> MakeMultiAggQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config) {
+  common::Rng rng(config.seed ^ 0x99aabbccULL);
+  std::vector<ExtensionQuery> queries;
+  const auto& ops = table::RealAggregateOps();
+  for (int i = 0; i < config.num_queries; ++i) {
+    table::Table t = GenerateSourceTable(
+        config, common::StrFormat("multiagg_%d", i), /*columns=*/3, &rng);
+    const size_t col = rng.UniformInt(t.num_columns());
+    const size_t window = 3 + rng.UniformInt(5);
+    ExtensionQuery q;
+    table::UnderlyingData d;
+    for (const auto op : ops) {
+      table::DataSeries line;
+      line.label = table::AggregateOpName(op);
+      line.y = table::Aggregate(t.column(col).values, op, window);
+      d.push_back(std::move(line));
+      q.per_line_ops.push_back(op);
+    }
+    q.pipeline.push_back({table::AggregateOp::kNone, window});
+    const table::TableId tid = bench->lake.Add(std::move(t));
+    q.source_tables.push_back(tid);
+    if (!RenderAndExtract(d, config.chart_style, extractor, &q)) continue;
+    AddDuplicatesAndGroundTruth(bench, config, tid, /*z_normalize=*/false,
+                                &rng, &q);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace fcm::benchgen

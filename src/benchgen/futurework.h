@@ -1,0 +1,92 @@
+// Query generators for the paper's future-work extensions (Sec. IX):
+//  * Multiple datasets — lines of one chart originate from different
+//    tables joined on a shared x axis.
+//  * Data re-scaling — the underlying data is normalized/scaled before
+//    plotting.
+//  * Nested aggregations — a pipeline of aggregation operations is applied
+//    before plotting.
+//  * Multiple aggregations — every line is the same column under a
+//    different aggregation operator.
+//
+// Each generator appends fresh source tables (plus noisy near-duplicates,
+// mirroring the main benchmark's ground-truth construction) to an existing
+// Benchmark's lake and returns self-describing query records.
+
+#ifndef FCM_BENCHGEN_FUTUREWORK_H_
+#define FCM_BENCHGEN_FUTUREWORK_H_
+
+#include <vector>
+
+#include "benchgen/benchmark.h"
+#include "table/aggregate.h"
+#include "table/rescale.h"
+
+namespace fcm::benchgen {
+
+/// One extension query: the chart, its provenance and ground truth.
+struct ExtensionQuery {
+  vision::ExtractedChart extracted;
+  table::UnderlyingData underlying;
+  /// The tables the lines were plotted from (one entry per source; a
+  /// multi-dataset query lists several).
+  std::vector<table::TableId> source_tables;
+  /// Re-scaling applied before plotting (kNone for other families).
+  table::RescaleOp rescale = table::RescaleOp::kNone;
+  /// Aggregation pipeline (empty = no aggregation; length 1 = the paper's
+  /// single-aggregation case; length >= 2 = nested).
+  std::vector<table::AggregateStep> pipeline;
+  /// Per-line operators for the multiple-aggregations family (empty
+  /// otherwise). All lines plot the same column.
+  std::vector<table::AggregateOp> per_line_ops;
+  double y_lo = 0.0;
+  double y_hi = 1.0;
+  /// Ground truth top-k tables (scale-invariant relevance for the
+  /// re-scaling family). Empty for the multi-dataset family, where the
+  /// target is `source_tables` itself.
+  std::vector<table::TableId> relevant;
+};
+
+/// Knobs for the extension generators; near-duplicate and ground-truth
+/// conventions mirror BenchmarkConfig.
+struct FutureworkConfig {
+  int num_queries = 12;
+  int duplicates_per_query = 6;
+  int ground_truth_k = 6;
+  double noise_amplitude = 0.1;
+  int min_rows = 96;
+  int max_rows = 256;
+  int ground_truth_resample = 160;
+  double ground_truth_band = 0.2;
+  chart::ChartStyle chart_style;
+  uint64_t seed = 7;
+};
+
+/// Lines from `num_sources` distinct tables (2 by default), sharing an
+/// auto-index x axis (the paper's "join key"). No near-duplicates are
+/// added; the evaluation target is recovering `source_tables`.
+std::vector<ExtensionQuery> MakeMultiDatasetQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config, int num_sources = 2);
+
+/// Single-line charts whose underlying data is re-scaled by `op` before
+/// rendering. Ground truth uses z-normalized DTW (scale-invariant), so
+/// the source table and its near-duplicates remain the right answer.
+std::vector<ExtensionQuery> MakeRescaledQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config, table::RescaleOp op);
+
+/// Single-line charts whose underlying data went through a two-step
+/// aggregation pipeline (random real ops and windows).
+std::vector<ExtensionQuery> MakeNestedAggQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config);
+
+/// Charts with one line per aggregation operator, all over the same
+/// column of the source table (window shared across lines).
+std::vector<ExtensionQuery> MakeMultiAggQueries(
+    Benchmark* bench, const vision::VisualElementExtractor& extractor,
+    const FutureworkConfig& config);
+
+}  // namespace fcm::benchgen
+
+#endif  // FCM_BENCHGEN_FUTUREWORK_H_

@@ -1,0 +1,144 @@
+#include "benchgen/series_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fcm::benchgen {
+
+const char* SeriesFamilyName(SeriesFamily f) {
+  switch (f) {
+    case SeriesFamily::kRandomWalk: return "random_walk";
+    case SeriesFamily::kTrendSeasonal: return "trend_seasonal";
+    case SeriesFamily::kEcgLike: return "ecg_like";
+    case SeriesFamily::kStep: return "step";
+    case SeriesFamily::kExponential: return "exponential";
+    case SeriesFamily::kMeanReverting: return "mean_reverting";
+    case SeriesFamily::kBursty: return "bursty";
+    case SeriesFamily::kLogistic: return "logistic";
+  }
+  return "?";
+}
+
+SeriesFamily RandomFamily(common::Rng* rng) {
+  return static_cast<SeriesFamily>(
+      rng->UniformInt(static_cast<uint64_t>(kNumSeriesFamilies)));
+}
+
+std::vector<double> GenerateSeries(SeriesFamily family, size_t n,
+                                   common::Rng* rng) {
+  FCM_CHECK_GT(n, 0u);
+  std::vector<double> v(n);
+  // A random affine frame gives every family varied absolute ranges,
+  // exercising the y-tick range filter.
+  const double scale = std::exp(rng->Uniform(-1.0, 3.5));  // ~0.37 .. 33
+  const double offset = rng->Normal(0.0, 2.0 * scale);
+
+  switch (family) {
+    case SeriesFamily::kRandomWalk: {
+      double x = 0.0;
+      const double vol = rng->Uniform(0.3, 1.5);
+      for (size_t i = 0; i < n; ++i) {
+        x += rng->Normal(0.0, vol);
+        v[i] = x;
+      }
+      break;
+    }
+    case SeriesFamily::kTrendSeasonal: {
+      const double slope = rng->Uniform(-0.05, 0.05);
+      const double amp = rng->Uniform(0.5, 3.0);
+      const double freq = rng->Uniform(1.0, 6.0) * 2.0 * M_PI /
+                          static_cast<double>(n);
+      const double phase = rng->Uniform(0.0, 2.0 * M_PI);
+      const double noise = rng->Uniform(0.0, 0.15);
+      for (size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        v[i] = slope * t + amp * std::sin(freq * t + phase) +
+               rng->Normal(0.0, noise);
+      }
+      break;
+    }
+    case SeriesFamily::kEcgLike: {
+      // Repeating beat: flat baseline, small P bump, sharp QRS spike,
+      // rounded T bump.
+      const size_t period = 20 + static_cast<size_t>(rng->UniformInt(30));
+      const double r_height = rng->Uniform(2.0, 5.0);
+      const double noise = rng->Uniform(0.0, 0.05);
+      for (size_t i = 0; i < n; ++i) {
+        const double ph =
+            static_cast<double>(i % period) / static_cast<double>(period);
+        double y = 0.0;
+        auto bump = [](double x, double center, double width, double h) {
+          const double d = (x - center) / width;
+          return h * std::exp(-d * d);
+        };
+        y += bump(ph, 0.18, 0.03, 0.25);              // P wave.
+        y += bump(ph, 0.38, 0.008, -0.3 * r_height);  // Q dip.
+        y += bump(ph, 0.40, 0.010, r_height);         // R spike.
+        y += bump(ph, 0.43, 0.010, -0.2 * r_height);  // S dip.
+        y += bump(ph, 0.62, 0.05, 0.5);               // T wave.
+        v[i] = y + rng->Normal(0.0, noise);
+      }
+      break;
+    }
+    case SeriesFamily::kStep: {
+      const size_t num_steps = 3 + static_cast<size_t>(rng->UniformInt(5));
+      double level = rng->Normal(0.0, 1.0);
+      size_t next_change = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i >= next_change) {
+          level += rng->Normal(0.0, 1.5);
+          next_change = i + n / num_steps +
+                        static_cast<size_t>(rng->UniformInt(n / num_steps + 1));
+        }
+        v[i] = level + rng->Normal(0.0, 0.05);
+      }
+      break;
+    }
+    case SeriesFamily::kExponential: {
+      const double rate = rng->Uniform(-4.0, 4.0) / static_cast<double>(n);
+      const double noise = rng->Uniform(0.0, 0.05);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(rate * static_cast<double>(i)) +
+               rng->Normal(0.0, noise);
+      }
+      break;
+    }
+    case SeriesFamily::kMeanReverting: {
+      const double theta = rng->Uniform(0.02, 0.2);
+      const double vol = rng->Uniform(0.2, 1.0);
+      double x = rng->Normal(0.0, 1.0);
+      for (size_t i = 0; i < n; ++i) {
+        x += -theta * x + rng->Normal(0.0, vol);
+        v[i] = x;
+      }
+      break;
+    }
+    case SeriesFamily::kBursty: {
+      const double p_spike = rng->Uniform(0.02, 0.08);
+      const double spike = rng->Uniform(3.0, 8.0);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = rng->Normal(0.0, 0.2);
+        if (rng->Bernoulli(p_spike)) {
+          v[i] += spike * rng->Uniform(0.5, 1.0);
+        }
+      }
+      break;
+    }
+    case SeriesFamily::kLogistic: {
+      const double mid = rng->Uniform(0.3, 0.7) * static_cast<double>(n);
+      const double steep = rng->Uniform(4.0, 15.0) / static_cast<double>(n);
+      const double noise = rng->Uniform(0.0, 0.04);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = 1.0 / (1.0 + std::exp(-steep * (static_cast<double>(i) - mid))) +
+               rng->Normal(0.0, noise);
+      }
+      break;
+    }
+  }
+  for (auto& x : v) x = offset + scale * x;
+  return v;
+}
+
+}  // namespace fcm::benchgen

@@ -1,0 +1,40 @@
+// Synthetic data-series families standing in for the Plotly corpus
+// columns. Families cover the qualitative shapes line charts typically
+// plot: walks, trends with seasonality, ECG-like waveforms, steps, bursts,
+// exponentials, mean-reverting processes, and S-curves.
+
+#ifndef FCM_BENCHGEN_SERIES_GENERATOR_H_
+#define FCM_BENCHGEN_SERIES_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fcm::benchgen {
+
+/// Shape families for generated columns.
+enum class SeriesFamily {
+  kRandomWalk = 0,
+  kTrendSeasonal = 1,
+  kEcgLike = 2,
+  kStep = 3,
+  kExponential = 4,
+  kMeanReverting = 5,
+  kBursty = 6,
+  kLogistic = 7,
+};
+inline constexpr int kNumSeriesFamilies = 8;
+
+const char* SeriesFamilyName(SeriesFamily f);
+
+/// Generates `n` points of the given family with randomized parameters
+/// (scale, offset, frequency, noise) drawn from `rng`.
+std::vector<double> GenerateSeries(SeriesFamily family, size_t n,
+                                   common::Rng* rng);
+
+/// Picks a random family.
+SeriesFamily RandomFamily(common::Rng* rng);
+
+}  // namespace fcm::benchgen
+
+#endif  // FCM_BENCHGEN_SERIES_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "chart/axes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chart/glyphs.h"
+#include "common/check.h"
+
+namespace fcm::chart {
+
+void LayoutAndDrawAxes(RenderedChart* out, const ChartStyle& style,
+                       double y_min, double y_max) {
+  out->y_ticks_layout = ComputeTicks(y_min, y_max, style.y_tick_count);
+
+  // Left margin: widest tick label + tick mark (3px) + 1px gap.
+  int left_margin = style.min_margin_left;
+  if (style.draw_axes && style.draw_tick_labels) {
+    int widest = 0;
+    for (double v : out->y_ticks_layout.ticks) {
+      widest = std::max(widest, TextWidth(FormatTickValue(v)));
+    }
+    left_margin = std::max(left_margin, widest + 5);
+  }
+  out->plot.left = left_margin;
+  out->plot.right = style.width - 1 - style.margin_right;
+  out->plot.top = style.margin_top;
+  out->plot.bottom = style.height - 1 - style.margin_bottom;
+  FCM_CHECK_LT(out->plot.left, out->plot.right);
+  FCM_CHECK_LT(out->plot.top, out->plot.bottom);
+
+  Canvas& c = out->canvas;
+  const int16_t axis_id = static_cast<int16_t>(ElementClass::kAxis);
+  const int16_t tick_id = static_cast<int16_t>(ElementClass::kTickMark);
+  const int16_t label_id = static_cast<int16_t>(ElementClass::kTickLabel);
+
+  if (style.draw_axes) {
+    // Y axis (left) and X axis (bottom).
+    c.DrawVLine(out->plot.left - 1, out->plot.top, out->plot.bottom + 1,
+                axis_id);
+    c.DrawHLine(out->plot.left - 1, out->plot.right, out->plot.bottom + 1,
+                axis_id);
+    for (double v : out->y_ticks_layout.ticks) {
+      const int row = static_cast<int>(std::lround(out->ValueToRow(v)));
+      if (row < out->plot.top || row > out->plot.bottom) continue;
+      c.DrawHLine(out->plot.left - 4, out->plot.left - 2, row, tick_id);
+      out->y_ticks.push_back({v, row});
+      if (style.draw_tick_labels) {
+        const std::string text = FormatTickValue(v);
+        const int tx = out->plot.left - 5 - TextWidth(text);
+        DrawText(&c, std::max(0, tx), row - kGlyphHeight / 2, text, label_id);
+      }
+    }
+  } else {
+    for (double v : out->y_ticks_layout.ticks) {
+      const int row = static_cast<int>(std::lround(out->ValueToRow(v)));
+      if (row >= out->plot.top && row <= out->plot.bottom) {
+        out->y_ticks.push_back({v, row});
+      }
+    }
+  }
+}
+
+}  // namespace fcm::chart

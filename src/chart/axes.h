@@ -1,0 +1,22 @@
+// Shared axis/tick layout + drawing for all chart types with y axes
+// (line, bar, scatter): computes "nice" ticks for the data range, sizes
+// the left margin to the widest tick label, draws axes, tick marks and
+// labels, and records RenderedTicks.
+
+#ifndef FCM_CHART_AXES_H_
+#define FCM_CHART_AXES_H_
+
+#include "chart/chart_spec.h"
+#include "chart/renderer.h"
+
+namespace fcm::chart {
+
+/// Initializes `out->y_ticks_layout`, `out->plot` and `out->y_ticks` for
+/// data range [y_min, y_max] and draws axes/ticks/labels onto the canvas
+/// according to `style`. Requires the canvas dimensions to match `style`.
+void LayoutAndDrawAxes(RenderedChart* out, const ChartStyle& style,
+                       double y_min, double y_max);
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_AXES_H_

@@ -1,0 +1,112 @@
+#include "chart/canvas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fcm::chart {
+
+void Canvas::Plot(int x, int y, float alpha, int16_t element_id) {
+  if (!InBounds(x, y) || alpha <= 0.0f) return;
+  const size_t i = Index(x, y);
+  ink_[i] = std::min(1.0f, ink_[i] + alpha);
+  // The strongest contributor owns the pixel in the element map; ties go to
+  // the most recent painter, matching how an opaque renderer would layer.
+  if (alpha >= 0.35f || element_[i] ==
+                            static_cast<int16_t>(ElementClass::kBackground)) {
+    element_[i] = element_id;
+  }
+}
+
+void Canvas::DrawLineAA(double x0, double y0, double x1, double y1,
+                        int16_t element_id) {
+  // Xiaolin Wu's anti-aliased line algorithm.
+  const bool steep = std::fabs(y1 - y0) > std::fabs(x1 - x0);
+  if (steep) {
+    std::swap(x0, y0);
+    std::swap(x1, y1);
+  }
+  if (x0 > x1) {
+    std::swap(x0, x1);
+    std::swap(y0, y1);
+  }
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double gradient = dx < 1e-12 ? 1.0 : dy / dx;
+
+  auto ipart = [](double v) { return std::floor(v); };
+  auto fpart = [](double v) { return v - std::floor(v); };
+  auto rfpart = [&](double v) { return 1.0 - fpart(v); };
+  auto plot = [&](int px, int py, double a) {
+    if (steep) {
+      Plot(py, px, static_cast<float>(a), element_id);
+    } else {
+      Plot(px, py, static_cast<float>(a), element_id);
+    }
+  };
+
+  // First endpoint.
+  double xend = std::round(x0);
+  double yend = y0 + gradient * (xend - x0);
+  double xgap = rfpart(x0 + 0.5);
+  const int xpxl1 = static_cast<int>(xend);
+  int ypxl1 = static_cast<int>(ipart(yend));
+  plot(xpxl1, ypxl1, rfpart(yend) * xgap);
+  plot(xpxl1, ypxl1 + 1, fpart(yend) * xgap);
+  double intery = yend + gradient;
+
+  // Second endpoint.
+  xend = std::round(x1);
+  yend = y1 + gradient * (xend - x1);
+  xgap = fpart(x1 + 0.5);
+  const int xpxl2 = static_cast<int>(xend);
+  int ypxl2 = static_cast<int>(ipart(yend));
+  plot(xpxl2, ypxl2, rfpart(yend) * xgap);
+  plot(xpxl2, ypxl2 + 1, fpart(yend) * xgap);
+
+  for (int x = xpxl1 + 1; x <= xpxl2 - 1; ++x) {
+    plot(x, static_cast<int>(ipart(intery)), rfpart(intery));
+    plot(x, static_cast<int>(ipart(intery)) + 1, fpart(intery));
+    intery += gradient;
+  }
+}
+
+void Canvas::DrawHLine(int x0, int x1, int y, int16_t element_id) {
+  if (x0 > x1) std::swap(x0, x1);
+  for (int x = x0; x <= x1; ++x) Plot(x, y, 1.0f, element_id);
+}
+
+void Canvas::DrawVLine(int x, int y0, int y1, int16_t element_id) {
+  if (y0 > y1) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) Plot(x, y, 1.0f, element_id);
+}
+
+void Canvas::FillRect(int x0, int y0, int x1, int y1, int16_t element_id) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) Plot(x, y, 1.0f, element_id);
+  }
+}
+
+common::Status Canvas::SavePgm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Status::IoError("cannot open for writing: " + path);
+  }
+  std::fprintf(f, "P5\n%d %d\n255\n", width_, height_);
+  std::vector<uint8_t> row(static_cast<size_t>(width_));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      // Ink 1.0 -> black (0), background -> white (255).
+      const float v = ink_[static_cast<size_t>(y) * width_ + x];
+      row[static_cast<size_t>(x)] =
+          static_cast<uint8_t>(std::lround((1.0f - v) * 255.0f));
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  if (std::fclose(f) != 0) return common::Status::IoError("close: " + path);
+  return common::Status::OK();
+}
+
+}  // namespace fcm::chart

@@ -1,0 +1,93 @@
+// Greyscale raster canvas with anti-aliased line drawing and a parallel
+// per-pixel element-id map (the instrumentation that makes LineChartSeg
+// possible: every pixel knows which visual element painted it).
+
+#ifndef FCM_CHART_CANVAS_H_
+#define FCM_CHART_CANVAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/result.h"
+
+namespace fcm::chart {
+
+/// Element classes for the per-pixel mask (paper Sec. IV-A: LineChartSeg
+/// labels each pixel with its visual element).
+enum class ElementClass : int16_t {
+  kBackground = 0,
+  kAxis = 1,
+  kTickMark = 2,
+  kTickLabel = 3,
+  /// Lines get id kLineBase + line_index.
+  kLineBase = 16,
+};
+
+/// Mask id for the i-th plotted line.
+inline int16_t LineElementId(int line_index) {
+  return static_cast<int16_t>(static_cast<int>(ElementClass::kLineBase) +
+                              line_index);
+}
+
+/// A greyscale image: intensity 0 = white background, 1 = full ink.
+/// Pixels are stored row-major; (x, y) has x growing right, y growing down.
+class Canvas {
+ public:
+  Canvas(int width, int height)
+      : width_(width), height_(height),
+        ink_(static_cast<size_t>(width) * height, 0.0f),
+        element_(static_cast<size_t>(width) * height,
+                 static_cast<int16_t>(ElementClass::kBackground)) {
+    FCM_CHECK_GT(width, 0);
+    FCM_CHECK_GT(height, 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  float At(int x, int y) const { return ink_[Index(x, y)]; }
+  int16_t ElementAt(int x, int y) const { return element_[Index(x, y)]; }
+
+  /// Deposits ink at (x, y) with the given alpha (clamped accumulation) and
+  /// records the painting element. Out-of-bounds plots are ignored.
+  void Plot(int x, int y, float alpha, int16_t element_id);
+
+  /// Anti-aliased line segment (Xiaolin Wu's algorithm) from (x0,y0) to
+  /// (x1,y1) in continuous pixel coordinates.
+  void DrawLineAA(double x0, double y0, double x1, double y1,
+                  int16_t element_id);
+
+  /// 1px-thick horizontal/vertical hard line (axes, tick marks).
+  void DrawHLine(int x0, int x1, int y, int16_t element_id);
+  void DrawVLine(int x, int y0, int y1, int16_t element_id);
+
+  /// Fills a rectangle (used by glyph rendering).
+  void FillRect(int x0, int y0, int x1, int y1, int16_t element_id);
+
+  /// Raw buffers (row-major, width*height).
+  const std::vector<float>& ink() const { return ink_; }
+  const std::vector<int16_t>& elements() const { return element_; }
+
+  /// Saves as binary PGM (for human inspection).
+  common::Status SavePgm(const std::string& path) const;
+
+ private:
+  size_t Index(int x, int y) const {
+    FCM_DCHECK(InBounds(x, y));
+    return static_cast<size_t>(y) * width_ + x;
+  }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  int width_;
+  int height_;
+  std::vector<float> ink_;
+  std::vector<int16_t> element_;
+};
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_CANVAS_H_

@@ -1,0 +1,34 @@
+#include "chart/chart_spec.h"
+
+#include "common/check.h"
+
+namespace fcm::chart {
+
+table::UnderlyingData BuildUnderlyingData(const table::Table& t,
+                                          const VisSpec& spec) {
+  table::UnderlyingData d;
+  d.reserve(spec.y_columns.size());
+  for (int yc : spec.y_columns) {
+    FCM_CHECK_GE(yc, 0);
+    FCM_CHECK_LT(static_cast<size_t>(yc), t.num_columns());
+    table::DataSeries s;
+    s.label = t.column(static_cast<size_t>(yc)).name;
+    s.y = table::Aggregate(t.column(static_cast<size_t>(yc)).values,
+                           spec.aggregate, spec.window_size);
+    if (spec.x_column >= 0) {
+      FCM_CHECK_LT(static_cast<size_t>(spec.x_column), t.num_columns());
+      const auto& xv = t.column(static_cast<size_t>(spec.x_column)).values;
+      // One x per aggregation window (window start).
+      const size_t step =
+          spec.aggregate == table::AggregateOp::kNone ? 1 : spec.window_size;
+      for (size_t i = 0; i < xv.size() && s.x.size() < s.y.size();
+           i += step) {
+        s.x.push_back(xv[i]);
+      }
+    }
+    d.push_back(std::move(s));
+  }
+  return d;
+}
+
+}  // namespace fcm::chart

@@ -1,0 +1,50 @@
+// Declarative description of a line chart to render (the "visualization
+// specification" attached to each Plotly record in the paper's corpus).
+
+#ifndef FCM_CHART_CHART_SPEC_H_
+#define FCM_CHART_CHART_SPEC_H_
+
+#include "table/aggregate.h"
+#include "table/data_series.h"
+#include "table/table.h"
+
+namespace fcm::chart {
+
+/// How to build the underlying data D from a table (paper Sec. II):
+/// a set of (x column, y column) pairs plus an optional aggregation.
+struct VisSpec {
+  /// Column index used for the x axis; -1 means auto index (1, 2, 3, ...).
+  int x_column = -1;
+  /// Column indices plotted as lines (the y columns).
+  std::vector<int> y_columns;
+  /// Aggregation applied to each y series before plotting.
+  table::AggregateOp aggregate = table::AggregateOp::kNone;
+  /// Non-overlapping aggregation window size (ignored for kNone).
+  size_t window_size = 1;
+};
+
+/// Materializes the underlying data D = {d_1..d_M} from a table according
+/// to a VisSpec. Aggregation is applied to y values; x values are the
+/// window-start x (or auto index).
+table::UnderlyingData BuildUnderlyingData(const table::Table& t,
+                                          const VisSpec& spec);
+
+/// Rendering parameters for the rasterizer.
+struct ChartStyle {
+  int width = 240;
+  int height = 120;
+  /// Target number of y-axis ticks.
+  int y_tick_count = 5;
+  bool draw_axes = true;
+  bool draw_tick_labels = true;
+  /// Margin pixels reserved outside the plot area (left is computed from
+  /// tick label width when labels are drawn).
+  int margin_top = 4;
+  int margin_right = 4;
+  int margin_bottom = 6;
+  int min_margin_left = 8;
+};
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_CHART_SPEC_H_

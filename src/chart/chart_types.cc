@@ -1,0 +1,240 @@
+#include "chart/chart_types.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "chart/axes.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace fcm::chart {
+
+const char* ChartTypeName(ChartType type) {
+  switch (type) {
+    case ChartType::kLine: return "line";
+    case ChartType::kBar: return "bar";
+    case ChartType::kScatter: return "scatter";
+    case ChartType::kPie: return "pie";
+  }
+  return "unknown";
+}
+
+float SeriesInkIntensity(int series_index) {
+  // Evenly spaced levels in [0.44, 1.0], strongest first. Spacing of 0.08
+  // keeps levels separable after thresholding and anti-alias haze, and all
+  // levels clear Canvas::Plot's 0.35 element-ownership cutoff.
+  const int slot = series_index % kMaxDistinctSeries;
+  return 1.0f - 0.08f * static_cast<float>(slot);
+}
+
+namespace {
+
+/// Data range over all y values of the underlying data.
+void YRange(const table::UnderlyingData& d, double* y_min, double* y_max) {
+  *y_min = std::numeric_limits<double>::infinity();
+  *y_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : d) {
+    for (double v : s.y) {
+      *y_min = std::min(*y_min, v);
+      *y_max = std::max(*y_max, v);
+    }
+  }
+}
+
+size_t ShortestSeries(const table::UnderlyingData& d) {
+  size_t n = std::numeric_limits<size_t>::max();
+  for (const auto& s : d) n = std::min(n, s.size());
+  return n;
+}
+
+/// Fills an axis-aligned rectangle with a constant ink intensity.
+void FillRectIntensity(Canvas* c, int x0, int y0, int x1, int y1,
+                       float intensity, int16_t element_id) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) c->Plot(x, y, intensity, element_id);
+  }
+}
+
+}  // namespace
+
+RenderedChart RenderBarChart(const table::UnderlyingData& d,
+                             const ChartStyle& style) {
+  FCM_CHECK(!d.empty());
+  const size_t num_groups = ShortestSeries(d);
+  FCM_CHECK_GT(num_groups, 0u);
+  const int num_series = static_cast<int>(d.size());
+
+  double y_min, y_max;
+  YRange(d, &y_min, &y_max);
+  // Bars grow from 0, so the axis must include the baseline.
+  y_min = std::min(y_min, 0.0);
+  y_max = std::max(y_max, 0.0);
+
+  RenderedChart out(style.width, style.height);
+  out.num_lines = num_series;
+  LayoutAndDrawAxes(&out, style, y_min, y_max);
+
+  // Group layout: each group gets an equal horizontal slot; bars fill the
+  // slot minus a 20% gap, divided evenly among the series.
+  const double slot_width =
+      static_cast<double>(out.plot.Width()) / static_cast<double>(num_groups);
+  const double bars_width = slot_width * 0.8;
+  const double bar_width =
+      bars_width / static_cast<double>(num_series);
+  const double baseline_row = out.ValueToRow(0.0);
+
+  for (int si = 0; si < num_series; ++si) {
+    const int16_t id = LineElementId(si);
+    const float intensity = SeriesInkIntensity(si);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const double v = d[static_cast<size_t>(si)].y[g];
+      const double slot_left = out.plot.left + slot_width * g;
+      const double x0 = slot_left + slot_width * 0.1 + bar_width * si;
+      const double x1 = x0 + bar_width - 1.0;
+      const double value_row = out.ValueToRow(v);
+      FillRectIntensity(
+          &out.canvas, static_cast<int>(std::lround(x0)),
+          static_cast<int>(std::lround(std::min(value_row, baseline_row))),
+          static_cast<int>(std::lround(std::max(x1, x0))),
+          static_cast<int>(std::lround(std::max(value_row, baseline_row))),
+          intensity, id);
+    }
+  }
+  return out;
+}
+
+MarkerShape SeriesMarker(int series_index) {
+  return static_cast<MarkerShape>(series_index % 4);
+}
+
+namespace {
+
+/// Paints a marker centered at (cx, cy); half-extent 1px (3x3 footprint).
+void DrawMarker(Canvas* c, int cx, int cy, MarkerShape shape, float intensity,
+                int16_t element_id) {
+  auto put = [&](int dx, int dy) {
+    c->Plot(cx + dx, cy + dy, intensity, element_id);
+  };
+  switch (shape) {
+    case MarkerShape::kSquare:
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) put(dx, dy);
+      }
+      break;
+    case MarkerShape::kPlus:
+      put(0, 0);
+      put(-1, 0);
+      put(1, 0);
+      put(0, -1);
+      put(0, 1);
+      break;
+    case MarkerShape::kCross:
+      put(0, 0);
+      put(-1, -1);
+      put(1, -1);
+      put(-1, 1);
+      put(1, 1);
+      break;
+    case MarkerShape::kDiamond:
+      put(0, 0);
+      put(-1, 0);
+      put(1, 0);
+      put(0, -1);
+      put(0, 1);
+      put(0, 0);
+      break;
+  }
+}
+
+}  // namespace
+
+RenderedChart RenderScatterChart(const table::UnderlyingData& d,
+                                 const ChartStyle& style) {
+  FCM_CHECK(!d.empty());
+  double y_min, y_max;
+  YRange(d, &y_min, &y_max);
+  FCM_CHECK(std::isfinite(y_min));
+
+  RenderedChart out(style.width, style.height);
+  out.num_lines = static_cast<int>(d.size());
+  LayoutAndDrawAxes(&out, style, y_min, y_max);
+
+  for (size_t si = 0; si < d.size(); ++si) {
+    const auto& s = d[si];
+    if (s.empty()) continue;
+    const int16_t id = LineElementId(static_cast<int>(si));
+    const float intensity = SeriesInkIntensity(static_cast<int>(si));
+    const MarkerShape shape = SeriesMarker(static_cast<int>(si));
+    double x_lo = 1.0, x_hi = static_cast<double>(s.size());
+    if (!s.x.empty()) {
+      x_lo = common::Min(s.x);
+      x_hi = common::Max(s.x);
+      if (x_hi - x_lo < 1e-12) {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+      }
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+      double t = 0.5;
+      if (s.size() > 1) t = (s.XAt(i) - x_lo) / (x_hi - x_lo);
+      const int cx = static_cast<int>(
+          std::lround(out.plot.left + t * (out.plot.Width() - 1)));
+      const int cy = static_cast<int>(std::lround(out.ValueToRow(s.y[i])));
+      DrawMarker(&out.canvas, cx, cy, shape, intensity, id);
+    }
+  }
+  return out;
+}
+
+RenderedChart RenderPieChart(const std::vector<double>& weights,
+                             const ChartStyle& style) {
+  double total = 0.0;
+  for (double w : weights) {
+    FCM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FCM_CHECK_GT(total, 0.0);
+
+  RenderedChart out(style.width, style.height);
+  out.num_lines = static_cast<int>(weights.size());
+  // No axes/ticks for a pie; the full canvas is the plot area.
+  out.plot = {0, style.width - 1, 0, style.height - 1};
+  out.y_ticks_layout.axis_lo = 0.0;
+  out.y_ticks_layout.axis_hi = 1.0;
+
+  const double cx = 0.5 * (style.width - 1);
+  const double cy = 0.5 * (style.height - 1);
+  const double radius = 0.5 * std::min(style.width, style.height) - 2.0;
+
+  // Cumulative angle bounds per sector, starting at 12 o'clock, clockwise.
+  std::vector<double> bounds(weights.size() + 1, 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    bounds[i + 1] = bounds[i] + weights[i] / total;
+  }
+
+  for (int y = 0; y < style.height; ++y) {
+    for (int x = 0; x < style.width; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      if (dx * dx + dy * dy > radius * radius) continue;
+      // Angle fraction in [0, 1): 0 at 12 o'clock, growing clockwise.
+      double frac = std::atan2(dx, -dy) / (2.0 * M_PI);
+      if (frac < 0.0) frac += 1.0;
+      // Find the owning sector (bounds are sorted).
+      const auto it =
+          std::upper_bound(bounds.begin(), bounds.end(), frac);
+      int sector =
+          static_cast<int>(std::distance(bounds.begin(), it)) - 1;
+      sector = std::clamp(sector, 0,
+                          static_cast<int>(weights.size()) - 1);
+      out.canvas.Plot(x, y, SeriesInkIntensity(sector),
+                      LineElementId(sector));
+    }
+  }
+  return out;
+}
+
+}  // namespace fcm::chart

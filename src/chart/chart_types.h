@@ -1,0 +1,61 @@
+// Generalization to other chart types (paper Sec. VI-B): bar, scatter and
+// pie chart rasterizers sharing the line-chart renderer's axis/tick layout
+// and per-element mask instrumentation. Each plotted series (bar group
+// member, marker series, pie sector) is painted with a distinct element id
+// (kLineBase + index) and a distinct ink intensity — the greyscale
+// equivalent of the per-series colors real charts use, which is what the
+// pixels-only extractors key on.
+
+#ifndef FCM_CHART_CHART_TYPES_H_
+#define FCM_CHART_CHART_TYPES_H_
+
+#include <vector>
+
+#include "chart/chart_spec.h"
+#include "chart/renderer.h"
+#include "table/data_series.h"
+
+namespace fcm::chart {
+
+/// Chart types supported by the generalized pipeline.
+enum class ChartType { kLine = 0, kBar = 1, kScatter = 2, kPie = 3 };
+
+const char* ChartTypeName(ChartType type);
+
+/// Ink intensity used for the i-th series in bar/scatter/pie charts.
+/// Distinct per series (within kMaxDistinctSeries) and bounded away from 0
+/// so thresholding still separates ink from background.
+float SeriesInkIntensity(int series_index);
+inline constexpr int kMaxDistinctSeries = 8;
+
+/// Renders a grouped bar chart: for M series of N values each, the plot
+/// width is split into N groups and each group holds M bars side by side.
+/// Bars grow from the value-0 baseline (clamped to the axis range). Axis,
+/// tick and mask conventions match RenderLineChart; the i-th series' bars
+/// carry element id LineElementId(i). Requires at least one non-empty
+/// series; series are truncated to the shortest length.
+RenderedChart RenderBarChart(const table::UnderlyingData& d,
+                             const ChartStyle& style = {});
+
+/// Marker shapes cycle per series so scatter series remain separable even
+/// without intensity information.
+enum class MarkerShape { kSquare = 0, kPlus = 1, kCross = 2, kDiamond = 3 };
+MarkerShape SeriesMarker(int series_index);
+
+/// Renders a scatter chart: each data point of series i is drawn as a
+/// small marker (shape cycling by series) with element id LineElementId(i).
+RenderedChart RenderScatterChart(const table::UnderlyingData& d,
+                                 const ChartStyle& style = {});
+
+/// Renders a pie chart of the given non-negative weights: a filled disk
+/// centered in the canvas, sector i spanning an angle proportional to
+/// weights[i] / sum(weights), painted with intensity SeriesInkIntensity(i)
+/// and element id LineElementId(i). Sectors start at 12 o'clock and
+/// proceed clockwise. num_lines is set to the number of sectors; axes and
+/// ticks are not drawn. Requires at least one positive weight.
+RenderedChart RenderPieChart(const std::vector<double>& weights,
+                             const ChartStyle& style = {});
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_CHART_TYPES_H_

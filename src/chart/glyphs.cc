@@ -1,0 +1,75 @@
+#include "chart/glyphs.h"
+
+#include "common/string_util.h"
+
+namespace fcm::chart {
+
+namespace {
+
+// 3x5 bitmaps; each row uses bits 2 (left), 1, 0 (right).
+struct Glyph {
+  char c;
+  uint8_t rows[5];
+};
+
+constexpr Glyph kGlyphs[] = {
+    {'0', {0b111, 0b101, 0b101, 0b101, 0b111}},
+    {'1', {0b010, 0b110, 0b010, 0b010, 0b111}},
+    {'2', {0b111, 0b001, 0b111, 0b100, 0b111}},
+    {'3', {0b111, 0b001, 0b111, 0b001, 0b111}},
+    {'4', {0b101, 0b101, 0b111, 0b001, 0b001}},
+    {'5', {0b111, 0b100, 0b111, 0b001, 0b111}},
+    {'6', {0b111, 0b100, 0b111, 0b101, 0b111}},
+    {'7', {0b111, 0b001, 0b010, 0b010, 0b010}},
+    {'8', {0b111, 0b101, 0b111, 0b101, 0b111}},
+    {'9', {0b111, 0b101, 0b111, 0b001, 0b111}},
+    {'-', {0b000, 0b000, 0b111, 0b000, 0b000}},
+    {'.', {0b000, 0b000, 0b000, 0b000, 0b010}},
+    {'e', {0b000, 0b111, 0b110, 0b100, 0b111}},
+    {'+', {0b000, 0b010, 0b111, 0b010, 0b000}},
+};
+
+}  // namespace
+
+const uint8_t* GlyphRows(char c) {
+  for (const auto& g : kGlyphs) {
+    if (g.c == c) return g.rows;
+  }
+  return nullptr;
+}
+
+bool CanRenderText(const std::string& s) {
+  for (char c : s) {
+    if (GlyphRows(c) == nullptr) return false;
+  }
+  return true;
+}
+
+int DrawText(Canvas* canvas, int x, int y, const std::string& s,
+             int16_t element_id) {
+  for (char c : s) {
+    const uint8_t* rows = GlyphRows(c);
+    if (rows != nullptr) {
+      for (int r = 0; r < kGlyphHeight; ++r) {
+        for (int col = 0; col < kGlyphWidth; ++col) {
+          if (rows[r] & (1u << (kGlyphWidth - 1 - col))) {
+            canvas->Plot(x + col, y + r, 1.0f, element_id);
+          }
+        }
+      }
+    }
+    x += kGlyphAdvance;
+  }
+  return x;
+}
+
+int TextWidth(const std::string& s) {
+  return static_cast<int>(s.size()) * kGlyphAdvance;
+}
+
+std::string FormatTickValue(double v) {
+  std::string s = common::StrFormat("%.6g", v);
+  return s;
+}
+
+}  // namespace fcm::chart

@@ -1,0 +1,42 @@
+// A tiny 3x5 bitmap font for tick labels (digits, minus, dot, e, plus).
+//
+// Rendering real glyphs (instead of carrying tick values in a metadata
+// sidecar) lets the classical visual-element extractor *read* the y-axis
+// range off the pixels, exercising the same contract the paper's Mask R-CNN
+// + OCR pipeline provides.
+
+#ifndef FCM_CHART_GLYPHS_H_
+#define FCM_CHART_GLYPHS_H_
+
+#include <string>
+
+#include "chart/canvas.h"
+
+namespace fcm::chart {
+
+inline constexpr int kGlyphWidth = 3;
+inline constexpr int kGlyphHeight = 5;
+/// Horizontal advance between glyph origins.
+inline constexpr int kGlyphAdvance = 4;
+
+/// Returns the 5-row bitmap for `c` (rows of 3 bits, MSB = left pixel), or
+/// nullptr for unsupported characters. Supported: 0-9 - . e +
+const uint8_t* GlyphRows(char c);
+
+/// True when every character of `s` has a glyph.
+bool CanRenderText(const std::string& s);
+
+/// Renders `s` with its left baseline origin at (x, y) (top-left of first
+/// glyph). Returns the x coordinate just past the rendered text.
+int DrawText(Canvas* canvas, int x, int y, const std::string& s,
+             int16_t element_id);
+
+/// Width in pixels DrawText would occupy.
+int TextWidth(const std::string& s);
+
+/// Formats a tick value compactly (no trailing zeros) so it fits the font.
+std::string FormatTickValue(double v);
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_GLYPHS_H_

@@ -1,0 +1,92 @@
+#include "chart/linechartseg.h"
+
+#include <algorithm>
+
+#include "table/augment.h"
+
+namespace fcm::chart {
+
+SegExample MakeSegExample(const RenderedChart& chart) {
+  SegExample ex;
+  ex.width = chart.canvas.width();
+  ex.height = chart.canvas.height();
+  ex.image = chart.canvas.ink();
+  const auto& el = chart.canvas.elements();
+  ex.label.resize(el.size());
+  const int16_t line_base = static_cast<int16_t>(ElementClass::kLineBase);
+  for (size_t i = 0; i < el.size(); ++i) {
+    if (el[i] >= line_base) {
+      ex.label[i] = static_cast<uint8_t>(SegClass::kLine);
+    } else {
+      switch (static_cast<ElementClass>(el[i])) {
+        case ElementClass::kAxis:
+          ex.label[i] = static_cast<uint8_t>(SegClass::kAxis);
+          break;
+        case ElementClass::kTickMark:
+          ex.label[i] = static_cast<uint8_t>(SegClass::kTickMark);
+          break;
+        case ElementClass::kTickLabel:
+          ex.label[i] = static_cast<uint8_t>(SegClass::kTickLabel);
+          break;
+        default:
+          ex.label[i] = static_cast<uint8_t>(SegClass::kBackground);
+      }
+    }
+  }
+  return ex;
+}
+
+namespace {
+
+// Re-validates a spec against an augmented table (partitioning changes the
+// column count); falls back to the first min(M, NC) columns.
+VisSpec AdaptSpec(const VisSpec& spec, const table::Table& t) {
+  VisSpec s = spec;
+  s.x_column = -1;  // Augmented tables use auto index.
+  bool valid = !s.y_columns.empty();
+  for (int yc : s.y_columns) {
+    if (yc < 0 || static_cast<size_t>(yc) >= t.num_columns() ||
+        t.column(static_cast<size_t>(yc)).empty()) {
+      valid = false;
+      break;
+    }
+  }
+  if (!valid) {
+    s.y_columns.clear();
+    const size_t m = std::min(std::max<size_t>(spec.y_columns.size(), 1),
+                              t.num_columns());
+    for (size_t i = 0; i < m; ++i) {
+      if (!t.column(i).empty()) s.y_columns.push_back(static_cast<int>(i));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<SegExample> GenerateLineChartSeg(const table::Table& t,
+                                             const VisSpec& spec,
+                                             size_t augmentations,
+                                             const ChartStyle& style,
+                                             common::Rng* rng) {
+  std::vector<SegExample> out;
+  {
+    const auto d = BuildUnderlyingData(t, spec);
+    out.push_back(MakeSegExample(RenderLineChart(d, style)));
+  }
+  const std::vector<table::Table> aug =
+      table::RandomAugmentations(t, augmentations, /*p=*/0.5, rng);
+  for (const auto& at : aug) {
+    if (at.num_columns() == 0) continue;
+    const VisSpec s = AdaptSpec(spec, at);
+    if (s.y_columns.empty()) continue;
+    const auto d = BuildUnderlyingData(at, s);
+    bool any = false;
+    for (const auto& ds : d) any = any || !ds.empty();
+    if (!any) continue;
+    out.push_back(MakeSegExample(RenderLineChart(d, style)));
+  }
+  return out;
+}
+
+}  // namespace fcm::chart

@@ -1,0 +1,55 @@
+// LineChartSeg (paper Sec. IV-A): the first corpus for line-chart
+// segmentation, generated automatically by instrumenting the renderer so
+// every pixel carries its visual-element class. Augmentations operate on
+// the *tabular* source (reverse / partition / down-sample), never on the
+// image, preserving chart semantics.
+
+#ifndef FCM_CHART_LINECHARTSEG_H_
+#define FCM_CHART_LINECHARTSEG_H_
+
+#include <vector>
+
+#include "chart/chart_spec.h"
+#include "chart/renderer.h"
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace fcm::chart {
+
+/// Pixel classes for the segmentation task (collapsed from element ids:
+/// all lines map to kLine — instance separation is recovered by connected
+/// components downstream).
+enum class SegClass : uint8_t {
+  kBackground = 0,
+  kAxis = 1,
+  kTickMark = 2,
+  kTickLabel = 3,
+  kLine = 4,
+};
+inline constexpr int kNumSegClasses = 5;
+
+/// One segmentation training example: greyscale image + per-pixel class.
+struct SegExample {
+  int width = 0;
+  int height = 0;
+  std::vector<float> image;   // Row-major ink values in [0, 1].
+  std::vector<uint8_t> label;  // Row-major SegClass values.
+};
+
+/// Converts a rendered chart into a segmentation example.
+SegExample MakeSegExample(const RenderedChart& chart);
+
+/// Generates LineChartSeg examples from a (table, spec) pair:
+/// the original chart plus `augmentations` augmented variants (reverse /
+/// partition / down-sample applied to the table, each with probability
+/// 0.5). Specs whose y columns disappear under partitioning fall back to
+/// plotting the first min(M, NC) columns of the augmented table.
+std::vector<SegExample> GenerateLineChartSeg(const table::Table& t,
+                                             const VisSpec& spec,
+                                             size_t augmentations,
+                                             const ChartStyle& style,
+                                             common::Rng* rng);
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_LINECHARTSEG_H_

@@ -1,0 +1,57 @@
+#include "chart/nice_ticks.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fcm::chart {
+
+namespace {
+
+// Rounds x to a "nice" value (1, 2, 5) x 10^k; `round` picks nearest,
+// otherwise the ceiling — the classic Heckbert labeling helper.
+double NiceNum(double x, bool round) {
+  const double expv = std::floor(std::log10(x));
+  const double f = x / std::pow(10.0, expv);  // 1 <= f < 10.
+  double nf;
+  if (round) {
+    if (f < 1.5) nf = 1.0;
+    else if (f < 3.0) nf = 2.0;
+    else if (f < 7.0) nf = 5.0;
+    else nf = 10.0;
+  } else {
+    if (f <= 1.0) nf = 1.0;
+    else if (f <= 2.0) nf = 2.0;
+    else if (f <= 5.0) nf = 5.0;
+    else nf = 10.0;
+  }
+  return nf * std::pow(10.0, expv);
+}
+
+}  // namespace
+
+TickLayout ComputeTicks(double lo, double hi, int target_count) {
+  FCM_CHECK_GE(target_count, 2);
+  if (!(hi > lo)) {
+    // Degenerate range: pad around the value.
+    const double pad = std::fabs(lo) > 1e-12 ? std::fabs(lo) * 0.1 : 1.0;
+    lo -= pad;
+    hi += pad;
+  }
+  TickLayout out;
+  const double range = NiceNum(hi - lo, /*round=*/false);
+  out.step = NiceNum(range / (target_count - 1), /*round=*/true);
+  out.axis_lo = std::floor(lo / out.step) * out.step;
+  out.axis_hi = std::ceil(hi / out.step) * out.step;
+  const int n = static_cast<int>(
+      std::round((out.axis_hi - out.axis_lo) / out.step)) + 1;
+  out.ticks.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double v = out.axis_lo + out.step * i;
+    if (std::fabs(v) < out.step * 1e-9) v = 0.0;  // Snap -0 to 0.
+    out.ticks.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace fcm::chart

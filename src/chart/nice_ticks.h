@@ -1,0 +1,30 @@
+// "Nice number" axis tick computation (loose labeling), as used by real
+// plotting libraries: ticks land on multiples of {1, 2, 5} x 10^k and the
+// tick range covers the data range.
+
+#ifndef FCM_CHART_NICE_TICKS_H_
+#define FCM_CHART_NICE_TICKS_H_
+
+#include <vector>
+
+namespace fcm::chart {
+
+/// Axis tick layout: evenly spaced "nice" values covering [lo, hi].
+struct TickLayout {
+  /// Tick values in ascending order (at least 2).
+  std::vector<double> ticks;
+  /// The padded axis range implied by the ticks.
+  double axis_lo = 0.0;
+  double axis_hi = 1.0;
+  /// Spacing between consecutive ticks.
+  double step = 1.0;
+};
+
+/// Computes a loose tick layout for data range [lo, hi] targeting about
+/// `target_count` ticks. Degenerate ranges (hi <= lo) are padded around the
+/// value.
+TickLayout ComputeTicks(double lo, double hi, int target_count = 5);
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_NICE_TICKS_H_

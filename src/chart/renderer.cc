@@ -1,0 +1,92 @@
+#include "chart/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "chart/axes.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace fcm::chart {
+
+double RenderedChart::ValueToRow(double v) const {
+  const double lo = y_ticks_layout.axis_lo;
+  const double hi = y_ticks_layout.axis_hi;
+  const double t = (v - lo) / (hi - lo);
+  return plot.bottom - t * (plot.Height() - 1);
+}
+
+double RenderedChart::RowToValue(double row) const {
+  const double lo = y_ticks_layout.axis_lo;
+  const double hi = y_ticks_layout.axis_hi;
+  const double t =
+      (static_cast<double>(plot.bottom) - row) / (plot.Height() - 1);
+  return lo + t * (hi - lo);
+}
+
+std::vector<uint8_t> RenderedChart::LineMask(int line_index) const {
+  const int16_t id = LineElementId(line_index);
+  const auto& el = canvas.elements();
+  std::vector<uint8_t> mask(el.size(), 0);
+  for (size_t i = 0; i < el.size(); ++i) mask[i] = (el[i] == id) ? 1 : 0;
+  return mask;
+}
+
+RenderedChart RenderLineChart(const table::UnderlyingData& d,
+                              const ChartStyle& style) {
+  FCM_CHECK(!d.empty());
+  size_t max_len = 0;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : d) {
+    max_len = std::max(max_len, s.size());
+    for (double v : s.y) {
+      y_min = std::min(y_min, v);
+      y_max = std::max(y_max, v);
+    }
+  }
+  FCM_CHECK_GT(max_len, 0u);
+
+  RenderedChart out(style.width, style.height);
+  out.num_lines = static_cast<int>(d.size());
+  LayoutAndDrawAxes(&out, style, y_min, y_max);
+
+  Canvas& c = out.canvas;
+
+  // Plot each series across the full plot width. For numeric x values the
+  // horizontal position is proportional to x; otherwise even spacing.
+  for (size_t li = 0; li < d.size(); ++li) {
+    const auto& s = d[li];
+    if (s.size() == 0) continue;
+    const int16_t line_id = LineElementId(static_cast<int>(li));
+    double x_lo = 1.0, x_hi = static_cast<double>(s.size());
+    if (!s.x.empty()) {
+      x_lo = common::Min(s.x);
+      x_hi = common::Max(s.x);
+      if (x_hi - x_lo < 1e-12) {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+      }
+    }
+    auto x_pos = [&](size_t i) {
+      if (s.size() == 1) return (out.plot.left + out.plot.right) / 2.0;
+      const double xv = s.XAt(i);
+      const double t = (xv - x_lo) / (x_hi - x_lo);
+      return out.plot.left + t * (out.plot.Width() - 1);
+    };
+    if (s.size() == 1) {
+      c.Plot(static_cast<int>(std::lround(x_pos(0))),
+             static_cast<int>(std::lround(out.ValueToRow(s.y[0]))), 1.0f,
+             line_id);
+      continue;
+    }
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      c.DrawLineAA(x_pos(i), out.ValueToRow(s.y[i]), x_pos(i + 1),
+                   out.ValueToRow(s.y[i + 1]), line_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace fcm::chart

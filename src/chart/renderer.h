@@ -1,0 +1,61 @@
+// Line chart rasterizer. Renders underlying data into a greyscale canvas
+// with axes, y-tick marks and y-tick labels, and records per-element pixel
+// masks — our equivalent of instrumenting Plotly's pixel rendering to build
+// the LineChartSeg corpus (paper Sec. IV-A).
+
+#ifndef FCM_CHART_RENDERER_H_
+#define FCM_CHART_RENDERER_H_
+
+#include <vector>
+
+#include "chart/canvas.h"
+#include "chart/chart_spec.h"
+#include "chart/nice_ticks.h"
+#include "table/data_series.h"
+
+namespace fcm::chart {
+
+/// One rendered y-axis tick: value + pixel row of its mark.
+struct RenderedTick {
+  double value = 0.0;
+  int row = 0;
+};
+
+/// The plot-area rectangle in pixel coordinates (inclusive bounds).
+struct PlotArea {
+  int left = 0, right = 0, top = 0, bottom = 0;
+  int Width() const { return right - left + 1; }
+  int Height() const { return bottom - top + 1; }
+};
+
+/// A rendered line chart plus the instrumentation metadata (masks, ticks,
+/// geometry) that downstream components and LineChartSeg rely on.
+struct RenderedChart {
+  Canvas canvas;
+  PlotArea plot;
+  TickLayout y_ticks_layout;
+  std::vector<RenderedTick> y_ticks;
+  /// Number of plotted lines M.
+  int num_lines = 0;
+
+  RenderedChart(int w, int h) : canvas(w, h) {}
+
+  /// Maps a data value to a (fractional) pixel row inside the plot area.
+  double ValueToRow(double v) const;
+  /// Inverse of ValueToRow.
+  double RowToValue(double row) const;
+
+  /// Per-line binary mask (true where the line deposited >= threshold ink),
+  /// derived from the element map.
+  std::vector<uint8_t> LineMask(int line_index) const;
+};
+
+/// Renders underlying data `d` with the given style. Series may have
+/// different lengths; each spans the full plot width. Requires at least one
+/// non-empty series.
+RenderedChart RenderLineChart(const table::UnderlyingData& d,
+                              const ChartStyle& style = {});
+
+}  // namespace fcm::chart
+
+#endif  // FCM_CHART_RENDERER_H_

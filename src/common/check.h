@@ -1,0 +1,47 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// CHECK(cond) aborts with a diagnostic when `cond` is false, in all build
+// modes; DCHECK compiles away in NDEBUG builds. Use CHECK for invariants
+// whose violation indicates a programming error (not recoverable input
+// error — those go through fcm::common::Result).
+
+#ifndef FCM_COMMON_CHECK_H_
+#define FCM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fcm::common {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fcm::common
+
+#define FCM_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::fcm::common::CheckFailed(#cond, __FILE__, __LINE__);   \
+    }                                                          \
+  } while (0)
+
+#define FCM_CHECK_EQ(a, b) FCM_CHECK((a) == (b))
+#define FCM_CHECK_NE(a, b) FCM_CHECK((a) != (b))
+#define FCM_CHECK_LT(a, b) FCM_CHECK((a) < (b))
+#define FCM_CHECK_LE(a, b) FCM_CHECK((a) <= (b))
+#define FCM_CHECK_GT(a, b) FCM_CHECK((a) > (b))
+#define FCM_CHECK_GE(a, b) FCM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define FCM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define FCM_DCHECK(cond) FCM_CHECK(cond)
+#endif
+
+#endif  // FCM_COMMON_CHECK_H_

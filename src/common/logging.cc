@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fcm::common {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("FCM_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  int v = std::atoi(env);
+  if (v < 0) v = 0;
+  if (v > 3) v = 3;
+  return static_cast<LogLevel>(v);
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = ParseEnvLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < GetLogLevel()) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace fcm::common

@@ -1,0 +1,71 @@
+// Minimal leveled logging to stderr.
+//
+//   FCM_LOG(INFO) << "built index with " << n << " entries";
+//
+// Level is controlled at runtime via fcm::common::SetLogLevel or the
+// FCM_LOG_LEVEL environment variable (0=DEBUG, 1=INFO, 2=WARN, 3=ERROR,
+// 4=silent).
+
+#ifndef FCM_COMMON_LOGGING_H_
+#define FCM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fcm::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Internal: accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Internal: no-op sink used when the level is below threshold.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace fcm::common
+
+#define FCM_LOG_DEBUG ::fcm::common::LogLevel::kDebug
+#define FCM_LOG_INFO ::fcm::common::LogLevel::kInfo
+#define FCM_LOG_WARN ::fcm::common::LogLevel::kWarn
+#define FCM_LOG_ERROR ::fcm::common::LogLevel::kError
+
+#define FCM_LOG(severity)                                            \
+  (FCM_LOG_##severity < ::fcm::common::GetLogLevel())                \
+      ? (void)0                                                      \
+      : (void)(::fcm::common::LogMessage(FCM_LOG_##severity,         \
+                                         __FILE__, __LINE__))
+
+// Streamable form: FCM_LOGS(INFO) << "x=" << x;
+#define FCM_LOGS(severity)                                           \
+  ::fcm::common::LogMessage(FCM_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // FCM_COMMON_LOGGING_H_

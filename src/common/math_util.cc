@@ -1,0 +1,29 @@
+#include "common/math_util.h"
+
+namespace fcm::common {
+
+std::vector<double> ResampleLinear(const std::vector<double>& v, size_t n) {
+  FCM_CHECK(!v.empty());
+  FCM_CHECK_GT(n, 0u);
+  std::vector<double> out(n);
+  if (v.size() == 1) {
+    std::fill(out.begin(), out.end(), v[0]);
+    return out;
+  }
+  if (n == 1) {
+    out[0] = v[0];
+    return out;
+  }
+  const double scale =
+      static_cast<double>(v.size() - 1) / static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double t = pos - static_cast<double>(lo);
+    out[i] = Lerp(v[lo], v[hi], t);
+  }
+  return out;
+}
+
+}  // namespace fcm::common

@@ -1,0 +1,96 @@
+// Small numeric helpers shared across modules.
+
+#ifndef FCM_COMMON_MATH_UTIL_H_
+#define FCM_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fcm::common {
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+/// Arithmetic mean; 0 for an empty range.
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+inline double Stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+/// Minimum element; +inf for an empty range.
+inline double Min(const std::vector<double>& v) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : v) m = std::min(m, x);
+  return m;
+}
+
+/// Maximum element; -inf for an empty range.
+inline double Max(const std::vector<double>& v) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+/// Sum of elements.
+inline double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+/// Dot product of equal-length vectors.
+inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  FCM_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Euclidean norm.
+inline double Norm(const std::vector<double>& v) {
+  return std::sqrt(Dot(v, v));
+}
+
+/// Cosine similarity; 0 when either vector is (near) zero.
+inline double CosineSimilarity(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  const double na = Norm(a), nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+/// Linear interpolation between a and b at parameter t in [0,1].
+inline double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// True when |a-b| <= tol (absolute) or relative tolerance is met.
+inline bool AlmostEqual(double a, double b, double tol = 1e-9) {
+  const double diff = std::fabs(a - b);
+  if (diff <= tol) return true;
+  return diff <= tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Linearly resamples `v` to `n` points (piecewise-linear interpolation).
+/// An input of size 1 is replicated. Requires !v.empty() && n > 0.
+std::vector<double> ResampleLinear(const std::vector<double>& v, size_t n);
+
+}  // namespace fcm::common
+
+#endif  // FCM_COMMON_MATH_UTIL_H_

@@ -1,0 +1,137 @@
+// Status / Result<T>: exception-free error propagation across public API
+// boundaries, following the Arrow/Abseil convention.
+//
+//   fcm::common::Result<Table> t = LoadCsv(path);
+//   if (!t.ok()) return t.status();
+//   Use(t.value());
+
+#ifndef FCM_COMMON_RESULT_H_
+#define FCM_COMMON_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fcm::common {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Success-or-error outcome of an operation, carrying a message on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or a failure Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status (failure). Aborts if given an OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FCM_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure status; OK when this result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    FCM_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    FCM_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FCM_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out. Requires ok().
+  T ValueOrDie() && {
+    FCM_CHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+}  // namespace fcm::common
+
+/// Propagates a failed Status from an expression returning Status.
+#define FCM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::fcm::common::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // FCM_COMMON_RESULT_H_

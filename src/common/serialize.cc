@@ -1,0 +1,81 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace fcm::common {
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = buf_.empty()
+                             ? 0
+                             : std::fwrite(buf_.data(), 1, buf_.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != buf_.size() || close_rc != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  const size_t read = buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return BinaryReader(std::move(buf));
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  if (pos_ + n.value() > buf_.size()) {
+    return Status::OutOfRange("binary reader: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                n.value());
+  pos_ += n.value();
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadF32Vector() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  const size_t bytes = n.value() * sizeof(float);
+  if (pos_ + bytes > buf_.size()) {
+    return Status::OutOfRange("binary reader: truncated f32 vector");
+  }
+  std::vector<float> v(n.value());
+  std::memcpy(v.data(), buf_.data() + pos_, bytes);
+  pos_ += bytes;
+  return v;
+}
+
+Result<std::vector<double>> BinaryReader::ReadF64Vector() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  const size_t bytes = n.value() * sizeof(double);
+  if (pos_ + bytes > buf_.size()) {
+    return Status::OutOfRange("binary reader: truncated f64 vector");
+  }
+  std::vector<double> v(n.value());
+  std::memcpy(v.data(), buf_.data() + pos_, bytes);
+  pos_ += bytes;
+  return v;
+}
+
+}  // namespace fcm::common

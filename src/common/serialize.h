@@ -1,0 +1,94 @@
+// Binary (de)serialization of PODs, strings, and vectors — used to persist
+// trained model weights and built indexes.
+
+#ifndef FCM_COMMON_SERIALIZE_H_
+#define FCM_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fcm::common {
+
+/// Appends little-endian binary records to an in-memory buffer.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteF32Vector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  void WriteF64Vector(const std::vector<double>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(double));
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+  /// Writes the buffer to a file. Fails with IoError on any write problem.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads records written by BinaryWriter. All reads are bounds-checked and
+/// fail with OutOfRange rather than reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buf) : buf_(std::move(buf)) {}
+
+  /// Loads a whole file into a reader.
+  static Result<BinaryReader> LoadFromFile(const std::string& path);
+
+  Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }
+  Result<int64_t> ReadI64() { return ReadPod<int64_t>(); }
+  Result<float> ReadF32() { return ReadPod<float>(); }
+  Result<double> ReadF64() { return ReadPod<double>(); }
+
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadF32Vector();
+  Result<std::vector<double>> ReadF64Vector();
+
+  /// Bytes remaining to be read.
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadPod() {
+    if (pos_ + sizeof(T) > buf_.size()) {
+      return Status::OutOfRange("binary reader: truncated input");
+    }
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fcm::common
+
+#endif  // FCM_COMMON_SERIALIZE_H_

@@ -1,0 +1,37 @@
+// String splitting / trimming / formatting helpers.
+
+#ifndef FCM_COMMON_STRING_UTIL_H_
+#define FCM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcm::common {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; returns false on malformed input (stores nothing).
+bool ParseDouble(std::string_view s, double* out);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace fcm::common
+
+#endif  // FCM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,278 @@
+#include "core/dataset_encoder.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "nn/ops.h"
+
+namespace fcm::core {
+
+TransformationLayer::TransformationLayer(int sub_segment_size, int embed_dim,
+                                         common::Rng* rng)
+    : mlp_(sub_segment_size, embed_dim, embed_dim, rng,
+           nn::Activation::kGelu) {
+  RegisterModule("mlp", &mlp_);
+}
+
+nn::Tensor TransformationLayer::Forward(const nn::Tensor& x) const {
+  return mlp_.Forward(x);
+}
+
+HierarchicalMultiScaleLayer::HierarchicalMultiScaleLayer(int embed_dim,
+                                                         int beta,
+                                                         common::Rng* rng)
+    : beta_(beta) {
+  for (int level = 0; level < beta; ++level) {
+    combiners_.push_back(std::make_unique<nn::Mlp>(
+        2 * embed_dim, embed_dim, embed_dim, rng, nn::Activation::kGelu));
+    RegisterModule(common::StrFormat("combiner%d", level),
+                   combiners_.back().get());
+  }
+}
+
+nn::Tensor HierarchicalMultiScaleLayer::Forward(
+    const nn::Tensor& leaves) const {
+  FCM_CHECK_EQ(leaves.dim(0), 1 << beta_);
+  std::vector<nn::Tensor> level;
+  for (int i = 0; i < leaves.dim(0); ++i) {
+    level.push_back(nn::Row(leaves, i));
+  }
+  for (int l = 0; l < beta_; ++l) {
+    std::vector<nn::Tensor> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      const nn::Tensor pair = nn::ConcatVec({level[i], level[i + 1]});
+      // Residual around the combiner keeps gradient flow through the tree.
+      nn::Tensor combined = combiners_[static_cast<size_t>(l)]->Forward(pair);
+      combined = nn::Add(combined,
+                         nn::Scale(nn::Add(level[i], level[i + 1]), 0.5f));
+      next.push_back(combined);
+    }
+    level = std::move(next);
+  }
+  FCM_CHECK_EQ(level.size(), 1u);
+  return level[0];
+}
+
+MoEGate::MoEGate(int embed_dim, int gate_hidden, int num_experts,
+                 common::Rng* rng) {
+  for (int i = 0; i < num_experts; ++i) {
+    gates_.push_back(std::make_unique<nn::Mlp>(embed_dim, gate_hidden, 1,
+                                               rng,
+                                               nn::Activation::kLeakyRelu));
+    RegisterModule(common::StrFormat("gate%d", i), gates_.back().get());
+  }
+}
+
+nn::Tensor MoEGate::GateWeights(
+    const std::vector<nn::Tensor>& expert_outputs) const {
+  FCM_CHECK_EQ(expert_outputs.size(), gates_.size());
+  std::vector<nn::Tensor> logits;
+  logits.reserve(gates_.size());
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    logits.push_back(gates_[i]->Forward(expert_outputs[i]));  // [1]
+  }
+  return nn::Softmax(nn::ConcatVec(logits));  // [num_experts]
+}
+
+nn::Tensor MoEGate::Forward(
+    const std::vector<nn::Tensor>& expert_outputs) const {
+  const nn::Tensor weights = GateWeights(expert_outputs);
+  nn::Tensor combined;
+  for (size_t i = 0; i < expert_outputs.size(); ++i) {
+    const nn::Tensor wi =
+        nn::Reshape(nn::SliceCols(nn::Reshape(weights, {1, weights.dim(0)}),
+                                  static_cast<int>(i),
+                                  static_cast<int>(i) + 1),
+                    {1});
+    // Broadcast the scalar gate over the expert embedding.
+    const int k = expert_outputs[i].dim(0);
+    std::vector<nn::Tensor> reps(static_cast<size_t>(k), wi);
+    const nn::Tensor scaled =
+        nn::Mul(expert_outputs[i], nn::ConcatVec(reps));
+    combined = combined.defined() ? nn::Add(combined, scaled) : scaled;
+  }
+  return combined;
+}
+
+DatasetEncoder::DatasetEncoder(const FcmConfig& config, common::Rng* rng)
+    : config_(config),
+      encoder_(config.embed_dim, config.num_heads, config.mlp_hidden,
+               config.num_layers, config.NumDataSegments(), rng) {
+  if (config.use_da_layers) {
+    FCM_CHECK_EQ(config.SubSegmentSize() * config.NumSubSegments(),
+                 config.data_segment_size);
+    for (int op = 0; op < table::kNumAggregateOps; ++op) {
+      transformations_.push_back(std::make_unique<TransformationLayer>(
+          config.SubSegmentSize(), config.embed_dim, rng));
+      RegisterModule(
+          common::StrFormat("transform_%s",
+                            table::AggregateOpName(
+                                static_cast<table::AggregateOp>(op))),
+          transformations_.back().get());
+    }
+    hmrl_ = std::make_unique<HierarchicalMultiScaleLayer>(config.embed_dim,
+                                                          config.beta, rng);
+    RegisterModule("hmrl", hmrl_.get());
+    moe_ = std::make_unique<MoEGate>(config.embed_dim, config.moe_gate_hidden,
+                                     table::kNumAggregateOps, rng);
+    RegisterModule("moe", moe_.get());
+  } else {
+    segment_projection_ = std::make_unique<nn::Linear>(
+        config.data_segment_size, config.embed_dim, rng);
+    RegisterModule("segment_projection", segment_projection_.get());
+  }
+  RegisterModule("encoder", &encoder_);
+}
+
+nn::Tensor DatasetEncoder::EncodeColumn(
+    const std::vector<double>& values) const {
+  FCM_CHECK(!values.empty());
+  // Resample to the fixed column length, then min-max normalize to [0, 1]
+  // — mirroring how a plotted line fills its chart's vertical extent.
+  std::vector<double> resampled = common::ResampleLinear(
+      values, static_cast<size_t>(config_.column_length));
+  const double lo = common::Min(resampled);
+  const double hi = common::Max(resampled);
+  const double span = hi - lo < 1e-12 ? 1.0 : hi - lo;
+  std::vector<float> norm(resampled.size());
+  for (size_t i = 0; i < resampled.size(); ++i) {
+    norm[i] = static_cast<float>((resampled[i] - lo) / span);
+  }
+
+  const int n2 = config_.NumDataSegments();
+  const int p2 = config_.data_segment_size;
+
+  nn::Tensor tokens;  // [N2, K]
+  if (config_.use_da_layers) {
+    const int n_sub = config_.NumSubSegments();
+    const int sub = config_.SubSegmentSize();
+    std::vector<nn::Tensor> segment_vectors;
+    segment_vectors.reserve(static_cast<size_t>(n2));
+    for (int s = 0; s < n2; ++s) {
+      // Sub-segment matrix for this segment: [2^beta, sub].
+      std::vector<float> sub_data(static_cast<size_t>(n_sub) * sub);
+      for (int i = 0; i < n_sub * sub; ++i) {
+        sub_data[static_cast<size_t>(i)] =
+            norm[static_cast<size_t>(s) * p2 + i];
+      }
+      const nn::Tensor sub_segments =
+          nn::Tensor::FromVector({n_sub, sub}, std::move(sub_data));
+      // Five experts: per-operator transformation -> HMRL root.
+      std::vector<nn::Tensor> expert_roots;
+      expert_roots.reserve(transformations_.size());
+      for (const auto& transform : transformations_) {
+        const nn::Tensor leaves = transform->Forward(sub_segments);
+        expert_roots.push_back(hmrl_->Forward(leaves));
+      }
+      segment_vectors.push_back(moe_->Forward(expert_roots));  // [K]
+    }
+    tokens = nn::StackRows(segment_vectors);
+  } else {
+    std::vector<float> seg_data(norm.begin(), norm.end());
+    const nn::Tensor segments =
+        nn::Tensor::FromVector({n2, p2}, std::move(seg_data));
+    tokens = segment_projection_->Forward(segments);
+  }
+  return encoder_.Forward(tokens);  // [N2, K]
+}
+
+std::vector<float> DatasetEncoder::ColumnDescriptor(
+    const std::vector<double>& values) const {
+  FCM_CHECK(!values.empty());
+  std::vector<double> resampled = common::ResampleLinear(
+      values, static_cast<size_t>(config_.column_length));
+  const double lo = common::Min(resampled);
+  const double hi = common::Max(resampled);
+  const double span = hi - lo < 1e-12 ? 1.0 : hi - lo;
+  const int n2 = config_.NumDataSegments();
+  const int p2 = config_.data_segment_size;
+  const int s_points = config_.descriptor_size;
+  std::vector<float> out(static_cast<size_t>(n2) * s_points);
+  for (int s = 0; s < n2; ++s) {
+    std::vector<double> seg(resampled.begin() + static_cast<long>(s) * p2,
+                            resampled.begin() +
+                                static_cast<long>(s + 1) * p2);
+    const auto r = common::ResampleLinear(seg,
+                                          static_cast<size_t>(s_points));
+    for (int i = 0; i < s_points; ++i) {
+      out[static_cast<size_t>(s) * s_points + i] =
+          static_cast<float>((r[static_cast<size_t>(i)] - lo) / span);
+    }
+  }
+  return out;
+}
+
+std::vector<double> DatasetEncoder::InferOperatorDistribution(
+    const std::vector<double>& values) const {
+  std::vector<double> dist(table::kNumAggregateOps,
+                           1.0 / table::kNumAggregateOps);
+  if (!config_.use_da_layers || values.empty()) return dist;
+
+  std::vector<double> resampled = common::ResampleLinear(
+      values, static_cast<size_t>(config_.column_length));
+  const double lo = common::Min(resampled);
+  const double hi = common::Max(resampled);
+  const double span = hi - lo < 1e-12 ? 1.0 : hi - lo;
+  std::vector<float> norm(resampled.size());
+  for (size_t i = 0; i < resampled.size(); ++i) {
+    norm[i] = static_cast<float>((resampled[i] - lo) / span);
+  }
+
+  const int n2 = config_.NumDataSegments();
+  const int p2 = config_.data_segment_size;
+  const int n_sub = config_.NumSubSegments();
+  const int sub = config_.SubSegmentSize();
+  std::fill(dist.begin(), dist.end(), 0.0);
+  for (int s = 0; s < n2; ++s) {
+    std::vector<float> sub_data(static_cast<size_t>(n_sub) * sub);
+    for (int i = 0; i < n_sub * sub; ++i) {
+      sub_data[static_cast<size_t>(i)] =
+          norm[static_cast<size_t>(s) * p2 + i];
+    }
+    const nn::Tensor sub_segments =
+        nn::Tensor::FromVector({n_sub, sub}, std::move(sub_data));
+    std::vector<nn::Tensor> expert_roots;
+    expert_roots.reserve(transformations_.size());
+    for (const auto& transform : transformations_) {
+      expert_roots.push_back(hmrl_->Forward(transform->Forward(sub_segments)));
+    }
+    const nn::Tensor weights = moe_->GateWeights(expert_roots);
+    for (int op = 0; op < table::kNumAggregateOps; ++op) {
+      dist[static_cast<size_t>(op)] +=
+          static_cast<double>(weights.data()[static_cast<size_t>(op)]);
+    }
+  }
+  for (auto& v : dist) v /= static_cast<double>(n2);
+  return dist;
+}
+
+DatasetRepresentation DatasetEncoder::Forward(const table::Table& t) const {
+  DatasetRepresentation out;
+  for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+    const auto& col = t.column(ci);
+    if (col.empty()) continue;
+    ColumnEncoding enc;
+    enc.representation = EncodeColumn(col.values);
+    enc.descriptor = ColumnDescriptor(col.values);
+    if (config_.use_da_layers) {
+      // Aggregated-shape variants (two windows per operator) so DA-based
+      // charts can descriptor-match the column they were derived from.
+      for (const auto op : table::RealAggregateOps()) {
+        for (const size_t window : {size_t{4}, size_t{16}}) {
+          if (col.values.size() < 2 * window) continue;
+          enc.da_descriptors.push_back(
+              ColumnDescriptor(table::Aggregate(col.values, op, window)));
+        }
+      }
+    }
+    enc.range_lo = col.MinValue();
+    enc.range_hi = col.SumValue();
+    if (enc.range_hi < enc.range_lo) std::swap(enc.range_lo, enc.range_hi);
+    enc.column_index = static_cast<int>(ci);
+    out.push_back(std::move(enc));
+  }
+  return out;
+}
+
+}  // namespace fcm::core

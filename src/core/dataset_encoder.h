@@ -1,0 +1,128 @@
+// Segment-level dataset encoder (paper Secs. IV-C and V): columns are
+// resampled, min-max normalized, divided into N2 segments, and — when the
+// DA extension is enabled — each segment is subdivided into 2^beta
+// sub-segments routed through five per-operator transformation layers, a
+// hierarchical multi-scale representation layer (binary MLP tree), and a
+// mixture-of-experts gate before the shared transformer.
+
+#ifndef FCM_CORE_DATASET_ENCODER_H_
+#define FCM_CORE_DATASET_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/fcm_config.h"
+#include "nn/attention.h"
+#include "table/aggregate.h"
+#include "table/table.h"
+
+namespace fcm::core {
+
+/// Per-column encoding: representation [N2, K] plus the column's possible
+/// value range [min(C), sum(C)] used for y-tick filtering (Sec. VI-A).
+struct ColumnEncoding {
+  nn::Tensor representation;  // [N2, K]
+  /// Deterministic per-segment shape descriptor: min-max normalized
+  /// column values resampled to descriptor_size points per segment
+  /// (row-major [N2 x S]); the dataset-side counterpart of
+  /// LineEncoding::descriptor.
+  std::vector<float> descriptor;
+  /// DA-aware descriptor variants (Sec. V, deterministic counterpart of
+  /// the transformation layers): the same descriptor computed on the
+  /// column after each real aggregation operator at a few window sizes.
+  /// A DA-based line chart's shape matches one of these rather than the
+  /// raw column shape. Empty when use_da_layers is off (the FCM-DA
+  /// ablation loses this bridge along with the learned DA layers).
+  std::vector<std::vector<float>> da_descriptors;
+  double range_lo = 0.0;      // min(C).
+  double range_hi = 0.0;      // sum(C).
+  int column_index = -1;
+};
+
+/// Dataset representation: one ColumnEncoding per column.
+using DatasetRepresentation = std::vector<ColumnEncoding>;
+
+/// One per-operator transformation layer (Sec. V-B): a two-layer MLP from
+/// raw sub-segment values to the embedding space, modelling the data shift
+/// that operator induces.
+class TransformationLayer : public nn::Module {
+ public:
+  TransformationLayer(int sub_segment_size, int embed_dim, common::Rng* rng);
+
+  /// x: [n_subsegments, sub_segment_size] -> [n_subsegments, K].
+  nn::Tensor Forward(const nn::Tensor& x) const;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+/// Hierarchical multi-scale representation layer (Sec. V-C): a binary tree
+/// of MLP combiners over the 2^beta sub-segment embeddings; the root
+/// integrates every scale.
+class HierarchicalMultiScaleLayer : public nn::Module {
+ public:
+  HierarchicalMultiScaleLayer(int embed_dim, int beta, common::Rng* rng);
+
+  /// leaves: [2^beta, K] -> root embedding [K].
+  nn::Tensor Forward(const nn::Tensor& leaves) const;
+
+ private:
+  int beta_;
+  /// One combiner MLP per tree level (shared across nodes of the level).
+  std::vector<std::unique_ptr<nn::Mlp>> combiners_;
+};
+
+/// Mixture-of-experts gate (Sec. V-D): per-expert two-layer gate networks
+/// with LeakyReLU, softmax-normalized across the five experts.
+class MoEGate : public nn::Module {
+ public:
+  MoEGate(int embed_dim, int gate_hidden, int num_experts, common::Rng* rng);
+
+  /// expert_outputs: num_experts tensors of shape [K]. Returns the gated
+  /// combination v = sum_i g_i(e_i) * e_i, shape [K].
+  nn::Tensor Forward(const std::vector<nn::Tensor>& expert_outputs) const;
+
+  /// The gate distribution for the given expert outputs (diagnostics /
+  /// operator inference), shape [num_experts].
+  nn::Tensor GateWeights(const std::vector<nn::Tensor>& expert_outputs) const;
+
+ private:
+  std::vector<std::unique_ptr<nn::Mlp>> gates_;
+};
+
+class DatasetEncoder : public nn::Module {
+ public:
+  DatasetEncoder(const FcmConfig& config, common::Rng* rng);
+
+  /// Encodes every column of a table.
+  DatasetRepresentation Forward(const table::Table& t) const;
+
+  /// Encodes a single column's values (learned representation only).
+  nn::Tensor EncodeColumn(const std::vector<double>& values) const;
+
+  /// The deterministic shape descriptor for a column ([N2 * S]).
+  std::vector<float> ColumnDescriptor(
+      const std::vector<double>& values) const;
+
+  /// Mean MoE gate distribution over the column's segments — the model's
+  /// inference of the most likely aggregation operator (paper Sec. V-D);
+  /// indexed by AggregateOp. Requires use_da_layers; returns a uniform
+  /// distribution otherwise.
+  std::vector<double> InferOperatorDistribution(
+      const std::vector<double>& values) const;
+
+ private:
+  FcmConfig config_;
+  // Base path (no DA): direct linear projection of raw segments.
+  std::unique_ptr<nn::Linear> segment_projection_;
+  // DA path: 5 transformation layers (avg/sum/max/min/identity), shared
+  // HMRL, and the MoE gate.
+  std::vector<std::unique_ptr<TransformationLayer>> transformations_;
+  std::unique_ptr<HierarchicalMultiScaleLayer> hmrl_;
+  std::unique_ptr<MoEGate> moe_;
+  nn::TransformerEncoder encoder_;
+};
+
+}  // namespace fcm::core
+
+#endif  // FCM_CORE_DATASET_ENCODER_H_

@@ -1,0 +1,110 @@
+#include "core/fcm_model.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace fcm::core {
+
+FcmModel::FcmModel(const FcmConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      chart_encoder_(config, &rng_),
+      dataset_encoder_(config, &rng_),
+      matcher_(config, &rng_) {
+  RegisterModule("chart_encoder", &chart_encoder_);
+  RegisterModule("dataset_encoder", &dataset_encoder_);
+  RegisterModule("matcher", &matcher_);
+}
+
+ChartRepresentation FcmModel::EncodeChart(
+    const vision::ExtractedChart& chart) const {
+  return chart_encoder_.Forward(chart);
+}
+
+DatasetRepresentation FcmModel::EncodeDataset(const table::Table& t) const {
+  return dataset_encoder_.Forward(t);
+}
+
+std::vector<const ColumnEncoding*> FcmModel::FilterColumns(
+    const DatasetRepresentation& dataset, double y_lo, double y_hi) {
+  std::vector<const ColumnEncoding*> out;
+  for (const auto& col : dataset) {
+    if (col.range_hi >= y_lo && col.range_lo <= y_hi) {
+      out.push_back(&col);
+    }
+  }
+  if (out.empty()) {
+    for (const auto& col : dataset) out.push_back(&col);
+  }
+  return out;
+}
+
+nn::Tensor FcmModel::ScoreLogit(const ChartRepresentation& chart_rep,
+                                const DatasetRepresentation& dataset_rep,
+                                double y_lo, double y_hi) const {
+  const auto columns = FilterColumns(dataset_rep, y_lo, y_hi);
+  return matcher_.ForwardLogit(chart_rep, columns);
+}
+
+double FcmModel::Score(const vision::ExtractedChart& chart,
+                       const table::Table& t) const {
+  if (chart.lines.empty() || t.num_columns() == 0) return 0.0;
+  const ChartRepresentation chart_rep = EncodeChart(chart);
+  const DatasetRepresentation dataset_rep = EncodeDataset(t);
+  return ScoreEncoded(chart_rep, dataset_rep, chart.y_lo, chart.y_hi);
+}
+
+double FcmModel::ScoreEncoded(const ChartRepresentation& chart_rep,
+                              const DatasetRepresentation& dataset_rep,
+                              double y_lo, double y_hi) const {
+  if (chart_rep.empty() || dataset_rep.empty()) return 0.0;
+  const nn::Tensor logit = ScoreLogit(chart_rep, dataset_rep, y_lo, y_hi);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit.item())));
+}
+
+double FcmModel::DescriptorScore(const ChartRepresentation& chart_rep,
+                                 const DatasetRepresentation& dataset_rep,
+                                 double y_lo, double y_hi) const {
+  if (chart_rep.empty() || dataset_rep.empty()) return 0.0;
+  const auto columns = FilterColumns(dataset_rep, y_lo, y_hi);
+  return matcher_.DescriptorOnlyScore(chart_rep, columns);
+}
+
+ChartRepresentation FcmModel::Detach(const ChartRepresentation& rep) {
+  ChartRepresentation out;
+  out.reserve(rep.size());
+  for (const auto& line : rep) {
+    LineEncoding detached;
+    detached.representation = line.representation.Detach();
+    detached.descriptor = line.descriptor;
+    out.push_back(std::move(detached));
+  }
+  return out;
+}
+
+DatasetRepresentation FcmModel::Detach(const DatasetRepresentation& rep) {
+  DatasetRepresentation out;
+  out.reserve(rep.size());
+  for (const auto& col : rep) {
+    ColumnEncoding c = col;
+    c.representation = col.representation.Detach();
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+common::Status FcmModel::SaveToFile(const std::string& path) const {
+  common::BinaryWriter writer;
+  SaveState(&writer);
+  return writer.SaveToFile(path);
+}
+
+common::Status FcmModel::LoadFromFile(const std::string& path) {
+  auto reader = common::BinaryReader::LoadFromFile(path);
+  if (!reader.ok()) return reader.status();
+  common::BinaryReader r = std::move(reader).ValueOrDie();
+  return LoadState(&r);
+}
+
+}  // namespace fcm::core

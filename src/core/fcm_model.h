@@ -1,0 +1,84 @@
+// FCM: the fine-grained cross-modal relevance learning model (paper
+// Fig. 2) — visual-element-extracted line charts and candidate datasets
+// are encoded at segment level and matched by HCMAN into Rel'(V, T).
+
+#ifndef FCM_CORE_FCM_MODEL_H_
+#define FCM_CORE_FCM_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset_encoder.h"
+#include "core/fcm_config.h"
+#include "core/line_chart_encoder.h"
+#include "core/matcher.h"
+#include "table/table.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::core {
+
+class FcmModel : public nn::Module {
+ public:
+  explicit FcmModel(const FcmConfig& config);
+
+  const FcmConfig& config() const { return config_; }
+
+  /// Encodes a line chart: E_V[i] in R^{N1 x K} per line.
+  ChartRepresentation EncodeChart(const vision::ExtractedChart& chart) const;
+
+  /// Encodes a candidate dataset: per-column [N2, K] + value ranges.
+  DatasetRepresentation EncodeDataset(const table::Table& t) const;
+
+  /// Encodes a single column's values to [N2, K] (pretraining hook).
+  nn::Tensor EncodeColumnValues(const std::vector<double>& values) const {
+    return dataset_encoder_.EncodeColumn(values);
+  }
+
+  /// Y-tick filtering (Sec. IV-C / VI-A): keeps columns whose possible
+  /// range [min(C), sum(C)] overlaps the chart's tick range. Falls back to
+  /// all columns when none overlap (the chart may be aggregated beyond the
+  /// raw range).
+  static std::vector<const ColumnEncoding*> FilterColumns(
+      const DatasetRepresentation& dataset, double y_lo, double y_hi);
+
+  /// Relevance logit with gradients (training path).
+  nn::Tensor ScoreLogit(const ChartRepresentation& chart_rep,
+                        const DatasetRepresentation& dataset_rep,
+                        double y_lo, double y_hi) const;
+
+  /// Convenience: Rel'(V, T) in (0, 1) for a chart/table pair.
+  double Score(const vision::ExtractedChart& chart,
+               const table::Table& t) const;
+
+  /// Rel'(V, T) from cached (typically detached) representations.
+  double ScoreEncoded(const ChartRepresentation& chart_rep,
+                      const DatasetRepresentation& dataset_rep, double y_lo,
+                      double y_hi) const;
+
+  /// Pure descriptor-bridge score (no learned parameters; see
+  /// CrossModalMatcher::DescriptorOnlyScore).
+  double DescriptorScore(const ChartRepresentation& chart_rep,
+                         const DatasetRepresentation& dataset_rep,
+                         double y_lo, double y_hi) const;
+
+  /// Detaches a representation from the autograd graph so it can be cached
+  /// across queries without retaining encoder graphs.
+  static ChartRepresentation Detach(const ChartRepresentation& rep);
+  static DatasetRepresentation Detach(const DatasetRepresentation& rep);
+
+  /// Persists / restores all trainable parameters.
+  common::Status SaveToFile(const std::string& path) const;
+  common::Status LoadFromFile(const std::string& path);
+
+ private:
+  FcmConfig config_;
+  common::Rng rng_;
+  LineChartEncoder chart_encoder_;
+  DatasetEncoder dataset_encoder_;
+  CrossModalMatcher matcher_;
+};
+
+}  // namespace fcm::core
+
+#endif  // FCM_CORE_FCM_MODEL_H_

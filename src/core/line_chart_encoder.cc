@@ -1,0 +1,131 @@
+#include "core/line_chart_encoder.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "nn/ops.h"
+#include "vision/image_resize.h"
+
+namespace fcm::core {
+
+LineChartEncoder::LineChartEncoder(const FcmConfig& config, common::Rng* rng)
+    : config_(config),
+      patch_projection_((config.strip_height + 1) *
+                            config.line_segment_width,
+                        config.embed_dim, rng),
+      encoder_(config.embed_dim, config.num_heads, config.mlp_hidden,
+               config.num_layers, config.NumLineSegments(), rng) {
+  RegisterModule("patch_projection", &patch_projection_);
+  RegisterModule("encoder", &encoder_);
+}
+
+LineEncoding LineChartEncoder::EncodeStrip(const std::vector<float>& strip,
+                                           int width, int height) const {
+  const int h = config_.strip_height;
+  const int w = config_.strip_width;
+  const int p1 = config_.line_segment_width;
+  const int n1 = config_.NumLineSegments();
+
+  // ROI crop: tighten to the line's own bounding box before resizing
+  // (what an instance-segmentation pipeline feeds downstream). This makes
+  // the strip span the line's own vertical extent, mirroring the dataset
+  // encoder's per-column min-max normalization — without it, a matched
+  // (line, column) pair differs by an arbitrary affine offset whenever
+  // the chart's y range is shared across several lines.
+  int y_lo = height, y_hi = -1;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (strip[static_cast<size_t>(y) * width + x] > 0.05f) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+        break;
+      }
+    }
+  }
+  std::vector<float> cropped;
+  int crop_h = height;
+  if (y_hi >= y_lo && y_hi > y_lo) {
+    crop_h = y_hi - y_lo + 1;
+    cropped.resize(static_cast<size_t>(width) * crop_h);
+    std::copy(strip.begin() + static_cast<long>(
+                                  static_cast<size_t>(y_lo) * width),
+              strip.begin() + static_cast<long>(
+                                  static_cast<size_t>(y_hi + 1) * width),
+              cropped.begin());
+  } else {
+    cropped = strip;  // Blank or single-row strip: keep as-is.
+  }
+  const std::vector<float> resized =
+      vision::ResizeBilinear(cropped, width, crop_h, w, h);
+
+  // Per pixel column: ink-weighted vertical center of mass, flipped so 1
+  // = top of the plot (largest value). This is a deterministic feature of
+  // the pixels (no information beyond the raster) appended to each patch
+  // so the line's shape is linearly decodable — at our reduced training
+  // scale this replaces gradient steps the paper's GPU budget affords.
+  std::vector<float> center(static_cast<size_t>(w), 0.5f);
+  for (int x = 0; x < w; ++x) {
+    float mass = 0.0f, weighted = 0.0f;
+    for (int y = 0; y < h; ++y) {
+      const float ink = resized[static_cast<size_t>(y) * w + x];
+      mass += ink;
+      weighted += ink * static_cast<float>(y);
+    }
+    if (mass > 1e-4f) {
+      center[static_cast<size_t>(x)] =
+          1.0f - weighted / mass / static_cast<float>(h - 1);
+    }
+  }
+
+  // Flatten each width-P1 patch (all rows + the center-of-mass row).
+  const int patch_dim = (h + 1) * p1;
+  std::vector<float> patches(static_cast<size_t>(n1) * patch_dim);
+  for (int s = 0; s < n1; ++s) {
+    const int x0 = s * p1;
+    float* patch = patches.data() + static_cast<size_t>(s) * patch_dim;
+    for (int y = 0; y < h; ++y) {
+      for (int dx = 0; dx < p1; ++dx) {
+        patch[static_cast<size_t>(y) * p1 + dx] =
+            resized[static_cast<size_t>(y) * w + x0 + dx];
+      }
+    }
+    for (int dx = 0; dx < p1; ++dx) {
+      patch[static_cast<size_t>(h) * p1 + dx] =
+          center[static_cast<size_t>(x0 + dx)];
+    }
+  }
+  nn::Tensor x =
+      nn::Tensor::FromVector({n1, patch_dim}, std::move(patches));
+
+  LineEncoding out;
+  out.representation =
+      encoder_.Forward(patch_projection_.Forward(x));  // [N1, K]
+
+  // Shape descriptor: the center-of-mass curve of each segment resampled
+  // to the configured descriptor size.
+  const int s_points = config_.descriptor_size;
+  out.descriptor.resize(static_cast<size_t>(n1) * s_points);
+  for (int s = 0; s < n1; ++s) {
+    std::vector<double> seg(center.begin() + static_cast<long>(s) * p1,
+                            center.begin() + static_cast<long>(s + 1) * p1);
+    const auto resampled_seg =
+        common::ResampleLinear(seg, static_cast<size_t>(s_points));
+    for (int i = 0; i < s_points; ++i) {
+      out.descriptor[static_cast<size_t>(s) * s_points + i] =
+          static_cast<float>(resampled_seg[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+ChartRepresentation LineChartEncoder::Forward(
+    const vision::ExtractedChart& chart) const {
+  ChartRepresentation out;
+  out.reserve(chart.lines.size());
+  for (const auto& line : chart.lines) {
+    out.push_back(EncodeStrip(line.strip, line.width, line.height));
+  }
+  return out;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,330 @@
+#include "core/matcher.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace fcm::core {
+
+namespace {
+
+// L2-normalizes each row of a rank-2 tensor (cosine-space projection).
+nn::Tensor NormalizeRows(const nn::Tensor& x) {
+  const int n = x.dim(0);
+  std::vector<nn::Tensor> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const nn::Tensor row = nn::Row(x, i);
+    const nn::Tensor inv_norm = nn::Rsqrt(nn::DotProduct(row, row));
+    std::vector<nn::Tensor> reps(static_cast<size_t>(x.dim(1)), inv_norm);
+    rows.push_back(nn::Mul(row, nn::ConcatVec(reps)));
+  }
+  return nn::StackRows(rows);
+}
+
+// Similarity of two per-point shape descriptors in [0, 1]:
+// 1 - mean absolute difference (both live in [0, 1]).
+float DescriptorSimilarity(const float* a, const float* b, int n) {
+  float diff = 0.0f;
+  for (int i = 0; i < n; ++i) diff += std::fabs(a[i] - b[i]);
+  return 1.0f - diff / static_cast<float>(n);
+}
+
+// Fine-grained descriptor match between a line and a column: each line
+// segment finds its best column segment and vice versa (the symmetric
+// mean-of-best is robust to partial matches like Example 1 in the
+// paper, where only three quarters of a line align with a column).
+float LineColumnDescriptorScore(const std::vector<float>& line_desc,
+                                const std::vector<float>& col_desc,
+                                int s_points) {
+  const int n1 = static_cast<int>(line_desc.size()) / s_points;
+  const int n2 = static_cast<int>(col_desc.size()) / s_points;
+  if (n1 == 0 || n2 == 0) return 0.0f;
+  float line_side = 0.0f;
+  std::vector<float> col_best(static_cast<size_t>(n2), 0.0f);
+  for (int j = 0; j < n1; ++j) {
+    float best = 0.0f;
+    for (int n = 0; n < n2; ++n) {
+      const float sim = DescriptorSimilarity(
+          line_desc.data() + static_cast<size_t>(j) * s_points,
+          col_desc.data() + static_cast<size_t>(n) * s_points, s_points);
+      best = std::max(best, sim);
+      col_best[static_cast<size_t>(n)] =
+          std::max(col_best[static_cast<size_t>(n)], sim);
+    }
+    line_side += best;
+  }
+  line_side /= static_cast<float>(n1);
+  float col_side = 0.0f;
+  for (float v : col_best) col_side += v;
+  col_side /= static_cast<float>(n2);
+  return 0.5f * (line_side + col_side);
+}
+
+// Best descriptor match between a line and a column over the raw
+// descriptor and (for DA-enabled configs) its aggregated-shape variants.
+float BestLineColumnDescriptorScore(const std::vector<float>& line_desc,
+                                    const ColumnEncoding& col,
+                                    int s_points) {
+  float best =
+      LineColumnDescriptorScore(line_desc, col.descriptor, s_points);
+  for (const auto& variant : col.da_descriptors) {
+    best = std::max(best,
+                    LineColumnDescriptorScore(line_desc, variant, s_points));
+  }
+  return best;
+}
+
+}  // namespace
+
+CrossModalMatcher::CrossModalMatcher(const FcmConfig& config,
+                                     common::Rng* rng)
+    : config_(config),
+      sl_query_(config.embed_dim, config.embed_dim, rng),
+      sl_key_(config.embed_dim, config.embed_dim, rng),
+      sl_value_(config.embed_dim, config.embed_dim, rng),
+      sl_line_out_(2 * config.embed_dim, config.embed_dim, rng),
+      sl_col_out_(2 * config.embed_dim, config.embed_dim, rng),
+      ll_query_(config.embed_dim, config.embed_dim, rng),
+      ll_key_(config.embed_dim, config.embed_dim, rng),
+      head_(config.use_hcman ? 3 * config.embed_dim + 7
+                             : 2 * config.embed_dim,
+            config.matcher_hidden, 1, rng, nn::Activation::kGelu) {
+  descriptor_gate_ = RegisterParameter(
+      "descriptor_gate",
+      nn::Tensor::Full({1}, 2.0f, /*requires_grad=*/true));
+  descriptor_logit_weight_ = RegisterParameter(
+      "descriptor_logit_weight",
+      nn::Tensor::Full({2}, 10.0f, /*requires_grad=*/true));
+  RegisterModule("sl_query", &sl_query_);
+  RegisterModule("sl_key", &sl_key_);
+  RegisterModule("sl_value", &sl_value_);
+  RegisterModule("sl_line_out", &sl_line_out_);
+  RegisterModule("sl_col_out", &sl_col_out_);
+  RegisterModule("ll_query", &ll_query_);
+  RegisterModule("ll_key", &ll_key_);
+  RegisterModule("head", &head_);
+  // Zero-init the head's output layer: at initialization the relevance
+  // logit equals the descriptor shortcut alone, so the model *starts* at
+  // descriptor-bridge ranking quality (which already separates relevant
+  // from background tables) and training adjusts around that operating
+  // point instead of having to fight random head noise.
+  head_.ZeroOutputLayer();
+}
+
+nn::Tensor CrossModalMatcher::ForwardLogit(
+    const ChartRepresentation& chart_rep,
+    const std::vector<const ColumnEncoding*>& columns) const {
+  FCM_CHECK(!chart_rep.empty());
+  FCM_CHECK(!columns.empty());
+  return config_.use_hcman ? HcmanLogit(chart_rep, columns)
+                           : MeanPoolLogit(chart_rep, columns);
+}
+
+double CrossModalMatcher::DescriptorOnlyScore(
+    const ChartRepresentation& chart_rep,
+    const std::vector<const ColumnEncoding*>& columns) const {
+  const int m_lines = static_cast<int>(chart_rep.size());
+  const int n_cols = static_cast<int>(columns.size());
+  if (m_lines == 0 || n_cols == 0) return 0.0;
+  std::vector<float> line_best(static_cast<size_t>(m_lines), 0.0f);
+  std::vector<float> col_best(static_cast<size_t>(n_cols), 0.0f);
+  for (int i = 0; i < m_lines; ++i) {
+    for (int m = 0; m < n_cols; ++m) {
+      const float s = BestLineColumnDescriptorScore(
+          chart_rep[static_cast<size_t>(i)].descriptor,
+          *columns[static_cast<size_t>(m)], config_.descriptor_size);
+      line_best[static_cast<size_t>(i)] =
+          std::max(line_best[static_cast<size_t>(i)], s);
+      col_best[static_cast<size_t>(m)] =
+          std::max(col_best[static_cast<size_t>(m)], s);
+    }
+  }
+  double line_side = 0.0, col_side = 0.0;
+  for (float v : line_best) line_side += v;
+  for (float v : col_best) col_side += v;
+  return 0.5 * (line_side / m_lines + col_side / n_cols);
+}
+
+nn::Tensor CrossModalMatcher::HcmanLogit(
+    const ChartRepresentation& chart_rep,
+    const std::vector<const ColumnEncoding*>& columns) const {
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(config_.embed_dim));
+
+  // All data segments of all candidate columns, stacked: [NC*N2, K].
+  std::vector<nn::Tensor> col_parts;
+  col_parts.reserve(columns.size());
+  for (const auto* col : columns) col_parts.push_back(col->representation);
+  const nn::Tensor all_data_segments = nn::ConcatRows(col_parts);
+  const nn::Tensor data_keys = sl_key_.Forward(all_data_segments);
+  const nn::Tensor data_values = sl_value_.Forward(all_data_segments);
+
+  // ---- SL-SAN: line side ----
+  // For each line, segment relevance = max similarity to any data segment;
+  // the line vector is the relevance-weighted sum of its own segments
+  // (paper: "reconstructed using the relevance-weighted sum of all the
+  // corresponding line segments") concatenated with the attention context
+  // from the data segments.
+  std::vector<nn::Tensor> line_vectors;
+  line_vectors.reserve(chart_rep.size());
+  for (const auto& line : chart_rep) {
+    const nn::Tensor& ev = line.representation;                  // [N1, K]
+    const nn::Tensor q = sl_query_.Forward(ev);                  // [N1, K]
+    const nn::Tensor scores =
+        nn::Scale(nn::MatMul(q, nn::Transpose(data_keys)), scale);
+    const nn::Tensor seg_rel = nn::MaxCols(scores);              // [N1]
+    const nn::Tensor weights =
+        nn::Reshape(nn::Softmax(seg_rel), {1, ev.dim(0)});       // [1, N1]
+    const nn::Tensor self_recon =
+        nn::Reshape(nn::MatMul(weights, ev), {config_.embed_dim});
+    const nn::Tensor context =
+        nn::MeanRows(nn::MatMul(nn::Softmax(scores), data_values));
+    line_vectors.push_back(
+        sl_line_out_.Forward(nn::ConcatVec({self_recon, context})));
+  }
+  const nn::Tensor lines = nn::StackRows(line_vectors);  // [M, K]
+
+  // ---- SL-SAN: column side (symmetric) ----
+  std::vector<nn::Tensor> chart_parts;
+  chart_parts.reserve(chart_rep.size());
+  for (const auto& line : chart_rep) {
+    chart_parts.push_back(line.representation);
+  }
+  const nn::Tensor all_line_segments = nn::ConcatRows(chart_parts);
+  const nn::Tensor line_keys = sl_key_.Forward(all_line_segments);
+  const nn::Tensor line_values = sl_value_.Forward(all_line_segments);
+
+  std::vector<nn::Tensor> column_vectors;
+  column_vectors.reserve(columns.size());
+  for (const auto* col : columns) {
+    const nn::Tensor et = col->representation;  // [N2, K]
+    const nn::Tensor q = sl_query_.Forward(et);
+    const nn::Tensor scores =
+        nn::Scale(nn::MatMul(q, nn::Transpose(line_keys)), scale);
+    const nn::Tensor seg_rel = nn::MaxCols(scores);
+    const nn::Tensor weights =
+        nn::Reshape(nn::Softmax(seg_rel), {1, et.dim(0)});
+    const nn::Tensor self_recon =
+        nn::Reshape(nn::MatMul(weights, et), {config_.embed_dim});
+    const nn::Tensor context =
+        nn::MeanRows(nn::MatMul(nn::Softmax(scores), line_values));
+    column_vectors.push_back(
+        sl_col_out_.Forward(nn::ConcatVec({self_recon, context})));
+  }
+  const nn::Tensor cols = nn::StackRows(column_vectors);  // [NC, K]
+
+  // ---- Deterministic descriptor similarity between every line and
+  // every candidate column (modality bridge; constant w.r.t. autograd).
+  const int m_lines = static_cast<int>(chart_rep.size());
+  const int n_cols = static_cast<int>(columns.size());
+  std::vector<float> sd(static_cast<size_t>(m_lines) * n_cols);
+  for (int i = 0; i < m_lines; ++i) {
+    for (int m = 0; m < n_cols; ++m) {
+      sd[static_cast<size_t>(i) * n_cols + m] =
+          BestLineColumnDescriptorScore(
+              chart_rep[static_cast<size_t>(i)].descriptor,
+              *columns[static_cast<size_t>(m)], config_.descriptor_size);
+    }
+  }
+  const nn::Tensor sd_matrix =
+      nn::Tensor::FromVector({m_lines, n_cols}, sd);
+
+  // ---- LL-SAN: line-to-column matching; the attention logits combine
+  // the learned projection similarity with the gated descriptor
+  // similarity.
+  const nn::Tensor learned_s2 = nn::Scale(
+      nn::MatMul(ll_query_.Forward(lines),
+                 nn::Transpose(ll_key_.Forward(cols))),
+      scale);  // [M, NC]
+  const nn::Tensor gated_sd = nn::Reshape(
+      nn::MatMul(nn::Reshape(sd_matrix, {m_lines * n_cols, 1}),
+                 nn::Reshape(descriptor_gate_, {1, 1})),
+      {m_lines, n_cols});
+  const nn::Tensor s2 = nn::Add(learned_s2, gated_sd);
+  // Chart vector: lines weighted by their best-matching column.
+  const nn::Tensor line_best = nn::MaxCols(s2);  // [M]
+  const nn::Tensor line_weights =
+      nn::Reshape(nn::Softmax(line_best), {1, lines.dim(0)});
+  const nn::Tensor chart_vec =
+      nn::Reshape(nn::MatMul(line_weights, lines), {config_.embed_dim});
+  // Dataset vector: columns weighted by their best-matching line.
+  const nn::Tensor col_best = nn::MaxCols(nn::Transpose(s2));  // [NC]
+  const nn::Tensor col_weights =
+      nn::Reshape(nn::Softmax(col_best), {1, cols.dim(0)});
+  const nn::Tensor dataset_vec =
+      nn::Reshape(nn::MatMul(col_weights, cols), {config_.embed_dim});
+
+  // Encoder-space alignment statistics. The (pretrained) encoders place
+  // matching shapes close in cosine space; these features expose that
+  // alignment to the head directly, before any matcher projection mixes
+  // it: per-line best column cosine, per-column best line cosine, and the
+  // pooled chart/dataset cosine.
+  std::vector<nn::Tensor> raw_line_means, raw_col_means;
+  for (const auto& line : chart_rep) {
+    raw_line_means.push_back(nn::MeanRows(line.representation));
+  }
+  for (const auto* col : columns) {
+    raw_col_means.push_back(nn::MeanRows(col->representation));
+  }
+  const nn::Tensor raw_lines =
+      NormalizeRows(nn::StackRows(raw_line_means));  // [M, K]
+  const nn::Tensor raw_cols =
+      NormalizeRows(nn::StackRows(raw_col_means));   // [NC, K]
+  const nn::Tensor raw_sim = nn::MatMul(raw_lines, nn::Transpose(raw_cols));
+  const nn::Tensor line_raw_best = nn::MeanAll(nn::MaxCols(raw_sim));
+  const nn::Tensor col_raw_best =
+      nn::MeanAll(nn::MaxCols(nn::Transpose(raw_sim)));
+  const nn::Tensor pooled_cos = nn::MeanAll(raw_sim);
+
+  // Relevance head features: both pooled vectors, their elementwise
+  // product (a direct vector-similarity signal the MLP would otherwise
+  // have to discover), the mean best-match scores from each side of
+  // LL-SAN — "every line found a column" and "every matched column found
+  // a line" are near-linear indicators of Rel(D, T) — and the raw
+  // encoder-space alignment statistics above.
+  const nn::Tensor interaction = nn::Mul(chart_vec, dataset_vec);
+  const nn::Tensor mean_line_best = nn::MeanAll(line_best);
+  const nn::Tensor mean_col_best = nn::MeanAll(col_best);
+  // Descriptor-similarity stats: how well every line found a matching
+  // column (and vice versa) on raw shape alone. Centered near the
+  // typical unrelated-pair level so the logit shortcut does not saturate.
+  const nn::Tensor desc_line_best = nn::AddScalar(
+      nn::MeanAll(nn::MaxCols(sd_matrix)), -0.8f);
+  const nn::Tensor desc_col_best = nn::AddScalar(
+      nn::MeanAll(nn::MaxCols(nn::Transpose(sd_matrix))), -0.8f);
+  const nn::Tensor desc_stats =
+      nn::ConcatVec({desc_line_best, desc_col_best});
+  const nn::Tensor head_logit = nn::Reshape(
+      head_.Forward(nn::ConcatVec({chart_vec, dataset_vec, interaction,
+                                   mean_line_best, mean_col_best,
+                                   line_raw_best, col_raw_best, pooled_cos,
+                                   desc_line_best, desc_col_best})),
+      {1});
+  return nn::Add(head_logit,
+                 nn::DotProduct(descriptor_logit_weight_, desc_stats));
+}
+
+nn::Tensor CrossModalMatcher::MeanPoolLogit(
+    const ChartRepresentation& chart_rep,
+    const std::vector<const ColumnEncoding*>& columns) const {
+  // FCM-HCMAN ablation: average line segment embeddings per line, then
+  // across lines; same on the dataset side; concat + MLP. No descriptor
+  // bridge either — the ablation removes all fine-grained matching.
+  std::vector<nn::Tensor> line_means;
+  for (const auto& line : chart_rep) {
+    line_means.push_back(nn::MeanRows(line.representation));
+  }
+  const nn::Tensor chart_vec = nn::MeanRows(nn::StackRows(line_means));
+
+  std::vector<nn::Tensor> col_means;
+  for (const auto* col : columns) {
+    col_means.push_back(nn::MeanRows(col->representation));
+  }
+  const nn::Tensor dataset_vec = nn::MeanRows(nn::StackRows(col_means));
+
+  return nn::Reshape(
+      head_.Forward(nn::ConcatVec({chart_vec, dataset_vec})), {1});
+}
+
+}  // namespace fcm::core

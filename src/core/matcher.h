@@ -1,0 +1,73 @@
+// Hierarchical cross-modal attention network (HCMAN, paper Sec. IV-D):
+// segment-level attention (SL-SAN) matches every line segment against
+// every data segment and reconstructs line/column vectors as relevance-
+// weighted sums; line-to-column attention (LL-SAN) then matches lines with
+// columns and reconstructs chart/dataset vectors; an MLP head maps the
+// concatenation to Rel'(V, T).
+
+#ifndef FCM_CORE_MATCHER_H_
+#define FCM_CORE_MATCHER_H_
+
+#include "core/dataset_encoder.h"
+#include "core/fcm_config.h"
+#include "core/line_chart_encoder.h"
+#include "nn/layers.h"
+
+namespace fcm::core {
+
+class CrossModalMatcher : public nn::Module {
+ public:
+  CrossModalMatcher(const FcmConfig& config, common::Rng* rng);
+
+  /// Returns the relevance logit (apply Sigmoid for Rel'(V,T) in (0,1)).
+  /// `chart_rep` holds E_V[i] per line; `columns` holds the (possibly
+  /// y-range-filtered) column encodings.
+  nn::Tensor ForwardLogit(const ChartRepresentation& chart_rep,
+                          const std::vector<const ColumnEncoding*>& columns)
+      const;
+
+  /// Pure descriptor-bridge relevance (no learned parameters): the mean
+  /// best line->column and column->line descriptor match. Used as an
+  /// interpretable diagnostic/ablation of the deterministic shape path.
+  double DescriptorOnlyScore(
+      const ChartRepresentation& chart_rep,
+      const std::vector<const ColumnEncoding*>& columns) const;
+
+ private:
+  // HCMAN path.
+  nn::Tensor HcmanLogit(const ChartRepresentation& chart_rep,
+                        const std::vector<const ColumnEncoding*>& columns)
+      const;
+  // FCM-HCMAN ablation path (Sec. VII-D1): mean-pool everything, concat,
+  // MLP.
+  nn::Tensor MeanPoolLogit(const ChartRepresentation& chart_rep,
+                           const std::vector<const ColumnEncoding*>& columns)
+      const;
+
+  FcmConfig config_;
+  // SL-SAN projections (queries from line segments, keys/values from data
+  // segments, and the symmetric pair).
+  nn::Linear sl_query_;
+  nn::Linear sl_key_;
+  nn::Linear sl_value_;
+  nn::Linear sl_line_out_;
+  nn::Linear sl_col_out_;
+  // LL-SAN projections.
+  nn::Linear ll_query_;
+  nn::Linear ll_key_;
+  // Learnable weight of the deterministic descriptor similarity inside
+  // the LL-SAN attention logits.
+  nn::Tensor descriptor_gate_;
+  // Linear shortcut from the descriptor-match statistics straight to the
+  // relevance logit. Without it the two statistics are diluted among
+  // ~100 MLP inputs and the (overfitting-prone) learned path dominates;
+  // with it the model *starts* at descriptor-level ranking quality and
+  // training adjusts around that operating point.
+  nn::Tensor descriptor_logit_weight_;  // [2]
+  // Relevance head.
+  nn::Mlp head_;
+};
+
+}  // namespace fcm::core
+
+#endif  // FCM_CORE_MATCHER_H_

@@ -1,0 +1,96 @@
+#include "core/multi_dataset.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fcm::core {
+
+vision::ExtractedChart SingleLineChart(const vision::ExtractedChart& chart,
+                                       size_t i) {
+  vision::ExtractedChart out;
+  out.y_lo = chart.y_lo;
+  out.y_hi = chart.y_hi;
+  out.tick_values = chart.tick_values;
+  out.lines.push_back(chart.lines[i]);
+  return out;
+}
+
+MultiDatasetResult DiscoverMultiDataset(const FcmModel& model,
+                                        const vision::ExtractedChart& chart,
+                                        const table::DataLake& lake,
+                                        const MultiDatasetOptions& options) {
+  MultiDatasetResult result;
+
+  // Encode all candidate tables once (or reuse the caller's cache).
+  std::vector<DatasetRepresentation> local;
+  const std::vector<DatasetRepresentation>* encodings = options.encodings;
+  if (encodings == nullptr) {
+    local.reserve(lake.size());
+    for (const auto& t : lake.tables()) {
+      local.push_back(FcmModel::Detach(model.EncodeDataset(t)));
+    }
+    encodings = &local;
+  }
+
+  // Aggregate score per table: its best per-line score (argmax lines
+  // first in the combined ranking).
+  std::map<table::TableId, double> best_score;
+
+  for (size_t li = 0; li < chart.lines.size(); ++li) {
+    const vision::ExtractedChart sub = SingleLineChart(chart, li);
+    const ChartRepresentation chart_rep =
+        FcmModel::Detach(model.EncodeChart(sub));
+
+    LineCandidates candidates;
+    candidates.line_index = static_cast<int>(li);
+    candidates.ranked.reserve(lake.size());
+    for (const auto& t : lake.tables()) {
+      const double s = model.ScoreEncoded(
+          chart_rep, (*encodings)[static_cast<size_t>(t.id())], sub.y_lo,
+          sub.y_hi);
+      candidates.ranked.emplace_back(s, t.id());
+    }
+    const size_t keep = std::min<size_t>(
+        static_cast<size_t>(options.per_line_k), candidates.ranked.size());
+    std::partial_sort(candidates.ranked.begin(),
+                      candidates.ranked.begin() + static_cast<long>(keep),
+                      candidates.ranked.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    candidates.ranked.resize(keep);
+    for (const auto& [score, tid] : candidates.ranked) {
+      auto it = best_score.find(tid);
+      if (it == best_score.end() || score > it->second) {
+        best_score[tid] = score;
+      }
+    }
+    result.per_line.push_back(std::move(candidates));
+  }
+
+  // Combined ranking: per-line winners first (dedup), then the remaining
+  // candidates by best score.
+  std::vector<std::pair<double, table::TableId>> ordered;
+  ordered.reserve(best_score.size());
+  for (const auto& [tid, score] : best_score) {
+    ordered.emplace_back(score, tid);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<table::TableId> winners;
+  for (const auto& line : result.per_line) {
+    if (!line.ranked.empty()) winners.push_back(line.ranked[0].second);
+  }
+  auto push_unique = [&](table::TableId tid) {
+    if (std::find(result.tables.begin(), result.tables.end(), tid) ==
+        result.tables.end()) {
+      result.tables.push_back(tid);
+    }
+  };
+  for (const auto tid : winners) push_unique(tid);
+  for (const auto& [score, tid] : ordered) push_unique(tid);
+  return result;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,58 @@
+// Multi-dataset line chart queries (paper Sec. IX "Multiple datasets"):
+// when the lines of one chart may originate from *different* tables joined
+// on a shared x value, per-chart scoring against single tables cannot
+// recover the sources. This module scores each extracted line separately
+// against every candidate table and assigns lines to tables.
+
+#ifndef FCM_CORE_MULTI_DATASET_H_
+#define FCM_CORE_MULTI_DATASET_H_
+
+#include <vector>
+
+#include "core/fcm_model.h"
+#include "table/data_lake.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::core {
+
+/// Best candidate tables for one line of a multi-dataset query.
+struct LineCandidates {
+  int line_index = 0;
+  /// Tables in descending relevance order, truncated to the requested k.
+  std::vector<std::pair<double, table::TableId>> ranked;
+};
+
+/// The discovery result: per-line rankings plus the combined table set.
+struct MultiDatasetResult {
+  std::vector<LineCandidates> per_line;
+  /// Union of per-line winners in descending aggregate score, deduplicated
+  /// (a table that best-matches two lines appears once).
+  std::vector<table::TableId> tables;
+};
+
+struct MultiDatasetOptions {
+  /// Candidates kept per line.
+  int per_line_k = 5;
+  /// Pre-encoded dataset representations (index = table id); empty means
+  /// encode on the fly.
+  const std::vector<DatasetRepresentation>* encodings = nullptr;
+};
+
+/// Splits `chart` into single-line sub-queries (each inheriting the y-tick
+/// range), scores every (line, table) pair with `model`, and aggregates:
+/// `tables` holds each line's argmax table first (by score), then
+/// remaining high-scoring candidates.
+MultiDatasetResult DiscoverMultiDataset(const FcmModel& model,
+                                        const vision::ExtractedChart& chart,
+                                        const table::DataLake& lake,
+                                        const MultiDatasetOptions& options = {});
+
+/// Convenience: a single-line ExtractedChart containing line `i` of
+/// `chart` with the same y range (the sub-query DiscoverMultiDataset
+/// scores). Exposed for testing and the example binaries.
+vision::ExtractedChart SingleLineChart(const vision::ExtractedChart& chart,
+                                       size_t i);
+
+}  // namespace fcm::core
+
+#endif  // FCM_CORE_MULTI_DATASET_H_

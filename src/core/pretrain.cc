@@ -1,0 +1,88 @@
+#include "core/pretrain.h"
+
+#include <cmath>
+
+#include "chart/renderer.h"
+#include "common/rng.h"
+#include "table/data_series.h"
+#include "vision/classical_extractor.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::core {
+
+namespace {
+
+// A small local family of series shapes (kept independent of benchgen to
+// avoid a dependency cycle; pretraining supervision only needs variety,
+// not realism).
+std::vector<double> RandomShape(common::Rng* rng, size_t n) {
+  std::vector<double> v(n);
+  const double scale = std::exp(rng->Uniform(-0.5, 3.0));
+  const double offset = rng->Normal(0.0, scale);
+  switch (rng->UniformInt(4)) {
+    case 0: {  // Random walk.
+      double x = 0.0;
+      for (auto& y : v) {
+        x += rng->Normal(0.0, 1.0);
+        y = x;
+      }
+      break;
+    }
+    case 1: {  // Trend + wave.
+      const double slope = rng->Uniform(-0.05, 0.05);
+      const double freq =
+          rng->Uniform(1.0, 5.0) * 2.0 * M_PI / static_cast<double>(n);
+      const double phase = rng->Uniform(0.0, 2.0 * M_PI);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = slope * static_cast<double>(i) +
+               std::sin(freq * static_cast<double>(i) + phase);
+      }
+      break;
+    }
+    case 2: {  // Steps.
+      double level = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i % (n / 5 + 1) == 0) level += rng->Normal(0.0, 1.0);
+        v[i] = level;
+      }
+      break;
+    }
+    default: {  // Damped oscillation.
+      const double freq =
+          rng->Uniform(2.0, 8.0) * 2.0 * M_PI / static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(-2.0 * static_cast<double>(i) /
+                        static_cast<double>(n)) *
+               std::cos(freq * static_cast<double>(i));
+      }
+    }
+  }
+  for (auto& y : v) y = offset + scale * y;
+  return v;
+}
+
+}  // namespace
+
+std::vector<AlignmentPair> MakeAlignmentPairs(int n, uint64_t seed) {
+  common::Rng rng(seed);
+  vision::ClassicalExtractor extractor;
+  vision::MaskOracleExtractor oracle;
+  std::vector<AlignmentPair> pairs;
+  pairs.reserve(static_cast<size_t>(n));
+  while (static_cast<int>(pairs.size()) < n) {
+    const size_t len = 80 + rng.UniformInt(160);
+    AlignmentPair pair;
+    pair.column = RandomShape(&rng, len);
+    table::DataSeries series;
+    series.y = pair.column;
+    const auto rendered = chart::RenderLineChart({series});
+    auto extracted = extractor.Extract(rendered);
+    if (!extracted.ok()) extracted = oracle.Extract(rendered);
+    if (!extracted.ok()) continue;
+    pair.chart = std::move(extracted).ValueOrDie();
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,59 @@
+// Cross-modal contrastive pretraining of the FCM/CML encoders.
+//
+// The paper builds on *pretrained* unimodal encoders (a ViT for images,
+// TURL for tables) before cross-modal relevance training; at our scale we
+// provide the equivalent warm start by self-supervised alignment: render
+// single-line charts from synthetic series (free supervision — the
+// chart/column correspondence is known by construction), and pull each
+// chart's pooled embedding toward its source column's pooled embedding
+// with a symmetric InfoNCE objective. After pretraining, "same shape"
+// is the dominant axis of both embedding spaces, so the downstream
+// matcher learns ranking rather than memorization.
+
+#ifndef FCM_CORE_PRETRAIN_H_
+#define FCM_CORE_PRETRAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "table/column.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::core {
+
+/// Pretraining hyper-parameters.
+struct PretrainOptions {
+  int num_pairs = 288;
+  int epochs = 5;
+  int batch_size = 16;
+  float learning_rate = 1e-3f;
+  float temperature = 10.0f;
+  uint64_t seed = 31337;
+};
+
+/// One (chart, source column) alignment pair.
+struct AlignmentPair {
+  vision::ExtractedChart chart;
+  std::vector<double> column;
+};
+
+/// Generates `n` alignment pairs from synthetic series (random walks,
+/// trends, waves, steps) rendered as single-line charts and extracted
+/// with the classical extractor.
+std::vector<AlignmentPair> MakeAlignmentPairs(int n, uint64_t seed);
+
+/// Runs symmetric InfoNCE alignment over mini-batches: within each batch,
+/// chart i must match column i against all other columns (and vice
+/// versa). `Model` needs EncodeChart / EncodeColumnValues / Parameters.
+/// Returns the final epoch's mean loss.
+template <typename Model>
+double PretrainEncoders(Model* model,
+                        const std::vector<AlignmentPair>& pairs,
+                        const PretrainOptions& options);
+
+}  // namespace fcm::core
+
+#include "core/pretrain_impl.h"
+
+#endif  // FCM_CORE_PRETRAIN_H_

@@ -1,0 +1,97 @@
+// Template definition for PretrainEncoders — included from pretrain.h.
+
+#ifndef FCM_CORE_PRETRAIN_IMPL_H_
+#define FCM_CORE_PRETRAIN_IMPL_H_
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace fcm::core {
+
+namespace pretrain_internal {
+
+/// L2-normalizes each row of [n, k] (rows with near-zero norm pass
+/// through scaled by 1/sqrt(eps), which is harmless for the objective).
+inline nn::Tensor NormalizeRows(const nn::Tensor& x) {
+  const int n = x.dim(0);
+  std::vector<nn::Tensor> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const nn::Tensor row = nn::Row(x, i);
+    const nn::Tensor inv_norm = nn::Rsqrt(nn::DotProduct(row, row));
+    // Broadcast the scalar inverse norm across the row.
+    std::vector<nn::Tensor> reps(static_cast<size_t>(x.dim(1)), inv_norm);
+    rows.push_back(nn::Mul(row, nn::ConcatVec(reps)));
+  }
+  return nn::StackRows(rows);
+}
+
+}  // namespace pretrain_internal
+
+template <typename Model>
+double PretrainEncoders(Model* model,
+                        const std::vector<AlignmentPair>& pairs,
+                        const PretrainOptions& options) {
+  if (pairs.size() < 2) return 0.0;
+  common::Rng rng(options.seed);
+  nn::Adam optimizer(model->Parameters(), options.learning_rate);
+
+  std::vector<size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start + 1 < order.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options.batch_size));
+      const int b = static_cast<int>(end - start);
+      if (b < 2) continue;
+
+      std::vector<nn::Tensor> chart_vecs, column_vecs;
+      for (size_t i = start; i < end; ++i) {
+        const auto& pair = pairs[order[i]];
+        const auto chart_rep = model->EncodeChart(pair.chart);
+        std::vector<nn::Tensor> line_means;
+        for (const auto& line : chart_rep) {
+          line_means.push_back(nn::MeanRows(line.representation));
+        }
+        chart_vecs.push_back(nn::MeanRows(nn::StackRows(line_means)));
+        column_vecs.push_back(
+            nn::MeanRows(model->EncodeColumnValues(pair.column)));
+      }
+      const nn::Tensor charts = pretrain_internal::NormalizeRows(
+          nn::StackRows(chart_vecs));  // [b, K]
+      const nn::Tensor columns = pretrain_internal::NormalizeRows(
+          nn::StackRows(column_vecs));  // [b, K]
+      const nn::Tensor logits = nn::Scale(
+          nn::MatMul(charts, nn::Transpose(columns)), options.temperature);
+      std::vector<int> diagonal(static_cast<size_t>(b));
+      std::iota(diagonal.begin(), diagonal.end(), 0);
+      nn::Tensor loss =
+          nn::Add(nn::CrossEntropyWithLogits(logits, diagonal),
+                  nn::CrossEntropyWithLogits(nn::Transpose(logits),
+                                             diagonal));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    final_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    FCM_LOGS(INFO) << "pretrain epoch " << epoch << " loss " << final_loss;
+  }
+  return final_loss;
+}
+
+}  // namespace fcm::core
+
+#endif  // FCM_CORE_PRETRAIN_IMPL_H_

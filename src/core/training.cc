@@ -1,0 +1,69 @@
+#include "core/training.h"
+
+namespace fcm::core {
+
+const char* NegativeStrategyName(NegativeStrategy s) {
+  switch (s) {
+    case NegativeStrategy::kSemiHard: return "semi-hard";
+    case NegativeStrategy::kRandom: return "random";
+    case NegativeStrategy::kHard: return "hard";
+    case NegativeStrategy::kEasy: return "easy";
+  }
+  return "?";
+}
+
+const char* LossTypeName(LossType t) {
+  switch (t) {
+    case LossType::kBinaryCrossEntropy: return "bce";
+    case LossType::kPairwiseRanking: return "pairwise";
+  }
+  return "?";
+}
+
+namespace internal {
+
+std::vector<table::TableId> SelectNegatives(
+    const std::vector<std::pair<double, table::TableId>>& ranked,
+    NegativeStrategy strategy, int num_negatives, common::Rng* rng) {
+  const int n = static_cast<int>(ranked.size());
+  const int take = std::min(num_negatives, n);
+  std::vector<table::TableId> out;
+  out.reserve(static_cast<size_t>(take));
+  switch (strategy) {
+    case NegativeStrategy::kHard:
+      for (int i = 0; i < take; ++i) {
+        out.push_back(ranked[static_cast<size_t>(i)].second);
+      }
+      break;
+    case NegativeStrategy::kEasy:
+      for (int i = 0; i < take; ++i) {
+        out.push_back(ranked[static_cast<size_t>(n - 1 - i)].second);
+      }
+      break;
+    case NegativeStrategy::kSemiHard: {
+      // The N^- candidates with middle-range relevance scores.
+      const int start = std::max(0, (n - take) / 2);
+      for (int i = 0; i < take; ++i) {
+        out.push_back(ranked[static_cast<size_t>(start + i)].second);
+      }
+      break;
+    }
+    case NegativeStrategy::kRandom: {
+      const auto idx = rng->SampleWithoutReplacement(
+          static_cast<size_t>(n), static_cast<size_t>(take));
+      for (size_t i : idx) out.push_back(ranked[i].second);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+TrainStats TrainFcm(FcmModel* model, const table::DataLake& lake,
+                    const std::vector<TrainingTriplet>& triplets,
+                    const TrainOptions& options) {
+  return internal::TrainRelevanceModel(model, lake, triplets, options);
+}
+
+}  // namespace fcm::core

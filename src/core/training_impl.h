@@ -1,0 +1,289 @@
+// Template definition for internal::TrainRelevanceModel — included at the
+// bottom of training.h; do not include directly.
+
+#ifndef FCM_CORE_TRAINING_IMPL_H_
+#define FCM_CORE_TRAINING_IMPL_H_
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/pretrain.h"
+#include "core/training.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+#include "table/noise.h"
+
+namespace fcm::core::internal {
+
+template <typename Model>
+TrainStats TrainRelevanceModel(Model* model, const table::DataLake& lake,
+                               const std::vector<TrainingTriplet>& triplets,
+                               const TrainOptions& options) {
+  TrainStats stats;
+  if (triplets.empty()) return stats;
+
+  common::Rng rng(options.seed);
+
+  if (options.pretrain_pairs > 0) {
+    PretrainOptions pretrain_options;
+    pretrain_options.num_pairs = options.pretrain_pairs;
+    pretrain_options.epochs = options.pretrain_epochs;
+    pretrain_options.seed = options.seed ^ 0xa5a5a5a5ULL;
+    const auto pairs = MakeAlignmentPairs(pretrain_options.num_pairs,
+                                          pretrain_options.seed);
+    PretrainEncoders(model, pairs, pretrain_options);
+  }
+
+  nn::Adam optimizer(model->Parameters(), options.learning_rate,
+                     /*beta1=*/0.9f, /*beta2=*/0.999f, /*epsilon=*/1e-8f,
+                     options.weight_decay);
+
+  // Ground-truth relevance between an anchor's underlying data and a
+  // candidate table, cached across epochs (labels do not change).
+  std::map<std::pair<size_t, table::TableId>, double> rel_cache;
+  rel::RelevanceOptions rel_options;
+  rel_options.dtw.band_fraction = 0.2;  // Banded DTW for label speed.
+  auto ground_truth = [&](size_t anchor, table::TableId tid) {
+    const auto key = std::make_pair(anchor, tid);
+    auto it = rel_cache.find(key);
+    if (it != rel_cache.end()) return it->second;
+    const double r = rel::Relevance(triplets[anchor].underlying,
+                                    lake.Get(tid), rel_options);
+    rel_cache.emplace(key, r);
+    return r;
+  };
+
+  // Validation split for early stopping: hold out anchors (not tables, so
+  // the validation measures chart->table generalization on unseen charts).
+  std::vector<size_t> order(triplets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> val_anchors;
+  const bool use_validation =
+      options.validation_fraction > 0.0 && triplets.size() >= 8;
+  if (use_validation) {
+    rng.Shuffle(&order);
+    const size_t val_count = std::max<size_t>(
+        2, static_cast<size_t>(options.validation_fraction *
+                               static_cast<double>(order.size())));
+    val_anchors.assign(order.end() - static_cast<long>(val_count),
+                       order.end());
+    order.resize(order.size() - val_count);
+  }
+
+  // Distinct training tables, used as the validation ranking pool.
+  std::vector<table::TableId> pool;
+  for (const auto& t : triplets) {
+    if (std::find(pool.begin(), pool.end(), t.table_id) == pool.end()) {
+      pool.push_back(t.table_id);
+    }
+  }
+
+  // Mean reciprocal rank of each validation anchor's own table.
+  auto validation_mrr = [&]() {
+    std::map<table::TableId, decltype(FcmModel::Detach(
+                                 model->EncodeDataset(lake.Get(0))))>
+        reps;
+    for (const auto tid : pool) {
+      reps.emplace(tid, FcmModel::Detach(model->EncodeDataset(lake.Get(tid))));
+    }
+    double mrr = 0.0;
+    int n = 0;
+    for (const size_t anchor : val_anchors) {
+      const auto& triplet = triplets[anchor];
+      if (triplet.chart.lines.empty()) continue;
+      const auto chart_rep =
+          FcmModel::Detach(model->EncodeChart(triplet.chart));
+      const double own = model->ScoreEncoded(
+          chart_rep, reps.at(triplet.table_id), triplet.chart.y_lo,
+          triplet.chart.y_hi);
+      int rank = 1;
+      for (const auto tid : pool) {
+        if (tid == triplet.table_id) continue;
+        if (model->ScoreEncoded(chart_rep, reps.at(tid), triplet.chart.y_lo,
+                                triplet.chart.y_hi) > own) {
+          ++rank;
+        }
+      }
+      mrr += 1.0 / static_cast<double>(rank);
+      ++n;
+    }
+    return n > 0 ? mrr / n : 0.0;
+  };
+
+  std::vector<uint8_t> best_state;
+  double best_mrr = -1.0;
+  int stale_epochs = 0;
+  if (use_validation) {
+    // The pre-training state (descriptor-calibrated via the zero-init
+    // head) is itself a candidate: relevance training must beat it on
+    // validation MRR or be rolled back entirely.
+    best_mrr = validation_mrr();
+    stats.best_epoch = -1;
+    common::BinaryWriter writer;
+    model->SaveState(&writer);
+    best_state = writer.buffer();
+    FCM_LOGS(INFO) << "initial val MRR " << best_mrr;
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options.batch_size));
+      if (end - start < 2) continue;  // Need in-batch negatives.
+
+      // Encode each distinct table in the batch once (parameters are
+      // frozen within a step).
+      std::map<table::TableId, decltype(model->EncodeDataset(
+                                   lake.Get(0)))> table_reps;
+      for (size_t i = start; i < end; ++i) {
+        const auto tid = triplets[order[i]].table_id;
+        if (!table_reps.count(tid)) {
+          table_reps.emplace(tid, model->EncodeDataset(lake.Get(tid)));
+        }
+      }
+
+      nn::Tensor pos_loss, neg_loss, pair_loss;
+      int num_pos = 0, num_neg = 0, num_pairs = 0;
+      for (size_t i = start; i < end; ++i) {
+        const size_t anchor = order[i];
+        const auto& triplet = triplets[anchor];
+        if (triplet.chart.lines.empty()) continue;
+        const auto chart_rep = model->EncodeChart(triplet.chart);
+
+        // Positive logits: the source table and (with some probability) a
+        // noisy near-duplicate of it (see TrainOptions).
+        std::vector<nn::Tensor> pos_logits;
+        pos_logits.push_back(
+            model->ScoreLogit(chart_rep, table_reps.at(triplet.table_id),
+                              triplet.chart.y_lo, triplet.chart.y_hi));
+        if (options.noisy_positive_prob > 0.0 &&
+            rng.Bernoulli(options.noisy_positive_prob)) {
+          const table::Table noisy = table::InjectMultiplicativeNoise(
+              lake.Get(triplet.table_id),
+              options.noisy_positive_amplitude, /*x_column=*/-1, &rng);
+          pos_logits.push_back(
+              model->ScoreLogit(chart_rep, model->EncodeDataset(noisy),
+                                triplet.chart.y_lo, triplet.chart.y_hi));
+        }
+
+        // Rank in-batch candidate tables by ground-truth relevance.
+        std::vector<std::pair<double, table::TableId>> ranked;
+        for (size_t j = start; j < end; ++j) {
+          const auto tid = triplets[order[j]].table_id;
+          if (tid == triplet.table_id) continue;
+          ranked.emplace_back(ground_truth(anchor, tid), tid);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first > b.first;
+                  });
+        ranked.erase(std::unique(ranked.begin(), ranked.end(),
+                                 [](const auto& a, const auto& b) {
+                                   return a.second == b.second;
+                                 }),
+                     ranked.end());
+        std::vector<nn::Tensor> neg_logits;
+        for (const auto tid : SelectNegatives(ranked, options.strategy,
+                                              options.num_negatives, &rng)) {
+          neg_logits.push_back(
+              model->ScoreLogit(chart_rep, table_reps.at(tid),
+                                triplet.chart.y_lo, triplet.chart.y_hi));
+        }
+
+        if (options.loss == LossType::kBinaryCrossEntropy) {
+          for (const auto& pos : pos_logits) {
+            const nn::Tensor pl = nn::BinaryCrossEntropyWithLogits(pos, 1.0f);
+            pos_loss = pos_loss.defined() ? nn::Add(pos_loss, pl) : pl;
+            ++num_pos;
+          }
+          for (const auto& neg : neg_logits) {
+            const nn::Tensor nl = nn::BinaryCrossEntropyWithLogits(neg, 0.0f);
+            neg_loss = neg_loss.defined() ? nn::Add(neg_loss, nl) : nl;
+            ++num_neg;
+          }
+        } else {
+          // Pairwise ranking: every (positive, negative) logit pair should
+          // be ordered; logistic loss on the difference.
+          for (const auto& pos : pos_logits) {
+            ++num_pos;
+            for (const auto& neg : neg_logits) {
+              const nn::Tensor pl = nn::BinaryCrossEntropyWithLogits(
+                  nn::Sub(pos, neg), 1.0f);
+              pair_loss = pair_loss.defined() ? nn::Add(pair_loss, pl) : pl;
+              ++num_pairs;
+            }
+          }
+          num_neg += static_cast<int>(neg_logits.size());
+        }
+      }
+      if (num_pos == 0) continue;
+
+      nn::Tensor loss;
+      if (options.loss == LossType::kBinaryCrossEntropy) {
+        // Eq. 2: positive and negative terms normalized separately.
+        loss = nn::Scale(pos_loss, 1.0f / static_cast<float>(num_pos));
+        if (num_neg > 0) {
+          loss = nn::Add(
+              loss, nn::Scale(neg_loss, 1.0f / static_cast<float>(num_neg)));
+        }
+      } else {
+        if (num_pairs == 0) continue;
+        loss = nn::Scale(pair_loss, 1.0f / static_cast<float>(num_pairs));
+      }
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(options.grad_clip_norm);
+      optimizer.Step();
+
+      epoch_loss += loss.item();
+      ++batches;
+      stats.pairs_trained += num_pos + num_neg;
+    }
+    const double mean_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    stats.epoch_losses.push_back(mean_loss);
+    FCM_LOGS(INFO) << "epoch " << epoch << " ("
+                   << NegativeStrategyName(options.strategy) << ") loss "
+                   << mean_loss;
+    if (options.epoch_callback &&
+        !options.epoch_callback(epoch, mean_loss)) {
+      break;
+    }
+
+    if (use_validation) {
+      const double mrr = validation_mrr();
+      stats.val_mrr.push_back(mrr);
+      FCM_LOGS(INFO) << "epoch " << epoch << " val MRR " << mrr;
+      if (mrr > best_mrr + 1e-9) {
+        best_mrr = mrr;
+        stats.best_epoch = epoch;
+        stale_epochs = 0;
+        common::BinaryWriter writer;
+        model->SaveState(&writer);
+        best_state = writer.buffer();
+      } else if (++stale_epochs > options.early_stop_patience &&
+                 epoch + 1 >= options.min_epochs) {
+        FCM_LOGS(INFO) << "early stop at epoch " << epoch
+                       << " (best epoch " << stats.best_epoch << ")";
+        break;
+      }
+    }
+  }
+
+  if (use_validation && !best_state.empty()) {
+    common::BinaryReader reader(best_state);
+    const common::Status status = model->LoadState(&reader);
+    FCM_CHECK(status.ok());
+  }
+  return stats;
+}
+
+}  // namespace fcm::core::internal
+
+#endif  // FCM_CORE_TRAINING_IMPL_H_

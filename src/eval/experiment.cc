@@ -1,0 +1,111 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace fcm::eval {
+
+namespace {
+
+Aggregate AggregateWhere(
+    const std::vector<QueryResult>& queries,
+    const std::function<bool(const QueryResult&)>& predicate) {
+  Aggregate agg;
+  double p = 0.0, n = 0.0;
+  for (const auto& q : queries) {
+    if (!predicate(q)) continue;
+    p += q.prec_at_k;
+    n += q.ndcg_at_k;
+    ++agg.count;
+  }
+  if (agg.count > 0) {
+    agg.prec = p / agg.count;
+    agg.ndcg = n / agg.count;
+  }
+  return agg;
+}
+
+}  // namespace
+
+Aggregate MethodResults::Overall() const {
+  return AggregateWhere(queries, [](const QueryResult&) { return true; });
+}
+
+Aggregate MethodResults::WithDa() const {
+  return AggregateWhere(queries,
+                        [](const QueryResult& q) { return q.is_da; });
+}
+
+Aggregate MethodResults::WithoutDa() const {
+  return AggregateWhere(queries,
+                        [](const QueryResult& q) { return !q.is_da; });
+}
+
+Aggregate MethodResults::ByLineBucket(int bucket) const {
+  return AggregateWhere(queries, [bucket](const QueryResult& q) {
+    return benchgen::Benchmark::LineCountBucket(q.num_lines) == bucket;
+  });
+}
+
+Aggregate MethodResults::ByOperator(table::AggregateOp op) const {
+  return AggregateWhere(queries, [op](const QueryResult& q) {
+    return q.is_da && q.op == op;
+  });
+}
+
+Aggregate MethodResults::ByOperatorAndWindow(table::AggregateOp op,
+                                             size_t w_lo, size_t w_hi) const {
+  return AggregateWhere(queries, [op, w_lo, w_hi](const QueryResult& q) {
+    return q.is_da && q.op == op && q.window_size >= w_lo &&
+           q.window_size <= w_hi;
+  });
+}
+
+std::vector<table::TableId> RankRepository(
+    const baselines::RetrievalMethod& method,
+    const benchgen::QueryRecord& query, const table::DataLake& lake,
+    int k) {
+  std::vector<std::pair<double, table::TableId>> scored;
+  scored.reserve(lake.size());
+  for (const auto& t : lake.tables()) {
+    scored.emplace_back(method.Score(query, t), t.id());
+  }
+  const size_t keep =
+      std::min<size_t>(static_cast<size_t>(k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(keep),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<table::TableId> ranked;
+  ranked.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) ranked.push_back(scored[i].second);
+  return ranked;
+}
+
+MethodResults EvaluateMethod(const baselines::RetrievalMethod& method,
+                             const benchgen::Benchmark& bench, int k) {
+  if (k <= 0) k = bench.config.ground_truth_k;
+  MethodResults results;
+  results.method_name = method.name();
+  for (size_t qi = 0; qi < bench.queries.size(); ++qi) {
+    const auto& query = bench.queries[qi];
+    QueryResult qr;
+    qr.query_index = static_cast<int>(qi);
+    qr.num_lines = query.num_lines;
+    qr.is_da = query.is_da;
+    qr.op = query.op;
+    qr.window_size = query.window_size;
+    qr.ranked = RankRepository(method, query, bench.lake, k);
+    qr.prec_at_k = PrecisionAtK(qr.ranked, query.relevant, k);
+    qr.ndcg_at_k = NdcgAtK(qr.ranked, query.relevant, k);
+    results.queries.push_back(std::move(qr));
+  }
+  const Aggregate overall = results.Overall();
+  FCM_LOGS(INFO) << method.name() << ": prec@" << k << " = " << overall.prec
+                 << ", ndcg@" << k << " = " << overall.ndcg;
+  return results;
+}
+
+}  // namespace fcm::eval

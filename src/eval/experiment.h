@@ -1,0 +1,67 @@
+// Experiment runner: evaluates a RetrievalMethod over a benchmark (linear
+// scan over the repository, as in the paper's effectiveness studies) and
+// aggregates prec@k / ndcg@k overall and by the paper's strata (with /
+// without DA; number of lines; DA operator x window bucket).
+
+#ifndef FCM_EVAL_EXPERIMENT_H_
+#define FCM_EVAL_EXPERIMENT_H_
+
+#include <vector>
+
+#include "baselines/method.h"
+#include "benchgen/benchmark.h"
+
+namespace fcm::eval {
+
+/// Per-query evaluation record.
+struct QueryResult {
+  int query_index = 0;
+  double prec_at_k = 0.0;
+  double ndcg_at_k = 0.0;
+  int num_lines = 0;
+  bool is_da = false;
+  table::AggregateOp op = table::AggregateOp::kNone;
+  size_t window_size = 1;
+  /// The method's ranked top-k table ids.
+  std::vector<table::TableId> ranked;
+};
+
+/// Aggregate (mean) effectiveness over a set of query results.
+struct Aggregate {
+  double prec = 0.0;
+  double ndcg = 0.0;
+  int count = 0;
+};
+
+/// All per-query results for one method.
+struct MethodResults {
+  const char* method_name = "";
+  std::vector<QueryResult> queries;
+
+  Aggregate Overall() const;
+  Aggregate WithDa() const;
+  Aggregate WithoutDa() const;
+  /// By the Table I/III strata bucket (0:1, 1:2-4, 2:5-7, 3:>7).
+  Aggregate ByLineBucket(int bucket) const;
+  /// By aggregation operator (DA queries only).
+  Aggregate ByOperator(table::AggregateOp op) const;
+  /// By operator and window-size range [w_lo, w_hi] (DA queries only).
+  Aggregate ByOperatorAndWindow(table::AggregateOp op, size_t w_lo,
+                                size_t w_hi) const;
+};
+
+/// Scores every (query, table) pair with a linear scan and computes
+/// prec@k / ndcg@k per query. `k` defaults to the benchmark's ground
+/// truth size (the paper's k = 50 scaled).
+MethodResults EvaluateMethod(const baselines::RetrievalMethod& method,
+                             const benchgen::Benchmark& bench, int k = -1);
+
+/// Ranks the repository for a single query (exposed for the index bench,
+/// which compares pruning strategies against this linear scan).
+std::vector<table::TableId> RankRepository(
+    const baselines::RetrievalMethod& method,
+    const benchgen::QueryRecord& query, const table::DataLake& lake, int k);
+
+}  // namespace fcm::eval
+
+#endif  // FCM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,52 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fcm::eval {
+
+double PrecisionAtK(const std::vector<table::TableId>& ranked,
+                    const std::vector<table::TableId>& relevant, int k) {
+  if (k <= 0 || relevant.empty()) return 0.0;
+  const std::unordered_set<table::TableId> rel(relevant.begin(),
+                                               relevant.end());
+  const size_t limit = std::min<size_t>(static_cast<size_t>(k),
+                                        ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (rel.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double NdcgAtK(const std::vector<table::TableId>& ranked,
+               const std::vector<table::TableId>& relevant, int k) {
+  if (k <= 0 || relevant.empty()) return 0.0;
+  const std::unordered_set<table::TableId> rel(relevant.begin(),
+                                               relevant.end());
+  const size_t limit = std::min<size_t>(static_cast<size_t>(k),
+                                        ranked.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (rel.count(ranked[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  const size_t ideal_hits = std::min<size_t>(static_cast<size_t>(k),
+                                             relevant.size());
+  double idcg = 0.0;
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace fcm::eval

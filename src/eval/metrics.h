@@ -1,0 +1,28 @@
+// Retrieval effectiveness metrics (paper Sec. VII-B): prec@k and ndcg@k
+// with binary relevance against the ground-truth relevant set.
+
+#ifndef FCM_EVAL_METRICS_H_
+#define FCM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace fcm::eval {
+
+/// Fraction of the top-k ranked ids that appear in `relevant`.
+double PrecisionAtK(const std::vector<table::TableId>& ranked,
+                    const std::vector<table::TableId>& relevant, int k);
+
+/// Normalized discounted cumulative gain at k with binary gains: DCG over
+/// the ranked list divided by the ideal DCG (all |relevant| items first).
+double NdcgAtK(const std::vector<table::TableId>& ranked,
+               const std::vector<table::TableId>& relevant, int k);
+
+/// Mean of a vector (0 when empty); convenience for aggregating per-query
+/// metrics.
+double MeanOf(const std::vector<double>& values);
+
+}  // namespace fcm::eval
+
+#endif  // FCM_EVAL_METRICS_H_

@@ -1,0 +1,37 @@
+// Fixed-width table printing for the bench binaries, mirroring the paper's
+// table layout.
+
+#ifndef FCM_EVAL_REPORT_H_
+#define FCM_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace fcm::eval {
+
+/// A printable table: a header row and data rows of equal arity.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats with per-column widths and a header separator.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.3f"-formatted cell.
+std::string Fmt3(double v);
+/// "%.1f"-formatted cell.
+std::string Fmt1(double v);
+
+}  // namespace fcm::eval
+
+#endif  // FCM_EVAL_REPORT_H_

@@ -1,0 +1,100 @@
+#include "index/interval_tree.h"
+
+#include <algorithm>
+
+namespace fcm::index {
+
+IntervalTree::IntervalTree(std::vector<Interval> intervals)
+    : size_(intervals.size()) {
+  root_ = Build(std::move(intervals));
+}
+
+std::unique_ptr<IntervalTree::Node> IntervalTree::Build(
+    std::vector<Interval> intervals) {
+  if (intervals.empty()) return nullptr;
+  // Median endpoint as the center keeps the tree balanced.
+  std::vector<double> endpoints;
+  endpoints.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    endpoints.push_back(iv.lo);
+    endpoints.push_back(iv.hi);
+  }
+  std::nth_element(endpoints.begin(),
+                   endpoints.begin() + static_cast<long>(endpoints.size() / 2),
+                   endpoints.end());
+  const double center = endpoints[endpoints.size() / 2];
+
+  auto node = std::make_unique<Node>();
+  node->center = center;
+  std::vector<Interval> left, right;
+  for (auto& iv : intervals) {
+    if (iv.hi < center) {
+      left.push_back(iv);
+    } else if (iv.lo > center) {
+      right.push_back(iv);
+    } else {
+      node->by_lo.push_back(iv);
+    }
+  }
+  // Degenerate split (all intervals cross the center): stop recursing.
+  if (node->by_lo.empty() && (left.empty() || right.empty())) {
+    node->by_lo = left.empty() ? std::move(right) : std::move(left);
+    left.clear();
+    right.clear();
+  }
+  node->by_hi = node->by_lo;
+  std::sort(node->by_lo.begin(), node->by_lo.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::sort(node->by_hi.begin(), node->by_hi.end(),
+            [](const Interval& a, const Interval& b) { return a.hi > b.hi; });
+  node->left = Build(std::move(left));
+  node->right = Build(std::move(right));
+  return node;
+}
+
+void IntervalTree::Query(const Node* node, double qlo, double qhi,
+                         std::vector<int64_t>* out) {
+  if (node == nullptr) return;
+  if (qhi < node->center) {
+    // Only intervals whose lo <= qhi can overlap; by_lo is sorted by lo.
+    for (const auto& iv : node->by_lo) {
+      if (iv.lo > qhi) break;
+      if (iv.Overlaps(qlo, qhi)) out->push_back(iv.payload);
+    }
+    Query(node->left.get(), qlo, qhi, out);
+  } else if (qlo > node->center) {
+    for (const auto& iv : node->by_hi) {
+      if (iv.hi < qlo) break;
+      if (iv.Overlaps(qlo, qhi)) out->push_back(iv.payload);
+    }
+    Query(node->right.get(), qlo, qhi, out);
+  } else {
+    // Query straddles the center: every stored interval crosses the
+    // center, hence overlaps.
+    for (const auto& iv : node->by_lo) out->push_back(iv.payload);
+    Query(node->left.get(), qlo, qhi, out);
+    Query(node->right.get(), qlo, qhi, out);
+  }
+}
+
+std::vector<int64_t> IntervalTree::QueryOverlap(double qlo,
+                                                double qhi) const {
+  std::vector<int64_t> out;
+  Query(root_.get(), qlo, qhi, &out);
+  return out;
+}
+
+std::vector<int64_t> IntervalTree::QueryPoint(double q) const {
+  return QueryOverlap(q, q);
+}
+
+size_t IntervalTree::NodeBytes(const Node* node) {
+  if (node == nullptr) return 0;
+  return sizeof(Node) + (node->by_lo.size() + node->by_hi.size()) *
+                            sizeof(Interval) +
+         NodeBytes(node->left.get()) + NodeBytes(node->right.get());
+}
+
+size_t IntervalTree::MemoryBytes() const { return NodeBytes(root_.get()); }
+
+}  // namespace fcm::index

@@ -1,0 +1,66 @@
+// Centered interval tree (paper Sec. VI-A): indexes per-column possible
+// value ranges [min(C), sum(C)] so a chart's y-tick range quickly yields
+// the datasets with at least one overlapping column.
+
+#ifndef FCM_INDEX_INTERVAL_TREE_H_
+#define FCM_INDEX_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fcm::index {
+
+/// A closed interval [lo, hi] with an integer payload (table id).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  int64_t payload = -1;
+
+  bool Overlaps(double qlo, double qhi) const {
+    return hi >= qlo && lo <= qhi;
+  }
+};
+
+/// Static centered interval tree: O(n log n) build, O(log n + k) stabbing
+/// and overlap queries.
+class IntervalTree {
+ public:
+  /// Builds from a set of intervals (copied).
+  explicit IntervalTree(std::vector<Interval> intervals);
+
+  /// All payloads whose interval overlaps [qlo, qhi] (duplicates possible
+  /// when one payload was inserted with several intervals).
+  std::vector<int64_t> QueryOverlap(double qlo, double qhi) const;
+
+  /// All payloads whose interval contains the point q.
+  std::vector<int64_t> QueryPoint(double q) const;
+
+  size_t size() const { return size_; }
+
+  /// Approximate memory footprint in bytes (for the Table VIII report).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    double center = 0.0;
+    /// Intervals crossing the center, sorted by lo ascending.
+    std::vector<Interval> by_lo;
+    /// Same intervals sorted by hi descending.
+    std::vector<Interval> by_hi;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  static std::unique_ptr<Node> Build(std::vector<Interval> intervals);
+  static void Query(const Node* node, double qlo, double qhi,
+                    std::vector<int64_t>* out);
+  static size_t NodeBytes(const Node* node);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace fcm::index
+
+#endif  // FCM_INDEX_INTERVAL_TREE_H_

@@ -1,0 +1,82 @@
+#include "index/lsh.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcm::index {
+
+RandomHyperplaneLsh::RandomHyperplaneLsh(int dim, const LshConfig& config)
+    : dim_(dim), config_(config) {
+  FCM_CHECK_GT(dim, 0);
+  FCM_CHECK_GT(config.num_bits, 0);
+  FCM_CHECK_LE(config.num_bits, 64);
+  FCM_CHECK_GT(config.num_tables, 0);
+  common::Rng rng(config.seed);
+  hyperplanes_.resize(
+      static_cast<size_t>(config.num_tables) * config.num_bits);
+  for (auto& h : hyperplanes_) {
+    h.resize(static_cast<size_t>(dim));
+    for (auto& v : h) v = static_cast<float>(rng.Normal());
+  }
+  tables_.resize(static_cast<size_t>(config.num_tables));
+}
+
+uint64_t RandomHyperplaneLsh::Code(const std::vector<float>& embedding,
+                                   int table) const {
+  FCM_CHECK_EQ(static_cast<int>(embedding.size()), dim_);
+  uint64_t code = 0;
+  for (int b = 0; b < config_.num_bits; ++b) {
+    const auto& h =
+        hyperplanes_[static_cast<size_t>(table) * config_.num_bits + b];
+    float dot = 0.0f;
+    for (int i = 0; i < dim_; ++i) {
+      dot += h[static_cast<size_t>(i)] * embedding[static_cast<size_t>(i)];
+    }
+    // The sign of the dot product rounds the cosine similarity to a bit.
+    if (dot >= 0.0f) code |= (1ULL << b);
+  }
+  return code;
+}
+
+void RandomHyperplaneLsh::Insert(const std::vector<float>& embedding,
+                                 int64_t payload) {
+  for (int t = 0; t < config_.num_tables; ++t) {
+    tables_[static_cast<size_t>(t)][Code(embedding, t)].push_back(payload);
+  }
+  ++num_items_;
+}
+
+std::vector<int64_t> RandomHyperplaneLsh::Query(
+    const std::vector<float>& embedding) const {
+  std::unordered_set<int64_t> seen;
+  for (int t = 0; t < config_.num_tables; ++t) {
+    const uint64_t code = Code(embedding, t);
+    const auto& buckets = tables_[static_cast<size_t>(t)];
+    auto probe = [&](uint64_t c) {
+      auto it = buckets.find(c);
+      if (it == buckets.end()) return;
+      for (int64_t p : it->second) seen.insert(p);
+    };
+    probe(code);
+    if (config_.probe_hamming1) {
+      for (int b = 0; b < config_.num_bits; ++b) probe(code ^ (1ULL << b));
+    }
+  }
+  std::vector<int64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t RandomHyperplaneLsh::MemoryBytes() const {
+  size_t bytes = hyperplanes_.size() * static_cast<size_t>(dim_) *
+                 sizeof(float);
+  for (const auto& t : tables_) {
+    for (const auto& [code, payloads] : t) {
+      bytes += sizeof(code) + payloads.size() * sizeof(int64_t) + 32;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace fcm::index

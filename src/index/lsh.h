@@ -1,0 +1,63 @@
+// Random-hyperplane LSH (paper Sec. VI-A): each column's learned embedding
+// is hashed to a binary code by signing cosine similarities against K
+// random vectors; datasets are indexed by all their columns' codes and a
+// query line retrieves every dataset colliding in at least one table.
+
+#ifndef FCM_INDEX_LSH_H_
+#define FCM_INDEX_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fcm::index {
+
+/// Configuration for the LSH index.
+struct LshConfig {
+  /// Bits per code (number of random hyperplanes per table).
+  int num_bits = 12;
+  /// Number of independent hash tables (multi-probe across tables raises
+  /// recall at some cost in candidate-set size).
+  int num_tables = 4;
+  /// Also probe buckets at Hamming distance 1 from the query code.
+  bool probe_hamming1 = true;
+  uint64_t seed = 7;
+};
+
+/// Cosine LSH over dense float vectors with int64 payloads (table ids).
+class RandomHyperplaneLsh {
+ public:
+  /// `dim` is the embedding dimensionality.
+  RandomHyperplaneLsh(int dim, const LshConfig& config);
+
+  /// Indexes `payload` under `embedding` (one call per column).
+  void Insert(const std::vector<float>& embedding, int64_t payload);
+
+  /// Binary code of an embedding in hash table `table`.
+  uint64_t Code(const std::vector<float>& embedding, int table) const;
+
+  /// All payloads colliding with the query embedding in any table
+  /// (optionally probing Hamming-distance-1 buckets).
+  std::vector<int64_t> Query(const std::vector<float>& embedding) const;
+
+  /// Approximate memory footprint in bytes.
+  size_t MemoryBytes() const;
+
+  size_t num_items() const { return num_items_; }
+
+ private:
+  int dim_;
+  LshConfig config_;
+  /// hyperplanes_[table * num_bits + bit] is one random vector.
+  std::vector<std::vector<float>> hyperplanes_;
+  /// One bucket map per table: code -> payload set.
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables_;
+  size_t num_items_ = 0;
+};
+
+}  // namespace fcm::index
+
+#endif  // FCM_INDEX_LSH_H_

@@ -1,0 +1,191 @@
+#include "index/search_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "table/resample.h"
+
+namespace fcm::index {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+const char* IndexStrategyName(IndexStrategy s) {
+  switch (s) {
+    case IndexStrategy::kNoIndex: return "No Index";
+    case IndexStrategy::kIntervalTree: return "Interval Tree";
+    case IndexStrategy::kLsh: return "LSH";
+    case IndexStrategy::kHybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+SearchEngine::SearchEngine(const core::FcmModel* model,
+                           const table::DataLake* lake)
+    : model_(model), lake_(lake) {}
+
+std::vector<float> SearchEngine::MeanEmbedding(const nn::Tensor& rep) {
+  const int n = rep.dim(0), k = rep.dim(1);
+  std::vector<float> out(static_cast<size_t>(k), 0.0f);
+  const auto& data = rep.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      out[static_cast<size_t>(j)] += data[static_cast<size_t>(i) * k + j];
+    }
+  }
+  for (auto& v : out) v /= static_cast<float>(n);
+  return out;
+}
+
+void SearchEngine::Build(const LshConfig& lsh_config) {
+  SearchEngineOptions options;
+  options.lsh = lsh_config;
+  BuildWithOptions(options);
+}
+
+void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
+  options_ = options;
+  const auto t_encode = std::chrono::steady_clock::now();
+  encodings_.clear();
+  encodings_.reserve(lake_->size());
+  derivations_.assign(lake_->size(), {});
+  for (const auto& t : lake_->tables()) {
+    encodings_.push_back(core::FcmModel::Detach(model_->EncodeDataset(t)));
+    if (options_.index_x_derivations) {
+      // Sec. VI-B: derive T' per candidate x column and encode each.
+      auto& per_table = derivations_[static_cast<size_t>(t.id())];
+      for (const auto& derived : table::AllXAxisDerivations(
+               t, static_cast<size_t>(options_.x_derivation_grid))) {
+        per_table.push_back(
+            core::FcmModel::Detach(model_->EncodeDataset(derived)));
+      }
+    }
+  }
+  build_stats_.encode_seconds = Seconds(t_encode);
+
+  // Interval tree over per-column possible ranges [min(C), sum(C)] —
+  // including every derivation's intervals when enabled (Sec. VI-B (2)).
+  const auto t_interval = std::chrono::steady_clock::now();
+  std::vector<Interval> intervals;
+  for (const auto& t : lake_->tables()) {
+    for (const auto& enc : encodings_[static_cast<size_t>(t.id())]) {
+      intervals.push_back({enc.range_lo, enc.range_hi, t.id()});
+    }
+    for (const auto& derived : derivations_[static_cast<size_t>(t.id())]) {
+      for (const auto& enc : derived) {
+        intervals.push_back({enc.range_lo, enc.range_hi, t.id()});
+      }
+    }
+  }
+  interval_tree_ = std::make_unique<IntervalTree>(std::move(intervals));
+  build_stats_.interval_build_seconds = Seconds(t_interval);
+  build_stats_.interval_memory_bytes = interval_tree_->MemoryBytes();
+
+  // LSH over mean column embeddings (plus derivation embeddings).
+  const auto t_lsh = std::chrono::steady_clock::now();
+  lsh_ = std::make_unique<RandomHyperplaneLsh>(model_->config().embed_dim,
+                                               options_.lsh);
+  for (const auto& t : lake_->tables()) {
+    for (const auto& enc : encodings_[static_cast<size_t>(t.id())]) {
+      lsh_->Insert(MeanEmbedding(enc.representation), t.id());
+    }
+    for (const auto& derived : derivations_[static_cast<size_t>(t.id())]) {
+      for (const auto& enc : derived) {
+        lsh_->Insert(MeanEmbedding(enc.representation), t.id());
+      }
+    }
+  }
+  build_stats_.lsh_build_seconds = Seconds(t_lsh);
+  build_stats_.lsh_memory_bytes = lsh_->MemoryBytes();
+
+  FCM_LOGS(INFO) << "SearchEngine built over " << lake_->size()
+                 << " tables (encode " << build_stats_.encode_seconds
+                 << "s, interval " << build_stats_.interval_build_seconds
+                 << "s, lsh " << build_stats_.lsh_build_seconds << "s)";
+}
+
+std::vector<table::TableId> SearchEngine::Candidates(
+    const vision::ExtractedChart& query,
+    const core::ChartRepresentation& chart_rep,
+    IndexStrategy strategy) const {
+  std::vector<table::TableId> all(lake_->size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<table::TableId>(i);
+  }
+  if (strategy == IndexStrategy::kNoIndex) return all;
+
+  std::unordered_set<table::TableId> s1;  // Interval tree survivors.
+  if (strategy == IndexStrategy::kIntervalTree ||
+      strategy == IndexStrategy::kHybrid) {
+    for (int64_t id : interval_tree_->QueryOverlap(query.y_lo, query.y_hi)) {
+      s1.insert(id);
+    }
+    if (strategy == IndexStrategy::kIntervalTree) {
+      return {s1.begin(), s1.end()};
+    }
+  }
+
+  std::unordered_set<table::TableId> s2;  // LSH survivors.
+  for (const auto& line : chart_rep) {
+    for (int64_t id : lsh_->Query(MeanEmbedding(line.representation))) {
+      s2.insert(id);
+    }
+  }
+  if (strategy == IndexStrategy::kLsh) return {s2.begin(), s2.end()};
+
+  // Hybrid: S1 ∩ S2.
+  std::vector<table::TableId> out;
+  for (table::TableId id : s2) {
+    if (s1.count(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<SearchHit> SearchEngine::Search(
+    const vision::ExtractedChart& query, int k, IndexStrategy strategy,
+    QueryStats* stats) const {
+  FCM_CHECK(!encodings_.empty());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<SearchHit> hits;
+  if (query.lines.empty()) {
+    if (stats != nullptr) *stats = {0, Seconds(t0)};
+    return hits;
+  }
+  const core::ChartRepresentation chart_rep =
+      core::FcmModel::Detach(model_->EncodeChart(query));
+  const auto candidates = Candidates(query, chart_rep, strategy);
+  hits.reserve(candidates.size());
+  for (table::TableId id : candidates) {
+    const auto& enc = encodings_[static_cast<size_t>(id)];
+    if (enc.empty()) continue;
+    double score =
+        model_->ScoreEncoded(chart_rep, enc, query.y_lo, query.y_hi);
+    // Sec. VI-B (1): a table's score is the max over its derivations.
+    for (const auto& derived : derivations_[static_cast<size_t>(id)]) {
+      if (derived.empty()) continue;
+      score = std::max(score, model_->ScoreEncoded(chart_rep, derived,
+                                                   query.y_lo, query.y_hi));
+    }
+    hits.push_back({id, score});
+  }
+  const size_t scored = hits.size();
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
+                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
+                      return a.score > b.score;
+                    });
+  hits.resize(keep);
+  if (stats != nullptr) *stats = {scored, Seconds(t0)};
+  return hits;
+}
+
+}  // namespace fcm::index

@@ -1,0 +1,100 @@
+// End-to-end query processing (paper Sec. VI-A): optional interval-tree
+// and LSH candidate pruning followed by FCM re-ranking of the survivors.
+
+#ifndef FCM_INDEX_SEARCH_ENGINE_H_
+#define FCM_INDEX_SEARCH_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/fcm_model.h"
+#include "index/interval_tree.h"
+#include "index/lsh.h"
+#include "table/data_lake.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::index {
+
+/// Candidate pruning strategies compared in Table VIII.
+enum class IndexStrategy { kNoIndex, kIntervalTree, kLsh, kHybrid };
+
+const char* IndexStrategyName(IndexStrategy s);
+
+/// One ranked search hit.
+struct SearchHit {
+  table::TableId table_id = table::kInvalidTableId;
+  double score = 0.0;
+};
+
+/// Per-query statistics for the efficiency study.
+struct QueryStats {
+  size_t candidates_scored = 0;
+  double seconds = 0.0;
+};
+
+/// Index build statistics (Table VIII's build time / memory columns).
+struct BuildStats {
+  double interval_build_seconds = 0.0;
+  double lsh_build_seconds = 0.0;
+  double encode_seconds = 0.0;
+  size_t interval_memory_bytes = 0;
+  size_t lsh_memory_bytes = 0;
+};
+
+/// Engine construction options.
+struct SearchEngineOptions {
+  LshConfig lsh;
+  /// Numerical x-axis generalization (paper Sec. VI-B): for every table,
+  /// also index its T' derivations — the table re-sorted by each column
+  /// treated as a candidate x axis and interpolated onto an even grid —
+  /// and score a table as the max over its derivations. Off by default
+  /// (the paper treats uneven numerical x axes as a rare case).
+  bool index_x_derivations = false;
+  /// Grid size for the derivations.
+  int x_derivation_grid = 128;
+};
+
+/// Owns the per-table FCM encodings (computed once, detached) plus both
+/// index structures; model and lake must outlive the engine.
+class SearchEngine {
+ public:
+  SearchEngine(const core::FcmModel* model, const table::DataLake* lake);
+
+  /// Encodes every dataset and builds the interval tree + LSH index.
+  void Build(const LshConfig& lsh_config = {});
+
+  /// Build with full options (x-derivation indexing etc.).
+  void BuildWithOptions(const SearchEngineOptions& options);
+
+  /// Top-k search with the chosen pruning strategy.
+  std::vector<SearchHit> Search(const vision::ExtractedChart& query, int k,
+                                IndexStrategy strategy,
+                                QueryStats* stats = nullptr) const;
+
+  const BuildStats& build_stats() const { return build_stats_; }
+
+  /// Mean embedding of a [N, K] representation (index key derivation:
+  /// "averaging all representations of segments", Sec. VI-A).
+  static std::vector<float> MeanEmbedding(const nn::Tensor& rep);
+
+ private:
+  std::vector<table::TableId> Candidates(
+      const vision::ExtractedChart& query,
+      const core::ChartRepresentation& chart_rep,
+      IndexStrategy strategy) const;
+
+  const core::FcmModel* model_;
+  const table::DataLake* lake_;
+  SearchEngineOptions options_;
+  std::vector<core::DatasetRepresentation> encodings_;  // Indexed by id.
+  /// Per table id: encodings of its x-axis derivations (empty unless
+  /// index_x_derivations).
+  std::vector<std::vector<core::DatasetRepresentation>> derivations_;
+  std::unique_ptr<IntervalTree> interval_tree_;
+  std::unique_ptr<RandomHyperplaneLsh> lsh_;
+  BuildStats build_stats_;
+};
+
+}  // namespace fcm::index
+
+#endif  // FCM_INDEX_SEARCH_ENGINE_H_

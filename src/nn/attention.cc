@@ -1,0 +1,106 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "nn/ops.h"
+
+namespace fcm::nn {
+
+MultiHeadAttention::MultiHeadAttention(int embed_dim, int num_heads,
+                                       common::Rng* rng)
+    : embed_dim_(embed_dim),
+      num_heads_(num_heads),
+      head_dim_(embed_dim / num_heads),
+      wq_(embed_dim, embed_dim, rng),
+      wk_(embed_dim, embed_dim, rng),
+      wv_(embed_dim, embed_dim, rng),
+      wo_(embed_dim, embed_dim, rng) {
+  FCM_CHECK_EQ(head_dim_ * num_heads, embed_dim);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query,
+                                   const Tensor& kv) const {
+  FCM_CHECK_EQ(query.dim(1), embed_dim_);
+  FCM_CHECK_EQ(kv.dim(1), embed_dim_);
+  const Tensor q = wq_.Forward(query);  // [nq, K]
+  const Tensor k = wk_.Forward(kv);     // [nkv, K]
+  const Tensor v = wv_.Forward(kv);     // [nkv, K]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int h = 0; h < num_heads_; ++h) {
+    const int c0 = h * head_dim_, c1 = (h + 1) * head_dim_;
+    const Tensor qh = SliceCols(q, c0, c1);  // [nq, hd]
+    const Tensor kh = SliceCols(k, c0, c1);  // [nkv, hd]
+    const Tensor vh = SliceCols(v, c0, c1);  // [nkv, hd]
+    const Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);
+    const Tensor attn = Softmax(scores);      // [nq, nkv]
+    head_outputs.push_back(MatMul(attn, vh));  // [nq, hd]
+  }
+  return wo_.Forward(ConcatCols(head_outputs));
+}
+
+TransformerBlock::TransformerBlock(int embed_dim, int num_heads,
+                                   int mlp_hidden, common::Rng* rng)
+    : attn_(embed_dim, num_heads, rng),
+      ln1_(embed_dim),
+      ln2_(embed_dim),
+      mlp_(embed_dim, mlp_hidden, embed_dim, rng, Activation::kGelu) {
+  RegisterModule("attn", &attn_);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("mlp", &mlp_);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x) const {
+  const Tensor normed = ln1_.Forward(x);
+  Tensor y = Add(x, attn_.Forward(normed, normed));
+  y = Add(y, mlp_.Forward(ln2_.Forward(y)));
+  return y;
+}
+
+TransformerEncoder::TransformerEncoder(int embed_dim, int num_heads,
+                                       int mlp_hidden, int num_layers,
+                                       int max_positions, common::Rng* rng)
+    : embed_dim_(embed_dim),
+      max_positions_(max_positions),
+      final_ln_(embed_dim) {
+  if (max_positions > 0) {
+    pos_embedding_ = RegisterParameter(
+        "pos_embedding",
+        Tensor::RandomNormal({max_positions, embed_dim}, 0.02f, rng));
+  }
+  for (int i = 0; i < num_layers; ++i) {
+    blocks_.push_back(
+        std::make_unique<TransformerBlock>(embed_dim, num_heads, mlp_hidden,
+                                           rng));
+    RegisterModule(common::StrFormat("block%d", i), blocks_.back().get());
+  }
+  RegisterModule("final_ln", &final_ln_);
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x) const {
+  FCM_CHECK_EQ(x.rank(), 2);
+  FCM_CHECK_EQ(x.dim(1), embed_dim_);
+  Tensor h = x;
+  if (pos_embedding_.defined()) {
+    const int n = x.dim(0);
+    // Positions beyond max_positions_ clamp to the final embedding row.
+    std::vector<Tensor> rows;
+    rows.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(Row(pos_embedding_, std::min(i, max_positions_ - 1)));
+    }
+    h = Add(h, StackRows(rows));
+  }
+  for (const auto& block : blocks_) h = block->Forward(h);
+  return final_ln_.Forward(h);
+}
+
+}  // namespace fcm::nn

@@ -1,0 +1,79 @@
+// Multi-head attention and pre-LN transformer encoder blocks (paper
+// Eq. 1): the shared backbone of the line chart encoder, dataset encoder,
+// and the baselines' unimodal encoders.
+
+#ifndef FCM_NN_ATTENTION_H_
+#define FCM_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace fcm::nn {
+
+/// Multi-head scaled-dot-product attention. Queries may come from a
+/// different sequence than keys/values (cross-attention); self-attention
+/// passes the same tensor for both.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int embed_dim, int num_heads, common::Rng* rng);
+
+  /// query: [nq, K], kv: [nkv, K] -> [nq, K].
+  Tensor Forward(const Tensor& query, const Tensor& kv) const;
+
+  int embed_dim() const { return embed_dim_; }
+  int num_heads() const { return num_heads_; }
+
+ private:
+  int embed_dim_;
+  int num_heads_;
+  int head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+/// One pre-LN transformer block: x + MSA(LN(x)); then x + MLP(LN(x))
+/// (paper Eq. 1 uses the same residual structure).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int embed_dim, int num_heads, int mlp_hidden,
+                   common::Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  MultiHeadAttention attn_;
+  LayerNormLayer ln1_;
+  LayerNormLayer ln2_;
+  Mlp mlp_;
+};
+
+/// A stack of J transformer blocks with optional learned positional
+/// embeddings added to the input sequence (ViT-style).
+class TransformerEncoder : public Module {
+ public:
+  /// `max_positions` > 0 enables positional embeddings for sequences up to
+  /// that length (longer sequences reuse the last position's embedding).
+  TransformerEncoder(int embed_dim, int num_heads, int mlp_hidden,
+                     int num_layers, int max_positions, common::Rng* rng);
+
+  /// x: [n, K] -> [n, K].
+  Tensor Forward(const Tensor& x) const;
+
+  int embed_dim() const { return embed_dim_; }
+
+ private:
+  int embed_dim_;
+  int max_positions_;
+  Tensor pos_embedding_;  // [max_positions, K]; undefined when disabled.
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNormLayer final_ln_;
+};
+
+}  // namespace fcm::nn
+
+#endif  // FCM_NN_ATTENTION_H_

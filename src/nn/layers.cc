@@ -1,0 +1,70 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+
+namespace fcm::nn {
+
+Tensor Activate(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return Relu(x);
+    case Activation::kLeakyRelu: return LeakyRelu(x);
+    case Activation::kGelu: return Gelu(x);
+    case Activation::kTanh: return Tanh(x);
+    case Activation::kSigmoid: return Sigmoid(x);
+  }
+  return x;
+}
+
+Linear::Linear(int in_features, int out_features, common::Rng* rng,
+               bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", Tensor::XavierUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", Tensor::Zeros({out_features}, /*requires_grad=*/true));
+  }
+}
+
+void Linear::ZeroInit() {
+  std::fill(weight_.data().begin(), weight_.data().end(), 0.0f);
+  if (bias_.defined()) {
+    std::fill(bias_.data().begin(), bias_.data().end(), 0.0f);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  const bool vector_input = x.rank() == 1;
+  Tensor x2 = vector_input ? Reshape(x, {1, x.dim(0)}) : x;
+  FCM_CHECK_EQ(x2.dim(1), in_features_);
+  Tensor y = MatMul(x2, weight_);
+  if (bias_.defined()) y = AddRowBroadcast(y, bias_);
+  return vector_input ? Reshape(y, {out_features_}) : y;
+}
+
+Mlp::Mlp(int in_features, int hidden_features, int out_features,
+         common::Rng* rng, Activation hidden_act)
+    : fc1_(in_features, hidden_features, rng),
+      fc2_(hidden_features, out_features, rng),
+      act_(hidden_act) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  return fc2_.Forward(Activate(fc1_.Forward(x), act_));
+}
+
+LayerNormLayer::LayerNormLayer(int features) {
+  gain_ = RegisterParameter(
+      "gain", Tensor::Full({features}, 1.0f, /*requires_grad=*/true));
+  bias_ = RegisterParameter(
+      "bias", Tensor::Zeros({features}, /*requires_grad=*/true));
+}
+
+Tensor LayerNormLayer::Forward(const Tensor& x) const {
+  return LayerNorm(x, gain_, bias_);
+}
+
+}  // namespace fcm::nn

@@ -1,0 +1,74 @@
+// Basic trainable layers: Linear, two-layer MLP, LayerNorm wrapper.
+
+#ifndef FCM_NN_LAYERS_H_
+#define FCM_NN_LAYERS_H_
+
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace fcm::nn {
+
+/// Activation choice for composite layers.
+enum class Activation { kNone, kRelu, kLeakyRelu, kGelu, kTanh, kSigmoid };
+
+/// Applies an activation (kNone is identity).
+Tensor Activate(const Tensor& x, Activation act);
+
+/// Fully connected layer y = x W + b. Accepts rank-2 [n, in] or rank-1
+/// [in] inputs (rank-1 is treated as a single row and returned rank-1).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, common::Rng* rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  /// Zeroes the weights (and bias): the layer starts as the constant-0
+  /// map. Used to initialize residual/shortcut-adjacent output layers so
+  /// an additive deterministic path defines the model's starting point.
+  void ZeroInit();
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (undefined when bias=false)
+};
+
+/// Two-layer perceptron with a configurable hidden activation — the
+/// building block used for the transformation layers, HMRL combiner, MoE
+/// gates, and the matcher head (paper Secs. IV-D, V-B..D).
+class Mlp : public Module {
+ public:
+  Mlp(int in_features, int hidden_features, int out_features,
+      common::Rng* rng, Activation hidden_act = Activation::kGelu);
+
+  Tensor Forward(const Tensor& x) const;
+
+  /// Zero-initializes the output layer (see Linear::ZeroInit).
+  void ZeroOutputLayer() { fc2_.ZeroInit(); }
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Activation act_;
+};
+
+/// Learnable layer normalization over the last dimension.
+class LayerNormLayer : public Module {
+ public:
+  explicit LayerNormLayer(int features);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gain_;
+  Tensor bias_;
+};
+
+}  // namespace fcm::nn
+
+#endif  // FCM_NN_LAYERS_H_

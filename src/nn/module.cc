@@ -1,0 +1,92 @@
+#include "nn/module.h"
+
+#include "common/string_util.h"
+
+namespace fcm::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : NamedParameters()) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, t] : params_) out.emplace_back(name, t);
+  for (const auto& [name, child] : children_) {
+    for (const auto& [cname, t] : child->NamedParameters()) {
+      out.emplace_back(name + "." + cname, t);
+    }
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& t : Parameters()) n += t.numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (auto& t : Parameters()) t.ZeroGrad();
+}
+
+void Module::SaveState(common::BinaryWriter* writer) const {
+  const auto named = NamedParameters();
+  writer->WriteU64(named.size());
+  for (const auto& [name, t] : named) {
+    writer->WriteString(name);
+    writer->WriteU64(static_cast<uint64_t>(t.shape().size()));
+    for (int d : t.shape()) writer->WriteI64(d);
+    writer->WriteF32Vector(t.data());
+  }
+}
+
+common::Status Module::LoadState(common::BinaryReader* reader) {
+  auto count = reader->ReadU64();
+  if (!count.ok()) return count.status();
+  auto named = NamedParameters();
+  if (count.value() != named.size()) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "state has %llu parameters, model has %zu",
+        static_cast<unsigned long long>(count.value()), named.size()));
+  }
+  for (auto& [name, t] : named) {
+    auto rname = reader->ReadString();
+    if (!rname.ok()) return rname.status();
+    if (rname.value() != name) {
+      return common::Status::InvalidArgument(
+          "parameter name mismatch: saved '" + rname.value() +
+          "' vs model '" + name + "'");
+    }
+    auto rank = reader->ReadU64();
+    if (!rank.ok()) return rank.status();
+    Shape shape;
+    for (uint64_t i = 0; i < rank.value(); ++i) {
+      auto d = reader->ReadI64();
+      if (!d.ok()) return d.status();
+      shape.push_back(static_cast<int>(d.value()));
+    }
+    if (shape != t.shape()) {
+      return common::Status::InvalidArgument("shape mismatch for " + name);
+    }
+    auto values = reader->ReadF32Vector();
+    if (!values.ok()) return values.status();
+    if (values.value().size() != t.data().size()) {
+      return common::Status::InvalidArgument("size mismatch for " + name);
+    }
+    t.data() = std::move(values).ValueOrDie();
+  }
+  return common::Status::OK();
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* m) {
+  children_.emplace_back(name, m);
+}
+
+}  // namespace fcm::nn

@@ -1,0 +1,55 @@
+// Module: a named collection of trainable parameters with save/load.
+
+#ifndef FCM_NN_MODULE_H_
+#define FCM_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "nn/tensor.h"
+
+namespace fcm::nn {
+
+/// Base class for layers/models. Subclasses register their parameters (and
+/// submodules) so optimizers and serialization can traverse them uniformly.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, depth-first through submodules.
+  std::vector<Tensor> Parameters() const;
+
+  /// Named parameters ("sub.weight" style dotted paths).
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Serializes all parameters (values only, in registration order, with
+  /// names for integrity checking).
+  void SaveState(common::BinaryWriter* writer) const;
+
+  /// Restores parameters saved by SaveState. Fails when the parameter
+  /// names/shapes do not match the current architecture.
+  common::Status LoadState(common::BinaryReader* reader);
+
+ protected:
+  /// Registers a directly-owned parameter.
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+
+  /// Registers a submodule (not owned; must outlive this module).
+  void RegisterModule(const std::string& name, Module* m);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace fcm::nn
+
+#endif  // FCM_NN_MODULE_H_

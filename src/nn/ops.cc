@@ -1,0 +1,864 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcm::nn {
+
+namespace {
+
+// Backward closures capture raw TensorNode pointers: the result node owns
+// its parents via the `parents` vector, and Backward() only runs while the
+// result is alive, so raw pointers cannot dangle — and avoid the reference
+// cycle a shared_ptr self-capture would create.
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  FCM_CHECK(a.shape() == b.shape());
+}
+
+int Rows(const Tensor& t) {
+  FCM_CHECK_EQ(t.rank(), 2);
+  return t.dim(0);
+}
+int Cols(const Tensor& t) {
+  FCM_CHECK_EQ(t.rank(), 2);
+  return t.dim(1);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = MakeOpResult(a.shape(), {a.node_ptr(), b.node_ptr()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + bv[i];
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    TensorNode* bn = b.node();
+    on->backward_fn = [on, an, bn]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i];
+        bn->grad[i] += on->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = MakeOpResult(a.shape(), {a.node_ptr(), b.node_ptr()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] - bv[i];
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    TensorNode* bn = b.node();
+    on->backward_fn = [on, an, bn]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i];
+        bn->grad[i] -= on->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = MakeOpResult(a.shape(), {a.node_ptr(), b.node_ptr()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * bv[i];
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    TensorNode* bn = b.node();
+    on->backward_fn = [on, an, bn]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i] * bn->data[i];
+        bn->grad[i] += on->grad[i] * an->data[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = MakeOpResult(a.shape(), {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * s;
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, s]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i] * s;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = MakeOpResult(a.shape(), {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + s;
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& m, const Tensor& row) {
+  const int n = Rows(m), k = Cols(m);
+  FCM_CHECK_EQ(row.rank(), 1);
+  FCM_CHECK_EQ(row.dim(0), k);
+  Tensor out = MakeOpResult(m.shape(), {m.node_ptr(), row.node_ptr()});
+  const auto& mv = m.data();
+  const auto& rv = row.data();
+  auto& ov = out.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      ov[static_cast<size_t>(i) * k + j] =
+          mv[static_cast<size_t>(i) * k + j] + rv[static_cast<size_t>(j)];
+    }
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* mn = m.node();
+    TensorNode* rn = row.node();
+    on->backward_fn = [on, mn, rn, n, k]() {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < k; ++j) {
+          const float g = on->grad[static_cast<size_t>(i) * k + j];
+          mn->grad[static_cast<size_t>(i) * k + j] += g;
+          rn->grad[static_cast<size_t>(j)] += g;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const int n = Rows(a), k = Cols(a);
+  FCM_CHECK_EQ(Rows(b), k);
+  const int m = Cols(b);
+  Tensor out = MakeOpResult({n, m}, {a.node_ptr(), b.node_ptr()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  // ikj loop order for cache-friendly access to b.
+  for (int i = 0; i < n; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = av[static_cast<size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const size_t brow = static_cast<size_t>(kk) * m;
+      const size_t orow = static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) ov[orow + j] += aik * bv[brow + j];
+    }
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    TensorNode* bn = b.node();
+    on->backward_fn = [on, an, bn, n, k, m]() {
+      // dA = dOut * B^T ; dB = A^T * dOut.
+      for (int i = 0; i < n; ++i) {
+        const size_t orow = static_cast<size_t>(i) * m;
+        for (int kk = 0; kk < k; ++kk) {
+          const size_t brow = static_cast<size_t>(kk) * m;
+          float acc = 0.0f;
+          for (int j = 0; j < m; ++j) acc += on->grad[orow + j] * bn->data[brow + j];
+          an->grad[static_cast<size_t>(i) * k + kk] += acc;
+        }
+      }
+      for (int kk = 0; kk < k; ++kk) {
+        const size_t brow = static_cast<size_t>(kk) * m;
+        for (int i = 0; i < n; ++i) {
+          const float aik = an->data[static_cast<size_t>(i) * k + kk];
+          if (aik == 0.0f) continue;
+          const size_t orow = static_cast<size_t>(i) * m;
+          for (int j = 0; j < m; ++j) bn->grad[brow + j] += aik * on->grad[orow + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int n = Rows(a), m = Cols(a);
+  Tensor out = MakeOpResult({m, n}, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      ov[static_cast<size_t>(j) * n + i] = av[static_cast<size_t>(i) * m + j];
+    }
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, n, m]() {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < m; ++j) {
+          an->grad[static_cast<size_t>(i) * m + j] +=
+              on->grad[static_cast<size_t>(j) * n + i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  FCM_CHECK_EQ(NumElements(shape), a.numel());
+  Tensor out = MakeOpResult(shape, {a.node_ptr()});
+  out.data() = a.data();
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  Shape shape = a.shape();
+  int rows = 1, cols = 0;
+  if (a.rank() == 2) {
+    rows = a.dim(0);
+    cols = a.dim(1);
+  } else {
+    FCM_CHECK_EQ(a.rank(), 1);
+    cols = a.dim(0);
+  }
+  Tensor out = MakeOpResult(shape, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (int r = 0; r < rows; ++r) {
+    const size_t base = static_cast<size_t>(r) * cols;
+    float mx = -1e30f;
+    for (int j = 0; j < cols; ++j) mx = std::max(mx, av[base + j]);
+    float denom = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      ov[base + j] = std::exp(av[base + j] - mx);
+      denom += ov[base + j];
+    }
+    for (int j = 0; j < cols; ++j) ov[base + j] /= denom;
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, rows, cols]() {
+      for (int r = 0; r < rows; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        float dot = 0.0f;
+        for (int j = 0; j < cols; ++j) {
+          dot += on->grad[base + j] * on->data[base + j];
+        }
+        for (int j = 0; j < cols; ++j) {
+          an->grad[base + j] +=
+              on->data[base + j] * (on->grad[base + j] - dot);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+
+template <typename FwdFn, typename GradFn>
+Tensor ElementwiseOp(const Tensor& a, FwdFn fwd, GradFn grad_from_xy) {
+  Tensor out = MakeOpResult(a.shape(), {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = fwd(av[i]);
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, grad_from_xy]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i] += on->grad[i] * grad_from_xy(an->data[i], on->data[i]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sqrt(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float, float y) { return y > 1e-12f ? 0.5f / y : 0.0f; });
+}
+
+Tensor Rsqrt(const Tensor& a, float epsilon) {
+  return ElementwiseOp(
+      a,
+      [epsilon](float x) { return 1.0f / std::sqrt(std::max(x, epsilon)); },
+      [epsilon](float x, float y) {
+        return x <= epsilon ? 0.0f : -0.5f * y * y * y;
+      });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return ElementwiseOp(
+      a,
+      [negative_slope](float x) {
+        return x > 0.0f ? x : negative_slope * x;
+      },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation of GELU.
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  return ElementwiseOp(
+      a,
+      [](float x) {
+        const float t =
+            std::tanh(kC * (x + 0.044715f * x * x * x));
+        return 0.5f * x * (1.0f + t);
+      },
+      [](float x, float) {
+        const float u = kC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float epsilon) {
+  int rows = 1, cols = 0;
+  if (a.rank() == 2) {
+    rows = a.dim(0);
+    cols = a.dim(1);
+  } else {
+    FCM_CHECK_EQ(a.rank(), 1);
+    cols = a.dim(0);
+  }
+  FCM_CHECK_EQ(gain.rank(), 1);
+  FCM_CHECK_EQ(gain.dim(0), cols);
+  FCM_CHECK_EQ(bias.dim(0), cols);
+  Tensor out = MakeOpResult(a.shape(),
+                            {a.node_ptr(), gain.node_ptr(), bias.node_ptr()});
+  const auto& av = a.data();
+  const auto& gv = gain.data();
+  const auto& bv = bias.data();
+  auto& ov = out.data();
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows) * 2);
+  for (int r = 0; r < rows; ++r) {
+    const size_t base = static_cast<size_t>(r) * cols;
+    float mean = 0.0f;
+    for (int j = 0; j < cols; ++j) mean += av[base + j];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const float d = av[base + j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv_std = 1.0f / std::sqrt(var + epsilon);
+    (*stats)[static_cast<size_t>(r) * 2] = mean;
+    (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    for (int j = 0; j < cols; ++j) {
+      const float xhat = (av[base + j] - mean) * inv_std;
+      ov[base + j] = gv[static_cast<size_t>(j)] * xhat +
+                     bv[static_cast<size_t>(j)];
+    }
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    TensorNode* gn = gain.node();
+    TensorNode* bn = bias.node();
+    on->backward_fn = [on, an, gn, bn, rows, cols, stats]() {
+      for (int r = 0; r < rows; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        const float mean = (*stats)[static_cast<size_t>(r) * 2];
+        const float inv_std = (*stats)[static_cast<size_t>(r) * 2 + 1];
+        float sum_dy_g = 0.0f, sum_dy_g_xhat = 0.0f;
+        for (int j = 0; j < cols; ++j) {
+          const float xhat = (an->data[base + j] - mean) * inv_std;
+          const float dy = on->grad[base + j];
+          gn->grad[static_cast<size_t>(j)] += dy * xhat;
+          bn->grad[static_cast<size_t>(j)] += dy;
+          const float dyg = dy * gn->data[static_cast<size_t>(j)];
+          sum_dy_g += dyg;
+          sum_dy_g_xhat += dyg * xhat;
+        }
+        const float inv_n = 1.0f / static_cast<float>(cols);
+        for (int j = 0; j < cols; ++j) {
+          const float xhat = (an->data[base + j] - mean) * inv_std;
+          const float dyg = on->grad[base + j] *
+                            gn->data[static_cast<size_t>(j)];
+          an->grad[base + j] +=
+              inv_std * (dyg - inv_n * sum_dy_g - xhat * inv_n * sum_dy_g_xhat);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  Tensor out = MakeOpResult({1}, {a.node_ptr()});
+  const auto& av = a.data();
+  float s = 0.0f;
+  for (float x : av) s += x;
+  out.data()[0] = s / static_cast<float>(av.size());
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    const float inv_n = 1.0f / static_cast<float>(av.size());
+    on->backward_fn = [on, an, inv_n]() {
+      for (size_t i = 0; i < an->grad.size(); ++i) {
+        an->grad[i] += on->grad[0] * inv_n;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  Tensor out = MakeOpResult({1}, {a.node_ptr()});
+  float s = 0.0f;
+  for (float x : a.data()) s += x;
+  out.data()[0] = s;
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an]() {
+      for (size_t i = 0; i < an->grad.size(); ++i) {
+        an->grad[i] += on->grad[0];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  const int n = Rows(a), k = Cols(a);
+  Tensor out = MakeOpResult({k}, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) ov[static_cast<size_t>(j)] += av[static_cast<size_t>(i) * k + j];
+  }
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int j = 0; j < k; ++j) ov[static_cast<size_t>(j)] *= inv_n;
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, n, k, inv_n]() {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < k; ++j) {
+          an->grad[static_cast<size_t>(i) * k + j] +=
+              on->grad[static_cast<size_t>(j)] * inv_n;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MaxCols(const Tensor& a) {
+  const int n = Rows(a), k = Cols(a);
+  FCM_CHECK_GT(k, 0);
+  Tensor out = MakeOpResult({n}, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  auto argmax = std::make_shared<std::vector<int>>(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const size_t base = static_cast<size_t>(i) * k;
+    int best = 0;
+    for (int j = 1; j < k; ++j) {
+      if (av[base + j] > av[base + best]) best = j;
+    }
+    (*argmax)[static_cast<size_t>(i)] = best;
+    ov[static_cast<size_t>(i)] = av[base + best];
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, argmax, k]() {
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[i * k + (*argmax)[i]] += on->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  FCM_CHECK(!parts.empty());
+  const int k = Cols(parts[0]);
+  int total = 0;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  for (const auto& p : parts) {
+    FCM_CHECK_EQ(Cols(p), k);
+    total += Rows(p);
+    parents.push_back(p.node_ptr());
+  }
+  Tensor out = MakeOpResult({total, k}, std::move(parents));
+  auto& ov = out.data();
+  size_t offset = 0;
+  for (const auto& p : parts) {
+    const auto& pv = p.data();
+    std::copy(pv.begin(), pv.end(), ov.begin() + static_cast<long>(offset));
+    offset += pv.size();
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    on->backward_fn = [on]() {
+      size_t off = 0;
+      for (auto& parent : on->parents) {
+        for (size_t i = 0; i < parent->grad.size(); ++i) {
+          parent->grad[i] += on->grad[off + i];
+        }
+        off += parent->grad.size();
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  FCM_CHECK(!parts.empty());
+  const int n = Rows(parts[0]);
+  int total_k = 0;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  std::vector<int> widths;
+  for (const auto& p : parts) {
+    FCM_CHECK_EQ(Rows(p), n);
+    widths.push_back(Cols(p));
+    total_k += Cols(p);
+    parents.push_back(p.node_ptr());
+  }
+  Tensor out = MakeOpResult({n, total_k}, std::move(parents));
+  auto& ov = out.data();
+  int col_off = 0;
+  for (size_t pi = 0; pi < parts.size(); ++pi) {
+    const auto& pv = parts[pi].data();
+    const int w = widths[pi];
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < w; ++j) {
+        ov[static_cast<size_t>(i) * total_k + col_off + j] =
+            pv[static_cast<size_t>(i) * w + j];
+      }
+    }
+    col_off += w;
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    auto widths_sp = std::make_shared<std::vector<int>>(widths);
+    on->backward_fn = [on, widths_sp, n, total_k]() {
+      int coff = 0;
+      for (size_t pi = 0; pi < on->parents.size(); ++pi) {
+        const int w = (*widths_sp)[pi];
+        auto& pg = on->parents[pi]->grad;
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < w; ++j) {
+            pg[static_cast<size_t>(i) * w + j] +=
+                on->grad[static_cast<size_t>(i) * total_k + coff + j];
+          }
+        }
+        coff += w;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatVec(const std::vector<Tensor>& parts) {
+  FCM_CHECK(!parts.empty());
+  int total = 0;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  for (const auto& p : parts) {
+    FCM_CHECK_EQ(p.rank(), 1);
+    total += p.dim(0);
+    parents.push_back(p.node_ptr());
+  }
+  Tensor out = MakeOpResult({total}, std::move(parents));
+  auto& ov = out.data();
+  size_t offset = 0;
+  for (const auto& p : parts) {
+    const auto& pv = p.data();
+    std::copy(pv.begin(), pv.end(), ov.begin() + static_cast<long>(offset));
+    offset += pv.size();
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    on->backward_fn = [on]() {
+      size_t off = 0;
+      for (auto& parent : on->parents) {
+        for (size_t i = 0; i < parent->grad.size(); ++i) {
+          parent->grad[i] += on->grad[off + i];
+        }
+        off += parent->grad.size();
+      }
+    };
+  }
+  return out;
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  FCM_CHECK(!rows.empty());
+  const int k = rows[0].dim(0);
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  for (const auto& r : rows) {
+    FCM_CHECK_EQ(r.rank(), 1);
+    FCM_CHECK_EQ(r.dim(0), k);
+    parents.push_back(r.node_ptr());
+  }
+  const int n = static_cast<int>(rows.size());
+  Tensor out = MakeOpResult({n, k}, std::move(parents));
+  auto& ov = out.data();
+  for (int i = 0; i < n; ++i) {
+    const auto& rv = rows[static_cast<size_t>(i)].data();
+    std::copy(rv.begin(), rv.end(),
+              ov.begin() + static_cast<long>(static_cast<size_t>(i) * k));
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    on->backward_fn = [on, k]() {
+      for (size_t i = 0; i < on->parents.size(); ++i) {
+        auto& pg = on->parents[i]->grad;
+        for (int j = 0; j < k; ++j) {
+          pg[static_cast<size_t>(j)] += on->grad[i * k + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int row_begin, int row_end) {
+  const int n = Rows(a), k = Cols(a);
+  FCM_CHECK_GE(row_begin, 0);
+  FCM_CHECK_LE(row_end, n);
+  FCM_CHECK_LT(row_begin, row_end);
+  const int out_n = row_end - row_begin;
+  Tensor out = MakeOpResult({out_n, k}, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  std::copy(av.begin() + static_cast<long>(static_cast<size_t>(row_begin) * k),
+            av.begin() + static_cast<long>(static_cast<size_t>(row_end) * k),
+            ov.begin());
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, row_begin, k]() {
+      const size_t base = static_cast<size_t>(row_begin) * k;
+      for (size_t i = 0; i < on->grad.size(); ++i) {
+        an->grad[base + i] += on->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int col_begin, int col_end) {
+  const int n = Rows(a), k = Cols(a);
+  FCM_CHECK_GE(col_begin, 0);
+  FCM_CHECK_LE(col_end, k);
+  FCM_CHECK_LT(col_begin, col_end);
+  const int out_k = col_end - col_begin;
+  Tensor out = MakeOpResult({n, out_k}, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out_k; ++j) {
+      ov[static_cast<size_t>(i) * out_k + j] =
+          av[static_cast<size_t>(i) * k + col_begin + j];
+    }
+  }
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, n, k, out_k, col_begin]() {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < out_k; ++j) {
+          an->grad[static_cast<size_t>(i) * k + col_begin + j] +=
+              on->grad[static_cast<size_t>(i) * out_k + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Row(const Tensor& a, int row) {
+  const int k = Cols(a);
+  FCM_CHECK_GE(row, 0);
+  FCM_CHECK_LT(row, Rows(a));
+  Tensor out = MakeOpResult({k}, {a.node_ptr()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  std::copy(av.begin() + static_cast<long>(static_cast<size_t>(row) * k),
+            av.begin() + static_cast<long>(static_cast<size_t>(row + 1) * k),
+            ov.begin());
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    on->backward_fn = [on, an, row, k]() {
+      const size_t base = static_cast<size_t>(row) * k;
+      for (int j = 0; j < k; ++j) an->grad[base + j] += on->grad[static_cast<size_t>(j)];
+    };
+  }
+  return out;
+}
+
+Tensor BinaryCrossEntropy(const Tensor& pred, float label) {
+  FCM_CHECK_EQ(pred.numel(), 1);
+  Tensor out = MakeOpResult({1}, {pred.node_ptr()});
+  static constexpr float kEps = 1e-7f;
+  const float p = std::clamp(pred.data()[0], kEps, 1.0f - kEps);
+  out.data()[0] = -(label * std::log(p) + (1.0f - label) * std::log(1.0f - p));
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* pn = pred.node();
+    on->backward_fn = [on, pn, label]() {
+      const float p2 = std::clamp(pn->data[0], kEps, 1.0f - kEps);
+      pn->grad[0] += on->grad[0] * (-(label / p2) + (1.0f - label) / (1.0f - p2));
+    };
+  }
+  return out;
+}
+
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logit, float label) {
+  FCM_CHECK_EQ(logit.numel(), 1);
+  Tensor out = MakeOpResult({1}, {logit.node_ptr()});
+  const float z = logit.data()[0];
+  // log(1 + exp(-|z|)) + max(z, 0) - z * label, the stable formulation.
+  out.data()[0] = std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0f) -
+                  z * label;
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* ln = logit.node();
+    on->backward_fn = [on, ln, label]() {
+      const float sig = 1.0f / (1.0f + std::exp(-ln->data[0]));
+      ln->grad[0] += on->grad[0] * (sig - label);
+    };
+  }
+  return out;
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& targets) {
+  const int n = Rows(logits), c = Cols(logits);
+  FCM_CHECK_EQ(static_cast<size_t>(n), targets.size());
+  Tensor out = MakeOpResult({1}, {logits.node_ptr()});
+  const auto& lv = logits.data();
+  // Cache softmax probabilities for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(lv.size());
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const size_t base = static_cast<size_t>(i) * c;
+    FCM_CHECK_GE(targets[static_cast<size_t>(i)], 0);
+    FCM_CHECK_LT(targets[static_cast<size_t>(i)], c);
+    float mx = -1e30f;
+    for (int j = 0; j < c; ++j) mx = std::max(mx, lv[base + j]);
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) {
+      (*probs)[base + j] = std::exp(lv[base + j] - mx);
+      denom += (*probs)[base + j];
+    }
+    for (int j = 0; j < c; ++j) {
+      (*probs)[base + j] = static_cast<float>((*probs)[base + j] / denom);
+    }
+    loss -= std::log(std::max(
+        1e-12, static_cast<double>(
+                   (*probs)[base + targets[static_cast<size_t>(i)]])));
+  }
+  out.data()[0] = static_cast<float>(loss / n);
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* ln = logits.node();
+    auto tgt = std::make_shared<std::vector<int>>(targets);
+    on->backward_fn = [on, ln, probs, tgt, n, c]() {
+      const float g = on->grad[0] / static_cast<float>(n);
+      for (int i = 0; i < n; ++i) {
+        const size_t base = static_cast<size_t>(i) * c;
+        for (int j = 0; j < c; ++j) {
+          const float onehot =
+              j == (*tgt)[static_cast<size_t>(i)] ? 1.0f : 0.0f;
+          ln->grad[base + j] += g * ((*probs)[base + j] - onehot);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor DotProduct(const Tensor& a, const Tensor& b) {
+  FCM_CHECK_EQ(a.rank(), 1);
+  FCM_CHECK_EQ(b.rank(), 1);
+  FCM_CHECK_EQ(a.dim(0), b.dim(0));
+  Tensor out = MakeOpResult({1}, {a.node_ptr(), b.node_ptr()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  float s = 0.0f;
+  for (size_t i = 0; i < av.size(); ++i) s += av[i] * bv[i];
+  out.data()[0] = s;
+  if (out.requires_grad()) {
+    TensorNode* on = out.node();
+    TensorNode* an = a.node();
+    TensorNode* bn = b.node();
+    on->backward_fn = [on, an, bn]() {
+      const float g = on->grad[0];
+      for (size_t i = 0; i < an->grad.size(); ++i) {
+        an->grad[i] += g * bn->data[i];
+        bn->grad[i] += g * an->data[i];
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace fcm::nn

@@ -1,0 +1,104 @@
+// Differentiable tensor operations. Every function builds a graph node
+// whose backward_fn accumulates gradients into its inputs; see tensor.h.
+//
+// Shape conventions: activations are rank-2 [rows, cols] (rows = sequence
+// positions, cols = embedding dim); rank-1 tensors are vectors. Reshape
+// moves between the two.
+
+#ifndef FCM_NN_OPS_H_
+#define FCM_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fcm::nn {
+
+/// Elementwise sum; shapes must match.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise difference; shapes must match.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product; shapes must match.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Multiplies every element by a constant.
+Tensor Scale(const Tensor& a, float s);
+/// Adds a constant to every element.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// Matrix [n,k] + row vector [k], broadcast over rows (bias add).
+Tensor AddRowBroadcast(const Tensor& m, const Tensor& row);
+
+/// Matrix product: [n,k] x [k,m] -> [n,m].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Reinterprets the elements with a new shape (same element count).
+Tensor Reshape(const Tensor& a, const Shape& shape);
+
+/// Row-wise softmax over the last dimension of a rank-2 tensor (or the
+/// whole of a rank-1 tensor).
+Tensor Softmax(const Tensor& a);
+
+/// Elementwise square root (inputs clamped to >= 0).
+Tensor Sqrt(const Tensor& a);
+/// Elementwise reciprocal square root (inputs clamped away from 0).
+Tensor Rsqrt(const Tensor& a, float epsilon = 1e-8f);
+
+/// Elementwise nonlinearities.
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.01f);
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+
+/// Layer normalization over the last dimension, with learnable gain/bias
+/// vectors of size [cols].
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float epsilon = 1e-5f);
+
+/// Mean over all elements -> scalar [1].
+Tensor MeanAll(const Tensor& a);
+/// Sum over all elements -> scalar [1].
+Tensor SumAll(const Tensor& a);
+/// Column-wise mean of a rank-2 tensor -> [cols] (mean over rows).
+Tensor MeanRows(const Tensor& a);
+/// Row-wise max over the last dimension of a rank-2 tensor -> [rows].
+/// Gradient flows to the argmax element of each row.
+Tensor MaxCols(const Tensor& a);
+
+/// Vertical concatenation of rank-2 tensors with equal column counts.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+/// Horizontal concatenation of rank-2 tensors with equal row counts.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+/// Concatenates rank-1 vectors into a longer vector.
+Tensor ConcatVec(const std::vector<Tensor>& parts);
+/// Stacks rank-1 vectors of equal size into a rank-2 tensor [n, k].
+Tensor StackRows(const std::vector<Tensor>& rows);
+
+/// Rows [row_begin, row_end) of a rank-2 tensor.
+Tensor SliceRows(const Tensor& a, int row_begin, int row_end);
+/// Columns [col_begin, col_end) of a rank-2 tensor.
+Tensor SliceCols(const Tensor& a, int col_begin, int col_end);
+/// A single row of a rank-2 tensor as a rank-1 vector.
+Tensor Row(const Tensor& a, int row);
+
+/// Binary cross-entropy of a probability `pred` in (0,1) (scalar tensor)
+/// against a fixed 0/1 `label`; clamps pred away from {0,1} for stability.
+Tensor BinaryCrossEntropy(const Tensor& pred, float label);
+
+/// Numerically stable BCE directly from a logit (scalar tensor).
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logit, float label);
+
+/// Mean softmax cross-entropy of logits [n, classes] against integer
+/// targets (size n) -> scalar [1].
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& targets);
+
+/// Dot product of two equal-size rank-1 tensors -> scalar [1].
+Tensor DotProduct(const Tensor& a, const Tensor& b);
+
+}  // namespace fcm::nn
+
+#endif  // FCM_NN_OPS_H_

@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace fcm::nn {
+
+double Optimizer::GradNorm() const {
+  double s = 0.0;
+  for (const auto& p : params_) {
+    if (p.grad().size() != p.data().size()) continue;
+    for (float g : p.grad()) s += static_cast<double>(g) * g;
+  }
+  return std::sqrt(s);
+}
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  const double norm = GradNorm();
+  if (norm <= max_norm || norm < 1e-12) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (auto& p : params_) {
+    if (p.grad().size() != p.data().size()) continue;
+    for (float& g : p.grad()) g *= scale;
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    if (grad.size() != data.size()) continue;  // Never touched by backward.
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + grad[j];
+      data[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0f);
+    v_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    if (grad.size() != data.size()) continue;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      data[j] -= lr_ * (mhat / (std::sqrt(vhat) + epsilon_) +
+                        weight_decay_ * data[j]);
+    }
+  }
+}
+
+}  // namespace fcm::nn

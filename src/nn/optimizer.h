@@ -1,0 +1,80 @@
+// First-order optimizers over a parameter list (the paper trains FCM with
+// Adam, lr 1e-6 at full scale; we default to a larger lr at reduced scale).
+
+#ifndef FCM_NN_OPTIMIZER_H_
+#define FCM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fcm::nn {
+
+/// Common optimizer interface: Step consumes the gradients currently in
+/// the parameters' grad buffers; ZeroGrad clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  /// Global L2 norm of all gradients (diagnostics / clipping).
+  double GradNorm() const;
+
+  /// Scales gradients so their global norm is at most `max_norm`.
+  void ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional decoupled weight
+/// decay (AdamW): decay is applied directly to the parameters, not mixed
+/// into the adaptive gradient moments.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace fcm::nn
+
+#endif  // FCM_NN_OPTIMIZER_H_

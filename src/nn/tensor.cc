@@ -1,0 +1,136 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fcm::nn {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    FCM_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = shape;
+  node->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->grad.assign(node->data.size(), 0.0f);
+  return Wrap(std::move(node));
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  std::fill(t.data().begin(), t.data().end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  FCM_CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape));
+  auto node = std::make_shared<TensorNode>();
+  node->shape = shape;
+  node->data = std::move(values);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->grad.assign(node->data.size(), 0.0f);
+  return Wrap(std::move(node));
+}
+
+Tensor Tensor::XavierUniform(int rows, int cols, common::Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  std::vector<float> v(static_cast<size_t>(rows) * cols);
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+  return FromVector({rows, cols}, std::move(v), /*requires_grad=*/true);
+}
+
+Tensor Tensor::RandomNormal(const Shape& shape, float stddev,
+                            common::Rng* rng, bool requires_grad) {
+  std::vector<float> v(static_cast<size_t>(NumElements(shape)));
+  for (auto& x : v) x = static_cast<float>(rng->Normal(0.0, stddev));
+  return FromVector(shape, std::move(v), requires_grad);
+}
+
+void Tensor::ZeroGrad() {
+  auto* n = node();
+  if (n->grad.size() != n->data.size()) {
+    n->grad.assign(n->data.size(), 0.0f);
+  } else {
+    std::fill(n->grad.begin(), n->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  auto n = std::make_shared<TensorNode>();
+  n->shape = node()->shape;
+  n->data = node()->data;
+  n->requires_grad = false;
+  return Wrap(std::move(n));
+}
+
+namespace {
+
+// Iterative post-order topological sort (avoids stack overflow on deep
+// graphs such as unrolled training loops).
+void TopoSort(TensorNode* root, std::vector<TensorNode*>* order) {
+  std::unordered_set<TensorNode*> visited;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorNode* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  FCM_CHECK_EQ(numel(), 1);
+  std::vector<TensorNode*> order;
+  TopoSort(node(), &order);
+  // Ensure gradient buffers exist for all nodes in the graph.
+  for (TensorNode* n : order) {
+    if (n->grad.size() != n->data.size()) {
+      n->grad.assign(n->data.size(), 0.0f);
+    }
+  }
+  node()->grad[0] = 1.0f;
+  // Reverse topological order: every node's grad is final before its
+  // backward_fn pushes into parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor MakeOpResult(const Shape& shape,
+                    std::vector<std::shared_ptr<TensorNode>> parents) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = shape;
+  node->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  node->requires_grad = false;
+  for (const auto& p : parents) {
+    node->requires_grad = node->requires_grad || p->requires_grad;
+  }
+  node->parents = std::move(parents);
+  if (node->requires_grad) node->grad.assign(node->data.size(), 0.0f);
+  return Tensor::Wrap(std::move(node));
+}
+
+}  // namespace fcm::nn

@@ -1,0 +1,116 @@
+// A small dense float32 tensor with reverse-mode automatic
+// differentiation — the training substrate replacing libtorch in this
+// reproduction. Tensors are handles (cheap to copy) onto shared nodes of a
+// dynamically built computation graph; Tensor::Backward() runs
+// backpropagation over a topological order of the graph.
+
+#ifndef FCM_NN_TENSOR_H_
+#define FCM_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fcm::nn {
+
+/// Shape of a tensor; row-major storage. Rank 1 and 2 cover every model in
+/// this repository ([seq, dim] activations, [in, out] weights, [dim]
+/// biases).
+using Shape = std::vector<int>;
+
+/// Number of elements implied by a shape.
+int64_t NumElements(const Shape& shape);
+
+/// Graph node: storage + gradient + backward closure.
+struct TensorNode {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;
+  bool requires_grad = false;
+  /// Inputs this node was computed from (graph edges).
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Accumulates parent gradients given this node's gradient.
+  std::function<void()> backward_fn;
+};
+
+/// Value-semantics handle to a TensorNode.
+class Tensor {
+ public:
+  /// Null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Fresh tensor filled with zeros.
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  /// Fresh tensor filled with `value`.
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  /// Takes ownership of `values` (size must match the shape).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// Xavier/Glorot-uniform initialized parameter.
+  static Tensor XavierUniform(int rows, int cols, common::Rng* rng);
+  /// Normal(0, stddev) initialized parameter.
+  static Tensor RandomNormal(const Shape& shape, float stddev,
+                             common::Rng* rng, bool requires_grad = true);
+
+  bool defined() const { return node_ != nullptr; }
+  const Shape& shape() const { return node()->shape; }
+  int dim(int i) const {
+    FCM_CHECK_LT(static_cast<size_t>(i), node()->shape.size());
+    return node()->shape[static_cast<size_t>(i)];
+  }
+  int rank() const { return static_cast<int>(node()->shape.size()); }
+  int64_t numel() const { return NumElements(node()->shape); }
+
+  std::vector<float>& data() { return node()->data; }
+  const std::vector<float>& data() const { return node()->data; }
+  std::vector<float>& grad() { return node()->grad; }
+  const std::vector<float>& grad() const { return node()->grad; }
+  bool requires_grad() const { return node()->requires_grad; }
+
+  /// Scalar value of a 1-element tensor.
+  float item() const {
+    FCM_CHECK_EQ(numel(), 1);
+    return node()->data[0];
+  }
+
+  /// Runs backpropagation from this scalar tensor (numel() == 1): seeds
+  /// d(this)/d(this) = 1 and accumulates gradients into every
+  /// requires_grad node reachable through the graph.
+  void Backward();
+
+  /// Zeroes this node's gradient buffer.
+  void ZeroGrad();
+
+  /// Detached copy sharing no graph history (same data).
+  Tensor Detach() const;
+
+  std::shared_ptr<TensorNode> node_ptr() const { return node_; }
+  TensorNode* node() const {
+    FCM_CHECK(node_ != nullptr);
+    return node_.get();
+  }
+
+  /// Builds a tensor wrapping an existing node (internal/ops use).
+  static Tensor Wrap(std::shared_ptr<TensorNode> node) {
+    Tensor t;
+    t.node_ = std::move(node);
+    return t;
+  }
+
+ private:
+  std::shared_ptr<TensorNode> node_;
+};
+
+/// Creates a result node for an op over `parents`; requires_grad is
+/// inherited. (Internal helper shared by ops.cc.)
+Tensor MakeOpResult(const Shape& shape,
+                    std::vector<std::shared_ptr<TensorNode>> parents);
+
+}  // namespace fcm::nn
+
+#endif  // FCM_NN_TENSOR_H_

@@ -1,0 +1,72 @@
+#include "relevance/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fcm::rel {
+
+std::vector<double> NormalizeToDistribution(const std::vector<double>& w) {
+  std::vector<double> p(w.size(), 0.0);
+  if (w.empty()) return p;
+  double total = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    p[i] = std::max(0.0, w[i]);
+    total += p[i];
+  }
+  if (total <= 0.0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(p.size()));
+    return p;
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double epsilon) {
+  FCM_CHECK_EQ(p.size(), q.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    kl += p[i] * std::log(p[i] / std::max(q[i], epsilon));
+  }
+  return kl;
+}
+
+double SymmetricKl(const std::vector<double>& p, const std::vector<double>& q,
+                   double epsilon) {
+  return KlDivergence(p, q, epsilon) + KlDivergence(q, p, epsilon);
+}
+
+double JensenShannon(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  FCM_CHECK_EQ(p.size(), q.size());
+  std::vector<double> m(p.size());
+  for (size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+}
+
+double PieLowLevelRelevance(const std::vector<double>& shares,
+                            const std::vector<double>& column_values) {
+  if (shares.empty() || column_values.empty()) return 0.0;
+  std::vector<double> p = NormalizeToDistribution(shares);
+  std::vector<double> q = NormalizeToDistribution(column_values);
+  const size_t n = std::max(p.size(), q.size());
+  p.resize(n, 0.0);
+  q.resize(n, 0.0);
+  return 1.0 / (1.0 + SymmetricKl(p, q));
+}
+
+double PieRelevance(const std::vector<double>& shares, const table::Table& t,
+                    int exclude_column) {
+  double best = 0.0;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    if (static_cast<int>(c) == exclude_column) continue;
+    best = std::max(
+        best, PieLowLevelRelevance(shares, t.column(c).values));
+  }
+  return best;
+}
+
+}  // namespace fcm::rel

@@ -1,0 +1,47 @@
+// Distribution-based relevance for pie charts (paper Sec. VI-B: "since a
+// pie chart commonly depicts a data distribution, metrics such as
+// KL-Distance may be more appropriate to compute Rel(D, T)").
+
+#ifndef FCM_RELEVANCE_DISTRIBUTION_H_
+#define FCM_RELEVANCE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace fcm::rel {
+
+/// Normalizes non-negative weights into a probability distribution.
+/// Negative entries are clamped to 0; an all-zero input yields the uniform
+/// distribution. Empty input returns empty.
+std::vector<double> NormalizeToDistribution(const std::vector<double>& w);
+
+/// KL divergence KL(p || q) over distributions of equal length, with
+/// epsilon smoothing so zero entries in q stay finite. Asymmetric.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double epsilon = 1e-9);
+
+/// Symmetrized KL: KL(p||q) + KL(q||p).
+double SymmetricKl(const std::vector<double>& p, const std::vector<double>& q,
+                   double epsilon = 1e-9);
+
+/// Jensen-Shannon divergence (bounded in [0, ln 2], symmetric).
+double JensenShannon(const std::vector<double>& p,
+                     const std::vector<double>& q);
+
+/// Low-level pie relevance between a sector-share distribution and a
+/// column, mirroring rel(d, C) = 1 / (1 + dist): the column's non-negative
+/// values are normalized into a distribution; when lengths differ the
+/// shorter is zero-padded (extra categories that the other side lacks).
+double PieLowLevelRelevance(const std::vector<double>& shares,
+                            const std::vector<double>& column_values);
+
+/// High-level pie relevance Rel(D, T): the best PieLowLevelRelevance over
+/// all columns of T (a pie depicts one distribution, so bipartite matching
+/// degenerates to a max). `exclude_column` skips the x column (-1 = none).
+double PieRelevance(const std::vector<double>& shares, const table::Table& t,
+                    int exclude_column = -1);
+
+}  // namespace fcm::rel
+
+#endif  // FCM_RELEVANCE_DISTRIBUTION_H_

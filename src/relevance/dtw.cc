@@ -1,0 +1,72 @@
+#include "relevance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace fcm::rel {
+
+namespace {
+
+std::vector<double> ZNormalize(const std::vector<double>& v) {
+  const double m = common::Mean(v);
+  double sd = common::Stddev(v);
+  if (sd < 1e-12) sd = 1.0;
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - m) / sd;
+  return out;
+}
+
+}  // namespace
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   const DtwOptions& options) {
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> x = a, y = b;
+  if (options.z_normalize) {
+    x = ZNormalize(x);
+    y = ZNormalize(y);
+  }
+  const size_t n = x.size(), m = y.size();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  size_t band = std::max(n, m);
+  if (options.band_fraction >= 0.0) {
+    band = static_cast<size_t>(
+        std::ceil(options.band_fraction * static_cast<double>(std::max(n, m))));
+    // The band must be at least |n - m| for a valid alignment to exist.
+    const size_t min_band = n > m ? n - m : m - n;
+    band = std::max(band, min_band);
+  }
+
+  // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+  std::vector<double> prev(m + 1, inf), cur(m + 1, inf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    const size_t j_lo = (i > band) ? i - band : 1;
+    const size_t j_hi = std::min(m, i + band);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::fabs(x[i - 1] - y[j - 1]);
+      const double best =
+          std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LowLevelRelevance(const std::vector<double>& d,
+                         const std::vector<double>& c,
+                         const DtwOptions& options) {
+  const double dist = DtwDistance(d, c, options);
+  if (std::isinf(dist)) return 0.0;
+  return 1.0 / (1.0 + dist);
+}
+
+}  // namespace fcm::rel

@@ -1,0 +1,35 @@
+// Dynamic Time Warping distance (paper Sec. III-A), used to define the
+// ground-truth low-level relevance rel(d, C) = 1 / (1 + DTW(d, C)).
+
+#ifndef FCM_RELEVANCE_DTW_H_
+#define FCM_RELEVANCE_DTW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fcm::rel {
+
+/// Options controlling the DTW computation.
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width as a fraction of the longer series length;
+  /// negative disables the band (full DTW).
+  double band_fraction = -1.0;
+  /// Z-normalize both series before aligning (removes offset/scale). The
+  /// paper's ground truth uses raw values; normalization is provided for
+  /// the Qetch*-style baselines and ablations.
+  bool z_normalize = false;
+};
+
+/// DTW distance with absolute-difference local cost. Empty inputs give
+/// +infinity (no alignment exists).
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   const DtwOptions& options = {});
+
+/// Low-level relevance rel(d, C) = 1 / (1 + DTW(d, C)) in (0, 1].
+double LowLevelRelevance(const std::vector<double>& d,
+                         const std::vector<double>& c,
+                         const DtwOptions& options = {});
+
+}  // namespace fcm::rel
+
+#endif  // FCM_RELEVANCE_DTW_H_

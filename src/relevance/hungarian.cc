@@ -1,0 +1,118 @@
+#include "relevance/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fcm::rel {
+
+namespace {
+
+// Classic Hungarian algorithm with potentials on an n x m cost matrix
+// (n <= m), minimizing total cost. Returns row -> column assignment
+// (every row assigned). 1-indexed internals per the standard formulation.
+std::vector<int> SolveMinCost(const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  const int m = n == 0 ? 0 : static_cast<int>(cost[0].size());
+  FCM_CHECK_LE(n, m);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0), way(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, inf);
+    std::vector<char> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = inf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] > 0) row_to_col[p[j] - 1] = j - 1;
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+MatchingResult MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights) {
+  MatchingResult result;
+  const size_t rows = weights.size();
+  if (rows == 0) return result;
+  const size_t cols = weights[0].size();
+  for (const auto& r : weights) FCM_CHECK_EQ(r.size(), cols);
+  result.assignment.assign(rows, -1);
+  if (cols == 0) return result;
+
+  // Orient so the smaller side is the row side (Hungarian needs n <= m).
+  const bool transposed = rows > cols;
+  const size_t n = transposed ? cols : rows;
+  const size_t m = transposed ? rows : cols;
+
+  double max_w = 0.0;
+  for (const auto& r : weights) {
+    for (double w : r) max_w = std::max(max_w, w);
+  }
+  // Convert maximization to minimization. "Never match" (negative weight)
+  // costs more than any chain of real assignments can save.
+  const double forbidden_cost = (max_w + 1.0) * static_cast<double>(n + 1);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double w = transposed ? weights[j][i] : weights[i][j];
+      cost[i][j] = w < 0.0 ? forbidden_cost : max_w - w;
+    }
+  }
+
+  const std::vector<int> row_to_col = SolveMinCost(cost);
+  for (size_t i = 0; i < n; ++i) {
+    const int j = row_to_col[i];
+    if (j < 0) continue;
+    const double w = transposed ? weights[static_cast<size_t>(j)][i]
+                                : weights[i][static_cast<size_t>(j)];
+    if (w < 0.0) continue;  // Forbidden pair chosen only to fill; drop it.
+    if (transposed) {
+      result.assignment[static_cast<size_t>(j)] = static_cast<int>(i);
+    } else {
+      result.assignment[i] = j;
+    }
+    result.total_weight += w;
+  }
+  return result;
+}
+
+}  // namespace fcm::rel

@@ -1,0 +1,28 @@
+// Weighted maximum bipartite matching (paper Sec. III-A) via the Hungarian
+// (Kuhn-Munkres) algorithm with potentials, O(n^2 m).
+
+#ifndef FCM_RELEVANCE_HUNGARIAN_H_
+#define FCM_RELEVANCE_HUNGARIAN_H_
+
+#include <vector>
+
+namespace fcm::rel {
+
+/// Result of a maximum-weight bipartite matching.
+struct MatchingResult {
+  /// assignment[i] = column matched to row i, or -1 when unmatched.
+  std::vector<int> assignment;
+  /// Sum of weights over matched pairs.
+  double total_weight = 0.0;
+};
+
+/// Finds a matching of rows to columns maximizing total weight. `weights`
+/// is a rows x cols matrix (weights[i][j] >= 0; negative weights are
+/// treated as "never match"). Every row is matched when rows <= cols,
+/// except rows whose only available weights are negative.
+MatchingResult MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights);
+
+}  // namespace fcm::rel
+
+#endif  // FCM_RELEVANCE_HUNGARIAN_H_

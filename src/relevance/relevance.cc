@@ -1,0 +1,43 @@
+#include "relevance/relevance.h"
+
+namespace fcm::rel {
+
+std::vector<std::vector<double>> RelevanceMatrix(
+    const table::UnderlyingData& d, const table::Table& t,
+    const RelevanceOptions& options) {
+  std::vector<std::vector<double>> w(d.size(),
+                                     std::vector<double>(t.num_columns()));
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < t.num_columns(); ++j) {
+      if (options.exclude_column >= 0 &&
+          j == static_cast<size_t>(options.exclude_column)) {
+        w[i][j] = -1.0;
+        continue;
+      }
+      w[i][j] = LowLevelRelevance(d[i].y, t.column(j).values, options.dtw);
+    }
+  }
+  return w;
+}
+
+RelevanceDetail RelevanceWithMatching(const table::UnderlyingData& d,
+                                      const table::Table& t,
+                                      const RelevanceOptions& options) {
+  RelevanceDetail out;
+  if (d.empty() || t.num_columns() == 0) return out;
+  const auto weights = RelevanceMatrix(d, t, options);
+  MatchingResult m = MaxWeightBipartiteMatching(weights);
+  out.series_to_column = std::move(m.assignment);
+  out.score = m.total_weight;
+  if (options.normalize_by_series) {
+    out.score /= static_cast<double>(d.size());
+  }
+  return out;
+}
+
+double Relevance(const table::UnderlyingData& d, const table::Table& t,
+                 const RelevanceOptions& options) {
+  return RelevanceWithMatching(d, t, options).score;
+}
+
+}  // namespace fcm::rel

@@ -1,0 +1,51 @@
+// Ground-truth relevance Rel(D, T) between the underlying data of a chart
+// and a candidate dataset (paper Sec. III-A): low-level DTW relevance per
+// (series, column) pair, lifted via weighted maximum bipartite matching.
+
+#ifndef FCM_RELEVANCE_RELEVANCE_H_
+#define FCM_RELEVANCE_RELEVANCE_H_
+
+#include <vector>
+
+#include "relevance/dtw.h"
+#include "relevance/hungarian.h"
+#include "table/data_series.h"
+#include "table/table.h"
+
+namespace fcm::rel {
+
+/// Options for Rel(D, T) computation.
+struct RelevanceOptions {
+  DtwOptions dtw;
+  /// Column index of T to exclude from matching (the x-axis column), or -1.
+  int exclude_column = -1;
+  /// Normalize the matched weight sum by the number of data series so that
+  /// Rel is comparable across charts with different line counts.
+  bool normalize_by_series = true;
+};
+
+/// The bipartite relevance matrix: rel(d_i, C_j) for every series/column
+/// pair. Excluded columns get weight -1 ("never match").
+std::vector<std::vector<double>> RelevanceMatrix(
+    const table::UnderlyingData& d, const table::Table& t,
+    const RelevanceOptions& options = {});
+
+/// High-level relevance Rel(D, T): maximum-weight bipartite matching over
+/// RelevanceMatrix, optionally normalized by |D|. Returns 0 for empty
+/// inputs.
+double Relevance(const table::UnderlyingData& d, const table::Table& t,
+                 const RelevanceOptions& options = {});
+
+/// Like Relevance but also reports which column matched each series.
+struct RelevanceDetail {
+  double score = 0.0;
+  /// series index -> column index in T (or -1 when unmatched).
+  std::vector<int> series_to_column;
+};
+RelevanceDetail RelevanceWithMatching(const table::UnderlyingData& d,
+                                      const table::Table& t,
+                                      const RelevanceOptions& options = {});
+
+}  // namespace fcm::rel
+
+#endif  // FCM_RELEVANCE_RELEVANCE_H_

@@ -1,0 +1,92 @@
+#include "table/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fcm::table {
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kNone: return "none";
+    case AggregateOp::kAvg: return "avg";
+    case AggregateOp::kSum: return "sum";
+    case AggregateOp::kMax: return "max";
+    case AggregateOp::kMin: return "min";
+  }
+  return "?";
+}
+
+common::Result<AggregateOp> ParseAggregateOp(const std::string& name) {
+  if (name == "none") return AggregateOp::kNone;
+  if (name == "avg") return AggregateOp::kAvg;
+  if (name == "sum") return AggregateOp::kSum;
+  if (name == "max") return AggregateOp::kMax;
+  if (name == "min") return AggregateOp::kMin;
+  return common::Status::InvalidArgument("unknown aggregate op: " + name);
+}
+
+std::vector<double> Aggregate(const std::vector<double>& values,
+                              AggregateOp op, size_t window_size) {
+  FCM_CHECK_GE(window_size, 1u);
+  if (op == AggregateOp::kNone || window_size == 1) return values;
+  std::vector<double> out;
+  out.reserve((values.size() + window_size - 1) / window_size);
+  for (size_t start = 0; start < values.size(); start += window_size) {
+    const size_t end = std::min(start + window_size, values.size());
+    double acc = 0.0;
+    switch (op) {
+      case AggregateOp::kAvg:
+      case AggregateOp::kSum: {
+        acc = 0.0;
+        for (size_t i = start; i < end; ++i) acc += values[i];
+        if (op == AggregateOp::kAvg) acc /= static_cast<double>(end - start);
+        break;
+      }
+      case AggregateOp::kMax: {
+        acc = -std::numeric_limits<double>::infinity();
+        for (size_t i = start; i < end; ++i) acc = std::max(acc, values[i]);
+        break;
+      }
+      case AggregateOp::kMin: {
+        acc = std::numeric_limits<double>::infinity();
+        for (size_t i = start; i < end; ++i) acc = std::min(acc, values[i]);
+        break;
+      }
+      case AggregateOp::kNone:
+        acc = 0.0;  // Unreachable; handled above.
+        break;
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+const std::vector<AggregateOp>& RealAggregateOps() {
+  static const std::vector<AggregateOp> ops = {
+      AggregateOp::kAvg, AggregateOp::kSum, AggregateOp::kMax,
+      AggregateOp::kMin};
+  return ops;
+}
+
+std::vector<double> NestedAggregate(const std::vector<double>& values,
+                                    const std::vector<AggregateStep>& steps) {
+  std::vector<double> out = values;
+  for (const auto& step : steps) {
+    out = Aggregate(out, step.op, step.window_size);
+  }
+  return out;
+}
+
+std::string AggregatePipelineName(const std::vector<AggregateStep>& steps) {
+  std::string name;
+  for (const auto& step : steps) {
+    if (!name.empty()) name += " -> ";
+    name += AggregateOpName(step.op);
+    name += "(" + std::to_string(step.window_size) + ")";
+  }
+  return name.empty() ? "identity" : name;
+}
+
+}  // namespace fcm::table

@@ -1,0 +1,55 @@
+// Windowed data-aggregation operators (paper Sec. II & V): avg, sum, max,
+// min over non-overlapping windows, plus the identity (no aggregation).
+
+#ifndef FCM_TABLE_AGGREGATE_H_
+#define FCM_TABLE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fcm::table {
+
+/// The four aggregation operators the paper supports, plus identity
+/// ("none") used for non-DA charts and as the 5th transformation expert.
+enum class AggregateOp { kNone = 0, kAvg = 1, kSum = 2, kMax = 3, kMin = 4 };
+
+/// Number of distinct operators (including kNone) — size of the MoE expert
+/// pool in the extended FCM.
+inline constexpr int kNumAggregateOps = 5;
+
+/// Human-readable operator name ("none", "avg", ...).
+const char* AggregateOpName(AggregateOp op);
+
+/// Parses an operator name; InvalidArgument on unknown names.
+common::Result<AggregateOp> ParseAggregateOp(const std::string& name);
+
+/// Applies `op` to `values` over non-overlapping windows of size
+/// `window_size`. A trailing partial window is aggregated as-is. kNone
+/// returns the input unchanged (window ignored). Requires window_size >= 1.
+std::vector<double> Aggregate(const std::vector<double>& values,
+                              AggregateOp op, size_t window_size);
+
+/// All operators that perform real aggregation (excludes kNone).
+const std::vector<AggregateOp>& RealAggregateOps();
+
+/// One stage of a nested aggregation pipeline (paper Sec. IX "Nested
+/// aggregations": real-world charts often chain aggregation operations,
+/// e.g. daily max of 5-minute averages).
+struct AggregateStep {
+  AggregateOp op = AggregateOp::kNone;
+  size_t window_size = 1;
+};
+
+/// Applies the steps in order: the output of step i feeds step i+1.
+/// An empty pipeline returns the input unchanged.
+std::vector<double> NestedAggregate(const std::vector<double>& values,
+                                    const std::vector<AggregateStep>& steps);
+
+/// Human-readable pipeline description, e.g. "avg(4) -> max(3)".
+std::string AggregatePipelineName(const std::vector<AggregateStep>& steps);
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_AGGREGATE_H_

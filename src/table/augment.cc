@@ -1,0 +1,73 @@
+#include "table/augment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcm::table {
+
+Table ReverseAugment(const Table& t) {
+  Table out = t;
+  out.set_name(t.name() + "#rev");
+  for (auto& c : out.mutable_columns()) {
+    std::reverse(c.values.begin(), c.values.end());
+  }
+  return out;
+}
+
+Table PartitionAugment(const Table& t, common::Rng* rng) {
+  Table out;
+  out.set_name(t.name() + "#part");
+  for (const auto& c : t.columns()) {
+    if (c.size() < 2) {
+      out.AddColumn(c);
+      continue;
+    }
+    // Split point in [1, n-1] keeps both halves non-empty.
+    const size_t split = 1 + static_cast<size_t>(rng->UniformInt(c.size() - 1));
+    Column left(c.name + "_a",
+                std::vector<double>(c.values.begin(),
+                                    c.values.begin() + static_cast<long>(split)));
+    Column right(c.name + "_b",
+                 std::vector<double>(c.values.begin() + static_cast<long>(split),
+                                     c.values.end()));
+    out.AddColumn(std::move(left));
+    out.AddColumn(std::move(right));
+  }
+  return out;
+}
+
+Table DownSampleAugment(const Table& t, size_t rho) {
+  FCM_CHECK_GE(rho, 1u);
+  Table out = t;
+  out.set_name(t.name() + "#ds");
+  if (rho == 1) return out;
+  for (auto& c : out.mutable_columns()) {
+    std::vector<double> kept;
+    kept.reserve(c.size() / rho + 1);
+    for (size_t i = 0; i < c.values.size(); i += rho) {
+      kept.push_back(c.values[i]);
+    }
+    c.values = std::move(kept);
+  }
+  return out;
+}
+
+std::vector<Table> RandomAugmentations(const Table& t, size_t count,
+                                       double p, common::Rng* rng) {
+  std::vector<Table> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Table cur = t;
+    if (rng->Bernoulli(p)) cur = ReverseAugment(cur);
+    if (rng->Bernoulli(p)) cur = PartitionAugment(cur, rng);
+    if (rng->Bernoulli(p)) {
+      const size_t rho = 2 + static_cast<size_t>(rng->UniformInt(3));  // 2..4
+      cur = DownSampleAugment(cur, rho);
+    }
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+}  // namespace fcm::table

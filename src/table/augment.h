@@ -1,0 +1,36 @@
+// Chart-semantics-preserving data augmentation (paper Sec. IV-A).
+//
+// The paper trains its segmentation model with augmentations applied to the
+// *tabular* source data rather than the rendered image, so the augmented
+// charts remain valid exemplars: Reverse, Partitioning, Down-Sampling.
+
+#ifndef FCM_TABLE_AUGMENT_H_
+#define FCM_TABLE_AUGMENT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace fcm::table {
+
+/// Reverses every column: C = (a_1..a_n) -> C' = (a_n..a_1).
+Table ReverseAugment(const Table& t);
+
+/// Randomly partitions each column at one position n' into two columns
+/// C'_1 = (a_1..a_n') and C'_2 = (a_n'+1..a_n). Columns shorter than 2 are
+/// kept unchanged. The split position is drawn from `rng`.
+Table PartitionAugment(const Table& t, common::Rng* rng);
+
+/// Keeps one of every `rho` consecutive points in each column.
+/// Requires rho >= 1.
+Table DownSampleAugment(const Table& t, size_t rho);
+
+/// Applies a random augmentation pipeline (each of the three with
+/// independent probability p), producing `count` augmented variants.
+std::vector<Table> RandomAugmentations(const Table& t, size_t count,
+                                       double p, common::Rng* rng);
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_AUGMENT_H_

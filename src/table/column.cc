@@ -1,0 +1,12 @@
+#include "table/column.h"
+
+#include "common/math_util.h"
+
+namespace fcm::table {
+
+double Column::MinValue() const { return common::Min(values); }
+double Column::MaxValue() const { return common::Max(values); }
+double Column::SumValue() const { return common::Sum(values); }
+double Column::MeanValue() const { return common::Mean(values); }
+
+}  // namespace fcm::table

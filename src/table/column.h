@@ -1,0 +1,36 @@
+// A named numeric column — the unit of matching in dataset discovery.
+
+#ifndef FCM_TABLE_COLUMN_H_
+#define FCM_TABLE_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+namespace fcm::table {
+
+/// A single numeric column of a dataset (paper Sec. II: each column is a
+/// data series C = (a_1, ..., a_NR)).
+struct Column {
+  std::string name;
+  std::vector<double> values;
+
+  Column() = default;
+  Column(std::string name_in, std::vector<double> values_in)
+      : name(std::move(name_in)), values(std::move(values_in)) {}
+
+  size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+
+  /// Minimum value; +inf when empty.
+  double MinValue() const;
+  /// Maximum value; -inf when empty.
+  double MaxValue() const;
+  /// Sum of all values.
+  double SumValue() const;
+  /// Arithmetic mean; 0 when empty.
+  double MeanValue() const;
+};
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_COLUMN_H_

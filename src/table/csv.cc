@@ -1,0 +1,96 @@
+#include "table/csv.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fcm::table {
+
+common::Result<Table> ParseCsv(const std::string& content,
+                               const std::string& table_name) {
+  std::vector<std::string> lines = common::Split(content, '\n');
+  // Drop trailing blank lines.
+  while (!lines.empty() && common::Trim(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  if (lines.empty()) {
+    return common::Status::InvalidArgument("empty CSV: " + table_name);
+  }
+  const std::vector<std::string> header = common::Split(lines[0], ',');
+  std::vector<Column> cols;
+  cols.reserve(header.size());
+  for (const auto& h : header) cols.emplace_back(common::Trim(h),
+                                                 std::vector<double>{});
+  for (size_t li = 1; li < lines.size(); ++li) {
+    const std::vector<std::string> cells = common::Split(lines[li], ',');
+    if (cells.size() != cols.size()) {
+      return common::Status::InvalidArgument(
+          common::StrFormat("CSV row %zu has %zu cells, expected %zu", li,
+                            cells.size(), cols.size()));
+    }
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+      const std::string cell = common::Trim(cells[ci]);
+      if (cell.empty()) continue;  // Padded cell from ragged export.
+      double v = 0.0;
+      if (!common::ParseDouble(cell, &v)) {
+        return common::Status::InvalidArgument(
+            common::StrFormat("CSV row %zu col %zu: non-numeric cell '%s'",
+                              li, ci, cell.c_str()));
+      }
+      cols[ci].values.push_back(v);
+    }
+  }
+  return Table(table_name, std::move(cols));
+}
+
+common::Result<Table> LoadCsvFile(const std::string& path,
+                                  const std::string& table_name) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return common::Status::IoError("cannot open: " + path);
+  }
+  std::string content;
+  char buf[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseCsv(content, table_name);
+}
+
+std::string ToCsv(const Table& t) {
+  std::ostringstream out;
+  for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+    if (ci > 0) out << ',';
+    out << t.column(ci).name;
+  }
+  out << '\n';
+  const size_t rows = t.num_rows();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+      if (ci > 0) out << ',';
+      const auto& vals = t.column(ci).values;
+      if (r < vals.size()) out << common::StrFormat("%.10g", vals[r]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+common::Status SaveCsvFile(const Table& t, const std::string& path) {
+  const std::string content = ToCsv(t);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    return common::Status::IoError("short write: " + path);
+  }
+  return common::Status::OK();
+}
+
+}  // namespace fcm::table

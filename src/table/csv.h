@@ -1,0 +1,32 @@
+// Numeric CSV import/export for Table.
+
+#ifndef FCM_TABLE_CSV_H_
+#define FCM_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace fcm::table {
+
+/// Parses a CSV string whose first line is a header and remaining lines are
+/// numeric rows. Non-numeric cells fail with InvalidArgument; ragged rows
+/// fail with InvalidArgument.
+common::Result<Table> ParseCsv(const std::string& content,
+                               const std::string& table_name);
+
+/// Reads a CSV file via ParseCsv; the table name is the given name.
+common::Result<Table> LoadCsvFile(const std::string& path,
+                                  const std::string& table_name);
+
+/// Serializes a rectangular table to CSV (header + rows). Columns of
+/// unequal lengths are padded with empty cells.
+std::string ToCsv(const Table& t);
+
+/// Writes ToCsv(t) to `path`.
+common::Status SaveCsvFile(const Table& t, const std::string& path);
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_CSV_H_

@@ -1,0 +1,25 @@
+#include "table/data_lake.h"
+
+namespace fcm::table {
+
+TableId DataLake::Add(Table t) {
+  const TableId id = static_cast<TableId>(tables_.size());
+  t.set_id(id);
+  tables_.push_back(std::move(t));
+  return id;
+}
+
+common::Result<TableId> DataLake::FindByName(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name() == name) return t.id();
+  }
+  return common::Status::NotFound("no table named '" + name + "' in lake");
+}
+
+size_t DataLake::TotalColumns() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.num_columns();
+  return n;
+}
+
+}  // namespace fcm::table

@@ -1,0 +1,47 @@
+// DataLake: the searchable repository of candidate datasets.
+
+#ifndef FCM_TABLE_DATA_LAKE_H_
+#define FCM_TABLE_DATA_LAKE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace fcm::table {
+
+/// A large dataset repository T = {T_1, ..., T_|T|} (paper Def. 1). Tables
+/// are assigned dense ids on insertion; ids are stable for the lifetime of
+/// the lake.
+class DataLake {
+ public:
+  DataLake() = default;
+
+  /// Adds a table and returns its assigned id.
+  TableId Add(Table t);
+
+  size_t size() const { return tables_.size(); }
+  bool empty() const { return tables_.empty(); }
+
+  /// Table by id. Requires a valid id previously returned by Add.
+  const Table& Get(TableId id) const {
+    FCM_CHECK_GE(id, 0);
+    FCM_CHECK_LT(static_cast<size_t>(id), tables_.size());
+    return tables_[static_cast<size_t>(id)];
+  }
+
+  const std::vector<Table>& tables() const { return tables_; }
+
+  /// Finds a table id by name; NotFound when absent.
+  common::Result<TableId> FindByName(const std::string& name) const;
+
+  /// Total number of columns across all tables.
+  size_t TotalColumns() const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_DATA_LAKE_H_

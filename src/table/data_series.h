@@ -1,0 +1,35 @@
+// Underlying-data types: what a user plots in a line chart (paper Sec. II).
+
+#ifndef FCM_TABLE_DATA_SERIES_H_
+#define FCM_TABLE_DATA_SERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace fcm::table {
+
+/// One plotted data series d = (p_1, ..., p_Nd). Following the paper's
+/// relevance definition (Sec. III-A), only y-values participate in
+/// matching; x-values are retained for rendering.
+struct DataSeries {
+  std::string label;
+  /// X-axis values. Empty means "auto index" (1, 2, 3, ...).
+  std::vector<double> x;
+  /// Y-axis values; the series shape.
+  std::vector<double> y;
+
+  size_t size() const { return y.size(); }
+  bool empty() const { return y.empty(); }
+
+  /// Effective x value at position i (auto index when x is empty).
+  double XAt(size_t i) const {
+    return x.empty() ? static_cast<double>(i) + 1.0 : x[i];
+  }
+};
+
+/// The underlying data D of a line chart: M data series sharing x-values.
+using UnderlyingData = std::vector<DataSeries>;
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_DATA_SERIES_H_

@@ -1,0 +1,33 @@
+#include "table/noise.h"
+
+#include "common/string_util.h"
+
+namespace fcm::table {
+
+Table InjectMultiplicativeNoise(const Table& t, double amplitude,
+                                int x_column, common::Rng* rng) {
+  Table out = t;
+  auto& cols = out.mutable_columns();
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    if (x_column >= 0 && ci == static_cast<size_t>(x_column)) continue;
+    for (double& v : cols[ci].values) {
+      v *= rng->Uniform(1.0 - amplitude, 1.0 + amplitude);
+    }
+  }
+  return out;
+}
+
+std::vector<Table> MakeNoisyDuplicates(const Table& t, size_t count,
+                                       double amplitude, int x_column,
+                                       common::Rng* rng) {
+  std::vector<Table> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Table noisy = InjectMultiplicativeNoise(t, amplitude, x_column, rng);
+    noisy.set_name(t.name() + common::StrFormat("#noise%zu", i));
+    out.push_back(std::move(noisy));
+  }
+  return out;
+}
+
+}  // namespace fcm::table

@@ -1,0 +1,29 @@
+// Ground-truth noise injection (paper Sec. VII-A): create near-duplicate
+// tables by multiplying each column element-wise with U(0.9, 1.1) noise.
+
+#ifndef FCM_TABLE_NOISE_H_
+#define FCM_TABLE_NOISE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace fcm::table {
+
+/// Returns a copy of `t` where every value in every column (optionally
+/// skipping the column at `x_column`, matching the paper's exclusion of the
+/// x-axis column) is multiplied by an independent draw from
+/// U(1-amplitude, 1+amplitude).
+Table InjectMultiplicativeNoise(const Table& t, double amplitude,
+                                int x_column, common::Rng* rng);
+
+/// Generates `count` noisy near-duplicates of `t` (paper uses 50 per query
+/// with amplitude 0.1).
+std::vector<Table> MakeNoisyDuplicates(const Table& t, size_t count,
+                                       double amplitude, int x_column,
+                                       common::Rng* rng);
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_NOISE_H_

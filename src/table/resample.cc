@@ -1,0 +1,81 @@
+#include "table/resample.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace fcm::table {
+
+common::Result<Table> ResampleByXColumn(const Table& t, size_t x_index,
+                                        size_t grid_size) {
+  if (x_index >= t.num_columns()) {
+    return common::Status::InvalidArgument("x column index out of range");
+  }
+  if (!t.IsRectangular()) {
+    return common::Status::InvalidArgument(
+        "resample requires a rectangular table");
+  }
+  const size_t rows = t.num_rows();
+  if (rows < 2) {
+    return common::Status::InvalidArgument("resample requires >= 2 rows");
+  }
+  const std::vector<double>& x = t.column(x_index).values;
+
+  std::vector<size_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&x](size_t a, size_t b) { return x[a] < x[b]; });
+
+  const double x_lo = x[order.front()];
+  const double x_hi = x[order.back()];
+  if (x_hi - x_lo < 1e-12) {
+    return common::Status::InvalidArgument(
+        "x column is constant; cannot define a grid");
+  }
+
+  Table out;
+  out.set_name(t.name() + common::StrFormat("#x%zu", x_index));
+  for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+    std::vector<double> vals(grid_size);
+    if (ci == x_index) {
+      for (size_t g = 0; g < grid_size; ++g) {
+        vals[g] = x_lo + (x_hi - x_lo) * static_cast<double>(g) /
+                             static_cast<double>(grid_size - 1);
+      }
+    } else {
+      const std::vector<double>& y = t.column(ci).values;
+      // Piecewise-linear interpolation over the sorted (x, y) points.
+      for (size_t g = 0; g < grid_size; ++g) {
+        const double gx = x_lo + (x_hi - x_lo) * static_cast<double>(g) /
+                                     static_cast<double>(grid_size - 1);
+        // Find the first sorted index with x >= gx.
+        size_t hi = 0;
+        while (hi < rows && x[order[hi]] < gx) ++hi;
+        if (hi == 0) {
+          vals[g] = y[order[0]];
+        } else if (hi == rows) {
+          vals[g] = y[order[rows - 1]];
+        } else {
+          const size_t lo = hi - 1;
+          const double x0 = x[order[lo]], x1 = x[order[hi]];
+          const double t01 = (x1 - x0 < 1e-12) ? 0.0 : (gx - x0) / (x1 - x0);
+          vals[g] = y[order[lo]] + t01 * (y[order[hi]] - y[order[lo]]);
+        }
+      }
+    }
+    out.AddColumn(Column(t.column(ci).name, std::move(vals)));
+  }
+  return out;
+}
+
+std::vector<Table> AllXAxisDerivations(const Table& t, size_t grid_size) {
+  std::vector<Table> out;
+  for (size_t ci = 0; ci < t.num_columns(); ++ci) {
+    auto r = ResampleByXColumn(t, ci, grid_size);
+    if (r.ok()) out.push_back(std::move(r).ValueOrDie());
+  }
+  return out;
+}
+
+}  // namespace fcm::table

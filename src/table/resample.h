@@ -1,0 +1,30 @@
+// Numerical x-axis generalization (paper Sec. VI-B): treat a column as a
+// candidate x-axis, sort rows by it, and interpolate the remaining columns
+// onto an evenly spaced grid so FCM's evenly-spaced assumption holds.
+
+#ifndef FCM_TABLE_RESAMPLE_H_
+#define FCM_TABLE_RESAMPLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace fcm::table {
+
+/// Sorts all rows of `t` by column `x_index` and linearly interpolates every
+/// other column onto `grid_size` evenly spaced x positions spanning
+/// [min(x), max(x)]. The x column itself is replaced by the even grid.
+///
+/// Fails with InvalidArgument when the table is not rectangular, has fewer
+/// than 2 rows, or the x column is constant (zero span).
+common::Result<Table> ResampleByXColumn(const Table& t, size_t x_index,
+                                        size_t grid_size);
+
+/// Derives every T' of `t` (one per choice of x column) as in Sec. VI-B.
+/// Non-resampleable choices are skipped.
+std::vector<Table> AllXAxisDerivations(const Table& t, size_t grid_size);
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_RESAMPLE_H_

@@ -1,0 +1,66 @@
+#include "table/rescale.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcm::table {
+
+const char* RescaleOpName(RescaleOp op) {
+  switch (op) {
+    case RescaleOp::kNone: return "none";
+    case RescaleOp::kZScore: return "zscore";
+    case RescaleOp::kMinMax: return "minmax";
+    case RescaleOp::kAffine: return "affine";
+  }
+  return "?";
+}
+
+std::vector<double> Rescale(const std::vector<double>& values, RescaleOp op,
+                            const RescaleParams& params) {
+  std::vector<double> out = values;
+  if (values.empty()) return out;
+  switch (op) {
+    case RescaleOp::kNone:
+      break;
+    case RescaleOp::kZScore: {
+      double mean = 0.0;
+      for (double v : values) mean += v;
+      mean /= static_cast<double>(values.size());
+      double var = 0.0;
+      for (double v : values) var += (v - mean) * (v - mean);
+      var /= static_cast<double>(values.size());
+      const double std_dev = std::sqrt(var);
+      for (double& v : out) {
+        v = std_dev > 1e-12 ? (v - mean) / std_dev : 0.0;
+      }
+      break;
+    }
+    case RescaleOp::kMinMax: {
+      const auto [min_it, max_it] =
+          std::minmax_element(values.begin(), values.end());
+      const double lo = *min_it, hi = *max_it;
+      for (double& v : out) {
+        v = hi - lo > 1e-12 ? (v - lo) / (hi - lo) : 0.5;
+      }
+      break;
+    }
+    case RescaleOp::kAffine: {
+      for (double& v : out) v = v * params.factor + params.offset;
+      break;
+    }
+  }
+  return out;
+}
+
+Table RescaleTable(const Table& t, RescaleOp op, const RescaleParams& params,
+                   int x_column) {
+  Table out = t;
+  for (size_t c = 0; c < out.num_columns(); ++c) {
+    if (static_cast<int>(c) == x_column) continue;
+    out.mutable_columns()[c].values =
+        Rescale(out.column(c).values, op, params);
+  }
+  return out;
+}
+
+}  // namespace fcm::table

@@ -1,0 +1,46 @@
+// Data re-scaling transformations (paper Sec. IX "Data Re-scaling": line
+// charts derived from datasets that undergo normalization or scaling
+// during generation). These are the transformations the extension
+// benchmark applies to query data, plus the scale-invariant comparison
+// helpers used to stay robust against them.
+
+#ifndef FCM_TABLE_RESCALE_H_
+#define FCM_TABLE_RESCALE_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace fcm::table {
+
+/// Re-scaling operators a chart author may apply before plotting.
+enum class RescaleOp {
+  kNone = 0,
+  /// (v - mean) / std (std-0 columns map to all-zero).
+  kZScore = 1,
+  /// (v - min) / (max - min) into [0, 1] (constant columns map to 0.5).
+  kMinMax = 2,
+  /// v * factor + offset.
+  kAffine = 3,
+};
+
+const char* RescaleOpName(RescaleOp op);
+
+/// Parameters for kAffine; ignored by the other operators.
+struct RescaleParams {
+  double factor = 1.0;
+  double offset = 0.0;
+};
+
+/// Applies the re-scaling to one value series.
+std::vector<double> Rescale(const std::vector<double>& values, RescaleOp op,
+                            const RescaleParams& params = {});
+
+/// Returns a copy of `t` with every column (optionally skipping
+/// `x_column`; -1 = none) re-scaled.
+Table RescaleTable(const Table& t, RescaleOp op,
+                   const RescaleParams& params = {}, int x_column = -1);
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_RESCALE_H_

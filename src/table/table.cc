@@ -1,0 +1,28 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+namespace fcm::table {
+
+size_t Table::num_rows() const {
+  size_t n = 0;
+  for (const auto& c : columns_) n = std::max(n, c.size());
+  return n;
+}
+
+common::Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return common::Status::NotFound("no column named '" + name + "' in table '" +
+                                  name_ + "'");
+}
+
+bool Table::IsRectangular() const {
+  if (columns_.empty()) return true;
+  const size_t n = columns_[0].size();
+  return std::all_of(columns_.begin(), columns_.end(),
+                     [n](const Column& c) { return c.size() == n; });
+}
+
+}  // namespace fcm::table

@@ -1,0 +1,63 @@
+// Table (dataset) type: an ordered collection of numeric columns.
+
+#ifndef FCM_TABLE_TABLE_H_
+#define FCM_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/column.h"
+
+namespace fcm::table {
+
+/// Opaque id for a table inside a DataLake.
+using TableId = int64_t;
+inline constexpr TableId kInvalidTableId = -1;
+
+/// A dataset: a table of NC columns, each a numeric data series (paper
+/// Sec. II). "Table" and "dataset" are used interchangeably, as in the
+/// paper.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  TableId id() const { return id_; }
+  void set_id(TableId id) { id_ = id; }
+
+  size_t num_columns() const { return columns_.size(); }
+  /// Number of rows = length of the longest column (columns may have been
+  /// produced by partitioning augmentation and can differ in length).
+  size_t num_rows() const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::vector<Column>& mutable_columns() { return columns_; }
+
+  const Column& column(size_t i) const {
+    FCM_CHECK_LT(i, columns_.size());
+    return columns_[i];
+  }
+
+  /// Finds a column index by name; NotFound when absent.
+  common::Result<size_t> ColumnIndex(const std::string& name) const;
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// True when every column has the same number of rows.
+  bool IsRectangular() const;
+
+ private:
+  TableId id_ = kInvalidTableId;
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace fcm::table
+
+#endif  // FCM_TABLE_TABLE_H_

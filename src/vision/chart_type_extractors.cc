@@ -1,0 +1,235 @@
+#include "vision/chart_type_extractors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "chart/canvas.h"
+#include "chart/chart_types.h"
+#include "vision/pixel_analysis.h"
+
+namespace fcm::vision {
+
+namespace internal {
+
+int IntensitySlot(float ink, float threshold) {
+  if (ink < threshold) return -1;
+  int best = 0;
+  float best_dist = std::numeric_limits<float>::infinity();
+  for (int s = 0; s < chart::kMaxDistinctSeries; ++s) {
+    const float dist = std::fabs(ink - chart::SeriesInkIntensity(s));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::IntensitySlot;
+
+/// Shared axis/tick calibration (identical to the classical line
+/// extractor's first stage).
+struct Calibration {
+  AxisGeometry axes;
+  RowValueMapping mapping;
+  std::vector<double> tick_values;
+};
+
+common::Result<Calibration> Calibrate(const chart::RenderedChart& chart,
+                                      float ink_threshold) {
+  const PixelMap full_map =
+      Threshold(chart.canvas.ink(), chart.canvas.width(),
+                chart.canvas.height(), ink_threshold);
+  auto axes_result = DetectAxes(full_map);
+  if (!axes_result.ok()) return axes_result.status();
+  const AxisGeometry axes = axes_result.value();
+
+  const std::vector<int> tick_rows = DetectTickRows(full_map, axes);
+  std::vector<int> calib_rows;
+  std::vector<double> calib_values;
+  for (int row : tick_rows) {
+    const auto value = ReadTickLabel(full_map, axes, row);
+    if (value.has_value()) {
+      calib_rows.push_back(row);
+      calib_values.push_back(*value);
+    }
+  }
+  auto mapping_result = FitRowValueMapping(calib_rows, calib_values);
+  if (!mapping_result.ok()) {
+    return common::Status::NotFound(
+        "could not calibrate y axis: " + mapping_result.status().message());
+  }
+  return Calibration{axes, mapping_result.value(), calib_values};
+}
+
+/// Per-series pixel rows inside the plot area, keyed by intensity slot:
+/// slot -> per-plot-column list of pixel rows.
+std::map<int, std::vector<std::vector<int>>> SlotPixels(
+    const chart::RenderedChart& chart, const AxisGeometry& axes,
+    float ink_threshold) {
+  std::map<int, std::vector<std::vector<int>>> slots;
+  const int pw = axes.plot_right - axes.plot_left + 1;
+  const auto& ink = chart.canvas.ink();
+  for (int y = axes.plot_top; y <= axes.plot_bottom; ++y) {
+    for (int x = axes.plot_left; x <= axes.plot_right; ++x) {
+      const float v = ink[static_cast<size_t>(y) * chart.canvas.width() + x];
+      const int slot = IntensitySlot(v, ink_threshold);
+      if (slot < 0) continue;
+      auto [it, inserted] = slots.try_emplace(slot);
+      if (inserted) it->second.resize(static_cast<size_t>(pw));
+      it->second[static_cast<size_t>(x - axes.plot_left)].push_back(y);
+    }
+  }
+  return slots;
+}
+
+/// Builds an ExtractedLine from per-plot-column recovered rows (negative =
+/// missing): interpolates gaps, maps rows to values, re-renders the strip.
+ExtractedLine LineFromRows(std::vector<double> rows,
+                           const Calibration& calib) {
+  InterpolateMissing(&rows);
+  const int pw =
+      calib.axes.plot_right - calib.axes.plot_left + 1;
+  const int ph = calib.axes.plot_bottom - calib.axes.plot_top + 1;
+  ExtractedLine line;
+  line.width = pw;
+  line.height = ph;
+  line.values.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    line.values[i] = calib.mapping.ValueAtRow(rows[i]);
+  }
+  chart::Canvas strip(pw, ph);
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    strip.DrawLineAA(static_cast<double>(i), rows[i] - calib.axes.plot_top,
+                     static_cast<double>(i + 1),
+                     rows[i + 1] - calib.axes.plot_top,
+                     chart::LineElementId(0));
+  }
+  line.strip = strip.ink();
+  return line;
+}
+
+}  // namespace
+
+common::Result<ExtractedChart> ExtractBarChart(
+    const chart::RenderedChart& chart,
+    const ChartTypeExtractorOptions& options) {
+  auto calib_result = Calibrate(chart, options.ink_threshold);
+  if (!calib_result.ok()) return calib_result.status();
+  const Calibration calib = calib_result.value();
+
+  const auto slots = SlotPixels(chart, calib.axes, options.ink_threshold);
+  // Pixel row of the value-0 baseline bars grow from: invert the mapping.
+  const double row0 = std::fabs(calib.mapping.a) > 1e-12
+                          ? -calib.mapping.b / calib.mapping.a
+                          : static_cast<double>(calib.axes.plot_bottom);
+
+  ExtractedChart out;
+  out.tick_values = calib.tick_values;
+  out.y_lo = calib.mapping.ValueAtRow(calib.axes.plot_bottom);
+  out.y_hi = calib.mapping.ValueAtRow(calib.axes.plot_top);
+
+  for (const auto& [slot, columns] : slots) {
+    int total_pixels = 0;
+    for (const auto& rows : columns) {
+      total_pixels += static_cast<int>(rows.size());
+    }
+    if (total_pixels < options.min_series_pixels) continue;
+    // The bar's value edge in each column is the run endpoint farthest
+    // from the baseline row.
+    std::vector<double> value_rows(columns.size(), -1.0);
+    for (size_t x = 0; x < columns.size(); ++x) {
+      if (columns[x].empty()) continue;
+      const auto [min_it, max_it] =
+          std::minmax_element(columns[x].begin(), columns[x].end());
+      const double top = *min_it, bottom = *max_it;
+      value_rows[x] =
+          std::fabs(top - row0) >= std::fabs(bottom - row0) ? top : bottom;
+    }
+    out.lines.push_back(LineFromRows(std::move(value_rows), calib));
+  }
+  if (out.lines.empty()) {
+    return common::Status::NotFound("no bar series found inside plot area");
+  }
+  return out;
+}
+
+common::Result<ExtractedChart> ExtractScatterChart(
+    const chart::RenderedChart& chart,
+    const ChartTypeExtractorOptions& options) {
+  auto calib_result = Calibrate(chart, options.ink_threshold);
+  if (!calib_result.ok()) return calib_result.status();
+  const Calibration calib = calib_result.value();
+
+  const auto slots = SlotPixels(chart, calib.axes, options.ink_threshold);
+
+  ExtractedChart out;
+  out.tick_values = calib.tick_values;
+  out.y_lo = calib.mapping.ValueAtRow(calib.axes.plot_bottom);
+  out.y_hi = calib.mapping.ValueAtRow(calib.axes.plot_top);
+
+  for (const auto& [slot, columns] : slots) {
+    int total_pixels = 0;
+    for (const auto& rows : columns) {
+      total_pixels += static_cast<int>(rows.size());
+    }
+    if (total_pixels < options.min_series_pixels) continue;
+    // Marker centroid per column; empty columns interpolated.
+    std::vector<double> centroid_rows(columns.size(), -1.0);
+    for (size_t x = 0; x < columns.size(); ++x) {
+      if (columns[x].empty()) continue;
+      double sum = 0.0;
+      for (int y : columns[x]) sum += y;
+      centroid_rows[x] = sum / static_cast<double>(columns[x].size());
+    }
+    out.lines.push_back(LineFromRows(std::move(centroid_rows), calib));
+  }
+  if (out.lines.empty()) {
+    return common::Status::NotFound(
+        "no marker series found inside plot area");
+  }
+  return out;
+}
+
+common::Result<std::vector<double>> ExtractPieDistribution(
+    const chart::RenderedChart& chart,
+    const ChartTypeExtractorOptions& options) {
+  const auto& ink = chart.canvas.ink();
+  std::vector<int64_t> counts(chart::kMaxDistinctSeries, 0);
+  int64_t total = 0;
+  for (float v : ink) {
+    const int slot = IntensitySlot(v, options.ink_threshold);
+    if (slot < 0) continue;
+    ++counts[static_cast<size_t>(slot)];
+    ++total;
+  }
+  if (total == 0) {
+    return common::Status::NotFound("no pie disk pixels found");
+  }
+  // Keep slots up to the last populated one so sector order is preserved
+  // (empty sectors in between report share 0).
+  int last = -1;
+  for (int s = 0; s < chart::kMaxDistinctSeries; ++s) {
+    if (counts[static_cast<size_t>(s)] >=
+        options.min_series_pixels) {
+      last = s;
+    }
+  }
+  if (last < 0) {
+    return common::Status::NotFound("no pie sectors above minimum size");
+  }
+  std::vector<double> shares(static_cast<size_t>(last) + 1, 0.0);
+  for (int s = 0; s <= last; ++s) {
+    shares[static_cast<size_t>(s)] =
+        static_cast<double>(counts[static_cast<size_t>(s)]) /
+        static_cast<double>(total);
+  }
+  return shares;
+}
+
+}  // namespace fcm::vision

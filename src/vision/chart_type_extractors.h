@@ -1,0 +1,66 @@
+// Visual element extractors for the generalized chart types (paper
+// Sec. VI-B): bars in a bar chart, marker series in a scatter chart,
+// sectors in a pie chart. All work from raw pixels only, keying on the
+// per-series ink intensity (the greyscale stand-in for series colors) and
+// the shared axis/tick geometry recovery in pixel_analysis.
+//
+// Bar and scatter extraction produce the same ExtractedChart contract as
+// the line extractors — per-series value sequences plus re-rendered
+// strips — so the downstream FCM encoders and relevance machinery apply
+// unchanged, exactly as the paper's generalization argument requires.
+// Pie extraction produces a distribution (sector shares), matched with
+// KL-based relevance (relevance/distribution.h).
+
+#ifndef FCM_VISION_CHART_TYPE_EXTRACTORS_H_
+#define FCM_VISION_CHART_TYPE_EXTRACTORS_H_
+
+#include <vector>
+
+#include "chart/renderer.h"
+#include "common/result.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::vision {
+
+/// Tuning knobs shared by the chart-type extractors.
+struct ChartTypeExtractorOptions {
+  /// Ink threshold separating element pixels from background/haze.
+  float ink_threshold = 0.38f;
+  /// Minimum pixels for an intensity slot to count as a series.
+  int min_series_pixels = 4;
+};
+
+/// Recovers per-series bar-height profiles from a rendered bar chart.
+/// Each series' `values` holds one value per plot-area pixel column (the
+/// step profile of its bars; gaps interpolated), and `strip` is the
+/// re-rendered profile, so the output is drop-in for the FCM encoders.
+/// Fails with NotFound when axes/ticks cannot be calibrated or no bars
+/// are found.
+common::Result<ExtractedChart> ExtractBarChart(
+    const chart::RenderedChart& chart,
+    const ChartTypeExtractorOptions& options = {});
+
+/// Recovers per-series point sequences from a rendered scatter chart
+/// (per-column marker centroids, interpolated across empty columns).
+common::Result<ExtractedChart> ExtractScatterChart(
+    const chart::RenderedChart& chart,
+    const ChartTypeExtractorOptions& options = {});
+
+/// Recovers the sector share distribution from a rendered pie chart:
+/// the fraction of disk pixels per intensity slot, in slot order. The
+/// result sums to 1. Fails with NotFound when no disk is found.
+common::Result<std::vector<double>> ExtractPieDistribution(
+    const chart::RenderedChart& chart,
+    const ChartTypeExtractorOptions& options = {});
+
+namespace internal {
+
+/// Classifies an ink intensity into the nearest series slot
+/// (chart::SeriesInkIntensity levels); -1 when below threshold.
+int IntensitySlot(float ink, float threshold);
+
+}  // namespace internal
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_CHART_TYPE_EXTRACTORS_H_

@@ -1,0 +1,82 @@
+#include "vision/classical_extractor.h"
+
+#include <cmath>
+
+#include "chart/canvas.h"
+#include "common/logging.h"
+
+namespace fcm::vision {
+
+common::Result<ExtractedChart> ClassicalExtractor::Extract(
+    const chart::RenderedChart& chart) const {
+  // Pixels only: both maps come from the raw ink buffer.
+  const PixelMap full_map =
+      Threshold(chart.canvas.ink(), chart.canvas.width(),
+                chart.canvas.height(), options_.ink_threshold);
+  return ExtractFromMaps(full_map, full_map);
+}
+
+common::Result<ExtractedChart> ClassicalExtractor::ExtractFromMaps(
+    const PixelMap& full_map, const PixelMap& line_map) const {
+  auto axes_result = DetectAxes(full_map);
+  if (!axes_result.ok()) return axes_result.status();
+  const AxisGeometry axes = axes_result.value();
+
+  // Calibrate the row -> value mapping from readable tick labels.
+  const std::vector<int> tick_rows = DetectTickRows(full_map, axes);
+  std::vector<int> calib_rows;
+  std::vector<double> calib_values;
+  for (int row : tick_rows) {
+    const auto value = ReadTickLabel(full_map, axes, row);
+    if (value.has_value()) {
+      calib_rows.push_back(row);
+      calib_values.push_back(*value);
+    }
+  }
+  auto mapping_result = FitRowValueMapping(calib_rows, calib_values);
+  if (!mapping_result.ok()) {
+    return common::Status::NotFound(
+        "could not calibrate y axis: " + mapping_result.status().message());
+  }
+  const RowValueMapping mapping = mapping_result.value();
+
+  ExtractedChart out;
+  out.tick_values = calib_values;
+  out.y_lo = mapping.ValueAtRow(axes.plot_bottom);
+  out.y_hi = mapping.ValueAtRow(axes.plot_top);
+
+  // Trace line instances inside the plot area.
+  const auto runs = ColumnRuns(line_map, axes);
+  std::vector<TracedLine> traced = TraceLines(runs);
+  if (traced.empty()) {
+    return common::Status::NotFound("no lines found inside plot area");
+  }
+
+  const int pw = axes.plot_right - axes.plot_left + 1;
+  const int ph = axes.plot_bottom - axes.plot_top + 1;
+  for (auto& t : traced) {
+    InterpolateMissing(&t.center_rows);
+    ExtractedLine line;
+    line.width = pw;
+    line.height = ph;
+    line.values.resize(t.center_rows.size());
+    for (size_t i = 0; i < t.center_rows.size(); ++i) {
+      line.values[i] = mapping.ValueAtRow(t.center_rows[i]);
+    }
+    // Re-render the recovered polyline into a clean per-line strip (the
+    // segment-level encoder input).
+    chart::Canvas strip(pw, ph);
+    for (size_t i = 0; i + 1 < t.center_rows.size(); ++i) {
+      strip.DrawLineAA(static_cast<double>(i),
+                       t.center_rows[i] - axes.plot_top,
+                       static_cast<double>(i + 1),
+                       t.center_rows[i + 1] - axes.plot_top,
+                       chart::LineElementId(0));
+    }
+    line.strip = strip.ink();
+    out.lines.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace fcm::vision

@@ -1,0 +1,43 @@
+// Pixels-only extractor: axis detection, bitmap-font tick OCR, and
+// multi-line tracing (no access to renderer instrumentation).
+
+#ifndef FCM_VISION_CLASSICAL_EXTRACTOR_H_
+#define FCM_VISION_CLASSICAL_EXTRACTOR_H_
+
+#include "vision/extractor.h"
+#include "vision/pixel_analysis.h"
+
+namespace fcm::vision {
+
+/// Tuning knobs for the classical pipeline.
+struct ClassicalExtractorOptions {
+  /// Ink threshold separating line pixels from anti-aliasing haze.
+  float ink_threshold = 0.35f;
+};
+
+/// Recovers lines and the y range from the raw raster alone. Works on any
+/// chart drawn with axes + tick labels; Extract fails with NotFound when
+/// axes or at least two readable tick labels cannot be located.
+class ClassicalExtractor : public VisualElementExtractor {
+ public:
+  explicit ClassicalExtractor(ClassicalExtractorOptions options = {})
+      : options_(options) {}
+
+  common::Result<ExtractedChart> Extract(
+      const chart::RenderedChart& chart) const override;
+
+  const char* name() const override { return "classical"; }
+
+  /// Core pipeline over a raw image buffer, shared with LearnedExtractor:
+  /// `line_map` marks pixels believed to belong to lines (inside the plot
+  /// area); axes/ticks are located via `full_map`.
+  common::Result<ExtractedChart> ExtractFromMaps(
+      const PixelMap& full_map, const PixelMap& line_map) const;
+
+ private:
+  ClassicalExtractorOptions options_;
+};
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_CLASSICAL_EXTRACTOR_H_

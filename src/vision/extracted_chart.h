@@ -1,0 +1,38 @@
+// The contract between the visual element extractor and the rest of FCM
+// (paper Sec. IV-A): per-line evidence plus the y-axis tick range.
+
+#ifndef FCM_VISION_EXTRACTED_CHART_H_
+#define FCM_VISION_EXTRACTED_CHART_H_
+
+#include <vector>
+
+namespace fcm::vision {
+
+/// One extracted line: a greyscale strip image containing only that line
+/// (the input to the segment-level line chart encoder) and the recovered
+/// per-pixel-column data values (used by baselines and diagnostics).
+struct ExtractedLine {
+  /// Strip dimensions (plot-area size).
+  int width = 0;
+  int height = 0;
+  /// Row-major greyscale image of just this line (0 = blank, 1 = ink).
+  std::vector<float> strip;
+  /// Recovered y data value for each pixel column (length == width).
+  std::vector<double> values;
+};
+
+/// Extractor output: lines plus the y-axis value range read off the ticks.
+struct ExtractedChart {
+  std::vector<ExtractedLine> lines;
+  /// Value range implied by the y-axis ticks ([axis_lo, axis_hi]).
+  double y_lo = 0.0;
+  double y_hi = 1.0;
+  /// Tick values actually read (ascending), for diagnostics.
+  std::vector<double> tick_values;
+
+  int num_lines() const { return static_cast<int>(lines.size()); }
+};
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_EXTRACTED_CHART_H_

@@ -1,0 +1,37 @@
+// Visual element extractor interface (paper Sec. IV-A).
+//
+// Three implementations, ordered by how much instrumentation they assume:
+//  * MaskOracleExtractor — reads the renderer's per-element masks; the
+//    upper bound that LineChartSeg's automatic labels provide.
+//  * ClassicalExtractor — works on raw pixels only (axis detection, tick
+//    OCR over our bitmap font, connected-run line tracing).
+//  * LearnedExtractor — a pixel classifier trained from scratch on
+//    LineChartSeg (the paper's "train a segmentation model from scratch"
+//    path), followed by the same geometric recovery as the classical one.
+
+#ifndef FCM_VISION_EXTRACTOR_H_
+#define FCM_VISION_EXTRACTOR_H_
+
+#include "chart/renderer.h"
+#include "common/result.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::vision {
+
+/// Base interface. Extract receives the rendered chart; implementations
+/// other than the mask oracle must only touch `chart.canvas.ink()` (the
+/// pixels) — never the masks or geometry metadata.
+class VisualElementExtractor {
+ public:
+  virtual ~VisualElementExtractor() = default;
+
+  virtual common::Result<ExtractedChart> Extract(
+      const chart::RenderedChart& chart) const = 0;
+
+  /// Implementation name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_EXTRACTOR_H_

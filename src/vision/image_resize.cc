@@ -1,0 +1,43 @@
+#include "vision/image_resize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fcm::vision {
+
+std::vector<float> ResizeBilinear(const std::vector<float>& src, int w,
+                                  int h, int out_w, int out_h) {
+  FCM_CHECK_GE(w, 1);
+  FCM_CHECK_GE(h, 1);
+  FCM_CHECK_GE(out_w, 1);
+  FCM_CHECK_GE(out_h, 1);
+  FCM_CHECK_EQ(static_cast<size_t>(w) * h, src.size());
+  std::vector<float> dst(static_cast<size_t>(out_w) * out_h);
+  const double sx = out_w > 1 ? static_cast<double>(w - 1) / (out_w - 1) : 0.0;
+  const double sy = out_h > 1 ? static_cast<double>(h - 1) / (out_h - 1) : 0.0;
+  for (int oy = 0; oy < out_h; ++oy) {
+    const double fy = oy * sy;
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(y0 + 1, h - 1);
+    const double ty = fy - y0;
+    for (int ox = 0; ox < out_w; ++ox) {
+      const double fx = ox * sx;
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(x0 + 1, w - 1);
+      const double tx = fx - x0;
+      const double v00 = src[static_cast<size_t>(y0) * w + x0];
+      const double v01 = src[static_cast<size_t>(y0) * w + x1];
+      const double v10 = src[static_cast<size_t>(y1) * w + x0];
+      const double v11 = src[static_cast<size_t>(y1) * w + x1];
+      const double top = v00 + (v01 - v00) * tx;
+      const double bot = v10 + (v11 - v10) * tx;
+      dst[static_cast<size_t>(oy) * out_w + ox] =
+          static_cast<float>(top + (bot - top) * ty);
+    }
+  }
+  return dst;
+}
+
+}  // namespace fcm::vision

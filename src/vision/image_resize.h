@@ -1,0 +1,18 @@
+// Bilinear image resize, used to normalize extracted line strips to the
+// encoder's fixed input size.
+
+#ifndef FCM_VISION_IMAGE_RESIZE_H_
+#define FCM_VISION_IMAGE_RESIZE_H_
+
+#include <vector>
+
+namespace fcm::vision {
+
+/// Resizes a row-major greyscale image from (w, h) to (out_w, out_h) with
+/// bilinear sampling. Requires all dimensions >= 1.
+std::vector<float> ResizeBilinear(const std::vector<float>& src, int w,
+                                  int h, int out_w, int out_h);
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_IMAGE_RESIZE_H_

@@ -1,0 +1,24 @@
+#include "vision/learned_extractor.h"
+
+namespace fcm::vision {
+
+common::Result<ExtractedChart> LearnedExtractor::Extract(
+    const chart::RenderedChart& chart) const {
+  const int w = chart.canvas.width(), h = chart.canvas.height();
+  const std::vector<uint8_t> classes =
+      classifier_->Predict(chart.canvas.ink(), w, h);
+
+  PixelMap full_map;
+  full_map.width = w;
+  full_map.height = h;
+  full_map.on.assign(classes.size(), 0);
+  PixelMap line_map = full_map;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const auto cls = static_cast<chart::SegClass>(classes[i]);
+    if (cls != chart::SegClass::kBackground) full_map.on[i] = 1;
+    if (cls == chart::SegClass::kLine) line_map.on[i] = 1;
+  }
+  return pipeline_.ExtractFromMaps(full_map, line_map);
+}
+
+}  // namespace fcm::vision

@@ -1,0 +1,35 @@
+// Extractor driven by the learned pixel classifier (LCSeg path): predicted
+// class maps feed the same geometric recovery as the classical extractor.
+
+#ifndef FCM_VISION_LEARNED_EXTRACTOR_H_
+#define FCM_VISION_LEARNED_EXTRACTOR_H_
+
+#include <memory>
+
+#include "vision/classical_extractor.h"
+#include "vision/seg_classifier.h"
+
+namespace fcm::vision {
+
+/// Wraps a trained SegClassifier. Line pixels come from the predicted
+/// kLine class; axes/ticks/labels from the other predicted classes. The
+/// classifier must outlive the extractor.
+class LearnedExtractor : public VisualElementExtractor {
+ public:
+  explicit LearnedExtractor(const SegClassifier* classifier,
+                            ClassicalExtractorOptions options = {})
+      : classifier_(classifier), pipeline_(options) {}
+
+  common::Result<ExtractedChart> Extract(
+      const chart::RenderedChart& chart) const override;
+
+  const char* name() const override { return "learned"; }
+
+ private:
+  const SegClassifier* classifier_;
+  ClassicalExtractor pipeline_;
+};
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_LEARNED_EXTRACTOR_H_

@@ -1,0 +1,56 @@
+#include "vision/mask_oracle_extractor.h"
+
+#include "vision/pixel_analysis.h"
+
+namespace fcm::vision {
+
+common::Result<ExtractedChart> MaskOracleExtractor::Extract(
+    const chart::RenderedChart& chart) const {
+  ExtractedChart out;
+  out.y_lo = chart.y_ticks_layout.axis_lo;
+  out.y_hi = chart.y_ticks_layout.axis_hi;
+  for (const auto& tick : chart.y_ticks) out.tick_values.push_back(tick.value);
+
+  const auto& plot = chart.plot;
+  const int pw = plot.Width(), ph = plot.Height();
+  const int cw = chart.canvas.width();
+  const auto& elements = chart.canvas.elements();
+  const auto& ink = chart.canvas.ink();
+
+  for (int li = 0; li < chart.num_lines; ++li) {
+    const int16_t id = chart::LineElementId(li);
+    ExtractedLine line;
+    line.width = pw;
+    line.height = ph;
+    line.strip.assign(static_cast<size_t>(pw) * ph, 0.0f);
+    std::vector<double> centers(static_cast<size_t>(pw), -1.0);
+    for (int x = plot.left; x <= plot.right; ++x) {
+      double sum_y = 0.0;
+      int count = 0;
+      for (int y = plot.top; y <= plot.bottom; ++y) {
+        const size_t idx = static_cast<size_t>(y) * cw + x;
+        if (elements[idx] == id) {
+          sum_y += y;
+          ++count;
+          line.strip[static_cast<size_t>(y - plot.top) * pw +
+                     (x - plot.left)] = ink[idx];
+        }
+      }
+      if (count > 0) {
+        centers[static_cast<size_t>(x - plot.left)] = sum_y / count;
+      }
+    }
+    InterpolateMissing(&centers);
+    line.values.resize(centers.size());
+    for (size_t i = 0; i < centers.size(); ++i) {
+      line.values[i] = chart.RowToValue(centers[i]);
+    }
+    out.lines.push_back(std::move(line));
+  }
+  if (out.lines.empty()) {
+    return common::Status::NotFound("no line elements present in chart");
+  }
+  return out;
+}
+
+}  // namespace fcm::vision

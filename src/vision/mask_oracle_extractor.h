@@ -1,0 +1,24 @@
+// Extractor that reads the renderer's per-element masks — the upper bound
+// the paper's automatic LineChartSeg labeling provides.
+
+#ifndef FCM_VISION_MASK_ORACLE_EXTRACTOR_H_
+#define FCM_VISION_MASK_ORACLE_EXTRACTOR_H_
+
+#include "vision/extractor.h"
+
+namespace fcm::vision {
+
+/// Uses the instrumented element map for pixel classes and the renderer's
+/// tick layout for the y range; line values come from per-column mask
+/// centroids mapped through the true row->value transform.
+class MaskOracleExtractor : public VisualElementExtractor {
+ public:
+  common::Result<ExtractedChart> Extract(
+      const chart::RenderedChart& chart) const override;
+
+  const char* name() const override { return "mask_oracle"; }
+};
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_MASK_ORACLE_EXTRACTOR_H_

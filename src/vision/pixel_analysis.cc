@@ -1,0 +1,297 @@
+#include "vision/pixel_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+
+#include "chart/glyphs.h"
+#include "common/string_util.h"
+#include "relevance/hungarian.h"
+
+namespace fcm::vision {
+
+PixelMap Threshold(const std::vector<float>& ink, int width, int height,
+                   float threshold) {
+  PixelMap map;
+  map.width = width;
+  map.height = height;
+  map.on.resize(ink.size());
+  for (size_t i = 0; i < ink.size(); ++i) {
+    map.on[i] = ink[i] >= threshold ? 1 : 0;
+  }
+  return map;
+}
+
+namespace {
+
+// Longest consecutive run of on-pixels along a column; returns (length,
+// start).
+std::pair<int, int> LongestVerticalRun(const PixelMap& map, int x) {
+  int best = 0, best_start = 0, cur = 0, cur_start = 0;
+  for (int y = 0; y < map.height; ++y) {
+    if (map.At(x, y)) {
+      if (cur == 0) cur_start = y;
+      ++cur;
+      if (cur > best) {
+        best = cur;
+        best_start = cur_start;
+      }
+    } else {
+      cur = 0;
+    }
+  }
+  return {best, best_start};
+}
+
+std::pair<int, int> LongestHorizontalRun(const PixelMap& map, int y) {
+  int best = 0, best_start = 0, cur = 0, cur_start = 0;
+  for (int x = 0; x < map.width; ++x) {
+    if (map.At(x, y)) {
+      if (cur == 0) cur_start = x;
+      ++cur;
+      if (cur > best) {
+        best = cur;
+        best_start = cur_start;
+      }
+    } else {
+      cur = 0;
+    }
+  }
+  return {best, best_start};
+}
+
+}  // namespace
+
+common::Result<AxisGeometry> DetectAxes(const PixelMap& map) {
+  AxisGeometry g;
+  int best_v = 0, v_start = 0;
+  for (int x = 0; x < map.width; ++x) {
+    const auto [len, start] = LongestVerticalRun(map, x);
+    // ">=" prefers the right-most column on ties; the y axis is the
+    // left-most long vertical, so require strictly better after the first.
+    if (len > best_v) {
+      best_v = len;
+      g.y_axis_col = x;
+      v_start = start;
+    }
+  }
+  int best_h = 0, h_start = 0, h_len = 0;
+  for (int y = 0; y < map.height; ++y) {
+    const auto [len, start] = LongestHorizontalRun(map, y);
+    if (len > best_h) {
+      best_h = len;
+      g.x_axis_row = y;
+      h_start = start;
+      h_len = len;
+    }
+  }
+  if (best_v < map.height / 4 || best_h < map.width / 4) {
+    return common::Status::NotFound("no axes detected in chart image");
+  }
+  g.plot_left = g.y_axis_col + 1;
+  g.plot_right = h_start + h_len - 1;
+  g.plot_top = v_start;
+  g.plot_bottom = g.x_axis_row - 1;
+  if (g.plot_left >= g.plot_right || g.plot_top >= g.plot_bottom) {
+    return common::Status::NotFound("degenerate plot area");
+  }
+  return g;
+}
+
+std::vector<int> DetectTickRows(const PixelMap& map,
+                                const AxisGeometry& axes) {
+  std::vector<int> rows;
+  const int x0 = axes.y_axis_col - 3;
+  const int x1 = axes.y_axis_col - 1;
+  if (x0 < 0) return rows;
+  for (int y = 0; y < map.height; ++y) {
+    bool all_on = true;
+    for (int x = x0; x <= x1 && all_on; ++x) all_on = map.At(x, y);
+    if (all_on) rows.push_back(y);
+  }
+  return rows;
+}
+
+namespace {
+
+// Matches the 3x5 cell at (x, y) against the bitmap font; returns the
+// character or '\0'.
+char MatchGlyph(const PixelMap& map, int x, int y) {
+  static const char kChars[] = "0123456789-.e+";
+  uint8_t cell[chart::kGlyphHeight] = {0};
+  for (int r = 0; r < chart::kGlyphHeight; ++r) {
+    for (int c = 0; c < chart::kGlyphWidth; ++c) {
+      const int px = x + c, py = y + r;
+      const bool on = px >= 0 && px < map.width && py >= 0 &&
+                      py < map.height && map.At(px, py);
+      if (on) cell[r] |= static_cast<uint8_t>(1u << (chart::kGlyphWidth - 1 - c));
+    }
+  }
+  for (const char* p = kChars; *p != '\0'; ++p) {
+    const uint8_t* rows = chart::GlyphRows(*p);
+    bool match = true;
+    for (int r = 0; r < chart::kGlyphHeight && match; ++r) {
+      match = rows[r] == cell[r];
+    }
+    if (match) return *p;
+  }
+  return '\0';
+}
+
+}  // namespace
+
+std::optional<double> ReadTickLabel(const PixelMap& map,
+                                    const AxisGeometry& axes, int row) {
+  // Labels are rendered with their vertical center at the tick row and end
+  // 5px left of the plot area. Find the label's horizontal extent.
+  const int y_top = row - chart::kGlyphHeight / 2;
+  const int x_limit = axes.y_axis_col - 4;  // Exclusive right bound.
+  int x_min = x_limit, x_max = -1;
+  for (int y = y_top; y < y_top + chart::kGlyphHeight; ++y) {
+    if (y < 0 || y >= map.height) continue;
+    for (int x = 0; x < x_limit; ++x) {
+      if (map.At(x, y)) {
+        x_min = std::min(x_min, x);
+        x_max = std::max(x_max, x);
+      }
+    }
+  }
+  if (x_max < 0) return std::nullopt;
+  std::string text;
+  for (int x = x_min; x <= x_max; x += chart::kGlyphAdvance) {
+    const char c = MatchGlyph(map, x, y_top);
+    if (c == '\0') return std::nullopt;  // Unreadable glyph.
+    text.push_back(c);
+  }
+  double value = 0.0;
+  if (!common::ParseDouble(text, &value)) return std::nullopt;
+  return value;
+}
+
+common::Result<RowValueMapping> FitRowValueMapping(
+    const std::vector<int>& rows, const std::vector<double>& values) {
+  if (rows.size() != values.size() || rows.size() < 2) {
+    return common::Status::InvalidArgument(
+        "need at least two (row, value) pairs to calibrate the y axis");
+  }
+  const size_t n = rows.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rows[i]);
+    sx += x;
+    sy += values[i];
+    sxx += x * x;
+    sxy += x * values[i];
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-9) {
+    return common::Status::InvalidArgument("tick rows are degenerate");
+  }
+  RowValueMapping m;
+  m.a = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  m.b = (sy - m.a * sx) / static_cast<double>(n);
+  return m;
+}
+
+std::vector<std::vector<PixelRun>> ColumnRuns(const PixelMap& map,
+                                              const AxisGeometry& axes) {
+  std::vector<std::vector<PixelRun>> out(
+      static_cast<size_t>(axes.plot_right - axes.plot_left + 1));
+  for (int x = axes.plot_left; x <= axes.plot_right; ++x) {
+    auto& runs = out[static_cast<size_t>(x - axes.plot_left)];
+    int run_start = -1;
+    for (int y = axes.plot_top; y <= axes.plot_bottom + 1; ++y) {
+      const bool on = y <= axes.plot_bottom && map.At(x, y);
+      if (on && run_start < 0) run_start = y;
+      if (!on && run_start >= 0) {
+        runs.push_back({run_start, y - 1});
+        run_start = -1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TracedLine> TraceLines(
+    const std::vector<std::vector<PixelRun>>& runs) {
+  if (runs.empty()) return {};
+  // Estimate the line count from the distribution of per-column run
+  // counts. Crossings and near-overlaps merge runs, so the mode badly
+  // undercounts dense multi-line charts; a high percentile is robust: all
+  // M lines are separated in at least some columns.
+  std::vector<size_t> counts;
+  for (const auto& col : runs) {
+    if (!col.empty()) counts.push_back(col.size());
+  }
+  if (counts.empty()) return {};
+  std::sort(counts.begin(), counts.end());
+  const size_t m = counts[counts.size() * 95 / 100];
+
+  std::vector<TracedLine> tracks(m);
+  for (auto& t : tracks) {
+    t.center_rows.assign(runs.size(), -1.0);
+  }
+  std::vector<double> last_y(m, -1.0);
+
+  for (size_t x = 0; x < runs.size(); ++x) {
+    const auto& col = runs[x];
+    if (col.empty()) continue;
+    // First column with runs: seed tracks top-to-bottom.
+    bool seeded = false;
+    for (double ly : last_y) seeded = seeded || ly >= 0.0;
+    if (!seeded) {
+      for (size_t t = 0; t < m && t < col.size(); ++t) {
+        last_y[t] = col[t].Center();
+        tracks[t].center_rows[x] = last_y[t];
+      }
+      continue;
+    }
+    // Assign runs to tracks by vertical proximity (optimal assignment).
+    std::vector<std::vector<double>> weights(
+        m, std::vector<double>(col.size()));
+    for (size_t t = 0; t < m; ++t) {
+      for (size_t r = 0; r < col.size(); ++r) {
+        const double ref = last_y[t] >= 0.0 ? last_y[t]
+                                            : col[r].Center();
+        const double dist = std::fabs(ref - col[r].Center());
+        weights[t][r] = 1.0 / (1.0 + dist);
+      }
+    }
+    const rel::MatchingResult match = rel::MaxWeightBipartiteMatching(weights);
+    for (size_t t = 0; t < m; ++t) {
+      const int r = match.assignment[t];
+      if (r < 0) continue;
+      const double y = col[static_cast<size_t>(r)].Center();
+      // A run may cover several crossing lines; assign it to every track
+      // close enough, but only advance tracks that actually matched.
+      tracks[t].center_rows[x] = y;
+      last_y[t] = y;
+    }
+  }
+  return tracks;
+}
+
+void InterpolateMissing(std::vector<double>* center_rows) {
+  auto& v = *center_rows;
+  const size_t n = v.size();
+  // Leading gap: copy first known value backwards.
+  size_t first = 0;
+  while (first < n && v[first] < 0.0) ++first;
+  if (first == n) return;  // All missing; nothing to do.
+  for (size_t i = 0; i < first; ++i) v[i] = v[first];
+  size_t last_known = first;
+  for (size_t i = first + 1; i < n; ++i) {
+    if (v[i] < 0.0) continue;
+    if (i > last_known + 1) {
+      const double y0 = v[last_known], y1 = v[i];
+      const double span = static_cast<double>(i - last_known);
+      for (size_t j = last_known + 1; j < i; ++j) {
+        v[j] = y0 + (y1 - y0) * static_cast<double>(j - last_known) / span;
+      }
+    }
+    last_known = i;
+  }
+  for (size_t i = last_known + 1; i < n; ++i) v[i] = v[last_known];
+}
+
+}  // namespace fcm::vision

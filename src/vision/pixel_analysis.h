@@ -1,0 +1,91 @@
+// Pixel-level geometry recovery shared by the classical and learned
+// extractors: axis detection, tick-row detection, tick-label OCR over the
+// renderer's bitmap font, row->value calibration, and multi-line tracing.
+
+#ifndef FCM_VISION_PIXEL_ANALYSIS_H_
+#define FCM_VISION_PIXEL_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fcm::vision {
+
+/// A binary pixel map with dimensions (row-major).
+struct PixelMap {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> on;  // 1 where the predicate holds.
+
+  bool At(int x, int y) const {
+    return on[static_cast<size_t>(y) * width + x] != 0;
+  }
+};
+
+/// Thresholds a greyscale image into a PixelMap.
+PixelMap Threshold(const std::vector<float>& ink, int width, int height,
+                   float threshold = 0.5f);
+
+/// Detected axes: pixel column of the y axis and pixel row of the x axis.
+struct AxisGeometry {
+  int y_axis_col = -1;
+  int x_axis_row = -1;
+  /// Plot area bounds derived from the axes (inclusive).
+  int plot_left = 0, plot_right = 0, plot_top = 0, plot_bottom = 0;
+};
+
+/// Finds the y axis as the column with the longest vertical run and the
+/// x axis as the row with the longest horizontal run of on-pixels.
+common::Result<AxisGeometry> DetectAxes(const PixelMap& map);
+
+/// Tick rows: rows with short horizontal marks immediately left of the
+/// y axis.
+std::vector<int> DetectTickRows(const PixelMap& map, const AxisGeometry& axes);
+
+/// Reads the numeric label to the left of the tick at `row` via template
+/// matching against the renderer's 3x5 font. Returns nullopt when no
+/// parseable label is found.
+std::optional<double> ReadTickLabel(const PixelMap& map,
+                                    const AxisGeometry& axes, int row);
+
+/// Least-squares linear fit value = a * row + b over (row, value) pairs.
+struct RowValueMapping {
+  double a = 0.0;
+  double b = 0.0;
+  double ValueAtRow(double row) const { return a * row + b; }
+};
+common::Result<RowValueMapping> FitRowValueMapping(
+    const std::vector<int>& rows, const std::vector<double>& values);
+
+/// A vertical run of line pixels in one column.
+struct PixelRun {
+  int y_begin = 0;  // Inclusive.
+  int y_end = 0;    // Inclusive.
+  double Center() const { return 0.5 * (y_begin + y_end); }
+};
+
+/// Extracts vertical runs of on-pixels per column inside the plot area.
+std::vector<std::vector<PixelRun>> ColumnRuns(const PixelMap& map,
+                                              const AxisGeometry& axes);
+
+/// A traced line: for each plot-area column, the (fractional) center row,
+/// or negative when the line is missing in that column (later
+/// interpolated).
+struct TracedLine {
+  std::vector<double> center_rows;
+};
+
+/// Greedy multi-line tracker: estimates the number of lines as the modal
+/// run count per column and assigns runs to tracks by vertical proximity,
+/// carrying tracks through occlusions (line crossings).
+std::vector<TracedLine> TraceLines(
+    const std::vector<std::vector<PixelRun>>& runs);
+
+/// Fills missing (negative) entries by linear interpolation between known
+/// neighbours (nearest value at the borders).
+void InterpolateMissing(std::vector<double>* center_rows);
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_PIXEL_ANALYSIS_H_

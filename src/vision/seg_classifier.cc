@@ -1,0 +1,170 @@
+#include "vision/seg_classifier.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace fcm::vision {
+
+namespace {
+
+// One labeled training pixel.
+struct Sample {
+  int example = 0;
+  int x = 0;
+  int y = 0;
+  int label = 0;
+};
+
+}  // namespace
+
+SegClassifier::SegClassifier(const SegClassifierConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      mlp_(config.patch_size * config.patch_size + 2, config.hidden_dim,
+           chart::kNumSegClasses, &rng_, nn::Activation::kRelu) {
+  RegisterModule("mlp", &mlp_);
+}
+
+std::vector<float> SegClassifier::Features(const std::vector<float>& image,
+                                           int width, int height, int x,
+                                           int y) const {
+  std::vector<float> f;
+  f.reserve(static_cast<size_t>(FeatureDim()));
+  const int r = config_.patch_size / 2;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      const int px = x + dx, py = y + dy;
+      const bool in = px >= 0 && px < width && py >= 0 && py < height;
+      f.push_back(in ? image[static_cast<size_t>(py) * width + px] : 0.0f);
+    }
+  }
+  f.push_back(static_cast<float>(x) / static_cast<float>(width));
+  f.push_back(static_cast<float>(y) / static_cast<float>(height));
+  return f;
+}
+
+double SegClassifier::Train(const std::vector<chart::SegExample>& examples) {
+  // Collect a class-balanced pixel sample from every example.
+  std::vector<Sample> samples;
+  for (size_t ei = 0; ei < examples.size(); ++ei) {
+    const auto& ex = examples[ei];
+    std::vector<std::vector<size_t>> by_class(chart::kNumSegClasses);
+    for (size_t i = 0; i < ex.label.size(); ++i) {
+      by_class[ex.label[i]].push_back(i);
+    }
+    for (int cls = 0; cls < chart::kNumSegClasses; ++cls) {
+      auto& pool = by_class[static_cast<size_t>(cls)];
+      if (pool.empty()) continue;
+      const size_t take = std::min<size_t>(
+          pool.size(), static_cast<size_t>(config_.samples_per_class));
+      const auto picked = rng_.SampleWithoutReplacement(pool.size(), take);
+      for (size_t pi : picked) {
+        const size_t flat = pool[pi];
+        samples.push_back({static_cast<int>(ei),
+                           static_cast<int>(flat % ex.width),
+                           static_cast<int>(flat / ex.width), cls});
+      }
+    }
+  }
+  if (samples.empty()) return 0.0;
+
+  nn::Adam optimizer(Parameters(), config_.learning_rate);
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&samples);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < samples.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          samples.size(), start + static_cast<size_t>(config_.batch_size));
+      std::vector<float> feats;
+      std::vector<int> targets;
+      for (size_t i = start; i < end; ++i) {
+        const auto& s = samples[i];
+        const auto& ex = examples[static_cast<size_t>(s.example)];
+        const auto f = Features(ex.image, ex.width, ex.height, s.x, s.y);
+        feats.insert(feats.end(), f.begin(), f.end());
+        targets.push_back(s.label);
+      }
+      const int n = static_cast<int>(targets.size());
+      nn::Tensor x =
+          nn::Tensor::FromVector({n, FeatureDim()}, std::move(feats));
+      nn::Tensor logits = mlp_.Forward(x);
+      nn::Tensor loss = nn::CrossEntropyWithLogits(logits, targets);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    final_loss = epoch_loss / std::max(1, batches);
+    FCM_LOGS(INFO) << "SegClassifier epoch " << epoch << " loss "
+                   << final_loss;
+  }
+  return final_loss;
+}
+
+std::vector<uint8_t> SegClassifier::Predict(const std::vector<float>& image,
+                                            int width, int height) const {
+  std::vector<uint8_t> out(static_cast<size_t>(width) * height,
+                           static_cast<uint8_t>(chart::SegClass::kBackground));
+  // Only classify pixels with any ink in their receptive field center —
+  // background dominates and blank pixels are trivially background.
+  std::vector<std::pair<int, int>> active;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (image[static_cast<size_t>(y) * width + x] > 0.05f) {
+        active.emplace_back(x, y);
+      }
+    }
+  }
+  const int batch = 256;
+  for (size_t start = 0; start < active.size();
+       start += static_cast<size_t>(batch)) {
+    const size_t end =
+        std::min(active.size(), start + static_cast<size_t>(batch));
+    std::vector<float> feats;
+    for (size_t i = start; i < end; ++i) {
+      const auto f =
+          Features(image, width, height, active[i].first, active[i].second);
+      feats.insert(feats.end(), f.begin(), f.end());
+    }
+    const int n = static_cast<int>(end - start);
+    nn::Tensor x = nn::Tensor::FromVector({n, FeatureDim()},
+                                          std::move(feats));
+    nn::Tensor logits = mlp_.Forward(x);
+    const auto& lv = logits.data();
+    for (int i = 0; i < n; ++i) {
+      const size_t base = static_cast<size_t>(i) * chart::kNumSegClasses;
+      int best = 0;
+      for (int c = 1; c < chart::kNumSegClasses; ++c) {
+        if (lv[base + c] > lv[base + best]) best = c;
+      }
+      const auto [px, py] = active[start + static_cast<size_t>(i)];
+      out[static_cast<size_t>(py) * width + px] = static_cast<uint8_t>(best);
+    }
+  }
+  return out;
+}
+
+double SegClassifier::Evaluate(
+    const std::vector<chart::SegExample>& examples) const {
+  size_t correct = 0, total = 0;
+  for (const auto& ex : examples) {
+    const auto pred = Predict(ex.image, ex.width, ex.height);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      // Score only inked pixels; blank background is trivial.
+      if (ex.image[i] <= 0.05f) continue;
+      ++total;
+      if (pred[i] == ex.label[i]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace fcm::vision

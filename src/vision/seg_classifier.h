@@ -1,0 +1,64 @@
+// LCSeg substitute: a per-pixel classifier trained from scratch on
+// LineChartSeg (paper Sec. IV-A). The paper uses Mask R-CNN; at our CPU
+// scale the same contract — pixel -> visual-element class — is provided by
+// a patch MLP over a local receptive field plus normalized position.
+
+#ifndef FCM_VISION_SEG_CLASSIFIER_H_
+#define FCM_VISION_SEG_CLASSIFIER_H_
+
+#include <vector>
+
+#include "chart/linechartseg.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "vision/pixel_analysis.h"
+
+namespace fcm::vision {
+
+/// Training configuration for the segmentation classifier.
+struct SegClassifierConfig {
+  /// Receptive field: a patch_size x patch_size window around the pixel.
+  int patch_size = 5;
+  int hidden_dim = 48;
+  int epochs = 4;
+  /// Pixels sampled per class per example (balances the heavy background
+  /// class).
+  int samples_per_class = 24;
+  float learning_rate = 3e-3f;
+  int batch_size = 64;
+  uint64_t seed = 17;
+};
+
+/// The classifier network + train/predict API.
+class SegClassifier : public nn::Module {
+ public:
+  explicit SegClassifier(const SegClassifierConfig& config = {});
+
+  /// Trains on LineChartSeg examples; returns the final epoch's mean loss.
+  double Train(const std::vector<chart::SegExample>& examples);
+
+  /// Classifies every pixel of an image; returns row-major SegClass ids.
+  std::vector<uint8_t> Predict(const std::vector<float>& image, int width,
+                               int height) const;
+
+  /// Pixel accuracy on a held-out set.
+  double Evaluate(const std::vector<chart::SegExample>& examples) const;
+
+  const SegClassifierConfig& config() const { return config_; }
+
+ private:
+  /// Patch features for pixel (x, y): window ink + normalized position.
+  std::vector<float> Features(const std::vector<float>& image, int width,
+                              int height, int x, int y) const;
+  int FeatureDim() const {
+    return config_.patch_size * config_.patch_size + 2;
+  }
+
+  SegClassifierConfig config_;
+  common::Rng rng_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace fcm::vision
+
+#endif  // FCM_VISION_SEG_CLASSIFIER_H_

@@ -1,0 +1,252 @@
+// Tests for src/baselines: Qetch* matching, DeepEye recommendations,
+// LineNet embedding, CML, and the method wrappers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cml.h"
+#include "baselines/de_ln.h"
+#include "baselines/deepeye.h"
+#include "baselines/linenet.h"
+#include "baselines/qetch.h"
+#include "benchgen/benchmark.h"
+#include "chart/renderer.h"
+#include "vision/classical_extractor.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::baselines {
+namespace {
+
+std::vector<double> Wave(size_t n, double freq, double amp = 10.0,
+                         double offset = 0.0) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(static_cast<double>(i) * freq) * amp + offset;
+  }
+  return v;
+}
+
+TEST(QetchTest, SelfMatchHasLowError) {
+  const auto w = Wave(100, 0.1);
+  EXPECT_LT(QetchMatchError(w, w), 0.05);
+}
+
+TEST(QetchTest, ScaledCopyStillMatchesWell) {
+  const auto w = Wave(100, 0.1);
+  std::vector<double> scaled;
+  for (double x : w) scaled.push_back(3.0 * x + 50.0);
+  // Qetch is scale-free: an affine copy matches far better than a
+  // different shape.
+  const auto other = Wave(100, 0.37);
+  EXPECT_LT(QetchMatchError(w, scaled), QetchMatchError(w, other));
+}
+
+TEST(QetchTest, DifferentShapesScoreWorse) {
+  const auto w = Wave(80, 0.15);
+  std::vector<double> line(80);
+  for (size_t i = 0; i < line.size(); ++i) line[i] = static_cast<double>(i);
+  EXPECT_GT(QetchMatchError(w, line), QetchMatchError(w, w) + 0.1);
+}
+
+TEST(QetchTest, EmptyInputsAreInfinite) {
+  EXPECT_TRUE(std::isinf(QetchMatchError({}, {1.0})));
+}
+
+TEST(DeepEyeTest, ConstantColumnsNotChartWorthy) {
+  EXPECT_DOUBLE_EQ(ColumnChartScore(std::vector<double>(50, 3.0)), 0.0);
+}
+
+TEST(DeepEyeTest, SmoothTrendBeatsNoise) {
+  common::Rng rng(3);
+  std::vector<double> noise(100);
+  for (auto& x : noise) x = rng.Normal(0.0, 5.0);
+  EXPECT_GT(ColumnChartScore(Wave(100, 0.05)), ColumnChartScore(noise));
+}
+
+TEST(DeepEyeTest, RecommendsAtMostN) {
+  table::Table t;
+  t.AddColumn(table::Column("a", Wave(60, 0.1)));
+  t.AddColumn(table::Column("b", Wave(60, 0.2, 8.0)));
+  t.AddColumn(table::Column("c", Wave(60, 0.05, 12.0)));
+  const auto specs = RecommendLineCharts(t, 5);
+  EXPECT_GE(specs.size(), 1u);
+  EXPECT_LE(specs.size(), 5u);
+  for (const auto& s : specs) {
+    EXPECT_FALSE(s.y_columns.empty());
+    for (int c : s.y_columns) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 3);
+    }
+  }
+}
+
+TEST(DeepEyeTest, NothingForUnplottableTable) {
+  table::Table t;
+  t.AddColumn(table::Column("flat", std::vector<double>(40, 1.0)));
+  EXPECT_TRUE(RecommendLineCharts(t, 5).empty());
+}
+
+TEST(LineNetTest, EmbeddingDimensionsAndDeterminism) {
+  LineNetConfig config;
+  LineNetLite net(config);
+  std::vector<float> image(64 * 32, 0.0f);
+  for (int i = 0; i < 64; ++i) image[static_cast<size_t>(i) * 64 / 2 + i] = 1.0f;
+  const auto e1 = net.Embed(image, 64, 32);
+  const auto e2 = net.Embed(image, 64, 32);
+  ASSERT_EQ(e1.size(), static_cast<size_t>(config.embed_dim));
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(LineNetTest, SimilarityBounds) {
+  const std::vector<float> a = {1.0f, 0.0f};
+  EXPECT_NEAR(LineNetLite::Similarity(a, a), 1.0, 1e-9);
+  EXPECT_NEAR(LineNetLite::Similarity(a, {0.0f, 1.0f}), 0.0, 1e-9);
+}
+
+TEST(LineNetTest, TrainingReducesLossAndSeparates) {
+  LineNetConfig config;
+  config.epochs = 8;
+  LineNetLite net(config);
+  // Positive pairs: same diagonal pattern; negatives: diagonal vs blank.
+  std::vector<LineNetLite::TrainingPair> pairs;
+  std::vector<float> diag(32 * 32, 0.0f), anti(32 * 32, 0.0f);
+  for (int i = 0; i < 32; ++i) {
+    diag[static_cast<size_t>(i) * 32 + i] = 1.0f;
+    anti[static_cast<size_t>(i) * 32 + (31 - i)] = 1.0f;
+  }
+  LineNetLite::TrainingPair pos{diag, 32, 32, diag, 32, 32, true};
+  LineNetLite::TrainingPair neg{diag, 32, 32, anti, 32, 32, false};
+  for (int i = 0; i < 8; ++i) {
+    pairs.push_back(pos);
+    pairs.push_back(neg);
+  }
+  const double loss = net.Train(pairs);
+  EXPECT_LT(loss, 0.69);  // Below log 2: learned something.
+  const auto ed = net.Embed(diag, 32, 32);
+  const auto ea = net.Embed(anti, 32, 32);
+  EXPECT_GT(LineNetLite::Similarity(ed, ed),
+            LineNetLite::Similarity(ed, ea));
+}
+
+TEST(CompositeStripsTest, CombinesLines) {
+  vision::ExtractedChart chart;
+  vision::ExtractedLine l1, l2;
+  l1.width = 4;
+  l1.height = 2;
+  l1.strip = {1, 0, 0, 0, 0, 0, 0, 0};
+  l2.width = 4;
+  l2.height = 2;
+  l2.strip = {0, 0, 0, 0, 0, 0, 0, 1};
+  chart.lines = {l1, l2};
+  int w = 0, h = 0;
+  const auto composite = CompositeStrips(chart, &w, &h);
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 2);
+  EXPECT_FLOAT_EQ(composite[0], 1.0f);
+  EXPECT_FLOAT_EQ(composite[7], 1.0f);
+}
+
+TEST(CmlModelTest, ScoreInUnitInterval) {
+  core::FcmConfig config;
+  config.embed_dim = 16;
+  config.num_layers = 1;
+  config.strip_height = 16;
+  config.strip_width = 64;
+  config.line_segment_width = 16;
+  config.column_length = 64;
+  config.data_segment_size = 16;
+  CmlModel model(config);
+  EXPECT_FALSE(model.config().use_da_layers);  // TURL-style: no DA layers.
+
+  table::Table t;
+  t.AddColumn(table::Column("a", Wave(60, 0.1)));
+  table::DataSeries d;
+  d.y = t.column(0).values;
+  const auto rendered = chart::RenderLineChart({d});
+  vision::MaskOracleExtractor oracle;
+  const auto extracted = oracle.Extract(rendered).value();
+  const double s = model.Score(extracted, t);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+// ---- Method wrappers over a shared tiny benchmark ----
+
+class MethodsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchgen::BenchmarkConfig config;
+    config.num_training_tables = 6;
+    config.num_query_tables = 4;
+    config.extra_lake_tables = 6;
+    config.duplicates_per_query = 2;
+    config.ground_truth_k = 2;
+    config.seed = 77;
+    vision::ClassicalExtractor extractor;
+    bench_ = new benchgen::Benchmark(BuildBenchmark(config, extractor));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static benchgen::Benchmark* bench_;
+};
+
+benchgen::Benchmark* MethodsTest::bench_ = nullptr;
+
+TEST_F(MethodsTest, QetchStarScoresAllPairs) {
+  QetchStarMethod method;
+  method.Fit(bench_->lake, bench_->training);
+  for (const auto& q : bench_->queries) {
+    for (const auto& t : bench_->lake.tables()) {
+      const double s = method.Score(q, t);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_F(MethodsTest, QetchStarPrefersSourceOverRandom) {
+  QetchStarMethod method;
+  method.Fit(bench_->lake, bench_->training);
+  int wins = 0, total = 0;
+  for (const auto& q : bench_->queries) {
+    if (q.is_da) continue;  // Aggregation breaks raw shape matching.
+    const double self_score =
+        method.Score(q, bench_->lake.Get(q.source_table));
+    const double other_score = method.Score(q, bench_->lake.Get(0));
+    if (q.source_table == 0) continue;
+    ++total;
+    if (self_score >= other_score) ++wins;
+  }
+  if (total > 0) EXPECT_GE(wins, (total + 1) / 2);
+}
+
+TEST_F(MethodsTest, DeLnFitsAndScores) {
+  LineNetConfig lncfg;
+  lncfg.epochs = 2;
+  auto linenet = std::make_shared<LineNetLite>(lncfg);
+  DeLnMethod method(linenet, /*train_on_fit=*/true,
+                    /*num_recommendations=*/3);
+  method.Fit(bench_->lake, bench_->training);
+  const double s =
+      method.Score(bench_->queries[0], bench_->lake.Get(0));
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST_F(MethodsTest, OptLnScoresWithOracle) {
+  LineNetConfig lncfg;
+  lncfg.epochs = 2;
+  auto linenet = std::make_shared<LineNetLite>(lncfg);
+  OptLnMethod method(linenet, /*train_on_fit=*/true);
+  method.Fit(bench_->lake, bench_->training);
+  const auto& q = bench_->queries[0];
+  const double s = method.Score(q, bench_->lake.Get(q.source_table));
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+}  // namespace
+}  // namespace fcm::baselines

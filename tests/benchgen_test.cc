@@ -1,0 +1,171 @@
+// Tests for src/benchgen: series families, corpus/benchmark invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "benchgen/benchmark.h"
+#include "benchgen/series_generator.h"
+#include "vision/classical_extractor.h"
+
+namespace fcm::benchgen {
+namespace {
+
+class SeriesFamilyTest : public ::testing::TestWithParam<SeriesFamily> {};
+
+TEST_P(SeriesFamilyTest, GeneratesFiniteValuesOfRequestedLength) {
+  common::Rng rng(11);
+  const auto v = GenerateSeries(GetParam(), 200, &rng);
+  ASSERT_EQ(v.size(), 200u);
+  for (double x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST_P(SeriesFamilyTest, NotConstant) {
+  common::Rng rng(12);
+  const auto v = GenerateSeries(GetParam(), 150, &rng);
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+  EXPECT_GT(hi - lo, 1e-6);
+}
+
+TEST_P(SeriesFamilyTest, DeterministicGivenSeed) {
+  common::Rng a(13), b(13);
+  EXPECT_EQ(GenerateSeries(GetParam(), 50, &a),
+            GenerateSeries(GetParam(), 50, &b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SeriesFamilyTest,
+    ::testing::Values(SeriesFamily::kRandomWalk, SeriesFamily::kTrendSeasonal,
+                      SeriesFamily::kEcgLike, SeriesFamily::kStep,
+                      SeriesFamily::kExponential,
+                      SeriesFamily::kMeanReverting, SeriesFamily::kBursty,
+                      SeriesFamily::kLogistic),
+    [](const auto& info) { return SeriesFamilyName(info.param); });
+
+TEST(BucketTest, LineCountBuckets) {
+  EXPECT_EQ(Benchmark::LineCountBucket(1), 0);
+  EXPECT_EQ(Benchmark::LineCountBucket(2), 1);
+  EXPECT_EQ(Benchmark::LineCountBucket(4), 1);
+  EXPECT_EQ(Benchmark::LineCountBucket(5), 2);
+  EXPECT_EQ(Benchmark::LineCountBucket(7), 2);
+  EXPECT_EQ(Benchmark::LineCountBucket(8), 3);
+  EXPECT_EQ(Benchmark::LineCountBucket(12), 3);
+}
+
+class BenchmarkBuildTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BenchmarkConfig config;
+    config.num_training_tables = 10;
+    config.num_query_tables = 8;
+    config.extra_lake_tables = 10;
+    config.duplicates_per_query = 3;
+    config.ground_truth_k = 3;
+    config.seed = 5;
+    vision::ClassicalExtractor extractor;
+    bench_ = new Benchmark(BuildBenchmark(config, extractor));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static Benchmark* bench_;
+};
+
+Benchmark* BenchmarkBuildTest::bench_ = nullptr;
+
+TEST_F(BenchmarkBuildTest, LakeContainsAllPieces) {
+  // 10 training + 10 extra + 8 query + 8*3 dups.
+  EXPECT_EQ(bench_->lake.size(), 10u + 10u + 8u + 24u);
+}
+
+TEST_F(BenchmarkBuildTest, QueriesCoverAllStrata) {
+  std::set<int> buckets;
+  for (const auto& q : bench_->queries) {
+    buckets.insert(Benchmark::LineCountBucket(q.num_lines));
+  }
+  EXPECT_EQ(buckets.size(), 4u);
+}
+
+TEST_F(BenchmarkBuildTest, GroundTruthSizedAndValid) {
+  for (const auto& q : bench_->queries) {
+    EXPECT_EQ(q.relevant.size(), 3u);
+    for (auto id : q.relevant) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(static_cast<size_t>(id), bench_->lake.size());
+    }
+  }
+}
+
+TEST_F(BenchmarkBuildTest, SourceTableIsTopRelevantForNonDaQueries) {
+  // A non-DA query was rendered directly from its source table, so ground
+  // truth must rank the source family (source or its noisy duplicates)
+  // first. DA queries aggregate the data before plotting, so their
+  // underlying data may legitimately be closer to other tables — the
+  // distribution-shift challenge the paper's Sec. V addresses.
+  for (const auto& q : bench_->queries) {
+    if (q.is_da) continue;
+    ASSERT_FALSE(q.relevant.empty());
+    const auto& top_name = bench_->lake.Get(q.relevant[0]).name();
+    const auto& src_name = bench_->lake.Get(q.source_table).name();
+    EXPECT_EQ(top_name.substr(0, src_name.size()), src_name)
+        << "top relevant " << top_name << " not from source family "
+        << src_name;
+  }
+}
+
+TEST_F(BenchmarkBuildTest, TrainingTripletsPointAtLakeTables) {
+  EXPECT_FALSE(bench_->training.empty());
+  for (const auto& t : bench_->training) {
+    EXPECT_GE(t.table_id, 0);
+    EXPECT_LT(static_cast<size_t>(t.table_id), bench_->lake.size());
+    EXPECT_FALSE(t.underlying.empty());
+    EXPECT_FALSE(t.chart.lines.empty());
+  }
+}
+
+TEST_F(BenchmarkBuildTest, QueryExtractionsHaveRanges) {
+  for (const auto& q : bench_->queries) {
+    EXPECT_LT(q.y_lo, q.y_hi);
+    EXPECT_GT(q.extracted.num_lines(), 0);
+  }
+}
+
+TEST_F(BenchmarkBuildTest, DaQueriesRecordOperator) {
+  int da = 0;
+  for (const auto& q : bench_->queries) {
+    if (q.is_da) {
+      ++da;
+      EXPECT_NE(q.op, table::AggregateOp::kNone);
+      EXPECT_GE(q.window_size, 2u);
+    } else {
+      EXPECT_EQ(q.op, table::AggregateOp::kNone);
+    }
+  }
+  EXPECT_GT(da, 0);  // With fraction 0.5 over 8 queries, some are DA.
+}
+
+TEST(BenchmarkDeterminismTest, SameSeedSameBenchmark) {
+  BenchmarkConfig config;
+  config.num_training_tables = 4;
+  config.num_query_tables = 4;
+  config.extra_lake_tables = 4;
+  config.duplicates_per_query = 2;
+  config.ground_truth_k = 2;
+  vision::ClassicalExtractor extractor;
+  const Benchmark a = BuildBenchmark(config, extractor);
+  const Benchmark b = BuildBenchmark(config, extractor);
+  ASSERT_EQ(a.lake.size(), b.lake.size());
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].relevant, b.queries[i].relevant);
+    EXPECT_EQ(a.queries[i].num_lines, b.queries[i].num_lines);
+  }
+  EXPECT_EQ(a.lake.Get(0).column(0).values,
+            b.lake.Get(0).column(0).values);
+}
+
+}  // namespace
+}  // namespace fcm::benchgen

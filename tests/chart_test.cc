@@ -1,0 +1,329 @@
+// Tests for src/chart: canvas drawing, nice ticks, glyph font, renderer
+// geometry/masks, LineChartSeg generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "chart/canvas.h"
+#include "chart/chart_spec.h"
+#include "chart/glyphs.h"
+#include "chart/linechartseg.h"
+#include "chart/nice_ticks.h"
+#include "chart/renderer.h"
+
+namespace fcm::chart {
+namespace {
+
+TEST(CanvasTest, PlotAccumulatesAndClamps) {
+  Canvas c(10, 10);
+  c.Plot(3, 4, 0.6f, 1);
+  EXPECT_FLOAT_EQ(c.At(3, 4), 0.6f);
+  c.Plot(3, 4, 0.7f, 1);
+  EXPECT_FLOAT_EQ(c.At(3, 4), 1.0f);  // Clamped.
+}
+
+TEST(CanvasTest, OutOfBoundsIgnored) {
+  Canvas c(4, 4);
+  c.Plot(-1, 0, 1.0f, 1);
+  c.Plot(0, 100, 1.0f, 1);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) EXPECT_FLOAT_EQ(c.At(x, y), 0.0f);
+  }
+}
+
+TEST(CanvasTest, ElementMapTracksStrongestPainter) {
+  Canvas c(8, 8);
+  c.Plot(2, 2, 1.0f, 5);
+  EXPECT_EQ(c.ElementAt(2, 2), 5);
+  // A weak later painter does not steal an owned pixel.
+  c.Plot(2, 2, 0.1f, 9);
+  EXPECT_EQ(c.ElementAt(2, 2), 5);
+}
+
+TEST(CanvasTest, HAndVLines) {
+  Canvas c(10, 10);
+  c.DrawHLine(2, 5, 3, 1);
+  for (int x = 2; x <= 5; ++x) EXPECT_FLOAT_EQ(c.At(x, 3), 1.0f);
+  c.DrawVLine(7, 1, 4, 2);
+  for (int y = 1; y <= 4; ++y) EXPECT_FLOAT_EQ(c.At(7, y), 1.0f);
+}
+
+TEST(CanvasTest, AALineCoversEndpoints) {
+  Canvas c(20, 20);
+  c.DrawLineAA(2.0, 2.0, 15.0, 11.0, 3);
+  // The exact endpoints get ink (possibly split over two pixels).
+  float start_ink = c.At(2, 2) + c.At(2, 3);
+  float end_ink = c.At(15, 11) + c.At(15, 12);
+  EXPECT_GT(start_ink, 0.4f);
+  EXPECT_GT(end_ink, 0.4f);
+}
+
+TEST(CanvasTest, AALineIsContinuous) {
+  Canvas c(40, 40);
+  c.DrawLineAA(0.0, 0.0, 39.0, 25.0, 3);
+  // Every x column along the line has some ink.
+  for (int x = 1; x < 39; ++x) {
+    float col_ink = 0.0f;
+    for (int y = 0; y < 40; ++y) col_ink += c.At(x, y);
+    EXPECT_GT(col_ink, 0.3f) << "gap at column " << x;
+  }
+}
+
+TEST(CanvasTest, SavePgmWritesFile) {
+  Canvas c(6, 4);
+  c.Plot(1, 1, 1.0f, 1);
+  const std::string path = "/tmp/fcm_canvas_test.pgm";
+  ASSERT_TRUE(c.SavePgm(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {0};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_STREQ(magic, "P5");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(NiceTicksTest, CoversRange) {
+  const TickLayout layout = ComputeTicks(-3.2, 7.8, 5);
+  EXPECT_LE(layout.axis_lo, -3.2);
+  EXPECT_GE(layout.axis_hi, 7.8);
+  ASSERT_GE(layout.ticks.size(), 2u);
+  EXPECT_DOUBLE_EQ(layout.ticks.front(), layout.axis_lo);
+  EXPECT_DOUBLE_EQ(layout.ticks.back(), layout.axis_hi);
+}
+
+TEST(NiceTicksTest, StepIsNiceNumber) {
+  const TickLayout layout = ComputeTicks(0.0, 100.0, 5);
+  const double mantissa =
+      layout.step / std::pow(10.0, std::floor(std::log10(layout.step)));
+  EXPECT_TRUE(std::fabs(mantissa - 1.0) < 1e-9 ||
+              std::fabs(mantissa - 2.0) < 1e-9 ||
+              std::fabs(mantissa - 5.0) < 1e-9 ||
+              std::fabs(mantissa - 10.0) < 1e-9);
+}
+
+TEST(NiceTicksTest, DegenerateRangePadded) {
+  const TickLayout layout = ComputeTicks(5.0, 5.0, 5);
+  EXPECT_LT(layout.axis_lo, 5.0);
+  EXPECT_GT(layout.axis_hi, 5.0);
+}
+
+TEST(NiceTicksTest, TicksEvenlySpaced) {
+  const TickLayout layout = ComputeTicks(-17.0, 42.0, 6);
+  for (size_t i = 1; i < layout.ticks.size(); ++i) {
+    EXPECT_NEAR(layout.ticks[i] - layout.ticks[i - 1], layout.step, 1e-9);
+  }
+}
+
+TEST(GlyphsTest, AllTickCharactersHaveGlyphs) {
+  EXPECT_TRUE(CanRenderText("0123456789-.e+"));
+  EXPECT_FALSE(CanRenderText("abc"));
+}
+
+TEST(GlyphsTest, DrawTextAdvances) {
+  Canvas c(40, 10);
+  const int end = DrawText(&c, 2, 2, "12", 3);
+  EXPECT_EQ(end, 2 + 2 * kGlyphAdvance);
+  EXPECT_EQ(TextWidth("12"), 2 * kGlyphAdvance);
+  // Some ink must have been deposited.
+  float total = 0.0f;
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 40; ++x) total += c.At(x, y);
+  }
+  EXPECT_GT(total, 4.0f);
+}
+
+TEST(GlyphsTest, FormatTickValueCompact) {
+  EXPECT_EQ(FormatTickValue(5.0), "5");
+  EXPECT_EQ(FormatTickValue(-0.5), "-0.5");
+  EXPECT_EQ(FormatTickValue(1500.0), "1500");
+}
+
+table::UnderlyingData SineData(int m, size_t n) {
+  table::UnderlyingData d;
+  for (int i = 0; i < m; ++i) {
+    table::DataSeries s;
+    s.label = "s" + std::to_string(i);
+    for (size_t j = 0; j < n; ++j) {
+      s.y.push_back(std::sin(static_cast<double>(j) * 0.1 + i) * 10.0 +
+                    i * 5.0);
+    }
+    d.push_back(std::move(s));
+  }
+  return d;
+}
+
+TEST(RendererTest, ValueRowMappingIsInverse) {
+  const auto chart = RenderLineChart(SineData(1, 50));
+  for (double v : {-8.0, 0.0, 3.3, 9.9}) {
+    EXPECT_NEAR(chart.RowToValue(chart.ValueToRow(v)), v, 1e-9);
+  }
+}
+
+TEST(RendererTest, TicksWithinPlotArea) {
+  const auto chart = RenderLineChart(SineData(2, 80));
+  ASSERT_GE(chart.y_ticks.size(), 2u);
+  for (const auto& tick : chart.y_ticks) {
+    EXPECT_GE(tick.row, chart.plot.top);
+    EXPECT_LE(tick.row, chart.plot.bottom);
+    EXPECT_GE(tick.value, chart.y_ticks_layout.axis_lo - 1e-9);
+    EXPECT_LE(tick.value, chart.y_ticks_layout.axis_hi + 1e-9);
+  }
+}
+
+TEST(RendererTest, EveryLineDepositsInk) {
+  const int m = 4;
+  const auto chart = RenderLineChart(SineData(m, 60));
+  EXPECT_EQ(chart.num_lines, m);
+  for (int li = 0; li < m; ++li) {
+    const auto mask = chart.LineMask(li);
+    size_t count = 0;
+    for (uint8_t v : mask) count += v;
+    EXPECT_GT(count, 20u) << "line " << li;
+  }
+}
+
+TEST(RendererTest, LinesStayInsidePlotArea) {
+  const auto chart = RenderLineChart(SineData(3, 100));
+  const auto& el = chart.canvas.elements();
+  const int w = chart.canvas.width();
+  for (int y = 0; y < chart.canvas.height(); ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (el[static_cast<size_t>(y) * w + x] >=
+          static_cast<int16_t>(ElementClass::kLineBase)) {
+        EXPECT_GE(x, chart.plot.left);
+        EXPECT_LE(x, chart.plot.right);
+        EXPECT_GE(y, chart.plot.top - 1);      // AA may bleed one pixel.
+        EXPECT_LE(y, chart.plot.bottom + 1);
+      }
+    }
+  }
+}
+
+TEST(RendererTest, AxesDrawnWhenEnabled) {
+  const auto chart = RenderLineChart(SineData(1, 30));
+  // Y axis column must be mostly axis-class pixels.
+  int axis_pixels = 0;
+  for (int y = chart.plot.top; y <= chart.plot.bottom; ++y) {
+    if (chart.canvas.ElementAt(chart.plot.left - 1, y) ==
+        static_cast<int16_t>(ElementClass::kAxis)) {
+      ++axis_pixels;
+    }
+  }
+  EXPECT_GT(axis_pixels, chart.plot.Height() / 2);
+}
+
+TEST(RendererTest, NoAxesStyle) {
+  ChartStyle style;
+  style.draw_axes = false;
+  const auto chart = RenderLineChart(SineData(1, 30), style);
+  const auto& el = chart.canvas.elements();
+  for (int16_t v : el) {
+    EXPECT_NE(v, static_cast<int16_t>(ElementClass::kAxis));
+  }
+}
+
+TEST(RendererTest, SinglePointSeries) {
+  table::UnderlyingData d(1);
+  d[0].y = {5.0};
+  const auto chart = RenderLineChart(d);
+  const auto mask = chart.LineMask(0);
+  size_t count = 0;
+  for (uint8_t v : mask) count += v;
+  EXPECT_GE(count, 1u);
+}
+
+TEST(RendererTest, NumericXPositionsPoints) {
+  // Two points with x = {0, 10}: the line spans the full plot width.
+  table::UnderlyingData d(1);
+  d[0].x = {0.0, 10.0};
+  d[0].y = {1.0, 2.0};
+  const auto chart = RenderLineChart(d);
+  const auto mask = chart.LineMask(0);
+  const int w = chart.canvas.width();
+  bool left_ink = false, right_ink = false;
+  for (int y = 0; y < chart.canvas.height(); ++y) {
+    if (mask[static_cast<size_t>(y) * w + chart.plot.left]) left_ink = true;
+    if (mask[static_cast<size_t>(y) * w + chart.plot.right]) {
+      right_ink = true;
+    }
+  }
+  EXPECT_TRUE(left_ink);
+  EXPECT_TRUE(right_ink);
+}
+
+TEST(ChartSpecTest, BuildUnderlyingDataDirect) {
+  table::Table t;
+  t.AddColumn(table::Column("a", {1.0, 2.0, 3.0, 4.0}));
+  t.AddColumn(table::Column("b", {4.0, 3.0, 2.0, 1.0}));
+  VisSpec spec;
+  spec.y_columns = {1};
+  const auto d = BuildUnderlyingData(t, spec);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].y, t.column(1).values);
+  EXPECT_EQ(d[0].label, "b");
+}
+
+TEST(ChartSpecTest, BuildUnderlyingDataAggregated) {
+  table::Table t;
+  t.AddColumn(table::Column("a", {1.0, 3.0, 5.0, 7.0}));
+  VisSpec spec;
+  spec.y_columns = {0};
+  spec.aggregate = table::AggregateOp::kAvg;
+  spec.window_size = 2;
+  const auto d = BuildUnderlyingData(t, spec);
+  EXPECT_EQ(d[0].y, (std::vector<double>{2.0, 6.0}));
+}
+
+TEST(ChartSpecTest, XColumnWindowStart) {
+  table::Table t;
+  t.AddColumn(table::Column("x", {10.0, 20.0, 30.0, 40.0}));
+  t.AddColumn(table::Column("y", {1.0, 2.0, 3.0, 4.0}));
+  VisSpec spec;
+  spec.x_column = 0;
+  spec.y_columns = {1};
+  spec.aggregate = table::AggregateOp::kSum;
+  spec.window_size = 2;
+  const auto d = BuildUnderlyingData(t, spec);
+  EXPECT_EQ(d[0].x, (std::vector<double>{10.0, 30.0}));
+}
+
+TEST(LineChartSegTest, LabelsMatchElementClasses) {
+  const auto chart = RenderLineChart(SineData(2, 60));
+  const auto ex = MakeSegExample(chart);
+  EXPECT_EQ(ex.width, chart.canvas.width());
+  ASSERT_EQ(ex.label.size(), ex.image.size());
+  int line_pixels = 0, axis_pixels = 0, label_pixels = 0;
+  for (uint8_t l : ex.label) {
+    if (l == static_cast<uint8_t>(SegClass::kLine)) ++line_pixels;
+    if (l == static_cast<uint8_t>(SegClass::kAxis)) ++axis_pixels;
+    if (l == static_cast<uint8_t>(SegClass::kTickLabel)) ++label_pixels;
+  }
+  EXPECT_GT(line_pixels, 50);
+  EXPECT_GT(axis_pixels, 50);
+  EXPECT_GT(label_pixels, 10);
+}
+
+TEST(LineChartSegTest, GeneratesAugmentedExamples) {
+  common::Rng rng(17);
+  table::Table t;
+  std::vector<double> v(60);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.2);
+  }
+  t.AddColumn(table::Column("a", v));
+  VisSpec spec;
+  spec.y_columns = {0};
+  const auto examples =
+      GenerateLineChartSeg(t, spec, /*augmentations=*/4, ChartStyle{}, &rng);
+  EXPECT_GE(examples.size(), 3u);  // Original + most augmentations usable.
+  for (const auto& ex : examples) {
+    EXPECT_EQ(ex.image.size(), ex.label.size());
+    EXPECT_GT(ex.width, 0);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::chart

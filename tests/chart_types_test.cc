@@ -1,0 +1,444 @@
+// Tests for the chart-type generalization (paper Sec. VI-B): bar, scatter
+// and pie renderers, their pixels-only extractors, and the KL-based pie
+// relevance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "chart/chart_types.h"
+#include "core/fcm_model.h"
+#include "relevance/distribution.h"
+#include "relevance/relevance.h"
+#include "table/table.h"
+#include "vision/chart_type_extractors.h"
+
+namespace fcm {
+namespace {
+
+using chart::ChartStyle;
+using chart::ChartType;
+using chart::RenderedChart;
+using table::Column;
+using table::DataSeries;
+using table::Table;
+using table::UnderlyingData;
+
+ChartStyle TestStyle() {
+  ChartStyle style;
+  style.width = 240;
+  style.height = 140;
+  return style;
+}
+
+UnderlyingData TwoSeries() {
+  DataSeries a, b;
+  a.label = "a";
+  b.label = "b";
+  for (int i = 0; i < 12; ++i) {
+    a.y.push_back(2.0 + std::sin(0.5 * i));
+    b.y.push_back(1.0 + 0.2 * i);
+  }
+  return {a, b};
+}
+
+// ---------------------------------------------------------------- Naming
+
+TEST(ChartTypesTest, ChartTypeNames) {
+  EXPECT_STREQ(chart::ChartTypeName(ChartType::kLine), "line");
+  EXPECT_STREQ(chart::ChartTypeName(ChartType::kBar), "bar");
+  EXPECT_STREQ(chart::ChartTypeName(ChartType::kScatter), "scatter");
+  EXPECT_STREQ(chart::ChartTypeName(ChartType::kPie), "pie");
+}
+
+TEST(ChartTypesTest, SeriesInkIntensitiesDistinctAndAboveOwnership) {
+  for (int i = 0; i < chart::kMaxDistinctSeries; ++i) {
+    const float v = chart::SeriesInkIntensity(i);
+    EXPECT_GE(v, 0.36f) << "must clear Canvas::Plot's ownership cutoff";
+    EXPECT_LE(v, 1.0f);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_GT(std::fabs(v - chart::SeriesInkIntensity(j)), 0.05f);
+    }
+  }
+  // Slots wrap beyond the distinct budget.
+  EXPECT_FLOAT_EQ(chart::SeriesInkIntensity(chart::kMaxDistinctSeries),
+                  chart::SeriesInkIntensity(0));
+}
+
+TEST(ChartTypesTest, IntensitySlotRoundTrip) {
+  for (int i = 0; i < chart::kMaxDistinctSeries; ++i) {
+    EXPECT_EQ(vision::internal::IntensitySlot(chart::SeriesInkIntensity(i),
+                                              0.35f),
+              i);
+  }
+  EXPECT_EQ(vision::internal::IntensitySlot(0.1f, 0.35f), -1);
+}
+
+// ------------------------------------------------------------- Bar chart
+
+TEST(BarChartTest, RendersMasksPerSeries) {
+  const RenderedChart c = chart::RenderBarChart(TwoSeries(), TestStyle());
+  EXPECT_EQ(c.num_lines, 2);
+  for (int s = 0; s < 2; ++s) {
+    const auto mask = c.LineMask(s);
+    const int count = static_cast<int>(
+        std::count(mask.begin(), mask.end(), uint8_t{1}));
+    EXPECT_GT(count, 50) << "series " << s << " should paint many pixels";
+  }
+}
+
+TEST(BarChartTest, BarsTouchZeroBaseline) {
+  DataSeries s;
+  s.y = {3.0, 1.0, 2.0};
+  const RenderedChart c = chart::RenderBarChart({s}, TestStyle());
+  // The axis range must include 0 (bars grow from the baseline).
+  EXPECT_LE(c.y_ticks_layout.axis_lo, 0.0);
+  const int baseline_row =
+      static_cast<int>(std::lround(c.ValueToRow(0.0)));
+  // Just above the baseline there must be bar ink somewhere.
+  const auto mask = c.LineMask(0);
+  int on_near_baseline = 0;
+  for (int x = c.plot.left; x <= c.plot.right; ++x) {
+    if (mask[static_cast<size_t>(baseline_row - 1) * c.canvas.width() + x]) {
+      ++on_near_baseline;
+    }
+  }
+  EXPECT_GT(on_near_baseline, 0);
+}
+
+TEST(BarChartTest, NegativeValuesGrowDownward) {
+  DataSeries s;
+  s.y = {-2.0, -1.0, -3.0};
+  const RenderedChart c = chart::RenderBarChart({s}, TestStyle());
+  const double row0 = c.ValueToRow(0.0);
+  const auto mask = c.LineMask(0);
+  int above = 0, below = 0;
+  for (int y = c.plot.top; y <= c.plot.bottom; ++y) {
+    for (int x = c.plot.left; x <= c.plot.right; ++x) {
+      if (!mask[static_cast<size_t>(y) * c.canvas.width() + x]) continue;
+      // The baseline row itself belongs to every bar; +/-1 for rounding.
+      if (y > row0 + 1.0) {
+        ++below;
+      } else if (y < row0 - 1.0) {
+        ++above;
+      }
+    }
+  }
+  EXPECT_GT(below, 10);
+  EXPECT_EQ(above, 0) << "all-negative bars must stay below the baseline";
+}
+
+TEST(BarChartTest, SeriesTruncatedToShortest) {
+  DataSeries a, b;
+  a.y = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  b.y = {1.0, 2.0};  // Shorter; only 2 groups should render.
+  const RenderedChart c = chart::RenderBarChart({a, b}, TestStyle());
+  EXPECT_EQ(c.num_lines, 2);
+}
+
+TEST(BarChartTest, ExtractRecoversSeriesCountAndRange) {
+  const RenderedChart c = chart::RenderBarChart(TwoSeries(), TestStyle());
+  const auto result = vision::ExtractBarChart(c);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const auto& extracted = result.value();
+  EXPECT_EQ(extracted.num_lines(), 2);
+  // The extracted y range must cover the data range [1.0, ~3.2].
+  EXPECT_LE(extracted.y_lo, 1.0);
+  EXPECT_GE(extracted.y_hi, 3.0);
+}
+
+TEST(BarChartTest, ExtractRecoversBarHeights) {
+  DataSeries s;
+  s.y = {1.0, 4.0, 2.0, 3.0};
+  const RenderedChart c = chart::RenderBarChart({s}, TestStyle());
+  const auto result = vision::ExtractBarChart(c);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const auto& line = result.value().lines[0];
+  // Sample the recovered profile at each bar center: plot width / 4 slots.
+  const size_t n = line.values.size();
+  for (int g = 0; g < 4; ++g) {
+    const size_t x = static_cast<size_t>((g + 0.5) / 4.0 * n);
+    EXPECT_NEAR(line.values[x], s.y[static_cast<size_t>(g)], 0.35)
+        << "bar " << g;
+  }
+}
+
+TEST(BarChartTest, ExtractedProfileRanksSourceTableFirst) {
+  // The extracted step profile should DTW-match the source column better
+  // than an unrelated table's columns.
+  DataSeries s;
+  s.y = {1.0, 4.0, 2.0, 3.0, 5.0, 2.5};
+  const RenderedChart c = chart::RenderBarChart({s}, TestStyle());
+  const auto result = vision::ExtractBarChart(c);
+  ASSERT_TRUE(result.ok());
+
+  UnderlyingData recovered;
+  DataSeries rec;
+  rec.y = result.value().lines[0].values;
+  recovered.push_back(rec);
+
+  Table source("source", {Column("c", s.y)});
+  Table other("other", {Column("c", {9.0, 9.0, 0.0, 9.0, 0.0, 9.0})});
+  rel::RelevanceOptions options;
+  options.dtw.z_normalize = true;
+  EXPECT_GT(rel::Relevance(recovered, source, options),
+            rel::Relevance(recovered, other, options));
+}
+
+TEST(BarChartTest, ThreeSeriesSeparatedByIntensity) {
+  DataSeries a, b, c;
+  for (int i = 0; i < 8; ++i) {
+    a.y.push_back(1.0 + 0.1 * i);
+    b.y.push_back(2.0 + 0.1 * i);
+    c.y.push_back(3.0 - 0.1 * i);
+  }
+  const RenderedChart chart = chart::RenderBarChart({a, b, c}, TestStyle());
+  const auto result = vision::ExtractBarChart(chart);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().num_lines(), 3);
+}
+
+TEST(BarChartTest, SingleBarDegenerateGroup) {
+  DataSeries s;
+  s.y = {5.0};
+  const RenderedChart chart = chart::RenderBarChart({s}, TestStyle());
+  const auto result = vision::ExtractBarChart(chart);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  // One wide bar at value 5 spanning ~80% of the plot.
+  const auto& line = result.value().lines[0];
+  const size_t mid = line.values.size() / 2;
+  EXPECT_NEAR(line.values[mid], 5.0, 0.5);
+}
+
+// --------------------------------------------------------- Scatter chart
+
+TEST(ScatterChartTest, MarkersCycleByShape) {
+  EXPECT_EQ(chart::SeriesMarker(0), chart::MarkerShape::kSquare);
+  EXPECT_EQ(chart::SeriesMarker(1), chart::MarkerShape::kPlus);
+  EXPECT_EQ(chart::SeriesMarker(2), chart::MarkerShape::kCross);
+  EXPECT_EQ(chart::SeriesMarker(3), chart::MarkerShape::kDiamond);
+  EXPECT_EQ(chart::SeriesMarker(4), chart::MarkerShape::kSquare);
+}
+
+TEST(ScatterChartTest, RendersMasksPerSeries) {
+  const RenderedChart c = chart::RenderScatterChart(TwoSeries(), TestStyle());
+  EXPECT_EQ(c.num_lines, 2);
+  for (int s = 0; s < 2; ++s) {
+    const auto mask = c.LineMask(s);
+    EXPECT_GT(std::count(mask.begin(), mask.end(), uint8_t{1}), 12)
+        << "series " << s;
+  }
+}
+
+TEST(ScatterChartTest, ExtractRecoversTrend) {
+  DataSeries s;
+  for (int i = 0; i < 20; ++i) s.y.push_back(static_cast<double>(i));
+  const RenderedChart c = chart::RenderScatterChart({s}, TestStyle());
+  const auto result = vision::ExtractScatterChart(c);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().num_lines(), 1);
+  const auto& values = result.value().lines[0].values;
+  // The recovered series must be increasing end-to-end.
+  EXPECT_LT(values.front(), values.back());
+  EXPECT_NEAR(values.front(), 0.0, 1.5);
+  EXPECT_NEAR(values.back(), 19.0, 1.5);
+}
+
+TEST(ScatterChartTest, ExtractSeparatesTwoSeries) {
+  const RenderedChart c = chart::RenderScatterChart(TwoSeries(), TestStyle());
+  const auto result = vision::ExtractScatterChart(c);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().num_lines(), 2);
+}
+
+TEST(ScatterChartTest, SparsePointsStillExtract) {
+  DataSeries s;
+  s.y = {1.0, 5.0, 2.0};  // Only 3 markers across the whole plot.
+  const RenderedChart c = chart::RenderScatterChart({s}, TestStyle());
+  const auto result = vision::ExtractScatterChart(c);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().num_lines(), 1);
+  // The interpolated profile must span the marker values.
+  const auto& values = result.value().lines[0].values;
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  EXPECT_NEAR(lo, 1.0, 0.6);
+  EXPECT_NEAR(hi, 5.0, 0.6);
+}
+
+// -------------------------------------------------------------- Pie chart
+
+TEST(PieChartTest, SectorPixelSharesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 1.0};
+  ChartStyle style = TestStyle();
+  style.width = 160;
+  style.height = 160;
+  const RenderedChart c = chart::RenderPieChart(weights, style);
+  EXPECT_EQ(c.num_lines, 3);
+
+  std::vector<double> counts(3, 0.0);
+  double total = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    const auto mask = c.LineMask(s);
+    counts[static_cast<size_t>(s)] = static_cast<double>(
+        std::count(mask.begin(), mask.end(), uint8_t{1}));
+    total += counts[static_cast<size_t>(s)];
+  }
+  EXPECT_GT(total, 1000.0);
+  EXPECT_NEAR(counts[0] / total, 0.25, 0.02);
+  EXPECT_NEAR(counts[1] / total, 0.50, 0.02);
+  EXPECT_NEAR(counts[2] / total, 0.25, 0.02);
+}
+
+TEST(PieChartTest, ExtractDistributionRoundTrip) {
+  const std::vector<double> weights = {3.0, 1.0, 2.0, 2.0};
+  ChartStyle style = TestStyle();
+  style.width = 160;
+  style.height = 160;
+  const RenderedChart c = chart::RenderPieChart(weights, style);
+  const auto result = vision::ExtractPieDistribution(c);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const auto& shares = result.value();
+  ASSERT_EQ(shares.size(), 4u);
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(shares[0], 0.375, 0.02);
+  EXPECT_NEAR(shares[1], 0.125, 0.02);
+  EXPECT_NEAR(shares[2], 0.25, 0.02);
+  EXPECT_NEAR(shares[3], 0.25, 0.02);
+}
+
+TEST(PieChartTest, TinySectorStillCounted) {
+  ChartStyle style;
+  style.width = 200;
+  style.height = 200;
+  const RenderedChart c = chart::RenderPieChart({50.0, 1.0, 49.0}, style);
+  const auto shares = vision::ExtractPieDistribution(c);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares.value().size(), 3u);
+  EXPECT_GT(shares.value()[1], 0.0);
+  EXPECT_NEAR(shares.value()[1], 0.01, 0.01);
+}
+
+TEST(PieChartTest, SingleSectorIsFullDisk) {
+  ChartStyle style;
+  style.width = 120;
+  style.height = 120;
+  const RenderedChart c = chart::RenderPieChart({7.0}, style);
+  const auto shares = vision::ExtractPieDistribution(c);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(shares.value()[0], 1.0);
+}
+
+// --------------------------------------------------- Distribution metrics
+
+TEST(DistributionTest, NormalizeBasics) {
+  const auto p = rel::NormalizeToDistribution({2.0, 2.0, 4.0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(DistributionTest, NormalizeClampsNegativesAndHandlesZero) {
+  const auto p = rel::NormalizeToDistribution({-1.0, 3.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  const auto u = rel::NormalizeToDistribution({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(u[0], 0.5);
+  EXPECT_DOUBLE_EQ(u[1], 0.5);
+  EXPECT_TRUE(rel::NormalizeToDistribution({}).empty());
+}
+
+TEST(DistributionTest, KlSelfIsZeroAndNonNegative) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  const std::vector<double> q = {0.5, 0.25, 0.25};
+  EXPECT_NEAR(rel::KlDivergence(p, p), 0.0, 1e-12);
+  EXPECT_GT(rel::KlDivergence(p, q), 0.0);
+  EXPECT_GT(rel::KlDivergence(q, p), 0.0);
+}
+
+TEST(DistributionTest, JensenShannonSymmetricAndBounded) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.1, 0.9};
+  const double js_pq = rel::JensenShannon(p, q);
+  EXPECT_NEAR(js_pq, rel::JensenShannon(q, p), 1e-12);
+  EXPECT_GT(js_pq, 0.0);
+  EXPECT_LE(js_pq, std::log(2.0) + 1e-12);
+  // Disjoint distributions achieve the ln(2) bound.
+  EXPECT_NEAR(rel::JensenShannon({1.0, 0.0}, {0.0, 1.0}), std::log(2.0),
+              1e-9);
+}
+
+TEST(DistributionTest, PieRelevancePrefersMatchingColumn) {
+  const std::vector<double> shares = {0.5, 0.25, 0.25};
+  Table good("good", {Column("w", {50.0, 25.0, 25.0})});
+  Table bad("bad", {Column("w", {5.0, 90.0, 5.0})});
+  EXPECT_GT(rel::PieRelevance(shares, good), rel::PieRelevance(shares, bad));
+}
+
+TEST(DistributionTest, PieRelevanceExcludesColumn) {
+  Table t("t",
+          {Column("x", {0.5, 0.25, 0.25}), Column("y", {0.0, 0.0, 1.0})});
+  const std::vector<double> shares = {0.5, 0.25, 0.25};
+  // With the perfect column excluded, relevance must drop.
+  EXPECT_GT(rel::PieRelevance(shares, t, -1),
+            rel::PieRelevance(shares, t, 0));
+}
+
+TEST(DistributionTest, PieRelevanceLengthMismatchPadded) {
+  // Column has more categories than the chart has sectors; relevance still
+  // computes and favors the prefix-matching table.
+  const std::vector<double> shares = {0.6, 0.4};
+  Table close("close", {Column("w", {0.6, 0.4, 0.0, 0.0})});
+  Table far("far", {Column("w", {0.1, 0.1, 0.4, 0.4})});
+  EXPECT_GT(rel::PieRelevance(shares, close), rel::PieRelevance(shares, far));
+}
+
+// --------------------------------------- FCM consumes extracted bar charts
+
+TEST(BarChartTest, FcmScoresExtractedBarChartAboveDistractor) {
+  // Sec. VI-B: the extractor output contract is the same ExtractedChart,
+  // so FCM applies unchanged. The zero-init head means even an untrained
+  // model ranks via the deterministic descriptor bridge.
+  std::vector<double> data;
+  for (int i = 0; i < 24; ++i) data.push_back(5.0 + 3.0 * std::sin(0.4 * i));
+  DataSeries s;
+  s.y = data;
+  const RenderedChart c = chart::RenderBarChart({s}, TestStyle());
+  const auto extracted = vision::ExtractBarChart(c);
+  ASSERT_TRUE(extracted.ok());
+
+  core::FcmConfig config;
+  core::FcmModel model(config);
+  Table source("source", {Column("c", data)});
+  std::vector<double> anti;
+  for (int i = 0; i < 24; ++i) anti.push_back(5.0 - 3.0 * std::sin(0.4 * i));
+  Table distractor("distractor", {Column("c", anti)});
+  EXPECT_GT(model.Score(extracted.value(), source),
+            model.Score(extracted.value(), distractor));
+}
+
+// ------------------------------------------- Pie end-to-end (render->rank)
+
+TEST(PieEndToEndTest, RenderedPieRanksSourceTable) {
+  const std::vector<double> weights = {4.0, 2.0, 1.0, 1.0};
+  ChartStyle style;
+  style.width = 160;
+  style.height = 160;
+  const RenderedChart c = chart::RenderPieChart(weights, style);
+  const auto shares = vision::ExtractPieDistribution(c);
+  ASSERT_TRUE(shares.ok());
+
+  Table source("source", {Column("w", weights)});
+  Table uniform("uniform", {Column("w", {1.0, 1.0, 1.0, 1.0})});
+  Table inverted("inverted", {Column("w", {1.0, 1.0, 2.0, 4.0})});
+  const double s_source = rel::PieRelevance(shares.value(), source);
+  EXPECT_GT(s_source, rel::PieRelevance(shares.value(), uniform));
+  EXPECT_GT(s_source, rel::PieRelevance(shares.value(), inverted));
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,273 @@
+// Tests for src/common: RNG determinism/statistics, math utilities,
+// string utilities, Result/Status, binary serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+
+namespace fcm::common {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+  for (uint64_t v : seen) EXPECT_LT(v, 5u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(10);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(11);
+  const auto sample = rng.SampleWithoutReplacement(20, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t v : sample) EXPECT_LT(v, 20u);
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(12);
+  const auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.Fork();
+  // The fork consumes a draw, so parent and child streams must not match.
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(MathUtilTest, MeanStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(Stddev(v), 2.0);
+}
+
+TEST(MathUtilTest, EmptyVectorDefaults) {
+  const std::vector<double> v;
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(Stddev(v), 0.0);
+  EXPECT_TRUE(std::isinf(Min(v)));
+  EXPECT_TRUE(std::isinf(Max(v)));
+}
+
+TEST(MathUtilTest, MinMaxSum) {
+  const std::vector<double> v = {3.0, -1.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 4.0);
+  EXPECT_DOUBLE_EQ(Sum(v), 7.5);
+}
+
+TEST(MathUtilTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 2}, {-1, -2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MathUtilTest, ResampleLinearEndpoints) {
+  const std::vector<double> v = {0.0, 1.0, 2.0, 3.0};
+  const auto r = ResampleLinear(v, 7);
+  ASSERT_EQ(r.size(), 7u);
+  EXPECT_DOUBLE_EQ(r.front(), 0.0);
+  EXPECT_DOUBLE_EQ(r.back(), 3.0);
+  EXPECT_NEAR(r[3], 1.5, 1e-12);
+}
+
+TEST(MathUtilTest, ResampleSingletonReplicates) {
+  const auto r = ResampleLinear({42.0}, 5);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 42.0);
+}
+
+TEST(MathUtilTest, ResampleDownPreservesTrend) {
+  std::vector<double> v(100);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const auto r = ResampleLinear(v, 10);
+  for (size_t i = 1; i < r.size(); ++i) EXPECT_GT(r[i], r[i - 1]);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("fo", "foo"));
+}
+
+TEST(ResultTest, OkValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(StatusTest, ToString) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::InvalidArgument("bad").ToString(),
+            "InvalidArgument: bad");
+}
+
+TEST(SerializeTest, RoundTripScalars) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteU64(1ULL << 40);
+  w.WriteI64(-5);
+  w.WriteF32(2.5f);
+  w.WriteF64(-3.25);
+  w.WriteString("hello");
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU32().value(), 7u);
+  EXPECT_EQ(r.ReadU64().value(), 1ULL << 40);
+  EXPECT_EQ(r.ReadI64().value(), -5);
+  EXPECT_FLOAT_EQ(r.ReadF32().value(), 2.5f);
+  EXPECT_DOUBLE_EQ(r.ReadF64().value(), -3.25);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, RoundTripVectors) {
+  BinaryWriter w;
+  w.WriteF32Vector({1.0f, 2.0f, 3.0f});
+  w.WriteF64Vector({-1.5, 0.5});
+  BinaryReader r(w.buffer());
+  const auto f = r.ReadF32Vector().value();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_FLOAT_EQ(f[1], 2.0f);
+  const auto d = r.ReadF64Vector().value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], -1.5);
+}
+
+TEST(SerializeTest, TruncatedReadFails) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("persisted");
+  const std::string path = "/tmp/fcm_serialize_test.bin";
+  ASSERT_TRUE(w.SaveToFile(path).ok());
+  auto r = BinaryReader::LoadFromFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ReadString().value(), "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  EXPECT_FALSE(BinaryReader::LoadFromFile("/nonexistent/xyz.bin").ok());
+}
+
+}  // namespace
+}  // namespace fcm::common

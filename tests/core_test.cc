@@ -1,0 +1,536 @@
+// Tests for src/core: encoders, DA layers, matcher, FCM model, training.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "chart/renderer.h"
+#include "core/fcm_model.h"
+#include "core/training.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::core {
+namespace {
+
+FcmConfig TinyConfig() {
+  FcmConfig config;
+  config.embed_dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.mlp_hidden = 32;
+  config.strip_height = 16;
+  config.strip_width = 64;
+  config.line_segment_width = 16;
+  config.column_length = 64;
+  config.data_segment_size = 16;
+  config.beta = 2;
+  return config;
+}
+
+table::UnderlyingData WaveData(int m, size_t n) {
+  table::UnderlyingData d;
+  for (int i = 0; i < m; ++i) {
+    table::DataSeries s;
+    for (size_t j = 0; j < n; ++j) {
+      s.y.push_back(std::sin(static_cast<double>(j) * 0.15 + i) * 8.0 +
+                    10.0 * i);
+    }
+    d.push_back(std::move(s));
+  }
+  return d;
+}
+
+vision::ExtractedChart ExtractWave(int m, size_t n) {
+  const auto chart = chart::RenderLineChart(WaveData(m, n));
+  vision::MaskOracleExtractor oracle;
+  return oracle.Extract(chart).value();
+}
+
+table::Table WaveTable(int cols, size_t rows, double phase = 0.0) {
+  table::Table t;
+  for (int c = 0; c < cols; ++c) {
+    std::vector<double> v(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      v[i] = std::cos(static_cast<double>(i) * 0.1 + c + phase) * 5.0 + c;
+    }
+    t.AddColumn(table::Column("c" + std::to_string(c), std::move(v)));
+  }
+  return t;
+}
+
+TEST(LineChartEncoderTest, OutputShape) {
+  const FcmConfig config = TinyConfig();
+  common::Rng rng(1);
+  LineChartEncoder encoder(config, &rng);
+  const auto chart = ExtractWave(2, 60);
+  const auto rep = encoder.Forward(chart);
+  ASSERT_EQ(rep.size(), 2u);
+  for (const auto& line : rep) {
+    EXPECT_EQ(line.representation.dim(0), config.NumLineSegments());
+    EXPECT_EQ(line.representation.dim(1), config.embed_dim);
+    EXPECT_EQ(line.descriptor.size(),
+              static_cast<size_t>(config.NumLineSegments() *
+                                  config.descriptor_size));
+    for (float v : line.descriptor) {
+      EXPECT_GE(v, -0.01f);
+      EXPECT_LE(v, 1.01f);
+    }
+  }
+}
+
+TEST(DatasetEncoderTest, OutputShapeWithDaLayers) {
+  const FcmConfig config = TinyConfig();
+  common::Rng rng(2);
+  DatasetEncoder encoder(config, &rng);
+  const auto rep = encoder.Forward(WaveTable(3, 100));
+  ASSERT_EQ(rep.size(), 3u);
+  for (const auto& col : rep) {
+    EXPECT_EQ(col.representation.dim(0), config.NumDataSegments());
+    EXPECT_EQ(col.representation.dim(1), config.embed_dim);
+    EXPECT_LE(col.range_lo, col.range_hi);
+  }
+}
+
+TEST(DatasetEncoderTest, OutputShapeWithoutDaLayers) {
+  FcmConfig config = TinyConfig();
+  config.use_da_layers = false;
+  common::Rng rng(3);
+  DatasetEncoder encoder(config, &rng);
+  const auto rep = encoder.Forward(WaveTable(2, 50));
+  ASSERT_EQ(rep.size(), 2u);
+  EXPECT_EQ(rep[0].representation.dim(0), config.NumDataSegments());
+}
+
+TEST(DatasetEncoderTest, DaDescriptorVariantsFollowConfig) {
+  table::Table t = WaveTable(1, 128, 0.2);
+  {
+    FcmConfig config = TinyConfig();
+    config.use_da_layers = true;
+    const FcmModel model(config);
+    const auto rep = model.EncodeDataset(t);
+    ASSERT_EQ(rep.size(), 1u);
+    // 4 real operators x 2 window sizes = 8 variants for long columns.
+    EXPECT_EQ(rep[0].da_descriptors.size(), 8u);
+    for (const auto& v : rep[0].da_descriptors) {
+      EXPECT_EQ(v.size(), rep[0].descriptor.size());
+      for (float x : v) {
+        EXPECT_GE(x, 0.0f);
+        EXPECT_LE(x, 1.0f);
+      }
+    }
+  }
+  {
+    FcmConfig config = TinyConfig();
+    config.use_da_layers = false;
+    const FcmModel model(config);
+    const auto rep = model.EncodeDataset(t);
+    EXPECT_TRUE(rep[0].da_descriptors.empty())
+        << "FCM-DA ablation must lose the DA descriptor bridge";
+  }
+}
+
+TEST(DatasetEncoderTest, AggregatedChartMatchesDaVariantBetterThanRaw) {
+  // A max-aggregated line's descriptor should match one of the column's
+  // DA variants better than the raw column descriptor (the mechanism that
+  // lets FCM rank DA queries without learned inference).
+  FcmConfig config = TinyConfig();
+  config.use_da_layers = true;
+  const FcmModel model(config);
+  table::Table t = WaveTable(1, 256, 0.9);
+  const auto rep = model.EncodeDataset(t);
+
+  const auto aggregated =
+      table::Aggregate(t.column(0).values, table::AggregateOp::kMax, 16);
+  const table::UnderlyingData d = {{.label = "", .x = {}, .y = aggregated}};
+  vision::MaskOracleExtractor oracle;
+  const auto chart = oracle.Extract(chart::RenderLineChart(d)).value();
+  const auto chart_rep = model.EncodeChart(chart);
+  ASSERT_FALSE(chart_rep.empty());
+
+  // Compare via the model's descriptor score with and without variants.
+  DatasetRepresentation raw_only = rep;
+  raw_only[0].da_descriptors.clear();
+  const double with_variants =
+      model.DescriptorScore(chart_rep, rep, chart.y_lo, chart.y_hi);
+  const double raw =
+      model.DescriptorScore(chart_rep, raw_only, chart.y_lo, chart.y_hi);
+  EXPECT_GE(with_variants, raw);
+}
+
+TEST(DatasetEncoderTest, RangeIsMinToSum) {
+  const FcmConfig config = TinyConfig();
+  common::Rng rng(4);
+  DatasetEncoder encoder(config, &rng);
+  table::Table t;
+  t.AddColumn(table::Column("c", {1.0, 2.0, 3.0}));
+  const auto rep = encoder.Forward(t);
+  EXPECT_DOUBLE_EQ(rep[0].range_lo, 1.0);
+  EXPECT_DOUBLE_EQ(rep[0].range_hi, 6.0);
+}
+
+TEST(DatasetEncoderTest, OperatorDistributionIsValid) {
+  const FcmConfig config = TinyConfig();
+  common::Rng rng(41);
+  DatasetEncoder encoder(config, &rng);
+  const auto dist = encoder.InferOperatorDistribution(
+      WaveTable(1, 90).column(0).values);
+  ASSERT_EQ(dist.size(), static_cast<size_t>(table::kNumAggregateOps));
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(DatasetEncoderTest, OperatorDistributionUniformWithoutDaLayers) {
+  FcmConfig config = TinyConfig();
+  config.use_da_layers = false;
+  common::Rng rng(42);
+  DatasetEncoder encoder(config, &rng);
+  const auto dist = encoder.InferOperatorDistribution(
+      WaveTable(1, 90).column(0).values);
+  for (double p : dist) {
+    EXPECT_DOUBLE_EQ(p, 1.0 / table::kNumAggregateOps);
+  }
+}
+
+TEST(HmrlTest, CombinesLeavesToRoot) {
+  common::Rng rng(5);
+  HierarchicalMultiScaleLayer hmrl(8, 2, &rng);
+  nn::Tensor leaves = nn::Tensor::RandomNormal({4, 8}, 1.0f, &rng,
+                                               /*requires_grad=*/false);
+  nn::Tensor root = hmrl.Forward(leaves);
+  EXPECT_EQ(root.rank(), 1);
+  EXPECT_EQ(root.dim(0), 8);
+}
+
+TEST(MoEGateTest, WeightsFormDistribution) {
+  common::Rng rng(6);
+  MoEGate gate(8, 4, 5, &rng);
+  std::vector<nn::Tensor> experts;
+  for (int i = 0; i < 5; ++i) {
+    experts.push_back(nn::Tensor::RandomNormal({8}, 1.0f, &rng,
+                                               /*requires_grad=*/false));
+  }
+  const nn::Tensor weights = gate.GateWeights(experts);
+  ASSERT_EQ(weights.dim(0), 5);
+  float sum = 0.0f;
+  for (float w : weights.data()) {
+    EXPECT_GE(w, 0.0f);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  const nn::Tensor combined = gate.Forward(experts);
+  EXPECT_EQ(combined.dim(0), 8);
+}
+
+TEST(FilterColumnsTest, KeepsOverlappingRanges) {
+  DatasetRepresentation rep(3);
+  rep[0].range_lo = 0.0;
+  rep[0].range_hi = 10.0;
+  rep[1].range_lo = 50.0;
+  rep[1].range_hi = 60.0;
+  rep[2].range_lo = -5.0;
+  rep[2].range_hi = 2.0;
+  const auto filtered = FcmModel::FilterColumns(rep, 1.0, 4.0);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0], &rep[0]);
+  EXPECT_EQ(filtered[1], &rep[2]);
+}
+
+TEST(FilterColumnsTest, FallsBackToAllWhenNoneOverlap) {
+  DatasetRepresentation rep(2);
+  rep[0].range_lo = 0.0;
+  rep[0].range_hi = 1.0;
+  rep[1].range_lo = 2.0;
+  rep[1].range_hi = 3.0;
+  const auto filtered = FcmModel::FilterColumns(rep, 100.0, 200.0);
+  EXPECT_EQ(filtered.size(), 2u);
+}
+
+TEST(FcmModelTest, ScoreInUnitInterval) {
+  FcmModel model(TinyConfig());
+  const auto chart = ExtractWave(2, 60);
+  const double s = model.Score(chart, WaveTable(3, 80));
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(FcmModelTest, ScoreDeterministic) {
+  FcmModel model(TinyConfig());
+  const auto chart = ExtractWave(1, 40);
+  const auto t = WaveTable(2, 60);
+  EXPECT_DOUBLE_EQ(model.Score(chart, t), model.Score(chart, t));
+}
+
+TEST(FcmModelTest, EmptyInputsScoreZero) {
+  FcmModel model(TinyConfig());
+  vision::ExtractedChart empty;
+  EXPECT_DOUBLE_EQ(model.Score(empty, WaveTable(2, 40)), 0.0);
+  EXPECT_DOUBLE_EQ(model.Score(ExtractWave(1, 40), table::Table()), 0.0);
+}
+
+TEST(FcmModelTest, HcmanAblationDiffersFromFull) {
+  FcmConfig with = TinyConfig();
+  FcmConfig without = TinyConfig();
+  without.use_hcman = false;
+  FcmModel a(with), b(without);
+  const auto chart = ExtractWave(2, 60);
+  const auto t = WaveTable(3, 80);
+  // Both produce valid probabilities (the ablation swaps the matcher).
+  EXPECT_GT(a.Score(chart, t), 0.0);
+  EXPECT_GT(b.Score(chart, t), 0.0);
+}
+
+TEST(FcmModelTest, DetachedEncodingsReproduceScores) {
+  FcmModel model(TinyConfig());
+  const auto chart = ExtractWave(2, 50);
+  const auto t = WaveTable(3, 70);
+  const double direct = model.Score(chart, t);
+  const auto chart_rep = FcmModel::Detach(model.EncodeChart(chart));
+  const auto data_rep = FcmModel::Detach(model.EncodeDataset(t));
+  const double cached =
+      model.ScoreEncoded(chart_rep, data_rep, chart.y_lo, chart.y_hi);
+  EXPECT_NEAR(direct, cached, 1e-6);
+}
+
+TEST(FcmModelTest, SaveLoadPreservesScores) {
+  const FcmConfig config = TinyConfig();
+  FcmModel a(config);
+  const auto chart = ExtractWave(1, 40);
+  const auto t = WaveTable(2, 50);
+  const double before = a.Score(chart, t);
+  const std::string path = "/tmp/fcm_model_test.bin";
+  ASSERT_TRUE(a.SaveToFile(path).ok());
+  FcmConfig config2 = config;
+  config2.seed = 777;  // Different init; weights must come from the file.
+  FcmModel b(config2);
+  ASSERT_TRUE(b.LoadFromFile(path).ok());
+  EXPECT_NEAR(b.Score(chart, t), before, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(FcmModelTest, ParameterCountScalesWithConfig) {
+  FcmConfig small = TinyConfig();
+  FcmConfig large = TinyConfig();
+  large.embed_dim = 32;
+  EXPECT_GT(FcmModel(large).NumParameters(),
+            FcmModel(small).NumParameters());
+}
+
+// ---- Negative selection strategies (paper Appendix B/E) ----
+
+std::vector<std::pair<double, table::TableId>> Ranked() {
+  // Relevance descending, ids 0..7.
+  std::vector<std::pair<double, table::TableId>> r;
+  for (int i = 0; i < 8; ++i) {
+    r.emplace_back(1.0 - 0.1 * i, static_cast<table::TableId>(i));
+  }
+  return r;
+}
+
+TEST(SelectNegativesTest, HardTakesTop) {
+  common::Rng rng(7);
+  const auto ids = internal::SelectNegatives(Ranked(),
+                                             NegativeStrategy::kHard, 3,
+                                             &rng);
+  EXPECT_EQ(ids, (std::vector<table::TableId>{0, 1, 2}));
+}
+
+TEST(SelectNegativesTest, EasyTakesBottom) {
+  common::Rng rng(8);
+  const auto ids = internal::SelectNegatives(Ranked(),
+                                             NegativeStrategy::kEasy, 3,
+                                             &rng);
+  EXPECT_EQ(ids, (std::vector<table::TableId>{7, 6, 5}));
+}
+
+TEST(SelectNegativesTest, SemiHardTakesMiddle) {
+  common::Rng rng(9);
+  const auto ids = internal::SelectNegatives(
+      Ranked(), NegativeStrategy::kSemiHard, 3, &rng);
+  EXPECT_EQ(ids, (std::vector<table::TableId>{2, 3, 4}));
+}
+
+TEST(SelectNegativesTest, RandomIsSubsetOfCandidates) {
+  common::Rng rng(10);
+  const auto ids = internal::SelectNegatives(
+      Ranked(), NegativeStrategy::kRandom, 3, &rng);
+  EXPECT_EQ(ids.size(), 3u);
+  for (auto id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 8);
+  }
+}
+
+TEST(SelectNegativesTest, RequestMoreThanAvailable) {
+  common::Rng rng(11);
+  const auto ids = internal::SelectNegatives(
+      Ranked(), NegativeStrategy::kSemiHard, 20, &rng);
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+// ---- Training behaviour ----
+
+TEST(TrainingTest, LossDecreasesOnTinyDataset) {
+  table::DataLake lake;
+  std::vector<TrainingTriplet> triplets;
+  vision::MaskOracleExtractor oracle;
+  common::Rng rng(12);
+  for (int i = 0; i < 8; ++i) {
+    table::Table t = WaveTable(3, 80, /*phase=*/0.7 * i);
+    const table::UnderlyingData d = {
+        {.label = "", .x = {}, .y = t.column(0).values}};
+    const auto tid = lake.Add(std::move(t));
+    const auto chart = chart::RenderLineChart(d);
+    TrainingTriplet triplet;
+    triplet.chart = oracle.Extract(chart).value();
+    triplet.underlying = d;
+    triplet.table_id = tid;
+    triplets.push_back(std::move(triplet));
+  }
+  FcmModel model(TinyConfig());
+  TrainOptions options;
+  options.epochs = 8;
+  options.pretrain_pairs = 0;  // Keep unit tests fast.
+  options.batch_size = 4;
+  options.validation_fraction = 0.0;  // Fixed epoch count for this assert.
+  const TrainStats stats = TrainFcm(&model, lake, triplets, options);
+  ASSERT_EQ(stats.epoch_losses.size(), 8u);
+  EXPECT_LT(stats.epoch_losses.back(), stats.epoch_losses.front());
+  EXPECT_GT(stats.pairs_trained, 0);
+}
+
+TEST(TrainingTest, EpochCallbackCanStopEarly) {
+  table::DataLake lake;
+  std::vector<TrainingTriplet> triplets;
+  vision::MaskOracleExtractor oracle;
+  for (int i = 0; i < 4; ++i) {
+    table::Table t = WaveTable(2, 60, 0.5 * i);
+    const table::UnderlyingData d = {
+        {.label = "", .x = {}, .y = t.column(0).values}};
+    const auto tid = lake.Add(std::move(t));
+    TrainingTriplet triplet;
+    triplet.chart = oracle.Extract(chart::RenderLineChart(d)).value();
+    triplet.underlying = d;
+    triplet.table_id = tid;
+    triplets.push_back(std::move(triplet));
+  }
+  FcmModel model(TinyConfig());
+  TrainOptions options;
+  options.epochs = 50;
+  options.pretrain_pairs = 0;
+  options.batch_size = 4;
+  options.epoch_callback = [](int epoch, double) { return epoch < 2; };
+  const TrainStats stats = TrainFcm(&model, lake, triplets, options);
+  EXPECT_EQ(stats.epoch_losses.size(), 3u);  // Stopped after epoch 2.
+}
+
+TEST(TrainingTest, EarlyStoppingTracksValidationAndRestoresBest) {
+  table::DataLake lake;
+  std::vector<TrainingTriplet> triplets;
+  vision::MaskOracleExtractor oracle;
+  for (int i = 0; i < 10; ++i) {
+    table::Table t = WaveTable(3, 80, /*phase=*/0.6 * i);
+    const table::UnderlyingData d = {
+        {.label = "", .x = {}, .y = t.column(0).values}};
+    const auto tid = lake.Add(std::move(t));
+    TrainingTriplet triplet;
+    triplet.chart = oracle.Extract(chart::RenderLineChart(d)).value();
+    triplet.underlying = d;
+    triplet.table_id = tid;
+    triplets.push_back(std::move(triplet));
+  }
+  FcmModel model(TinyConfig());
+  TrainOptions options;
+  options.epochs = 12;
+  options.pretrain_pairs = 0;
+  options.batch_size = 5;
+  options.validation_fraction = 0.3;
+  options.early_stop_patience = 1;
+  options.min_epochs = 1;
+  const TrainStats stats = TrainFcm(&model, lake, triplets, options);
+  // Validation ran each completed epoch and early stopping may have
+  // truncated the schedule.
+  EXPECT_EQ(stats.val_mrr.size(), stats.epoch_losses.size());
+  EXPECT_LE(stats.epoch_losses.size(), 12u);
+  for (double mrr : stats.val_mrr) {
+    EXPECT_GE(mrr, 0.0);
+    EXPECT_LE(mrr, 1.0);
+  }
+  // best_epoch is either the initial state (-1) or a completed epoch.
+  EXPECT_GE(stats.best_epoch, -1);
+  EXPECT_LT(stats.best_epoch,
+            static_cast<int>(stats.epoch_losses.size()));
+}
+
+TEST(TrainingTest, BothLossTypesTrain) {
+  table::DataLake lake;
+  std::vector<TrainingTriplet> triplets;
+  vision::MaskOracleExtractor oracle;
+  for (int i = 0; i < 6; ++i) {
+    table::Table t = WaveTable(2, 60, 0.4 * i);
+    const table::UnderlyingData d = {
+        {.label = "", .x = {}, .y = t.column(0).values}};
+    const auto tid = lake.Add(std::move(t));
+    TrainingTriplet triplet;
+    triplet.chart = oracle.Extract(chart::RenderLineChart(d)).value();
+    triplet.underlying = d;
+    triplet.table_id = tid;
+    triplets.push_back(std::move(triplet));
+  }
+  for (const auto loss :
+       {LossType::kBinaryCrossEntropy, LossType::kPairwiseRanking}) {
+    FcmModel model(TinyConfig());
+    TrainOptions options;
+    options.epochs = 2;
+    options.pretrain_pairs = 0;
+    options.batch_size = 3;
+    options.validation_fraction = 0.0;
+    options.loss = loss;
+    const TrainStats stats = TrainFcm(&model, lake, triplets, options);
+    EXPECT_EQ(stats.epoch_losses.size(), 2u) << LossTypeName(loss);
+    EXPECT_GT(stats.pairs_trained, 0) << LossTypeName(loss);
+    for (double l : stats.epoch_losses) {
+      EXPECT_TRUE(std::isfinite(l)) << LossTypeName(loss);
+    }
+  }
+}
+
+TEST(TrainingTest, LossTypeNames) {
+  EXPECT_STREQ(LossTypeName(LossType::kBinaryCrossEntropy), "bce");
+  EXPECT_STREQ(LossTypeName(LossType::kPairwiseRanking), "pairwise");
+}
+
+TEST(MatcherInitTest, ZeroInitHeadMakesInitialLogitDescriptorOnly) {
+  // With the head's output layer zero-initialized, two models with
+  // different seeds must produce identical rankings at initialization on
+  // the same inputs whenever their descriptor paths agree (the learned
+  // path contributes exactly zero).
+  table::Table t = WaveTable(2, 80, 0.3);
+  const table::UnderlyingData d = {
+      {.label = "", .x = {}, .y = t.column(0).values}};
+  vision::MaskOracleExtractor oracle;
+  const auto chart = oracle.Extract(chart::RenderLineChart(d)).value();
+
+  FcmConfig c1 = TinyConfig();
+  FcmConfig c2 = TinyConfig();
+  c2.seed = c1.seed + 17;
+  const FcmModel m1(c1), m2(c2);
+  // Descriptors are deterministic functions of the input, so the scores
+  // (= sigmoid of the descriptor shortcut) must agree across seeds.
+  EXPECT_NEAR(m1.Score(chart, t), m2.Score(chart, t), 5e-3);
+}
+
+TEST(TrainingTest, EmptyTripletsNoOp) {
+  table::DataLake lake;
+  FcmModel model(TinyConfig());
+  const TrainStats stats = TrainFcm(&model, lake, {}, TrainOptions{});
+  EXPECT_TRUE(stats.epoch_losses.empty());
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -1,0 +1,173 @@
+// Tests for src/eval: metrics, experiment aggregation, report formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/method.h"
+#include "common/math_util.h"
+#include "benchgen/benchmark.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "relevance/relevance.h"
+#include "vision/classical_extractor.h"
+
+namespace fcm::eval {
+namespace {
+
+TEST(MetricsTest, PrecisionAtK) {
+  const std::vector<table::TableId> ranked = {1, 2, 3, 4, 5};
+  const std::vector<table::TableId> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 5), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, relevant, 5), 0.0);
+}
+
+TEST(MetricsTest, PerfectRankingHasUnitMetrics) {
+  const std::vector<table::TableId> relevant = {7, 8, 9};
+  const std::vector<table::TableId> ranked = {7, 8, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 3), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, relevant, 3), 1.0);
+}
+
+TEST(MetricsTest, NdcgRewardsEarlyHits) {
+  const std::vector<table::TableId> relevant = {1};
+  // Hit at rank 1 vs hit at rank 3.
+  const double early = NdcgAtK({1, 2, 3}, relevant, 3);
+  const double late = NdcgAtK({2, 3, 1}, relevant, 3);
+  EXPECT_GT(early, late);
+  EXPECT_DOUBLE_EQ(early, 1.0);
+}
+
+TEST(MetricsTest, NdcgKnownValue) {
+  // One relevant item at position 2 (0-based 1): DCG = 1/log2(3),
+  // IDCG = 1.
+  const double v = NdcgAtK({5, 1}, {1}, 2);
+  EXPECT_NEAR(v, 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(ReportTest, FormatsAlignedColumns) {
+  ReportTable table({"Method", "prec@50"});
+  table.AddRow({"FCM", Fmt3(0.454)});
+  table.AddRow({"CML", Fmt3(0.349)});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| Method |"), std::string::npos);
+  EXPECT_NE(s.find("0.454"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(ReportTest, Fmt) {
+  EXPECT_EQ(Fmt3(0.1), "0.100");
+  EXPECT_EQ(Fmt1(12.34), "12.3");
+}
+
+// An oracle method that scores by ground-truth relevance: must achieve
+// perfect precision, validating the whole evaluation plumbing.
+class OracleMethod : public baselines::RetrievalMethod {
+ public:
+  const char* name() const override { return "oracle"; }
+  void Fit(const table::DataLake&,
+           const std::vector<core::TrainingTriplet>&) override {}
+  double Score(const benchgen::QueryRecord& query,
+               const table::Table& t) const override {
+    // Mirror the benchmark builder's ground-truth computation exactly
+    // (banded DTW over series resampled to 160 points).
+    rel::RelevanceOptions options;
+    options.dtw.band_fraction = 0.2;
+    table::UnderlyingData d = query.underlying;
+    for (auto& s : d) {
+      if (s.y.size() > 160) s.y = common::ResampleLinear(s.y, 160);
+      s.x.clear();
+    }
+    table::Table resampled;
+    resampled.set_name(t.name());
+    resampled.set_id(t.id());
+    for (const auto& c : t.columns()) {
+      if (c.values.size() > 160) {
+        resampled.AddColumn(
+            table::Column(c.name, common::ResampleLinear(c.values, 160)));
+      } else {
+        resampled.AddColumn(c);
+      }
+    }
+    return rel::Relevance(d, resampled, options);
+  }
+};
+
+// An adversarial method scoring everything identically.
+class ConstantMethod : public baselines::RetrievalMethod {
+ public:
+  const char* name() const override { return "constant"; }
+  void Fit(const table::DataLake&,
+           const std::vector<core::TrainingTriplet>&) override {}
+  double Score(const benchgen::QueryRecord&,
+               const table::Table&) const override {
+    return 0.5;
+  }
+};
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchgen::BenchmarkConfig config;
+    config.num_training_tables = 4;
+    config.num_query_tables = 4;
+    config.extra_lake_tables = 8;
+    config.duplicates_per_query = 3;
+    config.ground_truth_k = 3;
+    config.seed = 31;
+    vision::ClassicalExtractor extractor;
+    bench_ = new benchgen::Benchmark(BuildBenchmark(config, extractor));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static benchgen::Benchmark* bench_;
+};
+
+benchgen::Benchmark* ExperimentTest::bench_ = nullptr;
+
+TEST_F(ExperimentTest, OracleAchievesPerfectPrecision) {
+  OracleMethod oracle;
+  oracle.Fit(bench_->lake, bench_->training);
+  const MethodResults results = EvaluateMethod(oracle, *bench_);
+  // Ground truth was built from (a resampled version of) the same score,
+  // so the oracle must be near-perfect.
+  EXPECT_GT(results.Overall().prec, 0.9);
+  EXPECT_GT(results.Overall().ndcg, 0.9);
+}
+
+TEST_F(ExperimentTest, ConstantMethodIsPoor) {
+  ConstantMethod constant;
+  constant.Fit(bench_->lake, bench_->training);
+  const MethodResults results = EvaluateMethod(constant, *bench_);
+  // With ties everywhere the top-k is arbitrary; precision ~ k/|lake|.
+  EXPECT_LT(results.Overall().prec, 0.6);
+}
+
+TEST_F(ExperimentTest, AggregatesPartitionQueries) {
+  OracleMethod oracle;
+  const MethodResults results = EvaluateMethod(oracle, *bench_);
+  const int with_da = results.WithDa().count;
+  const int without = results.WithoutDa().count;
+  EXPECT_EQ(with_da + without,
+            static_cast<int>(bench_->queries.size()));
+  int by_bucket = 0;
+  for (int b = 0; b < 4; ++b) by_bucket += results.ByLineBucket(b).count;
+  EXPECT_EQ(by_bucket, static_cast<int>(bench_->queries.size()));
+}
+
+TEST_F(ExperimentTest, RankedListsHaveK) {
+  OracleMethod oracle;
+  const MethodResults results = EvaluateMethod(oracle, *bench_, 3);
+  for (const auto& q : results.queries) {
+    EXPECT_EQ(q.ranked.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::eval

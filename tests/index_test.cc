@@ -1,0 +1,259 @@
+// Tests for src/index: interval tree (vs brute force), LSH collision
+// behaviour, and the hybrid search engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "chart/renderer.h"
+#include "common/rng.h"
+#include "index/interval_tree.h"
+#include "index/lsh.h"
+#include "index/search_engine.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::index {
+namespace {
+
+TEST(IntervalTreeTest, PointQueriesKnownLayout) {
+  IntervalTree tree({{0.0, 10.0, 1}, {5.0, 15.0, 2}, {20.0, 30.0, 3}});
+  auto sorted = [](std::vector<int64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(tree.QueryPoint(7.0)), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(sorted(tree.QueryPoint(25.0)), (std::vector<int64_t>{3}));
+  EXPECT_TRUE(tree.QueryPoint(17.0).empty());
+}
+
+TEST(IntervalTreeTest, OverlapQueryBoundariesInclusive) {
+  IntervalTree tree({{0.0, 10.0, 1}});
+  EXPECT_EQ(tree.QueryOverlap(10.0, 20.0).size(), 1u);
+  EXPECT_EQ(tree.QueryOverlap(-5.0, 0.0).size(), 1u);
+  EXPECT_TRUE(tree.QueryOverlap(10.001, 20.0).empty());
+}
+
+TEST(IntervalTreeTest, EmptyTree) {
+  IntervalTree tree({});
+  EXPECT_TRUE(tree.QueryOverlap(0.0, 1.0).empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+class IntervalTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalTreePropertyTest, MatchesBruteForce) {
+  common::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  std::vector<Interval> intervals;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const double lo = rng.Uniform(-100.0, 100.0);
+    const double hi = lo + rng.Uniform(0.0, 50.0);
+    intervals.push_back({lo, hi, i});
+  }
+  IntervalTree tree(intervals);
+  for (int q = 0; q < 20; ++q) {
+    const double qlo = rng.Uniform(-120.0, 120.0);
+    const double qhi = qlo + rng.Uniform(0.0, 60.0);
+    std::vector<int64_t> expected;
+    for (const auto& iv : intervals) {
+      if (iv.Overlaps(qlo, qhi)) expected.push_back(iv.payload);
+    }
+    auto got = tree.QueryOverlap(qlo, qhi);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query [" << qlo << ", " << qhi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIntervals, IntervalTreePropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(IntervalTreeTest, MemoryReported) {
+  IntervalTree tree({{0.0, 1.0, 1}, {2.0, 3.0, 2}});
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+}
+
+TEST(LshTest, SelfQueryCollides) {
+  LshConfig config;
+  RandomHyperplaneLsh lsh(16, config);
+  common::Rng rng(3);
+  std::vector<float> v(16);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  lsh.Insert(v, 42);
+  const auto hits = lsh.Query(v);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42);
+}
+
+TEST(LshTest, SimilarVectorsCollideMoreThanRandom) {
+  LshConfig config;
+  config.num_bits = 10;
+  config.num_tables = 2;
+  config.probe_hamming1 = false;
+  RandomHyperplaneLsh lsh(32, config);
+  common::Rng rng(4);
+
+  std::vector<float> base(32);
+  for (auto& x : base) x = static_cast<float>(rng.Normal());
+  lsh.Insert(base, 0);
+
+  int near_hits = 0, far_hits = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<float> near = base, far(32);
+    for (auto& x : near) x += static_cast<float>(rng.Normal(0.0, 0.1));
+    for (auto& x : far) x = static_cast<float>(rng.Normal());
+    if (!lsh.Query(near).empty()) ++near_hits;
+    if (!lsh.Query(far).empty()) ++far_hits;
+  }
+  EXPECT_GT(near_hits, far_hits);
+  EXPECT_GT(near_hits, trials / 2);
+}
+
+TEST(LshTest, CodeIsStablePerTable) {
+  LshConfig config;
+  RandomHyperplaneLsh lsh(8, config);
+  common::Rng rng(5);
+  std::vector<float> v(8);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  EXPECT_EQ(lsh.Code(v, 0), lsh.Code(v, 0));
+  // Different tables use different hyperplanes (almost surely different
+  // codes for a random vector with 12 bits).
+  EXPECT_NE(lsh.Code(v, 0), lsh.Code(v, 1));
+}
+
+TEST(LshTest, Hamming1ProbingWidensRecall) {
+  LshConfig narrow;
+  narrow.probe_hamming1 = false;
+  narrow.num_tables = 1;
+  LshConfig wide = narrow;
+  wide.probe_hamming1 = true;
+  RandomHyperplaneLsh a(16, narrow), b(16, wide);
+  common::Rng rng(6);
+  int a_hits = 0, b_hits = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> v(16), near(16);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    near = v;
+    for (auto& x : near) x += static_cast<float>(rng.Normal(0.0, 0.15));
+    a.Insert(v, i);
+    b.Insert(v, i);
+    if (!a.Query(near).empty()) ++a_hits;
+    if (!b.Query(near).empty()) ++b_hits;
+  }
+  EXPECT_GE(b_hits, a_hits);
+}
+
+// ---- Search engine over a small trained-free setup ----
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Small repository of sinusoid tables.
+    for (int i = 0; i < 12; ++i) {
+      table::Table t;
+      for (int c = 0; c < 3; ++c) {
+        std::vector<double> v(60);
+        for (size_t j = 0; j < v.size(); ++j) {
+          v[j] = std::sin(static_cast<double>(j) * (0.05 + 0.02 * i) + c) *
+                     (3.0 + i) +
+                 2.0 * c;
+        }
+        t.AddColumn(table::Column("c" + std::to_string(c), std::move(v)));
+      }
+      lake_.Add(std::move(t));
+    }
+    core::FcmConfig config;
+    config.embed_dim = 16;
+    config.num_layers = 1;
+    config.strip_height = 16;
+    config.strip_width = 64;
+    config.line_segment_width = 16;
+    config.column_length = 64;
+    config.data_segment_size = 16;
+    model_ = std::make_unique<core::FcmModel>(config);
+    engine_ = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    engine_->Build();
+
+    const auto& src = lake_.Get(2);
+    table::DataSeries d;
+    d.y = src.column(0).values;
+    const auto chart = chart::RenderLineChart({d});
+    vision::MaskOracleExtractor oracle;
+    query_ = oracle.Extract(chart).value();
+  }
+
+  table::DataLake lake_;
+  std::unique_ptr<core::FcmModel> model_;
+  std::unique_ptr<SearchEngine> engine_;
+  vision::ExtractedChart query_;
+};
+
+TEST_F(SearchEngineTest, NoIndexScoresWholeLake) {
+  QueryStats stats;
+  const auto hits = engine_->Search(query_, 5, IndexStrategy::kNoIndex,
+                                    &stats);
+  EXPECT_EQ(stats.candidates_scored, lake_.size());
+  EXPECT_EQ(hits.size(), 5u);
+  // Results sorted by score descending.
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST_F(SearchEngineTest, IntervalPruningNeverAddsCandidates) {
+  QueryStats no_index, interval;
+  engine_->Search(query_, 5, IndexStrategy::kNoIndex, &no_index);
+  engine_->Search(query_, 5, IndexStrategy::kIntervalTree, &interval);
+  EXPECT_LE(interval.candidates_scored, no_index.candidates_scored);
+}
+
+TEST_F(SearchEngineTest, HybridIsIntersection) {
+  QueryStats interval, lsh, hybrid;
+  engine_->Search(query_, 5, IndexStrategy::kIntervalTree, &interval);
+  engine_->Search(query_, 5, IndexStrategy::kLsh, &lsh);
+  engine_->Search(query_, 5, IndexStrategy::kHybrid, &hybrid);
+  EXPECT_LE(hybrid.candidates_scored,
+            std::min(interval.candidates_scored, lsh.candidates_scored));
+}
+
+TEST_F(SearchEngineTest, IntervalTreeKeepsSourceTable) {
+  // The query's source table must survive range pruning (no false
+  // negatives from the interval tree, as the paper argues).
+  QueryStats stats;
+  const auto hits =
+      engine_->Search(query_, static_cast<int>(lake_.size()),
+                      IndexStrategy::kIntervalTree, &stats);
+  bool found = false;
+  for (const auto& h : hits) found = found || h.table_id == 2;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SearchEngineTest, BuildStatsPopulated) {
+  const auto& stats = engine_->build_stats();
+  EXPECT_GT(stats.interval_memory_bytes, 0u);
+  EXPECT_GT(stats.lsh_memory_bytes, 0u);
+  EXPECT_GE(stats.encode_seconds, 0.0);
+}
+
+TEST_F(SearchEngineTest, EmptyQueryReturnsNothing) {
+  vision::ExtractedChart empty;
+  QueryStats stats;
+  const auto hits = engine_->Search(empty, 5, IndexStrategy::kNoIndex,
+                                    &stats);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(MeanEmbeddingTest, AveragesRows) {
+  nn::Tensor rep = nn::Tensor::FromVector({2, 3}, {1, 2, 3, 3, 4, 5});
+  const auto mean = SearchEngine::MeanEmbedding(rep);
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 3.0f);
+  EXPECT_FLOAT_EQ(mean[2], 4.0f);
+}
+
+}  // namespace
+}  // namespace fcm::index

@@ -1,0 +1,317 @@
+// Tests for nn modules: Linear/MLP/LayerNorm layers, attention blocks,
+// optimizers, parameter registry and state serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace fcm::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  common::Rng rng(1);
+  Linear layer(4, 3, &rng);
+  Tensor x = Tensor::Full({2, 4}, 1.0f);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, VectorInputReturnsVector) {
+  common::Rng rng(2);
+  Linear layer(4, 3, &rng);
+  Tensor x = Tensor::Full({4}, 0.5f);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rank(), 1);
+  EXPECT_EQ(y.dim(0), 3);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  common::Rng rng(3);
+  Linear layer(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.NumParameters(), 12);
+  // Zero input maps to zero output without a bias.
+  Tensor y = layer.Forward(Tensor::Zeros({1, 4}));
+  for (float v : y.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(MlpTest, ForwardShape) {
+  common::Rng rng(4);
+  Mlp mlp(6, 16, 2, &rng);
+  Tensor y = mlp.Forward(Tensor::Full({3, 6}, 0.1f));
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 2);
+}
+
+TEST(LayerNormLayerTest, NormalizesRows) {
+  LayerNormLayer ln(8);
+  common::Rng rng(5);
+  Tensor x = Tensor::RandomNormal({4, 8}, 5.0f, &rng,
+                                  /*requires_grad=*/false);
+  Tensor y = ln.Forward(x);
+  // Default gain=1, bias=0: each row should be ~zero-mean unit-variance.
+  for (int r = 0; r < 4; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 8; ++c) mean += y.data()[static_cast<size_t>(r) * 8 + c];
+    mean /= 8.0f;
+    for (int c = 0; c < 8; ++c) {
+      const float d = y.data()[static_cast<size_t>(r) * 8 + c] - mean;
+      var += d * d;
+    }
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(AttentionTest, SelfAttentionShape) {
+  common::Rng rng(6);
+  MultiHeadAttention attn(8, 2, &rng);
+  Tensor x = Tensor::RandomNormal({5, 8}, 1.0f, &rng,
+                                  /*requires_grad=*/false);
+  Tensor y = attn.Forward(x, x);
+  EXPECT_EQ(y.dim(0), 5);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(AttentionTest, CrossAttentionDifferentLengths) {
+  common::Rng rng(7);
+  MultiHeadAttention attn(8, 4, &rng);
+  Tensor q = Tensor::RandomNormal({3, 8}, 1.0f, &rng,
+                                  /*requires_grad=*/false);
+  Tensor kv = Tensor::RandomNormal({7, 8}, 1.0f, &rng,
+                                   /*requires_grad=*/false);
+  Tensor y = attn.Forward(q, kv);
+  EXPECT_EQ(y.dim(0), 3);  // Output length follows the queries.
+}
+
+TEST(AttentionTest, GradientsFlowToAllProjections) {
+  common::Rng rng(8);
+  MultiHeadAttention attn(8, 2, &rng);
+  Tensor x = Tensor::RandomNormal({4, 8}, 1.0f, &rng,
+                                  /*requires_grad=*/false);
+  Tensor loss = MeanAll(attn.Forward(x, x));
+  loss.Backward();
+  for (const auto& p : attn.Parameters()) {
+    double norm = 0.0;
+    for (float g : p.grad()) norm += std::fabs(g);
+    EXPECT_GT(norm, 0.0) << "a projection received no gradient";
+  }
+}
+
+TEST(TransformerTest, EncoderPreservesShape) {
+  common::Rng rng(9);
+  TransformerEncoder encoder(16, 2, 32, 2, 10, &rng);
+  Tensor x = Tensor::RandomNormal({6, 16}, 1.0f, &rng,
+                                  /*requires_grad=*/false);
+  Tensor y = encoder.Forward(x);
+  EXPECT_EQ(y.dim(0), 6);
+  EXPECT_EQ(y.dim(1), 16);
+}
+
+TEST(TransformerTest, DeterministicForward) {
+  common::Rng rng(10);
+  TransformerEncoder encoder(8, 2, 16, 1, 4, &rng);
+  Tensor x = Tensor::Full({4, 8}, 0.3f);
+  Tensor y1 = encoder.Forward(x);
+  Tensor y2 = encoder.Forward(x);
+  for (size_t i = 0; i < y1.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(TransformerTest, PositionalEmbeddingBreaksPermutationInvariance) {
+  common::Rng rng(11);
+  TransformerEncoder encoder(8, 2, 16, 1, 8, &rng);
+  Tensor a = Tensor::FromVector({2, 8}, std::vector<float>(16, 0.0f));
+  a.data()[0] = 1.0f;  // Token 0 distinct.
+  Tensor b = Tensor::FromVector({2, 8}, std::vector<float>(16, 0.0f));
+  b.data()[8] = 1.0f;  // Same tokens, swapped order.
+  const Tensor ya = encoder.Forward(a);
+  const Tensor yb = encoder.Forward(b);
+  double diff = 0.0;
+  for (size_t i = 0; i < ya.data().size(); ++i) {
+    diff += std::fabs(ya.data()[i] - yb.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(TransformerTest, LongSequencesClampPositions) {
+  common::Rng rng(12);
+  TransformerEncoder encoder(8, 2, 16, 1, /*max_positions=*/3, &rng);
+  Tensor x = Tensor::Full({6, 8}, 0.1f);  // Longer than max positions.
+  Tensor y = encoder.Forward(x);
+  EXPECT_EQ(y.dim(0), 6);
+}
+
+TEST(OptimizerTest, SgdMinimizesQuadratic) {
+  Tensor x = Tensor::FromVector({2}, {5.0f, -3.0f}, /*requires_grad=*/true);
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = SumAll(Mul(x, x));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(x.data()[1], 0.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, AdamMinimizesShiftedQuadratic) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, 0.0f}, /*requires_grad=*/true);
+  Tensor target = Tensor::FromVector({2}, {2.0f, -1.0f});
+  Adam opt({x}, 0.05f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    Tensor diff = Sub(x, target);
+    Tensor loss = SumAll(Mul(diff, diff));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 2.0f, 0.05f);
+  EXPECT_NEAR(x.data()[1], -1.0f, 0.05f);
+}
+
+TEST(OptimizerTest, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Tensor x = Tensor::FromVector({1}, {10.0f}, /*requires_grad=*/true);
+    Sgd opt({x}, 0.01f, momentum);
+    for (int i = 0; i < 50; ++i) {
+      opt.ZeroGrad();
+      Tensor loss = SumAll(Mul(x, x));
+      loss.Backward();
+      opt.Step();
+    }
+    return std::fabs(x.data()[0]);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(OptimizerTest, GradClippingBoundsNorm) {
+  Tensor x = Tensor::FromVector({3}, {100.0f, 100.0f, 100.0f},
+                                /*requires_grad=*/true);
+  Adam opt({x}, 0.1f);
+  opt.ZeroGrad();
+  Tensor loss = SumAll(Mul(x, x));
+  loss.Backward();
+  EXPECT_GT(opt.GradNorm(), 100.0);
+  opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(opt.GradNorm(), 1.0, 1e-5);
+}
+
+class RegistryModule : public Module {
+ public:
+  explicit RegistryModule(common::Rng* rng) : inner_(2, 2, rng) {
+    weight_ = RegisterParameter("w", Tensor::Full({3}, 1.0f, true));
+    RegisterModule("inner", &inner_);
+  }
+  Tensor weight_;
+  Linear inner_;
+};
+
+TEST(ModuleTest, NamedParametersIncludeSubmodules) {
+  common::Rng rng(13);
+  RegistryModule mod(&rng);
+  const auto named = mod.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);  // w + inner.weight + inner.bias.
+  EXPECT_EQ(named[0].first, "w");
+  EXPECT_EQ(named[1].first, "inner.weight");
+  EXPECT_EQ(named[2].first, "inner.bias");
+  EXPECT_EQ(mod.NumParameters(), 3 + 4 + 2);
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  common::Rng rng(14);
+  RegistryModule a(&rng), b(&rng);
+  // Make a's parameters distinctive.
+  for (auto& p : a.Parameters()) {
+    for (auto& v : p.data()) v += 7.0f;
+  }
+  common::BinaryWriter writer;
+  a.SaveState(&writer);
+  common::BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadState(&reader).ok());
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].data(), pb[i].data());
+  }
+}
+
+TEST(ModuleTest, LoadRejectsWrongArchitecture) {
+  common::Rng rng(15);
+  RegistryModule a(&rng);
+  common::BinaryWriter writer;
+  a.SaveState(&writer);
+
+  class OtherModule : public Module {
+   public:
+    OtherModule() {
+      RegisterParameter("different", Tensor::Full({2}, 0.0f, true));
+    }
+  } other;
+  common::BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(other.LoadState(&reader).ok());
+}
+
+TEST(ModuleTest, ZeroGradClears) {
+  common::Rng rng(16);
+  RegistryModule mod(&rng);
+  Tensor x = Tensor::Full({1, 2}, 1.0f);
+  Tensor loss = SumAll(mod.inner_.Forward(x));
+  loss.Backward();
+  mod.ZeroGrad();
+  for (const auto& p : mod.Parameters()) {
+    for (float g : p.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+  }
+}
+
+TEST(LinearTest, ZeroInitProducesZeroOutput) {
+  common::Rng rng(17);
+  Linear linear(4, 3, &rng);
+  linear.ZeroInit();
+  Tensor x = Tensor::Full({2, 4}, 1.5f);
+  const Tensor y = linear.Forward(x);  // Named: keeps the node alive.
+  for (float v : y.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(MlpTest, ZeroOutputLayerProducesZeroButTrainable) {
+  common::Rng rng(18);
+  Mlp mlp(4, 8, 2, &rng);
+  mlp.ZeroOutputLayer();
+  Tensor x = Tensor::Full({1, 4}, 0.7f);
+  const Tensor y = mlp.Forward(x);  // Named: keeps the node alive.
+  for (float v : y.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+  // Gradients still flow into the zeroed layer (so it can move away).
+  Tensor loss = SumAll(mlp.Forward(x));
+  loss.Backward();
+  bool any_nonzero_grad = false;
+  for (const auto& p : mlp.Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) any_nonzero_grad = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero_grad);
+}
+
+TEST(AdamTest, WeightDecayShrinksParamsWithoutGradientSignal) {
+  Tensor w = Tensor::Full({4}, 1.0f, /*requires_grad=*/true);
+  Adam opt({w}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  // Zero gradient: only the decoupled decay acts.
+  w.grad().assign(4, 0.0f);
+  opt.Step();
+  for (float v : w.data()) {
+    EXPECT_LT(v, 1.0f);
+    EXPECT_NEAR(v, 1.0f - 0.1f * 0.5f * 1.0f, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::nn

@@ -1,0 +1,328 @@
+// Tests for the tensor/autograd substrate: construction, graph backward,
+// and numerical gradient checks for every differentiable op.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace fcm::nn {
+namespace {
+
+TEST(TensorTest, ZerosAndFull) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (float v : f.data()) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_FLOAT_EQ(t.data()[3], 4.0f);
+}
+
+TEST(TensorTest, XavierWithinLimit) {
+  common::Rng rng(1);
+  Tensor w = Tensor::XavierUniform(16, 16, &rng);
+  const float limit = std::sqrt(6.0f / 32.0f);
+  for (float v : w.data()) {
+    EXPECT_LE(std::fabs(v), limit + 1e-6f);
+  }
+  EXPECT_TRUE(w.requires_grad());
+}
+
+TEST(TensorTest, DetachDropsGraph) {
+  Tensor a = Tensor::Full({2}, 1.0f, /*requires_grad=*/true);
+  Tensor b = Scale(a, 2.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.data()[0], 2.0f);
+  EXPECT_TRUE(d.node()->parents.empty());
+}
+
+TEST(TensorTest, BackwardThroughChain) {
+  // y = mean(3 * (a + a)) => dy/da_i = 6 / n.
+  Tensor a = Tensor::Full({4}, 1.0f, /*requires_grad=*/true);
+  Tensor y = MeanAll(Scale(Add(a, a), 3.0f));
+  y.Backward();
+  for (float g : a.grad()) EXPECT_NEAR(g, 6.0f / 4.0f, 1e-6f);
+}
+
+TEST(TensorTest, BackwardAccumulatesOverReuse) {
+  // y = sum(a * a): using `a` twice must accumulate both paths: dy/da = 2a.
+  Tensor a = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f},
+                                /*requires_grad=*/true);
+  Tensor y = SumAll(Mul(a, a));
+  y.Backward();
+  EXPECT_NEAR(a.grad()[0], 2.0f, 1e-5f);
+  EXPECT_NEAR(a.grad()[1], 4.0f, 1e-5f);
+  EXPECT_NEAR(a.grad()[2], 6.0f, 1e-5f);
+}
+
+TEST(TensorTest, NoGradWhenNotRequired) {
+  Tensor a = Tensor::Full({2}, 1.0f, /*requires_grad=*/false);
+  Tensor y = SumAll(a);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+// ---- Numerical gradient checking ----
+//
+// For scalar-valued builders f(x), compares the analytic gradient from
+// Backward() against central finite differences.
+
+using ScalarFn = std::function<Tensor(const Tensor&)>;
+
+void CheckGradient(const Shape& shape, const ScalarFn& f,
+                   uint64_t seed = 42, float tolerance = 2e-2f) {
+  common::Rng rng(seed);
+  std::vector<float> values(static_cast<size_t>(NumElements(shape)));
+  for (auto& v : values) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  Tensor x = Tensor::FromVector(shape, values, /*requires_grad=*/true);
+  Tensor y = f(x);
+  ASSERT_EQ(y.numel(), 1);
+  y.Backward();
+  const std::vector<float> analytic = x.grad();
+
+  const float eps = 1e-2f;
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto eval = [&](float delta) {
+      std::vector<float> perturbed = values;
+      perturbed[i] += delta;
+      Tensor xp = Tensor::FromVector(shape, perturbed);
+      return f(xp).item();
+    };
+    const float numeric = (eval(eps) - eval(-eps)) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(GradCheckTest, Add) {
+  Tensor b = Tensor::FromVector({2, 3}, {1, -2, 3, 0.5f, 1, -1});
+  CheckGradient({2, 3}, [&](const Tensor& x) { return SumAll(Add(x, b)); });
+}
+
+TEST(GradCheckTest, SubAndScale) {
+  Tensor b = Tensor::FromVector({4}, {1, 2, 3, 4});
+  CheckGradient({4}, [&](const Tensor& x) {
+    return SumAll(Scale(Sub(x, b), 1.7f));
+  });
+}
+
+TEST(GradCheckTest, MulElementwise) {
+  Tensor b = Tensor::FromVector({3}, {0.3f, -1.2f, 2.0f});
+  CheckGradient({3}, [&](const Tensor& x) { return SumAll(Mul(x, b)); });
+}
+
+TEST(GradCheckTest, MatMulLeft) {
+  common::Rng rng(7);
+  Tensor b = Tensor::RandomNormal({3, 2}, 1.0f, &rng,
+                                  /*requires_grad=*/false);
+  CheckGradient({2, 3}, [&](const Tensor& x) {
+    return SumAll(MatMul(x, b));
+  });
+}
+
+TEST(GradCheckTest, MatMulRight) {
+  common::Rng rng(8);
+  Tensor a = Tensor::RandomNormal({2, 3}, 1.0f, &rng,
+                                  /*requires_grad=*/false);
+  CheckGradient({3, 2}, [&](const Tensor& x) {
+    return SumAll(MatMul(a, x));
+  });
+}
+
+TEST(GradCheckTest, MatMulQuadratic) {
+  // Nonlinear use: mean((x x^T)^2)-style composite.
+  CheckGradient({2, 2}, [](const Tensor& x) {
+    Tensor y = MatMul(x, Transpose(x));
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  Tensor row = Tensor::FromVector({3}, {0.1f, 0.2f, 0.3f});
+  CheckGradient({4, 3}, [&](const Tensor& x) {
+    return SumAll(AddRowBroadcast(x, row));
+  });
+}
+
+TEST(GradCheckTest, AddRowBroadcastRowGrad) {
+  Tensor m = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  CheckGradient({2}, [&](const Tensor& x) {
+    return SumAll(Mul(AddRowBroadcast(m, x), AddRowBroadcast(m, x)));
+  });
+}
+
+TEST(GradCheckTest, Softmax) {
+  CheckGradient({2, 4}, [](const Tensor& x) {
+    Tensor s = Softmax(x);
+    // Weighted sum so the gradient is non-trivial.
+    Tensor w = Tensor::FromVector({2, 4},
+                                  {1, -1, 2, 0.5f, 0, 1, -2, 1});
+    return SumAll(Mul(s, w));
+  });
+}
+
+TEST(GradCheckTest, Activations) {
+  Tensor w = Tensor::FromVector({5}, {1, -2, 0.5f, 3, -1});
+  for (auto f : {&Relu, &Tanh, &Sigmoid, &Gelu, &Sqrt}) {
+    CheckGradient({5}, [&](const Tensor& x) {
+      // Shift into safe territory for Sqrt; harmless for others.
+      return SumAll(Mul(f(AddScalar(x, 2.5f)), w));
+    });
+  }
+}
+
+TEST(GradCheckTest, LeakyRelu) {
+  Tensor w = Tensor::FromVector({4}, {1, 2, -1, 0.5f});
+  CheckGradient({4}, [&](const Tensor& x) {
+    return SumAll(Mul(LeakyRelu(x, 0.1f), w));
+  });
+}
+
+TEST(GradCheckTest, Rsqrt) {
+  CheckGradient({3}, [](const Tensor& x) {
+    return SumAll(Rsqrt(AddScalar(x, 3.0f)));
+  });
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Tensor gain = Tensor::FromVector({4}, {1.0f, 1.5f, 0.5f, 2.0f});
+  Tensor bias = Tensor::FromVector({4}, {0.1f, 0.0f, -0.2f, 0.3f});
+  Tensor w = Tensor::FromVector({2, 4}, {1, -1, 2, 1, 0.5f, 1, -1, 2});
+  CheckGradient(
+      {2, 4},
+      [&](const Tensor& x) {
+        return SumAll(Mul(LayerNorm(x, gain, bias), w));
+      },
+      /*seed=*/3, /*tolerance=*/5e-2f);
+}
+
+TEST(GradCheckTest, MeanRowsAndMaxCols) {
+  Tensor w = Tensor::FromVector({3}, {1, 2, 3});
+  CheckGradient({4, 3}, [&](const Tensor& x) {
+    return SumAll(Mul(MeanRows(x), w));
+  });
+  Tensor w2 = Tensor::FromVector({4}, {1, -1, 2, 0.5f});
+  CheckGradient({4, 3}, [&](const Tensor& x) {
+    return SumAll(Mul(MaxCols(x), w2));
+  });
+}
+
+TEST(GradCheckTest, ConcatAndSlice) {
+  Tensor other = Tensor::FromVector({1, 3}, {9, 8, 7});
+  CheckGradient({2, 3}, [&](const Tensor& x) {
+    Tensor cat = ConcatRows({x, other});
+    return SumAll(Mul(cat, cat));
+  });
+  CheckGradient({2, 4}, [](const Tensor& x) {
+    Tensor left = SliceCols(x, 0, 2);
+    Tensor right = SliceCols(x, 2, 4);
+    return SumAll(Mul(left, right));
+  });
+  CheckGradient({4, 2}, [](const Tensor& x) {
+    Tensor top = SliceRows(x, 0, 2);
+    Tensor bottom = SliceRows(x, 2, 4);
+    return SumAll(Mul(top, bottom));
+  });
+}
+
+TEST(GradCheckTest, ConcatColsAndVec) {
+  Tensor other = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  CheckGradient({2, 3}, [&](const Tensor& x) {
+    Tensor cat = ConcatCols({x, other});
+    return SumAll(Mul(cat, cat));
+  });
+  Tensor v2 = Tensor::FromVector({2}, {5, 6});
+  CheckGradient({3}, [&](const Tensor& x) {
+    Tensor cat = ConcatVec({x, v2});
+    return SumAll(Mul(cat, cat));
+  });
+}
+
+TEST(GradCheckTest, StackRowsAndRow) {
+  CheckGradient({3}, [](const Tensor& x) {
+    Tensor stacked = StackRows({x, x});
+    return SumAll(Mul(stacked, stacked));
+  });
+  CheckGradient({3, 2}, [](const Tensor& x) {
+    return SumAll(Mul(Row(x, 1), Row(x, 2)));
+  });
+}
+
+TEST(GradCheckTest, ReshapeAndTranspose) {
+  CheckGradient({2, 3}, [](const Tensor& x) {
+    Tensor r = Reshape(x, {3, 2});
+    return SumAll(Mul(r, Transpose(x)));
+  });
+}
+
+TEST(GradCheckTest, DotProduct) {
+  Tensor b = Tensor::FromVector({4}, {0.5f, -1, 2, 1});
+  CheckGradient({4}, [&](const Tensor& x) { return DotProduct(x, b); });
+  CheckGradient({4}, [](const Tensor& x) { return DotProduct(x, x); });
+}
+
+TEST(GradCheckTest, BceWithLogits) {
+  for (float label : {0.0f, 1.0f}) {
+    CheckGradient({1}, [label](const Tensor& x) {
+      return BinaryCrossEntropyWithLogits(x, label);
+    });
+  }
+}
+
+TEST(GradCheckTest, BceOnProbability) {
+  CheckGradient({1}, [](const Tensor& x) {
+    return BinaryCrossEntropy(Sigmoid(x), 1.0f);
+  });
+}
+
+TEST(GradCheckTest, CrossEntropyWithLogits) {
+  const std::vector<int> targets = {2, 0};
+  CheckGradient({2, 3}, [&](const Tensor& x) {
+    return CrossEntropyWithLogits(x, targets);
+  });
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  common::Rng rng(4);
+  Tensor x = Tensor::RandomNormal({3, 5}, 2.0f, &rng,
+                                  /*requires_grad=*/false);
+  Tensor s = Softmax(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 5; ++c) sum += s.data()[static_cast<size_t>(r) * 5 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, MaxColsValues) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 5, 3, -1, -7, -2});
+  Tensor m = MaxCols(x);
+  EXPECT_FLOAT_EQ(m.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(m.data()[1], -1.0f);
+}
+
+TEST(OpsTest, BceWithLogitsMatchesComposition) {
+  Tensor logit = Tensor::FromVector({1}, {0.7f});
+  const float direct = BinaryCrossEntropyWithLogits(logit, 1.0f).item();
+  const float composed = BinaryCrossEntropy(Sigmoid(logit), 1.0f).item();
+  EXPECT_NEAR(direct, composed, 1e-5f);
+}
+
+TEST(OpsTest, CrossEntropyUniformIsLogC) {
+  Tensor logits = Tensor::Zeros({1, 4});
+  const float loss = CrossEntropyWithLogits(logits, {1}).item();
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+}  // namespace
+}  // namespace fcm::nn

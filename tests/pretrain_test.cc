@@ -1,0 +1,86 @@
+// Tests for core/pretrain: alignment pair generation and the InfoNCE
+// pretraining objective's effect on the encoder space.
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "core/fcm_model.h"
+#include "core/pretrain.h"
+#include "nn/ops.h"
+
+namespace fcm::core {
+namespace {
+
+FcmConfig TinyConfig() {
+  FcmConfig config;
+  config.embed_dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.mlp_hidden = 32;
+  config.strip_height = 16;
+  config.strip_width = 64;
+  config.line_segment_width = 16;
+  config.column_length = 64;
+  config.data_segment_size = 16;
+  return config;
+}
+
+std::vector<double> Pool(const nn::Tensor& rep) {
+  const nn::Tensor m = nn::MeanRows(rep);
+  return std::vector<double>(m.data().begin(), m.data().end());
+}
+
+TEST(AlignmentPairsTest, GeneratesRequestedCount) {
+  const auto pairs = MakeAlignmentPairs(10, 7);
+  ASSERT_EQ(pairs.size(), 10u);
+  for (const auto& p : pairs) {
+    EXPECT_FALSE(p.column.empty());
+    EXPECT_GT(p.chart.num_lines(), 0);
+  }
+}
+
+TEST(AlignmentPairsTest, DeterministicForSeed) {
+  const auto a = MakeAlignmentPairs(4, 11);
+  const auto b = MakeAlignmentPairs(4, 11);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].column, b[i].column);
+  }
+}
+
+TEST(PretrainTest, LossDropsBelowChance) {
+  FcmModel model(TinyConfig());
+  const auto pairs = MakeAlignmentPairs(48, 3);
+  PretrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 8;
+  const double loss = PretrainEncoders(&model, pairs, options);
+  // Chance level for symmetric 8-way InfoNCE is 2 * log(8) ~ 4.16.
+  EXPECT_LT(loss, 2.0 * std::log(8.0));
+}
+
+TEST(PretrainTest, AlignsMatchingPairsOnHeldOut) {
+  FcmModel model(TinyConfig());
+  const auto train_pairs = MakeAlignmentPairs(64, 5);
+  PretrainOptions options;
+  options.epochs = 5;
+  options.batch_size = 8;
+  PretrainEncoders(&model, train_pairs, options);
+
+  const auto test_pairs = MakeAlignmentPairs(12, 999);
+  double pos = 0.0, neg = 0.0;
+  for (size_t i = 0; i < test_pairs.size(); ++i) {
+    const auto chart_rep = model.EncodeChart(test_pairs[i].chart);
+    const auto chart_vec = Pool(chart_rep[0].representation);
+    pos += common::CosineSimilarity(
+        chart_vec, Pool(model.EncodeColumnValues(test_pairs[i].column)));
+    const size_t other = (i + 1) % test_pairs.size();
+    neg += common::CosineSimilarity(
+        chart_vec,
+        Pool(model.EncodeColumnValues(test_pairs[other].column)));
+  }
+  EXPECT_GT(pos / test_pairs.size(), neg / test_pairs.size())
+      << "pretraining should pull matching chart/column pairs together";
+}
+
+}  // namespace
+}  // namespace fcm::core

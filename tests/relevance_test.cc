@@ -1,0 +1,278 @@
+// Tests for src/relevance: DTW distance, Hungarian matching, and the
+// ground-truth Rel(D, T) definition (paper Sec. III-A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "relevance/dtw.h"
+#include "relevance/hungarian.h"
+#include "relevance/relevance.h"
+#include "table/noise.h"
+
+namespace fcm::rel {
+namespace {
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(LowLevelRelevance(a, a), 1.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // DTW([0,1], [0,1,1]) = 0: the trailing 1 aligns with the final 1.
+  EXPECT_DOUBLE_EQ(DtwDistance({0.0, 1.0}, {0.0, 1.0, 1.0}), 0.0);
+  // DTW([0,0], [1,1]) = 2.
+  EXPECT_DOUBLE_EQ(DtwDistance({0.0, 0.0}, {1.0, 1.0}), 2.0);
+}
+
+TEST(DtwTest, SymmetricForFullWindow) {
+  common::Rng rng(1);
+  std::vector<double> a(20), b(30);
+  for (auto& x : a) x = rng.Normal();
+  for (auto& x : b) x = rng.Normal();
+  EXPECT_NEAR(DtwDistance(a, b), DtwDistance(b, a), 1e-9);
+}
+
+TEST(DtwTest, EmptyInputIsInfinite) {
+  EXPECT_TRUE(std::isinf(DtwDistance({}, {1.0})));
+  EXPECT_DOUBLE_EQ(LowLevelRelevance({}, {1.0}), 0.0);
+}
+
+TEST(DtwTest, TimeShiftCheaperThanEuclidean) {
+  // A shifted copy of a spike: DTW should align it at small cost, far
+  // below the pointwise L1 distance.
+  std::vector<double> a(40, 0.0), b(40, 0.0);
+  a[10] = 5.0;
+  b[14] = 5.0;
+  double l1 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) l1 += std::fabs(a[i] - b[i]);
+  EXPECT_LT(DtwDistance(a, b), l1 * 0.5);
+}
+
+TEST(DtwTest, BandIsUpperBoundedByFull) {
+  common::Rng rng(2);
+  std::vector<double> a(50), b(50);
+  for (auto& x : a) x = rng.Normal();
+  for (auto& x : b) x = rng.Normal();
+  DtwOptions banded;
+  banded.band_fraction = 0.1;
+  // A band restricts alignments, so banded DTW >= full DTW.
+  EXPECT_GE(DtwDistance(a, b, banded) + 1e-9, DtwDistance(a, b));
+}
+
+TEST(DtwTest, BandHandlesLengthMismatch) {
+  // Band must be widened to |n-m| or no alignment exists.
+  std::vector<double> a(10, 1.0), b(40, 1.0);
+  DtwOptions banded;
+  banded.band_fraction = 0.05;
+  EXPECT_FALSE(std::isinf(DtwDistance(a, b, banded)));
+}
+
+TEST(DtwTest, ZNormalizeRemovesScaleAndOffset) {
+  std::vector<double> a = {0.0, 1.0, 2.0, 1.0, 0.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(100.0 + 7.0 * x);
+  DtwOptions znorm;
+  znorm.z_normalize = true;
+  EXPECT_NEAR(DtwDistance(a, b, znorm), 0.0, 1e-6);
+  EXPECT_GT(DtwDistance(a, b), 100.0);  // Raw DTW sees the offset.
+}
+
+TEST(DtwTest, MoreNoiseMeansLowerRelevance) {
+  common::Rng rng(3);
+  std::vector<double> base(60);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::sin(static_cast<double>(i) * 0.2) * 10.0;
+  }
+  auto noisy = [&](double amp) {
+    std::vector<double> v = base;
+    for (auto& x : v) x += rng.Normal(0.0, amp);
+    return LowLevelRelevance(base, v);
+  };
+  const double rel_small = noisy(0.1);
+  const double rel_large = noisy(3.0);
+  EXPECT_GT(rel_small, rel_large);
+}
+
+TEST(HungarianTest, IdentityMatrixPicksDiagonal) {
+  const std::vector<std::vector<double>> w = {
+      {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  const auto m = MaxWeightBipartiteMatching(w);
+  EXPECT_DOUBLE_EQ(m.total_weight, 3.0);
+  EXPECT_EQ(m.assignment, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, PrefersGlobalOptimum) {
+  // Greedy would take (0,0)=0.9 then (1,1)=0.1 (total 1.0);
+  // optimal is (0,1)=0.8 + (1,0)=0.8 = 1.6.
+  const std::vector<std::vector<double>> w = {{0.9, 0.8}, {0.8, 0.1}};
+  const auto m = MaxWeightBipartiteMatching(w);
+  EXPECT_DOUBLE_EQ(m.total_weight, 1.6);
+  EXPECT_EQ(m.assignment, (std::vector<int>{1, 0}));
+}
+
+TEST(HungarianTest, RectangularMoreColumns) {
+  const std::vector<std::vector<double>> w = {{0.1, 0.9, 0.2, 0.3}};
+  const auto m = MaxWeightBipartiteMatching(w);
+  EXPECT_EQ(m.assignment[0], 1);
+  EXPECT_DOUBLE_EQ(m.total_weight, 0.9);
+}
+
+TEST(HungarianTest, RectangularMoreRows) {
+  const std::vector<std::vector<double>> w = {{0.5}, {0.9}, {0.2}};
+  const auto m = MaxWeightBipartiteMatching(w);
+  // Only one column: exactly one row matched, the best one.
+  int matched = 0;
+  for (int a : m.assignment) {
+    if (a >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, 1);
+  EXPECT_EQ(m.assignment[1], 0);
+  EXPECT_DOUBLE_EQ(m.total_weight, 0.9);
+}
+
+TEST(HungarianTest, ForbiddenPairsNeverMatched) {
+  const std::vector<std::vector<double>> w = {{-1.0, 0.4}, {-1.0, 0.6}};
+  const auto m = MaxWeightBipartiteMatching(w);
+  for (size_t i = 0; i < m.assignment.size(); ++i) {
+    EXPECT_NE(m.assignment[i], 0) << "row " << i << " matched forbidden col";
+  }
+  EXPECT_DOUBLE_EQ(m.total_weight, 0.6);
+}
+
+TEST(HungarianTest, EmptyInput) {
+  const auto m = MaxWeightBipartiteMatching({});
+  EXPECT_TRUE(m.assignment.empty());
+  EXPECT_DOUBLE_EQ(m.total_weight, 0.0);
+}
+
+// Property: for random matrices, the Hungarian result beats (or ties) a
+// greedy row-by-row assignment.
+class HungarianPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianPropertyTest, BeatsGreedy) {
+  common::Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.UniformInt(6));
+  const int m = 2 + static_cast<int>(rng.UniformInt(6));
+  std::vector<std::vector<double>> w(n, std::vector<double>(m));
+  for (auto& row : w) {
+    for (auto& x : row) x = rng.Uniform();
+  }
+  const auto opt = MaxWeightBipartiteMatching(w);
+  // Greedy assignment.
+  std::vector<bool> used(static_cast<size_t>(m), false);
+  double greedy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int best = -1;
+    for (int j = 0; j < m; ++j) {
+      if (!used[static_cast<size_t>(j)] &&
+          (best < 0 || w[static_cast<size_t>(i)][static_cast<size_t>(j)] >
+                           w[static_cast<size_t>(i)][static_cast<size_t>(best)])) {
+        best = j;
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<size_t>(best)] = true;
+      greedy += w[static_cast<size_t>(i)][static_cast<size_t>(best)];
+    }
+  }
+  EXPECT_GE(opt.total_weight + 1e-9, greedy);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, HungarianPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(RelevanceTest, SourceColumnsScoreHighest) {
+  table::Table t;
+  std::vector<double> c0(50), c1(50);
+  for (size_t i = 0; i < 50; ++i) {
+    c0[i] = std::sin(static_cast<double>(i) * 0.3) * 5.0;
+    c1[i] = static_cast<double>(i) * 0.7 - 10.0;
+  }
+  t.AddColumn(table::Column("c0", c0));
+  t.AddColumn(table::Column("c1", c1));
+
+  table::DataSeries d;
+  d.y = c0;  // Exactly column 0.
+  const auto detail = RelevanceWithMatching({d}, t);
+  EXPECT_EQ(detail.series_to_column[0], 0);
+  EXPECT_DOUBLE_EQ(detail.score, 1.0);  // DTW 0 -> rel 1.
+}
+
+TEST(RelevanceTest, MultiSeriesMatchesDistinctColumns) {
+  table::Table t;
+  std::vector<double> c0(40), c1(40);
+  for (size_t i = 0; i < 40; ++i) {
+    c0[i] = static_cast<double>(i);
+    c1[i] = 40.0 - static_cast<double>(i);
+  }
+  t.AddColumn(table::Column("up", c0));
+  t.AddColumn(table::Column("down", c1));
+  table::DataSeries d0, d1;
+  d0.y = c1;  // Matches "down".
+  d1.y = c0;  // Matches "up".
+  const auto detail = RelevanceWithMatching({d0, d1}, t);
+  EXPECT_EQ(detail.series_to_column[0], 1);
+  EXPECT_EQ(detail.series_to_column[1], 0);
+}
+
+TEST(RelevanceTest, ExcludedColumnNeverMatched) {
+  table::Table t;
+  t.AddColumn(table::Column("x", {1.0, 2.0, 3.0}));
+  t.AddColumn(table::Column("y", {9.0, 8.0, 7.0}));
+  table::DataSeries d;
+  d.y = {1.0, 2.0, 3.0};  // Identical to excluded column 0.
+  RelevanceOptions options;
+  options.exclude_column = 0;
+  const auto detail = RelevanceWithMatching({d}, t, options);
+  EXPECT_EQ(detail.series_to_column[0], 1);
+}
+
+TEST(RelevanceTest, NormalizationDividesBySeriesCount) {
+  table::Table t;
+  t.AddColumn(table::Column("a", {1.0, 2.0}));
+  t.AddColumn(table::Column("b", {5.0, 6.0}));
+  table::DataSeries d0, d1;
+  d0.y = {1.0, 2.0};
+  d1.y = {5.0, 6.0};
+  RelevanceOptions normalized;
+  RelevanceOptions raw;
+  raw.normalize_by_series = false;
+  const double rn = Relevance({d0, d1}, t, normalized);
+  const double rr = Relevance({d0, d1}, t, raw);
+  EXPECT_NEAR(rr, 2.0 * rn, 1e-12);
+}
+
+TEST(RelevanceTest, EmptyInputsScoreZero) {
+  table::Table t;
+  t.AddColumn(table::Column("a", {1.0}));
+  EXPECT_DOUBLE_EQ(Relevance({}, t), 0.0);
+  table::DataSeries d;
+  d.y = {1.0};
+  EXPECT_DOUBLE_EQ(Relevance({d}, table::Table()), 0.0);
+}
+
+TEST(RelevanceTest, NoisyDuplicateBeatsUnrelated) {
+  common::Rng rng(11);
+  std::vector<double> base(80);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::sin(static_cast<double>(i) * 0.15) * 20.0;
+  }
+  table::Table original;
+  original.AddColumn(table::Column("c", base));
+  const table::Table noisy =
+      table::InjectMultiplicativeNoise(original, 0.1, -1, &rng);
+  table::Table unrelated;
+  std::vector<double> other(80);
+  for (auto& x : other) x = rng.Normal(0.0, 20.0);
+  unrelated.AddColumn(table::Column("c", other));
+
+  table::DataSeries d;
+  d.y = base;
+  EXPECT_GT(Relevance({d}, noisy), Relevance({d}, unrelated));
+}
+
+}  // namespace
+}  // namespace fcm::rel

@@ -1,0 +1,301 @@
+// Tests for src/table: Column/Table/DataLake, CSV I/O, aggregation,
+// augmentation, noise injection, x-axis resampling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "table/aggregate.h"
+#include "table/augment.h"
+#include "table/csv.h"
+#include "table/data_lake.h"
+#include "table/noise.h"
+#include "table/resample.h"
+#include "table/table.h"
+
+namespace fcm::table {
+namespace {
+
+Table MakeTable() {
+  Table t;
+  t.set_name("demo");
+  t.AddColumn(Column("a", {1.0, 2.0, 3.0, 4.0}));
+  t.AddColumn(Column("b", {-1.0, 0.0, 1.0, 2.0}));
+  return t;
+}
+
+TEST(ColumnTest, Stats) {
+  Column c("x", {3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(c.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(c.MaxValue(), 3.0);
+  EXPECT_DOUBLE_EQ(c.SumValue(), 6.0);
+  EXPECT_DOUBLE_EQ(c.MeanValue(), 2.0);
+}
+
+TEST(TableTest, Dimensions) {
+  const Table t = MakeTable();
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_TRUE(t.IsRectangular());
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  const Table t = MakeTable();
+  EXPECT_EQ(t.ColumnIndex("b").value(), 1u);
+  EXPECT_FALSE(t.ColumnIndex("zzz").ok());
+}
+
+TEST(TableTest, RaggedIsNotRectangular) {
+  Table t = MakeTable();
+  t.AddColumn(Column("c", {1.0}));
+  EXPECT_FALSE(t.IsRectangular());
+  EXPECT_EQ(t.num_rows(), 4u);  // Longest column.
+}
+
+TEST(DataLakeTest, AddAssignsSequentialIds) {
+  DataLake lake;
+  const TableId a = lake.Add(MakeTable());
+  const TableId b = lake.Add(MakeTable());
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(lake.Get(a).id(), a);
+  EXPECT_EQ(lake.size(), 2u);
+  EXPECT_EQ(lake.TotalColumns(), 4u);
+}
+
+TEST(DataLakeTest, FindByName) {
+  DataLake lake;
+  Table t = MakeTable();
+  t.set_name("unique");
+  lake.Add(std::move(t));
+  EXPECT_EQ(lake.FindByName("unique").value(), 0);
+  EXPECT_FALSE(lake.FindByName("other").ok());
+}
+
+TEST(CsvTest, ParseRoundTrip) {
+  const Table t = MakeTable();
+  const std::string csv = ToCsv(t);
+  auto parsed = ParseCsv(csv, "demo");
+  ASSERT_TRUE(parsed.ok());
+  const Table& p = parsed.value();
+  ASSERT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "a");
+  EXPECT_DOUBLE_EQ(p.column(1).values[3], 2.0);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  EXPECT_FALSE(ParseCsv("a,b\n1,x\n", "t").ok());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n", "t").ok());
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("", "t").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "/tmp/fcm_csv_test.csv";
+  ASSERT_TRUE(SaveCsvFile(MakeTable(), path).ok());
+  auto loaded = LoadCsvFile(path, "demo");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), 4u);
+  std::remove(path.c_str());
+}
+
+// ---- Aggregation (paper Sec. II): parameterized across operators ----
+
+class AggregateOpTest : public ::testing::TestWithParam<AggregateOp> {};
+
+TEST_P(AggregateOpTest, WindowOneIsIdentity) {
+  const std::vector<double> v = {5.0, -1.0, 2.0};
+  EXPECT_EQ(Aggregate(v, GetParam(), 1), v);
+}
+
+TEST_P(AggregateOpTest, OutputLengthIsCeilDiv) {
+  const std::vector<double> v(10, 1.0);
+  if (GetParam() == AggregateOp::kNone) {
+    EXPECT_EQ(Aggregate(v, GetParam(), 3).size(), 10u);
+  } else {
+    EXPECT_EQ(Aggregate(v, GetParam(), 3).size(), 4u);  // ceil(10/3).
+  }
+}
+
+TEST_P(AggregateOpTest, ConstantInputInvariants) {
+  const std::vector<double> v(8, 2.0);
+  const auto out = Aggregate(v, GetParam(), 4);
+  for (double x : out) {
+    if (GetParam() == AggregateOp::kSum) {
+      EXPECT_DOUBLE_EQ(x, 8.0);  // 2.0 * window 4.
+    } else {
+      EXPECT_DOUBLE_EQ(x, 2.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AggregateOpTest,
+    ::testing::Values(AggregateOp::kNone, AggregateOp::kAvg,
+                      AggregateOp::kSum, AggregateOp::kMax,
+                      AggregateOp::kMin),
+    [](const auto& info) { return AggregateOpName(info.param); });
+
+TEST(AggregateTest, KnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(Aggregate(v, AggregateOp::kAvg, 2),
+            (std::vector<double>{1.5, 3.5, 5.0}));
+  EXPECT_EQ(Aggregate(v, AggregateOp::kSum, 2),
+            (std::vector<double>{3.0, 7.0, 5.0}));
+  EXPECT_EQ(Aggregate(v, AggregateOp::kMax, 2),
+            (std::vector<double>{2.0, 4.0, 5.0}));
+  EXPECT_EQ(Aggregate(v, AggregateOp::kMin, 2),
+            (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(AggregateTest, ParseNames) {
+  EXPECT_EQ(ParseAggregateOp("avg").value(), AggregateOp::kAvg);
+  EXPECT_EQ(ParseAggregateOp("none").value(), AggregateOp::kNone);
+  EXPECT_FALSE(ParseAggregateOp("median").ok());
+}
+
+TEST(AggregateTest, MinMaxBoundAvg) {
+  common::Rng rng(3);
+  std::vector<double> v(100);
+  for (auto& x : v) x = rng.Normal();
+  const auto mins = Aggregate(v, AggregateOp::kMin, 7);
+  const auto maxs = Aggregate(v, AggregateOp::kMax, 7);
+  const auto avgs = Aggregate(v, AggregateOp::kAvg, 7);
+  for (size_t i = 0; i < avgs.size(); ++i) {
+    EXPECT_LE(mins[i], avgs[i]);
+    EXPECT_GE(maxs[i], avgs[i]);
+  }
+}
+
+// ---- Augmentation (paper Sec. IV-A) ----
+
+TEST(AugmentTest, ReverseReverses) {
+  const Table t = MakeTable();
+  const Table r = ReverseAugment(t);
+  EXPECT_DOUBLE_EQ(r.column(0).values.front(), 4.0);
+  EXPECT_DOUBLE_EQ(r.column(0).values.back(), 1.0);
+  // Double reverse is identity.
+  const Table rr = ReverseAugment(r);
+  EXPECT_EQ(rr.column(0).values, t.column(0).values);
+}
+
+TEST(AugmentTest, PartitionPreservesValues) {
+  common::Rng rng(5);
+  const Table t = MakeTable();
+  const Table p = PartitionAugment(t, &rng);
+  EXPECT_EQ(p.num_columns(), 4u);  // Each column split in two.
+  // Concatenating the two halves restores the original column.
+  std::vector<double> joined = p.column(0).values;
+  joined.insert(joined.end(), p.column(1).values.begin(),
+                p.column(1).values.end());
+  EXPECT_EQ(joined, t.column(0).values);
+}
+
+TEST(AugmentTest, PartitionKeepsShortColumns) {
+  common::Rng rng(6);
+  Table t;
+  t.AddColumn(Column("single", {1.0}));
+  const Table p = PartitionAugment(t, &rng);
+  EXPECT_EQ(p.num_columns(), 1u);
+}
+
+TEST(AugmentTest, DownSampleKeepsEveryRho) {
+  Table t;
+  t.AddColumn(Column("x", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}));
+  const Table d = DownSampleAugment(t, 3);
+  EXPECT_EQ(d.column(0).values, (std::vector<double>{0.0, 3.0, 6.0}));
+}
+
+TEST(AugmentTest, DownSampleRhoOneIsIdentity) {
+  const Table t = MakeTable();
+  const Table d = DownSampleAugment(t, 1);
+  EXPECT_EQ(d.column(0).values, t.column(0).values);
+}
+
+TEST(AugmentTest, RandomAugmentationsCount) {
+  common::Rng rng(7);
+  const auto augs = RandomAugmentations(MakeTable(), 5, 0.5, &rng);
+  EXPECT_EQ(augs.size(), 5u);
+}
+
+// ---- Noise injection (paper Sec. VII-A) ----
+
+TEST(NoiseTest, NoiseWithinBounds) {
+  common::Rng rng(8);
+  Table t;
+  std::vector<double> vals(200, 10.0);
+  t.AddColumn(Column("x", vals));
+  const Table noisy = InjectMultiplicativeNoise(t, 0.1, -1, &rng);
+  bool any_changed = false;
+  for (double v : noisy.column(0).values) {
+    EXPECT_GE(v, 9.0 - 1e-9);
+    EXPECT_LE(v, 11.0 + 1e-9);
+    any_changed = any_changed || v != 10.0;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(NoiseTest, XColumnExcluded) {
+  common::Rng rng(9);
+  const Table t = MakeTable();
+  const Table noisy = InjectMultiplicativeNoise(t, 0.1, 0, &rng);
+  EXPECT_EQ(noisy.column(0).values, t.column(0).values);
+  EXPECT_NE(noisy.column(1).values, t.column(1).values);
+}
+
+TEST(NoiseTest, DuplicatesAreDistinct) {
+  common::Rng rng(10);
+  const auto dups = MakeNoisyDuplicates(MakeTable(), 3, 0.1, -1, &rng);
+  ASSERT_EQ(dups.size(), 3u);
+  EXPECT_NE(dups[0].column(0).values, dups[1].column(0).values);
+  EXPECT_NE(dups[0].name(), dups[1].name());
+}
+
+// ---- Numerical x-axis resampling (paper Sec. VI-B) ----
+
+TEST(ResampleTest, SortsAndInterpolates) {
+  Table t;
+  t.AddColumn(Column("x", {3.0, 1.0, 2.0}));
+  t.AddColumn(Column("y", {30.0, 10.0, 20.0}));
+  auto r = ResampleByXColumn(t, 0, 5);
+  ASSERT_TRUE(r.ok());
+  const Table& out = r.value();
+  // The x column becomes an even grid over [1, 3].
+  EXPECT_DOUBLE_EQ(out.column(0).values.front(), 1.0);
+  EXPECT_DOUBLE_EQ(out.column(0).values.back(), 3.0);
+  // y is linear in x, so interpolation reproduces y = 10 x.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(out.column(1).values[i], 10.0 * out.column(0).values[i],
+                1e-9);
+  }
+}
+
+TEST(ResampleTest, RejectsConstantX) {
+  Table t;
+  t.AddColumn(Column("x", {1.0, 1.0, 1.0}));
+  t.AddColumn(Column("y", {1.0, 2.0, 3.0}));
+  EXPECT_FALSE(ResampleByXColumn(t, 0, 4).ok());
+}
+
+TEST(ResampleTest, RejectsBadIndexAndTinyTables) {
+  Table t;
+  t.AddColumn(Column("x", {1.0}));
+  EXPECT_FALSE(ResampleByXColumn(t, 5, 4).ok());
+  EXPECT_FALSE(ResampleByXColumn(t, 0, 4).ok());
+}
+
+TEST(ResampleTest, AllDerivationsSkipBadAxes) {
+  Table t;
+  t.AddColumn(Column("const", {2.0, 2.0, 2.0}));
+  t.AddColumn(Column("x", {1.0, 2.0, 3.0}));
+  const auto all = AllXAxisDerivations(t, 4);
+  EXPECT_EQ(all.size(), 1u);  // Only the non-constant column works.
+}
+
+}  // namespace
+}  // namespace fcm::table

@@ -1,0 +1,295 @@
+// Tests for src/vision: pixel analysis stages, the three extractors
+// (mask oracle, classical, learned), and image resizing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chart/linechartseg.h"
+#include "chart/renderer.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "vision/classical_extractor.h"
+#include "vision/image_resize.h"
+#include "vision/learned_extractor.h"
+#include "vision/mask_oracle_extractor.h"
+#include "vision/pixel_analysis.h"
+#include "vision/seg_classifier.h"
+
+namespace fcm::vision {
+namespace {
+
+table::UnderlyingData WaveData(int m, size_t n, double scale = 10.0) {
+  table::UnderlyingData d;
+  for (int i = 0; i < m; ++i) {
+    table::DataSeries s;
+    for (size_t j = 0; j < n; ++j) {
+      s.y.push_back(std::sin(static_cast<double>(j) * 0.12 + 1.7 * i) *
+                        scale +
+                    2.0 * scale * i);
+    }
+    d.push_back(std::move(s));
+  }
+  return d;
+}
+
+TEST(PixelAnalysisTest, ThresholdBinarizes) {
+  const std::vector<float> ink = {0.0f, 0.4f, 0.6f, 1.0f};
+  const PixelMap map = Threshold(ink, 4, 1, 0.5f);
+  EXPECT_FALSE(map.At(0, 0));
+  EXPECT_FALSE(map.At(1, 0));
+  EXPECT_TRUE(map.At(2, 0));
+  EXPECT_TRUE(map.At(3, 0));
+}
+
+TEST(PixelAnalysisTest, DetectAxesOnRenderedChart) {
+  const auto chart = chart::RenderLineChart(WaveData(1, 60));
+  const PixelMap map = Threshold(chart.canvas.ink(), chart.canvas.width(),
+                                 chart.canvas.height());
+  auto axes = DetectAxes(map);
+  ASSERT_TRUE(axes.ok());
+  EXPECT_EQ(axes.value().y_axis_col, chart.plot.left - 1);
+  EXPECT_EQ(axes.value().x_axis_row, chart.plot.bottom + 1);
+}
+
+TEST(PixelAnalysisTest, DetectAxesFailsOnBlank) {
+  PixelMap blank;
+  blank.width = 50;
+  blank.height = 50;
+  blank.on.assign(2500, 0);
+  EXPECT_FALSE(DetectAxes(blank).ok());
+}
+
+TEST(PixelAnalysisTest, TickRowsMatchRenderer) {
+  const auto chart = chart::RenderLineChart(WaveData(1, 60));
+  const PixelMap map = Threshold(chart.canvas.ink(), chart.canvas.width(),
+                                 chart.canvas.height());
+  const auto axes = DetectAxes(map).value();
+  auto rows = DetectTickRows(map, axes);
+  ASSERT_EQ(rows.size(), chart.y_ticks.size());
+  // Detection scans top-to-bottom; the renderer records ticks in value
+  // order (bottom-up). Compare as sorted sets of rows.
+  std::vector<int> expected;
+  for (const auto& tick : chart.y_ticks) expected.push_back(tick.row);
+  std::sort(expected.begin(), expected.end());
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(PixelAnalysisTest, TickLabelOcrReadsValues) {
+  const auto chart = chart::RenderLineChart(WaveData(1, 60));
+  const PixelMap map = Threshold(chart.canvas.ink(), chart.canvas.width(),
+                                 chart.canvas.height());
+  const auto axes = DetectAxes(map).value();
+  for (const auto& tick : chart.y_ticks) {
+    const auto value = ReadTickLabel(map, axes, tick.row);
+    ASSERT_TRUE(value.has_value()) << "tick at row " << tick.row;
+    EXPECT_NEAR(*value, tick.value,
+                std::max(1e-9, std::fabs(tick.value) * 1e-6));
+  }
+}
+
+TEST(PixelAnalysisTest, RowValueMappingFit) {
+  // value = -2 * row + 100.
+  const std::vector<int> rows = {10, 20, 30, 40};
+  const std::vector<double> values = {80.0, 60.0, 40.0, 20.0};
+  const auto fit = FitRowValueMapping(rows, values);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().a, -2.0, 1e-9);
+  EXPECT_NEAR(fit.value().b, 100.0, 1e-9);
+}
+
+TEST(PixelAnalysisTest, RowValueMappingRejectsDegenerate) {
+  EXPECT_FALSE(FitRowValueMapping({5}, {1.0}).ok());
+  EXPECT_FALSE(FitRowValueMapping({5, 5}, {1.0, 2.0}).ok());
+}
+
+TEST(PixelAnalysisTest, InterpolateMissingFillsGaps) {
+  std::vector<double> v = {-1.0, 2.0, -1.0, -1.0, 8.0, -1.0};
+  InterpolateMissing(&v);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);   // Leading copy.
+  EXPECT_DOUBLE_EQ(v[2], 4.0);   // Linear fill.
+  EXPECT_DOUBLE_EQ(v[3], 6.0);
+  EXPECT_DOUBLE_EQ(v[5], 8.0);   // Trailing copy.
+}
+
+TEST(PixelAnalysisTest, TraceLinesSeparatesParallelLines) {
+  // Two horizontal bands, never crossing.
+  std::vector<std::vector<PixelRun>> runs(50);
+  for (auto& col : runs) {
+    col.push_back({10, 11});
+    col.push_back({30, 31});
+  }
+  const auto traced = TraceLines(runs);
+  ASSERT_EQ(traced.size(), 2u);
+  EXPECT_NEAR(traced[0].center_rows[25], 10.5, 0.6);
+  EXPECT_NEAR(traced[1].center_rows[25], 30.5, 0.6);
+}
+
+TEST(PixelAnalysisTest, TraceLinesFollowsThroughCrossing) {
+  // Two lines crossing in the middle: columns at the crossing have one
+  // merged run.
+  std::vector<std::vector<PixelRun>> runs(41);
+  for (int x = 0; x <= 40; ++x) {
+    const int y1 = x;        // Ascending line.
+    const int y2 = 40 - x;   // Descending line.
+    auto& col = runs[static_cast<size_t>(x)];
+    if (std::abs(y1 - y2) <= 1) {
+      col.push_back({std::min(y1, y2), std::max(y1, y2)});
+    } else {
+      col.push_back({std::min(y1, y2), std::min(y1, y2)});
+      col.push_back({std::max(y1, y2), std::max(y1, y2)});
+    }
+  }
+  auto traced = TraceLines(runs);
+  ASSERT_EQ(traced.size(), 2u);
+  for (auto& t : traced) InterpolateMissing(&t.center_rows);
+  // Both endpoints' extremes are covered by the union of the two tracks.
+  const double t0_start = traced[0].center_rows.front();
+  const double t1_start = traced[1].center_rows.front();
+  EXPECT_NEAR(std::min(t0_start, t1_start), 0.0, 1.5);
+  EXPECT_NEAR(std::max(t0_start, t1_start), 40.0, 1.5);
+}
+
+TEST(ImageResizeTest, IdentityWhenSameSize) {
+  const std::vector<float> img = {0.0f, 0.5f, 1.0f, 0.25f};
+  const auto out = ResizeBilinear(img, 2, 2, 2, 2);
+  for (size_t i = 0; i < img.size(); ++i) EXPECT_FLOAT_EQ(out[i], img[i]);
+}
+
+TEST(ImageResizeTest, UpscaleInterpolates) {
+  const std::vector<float> img = {0.0f, 1.0f};
+  const auto out = ResizeBilinear(img, 2, 1, 3, 1);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.5f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+}
+
+TEST(ImageResizeTest, PreservesConstantImages) {
+  const std::vector<float> img(12, 0.7f);
+  const auto out = ResizeBilinear(img, 4, 3, 9, 5);
+  for (float v : out) EXPECT_NEAR(v, 0.7f, 1e-6f);
+}
+
+// ---- Extractors, parameterized over line counts ----
+
+class ExtractorAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtractorAccuracyTest, MaskOracleRecoversValues) {
+  const int m = GetParam();
+  const auto d = WaveData(m, 80);
+  const auto chart = chart::RenderLineChart(d);
+  MaskOracleExtractor oracle;
+  auto result = oracle.Extract(chart);
+  ASSERT_TRUE(result.ok());
+  const auto& ex = result.value();
+  ASSERT_EQ(ex.num_lines(), m);
+  EXPECT_DOUBLE_EQ(ex.y_lo, chart.y_ticks_layout.axis_lo);
+  EXPECT_DOUBLE_EQ(ex.y_hi, chart.y_ticks_layout.axis_hi);
+  // Recovered per-column values track the data within a couple of pixels'
+  // worth of value resolution.
+  const double pixel_value = (ex.y_hi - ex.y_lo) / chart.plot.Height();
+  for (int li = 0; li < m; ++li) {
+    const auto& values = ex.lines[static_cast<size_t>(li)].values;
+    const auto resampled = common::ResampleLinear(d[static_cast<size_t>(li)].y,
+                                                  values.size());
+    double mean_err = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      mean_err += std::fabs(values[i] - resampled[i]);
+    }
+    mean_err /= static_cast<double>(values.size());
+    EXPECT_LT(mean_err, 3.0 * pixel_value) << "line " << li;
+  }
+}
+
+TEST_P(ExtractorAccuracyTest, ClassicalRecoversLineCountAndRange) {
+  const int m = GetParam();
+  const auto d = WaveData(m, 80);
+  const auto chart = chart::RenderLineChart(d);
+  ClassicalExtractor classical;
+  auto result = classical.Extract(chart);
+  ASSERT_TRUE(result.ok());
+  const auto& ex = result.value();
+  EXPECT_EQ(ex.num_lines(), m);
+  // The OCR-calibrated range matches the renderer's axis range closely.
+  const double span = chart.y_ticks_layout.axis_hi -
+                      chart.y_ticks_layout.axis_lo;
+  EXPECT_NEAR(ex.y_lo, chart.y_ticks_layout.axis_lo, 0.06 * span);
+  EXPECT_NEAR(ex.y_hi, chart.y_ticks_layout.axis_hi, 0.06 * span);
+}
+
+INSTANTIATE_TEST_SUITE_P(LineCounts, ExtractorAccuracyTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(ClassicalExtractorTest, ValuesCloseToOracle) {
+  const auto d = WaveData(1, 100);
+  const auto chart = chart::RenderLineChart(d);
+  MaskOracleExtractor oracle;
+  ClassicalExtractor classical;
+  const auto oe = oracle.Extract(chart).value();
+  const auto ce = classical.Extract(chart).value();
+  ASSERT_EQ(oe.num_lines(), ce.num_lines());
+  const auto& ov = oe.lines[0].values;
+  const auto cv = common::ResampleLinear(ce.lines[0].values, ov.size());
+  double mean_err = 0.0;
+  for (size_t i = 0; i < ov.size(); ++i) {
+    mean_err += std::fabs(ov[i] - cv[i]);
+  }
+  mean_err /= static_cast<double>(ov.size());
+  const double pixel_value =
+      (oe.y_hi - oe.y_lo) / chart.plot.Height();
+  EXPECT_LT(mean_err, 4.0 * pixel_value);
+}
+
+TEST(ClassicalExtractorTest, FailsWithoutTickLabels) {
+  chart::ChartStyle style;
+  style.draw_tick_labels = false;
+  const auto chart = chart::RenderLineChart(WaveData(1, 40), style);
+  ClassicalExtractor classical;
+  EXPECT_FALSE(classical.Extract(chart).ok());
+}
+
+TEST(SegClassifierTest, LearnsLineChartSegmentation) {
+  common::Rng rng(21);
+  std::vector<chart::SegExample> train_examples, test_examples;
+  for (int i = 0; i < 6; ++i) {
+    const auto d = WaveData(1 + i % 3, 60 + 10 * i, 5.0 + i);
+    const auto chart = chart::RenderLineChart(d);
+    auto ex = chart::MakeSegExample(chart);
+    if (i < 4) {
+      train_examples.push_back(std::move(ex));
+    } else {
+      test_examples.push_back(std::move(ex));
+    }
+  }
+  SegClassifierConfig config;
+  config.epochs = 6;
+  SegClassifier classifier(config);
+  classifier.Train(train_examples);
+  const double accuracy = classifier.Evaluate(test_examples);
+  EXPECT_GT(accuracy, 0.7) << "pixel accuracy on held-out charts";
+}
+
+TEST(LearnedExtractorTest, EndToEndRecoversLines) {
+  common::Rng rng(22);
+  std::vector<chart::SegExample> train_examples;
+  for (int i = 0; i < 5; ++i) {
+    const auto d = WaveData(1 + i % 2, 70, 8.0 + 2 * i);
+    train_examples.push_back(
+        chart::MakeSegExample(chart::RenderLineChart(d)));
+  }
+  SegClassifier classifier;
+  classifier.Train(train_examples);
+  LearnedExtractor extractor(&classifier);
+
+  const auto d = WaveData(2, 80);
+  const auto chart = chart::RenderLineChart(d);
+  auto result = extractor.Extract(chart);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().num_lines(), 1);
+  EXPECT_LT(result.value().y_lo, result.value().y_hi);
+}
+
+}  // namespace
+}  // namespace fcm::vision
