@@ -46,6 +46,20 @@ void BM_DtwBanded(benchmark::State& state) {
 }
 BENCHMARK(BM_DtwBanded)->Arg(64)->Arg(160)->Arg(320);
 
+void BM_DtwPruned(benchmark::State& state) {
+  // Dissimilar random pairs with a tight cutoff: the LB_Keogh-style
+  // prefilter should reject most pairs in O(n) without running the DP.
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 2);
+  rel::DtwOptions options;
+  options.band_fraction = 0.2;
+  options.abandon_above = 0.05 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel::DtwDistance(a, b, options));
+  }
+}
+BENCHMARK(BM_DtwPruned)->Arg(64)->Arg(160)->Arg(320);
+
 void BM_Hungarian(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   common::Rng rng(3);

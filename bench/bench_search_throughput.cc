@@ -1,0 +1,204 @@
+// Search-pipeline throughput benchmark: index build and batched query
+// serving at 1/2/N threads over a synthetic lake, emitting machine-
+// readable JSON (also written to the path in argv[1] when given) so perf
+// PRs can track the BENCH_*.json trajectory. Parallel and serial paths
+// must return identical top-k rankings; the JSON records the check.
+//
+// Scale knobs: FCM_BENCH_TABLES (default 96), FCM_BENCH_QUERIES (default
+// 24). Runtime is a couple of minutes at the defaults on one core.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chart/renderer.h"
+#include "core/fcm_config.h"
+#include "core/fcm_model.h"
+#include "index/search_engine.h"
+#include "table/data_lake.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+bool SameHits(const std::vector<fcm::index::SearchHit>& a,
+              const std::vector<fcm::index::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].table_id != b[i].table_id || a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_tables = EnvInt("FCM_BENCH_TABLES", 96);
+  const int num_queries = EnvInt("FCM_BENCH_QUERIES", 24);
+  const int k = 10;
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  // Synthetic lake of mixed sinusoid tables (same substrate as the index
+  // tests, scaled up).
+  fcm::table::DataLake lake;
+  for (int i = 0; i < num_tables; ++i) {
+    fcm::table::Table t;
+    for (int c = 0; c < 3; ++c) {
+      std::vector<double> v(96);
+      for (size_t j = 0; j < v.size(); ++j) {
+        v[j] = std::sin(static_cast<double>(j) * (0.03 + 0.011 * (i % 17)) +
+                        1.3 * c) *
+                   (2.0 + (i % 7)) +
+               0.8 * c;
+      }
+      t.AddColumn(fcm::table::Column("c" + std::to_string(c), std::move(v)));
+    }
+    lake.Add(std::move(t));
+  }
+
+  fcm::core::FcmConfig config;
+  config.embed_dim = 16;
+  config.num_layers = 1;
+  config.strip_height = 16;
+  config.strip_width = 64;
+  config.line_segment_width = 16;
+  config.column_length = 64;
+  config.data_segment_size = 16;
+  fcm::core::FcmModel model(config);
+
+  std::vector<fcm::vision::ExtractedChart> queries;
+  fcm::vision::MaskOracleExtractor oracle;
+  for (int q = 0; q < num_queries; ++q) {
+    fcm::table::DataSeries d;
+    d.y = lake.Get(q % num_tables).column(q % 3).values;
+    queries.push_back(oracle.Extract(fcm::chart::RenderLineChart({d})).value());
+  }
+
+  // ---- Index build at each thread count ----
+  std::vector<int> thread_counts = {1, 2, hardware};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  struct BuildRow {
+    int threads;
+    double seconds;
+  };
+  std::vector<BuildRow> builds;
+  std::vector<std::unique_ptr<fcm::index::SearchEngine>> engines;
+  for (int threads : thread_counts) {
+    fcm::index::SearchEngineOptions options;
+    options.num_threads = threads;
+    auto engine = std::make_unique<fcm::index::SearchEngine>(&model, &lake);
+    const auto t0 = Clock::now();
+    engine->BuildWithOptions(options);
+    builds.push_back({threads, Seconds(t0)});
+    engines.push_back(std::move(engine));
+  }
+  fcm::index::SearchEngine& serial_engine = *engines.front();
+
+  const auto strategy = fcm::index::IndexStrategy::kNoIndex;
+
+  // ---- Per-query serving on the serial engine (baseline) ----
+  const auto t_serial = Clock::now();
+  std::vector<std::vector<fcm::index::SearchHit>> serial_results;
+  serial_results.reserve(queries.size());
+  for (const auto& q : queries) {
+    serial_results.push_back(serial_engine.Search(q, k, strategy));
+  }
+  const double serial_seconds = Seconds(t_serial);
+
+  // ---- Batched serving at each thread count ----
+  struct SearchRow {
+    int threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<SearchRow> searches;
+  for (size_t e = 0; e < engines.size(); ++e) {
+    const auto t0 = Clock::now();
+    const auto results = engines[e]->SearchBatch(queries, k, strategy);
+    const double secs = Seconds(t0);
+    bool identical = results.size() == serial_results.size();
+    for (size_t i = 0; identical && i < results.size(); ++i) {
+      identical = SameHits(results[i], serial_results[i]);
+    }
+    searches.push_back({thread_counts[e], secs, identical});
+  }
+
+  // ---- JSON report ----
+  std::string json = "{\n";
+  json += "  \"bench\": \"search_throughput\",\n";
+  json += "  \"tables\": " + std::to_string(num_tables) + ",\n";
+  json += "  \"queries\": " + std::to_string(num_queries) + ",\n";
+  json += "  \"k\": " + std::to_string(k) + ",\n";
+  json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
+  json += "  \"build\": [\n";
+  char buf[256];
+  for (size_t i = 0; i < builds.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"seconds\": %.4f, \"speedup\": "
+                  "%.3f}%s\n",
+                  builds[i].threads, builds[i].seconds,
+                  builds[0].seconds / std::max(builds[i].seconds, 1e-9),
+                  i + 1 < builds.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"search_single_query\": {\"threads\": 1, \"seconds\": "
+                "%.4f, \"qps\": %.2f},\n",
+                serial_seconds,
+                static_cast<double>(queries.size()) /
+                    std::max(serial_seconds, 1e-9));
+  json += buf;
+  json += "  \"search_batch\": [\n";
+  for (size_t i = 0; i < searches.size(); ++i) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"threads\": %d, \"seconds\": %.4f, \"qps\": %.2f, "
+        "\"speedup_vs_single\": %.3f, \"identical_topk\": %s}%s\n",
+        searches[i].threads, searches[i].seconds,
+        static_cast<double>(queries.size()) /
+            std::max(searches[i].seconds, 1e-9),
+        serial_seconds / std::max(searches[i].seconds, 1e-9),
+        searches[i].identical ? "true" : "false",
+        i + 1 < searches.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  bool all_identical = true;
+  for (const auto& s : searches) all_identical = all_identical && s.identical;
+  return all_identical ? 0 : 2;
+}

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace fcm::common {
+
+// One ParallelFor invocation. Workers claim contiguous index chunks with a
+// single fetch_add; the batch stays on the pending queue until exhausted so
+// every idle worker can join it. `fn` is only dereferenced for indices
+// claimed while next < n, and the owner blocks until next >= n with no
+// worker inside, so the pointer never outlives the call.
+struct ThreadPool::Batch {
+  size_t n = 0;
+  size_t chunk = 1;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int workers_inside = 0;        // Guarded by mu.
+  std::exception_ptr error;      // Guarded by mu; first failure wins.
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::max(num_threads, 1);
+  // The caller participates in every batch, so concurrency num_threads_
+  // needs only num_threads_ - 1 workers.
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this]() { return shutdown_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // Shutdown with nothing in flight.
+      batch = pending_.front();
+      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
+        pending_.pop();  // Exhausted; retire it and look again.
+        continue;
+      }
+    }
+    RunBatch(batch);
+  }
+}
+
+void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
+  {
+    std::lock_guard<std::mutex> lk(batch->mu);
+    ++batch->workers_inside;
+  }
+  for (;;) {
+    const size_t start = batch->next.fetch_add(batch->chunk);
+    if (start >= batch->n) break;
+    const size_t end = std::min(batch->n, start + batch->chunk);
+    try {
+      for (size_t i = start; i < end; ++i) (*batch->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(batch->mu);
+      if (!batch->error) batch->error = std::current_exception();
+      batch->next.store(batch->n);  // Abandon the remaining iterations.
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(batch->mu);
+    --batch->workers_inside;
+  }
+  batch->cv.notify_all();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);  // Exceptions propagate directly.
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  // ~4 chunks per thread balances load without contending on every index.
+  batch->chunk = std::max<size_t>(
+      1, n / (static_cast<size_t>(num_threads_) * 4));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.push(batch);
+  }
+  cv_.notify_all();
+  RunBatch(batch);
+  std::unique_lock<std::mutex> lk(batch->mu);
+  batch->cv.wait(lk, [&batch]() {
+    return batch->workers_inside == 0 &&
+           batch->next.load(std::memory_order_relaxed) >= batch->n;
+  });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace fcm::common

@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a deterministic ParallelFor/ParallelMap:
+// work items are identified by index, results land in index order, and the
+// computation per index is byte-identical to a serial loop — parallelism
+// only changes wall-clock time, never output. Used by the search engine to
+// fan out per-table encoding and candidate scoring.
+
+#ifndef FCM_COMMON_THREAD_POOL_H_
+#define FCM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fcm::common {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 picks std::thread::hardware_concurrency(). A pool
+  /// of 1 runs everything inline on the calling thread (no workers), which
+  /// keeps single-threaded configurations free of scheduling overhead.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n). Blocks until all iterations finish
+  /// (the calling thread participates). Iterations may run in any order on
+  /// any worker; callers must make fn(i) touch only index-i state. If any
+  /// iteration throws, the first exception (in completion order) is
+  /// rethrown here after all workers drain.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Deterministic map: out[i] = fn(i), in index order regardless of the
+  /// execution schedule.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Batch;  // One ParallelFor invocation in flight.
+
+  void WorkerLoop();
+  static void RunBatch(const std::shared_ptr<Batch>& batch);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::shared_ptr<Batch>> pending_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fcm::common
+
+#endif  // FCM_COMMON_THREAD_POOL_H_

@@ -17,6 +17,18 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Top-k of a (candidate-ordered) score array, ties resolved by input
+/// order exactly as the pre-batch serial loop did.
+std::vector<SearchHit> RankHits(std::vector<SearchHit> hits, int k) {
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
+                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
+                      return a.score > b.score;
+                    });
+  hits.resize(keep);
+  return hits;
+}
+
 }  // namespace
 
 const char* IndexStrategyName(IndexStrategy s) {
@@ -54,33 +66,52 @@ void SearchEngine::Build(const LshConfig& lsh_config) {
 
 void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   options_ = options;
+  pool_ = std::make_unique<common::ThreadPool>(options.num_threads);
+
+  // Encoding dominates build time and is embarrassingly parallel: each
+  // table's encodings and mean embeddings depend only on that table, so
+  // the fan-out is bit-identical to a serial loop over tables.
   const auto t_encode = std::chrono::steady_clock::now();
-  encodings_.clear();
-  encodings_.reserve(lake_->size());
-  derivations_.assign(lake_->size(), {});
-  for (const auto& t : lake_->tables()) {
-    encodings_.push_back(core::FcmModel::Detach(model_->EncodeDataset(t)));
+  const auto& tables = lake_->tables();
+  entries_.assign(lake_->size(), {});
+  pool_->ParallelFor(tables.size(), [&](size_t i) {
+    const auto& t = tables[i];
+    TableEntry entry;
+    entry.encoding = core::FcmModel::Detach(model_->EncodeDataset(t));
+    entry.column_means.reserve(entry.encoding.size());
+    for (const auto& enc : entry.encoding) {
+      entry.column_means.push_back(MeanEmbedding(enc.representation));
+    }
     if (options_.index_x_derivations) {
       // Sec. VI-B: derive T' per candidate x column and encode each.
-      auto& per_table = derivations_[static_cast<size_t>(t.id())];
       for (const auto& derived : table::AllXAxisDerivations(
                t, static_cast<size_t>(options_.x_derivation_grid))) {
-        per_table.push_back(
-            core::FcmModel::Detach(model_->EncodeDataset(derived)));
+        auto rep = core::FcmModel::Detach(model_->EncodeDataset(derived));
+        std::vector<std::vector<float>> means;
+        means.reserve(rep.size());
+        for (const auto& enc : rep) {
+          means.push_back(MeanEmbedding(enc.representation));
+        }
+        entry.derivations.push_back(std::move(rep));
+        entry.derivation_means.push_back(std::move(means));
       }
     }
-  }
+    entries_[static_cast<size_t>(t.id())] = std::move(entry);
+  });
   build_stats_.encode_seconds = Seconds(t_encode);
 
   // Interval tree over per-column possible ranges [min(C), sum(C)] —
   // including every derivation's intervals when enabled (Sec. VI-B (2)).
+  // Consumed serially in table order so the index layout is independent
+  // of the encoding schedule.
   const auto t_interval = std::chrono::steady_clock::now();
   std::vector<Interval> intervals;
   for (const auto& t : lake_->tables()) {
-    for (const auto& enc : encodings_[static_cast<size_t>(t.id())]) {
+    const auto& entry = entries_[static_cast<size_t>(t.id())];
+    for (const auto& enc : entry.encoding) {
       intervals.push_back({enc.range_lo, enc.range_hi, t.id()});
     }
-    for (const auto& derived : derivations_[static_cast<size_t>(t.id())]) {
+    for (const auto& derived : entry.derivations) {
       for (const auto& enc : derived) {
         intervals.push_back({enc.range_lo, enc.range_hi, t.id()});
       }
@@ -90,17 +121,18 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   build_stats_.interval_build_seconds = Seconds(t_interval);
   build_stats_.interval_memory_bytes = interval_tree_->MemoryBytes();
 
-  // LSH over mean column embeddings (plus derivation embeddings).
+  // LSH over the cached mean column embeddings (plus derivation means).
   const auto t_lsh = std::chrono::steady_clock::now();
   lsh_ = std::make_unique<RandomHyperplaneLsh>(model_->config().embed_dim,
                                                options_.lsh);
   for (const auto& t : lake_->tables()) {
-    for (const auto& enc : encodings_[static_cast<size_t>(t.id())]) {
-      lsh_->Insert(MeanEmbedding(enc.representation), t.id());
+    const auto& entry = entries_[static_cast<size_t>(t.id())];
+    for (const auto& mean : entry.column_means) {
+      lsh_->Insert(mean, t.id());
     }
-    for (const auto& derived : derivations_[static_cast<size_t>(t.id())]) {
-      for (const auto& enc : derived) {
-        lsh_->Insert(MeanEmbedding(enc.representation), t.id());
+    for (const auto& means : entry.derivation_means) {
+      for (const auto& mean : means) {
+        lsh_->Insert(mean, t.id());
       }
     }
   }
@@ -108,7 +140,8 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   build_stats_.lsh_memory_bytes = lsh_->MemoryBytes();
 
   FCM_LOGS(INFO) << "SearchEngine built over " << lake_->size()
-                 << " tables (encode " << build_stats_.encode_seconds
+                 << " tables with " << pool_->num_threads() << " threads"
+                 << " (encode " << build_stats_.encode_seconds
                  << "s, interval " << build_stats_.interval_build_seconds
                  << "s, lsh " << build_stats_.lsh_build_seconds << "s)";
 }
@@ -150,42 +183,123 @@ std::vector<table::TableId> SearchEngine::Candidates(
   return out;
 }
 
+bool SearchEngine::ScoreCandidate(const core::ChartRepresentation& chart_rep,
+                                  const vision::ExtractedChart& query,
+                                  table::TableId id, double* score) const {
+  const auto& entry = entries_[static_cast<size_t>(id)];
+  if (entry.encoding.empty()) return false;
+  double s =
+      model_->ScoreEncoded(chart_rep, entry.encoding, query.y_lo, query.y_hi);
+  // Sec. VI-B (1): a table's score is the max over its derivations.
+  for (const auto& derived : entry.derivations) {
+    if (derived.empty()) continue;
+    s = std::max(s, model_->ScoreEncoded(chart_rep, derived, query.y_lo,
+                                         query.y_hi));
+  }
+  *score = s;
+  return true;
+}
+
 std::vector<SearchHit> SearchEngine::Search(
     const vision::ExtractedChart& query, int k, IndexStrategy strategy,
     QueryStats* stats) const {
-  FCM_CHECK(!encodings_.empty());
+  FCM_CHECK(!entries_.empty());
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<SearchHit> hits;
   if (query.lines.empty()) {
     if (stats != nullptr) *stats = {0, Seconds(t0)};
-    return hits;
+    return {};
   }
   const core::ChartRepresentation chart_rep =
       core::FcmModel::Detach(model_->EncodeChart(query));
   const auto candidates = Candidates(query, chart_rep, strategy);
+
+  // Candidates are scored independently; slots keep candidate order so the
+  // ranking (including tie order) matches the serial loop exactly.
+  std::vector<double> scores(candidates.size());
+  std::vector<char> valid(candidates.size(), 0);
+  pool_->ParallelFor(candidates.size(), [&](size_t i) {
+    valid[i] = ScoreCandidate(chart_rep, query, candidates[i], &scores[i])
+                   ? 1
+                   : 0;
+  });
+  std::vector<SearchHit> hits;
   hits.reserve(candidates.size());
-  for (table::TableId id : candidates) {
-    const auto& enc = encodings_[static_cast<size_t>(id)];
-    if (enc.empty()) continue;
-    double score =
-        model_->ScoreEncoded(chart_rep, enc, query.y_lo, query.y_hi);
-    // Sec. VI-B (1): a table's score is the max over its derivations.
-    for (const auto& derived : derivations_[static_cast<size_t>(id)]) {
-      if (derived.empty()) continue;
-      score = std::max(score, model_->ScoreEncoded(chart_rep, derived,
-                                                   query.y_lo, query.y_hi));
-    }
-    hits.push_back({id, score});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (valid[i]) hits.push_back({candidates[i], scores[i]});
   }
   const size_t scored = hits.size();
-  const size_t keep = std::min<size_t>(static_cast<size_t>(k), hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
-                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
-                    });
-  hits.resize(keep);
+  hits = RankHits(std::move(hits), k);
   if (stats != nullptr) *stats = {scored, Seconds(t0)};
   return hits;
+}
+
+std::vector<std::vector<SearchHit>> SearchEngine::SearchBatch(
+    const std::vector<vision::ExtractedChart>& queries, int k,
+    IndexStrategy strategy, std::vector<QueryStats>* stats) const {
+  FCM_CHECK(!entries_.empty());
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t q = queries.size();
+  std::vector<std::vector<SearchHit>> results(q);
+  if (stats != nullptr) stats->assign(q, {});
+  if (q == 0) return results;
+
+  // Stage 1: encode every chart and enumerate its candidates (one pool
+  // dispatch for the whole batch).
+  struct QueryPlan {
+    core::ChartRepresentation chart_rep;
+    std::vector<table::TableId> candidates;
+    size_t offset = 0;  // Start of this query's slice in the flat arrays.
+  };
+  std::vector<QueryPlan> plans(q);
+  pool_->ParallelFor(q, [&](size_t i) {
+    if (queries[i].lines.empty()) return;
+    plans[i].chart_rep =
+        core::FcmModel::Detach(model_->EncodeChart(queries[i]));
+    plans[i].candidates = Candidates(queries[i], plans[i].chart_rep, strategy);
+  });
+
+  // Stage 2: score all (query, candidate) pairs through one flat dispatch,
+  // which keeps every worker busy even when individual candidate sets are
+  // small — the heavy-traffic serving shape.
+  size_t total = 0;
+  for (auto& plan : plans) {
+    plan.offset = total;
+    total += plan.candidates.size();
+  }
+  std::vector<double> scores(total);
+  std::vector<char> valid(total, 0);
+  std::vector<size_t> pair_query(total);
+  for (size_t i = 0; i < q; ++i) {
+    for (size_t c = 0; c < plans[i].candidates.size(); ++c) {
+      pair_query[plans[i].offset + c] = i;
+    }
+  }
+  pool_->ParallelFor(total, [&](size_t p) {
+    const QueryPlan& plan = plans[pair_query[p]];
+    const table::TableId id = plan.candidates[p - plan.offset];
+    valid[p] = ScoreCandidate(plan.chart_rep, queries[pair_query[p]], id,
+                              &scores[p])
+                   ? 1
+                   : 0;
+  });
+
+  // Stage 3: per-query assembly and ranking, identical to Search.
+  pool_->ParallelFor(q, [&](size_t i) {
+    const QueryPlan& plan = plans[i];
+    std::vector<SearchHit> hits;
+    hits.reserve(plan.candidates.size());
+    for (size_t c = 0; c < plan.candidates.size(); ++c) {
+      const size_t p = plan.offset + c;
+      if (valid[p]) hits.push_back({plan.candidates[c], scores[p]});
+    }
+    if (stats != nullptr) (*stats)[i].candidates_scored = hits.size();
+    results[i] = RankHits(std::move(hits), k);
+  });
+  if (stats != nullptr) {
+    const double elapsed = Seconds(t0);
+    for (auto& s : *stats) s.seconds = elapsed;
+  }
+  return results;
 }
 
 }  // namespace fcm::index

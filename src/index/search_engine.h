@@ -1,5 +1,11 @@
 // End-to-end query processing (paper Sec. VI-A): optional interval-tree
 // and LSH candidate pruning followed by FCM re-ranking of the survivors.
+//
+// Heavy stages fan out over a fixed thread pool: per-table encoding at
+// build time and per-candidate scoring at query time. Parallel execution
+// is bit-identical to the serial path — tables and candidates are scored
+// independently and consumed in deterministic order — so rankings never
+// depend on the thread count.
 
 #ifndef FCM_INDEX_SEARCH_ENGINE_H_
 #define FCM_INDEX_SEARCH_ENGINE_H_
@@ -7,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/fcm_model.h"
 #include "index/interval_tree.h"
 #include "index/lsh.h"
@@ -52,6 +59,9 @@ struct SearchEngineOptions {
   bool index_x_derivations = false;
   /// Grid size for the derivations.
   int x_derivation_grid = 128;
+  /// Worker threads for build-time encoding and query-time scoring;
+  /// <= 0 uses the hardware concurrency, 1 runs fully serial.
+  int num_threads = 0;
 };
 
 /// Owns the per-table FCM encodings (computed once, detached) plus both
@@ -63,13 +73,23 @@ class SearchEngine {
   /// Encodes every dataset and builds the interval tree + LSH index.
   void Build(const LshConfig& lsh_config = {});
 
-  /// Build with full options (x-derivation indexing etc.).
+  /// Build with full options (x-derivation indexing, thread count etc.).
   void BuildWithOptions(const SearchEngineOptions& options);
 
   /// Top-k search with the chosen pruning strategy.
   std::vector<SearchHit> Search(const vision::ExtractedChart& query, int k,
                                 IndexStrategy strategy,
                                 QueryStats* stats = nullptr) const;
+
+  /// Batched top-k search: answers every query with the same semantics as
+  /// Search (identical hits and scores) while amortizing thread-pool
+  /// dispatch across the batch — chart encoding, candidate scoring, and
+  /// ranking each fan out once for the whole batch. `stats`, when given,
+  /// receives one entry per query; QueryStats::seconds reports the whole
+  /// batch's wall time for every query (per-query times overlap).
+  std::vector<std::vector<SearchHit>> SearchBatch(
+      const std::vector<vision::ExtractedChart>& queries, int k,
+      IndexStrategy strategy, std::vector<QueryStats>* stats = nullptr) const;
 
   const BuildStats& build_stats() const { return build_stats_; }
 
@@ -78,20 +98,34 @@ class SearchEngine {
   static std::vector<float> MeanEmbedding(const nn::Tensor& rep);
 
  private:
+  /// Everything cached for one table: detached encodings plus each
+  /// encoding's mean embedding, computed once at build time (the means
+  /// feed every LSH insert instead of being recomputed per insert).
+  struct TableEntry {
+    core::DatasetRepresentation encoding;
+    std::vector<std::vector<float>> column_means;  // Parallel to encoding.
+    std::vector<core::DatasetRepresentation> derivations;
+    std::vector<std::vector<std::vector<float>>> derivation_means;
+  };
+
   std::vector<table::TableId> Candidates(
       const vision::ExtractedChart& query,
       const core::ChartRepresentation& chart_rep,
       IndexStrategy strategy) const;
 
+  /// Rel'(V, T) for one candidate (max over the table's derivations), or
+  /// false when the table has no encodable columns.
+  bool ScoreCandidate(const core::ChartRepresentation& chart_rep,
+                      const vision::ExtractedChart& query, table::TableId id,
+                      double* score) const;
+
   const core::FcmModel* model_;
   const table::DataLake* lake_;
   SearchEngineOptions options_;
-  std::vector<core::DatasetRepresentation> encodings_;  // Indexed by id.
-  /// Per table id: encodings of its x-axis derivations (empty unless
-  /// index_x_derivations).
-  std::vector<std::vector<core::DatasetRepresentation>> derivations_;
+  std::vector<TableEntry> entries_;  // Indexed by table id.
   std::unique_ptr<IntervalTree> interval_tree_;
   std::unique_ptr<RandomHyperplaneLsh> lsh_;
+  std::unique_ptr<common::ThreadPool> pool_;
   BuildStats build_stats_;
 };
 

@@ -154,46 +154,89 @@ Tensor AddRowBroadcast(const Tensor& m, const Tensor& row) {
   return out;
 }
 
+namespace {
+
+// Cache tile edge for the blocked GEMM loops (floats; 64 x 64 tiles of
+// a and b stay within L1/L2 alongside the running output rows).
+constexpr int kMatMulBlock = 64;
+
+// out[n,m] += a[n,k] * b[k,m], blocked over (i, kk) tiles. Within a tile
+// the inner j loop walks contiguous rows of b and out, which gcc/clang
+// auto-vectorize; blocking keeps the b tile cache-resident across the
+// tile's rows. Accumulation order over kk is ascending for every (i, j),
+// exactly like the naive ikj loop, so results are bit-identical.
+void GemmAccumulate(const float* a, const float* b, float* out, int n, int k,
+                    int m) {
+  for (int i0 = 0; i0 < n; i0 += kMatMulBlock) {
+    const int i1 = std::min(n, i0 + kMatMulBlock);
+    for (int k0 = 0; k0 < k; k0 += kMatMulBlock) {
+      const int k1 = std::min(k, k0 + kMatMulBlock);
+      for (int i = i0; i < i1; ++i) {
+        float* orow = out + static_cast<size_t>(i) * m;
+        const float* arow = a + static_cast<size_t>(i) * k;
+        for (int kk = k0; kk < k1; ++kk) {
+          const float aik = arow[kk];
+          if (aik == 0.0f) continue;
+          const float* brow = b + static_cast<size_t>(kk) * m;
+          for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// out[n,k] += g[n,m] * b[k,m]^T: rows of g and b are contiguous, so each
+// (i, kk) cell is a vectorizable dot product, and the g row stays cached
+// across the kk sweep.
+void GemmAccumulateBt(const float* g, const float* b, float* out, int n,
+                      int k, int m) {
+  for (int i = 0; i < n; ++i) {
+    const float* grow = g + static_cast<size_t>(i) * m;
+    float* orow = out + static_cast<size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float* brow = b + static_cast<size_t>(kk) * m;
+      float acc = 0.0f;
+      for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+      orow[kk] += acc;
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int n = Rows(a), k = Cols(a);
   FCM_CHECK_EQ(Rows(b), k);
   const int m = Cols(b);
   Tensor out = MakeOpResult({n, m}, {a.node_ptr(), b.node_ptr()});
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  auto& ov = out.data();
-  // ikj loop order for cache-friendly access to b.
-  for (int i = 0; i < n; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = av[static_cast<size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const size_t brow = static_cast<size_t>(kk) * m;
-      const size_t orow = static_cast<size_t>(i) * m;
-      for (int j = 0; j < m; ++j) ov[orow + j] += aik * bv[brow + j];
-    }
-  }
+  GemmAccumulate(a.data().data(), b.data().data(), out.data().data(), n, k,
+                 m);
   if (out.requires_grad()) {
     TensorNode* on = out.node();
     TensorNode* an = a.node();
     TensorNode* bn = b.node();
     on->backward_fn = [on, an, bn, n, k, m]() {
-      // dA = dOut * B^T ; dB = A^T * dOut.
-      for (int i = 0; i < n; ++i) {
-        const size_t orow = static_cast<size_t>(i) * m;
-        for (int kk = 0; kk < k; ++kk) {
-          const size_t brow = static_cast<size_t>(kk) * m;
-          float acc = 0.0f;
-          for (int j = 0; j < m; ++j) acc += on->grad[orow + j] * bn->data[brow + j];
-          an->grad[static_cast<size_t>(i) * k + kk] += acc;
-        }
-      }
-      for (int kk = 0; kk < k; ++kk) {
-        const size_t brow = static_cast<size_t>(kk) * m;
-        for (int i = 0; i < n; ++i) {
-          const float aik = an->data[static_cast<size_t>(i) * k + kk];
-          if (aik == 0.0f) continue;
-          const size_t orow = static_cast<size_t>(i) * m;
-          for (int j = 0; j < m; ++j) bn->grad[brow + j] += aik * on->grad[orow + j];
+      // dA += dOut * B^T ; dB += A^T * dOut.
+      GemmAccumulateBt(on->grad.data(), bn->data.data(), an->grad.data(), n,
+                       k, m);
+      // dB: iterate (kk, i) tiles so dB rows accumulate over i ascending —
+      // the same order as the naive loops — with contiguous saxpy inners.
+      const float* ad = an->data.data();
+      const float* gd = on->grad.data();
+      float* bg = bn->grad.data();
+      for (int k0 = 0; k0 < k; k0 += kMatMulBlock) {
+        const int k1 = std::min(k, k0 + kMatMulBlock);
+        for (int i0 = 0; i0 < n; i0 += kMatMulBlock) {
+          const int i1 = std::min(n, i0 + kMatMulBlock);
+          for (int kk = k0; kk < k1; ++kk) {
+            float* bgrow = bg + static_cast<size_t>(kk) * m;
+            for (int i = i0; i < i1; ++i) {
+              const float aik = ad[static_cast<size_t>(i) * k + kk];
+              if (aik == 0.0f) continue;
+              const float* grow = gd + static_cast<size_t>(i) * m;
+              for (int j = 0; j < m; ++j) bgrow[j] += aik * grow[j];
+            }
+          }
         }
       }
     };

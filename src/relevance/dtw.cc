@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <deque>
 
 #include "common/math_util.h"
 
 namespace fcm::rel {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 std::vector<double> ZNormalize(const std::vector<double>& v) {
   const double m = common::Mean(v);
@@ -19,46 +21,125 @@ std::vector<double> ZNormalize(const std::vector<double>& v) {
   return out;
 }
 
-}  // namespace
-
-double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
-                   const DtwOptions& options) {
-  if (a.empty() || b.empty()) {
-    return std::numeric_limits<double>::infinity();
-  }
-  std::vector<double> x = a, y = b;
-  if (options.z_normalize) {
-    x = ZNormalize(x);
-    y = ZNormalize(y);
-  }
-  const size_t n = x.size(), m = y.size();
-  const double inf = std::numeric_limits<double>::infinity();
-
+/// Band half-width implied by the options for series of lengths n and m:
+/// at least |n - m| so a valid alignment exists, all of max(n, m) when the
+/// band is disabled.
+size_t BandWidth(const DtwOptions& options, size_t n, size_t m) {
   size_t band = std::max(n, m);
   if (options.band_fraction >= 0.0) {
     band = static_cast<size_t>(
         std::ceil(options.band_fraction * static_cast<double>(std::max(n, m))));
-    // The band must be at least |n - m| for a valid alignment to exist.
     const size_t min_band = n > m ? n - m : m - n;
     band = std::max(band, min_band);
   }
+  return band;
+}
 
+/// LB_Keogh-style bound on the banded DTW: every warping path matches
+/// position i of x to at least one j with |i - j| <= band, so
+/// sum_i min_{j in band} |x[i] - y[j]| — computed against y's sliding
+/// min/max envelope with monotonic deques — never exceeds the DTW cost.
+double EnvelopeLowerBound(const std::vector<double>& x,
+                          const std::vector<double>& y, size_t band,
+                          double abandon_above) {
+  const size_t n = x.size(), m = y.size();
+  // Monotonic index deques over y for the window [i - band, i + band].
+  std::deque<size_t> max_q, min_q;
+  size_t next = 0;  // First y index not yet pushed.
+  double lb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = (i > band) ? i - band : 0;
+    const size_t j_hi = std::min(m - 1, i + band);  // Window is non-empty.
+    while (next <= j_hi) {
+      while (!max_q.empty() && y[max_q.back()] <= y[next]) max_q.pop_back();
+      max_q.push_back(next);
+      while (!min_q.empty() && y[min_q.back()] >= y[next]) min_q.pop_back();
+      min_q.push_back(next);
+      ++next;
+    }
+    while (max_q.front() < j_lo) max_q.pop_front();
+    while (min_q.front() < j_lo) min_q.pop_front();
+    const double hi = y[max_q.front()], lo = y[min_q.front()];
+    if (x[i] > hi) {
+      lb += x[i] - hi;
+    } else if (x[i] < lo) {
+      lb += lo - x[i];
+    }
+    if (lb >= abandon_above) return lb;  // Already past the cutoff.
+  }
+  return lb;
+}
+
+double BandedDtw(const std::vector<double>& x, const std::vector<double>& y,
+                 size_t band, double abandon_above) {
+  const size_t n = x.size(), m = y.size();
   // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
-  std::vector<double> prev(m + 1, inf), cur(m + 1, inf);
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
   prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), inf);
+    std::fill(cur.begin(), cur.end(), kInf);
     const size_t j_lo = (i > band) ? i - band : 1;
     const size_t j_hi = std::min(m, i + band);
+    double row_min = kInf;
     for (size_t j = j_lo; j <= j_hi; ++j) {
       const double cost = std::fabs(x[i - 1] - y[j - 1]);
-      const double best =
-          std::min({prev[j], cur[j - 1], prev[j - 1]});
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
       cur[j] = cost + best;
+      row_min = std::min(row_min, cur[j]);
     }
+    // Every warping path passes through row i and costs are non-negative,
+    // so row_min lower-bounds the final distance: abandon once it clears
+    // the cutoff (kInf cutoff never triggers).
+    if (row_min >= abandon_above) return kInf;
     std::swap(prev, cur);
   }
   return prev[m];
+}
+
+}  // namespace
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   const DtwOptions& options) {
+  if (a.empty() || b.empty()) return kInf;
+  // Normalized copies are made only when requested; the common raw-value
+  // path aliases the inputs directly.
+  std::vector<double> xn, yn;
+  if (options.z_normalize) {
+    xn = ZNormalize(a);
+    yn = ZNormalize(b);
+  }
+  const std::vector<double>& x = options.z_normalize ? xn : a;
+  const std::vector<double>& y = options.z_normalize ? yn : b;
+  const size_t band = BandWidth(options, x.size(), y.size());
+
+  if (options.abandon_above < kInf) {
+    // O(n + m) envelope prefilter from both sides before the O(n*m) DP.
+    if (EnvelopeLowerBound(x, y, band, options.abandon_above) >=
+        options.abandon_above) {
+      return kInf;
+    }
+    if (EnvelopeLowerBound(y, x, band, options.abandon_above) >=
+        options.abandon_above) {
+      return kInf;
+    }
+  }
+  return BandedDtw(x, y, band, options.abandon_above);
+}
+
+double DtwLowerBound(const std::vector<double>& a,
+                     const std::vector<double>& b,
+                     const DtwOptions& options) {
+  if (a.empty() || b.empty()) return kInf;
+  std::vector<double> xn, yn;
+  if (options.z_normalize) {
+    xn = ZNormalize(a);
+    yn = ZNormalize(b);
+  }
+  const std::vector<double>& x = options.z_normalize ? xn : a;
+  const std::vector<double>& y = options.z_normalize ? yn : b;
+  const size_t band = BandWidth(options, x.size(), y.size());
+  return std::max(EnvelopeLowerBound(x, y, band, kInf),
+                  EnvelopeLowerBound(y, x, band, kInf));
 }
 
 double LowLevelRelevance(const std::vector<double>& d,

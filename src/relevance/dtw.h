@@ -1,10 +1,18 @@
 // Dynamic Time Warping distance (paper Sec. III-A), used to define the
 // ground-truth low-level relevance rel(d, C) = 1 / (1 + DTW(d, C)).
+//
+// Bulk scans can prune most pairs without running the O(n*m) DP: setting
+// DtwOptions::abandon_above to a finite cutoff enables an LB_Keogh-style
+// envelope lower bound (O(n+m)) plus row-wise early abandoning inside the
+// DP. Pruning is exact — whenever the true distance is below the cutoff
+// the returned value is identical to the unpruned computation; pairs at or
+// above the cutoff may return +infinity instead of their exact distance.
 
 #ifndef FCM_RELEVANCE_DTW_H_
 #define FCM_RELEVANCE_DTW_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace fcm::rel {
@@ -18,6 +26,12 @@ struct DtwOptions {
   /// paper's ground truth uses raw values; normalization is provided for
   /// the Qetch*-style baselines and ablations.
   bool z_normalize = false;
+  /// Distances at or above this cutoff may be reported as +infinity
+  /// (pruned before or during the DP); distances below it are exact.
+  /// The default (+infinity) disables pruning entirely. For relevance
+  /// scans that ignore rel(d, C) below some floor r, the matching cutoff
+  /// is 1/r - 1.
+  double abandon_above = std::numeric_limits<double>::infinity();
 };
 
 /// DTW distance with absolute-difference local cost. Empty inputs give
@@ -25,7 +39,18 @@ struct DtwOptions {
 double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
                    const DtwOptions& options = {});
 
-/// Low-level relevance rel(d, C) = 1 / (1 + DTW(d, C)) in (0, 1].
+/// The LB_Keogh-style envelope lower bound on DtwDistance(a, b, options)
+/// under the same band (and z-normalization): sum over positions of a of
+/// the distance to b's banded min/max envelope. Runs in O(n + m). Exposed
+/// for tests and custom scan loops; DtwDistance applies it automatically
+/// when abandon_above is finite.
+double DtwLowerBound(const std::vector<double>& a,
+                     const std::vector<double>& b,
+                     const DtwOptions& options = {});
+
+/// Low-level relevance rel(d, C) = 1 / (1 + DTW(d, C)) in (0, 1]. With a
+/// finite abandon_above, pairs whose relevance falls below
+/// 1 / (1 + abandon_above) may return 0 instead of their tiny exact value.
 double LowLevelRelevance(const std::vector<double>& d,
                          const std::vector<double>& c,
                          const DtwOptions& options = {});

@@ -246,6 +246,137 @@ TEST_F(SearchEngineTest, EmptyQueryReturnsNothing) {
   EXPECT_TRUE(hits.empty());
 }
 
+// ---- Parallel vs serial equivalence ----
+
+class ParallelSearchEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 10; ++i) {
+      table::Table t;
+      for (int c = 0; c < 3; ++c) {
+        std::vector<double> v(60);
+        for (size_t j = 0; j < v.size(); ++j) {
+          v[j] = std::cos(static_cast<double>(j) * (0.04 + 0.03 * i) + c) *
+                     (2.0 + i) +
+                 1.5 * c;
+        }
+        t.AddColumn(table::Column("c" + std::to_string(c), std::move(v)));
+      }
+      lake_.Add(std::move(t));
+    }
+    core::FcmConfig config;
+    config.embed_dim = 16;
+    config.num_layers = 1;
+    config.strip_height = 16;
+    config.strip_width = 64;
+    config.line_segment_width = 16;
+    config.column_length = 64;
+    config.data_segment_size = 16;
+    model_ = std::make_unique<core::FcmModel>(config);
+
+    SearchEngineOptions serial_options;
+    serial_options.num_threads = 1;
+    serial_ = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    serial_->BuildWithOptions(serial_options);
+
+    SearchEngineOptions parallel_options;
+    parallel_options.num_threads = 4;
+    parallel_ = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    parallel_->BuildWithOptions(parallel_options);
+
+    for (int q = 0; q < 3; ++q) {
+      table::DataSeries d;
+      d.y = lake_.Get(q * 3).column(q % 3).values;
+      const auto chart = chart::RenderLineChart({d});
+      vision::MaskOracleExtractor oracle;
+      queries_.push_back(oracle.Extract(chart).value());
+    }
+  }
+
+  static void ExpectSameHits(const std::vector<SearchHit>& a,
+                             const std::vector<SearchHit>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].table_id, b[i].table_id) << "rank " << i;
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << "rank " << i;
+    }
+  }
+
+  table::DataLake lake_;
+  std::unique_ptr<core::FcmModel> model_;
+  std::unique_ptr<SearchEngine> serial_, parallel_;
+  std::vector<vision::ExtractedChart> queries_;
+};
+
+TEST_F(ParallelSearchEngineTest, SearchIdenticalAcrossThreadCounts) {
+  for (const auto strategy :
+       {IndexStrategy::kNoIndex, IndexStrategy::kIntervalTree,
+        IndexStrategy::kLsh, IndexStrategy::kHybrid}) {
+    for (const auto& query : queries_) {
+      QueryStats ss, ps;
+      const auto s = serial_->Search(query, 5, strategy, &ss);
+      const auto p = parallel_->Search(query, 5, strategy, &ps);
+      ExpectSameHits(s, p);
+      EXPECT_EQ(ss.candidates_scored, ps.candidates_scored);
+    }
+  }
+}
+
+TEST_F(ParallelSearchEngineTest, SearchBatchMatchesPerQuerySearch) {
+  for (const auto strategy :
+       {IndexStrategy::kNoIndex, IndexStrategy::kHybrid}) {
+    std::vector<QueryStats> batch_stats;
+    const auto batched =
+        parallel_->SearchBatch(queries_, 4, strategy, &batch_stats);
+    ASSERT_EQ(batched.size(), queries_.size());
+    ASSERT_EQ(batch_stats.size(), queries_.size());
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      QueryStats single_stats;
+      const auto single =
+          serial_->Search(queries_[q], 4, strategy, &single_stats);
+      ExpectSameHits(single, batched[q]);
+      EXPECT_EQ(batch_stats[q].candidates_scored,
+                single_stats.candidates_scored);
+    }
+  }
+}
+
+TEST_F(ParallelSearchEngineTest, SearchBatchHandlesEmptyQueries) {
+  std::vector<vision::ExtractedChart> queries = queries_;
+  queries.insert(queries.begin() + 1, vision::ExtractedChart{});
+  std::vector<QueryStats> stats;
+  const auto results =
+      parallel_->SearchBatch(queries, 3, IndexStrategy::kNoIndex, &stats);
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_TRUE(results[1].empty());
+  EXPECT_EQ(stats[1].candidates_scored, 0u);
+  ExpectSameHits(results[0],
+                 serial_->Search(queries[0], 3, IndexStrategy::kNoIndex));
+  EXPECT_TRUE(
+      parallel_->SearchBatch({}, 3, IndexStrategy::kNoIndex).empty());
+}
+
+TEST_F(ParallelSearchEngineTest, XDerivationBuildIdenticalAcrossThreads) {
+  SearchEngineOptions base;
+  base.index_x_derivations = true;
+  base.x_derivation_grid = 64;
+
+  SearchEngineOptions serial_options = base;
+  serial_options.num_threads = 1;
+  SearchEngine serial_engine(model_.get(), &lake_);
+  serial_engine.BuildWithOptions(serial_options);
+
+  SearchEngineOptions parallel_options = base;
+  parallel_options.num_threads = 4;
+  SearchEngine parallel_engine(model_.get(), &lake_);
+  parallel_engine.BuildWithOptions(parallel_options);
+
+  for (const auto& query : queries_) {
+    ExpectSameHits(serial_engine.Search(query, 5, IndexStrategy::kNoIndex),
+                   parallel_engine.Search(query, 5, IndexStrategy::kNoIndex));
+  }
+}
+
 TEST(MeanEmbeddingTest, AveragesRows) {
   nn::Tensor rep = nn::Tensor::FromVector({2, 3}, {1, 2, 3, 3, 4, 5});
   const auto mean = SearchEngine::MeanEmbedding(rep);

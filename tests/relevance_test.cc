@@ -96,6 +96,77 @@ TEST(DtwTest, MoreNoiseMeansLowerRelevance) {
   EXPECT_GT(rel_small, rel_large);
 }
 
+TEST(DtwPruningTest, LowerBoundNeverExceedsDistance) {
+  common::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> a(40 + trial), b(55);
+    for (auto& x : a) x = rng.Normal(0.0, 5.0);
+    for (auto& x : b) x = rng.Normal(1.0, 5.0);
+    for (const double band : {-1.0, 0.05, 0.2}) {
+      DtwOptions options;
+      options.band_fraction = band;
+      EXPECT_LE(DtwLowerBound(a, b, options),
+                DtwDistance(a, b, options) + 1e-9)
+          << "trial " << trial << " band " << band;
+    }
+  }
+}
+
+TEST(DtwPruningTest, ExactBelowCutoff) {
+  common::Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> a(50), b(50);
+    for (auto& x : a) x = rng.Normal(0.0, 3.0);
+    for (auto& x : b) x = rng.Normal(0.0, 3.0);
+    DtwOptions exact;
+    exact.band_fraction = 0.1;
+    const double d = DtwDistance(a, b, exact);
+    DtwOptions pruned = exact;
+    pruned.abandon_above = d + 1.0;  // Cutoff above the true distance.
+    EXPECT_DOUBLE_EQ(DtwDistance(a, b, pruned), d);
+  }
+}
+
+TEST(DtwPruningTest, AbandonsAboveCutoff) {
+  // Series far apart: any cutoff well under the true distance must prune.
+  std::vector<double> a(100, 0.0), b(100, 50.0);
+  DtwOptions options;
+  options.abandon_above = 10.0;
+  EXPECT_TRUE(std::isinf(DtwDistance(a, b, options)));
+  EXPECT_DOUBLE_EQ(LowLevelRelevance(a, b, options), 0.0);
+}
+
+TEST(DtwPruningTest, PrunedRelevanceMatchesWhenAboveFloor) {
+  common::Rng rng(13);
+  std::vector<double> base(60);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::sin(static_cast<double>(i) * 0.15) * 4.0;
+  }
+  std::vector<double> close = base;
+  for (auto& x : close) x += rng.Normal(0.0, 0.2);
+  const double floor = 0.01;  // rel >= floor <=> dist <= 1/floor - 1.
+  DtwOptions pruned;
+  pruned.abandon_above = 1.0 / floor - 1.0;
+  const double exact = LowLevelRelevance(base, close);
+  ASSERT_GT(exact, floor);
+  EXPECT_DOUBLE_EQ(LowLevelRelevance(base, close, pruned), exact);
+}
+
+TEST(DtwPruningTest, ZNormalizedPruningConsistent) {
+  std::vector<double> a(40), b(40);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(static_cast<double>(i) * 0.3);
+    b[i] = 100.0 + 5.0 * std::sin(static_cast<double>(i) * 0.3);
+  }
+  DtwOptions znorm;
+  znorm.z_normalize = true;
+  const double d = DtwDistance(a, b, znorm);
+  DtwOptions pruned = znorm;
+  pruned.abandon_above = d + 0.5;
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, pruned), d);
+  EXPECT_LE(DtwLowerBound(a, b, znorm), d + 1e-9);
+}
+
 TEST(HungarianTest, IdentityMatrixPicksDiagonal) {
   const std::vector<std::vector<double>> w = {
       {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};

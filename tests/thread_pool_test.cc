@@ -1,0 +1,107 @@
+// Tests for common::ThreadPool: deterministic result ordering, exception
+// propagation, pool reuse, and degenerate sizes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fcm::common {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> counts(n);
+  pool.ParallelFor(n, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapKeepsIndexOrder) {
+  ThreadPool pool(4);
+  const size_t n = 5000;
+  const auto out =
+      pool.ParallelMap<int>(n, [](size_t i) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(out.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ThreadPoolTest, MatchesSerialResult) {
+  ThreadPool serial(1), parallel(8);
+  const size_t n = 2000;
+  auto fn = [](size_t i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < 50; ++j) {
+      acc += static_cast<double>(i * 31 + j) * 1e-3;
+    }
+    return acc;
+  };
+  EXPECT_EQ(serial.ParallelMap<double>(n, fn),
+            parallel.ParallelMap<double>(n, fn));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [](size_t i) {
+                                  if (i == 613) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAfterException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.ParallelFor(100, [](size_t) { throw std::runtime_error("x"); }),
+        std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.ParallelFor(100, [&](size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(64, [&](size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  pool.ParallelFor(16, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace fcm::common

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds Release, runs the throughput bench suite, and writes
+# BENCH_<date>.json at the repo root — the perf trajectory consumed by
+# future performance PRs. Usage: tools/run_benchmarks.sh [build_dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-"$REPO_ROOT/build"}"
+OUT="$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target bench_search_throughput -j"$(nproc)"
+
+"$BUILD_DIR/bench_search_throughput" "$OUT"
+echo "wrote $OUT"
