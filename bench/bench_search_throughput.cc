@@ -1,11 +1,14 @@
 // Search-pipeline throughput benchmark: index build and batched query
-// serving at 1/2/N threads over a synthetic lake, emitting machine-
-// readable JSON (also written to the path in argv[1] when given) so perf
-// PRs can track the BENCH_*.json trajectory. Parallel and serial paths
-// must return identical top-k rankings; the JSON records the check.
+// serving at 1/2/N threads over a synthetic lake, plus sharded-LSH build
+// and candidate-generation phases, emitting machine-readable JSON (also
+// written to the path in argv[1] when given) so perf PRs can track the
+// BENCH_*.json trajectory. Parallel/sharded and serial/unsharded paths
+// must return identical candidates and top-k rankings; the JSON records
+// every check and the exit code is nonzero when any fails.
 //
 // Scale knobs: FCM_BENCH_TABLES (default 96), FCM_BENCH_QUERIES (default
-// 24). Runtime is a couple of minutes at the defaults on one core.
+// 24), FCM_BENCH_LSH_ITEMS (default 20000). Runtime is a couple of
+// minutes at the defaults on one core.
 
 #include <algorithm>
 #include <chrono>
@@ -18,8 +21,11 @@
 #include <vector>
 
 #include "chart/renderer.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/fcm_config.h"
 #include "core/fcm_model.h"
+#include "index/lsh.h"
 #include "index/search_engine.h"
 #include "table/data_lake.h"
 #include "vision/mask_oracle_extractor.h"
@@ -48,14 +54,37 @@ bool SameHits(const std::vector<fcm::index::SearchHit>& a,
   return true;
 }
 
+bool SameHitLists(const std::vector<std::vector<fcm::index::SearchHit>>& a,
+                  const std::vector<std::vector<fcm::index::SearchHit>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameHits(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<float>> RandomEmbeddings(int n, int dim,
+                                                 uint64_t seed) {
+  fcm::common::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<size_t>(n));
+  for (auto& v : out) {
+    v.resize(static_cast<size_t>(dim));
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int num_tables = EnvInt("FCM_BENCH_TABLES", 96);
   const int num_queries = EnvInt("FCM_BENCH_QUERIES", 24);
+  const int lsh_items = EnvInt("FCM_BENCH_LSH_ITEMS", 20000);
   const int k = 10;
   const int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  bool all_identical = true;
+  char buf[256];
 
   // Synthetic lake of mixed sinusoid tables (same substrate as the index
   // tests, scaled up).
@@ -93,25 +122,41 @@ int main(int argc, char** argv) {
     queries.push_back(oracle.Extract(fcm::chart::RenderLineChart({d})).value());
   }
 
-  // ---- Index build at each thread count ----
+  // ---- Index build at each (threads, shards) configuration ----
+  // num_shards 0 resolves to the thread count; the final row pins a single
+  // shard at full thread count to isolate the sharded-build effect.
+  struct EngineConfig {
+    int threads;
+    int shards;  // 0 = resolve to threads.
+  };
   std::vector<int> thread_counts = {1, 2, hardware};
   std::sort(thread_counts.begin(), thread_counts.end());
-  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
-                      thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  std::vector<EngineConfig> engine_configs;
+  for (int threads : thread_counts) engine_configs.push_back({threads, 0});
+  if (hardware > 1) engine_configs.push_back({hardware, 1});
 
   struct BuildRow {
     int threads;
+    int shards;
     double seconds;
+    double lsh_seconds;
   };
   std::vector<BuildRow> builds;
   std::vector<std::unique_ptr<fcm::index::SearchEngine>> engines;
-  for (int threads : thread_counts) {
+  for (const auto& ec : engine_configs) {
     fcm::index::SearchEngineOptions options;
-    options.num_threads = threads;
+    options.num_threads = ec.threads;
+    options.lsh.num_shards = ec.shards;
     auto engine = std::make_unique<fcm::index::SearchEngine>(&model, &lake);
     const auto t0 = Clock::now();
     engine->BuildWithOptions(options);
-    builds.push_back({threads, Seconds(t0)});
+    // Record the resolved (power-of-two) shard count, not the request —
+    // the trajectory file must label configurations accurately.
+    builds.push_back({ec.threads, engine->build_stats().lsh_shards,
+                      Seconds(t0), engine->build_stats().lsh_build_seconds});
     engines.push_back(std::move(engine));
   }
   fcm::index::SearchEngine& serial_engine = *engines.front();
@@ -127,9 +172,10 @@ int main(int argc, char** argv) {
   }
   const double serial_seconds = Seconds(t_serial);
 
-  // ---- Batched serving at each thread count ----
+  // ---- Batched serving at each configuration ----
   struct SearchRow {
     int threads;
+    int shards;
     double seconds;
     bool identical;
   };
@@ -138,12 +184,81 @@ int main(int argc, char** argv) {
     const auto t0 = Clock::now();
     const auto results = engines[e]->SearchBatch(queries, k, strategy);
     const double secs = Seconds(t0);
-    bool identical = results.size() == serial_results.size();
-    for (size_t i = 0; identical && i < results.size(); ++i) {
-      identical = SameHits(results[i], serial_results[i]);
-    }
-    searches.push_back({thread_counts[e], secs, identical});
+    const bool identical = SameHitLists(results, serial_results);
+    all_identical = all_identical && identical;
+    searches.push_back(
+        {builds[e].threads, builds[e].shards, secs, identical});
   }
+
+  // ---- Ranking determinism across shard and thread counts ----
+  // For the strategies that consult the LSH index, every engine's batched
+  // ranking (including tie order) must equal the serial engine's
+  // per-query ranking.
+  struct DeterminismRow {
+    const char* strategy;
+    bool identical;
+  };
+  std::vector<DeterminismRow> determinism;
+  for (const auto s : {fcm::index::IndexStrategy::kLsh,
+                       fcm::index::IndexStrategy::kHybrid}) {
+    std::vector<std::vector<fcm::index::SearchHit>> reference;
+    reference.reserve(queries.size());
+    for (const auto& q : queries) {
+      reference.push_back(serial_engine.Search(q, k, s));
+    }
+    bool identical = true;
+    for (auto& engine : engines) {
+      identical =
+          identical && SameHitLists(engine->SearchBatch(queries, k, s),
+                                    reference);
+    }
+    all_identical = all_identical && identical;
+    determinism.push_back({fcm::index::IndexStrategyName(s), identical});
+  }
+
+  // ---- Sharded LSH build + candidate generation (index layer only) ----
+  // The engine-level lake keeps LSH build in the microseconds, so this
+  // phase scales the index layer alone: one batch insert of `lsh_items`
+  // embeddings, unsharded (legacy serial) vs sharded across the pool,
+  // then batched candidate generation on both indexes.
+  fcm::index::LshConfig lsh_base;
+  lsh_base.num_bits = 16;
+  lsh_base.num_tables = 8;
+  const int lsh_dim = 32;
+  const auto embeddings = RandomEmbeddings(lsh_items, lsh_dim, 101);
+  const auto lsh_queries = RandomEmbeddings(256, lsh_dim, 102);
+  std::vector<fcm::index::LshInsertItem> items(embeddings.size());
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    // Three consecutive columns per synthetic table.
+    items[i] = {&embeddings[i], static_cast<int64_t>(i / 3)};
+  }
+  fcm::common::ThreadPool lsh_pool(hardware);
+
+  auto unsharded_config = lsh_base;
+  unsharded_config.num_shards = 1;
+  fcm::index::RandomHyperplaneLsh unsharded(lsh_dim, unsharded_config);
+  const auto t_unsharded = Clock::now();
+  unsharded.InsertBatch(items, &lsh_pool);
+  const double unsharded_build = Seconds(t_unsharded);
+
+  // max(2, ...) keeps the sharded code path exercised (and the candidate
+  // equivalence check meaningful) even on a single-core machine, where it
+  // would otherwise collapse onto the serial fallback.
+  auto sharded_config = lsh_base;
+  sharded_config.num_shards = std::max(2, hardware);
+  fcm::index::RandomHyperplaneLsh sharded(lsh_dim, sharded_config);
+  const auto t_sharded = Clock::now();
+  sharded.InsertBatch(items, &lsh_pool);
+  const double sharded_build = Seconds(t_sharded);
+
+  const auto t_query_serial = Clock::now();
+  const auto unsharded_hits = unsharded.QueryBatch(lsh_queries, nullptr);
+  const double query_serial_seconds = Seconds(t_query_serial);
+  const auto t_query_batch = Clock::now();
+  const auto sharded_hits = sharded.QueryBatch(lsh_queries, &lsh_pool);
+  const double query_batch_seconds = Seconds(t_query_batch);
+  const bool candidates_identical = sharded_hits == unsharded_hits;
+  all_identical = all_identical && candidates_identical;
 
   // ---- JSON report ----
   std::string json = "{\n";
@@ -153,12 +268,12 @@ int main(int argc, char** argv) {
   json += "  \"k\": " + std::to_string(k) + ",\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
   json += "  \"build\": [\n";
-  char buf[256];
   for (size_t i = 0; i < builds.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
-                  "    {\"threads\": %d, \"seconds\": %.4f, \"speedup\": "
-                  "%.3f}%s\n",
-                  builds[i].threads, builds[i].seconds,
+                  "    {\"threads\": %d, \"shards\": %d, \"seconds\": %.4f, "
+                  "\"lsh_seconds\": %.5f, \"speedup\": %.3f}%s\n",
+                  builds[i].threads, builds[i].shards, builds[i].seconds,
+                  builds[i].lsh_seconds,
                   builds[0].seconds / std::max(builds[i].seconds, 1e-9),
                   i + 1 < builds.size() ? "," : "");
     json += buf;
@@ -175,9 +290,10 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < searches.size(); ++i) {
     std::snprintf(
         buf, sizeof(buf),
-        "    {\"threads\": %d, \"seconds\": %.4f, \"qps\": %.2f, "
-        "\"speedup_vs_single\": %.3f, \"identical_topk\": %s}%s\n",
-        searches[i].threads, searches[i].seconds,
+        "    {\"threads\": %d, \"shards\": %d, \"seconds\": %.4f, "
+        "\"qps\": %.2f, \"speedup_vs_single\": %.3f, "
+        "\"identical_topk\": %s}%s\n",
+        searches[i].threads, searches[i].shards, searches[i].seconds,
         static_cast<double>(queries.size()) /
             std::max(searches[i].seconds, 1e-9),
         serial_seconds / std::max(searches[i].seconds, 1e-9),
@@ -185,7 +301,48 @@ int main(int argc, char** argv) {
         i + 1 < searches.size() ? "," : "");
     json += buf;
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  json += "  \"ranking_determinism\": [\n";
+  for (size_t i = 0; i < determinism.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"strategy\": \"%s\", \"identical_topk\": %s}%s\n",
+                  determinism[i].strategy,
+                  determinism[i].identical ? "true" : "false",
+                  i + 1 < determinism.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"lsh_index\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"items\": %d, \"dim\": %d, \"tables\": %d, "
+                "\"bits\": %d,\n",
+                lsh_items, lsh_dim, lsh_base.num_tables, lsh_base.num_bits);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"build\": [\n      {\"shards\": 1, \"seconds\": "
+                "%.4f},\n      {\"shards\": %d, \"seconds\": %.4f, "
+                "\"speedup_vs_unsharded\": %.3f}\n    ],\n",
+                unsharded_build, sharded.num_shards(), sharded_build,
+                unsharded_build / std::max(sharded_build, 1e-9));
+  json += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"candidate_generation\": [\n      {\"shards\": 1, \"threads\": "
+      "1, \"seconds\": %.4f, \"qps\": %.1f},\n      {\"shards\": %d, "
+      "\"threads\": %d, \"seconds\": %.4f, \"qps\": %.1f, "
+      "\"speedup_vs_serial\": %.3f}\n    ],\n",
+      query_serial_seconds,
+      static_cast<double>(lsh_queries.size()) /
+          std::max(query_serial_seconds, 1e-9),
+      sharded.num_shards(), hardware, query_batch_seconds,
+      static_cast<double>(lsh_queries.size()) /
+          std::max(query_batch_seconds, 1e-9),
+      query_serial_seconds / std::max(query_batch_seconds, 1e-9));
+  json += buf;
+  std::snprintf(buf, sizeof(buf), "    \"identical_candidates\": %s\n  }\n",
+                candidates_identical ? "true" : "false");
+  json += buf;
+  json += "}\n";
 
   std::fputs(json.c_str(), stdout);
   if (argc > 1) {
@@ -198,7 +355,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
-  bool all_identical = true;
-  for (const auto& s : searches) all_identical = all_identical && s.identical;
   return all_identical ? 0 : 2;
 }

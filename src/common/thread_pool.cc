@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/check.h"
+
 namespace fcm::common {
 
 // One ParallelFor invocation. Workers claim contiguous index chunks with a
@@ -84,6 +86,24 @@ void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
     --batch->workers_inside;
   }
   batch->cv.notify_all();
+}
+
+void ThreadPool::ParallelForSharded(
+    size_t n, size_t num_shards, const std::function<size_t(size_t)>& shard_of,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  FCM_CHECK_GT(num_shards, 0);  // Zero shards would silently drop the work.
+  // Deterministic routing pass: per-shard index lists in increasing order,
+  // independent of the pool size.
+  std::vector<std::vector<size_t>> routed(num_shards);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t s = shard_of(i);
+    FCM_CHECK_LT(s, num_shards);
+    routed[s].push_back(i);
+  }
+  ParallelFor(num_shards, [&](size_t s) {
+    for (size_t i : routed[s]) fn(s, i);
+  });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

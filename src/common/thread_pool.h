@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -45,6 +46,19 @@ class ThreadPool {
     ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
     return out;
   }
+
+  /// ParallelFor with per-shard state: every index in [0, n) is routed to
+  /// shard `shard_of(i)` (a value in [0, num_shards)), then fn(shard, i)
+  /// runs for each index with all of one shard's indices visited in
+  /// increasing order by a single worker at a time. fn may therefore
+  /// mutate shard-local state without locks, and whatever state it builds
+  /// is identical to the serial loop `for i: fn(shard_of(i), i)` — the
+  /// schedule only decides which worker owns which shard. Routing runs
+  /// serially on the caller, so keep shard_of cheap (e.g. a lookup of
+  /// precomputed codes).
+  void ParallelForSharded(size_t n, size_t num_shards,
+                          const std::function<size_t(size_t)>& shard_of,
+                          const std::function<void(size_t, size_t)>& fn);
 
  private:
   struct Batch;  // One ParallelFor invocation in flight.

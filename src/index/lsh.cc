@@ -1,10 +1,24 @@
 #include "index/lsh.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
 
 namespace fcm::index {
+
+namespace {
+
+/// Shared tail of Query/QueryBatch: collapse raw probe hits to the sorted
+/// unique payload list the public API promises.
+std::vector<int64_t> SortedUnique(std::vector<int64_t> hits) {
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+}  // namespace
 
 RandomHyperplaneLsh::RandomHyperplaneLsh(int dim, const LshConfig& config)
     : dim_(dim), config_(config) {
@@ -19,7 +33,25 @@ RandomHyperplaneLsh::RandomHyperplaneLsh(int dim, const LshConfig& config)
     h.resize(static_cast<size_t>(dim));
     for (auto& v : h) v = static_cast<float>(rng.Normal());
   }
-  tables_.resize(static_cast<size_t>(config.num_tables));
+  int requested = config.num_shards;
+  if (requested <= 0) {
+    requested =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  shard_bits_ = 0;
+  while ((1 << shard_bits_) < requested && shard_bits_ < config.num_bits &&
+         shard_bits_ < 16) {
+    ++shard_bits_;
+  }
+  num_shards_ = 1 << shard_bits_;
+  config_.num_shards = num_shards_;
+  shards_.resize(static_cast<size_t>(config.num_tables) * num_shards_);
+}
+
+size_t RandomHyperplaneLsh::ShardOf(uint64_t code) const {
+  return shard_bits_ == 0
+             ? 0
+             : static_cast<size_t>(code >> (config_.num_bits - shard_bits_));
 }
 
 uint64_t RandomHyperplaneLsh::Code(const std::vector<float>& embedding,
@@ -39,40 +71,119 @@ uint64_t RandomHyperplaneLsh::Code(const std::vector<float>& embedding,
   return code;
 }
 
+void RandomHyperplaneLsh::InsertCoded(int t, uint64_t code, int64_t payload) {
+  auto& bucket =
+      shards_[static_cast<size_t>(t) * num_shards_ + ShardOf(code)][code];
+  if (!bucket.empty() && bucket.back() == payload) return;
+  bucket.push_back(payload);
+}
+
 void RandomHyperplaneLsh::Insert(const std::vector<float>& embedding,
                                  int64_t payload) {
   for (int t = 0; t < config_.num_tables; ++t) {
-    tables_[static_cast<size_t>(t)][Code(embedding, t)].push_back(payload);
+    InsertCoded(t, Code(embedding, t), payload);
   }
   ++num_items_;
 }
 
+void RandomHyperplaneLsh::InsertBatch(const std::vector<LshInsertItem>& items,
+                                      common::ThreadPool* pool) {
+  if (items.empty()) return;
+  if (pool == nullptr || num_shards_ == 1) {
+    // A single shard has no per-shard locality to exploit: keep the legacy
+    // serial build, which `num_shards == 1` promises to reproduce exactly.
+    for (const auto& item : items) Insert(*item.embedding, item.payload);
+    return;
+  }
+  const size_t tables = static_cast<size_t>(config_.num_tables);
+  // Stage 1: per-(item, table) codes — the dot products dominate the build
+  // and are embarrassingly parallel.
+  std::vector<uint64_t> codes(items.size() * tables);
+  pool->ParallelFor(items.size(), [&](size_t i) {
+    for (size_t t = 0; t < tables; ++t) {
+      codes[i * tables + t] = Code(*items[i].embedding, static_cast<int>(t));
+    }
+  });
+  // Stage 2: (table, shard) tasks insert the pairs routed to them. Within
+  // one shard pairs arrive in increasing flat index, i.e. item order, so
+  // each bucket fills exactly as the serial loop would.
+  pool->ParallelForSharded(
+      codes.size(), tables * static_cast<size_t>(num_shards_),
+      [&](size_t p) {
+        return (p % tables) * num_shards_ + ShardOf(codes[p]);
+      },
+      [&](size_t /*shard*/, size_t p) {
+        InsertCoded(static_cast<int>(p % tables), codes[p],
+                    items[p / tables].payload);
+      });
+  num_items_ += items.size();
+}
+
+void RandomHyperplaneLsh::ProbeTable(int table, uint64_t code,
+                                     std::vector<int64_t>* out) const {
+  // Probing in ascending bit order is already shard-grouped: flipping a
+  // bit below the shard prefix keeps the code in the query's home shard,
+  // so the home shard takes the bulk of the lookups consecutively and
+  // each top-bit flip then touches exactly one foreign shard. The final
+  // sorted-unique merge makes the visit order invisible to callers.
+  const auto probe_one = [&](uint64_t probe) {
+    const auto& buckets =
+        shards_[static_cast<size_t>(table) * num_shards_ + ShardOf(probe)];
+    auto it = buckets.find(probe);
+    if (it == buckets.end()) return;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  };
+  probe_one(code);
+  if (config_.probe_hamming1) {
+    for (int b = 0; b < config_.num_bits; ++b) probe_one(code ^ (1ULL << b));
+  }
+}
+
 std::vector<int64_t> RandomHyperplaneLsh::Query(
     const std::vector<float>& embedding) const {
-  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> hits;
   for (int t = 0; t < config_.num_tables; ++t) {
-    const uint64_t code = Code(embedding, t);
-    const auto& buckets = tables_[static_cast<size_t>(t)];
-    auto probe = [&](uint64_t c) {
-      auto it = buckets.find(c);
-      if (it == buckets.end()) return;
-      for (int64_t p : it->second) seen.insert(p);
-    };
-    probe(code);
-    if (config_.probe_hamming1) {
-      for (int b = 0; b < config_.num_bits; ++b) probe(code ^ (1ULL << b));
-    }
+    ProbeTable(t, Code(embedding, t), &hits);
   }
-  std::vector<int64_t> out(seen.begin(), seen.end());
-  std::sort(out.begin(), out.end());
+  return SortedUnique(std::move(hits));
+}
+
+std::vector<std::vector<int64_t>> RandomHyperplaneLsh::QueryBatch(
+    const std::vector<std::vector<float>>& embeddings,
+    common::ThreadPool* pool) const {
+  const size_t n = embeddings.size();
+  std::vector<std::vector<int64_t>> out(n);
+  if (n == 0) return out;
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = Query(embeddings[i]);
+    return out;
+  }
+  const size_t tables = static_cast<size_t>(config_.num_tables);
+  // Stage 1: every (embedding, table) pair codes and probes independently,
+  // so small batches still spread across the pool.
+  std::vector<std::vector<int64_t>> table_hits(n * tables);
+  pool->ParallelFor(n * tables, [&](size_t p) {
+    const size_t i = p / tables;
+    const int t = static_cast<int>(p % tables);
+    ProbeTable(t, Code(embeddings[i], t), &table_hits[p]);
+  });
+  // Stage 2: per-embedding merge, identical to Query's tail.
+  pool->ParallelFor(n, [&](size_t i) {
+    std::vector<int64_t> hits;
+    for (size_t t = 0; t < tables; ++t) {
+      const auto& h = table_hits[i * tables + t];
+      hits.insert(hits.end(), h.begin(), h.end());
+    }
+    out[i] = SortedUnique(std::move(hits));
+  });
   return out;
 }
 
 size_t RandomHyperplaneLsh::MemoryBytes() const {
   size_t bytes = hyperplanes_.size() * static_cast<size_t>(dim_) *
                  sizeof(float);
-  for (const auto& t : tables_) {
-    for (const auto& [code, payloads] : t) {
+  for (const auto& shard : shards_) {
+    for (const auto& [code, payloads] : shard) {
       bytes += sizeof(code) + payloads.size() * sizeof(int64_t) + 32;
     }
   }

@@ -2,16 +2,25 @@
 // is hashed to a binary code by signing cosine similarities against K
 // random vectors; datasets are indexed by all their columns' codes and a
 // query line retrieves every dataset colliding in at least one table.
+//
+// Sharding: every hash table's buckets are partitioned into `num_shards`
+// shards addressed by the top log2(num_shards) bits of the code. Batched
+// builds fan (table, shard) tasks across a thread pool — each task owns
+// its shard's bucket maps exclusively, so no locks are needed — and
+// multi-probe queries only touch the shards their probe codes route to.
+// Query results are independent of the shard count and thread count;
+// `num_shards == 1` reproduces the unsharded layout (and serial build)
+// exactly.
 
 #ifndef FCM_INDEX_LSH_H_
 #define FCM_INDEX_LSH_H_
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace fcm::index {
 
@@ -25,6 +34,18 @@ struct LshConfig {
   /// Also probe buckets at Hamming distance 1 from the query code.
   bool probe_hamming1 = true;
   uint64_t seed = 7;
+  /// Bucket shards per table, rounded up to a power of two and capped at
+  /// min(2^num_bits, 2^16). <= 0 picks the owning engine's thread-pool
+  /// size (hardware concurrency when constructed standalone); 1 keeps the
+  /// legacy single-structure layout and serial batch build.
+  int num_shards = 0;
+};
+
+/// One item of a batched build; `embedding` must outlive the InsertBatch
+/// call.
+struct LshInsertItem {
+  const std::vector<float>* embedding = nullptr;
+  int64_t payload = 0;
 };
 
 /// Cosine LSH over dense float vectors with int64 payloads (table ids).
@@ -33,28 +54,70 @@ class RandomHyperplaneLsh {
   /// `dim` is the embedding dimensionality.
   RandomHyperplaneLsh(int dim, const LshConfig& config);
 
-  /// Indexes `payload` under `embedding` (one call per column).
+  /// Indexes `payload` under `embedding` (one call per column). Adjacent
+  /// duplicate payloads within a bucket — several columns of one table
+  /// colliding — are dropped: they cannot change Query results (which
+  /// dedup) and would only inflate memory and probe cost.
   void Insert(const std::vector<float>& embedding, int64_t payload);
+
+  /// Indexes every item with the build fanned out across `pool`: codes are
+  /// computed in one parallel pass, then (table, shard) tasks consume the
+  /// items routed to them, each owning its shard's bucket maps
+  /// exclusively and visiting items in item order. The resulting layout is
+  /// identical to calling Insert serially in item order, whatever the
+  /// schedule. With a single shard or a null pool the build runs that
+  /// serial loop directly (the pre-sharding behaviour).
+  void InsertBatch(const std::vector<LshInsertItem>& items,
+                   common::ThreadPool* pool);
 
   /// Binary code of an embedding in hash table `table`.
   uint64_t Code(const std::vector<float>& embedding, int table) const;
 
   /// All payloads colliding with the query embedding in any table
-  /// (optionally probing Hamming-distance-1 buckets).
+  /// (optionally probing Hamming-distance-1 buckets), deduplicated and
+  /// sorted ascending — the same list for every shard count.
   std::vector<int64_t> Query(const std::vector<float>& embedding) const;
+
+  /// Batched Query: out[i] == Query(embeddings[i]) exactly, with the code
+  /// computation and probing fanned out per (embedding, table) across
+  /// `pool` and per-table hits merged per embedding in a second dispatch.
+  /// A null pool runs the serial per-embedding loop.
+  std::vector<std::vector<int64_t>> QueryBatch(
+      const std::vector<std::vector<float>>& embeddings,
+      common::ThreadPool* pool) const;
 
   /// Approximate memory footprint in bytes.
   size_t MemoryBytes() const;
 
   size_t num_items() const { return num_items_; }
 
+  /// Resolved shard count (power of two).
+  int num_shards() const { return num_shards_; }
+
  private:
+  using BucketMap = std::unordered_map<uint64_t, std::vector<int64_t>>;
+
+  /// Shard a code routes to: its top shard-bits prefix.
+  size_t ShardOf(uint64_t code) const;
+
+  /// Appends `payload` to table `t`'s bucket for `code`, dropping adjacent
+  /// duplicates.
+  void InsertCoded(int t, uint64_t code, int64_t payload);
+
+  /// Probes one table for `code` plus (when configured) its Hamming-1
+  /// neighbours, appending raw hits to `out`. Ascending bit order visits
+  /// the home shard's probes consecutively, then one foreign shard per
+  /// shard-prefix bit flip.
+  void ProbeTable(int table, uint64_t code, std::vector<int64_t>* out) const;
+
   int dim_;
   LshConfig config_;
+  int num_shards_ = 1;  // Power of two.
+  int shard_bits_ = 0;  // log2(num_shards_), <= config_.num_bits.
   /// hyperplanes_[table * num_bits + bit] is one random vector.
   std::vector<std::vector<float>> hyperplanes_;
-  /// One bucket map per table: code -> payload set.
-  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables_;
+  /// shards_[table * num_shards_ + shard]: that shard's code -> payloads.
+  std::vector<BucketMap> shards_;
   size_t num_items_ = 0;
 };
 

@@ -17,16 +17,30 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Top-k of a (candidate-ordered) score array, ties resolved by input
-/// order exactly as the pre-batch serial loop did.
+/// Top-k of a score array, equal scores broken by ascending table id —
+/// the candidate order — explicitly, since partial_sort is unstable and
+/// would otherwise order ties differently across stdlibs. k <= 0 is an
+/// empty request — without the early return the size_t cast would turn a
+/// negative k into "keep everything".
 std::vector<SearchHit> RankHits(std::vector<SearchHit> hits, int k) {
+  if (k <= 0) return {};
   const size_t keep = std::min<size_t>(static_cast<size_t>(k), hits.size());
   std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
                     hits.end(), [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
+                      return a.score != b.score ? a.score > b.score
+                                                : a.table_id < b.table_id;
                     });
   hits.resize(keep);
   return hits;
+}
+
+/// Sorted id vector from an unordered survivor set: candidate order feeds
+/// RankHits' tie-breaking, so it must not depend on hash iteration order.
+std::vector<table::TableId> SortedIds(
+    const std::unordered_set<table::TableId>& ids) {
+  std::vector<table::TableId> out(ids.begin(), ids.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace
@@ -121,23 +135,33 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   build_stats_.interval_build_seconds = Seconds(t_interval);
   build_stats_.interval_memory_bytes = interval_tree_->MemoryBytes();
 
-  // LSH over the cached mean column embeddings (plus derivation means).
+  // LSH over the cached mean column embeddings (plus derivation means),
+  // sharded by code prefix so the batch insert fans (table, shard) tasks
+  // across the pool. Items are flattened in table order, which fixes the
+  // bucket layout whatever the schedule or shard count.
   const auto t_lsh = std::chrono::steady_clock::now();
+  LshConfig lsh_config = options_.lsh;
+  if (lsh_config.num_shards <= 0) {
+    lsh_config.num_shards = pool_->num_threads();
+  }
   lsh_ = std::make_unique<RandomHyperplaneLsh>(model_->config().embed_dim,
-                                               options_.lsh);
+                                               lsh_config);
+  std::vector<LshInsertItem> items;
   for (const auto& t : lake_->tables()) {
     const auto& entry = entries_[static_cast<size_t>(t.id())];
     for (const auto& mean : entry.column_means) {
-      lsh_->Insert(mean, t.id());
+      items.push_back({&mean, t.id()});
     }
     for (const auto& means : entry.derivation_means) {
       for (const auto& mean : means) {
-        lsh_->Insert(mean, t.id());
+        items.push_back({&mean, t.id()});
       }
     }
   }
+  lsh_->InsertBatch(items, pool_.get());
   build_stats_.lsh_build_seconds = Seconds(t_lsh);
   build_stats_.lsh_memory_bytes = lsh_->MemoryBytes();
+  build_stats_.lsh_shards = lsh_->num_shards();
 
   FCM_LOGS(INFO) << "SearchEngine built over " << lake_->size()
                  << " tables with " << pool_->num_threads() << " threads"
@@ -148,13 +172,15 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
 
 std::vector<table::TableId> SearchEngine::Candidates(
     const vision::ExtractedChart& query,
-    const core::ChartRepresentation& chart_rep,
-    IndexStrategy strategy) const {
-  std::vector<table::TableId> all(lake_->size());
-  for (size_t i = 0; i < all.size(); ++i) {
-    all[i] = static_cast<table::TableId>(i);
+    const core::ChartRepresentation& chart_rep, IndexStrategy strategy,
+    const std::vector<int64_t>* line_hits, size_t num_line_hits) const {
+  if (strategy == IndexStrategy::kNoIndex) {
+    std::vector<table::TableId> all(lake_->size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<table::TableId>(i);
+    }
+    return all;
   }
-  if (strategy == IndexStrategy::kNoIndex) return all;
 
   std::unordered_set<table::TableId> s1;  // Interval tree survivors.
   if (strategy == IndexStrategy::kIntervalTree ||
@@ -162,24 +188,29 @@ std::vector<table::TableId> SearchEngine::Candidates(
     for (int64_t id : interval_tree_->QueryOverlap(query.y_lo, query.y_hi)) {
       s1.insert(id);
     }
-    if (strategy == IndexStrategy::kIntervalTree) {
-      return {s1.begin(), s1.end()};
-    }
+    if (strategy == IndexStrategy::kIntervalTree) return SortedIds(s1);
   }
 
   std::unordered_set<table::TableId> s2;  // LSH survivors.
-  for (const auto& line : chart_rep) {
-    for (int64_t id : lsh_->Query(MeanEmbedding(line.representation))) {
-      s2.insert(id);
+  if (line_hits != nullptr) {
+    for (size_t l = 0; l < num_line_hits; ++l) {
+      s2.insert(line_hits[l].begin(), line_hits[l].end());
+    }
+  } else {
+    for (const auto& line : chart_rep) {
+      for (int64_t id : lsh_->Query(MeanEmbedding(line.representation))) {
+        s2.insert(id);
+      }
     }
   }
-  if (strategy == IndexStrategy::kLsh) return {s2.begin(), s2.end()};
+  if (strategy == IndexStrategy::kLsh) return SortedIds(s2);
 
   // Hybrid: S1 ∩ S2.
   std::vector<table::TableId> out;
   for (table::TableId id : s2) {
     if (s1.count(id)) out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -243,11 +274,12 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatch(
   if (stats != nullptr) stats->assign(q, {});
   if (q == 0) return results;
 
-  // Stage 1: encode every chart and enumerate its candidates (one pool
-  // dispatch for the whole batch).
+  // Stage 1: encode every chart (one pool dispatch for the whole batch).
   struct QueryPlan {
     core::ChartRepresentation chart_rep;
     std::vector<table::TableId> candidates;
+    size_t line_offset = 0;  // Start of this query's lines in the flat
+    size_t num_lines = 0;    // mean-embedding / LSH-hit arrays.
     size_t offset = 0;  // Start of this query's slice in the flat arrays.
   };
   std::vector<QueryPlan> plans(q);
@@ -255,7 +287,38 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatch(
     if (queries[i].lines.empty()) return;
     plans[i].chart_rep =
         core::FcmModel::Detach(model_->EncodeChart(queries[i]));
-    plans[i].candidates = Candidates(queries[i], plans[i].chart_rep, strategy);
+  });
+
+  // Stage 1b: candidate generation. Strategies that consult the LSH index
+  // flatten every query's line mean embeddings into one QueryBatch so the
+  // sharded probes also run as a single dispatch; the per-query merge then
+  // reuses Candidates() for semantics identical to Search.
+  const bool use_lsh = strategy == IndexStrategy::kLsh ||
+                       strategy == IndexStrategy::kHybrid;
+  std::vector<std::vector<int64_t>> line_hits;
+  if (use_lsh) {
+    size_t total_lines = 0;
+    for (auto& plan : plans) {
+      plan.line_offset = total_lines;
+      plan.num_lines = plan.chart_rep.size();
+      total_lines += plan.num_lines;
+    }
+    std::vector<std::vector<float>> means(total_lines);
+    pool_->ParallelFor(q, [&](size_t i) {
+      for (size_t l = 0; l < plans[i].num_lines; ++l) {
+        means[plans[i].line_offset + l] =
+            MeanEmbedding(plans[i].chart_rep[l].representation);
+      }
+    });
+    line_hits = lsh_->QueryBatch(means, pool_.get());
+  }
+  pool_->ParallelFor(q, [&](size_t i) {
+    if (queries[i].lines.empty()) return;
+    plans[i].candidates =
+        use_lsh ? Candidates(queries[i], plans[i].chart_rep, strategy,
+                             line_hits.data() + plans[i].line_offset,
+                             plans[i].num_lines)
+                : Candidates(queries[i], plans[i].chart_rep, strategy);
   });
 
   // Stage 2: score all (query, candidate) pairs through one flat dispatch,

@@ -1,11 +1,13 @@
 // End-to-end query processing (paper Sec. VI-A): optional interval-tree
 // and LSH candidate pruning followed by FCM re-ranking of the survivors.
 //
-// Heavy stages fan out over a fixed thread pool: per-table encoding at
-// build time and per-candidate scoring at query time. Parallel execution
-// is bit-identical to the serial path — tables and candidates are scored
-// independently and consumed in deterministic order — so rankings never
-// depend on the thread count.
+// Heavy stages fan out over a fixed thread pool: per-table encoding and
+// sharded LSH insertion at build time, LSH candidate generation and
+// per-candidate scoring at query time. Parallel execution is bit-identical
+// to the serial path — tables and candidates are scored independently,
+// consumed in deterministic order, and candidate ids are sorted before
+// scoring — so rankings (including tie order) never depend on the thread
+// count, the LSH shard count, or hash-set iteration order.
 
 #ifndef FCM_INDEX_SEARCH_ENGINE_H_
 #define FCM_INDEX_SEARCH_ENGINE_H_
@@ -46,10 +48,15 @@ struct BuildStats {
   double encode_seconds = 0.0;
   size_t interval_memory_bytes = 0;
   size_t lsh_memory_bytes = 0;
+  /// Shard count the LSH index resolved to (power of two; may differ from
+  /// the requested LshConfig::num_shards).
+  int lsh_shards = 1;
 };
 
 /// Engine construction options.
 struct SearchEngineOptions {
+  /// LSH settings; `lsh.num_shards <= 0` resolves to the engine's thread
+  /// pool size so build inserts fan out across every worker.
   LshConfig lsh;
   /// Numerical x-axis generalization (paper Sec. VI-B): for every table,
   /// also index its T' derivations — the table re-sorted by each column
@@ -76,15 +83,19 @@ class SearchEngine {
   /// Build with full options (x-derivation indexing, thread count etc.).
   void BuildWithOptions(const SearchEngineOptions& options);
 
-  /// Top-k search with the chosen pruning strategy.
+  /// Top-k search with the chosen pruning strategy. `k <= 0` asks for
+  /// nothing and returns an empty ranking (candidates are still pruned and
+  /// counted in `stats`).
   std::vector<SearchHit> Search(const vision::ExtractedChart& query, int k,
                                 IndexStrategy strategy,
                                 QueryStats* stats = nullptr) const;
 
   /// Batched top-k search: answers every query with the same semantics as
-  /// Search (identical hits and scores) while amortizing thread-pool
-  /// dispatch across the batch — chart encoding, candidate scoring, and
-  /// ranking each fan out once for the whole batch. `stats`, when given,
+  /// Search (identical hits and scores; `k <= 0` yields empty rankings)
+  /// while amortizing thread-pool dispatch across the batch — chart
+  /// encoding, LSH candidate generation (one QueryBatch over every
+  /// query's line embeddings), candidate scoring, and ranking each fan
+  /// out once for the whole batch. `stats`, when given,
   /// receives one entry per query; QueryStats::seconds reports the whole
   /// batch's wall time for every query (per-query times overlap).
   std::vector<std::vector<SearchHit>> SearchBatch(
@@ -108,10 +119,17 @@ class SearchEngine {
     std::vector<std::vector<std::vector<float>>> derivation_means;
   };
 
+  /// Candidate ids for one query under `strategy`, sorted ascending:
+  /// RankHits breaks score ties by candidate position, so a sorted order
+  /// is what keeps rankings reproducible across runs and platforms.
+  /// `line_hits`, when non-null, points at `num_line_hits` per-line LSH
+  /// payload lists (one per chart_rep line, from QueryBatch); otherwise
+  /// the LSH index is queried inline per line.
   std::vector<table::TableId> Candidates(
       const vision::ExtractedChart& query,
-      const core::ChartRepresentation& chart_rep,
-      IndexStrategy strategy) const;
+      const core::ChartRepresentation& chart_rep, IndexStrategy strategy,
+      const std::vector<int64_t>* line_hits = nullptr,
+      size_t num_line_hits = 0) const;
 
   /// Rel'(V, T) for one candidate (max over the table's derivations), or
   /// false when the table has no encodable columns.

@@ -9,6 +9,7 @@
 
 #include "chart/renderer.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "index/interval_tree.h"
 #include "index/lsh.h"
 #include "index/search_engine.h"
@@ -146,6 +147,97 @@ TEST(LshTest, Hamming1ProbingWidensRecall) {
   EXPECT_GE(b_hits, a_hits);
 }
 
+// ---- Sharded LSH: equivalence across shard counts and build paths ----
+
+std::vector<std::vector<float>> RandomEmbeddings(int n, int dim,
+                                                 uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<size_t>(n));
+  for (auto& v : out) {
+    v.resize(static_cast<size_t>(dim));
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+TEST(LshShardTest, ShardCountDoesNotChangeQueryResults) {
+  const auto items = RandomEmbeddings(200, 24, 11);
+  const auto queries = RandomEmbeddings(40, 24, 12);
+  std::vector<std::vector<std::vector<int64_t>>> per_shard_results;
+  for (int shards : {1, 2, 8}) {
+    LshConfig config;
+    config.num_bits = 10;
+    config.num_shards = shards;
+    RandomHyperplaneLsh lsh(24, config);
+    EXPECT_EQ(lsh.num_shards(), shards);
+    for (size_t i = 0; i < items.size(); ++i) {
+      lsh.Insert(items[i], static_cast<int64_t>(i % 50));
+    }
+    std::vector<std::vector<int64_t>> results;
+    for (const auto& q : queries) results.push_back(lsh.Query(q));
+    per_shard_results.push_back(std::move(results));
+  }
+  EXPECT_EQ(per_shard_results[0], per_shard_results[1]);
+  EXPECT_EQ(per_shard_results[0], per_shard_results[2]);
+}
+
+TEST(LshShardTest, InsertBatchMatchesSerialInserts) {
+  const auto items = RandomEmbeddings(150, 16, 21);
+  const auto queries = RandomEmbeddings(30, 16, 22);
+  LshConfig config;
+  config.num_shards = 4;
+  RandomHyperplaneLsh serial(16, config), batched(16, config);
+  std::vector<LshInsertItem> batch;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const auto payload = static_cast<int64_t>(i / 3);  // Columns per table.
+    serial.Insert(items[i], payload);
+    batch.push_back({&items[i], payload});
+  }
+  common::ThreadPool pool(4);
+  batched.InsertBatch(batch, &pool);
+  EXPECT_EQ(batched.num_items(), serial.num_items());
+  EXPECT_EQ(batched.MemoryBytes(), serial.MemoryBytes());
+  for (const auto& q : queries) {
+    EXPECT_EQ(batched.Query(q), serial.Query(q));
+  }
+}
+
+TEST(LshShardTest, QueryBatchMatchesQuery) {
+  const auto items = RandomEmbeddings(120, 16, 31);
+  const auto queries = RandomEmbeddings(25, 16, 32);
+  LshConfig config;
+  config.num_shards = 8;
+  RandomHyperplaneLsh lsh(16, config);
+  for (size_t i = 0; i < items.size(); ++i) {
+    lsh.Insert(items[i], static_cast<int64_t>(i));
+  }
+  common::ThreadPool pool(4);
+  const auto batched = lsh.QueryBatch(queries, &pool);
+  const auto serial = lsh.QueryBatch(queries, nullptr);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], lsh.Query(queries[i])) << "query " << i;
+    EXPECT_EQ(serial[i], batched[i]) << "query " << i;
+  }
+}
+
+TEST(LshTest, AdjacentDuplicatePayloadsDeduped) {
+  // Two columns of one table hashing to the same bucket used to append the
+  // payload twice, inflating MemoryBytes and probe cost with no effect on
+  // (deduplicating) queries.
+  LshConfig config;
+  config.num_shards = 1;
+  RandomHyperplaneLsh once(16, config), twice(16, config);
+  common::Rng rng(41);
+  std::vector<float> v(16);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  once.Insert(v, 7);
+  twice.Insert(v, 7);
+  twice.Insert(v, 7);  // Same code in every table, same payload.
+  EXPECT_EQ(twice.MemoryBytes(), once.MemoryBytes());
+  EXPECT_EQ(twice.Query(v), once.Query(v));
+}
+
 // ---- Search engine over a small trained-free setup ----
 
 class SearchEngineTest : public ::testing::Test {
@@ -244,6 +336,22 @@ TEST_F(SearchEngineTest, EmptyQueryReturnsNothing) {
   const auto hits = engine_->Search(empty, 5, IndexStrategy::kNoIndex,
                                     &stats);
   EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(SearchEngineTest, NonPositiveKReturnsEmpty) {
+  // A negative k used to wrap through size_t and return every hit.
+  for (int k : {0, -1, -100}) {
+    QueryStats stats;
+    EXPECT_TRUE(
+        engine_->Search(query_, k, IndexStrategy::kNoIndex, &stats).empty())
+        << "k=" << k;
+    // Pruning still ran; only the ranking is empty.
+    EXPECT_EQ(stats.candidates_scored, lake_.size());
+    const auto batched =
+        engine_->SearchBatch({query_}, k, IndexStrategy::kNoIndex);
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_TRUE(batched[0].empty()) << "k=" << k;
+  }
 }
 
 // ---- Parallel vs serial equivalence ----
@@ -354,6 +462,53 @@ TEST_F(ParallelSearchEngineTest, SearchBatchHandlesEmptyQueries) {
                  serial_->Search(queries[0], 3, IndexStrategy::kNoIndex));
   EXPECT_TRUE(
       parallel_->SearchBatch({}, 3, IndexStrategy::kNoIndex).empty());
+}
+
+TEST_F(ParallelSearchEngineTest, RepeatedSearchIsDeterministic) {
+  // Regression: candidate ids used to come back in unordered_set iteration
+  // order, so equal-score hits could rank differently across runs and
+  // platforms. Ask for the whole lake so the full candidate ordering —
+  // not just the top few — must reproduce, run to run and across thread
+  // counts, for every strategy.
+  const int k = static_cast<int>(lake_.size());
+  for (const auto strategy :
+       {IndexStrategy::kNoIndex, IndexStrategy::kIntervalTree,
+        IndexStrategy::kLsh, IndexStrategy::kHybrid}) {
+    for (const auto& query : queries_) {
+      const auto first = serial_->Search(query, k, strategy);
+      const auto second = serial_->Search(query, k, strategy);
+      ExpectSameHits(first, second);
+      for (SearchEngine* engine : {serial_.get(), parallel_.get()}) {
+        ExpectSameHits(first, engine->Search(query, k, strategy));
+      }
+    }
+  }
+}
+
+TEST_F(ParallelSearchEngineTest, ShardCountDoesNotChangeResults) {
+  // num_shards ∈ {1, 2, 8} must yield identical candidate sets and hit
+  // order (1 is the legacy unsharded layout).
+  const int k = static_cast<int>(lake_.size());
+  std::vector<std::unique_ptr<SearchEngine>> engines;
+  for (int shards : {1, 2, 8}) {
+    SearchEngineOptions options;
+    options.num_threads = 4;
+    options.lsh.num_shards = shards;
+    auto engine = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    engine->BuildWithOptions(options);
+    engines.push_back(std::move(engine));
+  }
+  for (const auto strategy : {IndexStrategy::kLsh, IndexStrategy::kHybrid}) {
+    for (const auto& query : queries_) {
+      QueryStats base_stats;
+      const auto base = engines[0]->Search(query, k, strategy, &base_stats);
+      for (size_t e = 1; e < engines.size(); ++e) {
+        QueryStats stats;
+        ExpectSameHits(base, engines[e]->Search(query, k, strategy, &stats));
+        EXPECT_EQ(stats.candidates_scored, base_stats.candidates_scored);
+      }
+    }
+  }
 }
 
 TEST_F(ParallelSearchEngineTest, XDerivationBuildIdenticalAcrossThreads) {

@@ -103,5 +103,42 @@ TEST(ThreadPoolTest, DefaultSizeUsesHardware) {
   EXPECT_GE(pool.num_threads(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForShardedRoutesEveryIndexInOrder) {
+  ThreadPool pool(4);
+  const size_t n = 10000, shards = 7;
+  // Each shard's vector is mutated lock-free: exclusive shard ownership is
+  // the contract under test (TSan would flag a violation).
+  std::vector<std::vector<size_t>> got(shards);
+  pool.ParallelForSharded(
+      n, shards, [](size_t i) { return i % 7; },
+      [&](size_t s, size_t i) { got[s].push_back(i); });
+  for (size_t s = 0; s < shards; ++s) {
+    std::vector<size_t> expected;
+    for (size_t i = s; i < n; i += 7) expected.push_back(i);
+    EXPECT_EQ(got[s], expected) << "shard " << s;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForShardedMatchesSerialState) {
+  auto run = [](ThreadPool& pool) {
+    std::vector<long> sums(5, 0);
+    pool.ParallelForSharded(
+        2000, 5, [](size_t i) { return (i * 31) % 5; },
+        [&](size_t s, size_t i) { sums[s] += static_cast<long>(i); });
+    return sums;
+  };
+  ThreadPool serial(1), parallel(8);
+  EXPECT_EQ(run(serial), run(parallel));
+}
+
+TEST(ThreadPoolTest, ParallelForShardedZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelForSharded(
+      0, 4, [](size_t) { return size_t{0}; },
+      [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
 }  // namespace
 }  // namespace fcm::common

@@ -11,5 +11,12 @@ OUT="$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target bench_search_throughput -j"$(nproc)"
 
-"$BUILD_DIR/bench_search_throughput" "$OUT"
+BIN="$BUILD_DIR/bench_search_throughput"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN is missing or not executable (build failed or the" \
+       "target was disabled); no benchmark JSON written" >&2
+  exit 1
+fi
+
+"$BIN" "$OUT"
 echo "wrote $OUT"
