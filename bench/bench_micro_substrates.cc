@@ -1,6 +1,9 @@
 // Google-benchmark micro-benchmarks for the substrates: DTW, Hungarian
 // matching, chart rendering, visual extraction, tensor ops, transformer
-// forward/backward, interval tree and LSH queries.
+// forward/backward, interval tree and LSH queries — plus per-kernel
+// GFLOP/s for every SIMD dispatch target compiled into the binary (the
+// BM_Simd* / BM_MatMulDispatch families; targets this machine cannot run
+// report themselves as skipped).
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +11,7 @@
 
 #include "chart/renderer.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "index/interval_tree.h"
 #include "index/lsh.h"
 #include "nn/attention.h"
@@ -150,6 +154,178 @@ void BM_IntervalTreeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntervalTreeQuery)->Arg(1000)->Arg(10000);
+
+// ---- SIMD kernels, one benchmark per (kernel, dispatch target). The
+// second range argument is the simd::Target enum value; the GFLOP/s
+// counter is what the acceptance bar (>= 2x dot, >= 1.5x GEMM for avx2
+// over scalar) reads. ----
+
+/// Forces `target` for one benchmark run; reports skip when this binary
+/// or machine lacks it. Restores startup dispatch on destruction.
+class BenchTarget {
+ public:
+  BenchTarget(benchmark::State& state, int64_t target_index)
+      : ok_(simd::SetTarget(static_cast<simd::Target>(target_index))) {
+    if (!ok_) {
+      state.SkipWithError("dispatch target not available on this machine");
+    } else {
+      state.SetLabel(
+          simd::TargetName(static_cast<simd::Target>(target_index)));
+    }
+  }
+  ~BenchTarget() { simd::ResetTarget(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+std::vector<float> RandomF32(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+void SetGflops(benchmark::State& state, double flops_per_iteration) {
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops_per_iteration * 1e-9,
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SimdDotF32(benchmark::State& state) {
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomF32(n, 101);
+  const auto b = RandomF32(n, 102);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::DotF32(a.data(), b.data(), n));
+  }
+  SetGflops(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_SimdDotF32)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{64, 1024, 16384}, {0, 1, 2}});
+
+void BM_SimdDotF64(benchmark::State& state) {
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomSeries(n, 103);
+  const auto b = RandomSeries(n, 104);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::DotF64(a.data(), b.data(), n));
+  }
+  SetGflops(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_SimdDotF64)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{1024, 16384}, {0, 1, 2}});
+
+void BM_SimdReduceSumF64(benchmark::State& state) {
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomSeries(n, 105);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::ReduceSumF64(a.data(), n));
+  }
+  SetGflops(state, static_cast<double>(n));
+}
+BENCHMARK(BM_SimdReduceSumF64)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{1024, 16384}, {0, 1, 2}});
+
+void BM_SimdAxpyF32(benchmark::State& state) {
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomF32(n, 106);
+  auto y = RandomF32(n, 107);
+  for (auto _ : state) {
+    simd::AxpyF32(1.000001f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetGflops(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_SimdAxpyF32)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{1024, 16384}, {0, 1, 2}});
+
+void BM_MatMulDispatch(benchmark::State& state) {
+  // The end-to-end GEMM path (blocked loops + micro-kernel) per target;
+  // flops = 2 n^3 per MatMul.
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(108);
+  nn::Tensor a = nn::Tensor::RandomNormal({n, n}, 1.0f, &rng, false);
+  nn::Tensor b = nn::Tensor::RandomNormal({n, n}, 1.0f, &rng, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  SetGflops(state, 2.0 * std::pow(static_cast<double>(n), 3));
+}
+BENCHMARK(BM_MatMulDispatch)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{64, 128, 256}, {0, 1, 2}});
+
+void BM_MatMulBackwardDispatch(benchmark::State& state) {
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(109);
+  nn::Tensor a = nn::Tensor::RandomNormal({n, n}, 1.0f, &rng, true);
+  nn::Tensor b = nn::Tensor::RandomNormal({n, n}, 1.0f, &rng, true);
+  for (auto _ : state) {
+    nn::Tensor loss = nn::SumAll(nn::MatMul(a, b));
+    loss.Backward();
+    a.grad().assign(a.grad().size(), 0.0f);
+    b.grad().assign(b.grad().size(), 0.0f);
+  }
+  // Forward 2n^3 plus two n^3-sized backward GEMMs.
+  SetGflops(state, 6.0 * std::pow(static_cast<double>(n), 3));
+}
+BENCHMARK(BM_MatMulBackwardDispatch)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{64, 128}, {0, 1, 2}});
+
+void BM_DtwDispatch(benchmark::State& state) {
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 2);
+  rel::DtwOptions options;
+  options.band_fraction = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel::DtwDistance(a, b, options));
+  }
+}
+BENCHMARK(BM_DtwDispatch)
+    ->ArgNames({"n", "target"})
+    ->ArgsProduct({{160, 320}, {0, 1, 2}});
+
+void BM_LshCodeDispatch(benchmark::State& state) {
+  // Hyperplane sign codes: num_bits x num_tables dot products per item.
+  BenchTarget target(state, state.range(1));
+  if (!target.ok()) return;
+  common::Rng rng(110);
+  index::LshConfig config;
+  const int dim = static_cast<int>(state.range(0));
+  index::RandomHyperplaneLsh lsh(dim, config);
+  std::vector<float> v(static_cast<size_t>(dim));
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  int64_t payload = 0;
+  for (auto _ : state) {
+    lsh.Insert(v, payload++);
+  }
+  SetGflops(state, 2.0 * static_cast<double>(dim) * config.num_bits *
+                       config.num_tables);
+}
+BENCHMARK(BM_LshCodeDispatch)
+    ->ArgNames({"dim", "target"})
+    ->ArgsProduct({{32, 128}, {0, 1, 2}});
 
 void BM_LshQuery(benchmark::State& state) {
   common::Rng rng(9);

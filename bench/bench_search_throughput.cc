@@ -22,11 +22,14 @@
 
 #include "chart/renderer.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/fcm_config.h"
 #include "core/fcm_model.h"
 #include "index/lsh.h"
 #include "index/search_engine.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
 #include "table/data_lake.h"
 #include "vision/mask_oracle_extractor.h"
 
@@ -71,6 +74,49 @@ std::vector<std::vector<float>> RandomEmbeddings(int n, int dim,
     v.resize(static_cast<size_t>(dim));
     for (auto& x : v) x = static_cast<float>(rng.Normal());
   }
+  return out;
+}
+
+/// Per-kernel GFLOP/s for one dispatch target: the float32 dot product
+/// (LSH codes / GemmAccumulateBt shape) and the full MatMul GEMM path.
+struct SimdKernelRates {
+  fcm::simd::Target target;
+  double dot_f32_gflops = 0.0;
+  double gemm_gflops = 0.0;
+};
+
+SimdKernelRates MeasureKernelRates(fcm::simd::Target target) {
+  SimdKernelRates out{target, 0.0, 0.0};
+  constexpr size_t kDotN = 4096;
+  constexpr int kGemmN = 160;
+  fcm::common::Rng rng(404);
+  std::vector<float> a(kDotN), b(kDotN);
+  for (auto& x : a) x = static_cast<float>(rng.Normal());
+  for (auto& x : b) x = static_cast<float>(rng.Normal());
+  // Dot: run enough repetitions for a stable sub-second measurement.
+  constexpr int kDotReps = 20000;
+  float sink = 0.0f;
+  const auto t_dot = Clock::now();
+  for (int r = 0; r < kDotReps; ++r) {
+    sink += fcm::simd::DotF32(a.data(), b.data(), kDotN);
+  }
+  const double dot_secs = Seconds(t_dot);
+  out.dot_f32_gflops = 2.0 * static_cast<double>(kDotN) * kDotReps /
+                       std::max(dot_secs, 1e-9) / 1e9;
+  fcm::nn::Tensor ta =
+      fcm::nn::Tensor::RandomNormal({kGemmN, kGemmN}, 1.0f, &rng, false);
+  fcm::nn::Tensor tb =
+      fcm::nn::Tensor::RandomNormal({kGemmN, kGemmN}, 1.0f, &rng, false);
+  constexpr int kGemmReps = 20;
+  const auto t_gemm = Clock::now();
+  for (int r = 0; r < kGemmReps; ++r) {
+    sink += fcm::nn::MatMul(ta, tb).data()[0];
+  }
+  const double gemm_secs = Seconds(t_gemm);
+  out.gemm_gflops = 2.0 * std::pow(static_cast<double>(kGemmN), 3) *
+                    kGemmReps / std::max(gemm_secs, 1e-9) / 1e9;
+  // Keep the accumulated sink observable so the loops cannot be elided.
+  if (sink == 12345.678f) std::fprintf(stderr, "%f\n", sink);
   return out;
 }
 
@@ -260,9 +306,45 @@ int main(int argc, char** argv) {
   const bool candidates_identical = sharded_hits == unsharded_hits;
   all_identical = all_identical && candidates_identical;
 
+  // ---- SIMD kernel dispatch: per-target GFLOP/s ----
+  // The startup-resolved target (cpuid + FCM_SIMD env var) served every
+  // phase above; here each compiled-in target is forced in turn so the
+  // BENCH trajectory records the per-kernel speedup of simd dispatch.
+  const fcm::simd::Target startup_target = fcm::simd::ActiveTarget();
+  std::vector<SimdKernelRates> simd_rates;
+  for (fcm::simd::Target t : fcm::simd::SupportedTargets()) {
+    fcm::simd::SetTarget(t);
+    simd_rates.push_back(MeasureKernelRates(t));
+  }
+  fcm::simd::ResetTarget();
+  double scalar_dot = 0.0, scalar_gemm = 0.0;
+  for (const auto& r : simd_rates) {
+    if (r.target == fcm::simd::Target::kScalar) {
+      scalar_dot = r.dot_f32_gflops;
+      scalar_gemm = r.gemm_gflops;
+    }
+  }
+
   // ---- JSON report ----
   std::string json = "{\n";
   json += "  \"bench\": \"search_throughput\",\n";
+  json += std::string("  \"simd\": {\n    \"active\": \"") +
+          fcm::simd::TargetName(startup_target) + "\",\n";
+  json += "    \"kernels\": [\n";
+  for (size_t i = 0; i < simd_rates.size(); ++i) {
+    const auto& r = simd_rates[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"target\": \"%s\", \"dot_f32_gflops\": %.2f, "
+        "\"gemm_gflops\": %.2f, \"dot_speedup_vs_scalar\": %.2f, "
+        "\"gemm_speedup_vs_scalar\": %.2f}%s\n",
+        fcm::simd::TargetName(r.target), r.dot_f32_gflops, r.gemm_gflops,
+        r.dot_f32_gflops / std::max(scalar_dot, 1e-9),
+        r.gemm_gflops / std::max(scalar_gemm, 1e-9),
+        i + 1 < simd_rates.size() ? "," : "");
+    json += buf;
+  }
+  json += "    ]\n  },\n";
   json += "  \"tables\": " + std::to_string(num_tables) + ",\n";
   json += "  \"queries\": " + std::to_string(num_queries) + ",\n";
   json += "  \"k\": " + std::to_string(k) + ",\n";

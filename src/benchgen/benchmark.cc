@@ -1,6 +1,7 @@
 #include "benchgen/benchmark.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "benchgen/series_generator.h"
 #include "common/logging.h"
@@ -201,6 +202,15 @@ Benchmark BuildBenchmark(const BenchmarkConfig& config,
   }
 
   // ---- Ground truth: top-k by Rel(D, T) over the whole repository ----
+  // The scan maintains a running top-k (score descending, table id
+  // ascending on ties — tables are visited in id order, so a later tie
+  // can never displace an earlier entry) and hands the current k-th score
+  // to rel::PrunedRelevance as the abandon threshold: tables whose
+  // matching-aware envelope bound proves Rel <= threshold skip the DTW
+  // DP, and per-pair DtwOptions::abandon_above cutoffs prune inside
+  // surviving tables. Pruning is exact through the Hungarian step — every
+  // table that can enter the top k gets its exact unpruned score (see
+  // PrunedRelevance's contract).
   const size_t resample = static_cast<size_t>(config.ground_truth_resample);
   std::vector<table::Table> resampled_lake;
   resampled_lake.reserve(bench.lake.size());
@@ -209,21 +219,30 @@ Benchmark BuildBenchmark(const BenchmarkConfig& config,
   }
   rel::RelevanceOptions rel_options;
   rel_options.dtw.band_fraction = config.ground_truth_band;
+  const double kNegInf = -std::numeric_limits<double>::infinity();
   for (auto& q : bench.queries) {
-    const table::UnderlyingData d = ResampleUnderlying(q.underlying, resample);
-    std::vector<std::pair<double, table::TableId>> scored;
-    scored.reserve(resampled_lake.size());
-    for (const auto& t : resampled_lake) {
-      scored.emplace_back(rel::Relevance(d, t, rel_options), t.id());
-    }
     const size_t k = std::min<size_t>(
-        static_cast<size_t>(config.ground_truth_k), scored.size());
-    std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                      scored.end(), [](const auto& a, const auto& b) {
-                        return a.first > b.first;
-                      });
+        static_cast<size_t>(std::max(config.ground_truth_k, 0)),
+        resampled_lake.size());
+    if (k == 0) {  // Nothing to rank — and top.back() below needs k > 0.
+      q.relevant.clear();
+      continue;
+    }
+    const table::UnderlyingData d = ResampleUnderlying(q.underlying, resample);
+    std::vector<std::pair<double, table::TableId>> top;  // Sorted as above.
+    top.reserve(k + 1);
+    for (const auto& t : resampled_lake) {
+      const double threshold = top.size() < k ? kNegInf : top.back().first;
+      const double score = rel::PrunedRelevance(d, t, rel_options, threshold);
+      if (top.size() >= k && score <= threshold) continue;
+      auto pos = std::upper_bound(
+          top.begin(), top.end(), score,
+          [](double s, const auto& e) { return s > e.first; });
+      top.insert(pos, {score, t.id()});
+      if (top.size() > k) top.pop_back();
+    }
     q.relevant.clear();
-    for (size_t i = 0; i < k; ++i) q.relevant.push_back(scored[i].second);
+    for (const auto& [score, id] : top) q.relevant.push_back(id);
   }
 
   FCM_LOGS(INFO) << "benchmark built: " << bench.lake.size() << " tables, "

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace fcm::common {
 
@@ -21,47 +22,50 @@ inline double Clamp(double x, double lo, double hi) {
 /// Arithmetic mean; 0 for an empty range.
 inline double Mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : v) s += x;
-  return s / static_cast<double>(v.size());
+  return simd::ReduceSumF64(v.data(), v.size()) /
+         static_cast<double>(v.size());
+}
+
+/// Population variance; 0 for fewer than 2 elements.
+inline double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  return simd::SumSqDiffF64(v.data(), v.size(), Mean(v)) /
+         static_cast<double>(v.size());
 }
 
 /// Population standard deviation; 0 for fewer than 2 elements.
 inline double Stddev(const std::vector<double>& v) {
-  if (v.size() < 2) return 0.0;
-  const double m = Mean(v);
-  double s = 0.0;
-  for (double x : v) s += (x - m) * (x - m);
-  return std::sqrt(s / static_cast<double>(v.size()));
+  return std::sqrt(Variance(v));
 }
 
 /// Minimum element; +inf for an empty range.
 inline double Min(const std::vector<double>& v) {
-  double m = std::numeric_limits<double>::infinity();
-  for (double x : v) m = std::min(m, x);
-  return m;
+  double mn, mx;
+  simd::MinMaxF64(v.data(), v.size(), &mn, &mx);
+  return mn;
 }
 
 /// Maximum element; -inf for an empty range.
 inline double Max(const std::vector<double>& v) {
-  double m = -std::numeric_limits<double>::infinity();
-  for (double x : v) m = std::max(m, x);
-  return m;
+  double mn, mx;
+  simd::MinMaxF64(v.data(), v.size(), &mn, &mx);
+  return mx;
+}
+
+/// Minimum and maximum in one pass; +inf / -inf for an empty range.
+inline void MinMax(const std::vector<double>& v, double* mn, double* mx) {
+  simd::MinMaxF64(v.data(), v.size(), mn, mx);
 }
 
 /// Sum of elements.
 inline double Sum(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x;
-  return s;
+  return simd::ReduceSumF64(v.data(), v.size());
 }
 
 /// Dot product of equal-length vectors.
 inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   FCM_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return simd::DotF64(a.data(), b.data(), a.size());
 }
 
 /// Euclidean norm.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace fcm::index {
 
@@ -57,14 +58,13 @@ size_t RandomHyperplaneLsh::ShardOf(uint64_t code) const {
 uint64_t RandomHyperplaneLsh::Code(const std::vector<float>& embedding,
                                    int table) const {
   FCM_CHECK_EQ(static_cast<int>(embedding.size()), dim_);
+  const auto& kernels = simd::Active();
   uint64_t code = 0;
   for (int b = 0; b < config_.num_bits; ++b) {
     const auto& h =
         hyperplanes_[static_cast<size_t>(table) * config_.num_bits + b];
-    float dot = 0.0f;
-    for (int i = 0; i < dim_; ++i) {
-      dot += h[static_cast<size_t>(i)] * embedding[static_cast<size_t>(i)];
-    }
+    const float dot = kernels.dot_f32(h.data(), embedding.data(),
+                                      static_cast<size_t>(dim_));
     // The sign of the dot product rounds the cosine similarity to a bit.
     if (dot >= 0.0f) code |= (1ULL << b);
   }

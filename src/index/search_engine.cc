@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "table/resample.h"
 
 namespace fcm::index {
@@ -63,10 +64,10 @@ std::vector<float> SearchEngine::MeanEmbedding(const nn::Tensor& rep) {
   const int n = rep.dim(0), k = rep.dim(1);
   std::vector<float> out(static_cast<size_t>(k), 0.0f);
   const auto& data = rep.data();
+  const auto& kernels = simd::Active();
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < k; ++j) {
-      out[static_cast<size_t>(j)] += data[static_cast<size_t>(i) * k + j];
-    }
+    kernels.axpy_f32(1.0f, data.data() + static_cast<size_t>(i) * k,
+                     out.data(), static_cast<size_t>(k));
   }
   for (auto& v : out) v /= static_cast<float>(n);
   return out;
@@ -170,9 +171,19 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
                  << "s, lsh " << build_stats_.lsh_build_seconds << "s)";
 }
 
+std::vector<std::vector<int64_t>> SearchEngine::QueryLineHits(
+    const core::ChartRepresentation& chart_rep) const {
+  // Query-side mean embeddings are derived once per batch here and fan
+  // out across every LSH table and probe inside QueryBatch.
+  std::vector<std::vector<float>> means(chart_rep.size());
+  for (size_t l = 0; l < chart_rep.size(); ++l) {
+    means[l] = MeanEmbedding(chart_rep[l].representation);
+  }
+  return lsh_->QueryBatch(means, pool_.get());
+}
+
 std::vector<table::TableId> SearchEngine::Candidates(
-    const vision::ExtractedChart& query,
-    const core::ChartRepresentation& chart_rep, IndexStrategy strategy,
+    const vision::ExtractedChart& query, IndexStrategy strategy,
     const std::vector<int64_t>* line_hits, size_t num_line_hits) const {
   if (strategy == IndexStrategy::kNoIndex) {
     std::vector<table::TableId> all(lake_->size());
@@ -191,17 +202,14 @@ std::vector<table::TableId> SearchEngine::Candidates(
     if (strategy == IndexStrategy::kIntervalTree) return SortedIds(s1);
   }
 
-  std::unordered_set<table::TableId> s2;  // LSH survivors.
-  if (line_hits != nullptr) {
-    for (size_t l = 0; l < num_line_hits; ++l) {
-      s2.insert(line_hits[l].begin(), line_hits[l].end());
-    }
-  } else {
-    for (const auto& line : chart_rep) {
-      for (int64_t id : lsh_->Query(MeanEmbedding(line.representation))) {
-        s2.insert(id);
-      }
-    }
+  // LSH survivors. The per-line mean embeddings were computed once per
+  // batch by the caller (QueryLineHits / SearchBatch stage 1b) and probed
+  // across every table there — Candidates only merges the payload lists,
+  // never recomputes query-side means.
+  FCM_CHECK(line_hits != nullptr || num_line_hits == 0);
+  std::unordered_set<table::TableId> s2;
+  for (size_t l = 0; l < num_line_hits; ++l) {
+    s2.insert(line_hits[l].begin(), line_hits[l].end());
   }
   if (strategy == IndexStrategy::kLsh) return SortedIds(s2);
 
@@ -242,7 +250,14 @@ std::vector<SearchHit> SearchEngine::Search(
   }
   const core::ChartRepresentation chart_rep =
       core::FcmModel::Detach(model_->EncodeChart(query));
-  const auto candidates = Candidates(query, chart_rep, strategy);
+  // LSH strategies probe through the same batched path as SearchBatch:
+  // means once per query, reused across every table and probe.
+  std::vector<std::vector<int64_t>> line_hits;
+  if (strategy == IndexStrategy::kLsh || strategy == IndexStrategy::kHybrid) {
+    line_hits = QueryLineHits(chart_rep);
+  }
+  const auto candidates =
+      Candidates(query, strategy, line_hits.data(), line_hits.size());
 
   // Candidates are scored independently; slots keep candidate order so the
   // ranking (including tie order) matches the serial loop exactly.
@@ -315,10 +330,10 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatch(
   pool_->ParallelFor(q, [&](size_t i) {
     if (queries[i].lines.empty()) return;
     plans[i].candidates =
-        use_lsh ? Candidates(queries[i], plans[i].chart_rep, strategy,
+        use_lsh ? Candidates(queries[i], strategy,
                              line_hits.data() + plans[i].line_offset,
                              plans[i].num_lines)
-                : Candidates(queries[i], plans[i].chart_rep, strategy);
+                : Candidates(queries[i], strategy);
   });
 
   // Stage 2: score all (query, candidate) pairs through one flat dispatch,

@@ -119,15 +119,23 @@ class SearchEngine {
     std::vector<std::vector<std::vector<float>>> derivation_means;
   };
 
+  /// Per-line LSH payload lists for one query's chart representation:
+  /// computes every line's mean embedding once and probes all tables and
+  /// probes through one QueryBatch. Search and SearchBatch both feed
+  /// Candidates from here, so query-side means are never recomputed at
+  /// dispatch time.
+  std::vector<std::vector<int64_t>> QueryLineHits(
+      const core::ChartRepresentation& chart_rep) const;
+
   /// Candidate ids for one query under `strategy`, sorted ascending:
   /// RankHits breaks score ties by candidate position, so a sorted order
   /// is what keeps rankings reproducible across runs and platforms.
-  /// `line_hits`, when non-null, points at `num_line_hits` per-line LSH
-  /// payload lists (one per chart_rep line, from QueryBatch); otherwise
-  /// the LSH index is queried inline per line.
+  /// `line_hits` points at `num_line_hits` per-line LSH payload lists
+  /// (one per chart line, from QueryLineHits / QueryBatch); required —
+  /// possibly empty — for the LSH and hybrid strategies, ignored
+  /// otherwise.
   std::vector<table::TableId> Candidates(
-      const vision::ExtractedChart& query,
-      const core::ChartRepresentation& chart_rep, IndexStrategy strategy,
+      const vision::ExtractedChart& query, IndexStrategy strategy,
       const std::vector<int64_t>* line_hits = nullptr,
       size_t num_line_hits = 0) const;
 

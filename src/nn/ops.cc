@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace fcm::nn {
 
 namespace {
@@ -160,44 +162,42 @@ namespace {
 // a and b stay within L1/L2 alongside the running output rows).
 constexpr int kMatMulBlock = 64;
 
-// out[n,m] += a[n,k] * b[k,m], blocked over (i, kk) tiles. Within a tile
-// the inner j loop walks contiguous rows of b and out, which gcc/clang
-// auto-vectorize; blocking keeps the b tile cache-resident across the
-// tile's rows. Accumulation order over kk is ascending for every (i, j),
-// exactly like the naive ikj loop, so results are bit-identical.
+// out[n,m] += a[n,k] * b[k,m], blocked over (i, kk) tiles. Each row of a
+// tile is one dispatch into the simd GEMM micro-kernel (AVX2/NEON keep
+// the output row in register accumulators across the kk sweep); blocking
+// keeps the b tile cache-resident across the tile's rows. Under scalar
+// dispatch the micro-kernel accumulates over kk ascending for every
+// (i, j), exactly like the naive ikj loop, so results are bit-identical.
 void GemmAccumulate(const float* a, const float* b, float* out, int n, int k,
                     int m) {
+  const auto& kernels = simd::Active();
   for (int i0 = 0; i0 < n; i0 += kMatMulBlock) {
     const int i1 = std::min(n, i0 + kMatMulBlock);
     for (int k0 = 0; k0 < k; k0 += kMatMulBlock) {
       const int k1 = std::min(k, k0 + kMatMulBlock);
       for (int i = i0; i < i1; ++i) {
-        float* orow = out + static_cast<size_t>(i) * m;
-        const float* arow = a + static_cast<size_t>(i) * k;
-        for (int kk = k0; kk < k1; ++kk) {
-          const float aik = arow[kk];
-          if (aik == 0.0f) continue;
-          const float* brow = b + static_cast<size_t>(kk) * m;
-          for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
-        }
+        kernels.gemm_micro_f32(
+            a + static_cast<size_t>(i) * k + k0, 1,
+            b + static_cast<size_t>(k0) * m, static_cast<size_t>(m),
+            static_cast<size_t>(k1 - k0), out + static_cast<size_t>(i) * m,
+            static_cast<size_t>(m));
       }
     }
   }
 }
 
 // out[n,k] += g[n,m] * b[k,m]^T: rows of g and b are contiguous, so each
-// (i, kk) cell is a vectorizable dot product, and the g row stays cached
-// across the kk sweep.
+// (i, kk) cell is one simd dot product, and the g row stays cached across
+// the kk sweep.
 void GemmAccumulateBt(const float* g, const float* b, float* out, int n,
                       int k, int m) {
+  const auto& kernels = simd::Active();
   for (int i = 0; i < n; ++i) {
     const float* grow = g + static_cast<size_t>(i) * m;
     float* orow = out + static_cast<size_t>(i) * k;
     for (int kk = 0; kk < k; ++kk) {
-      const float* brow = b + static_cast<size_t>(kk) * m;
-      float acc = 0.0f;
-      for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
-      orow[kk] += acc;
+      orow[kk] += kernels.dot_f32(grow, b + static_cast<size_t>(kk) * m,
+                                  static_cast<size_t>(m));
     }
   }
 }
@@ -220,22 +220,23 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       GemmAccumulateBt(on->grad.data(), bn->data.data(), an->grad.data(), n,
                        k, m);
       // dB: iterate (kk, i) tiles so dB rows accumulate over i ascending —
-      // the same order as the naive loops — with contiguous saxpy inners.
+      // the same order as the naive loops. Each (kk, i-tile) pair is one
+      // micro-kernel dispatch reading a strided column of A (stride k)
+      // against contiguous rows of dOut.
       const float* ad = an->data.data();
       const float* gd = on->grad.data();
       float* bg = bn->grad.data();
+      const auto& kernels = simd::Active();
       for (int k0 = 0; k0 < k; k0 += kMatMulBlock) {
         const int k1 = std::min(k, k0 + kMatMulBlock);
         for (int i0 = 0; i0 < n; i0 += kMatMulBlock) {
           const int i1 = std::min(n, i0 + kMatMulBlock);
           for (int kk = k0; kk < k1; ++kk) {
-            float* bgrow = bg + static_cast<size_t>(kk) * m;
-            for (int i = i0; i < i1; ++i) {
-              const float aik = ad[static_cast<size_t>(i) * k + kk];
-              if (aik == 0.0f) continue;
-              const float* grow = gd + static_cast<size_t>(i) * m;
-              for (int j = 0; j < m; ++j) bgrow[j] += aik * grow[j];
-            }
+            kernels.gemm_micro_f32(
+                ad + static_cast<size_t>(i0) * k + kk,
+                static_cast<size_t>(k), gd + static_cast<size_t>(i0) * m,
+                static_cast<size_t>(m), static_cast<size_t>(i1 - i0),
+                bg + static_cast<size_t>(kk) * m, static_cast<size_t>(m));
           }
         }
       }
@@ -886,9 +887,7 @@ Tensor DotProduct(const Tensor& a, const Tensor& b) {
   Tensor out = MakeOpResult({1}, {a.node_ptr(), b.node_ptr()});
   const auto& av = a.data();
   const auto& bv = b.data();
-  float s = 0.0f;
-  for (size_t i = 0; i < av.size(); ++i) s += av[i] * bv[i];
-  out.data()[0] = s;
+  out.data()[0] = simd::DotF32(av.data(), bv.data(), av.size());
   if (out.requires_grad()) {
     TensorNode* on = out.node();
     TensorNode* an = a.node();

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 
 namespace fcm::rel {
 
@@ -73,20 +74,19 @@ double EnvelopeLowerBound(const std::vector<double>& x,
 double BandedDtw(const std::vector<double>& x, const std::vector<double>& y,
                  size_t band, double abandon_above) {
   const size_t n = x.size(), m = y.size();
-  // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  // Rolling two-row DP over the (n+1) x (m+1) cost matrix. The row update
+  // — local cost, three-way min, row-minimum — runs through the simd
+  // dispatch (bit-identical across targets; see simd.h) with `cost` as
+  // the kernel's scratch row.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf), cost(m + 1);
+  const auto& kernels = simd::Active();
   prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
     std::fill(cur.begin(), cur.end(), kInf);
     const size_t j_lo = (i > band) ? i - band : 1;
     const size_t j_hi = std::min(m, i + band);
-    double row_min = kInf;
-    for (size_t j = j_lo; j <= j_hi; ++j) {
-      const double cost = std::fabs(x[i - 1] - y[j - 1]);
-      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
-      cur[j] = cost + best;
-      row_min = std::min(row_min, cur[j]);
-    }
+    const double row_min = kernels.dtw_row_f64(
+        x[i - 1], y.data(), prev.data(), cur.data(), cost.data(), j_lo, j_hi);
     // Every warping path passes through row i and costs are non-negative,
     // so row_min lower-bounds the final distance: abandon once it clears
     // the cutoff (kInf cutoff never triggers).

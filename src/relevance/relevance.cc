@@ -1,6 +1,50 @@
 #include "relevance/relevance.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace fcm::rel {
+
+namespace {
+
+/// Per-pair caps on rel(d_i, C_j) from the O(n + m) envelope bound:
+/// DTW >= DtwLowerBound, so rel = 1 / (1 + DTW) <= 1 / (1 + LB).
+/// Excluded columns get -1 ("never match"), mirroring RelevanceMatrix.
+std::vector<std::vector<double>> WeightCaps(const table::UnderlyingData& d,
+                                            const table::Table& t,
+                                            const RelevanceOptions& options) {
+  std::vector<std::vector<double>> caps(
+      d.size(), std::vector<double>(t.num_columns()));
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < t.num_columns(); ++j) {
+      if (options.exclude_column >= 0 &&
+          j == static_cast<size_t>(options.exclude_column)) {
+        caps[i][j] = -1.0;
+        continue;
+      }
+      caps[i][j] =
+          1.0 / (1.0 + DtwLowerBound(d[i].y, t.column(j).values, options.dtw));
+    }
+  }
+  return caps;
+}
+
+/// Sum over series of each series' best cap (clamped at 0: a series whose
+/// columns are all excluded simply goes unmatched). A matching assigns at
+/// most one column per series, so this dominates any matching total.
+double CapTotal(const std::vector<std::vector<double>>& caps,
+                std::vector<double>* row_best) {
+  double total = 0.0;
+  for (const auto& row : caps) {
+    double best = 0.0;
+    for (double c : row) best = std::max(best, c);
+    if (row_best != nullptr) row_best->push_back(best);
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
 
 std::vector<std::vector<double>> RelevanceMatrix(
     const table::UnderlyingData& d, const table::Table& t,
@@ -38,6 +82,64 @@ RelevanceDetail RelevanceWithMatching(const table::UnderlyingData& d,
 double Relevance(const table::UnderlyingData& d, const table::Table& t,
                  const RelevanceOptions& options) {
   return RelevanceWithMatching(d, t, options).score;
+}
+
+double RelevanceUpperBound(const table::UnderlyingData& d,
+                           const table::Table& t,
+                           const RelevanceOptions& options) {
+  if (d.empty() || t.num_columns() == 0) return 0.0;
+  const double total = CapTotal(WeightCaps(d, t, options), nullptr);
+  return options.normalize_by_series ? total / static_cast<double>(d.size())
+                                     : total;
+}
+
+double PrunedRelevance(const table::UnderlyingData& d, const table::Table& t,
+                       const RelevanceOptions& options, double threshold) {
+  if (d.empty() || t.num_columns() == 0) return 0.0;
+  // Relevance is non-negative, so a negative threshold can never prune;
+  // skip the envelope pass entirely.
+  if (threshold < 0.0) return Relevance(d, t, options);
+  const double denom =
+      options.normalize_by_series ? static_cast<double>(d.size()) : 1.0;
+  const auto caps = WeightCaps(d, t, options);
+  std::vector<double> row_best;
+  row_best.reserve(d.size());
+  const double cap_total = CapTotal(caps, &row_best);
+  // Whole-table prune: even the per-series cap maxima cannot beat the
+  // threshold, so no DP is worth running.
+  if (cap_total <= threshold * denom) return cap_total / denom;
+  // Per-pair prune: pair (i, j) may only enter the optimal matching
+  // alongside at most the other series' caps, so once
+  //   w_ij <= floor_i = threshold * denom - sum_{i' != i} row_best[i']
+  // the whole table provably stays at or below the threshold. In DTW
+  // terms w = 1 / (1 + dist) <= floor exactly when dist >= 1/floor - 1,
+  // which is DtwDistance's abandon contract — distances below the cutoff
+  // stay exact, so any table that can beat the threshold gets the same
+  // weights (and the same Hungarian matching) as the unpruned scan.
+  // cap_total > threshold * denom guarantees floor_i < row_best[i] <= 1.
+  std::vector<std::vector<double>> w(d.size(),
+                                     std::vector<double>(t.num_columns()));
+  for (size_t i = 0; i < d.size(); ++i) {
+    const double floor_i = threshold * denom - (cap_total - row_best[i]);
+    DtwOptions dtw = options.dtw;
+    if (floor_i > 0.0) {
+      dtw.abandon_above =
+          std::min(dtw.abandon_above, 1.0 / floor_i - 1.0);
+    }
+    for (size_t j = 0; j < t.num_columns(); ++j) {
+      if (caps[i][j] < 0.0) {
+        w[i][j] = -1.0;  // Excluded column.
+      } else if (floor_i > 0.0 && caps[i][j] <= floor_i) {
+        // The envelope cap already proves w_ij <= floor_i: prune without
+        // recomputing the envelope (or the DP) inside DtwDistance.
+        w[i][j] = 0.0;
+      } else {
+        w[i][j] = LowLevelRelevance(d[i].y, t.column(j).values, dtw);
+      }
+    }
+  }
+  const MatchingResult m = MaxWeightBipartiteMatching(w);
+  return m.total_weight / denom;
 }
 
 }  // namespace fcm::rel

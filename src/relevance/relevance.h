@@ -46,6 +46,28 @@ RelevanceDetail RelevanceWithMatching(const table::UnderlyingData& d,
                                       const table::Table& t,
                                       const RelevanceOptions& options = {});
 
+/// Matching-aware envelope upper bound on Relevance(d, t, options): each
+/// pair's weight is capped by 1 / (1 + DtwLowerBound(d_i, C_j)) and the
+/// matching total by the sum of per-series caps' maxima (a matching picks
+/// at most one column per series). Runs the O(n + m) envelope per pair,
+/// never the O(n * m) DP.
+double RelevanceUpperBound(const table::UnderlyingData& d,
+                           const table::Table& t,
+                           const RelevanceOptions& options = {});
+
+/// Threshold-pruned Rel(D, T) for bulk top-k scans. Exactness contract:
+/// the return value equals Relevance(d, t, options) whenever that value
+/// exceeds `threshold`; when the matching-aware bound proves
+/// Rel <= threshold, DP work may be skipped (whole-table via
+/// RelevanceUpperBound, per-pair via DtwOptions::abandon_above cutoffs
+/// that leave room for every other series' cap) and some value
+/// <= threshold is returned instead. Pruning therefore stays exact
+/// through the Hungarian step for any caller that only keeps scores
+/// strictly above its running threshold. threshold = -infinity disables
+/// pruning and returns the exact score.
+double PrunedRelevance(const table::UnderlyingData& d, const table::Table& t,
+                       const RelevanceOptions& options, double threshold);
+
 }  // namespace fcm::rel
 
 #endif  // FCM_RELEVANCE_RELEVANCE_H_

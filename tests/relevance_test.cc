@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
 
 #include "common/rng.h"
 #include "relevance/dtw.h"
@@ -343,6 +347,151 @@ TEST(RelevanceTest, NoisyDuplicateBeatsUnrelated) {
   table::DataSeries d;
   d.y = base;
   EXPECT_GT(Relevance({d}, noisy), Relevance({d}, unrelated));
+}
+
+// ---- Matching-aware pruning (PrunedRelevance / RelevanceUpperBound) ----
+
+/// Random multi-series query and lake table for the pruning properties.
+table::Table RandomTable(common::Rng* rng, size_t cols, size_t len) {
+  table::Table t;
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> v(len);
+    for (auto& x : v) x = rng->Normal(0.0, 5.0);
+    t.AddColumn(table::Column("c" + std::to_string(c), v));
+  }
+  return t;
+}
+
+table::UnderlyingData RandomQuery(common::Rng* rng, size_t series,
+                                  size_t len) {
+  table::UnderlyingData d(series);
+  for (auto& s : d) {
+    s.y.resize(len);
+    for (auto& x : s.y) x = rng->Normal(0.0, 5.0);
+  }
+  return d;
+}
+
+TEST(RelevancePruningTest, UpperBoundNeverBelowExactScore) {
+  common::Rng rng(21);
+  RelevanceOptions options;
+  options.dtw.band_fraction = 0.2;
+  for (int it = 0; it < 10; ++it) {
+    const auto d = RandomQuery(&rng, 1 + it % 3, 48);
+    const auto t = RandomTable(&rng, 1 + it % 4, 40 + 4 * it);
+    EXPECT_GE(RelevanceUpperBound(d, t, options) + 1e-12,
+              Relevance(d, t, options));
+  }
+}
+
+TEST(RelevancePruningTest, ExactWheneverScoreExceedsThreshold) {
+  // The contract the ground-truth scan relies on: for any threshold, every
+  // table whose exact score is above it gets exactly the unpruned score —
+  // through the Hungarian matching, not just per pair.
+  common::Rng rng(23);
+  RelevanceOptions options;
+  options.dtw.band_fraction = 0.2;
+  for (int it = 0; it < 12; ++it) {
+    const auto d = RandomQuery(&rng, 1 + it % 3, 48);
+    const auto t = RandomTable(&rng, 2 + it % 3, 44);
+    const double exact = Relevance(d, t, options);
+    for (double threshold : {0.0, exact * 0.5, exact * 0.99}) {
+      const double pruned = PrunedRelevance(d, t, options, threshold);
+      if (exact > threshold) {
+        EXPECT_DOUBLE_EQ(exact, pruned) << "threshold " << threshold;
+      } else {
+        EXPECT_LE(pruned, threshold);
+      }
+    }
+  }
+}
+
+TEST(RelevancePruningTest, AtOrBelowThresholdStaysAtOrBelowThreshold) {
+  common::Rng rng(27);
+  RelevanceOptions options;
+  options.dtw.band_fraction = 0.2;
+  for (int it = 0; it < 10; ++it) {
+    const auto d = RandomQuery(&rng, 2, 48);
+    const auto t = RandomTable(&rng, 3, 44);
+    const double exact = Relevance(d, t, options);
+    // Thresholds above the exact score must never be "beaten" by the
+    // pruned value (that would inject a wrong table into a top-k).
+    for (double threshold : {exact, exact * 1.01, exact + 0.1, 0.999}) {
+      EXPECT_LE(PrunedRelevance(d, t, options, threshold), threshold + 1e-12);
+    }
+  }
+}
+
+TEST(RelevancePruningTest, NegativeThresholdIsExact) {
+  common::Rng rng(29);
+  const auto d = RandomQuery(&rng, 2, 40);
+  const auto t = RandomTable(&rng, 2, 40);
+  RelevanceOptions options;
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(PrunedRelevance(d, t, options, neg_inf),
+                   Relevance(d, t, options));
+}
+
+TEST(RelevancePruningTest, RespectsExcludedColumn) {
+  table::Table t;
+  t.AddColumn(table::Column("x", {1.0, 2.0, 3.0}));
+  t.AddColumn(table::Column("y", {9.0, 8.0, 7.0}));
+  table::DataSeries d;
+  d.y = {1.0, 2.0, 3.0};  // Identical to excluded column 0.
+  RelevanceOptions options;
+  options.exclude_column = 0;
+  const double exact = Relevance({d}, t, options);
+  EXPECT_DOUBLE_EQ(PrunedRelevance({d}, t, options, 0.0), exact);
+  EXPECT_GE(RelevanceUpperBound({d}, t, options) + 1e-12, exact);
+  EXPECT_LT(exact, 1.0);  // The excluded identical column stayed excluded.
+}
+
+TEST(RelevancePruningTest, TopKScanMatchesExhaustiveScan) {
+  // End-to-end shape of the benchmark ground-truth loop: running top-k
+  // with pruning must select exactly the same tables as the full scan.
+  common::Rng rng(31);
+  RelevanceOptions options;
+  options.dtw.band_fraction = 0.2;
+  const auto d = RandomQuery(&rng, 2, 48);
+  std::vector<table::Table> lake;
+  for (int i = 0; i < 24; ++i) {
+    lake.push_back(RandomTable(&rng, 3, 44));
+    lake.back().set_id(i);
+  }
+  // A near-duplicate of the query so the top of the ranking is sharp.
+  table::Table dup;
+  dup.AddColumn(table::Column("a", d[0].y));
+  dup.AddColumn(table::Column("b", d[1].y));
+  dup.set_id(24);
+  lake.push_back(dup);
+
+  const size_t k = 5;
+  std::vector<std::pair<double, int64_t>> exhaustive;
+  for (const auto& t : lake) {
+    exhaustive.emplace_back(Relevance(d, t, options), t.id());
+  }
+  std::sort(exhaustive.begin(), exhaustive.end(), [](auto& a, auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  std::vector<std::pair<double, int64_t>> top;
+  for (const auto& t : lake) {
+    const double threshold =
+        top.size() < k ? -std::numeric_limits<double>::infinity()
+                       : top.back().first;
+    const double score = PrunedRelevance(d, t, options, threshold);
+    if (top.size() >= k && score <= threshold) continue;
+    auto pos = std::upper_bound(
+        top.begin(), top.end(), score,
+        [](double s, const auto& e) { return s > e.first; });
+    top.insert(pos, {score, t.id()});
+    if (top.size() > k) top.pop_back();
+  }
+  ASSERT_EQ(top.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(top[i].second, exhaustive[i].second) << "rank " << i;
+    EXPECT_DOUBLE_EQ(top[i].first, exhaustive[i].first) << "rank " << i;
+  }
 }
 
 }  // namespace

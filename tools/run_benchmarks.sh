@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Builds Release, runs the throughput bench suite, and writes
 # BENCH_<date>.json at the repo root — the perf trajectory consumed by
-# future performance PRs. Usage: tools/run_benchmarks.sh [build_dir]
+# future performance PRs. The JSON's "simd" section records the active
+# kernel dispatch target plus per-target GFLOP/s; set FCM_SIMD
+# (scalar|avx2|neon|auto) to override the dispatch for a run.
+# Usage: tools/run_benchmarks.sh [build_dir]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,4 +22,5 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 "$BIN" "$OUT"
-echo "wrote $OUT"
+echo "wrote $OUT (simd dispatch: $(grep -o '"active": "[a-z0-9]*"' "$OUT" \
+     | head -1 | cut -d'"' -f4))"
