@@ -1,26 +1,33 @@
 // Search-pipeline throughput benchmark: index build and batched query
-// serving at 1/2/N threads over a synthetic lake, plus sharded-LSH build
-// and candidate-generation phases, emitting machine-readable JSON (also
+// serving at 1/2/N threads over a synthetic lake, an async-serving phase
+// (concurrent submitters against AsyncSearchService's futures queue,
+// reporting QPS plus p50/p99 latency), plus sharded-LSH build and
+// candidate-generation phases, emitting machine-readable JSON (also
 // written to the path in argv[1] when given) so perf PRs can track the
-// BENCH_*.json trajectory. Parallel/sharded and serial/unsharded paths
-// must return identical candidates and top-k rankings; the JSON records
-// every check and the exit code is nonzero when any fails.
+// BENCH_*.json trajectory. Parallel/sharded/async and serial paths must
+// return identical top-k rankings, and the async service must drop
+// nothing in block mode; the JSON records every check and the exit code
+// is nonzero when any fails.
 //
 // Scale knobs: FCM_BENCH_TABLES (default 96), FCM_BENCH_QUERIES (default
-// 24), FCM_BENCH_LSH_ITEMS (default 20000). Runtime is a couple of
-// minutes at the defaults on one core.
+// 24), FCM_BENCH_LSH_ITEMS (default 20000), FCM_BENCH_ASYNC_REQUESTS
+// (default 160), FCM_BENCH_ASYNC_SUBMITTERS (default 4). Runtime is a
+// couple of minutes at the defaults on one core.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "chart/renderer.h"
+#include "index/async_service.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
@@ -262,6 +269,84 @@ int main(int argc, char** argv) {
     determinism.push_back({fcm::index::IndexStrategyName(s), identical});
   }
 
+  // ---- Async serving: concurrent submitters vs a serial Search loop ----
+  // Closed-loop submitters drive AsyncSearchService (block-mode
+  // backpressure: nothing may be dropped) and every response is checked
+  // bit-identical against Search. The baseline is the plain serial loop a
+  // caller without the service would write: one thread, one Search per
+  // request, on the same engine.
+  const int async_requests = EnvInt("FCM_BENCH_ASYNC_REQUESTS", 160);
+  const int async_submitters =
+      std::max(1, EnvInt("FCM_BENCH_ASYNC_SUBMITTERS", 4));
+  fcm::index::SearchEngine& hw_engine = *engines[thread_counts.size() - 1];
+  std::vector<std::vector<fcm::index::SearchHit>> async_reference(
+      queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    async_reference[qi] = hw_engine.Search(queries[qi], k, strategy);
+  }
+  const auto t_async_serial = Clock::now();
+  for (int r = 0; r < async_requests; ++r) {
+    hw_engine.Search(queries[static_cast<size_t>(r) % queries.size()], k,
+                     strategy);
+  }
+  const double async_serial_seconds = Seconds(t_async_serial);
+
+  fcm::index::AsyncServiceOptions async_options;
+  async_options.queue_capacity = 64;
+  async_options.backpressure = fcm::index::BackpressureMode::kBlock;
+  async_options.max_batch_size = 16;
+  // Closed-loop submitters: once the dispatcher has popped every in-flight
+  // request, no new one can arrive until a future resolves, so a coalesce
+  // delay would be a pure pipeline bubble. 0 dispatches whatever is queued
+  // (open-loop traffic is where the delay knob buys bigger batches).
+  async_options.max_batch_delay_ms = 0.0;
+  std::vector<double> latencies_ms(static_cast<size_t>(async_requests), 0.0);
+  std::atomic<bool> async_identical{true};
+  std::atomic<int> next_request{0};
+  double async_seconds = 0.0;
+  fcm::index::AsyncServiceStats service_stats;
+  {
+    fcm::index::AsyncSearchService service(&hw_engine, async_options);
+    const auto t_async = Clock::now();
+    std::vector<std::thread> submitter_threads;
+    for (int s = 0; s < async_submitters; ++s) {
+      submitter_threads.emplace_back([&]() {
+        for (;;) {
+          const int r = next_request.fetch_add(1);
+          if (r >= async_requests) break;
+          const size_t qi = static_cast<size_t>(r) % queries.size();
+          const auto t0 = Clock::now();
+          auto hits = service.Submit(queries[qi], k, strategy).get();
+          latencies_ms[static_cast<size_t>(r)] = Seconds(t0) * 1e3;
+          if (!SameHits(hits, async_reference[qi])) {
+            async_identical.store(false);
+          }
+        }
+      });
+    }
+    for (auto& t : submitter_threads) t.join();
+    async_seconds = Seconds(t_async);
+    service.Shutdown();
+    service_stats = service.stats();
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50_ms = latencies_ms[latencies_ms.size() / 2];
+  const double p99_ms =
+      latencies_ms[std::min(latencies_ms.size() - 1,
+                            latencies_ms.size() * 99 / 100)];
+  const double async_qps =
+      static_cast<double>(async_requests) / std::max(async_seconds, 1e-9);
+  const double async_serial_qps = static_cast<double>(async_requests) /
+                                  std::max(async_serial_seconds, 1e-9);
+  // Block mode must not drop or reject anything: every submitted request
+  // has to complete. A violation fails the bench (and run_benchmarks.sh
+  // checks the JSON again).
+  const bool async_clean =
+      async_identical.load() && service_stats.rejected == 0 &&
+      service_stats.cancelled == 0 && service_stats.failed == 0 &&
+      service_stats.completed == static_cast<uint64_t>(async_requests);
+  all_identical = all_identical && async_clean;
+
   // ---- Sharded LSH build + candidate generation (index layer only) ----
   // The engine-level lake keeps LSH build in the microseconds, so this
   // phase scales the index layer alone: one batch insert of `lsh_items`
@@ -394,6 +479,39 @@ int main(int argc, char** argv) {
     json += buf;
   }
   json += "  ],\n";
+  json += "  \"async\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"requests\": %d, \"submitters\": %d, "
+                "\"queue_capacity\": %zu, \"max_batch_size\": %zu, "
+                "\"max_batch_delay_ms\": %.2f, \"backpressure\": \"block\",\n",
+                async_requests, async_submitters,
+                async_options.queue_capacity, async_options.max_batch_size,
+                async_options.max_batch_delay_ms);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"serial_seconds\": %.4f, \"serial_qps\": %.2f,\n",
+                async_serial_seconds, async_serial_qps);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"seconds\": %.4f, \"qps\": %.2f, "
+                "\"qps_speedup_vs_serial\": %.3f,\n",
+                async_seconds, async_qps,
+                async_qps / std::max(async_serial_qps, 1e-9));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n", p50_ms, p99_ms);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"batches\": %llu, \"max_coalesced\": %zu, "
+                "\"rejected\": %llu, \"cancelled\": %llu, "
+                "\"failed\": %llu, \"identical_topk\": %s\n  },\n",
+                static_cast<unsigned long long>(service_stats.batches),
+                service_stats.max_coalesced,
+                static_cast<unsigned long long>(service_stats.rejected),
+                static_cast<unsigned long long>(service_stats.cancelled),
+                static_cast<unsigned long long>(service_stats.failed),
+                async_clean ? "true" : "false");
+  json += buf;
   json += "  \"lsh_index\": {\n";
   std::snprintf(buf, sizeof(buf),
                 "    \"items\": %d, \"dim\": %d, \"tables\": %d, "

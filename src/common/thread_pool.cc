@@ -9,19 +9,27 @@
 namespace fcm::common {
 
 // One ParallelFor invocation. Workers claim contiguous index chunks with a
-// single fetch_add; the batch stays on the pending queue until exhausted so
+// single fetch_add; the batch stays on the pending deque until exhausted so
 // every idle worker can join it. `fn` is only dereferenced for indices
 // claimed while next < n, and the owner blocks until next >= n with no
-// worker inside, so the pointer never outlives the call.
+// worker inside, so the pointer never outlives the call — a worker that
+// grabbed the batch just before exhaustion claims nothing and leaves.
 struct ThreadPool::Batch {
   size_t n = 0;
   size_t chunk = 1;
   const std::function<void(size_t)>* fn = nullptr;
   std::atomic<size_t> next{0};
+  /// Workers currently inside RunBatch. Read lock-free by the scheduler
+  /// (least-helped batch pick); decrements happen under `mu` so the
+  /// owner's completion wait cannot miss its wakeup.
+  std::atomic<int> active{0};
   std::mutex mu;
   std::condition_variable cv;
-  int workers_inside = 0;        // Guarded by mu.
-  std::exception_ptr error;      // Guarded by mu; first failure wins.
+  std::exception_ptr error;  // Guarded by mu; first failure wins.
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= n;
+  }
 };
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -53,21 +61,31 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this]() { return shutdown_ || !pending_.empty(); });
       if (pending_.empty()) return;  // Shutdown with nothing in flight.
-      batch = pending_.front();
-      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
-        pending_.pop();  // Exhausted; retire it and look again.
-        continue;
+      // Prune exhausted batches, then help the live batch with the fewest
+      // active helpers. Concurrent owners (pipeline stages, re-entrant
+      // calls) therefore share the workers instead of every idle worker
+      // piling onto the oldest batch while the others run owner-only.
+      int best_load = 0;
+      for (size_t i = 0; i < pending_.size();) {
+        if (pending_[i]->exhausted()) {
+          pending_.erase(pending_.begin() + static_cast<long>(i));
+          continue;
+        }
+        const int load = pending_[i]->active.load(std::memory_order_relaxed);
+        if (batch == nullptr || load < best_load) {
+          batch = pending_[i];
+          best_load = load;
+        }
+        ++i;
       }
+      if (batch == nullptr) continue;  // Only exhausted batches; re-wait.
     }
     RunBatch(batch);
   }
 }
 
 void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
-  {
-    std::lock_guard<std::mutex> lk(batch->mu);
-    ++batch->workers_inside;
-  }
+  batch->active.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     const size_t start = batch->next.fetch_add(batch->chunk);
     if (start >= batch->n) break;
@@ -82,8 +100,11 @@ void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
     }
   }
   {
+    // The decrement must happen under mu: the owner's completion wait
+    // checks `active` inside the same lock, so dropping to zero and the
+    // notify can never interleave into a missed wakeup.
     std::lock_guard<std::mutex> lk(batch->mu);
-    --batch->workers_inside;
+    batch->active.fetch_sub(1, std::memory_order_relaxed);
   }
   batch->cv.notify_all();
 }
@@ -120,15 +141,28 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       1, n / (static_cast<size_t>(num_threads_) * 4));
   {
     std::lock_guard<std::mutex> lk(mu_);
-    pending_.push(batch);
+    pending_.push_back(batch);
   }
   cv_.notify_all();
   RunBatch(batch);
-  std::unique_lock<std::mutex> lk(batch->mu);
-  batch->cv.wait(lk, [&batch]() {
-    return batch->workers_inside == 0 &&
-           batch->next.load(std::memory_order_relaxed) >= batch->n;
-  });
+  {
+    std::unique_lock<std::mutex> lk(batch->mu);
+    batch->cv.wait(lk, [&batch]() {
+      return batch->active.load(std::memory_order_relaxed) == 0 &&
+             batch->exhausted();
+    });
+  }
+  {
+    // Retire the batch eagerly so concurrent owners' scheduler scans stay
+    // short; a worker may already have pruned it.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->get() == batch.get()) {
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
   if (batch->error) std::rethrow_exception(batch->error);
 }
 

@@ -2,17 +2,26 @@
 // work items are identified by index, results land in index order, and the
 // computation per index is byte-identical to a serial loop — parallelism
 // only changes wall-clock time, never output. Used by the search engine to
-// fan out per-table encoding and candidate scoring.
+// fan out per-table encoding and candidate scoring, and by the async
+// serving pipeline whose stage threads dispatch onto one shared pool.
+//
+// Concurrency contract: ParallelFor / ParallelForSharded may be called
+// concurrently from any number of owner threads, and re-entrantly from
+// inside a worker iteration. Every owner participates in its own batch, so
+// an owner always makes progress even when all workers are busy elsewhere;
+// idle workers spread across the in-flight batches (least-helped first)
+// instead of queuing behind the oldest one, which is what lets pipeline
+// stages overlap instead of serializing.
 
 #ifndef FCM_COMMON_THREAD_POOL_H_
 #define FCM_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -35,7 +44,10 @@ class ThreadPool {
   /// (the calling thread participates). Iterations may run in any order on
   /// any worker; callers must make fn(i) touch only index-i state. If any
   /// iteration throws, the first exception (in completion order) is
-  /// rethrown here after all workers drain.
+  /// rethrown here after all workers drain. Safe to call from several
+  /// owner threads at once and from inside a worker iteration (see the
+  /// file comment); fn must not block waiting on another ParallelFor's
+  /// *result* produced outside this call, only on pool progress.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Deterministic map: out[i] = fn(i), in index order regardless of the
@@ -70,7 +82,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::shared_ptr<Batch>> pending_;
+  /// In-flight batches; exhausted entries are pruned by workers and by the
+  /// owning ParallelFor on its way out.
+  std::deque<std::shared_ptr<Batch>> pending_;
   bool shutdown_ = false;
 };
 

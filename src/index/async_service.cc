@@ -1,0 +1,273 @@
+#include "index/async_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace fcm::index {
+
+/// One accepted request travelling through the pipeline.
+struct AsyncSearchService::Request {
+  vision::ExtractedChart query;
+  int k = 0;
+  IndexStrategy strategy = IndexStrategy::kNoIndex;
+  std::promise<std::vector<SearchHit>> promise;
+};
+
+/// A coalesced group of requests plus their engine-side stage state.
+/// `staged[i].query` points into `requests[i]`, which is stable: the
+/// vectors are never resized after staging is set up.
+struct AsyncSearchService::MicroBatch {
+  std::vector<Request> requests;
+  std::vector<SearchEngine::StagedQuery> staged;
+};
+
+// Bounded stage hand-off. Depth 2 keeps at most one batch queued behind
+// the one a stage is working on: enough to decouple the stages (the whole
+// point of the pipeline) without letting an infinite tail of admitted
+// work pile up between them — backpressure reaches Submit through the
+// dispatcher blocking here.
+class AsyncSearchService::StageChannel {
+ public:
+  static constexpr size_t kDepth = 2;
+
+  /// Blocks while the channel is full. Never called after Close.
+  void Push(std::unique_ptr<MicroBatch> batch) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this]() { return batches_.size() < kDepth; });
+    batches_.push_back(std::move(batch));
+    lk.unlock();
+    cv_data_.notify_one();
+  }
+
+  /// Blocks until a batch or Close; nullptr means closed and drained.
+  std::unique_ptr<MicroBatch> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_data_.wait(lk, [this]() { return closed_ || !batches_.empty(); });
+    if (batches_.empty()) return nullptr;
+    auto batch = std::move(batches_.front());
+    batches_.pop_front();
+    lk.unlock();
+    cv_space_.notify_one();
+    return batch;
+  }
+
+  /// Marks the upstream stage done; queued batches still drain.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_data_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_space_, cv_data_;
+  std::deque<std::unique_ptr<MicroBatch>> batches_;
+  bool closed_ = false;
+};
+
+AsyncSearchService::AsyncSearchService(const SearchEngine* engine,
+                                       const AsyncServiceOptions& options)
+    : engine_(engine), options_(options) {
+  FCM_CHECK(engine_ != nullptr);
+  FCM_CHECK_GT(options_.queue_capacity, 0u);
+  FCM_CHECK_GT(options_.max_batch_size, 0u);
+  encode_to_candidates_ = std::make_unique<StageChannel>();
+  candidates_to_score_ = std::make_unique<StageChannel>();
+  dispatch_thread_ = std::thread([this]() { DispatchLoop(); });
+  candidate_thread_ = std::thread([this]() { CandidateLoop(); });
+  score_thread_ = std::thread([this]() { ScoreLoop(); });
+}
+
+AsyncSearchService::~AsyncSearchService() { Shutdown(/*drain=*/true); }
+
+std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
+    vision::ExtractedChart query, int k, IndexStrategy strategy) {
+  Request request;
+  request.query = std::move(query);
+  request.k = k;
+  request.strategy = strategy;
+  auto future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (options_.backpressure == BackpressureMode::kBlock) {
+    cv_space_.wait(lk, [this]() {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+  }
+  if (stopping_ || queue_.size() >= options_.queue_capacity) {
+    ++rejected_;
+    const char* reason =
+        stopping_ ? "AsyncSearchService is shut down" : "request queue full";
+    lk.unlock();
+    request.promise.set_exception(
+        std::make_exception_ptr(RejectedError(reason)));
+    return future;
+  }
+  queue_.push_back(std::move(request));
+  ++submitted_;
+  lk.unlock();
+  cv_data_.notify_one();
+  return future;
+}
+
+std::vector<std::future<std::vector<SearchHit>>>
+AsyncSearchService::SubmitBatch(std::vector<vision::ExtractedChart> queries,
+                                int k, IndexStrategy strategy) {
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  futures.reserve(queries.size());
+  for (auto& query : queries) {
+    futures.push_back(Submit(std::move(query), k, strategy));
+  }
+  return futures;
+}
+
+void AsyncSearchService::DispatchLoop() {
+  for (;;) {
+    auto batch = std::make_unique<MicroBatch>();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_data_.wait(lk, [this]() { return stopping_ || !queue_.empty(); });
+      if (cancel_) {
+        // Shutdown(false): fail everything still queued, deterministically
+        // in queue order, then retire the pipeline.
+        while (!queue_.empty()) {
+          Request request = std::move(queue_.front());
+          queue_.pop_front();
+          ++cancelled_;
+          request.promise.set_exception(std::make_exception_ptr(
+              ShutdownError("cancelled by Shutdown(drain=false)")));
+        }
+        break;
+      }
+      if (queue_.empty()) break;  // stopping_ && drained: retire.
+
+      // Coalesce: take the first request, then wait up to max_batch_delay
+      // for more, capped at max_batch_size. The deadline is measured from
+      // the moment the batch starts forming, so a request's queueing
+      // latency is bounded by the delay knob (plus pipeline occupancy).
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  options_.max_batch_delay_ms));
+      batch->requests.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      while (batch->requests.size() < options_.max_batch_size) {
+        if (queue_.empty()) {
+          if (stopping_ ||
+              cv_data_.wait_until(lk, deadline, [this]() {
+                return stopping_ || !queue_.empty();
+              }) == false) {
+            break;  // Delay budget spent (or draining): dispatch what we have.
+          }
+          if (queue_.empty()) break;  // stopping_ woke us with nothing new.
+        }
+        batch->requests.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++batches_;
+      max_coalesced_ = std::max(max_coalesced_, batch->requests.size());
+    }
+    cv_space_.notify_all();  // Freed queue slots.
+
+    batch->staged.resize(batch->requests.size());
+    for (size_t i = 0; i < batch->requests.size(); ++i) {
+      batch->staged[i].query = &batch->requests[i].query;
+      batch->staged[i].strategy = batch->requests[i].strategy;
+      batch->staged[i].k = batch->requests[i].k;
+    }
+    try {
+      engine_->EncodeStage(&batch->staged);
+    } catch (...) {
+      FailBatch(batch.get(), std::current_exception());
+      continue;
+    }
+    encode_to_candidates_->Push(std::move(batch));
+  }
+  encode_to_candidates_->Close();
+  cv_space_.notify_all();  // Unblock kBlock submitters racing the shutdown.
+}
+
+void AsyncSearchService::CandidateLoop() {
+  for (;;) {
+    auto batch = encode_to_candidates_->Pop();
+    if (batch == nullptr) break;
+    try {
+      engine_->CandidateStage(&batch->staged);
+    } catch (...) {
+      FailBatch(batch.get(), std::current_exception());
+      continue;
+    }
+    candidates_to_score_->Push(std::move(batch));
+  }
+  candidates_to_score_->Close();
+}
+
+void AsyncSearchService::ScoreLoop() {
+  for (;;) {
+    auto batch = candidates_to_score_->Pop();
+    if (batch == nullptr) break;
+    std::vector<std::vector<SearchHit>> results;
+    try {
+      results = engine_->ScoreStage(batch->staged);
+    } catch (...) {
+      FailBatch(batch.get(), std::current_exception());
+      continue;
+    }
+    for (size_t i = 0; i < batch->requests.size(); ++i) {
+      batch->requests[i].promise.set_value(std::move(results[i]));
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    completed_ += batch->requests.size();
+  }
+}
+
+void AsyncSearchService::FailBatch(MicroBatch* batch,
+                                   const std::exception_ptr& error) {
+  for (auto& request : batch->requests) {
+    request.promise.set_exception(error);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  failed_ += batch->requests.size();
+}
+
+void AsyncSearchService::Shutdown(bool drain) {
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      cancel_ = !drain;
+    }
+    // A later Shutdown never un-cancels or re-cancels: the first call's
+    // mode wins and this one just waits for the join below.
+  }
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+  if (!joined_) {
+    dispatch_thread_.join();
+    candidate_thread_.join();
+    score_thread_.join();
+    joined_ = true;
+  }
+}
+
+AsyncServiceStats AsyncSearchService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AsyncServiceStats out;
+  out.submitted = submitted_;
+  out.completed = completed_;
+  out.rejected = rejected_;
+  out.cancelled = cancelled_;
+  out.failed = failed_;
+  out.batches = batches_;
+  out.max_coalesced = max_coalesced_;
+  return out;
+}
+
+}  // namespace fcm::index

@@ -1,0 +1,168 @@
+// Futures-based async serving front-end for SearchEngine (the ROADMAP's
+// async-serving item): Submit() enqueues a request into a bounded queue
+// with configurable backpressure and immediately returns a
+// std::future<std::vector<SearchHit>>. A dispatcher coalesces queued
+// requests into micro-batches under a max-size / max-delay policy and runs
+// the engine's three serving stages — chart encoding, LSH candidate
+// generation, candidate scoring + ranking — as overlapping pipeline stages
+// on dedicated threads, each fanning its heavy work out on the engine's
+// shared ThreadPool. Encoding of micro-batch N+1 therefore runs while
+// micro-batch N is still scoring, which is what turns the synchronous
+// batch API into a latency-bounded service.
+//
+// Determinism contract: every request's ranking is bit-identical to
+// SearchEngine::Search(query, k, strategy) regardless of how requests were
+// coalesced — all paths run the same per-request stage code. Shutdown
+// either drains (every accepted request is served) or cancels (requests
+// not yet dispatched fail with ShutdownError; micro-batches already in the
+// pipeline still complete), deterministically in both modes.
+
+#ifndef FCM_INDEX_ASYNC_SERVICE_H_
+#define FCM_INDEX_ASYNC_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "index/search_engine.h"
+#include "vision/extracted_chart.h"
+
+namespace fcm::index {
+
+/// What Submit does when the request queue is full.
+enum class BackpressureMode {
+  /// Block the caller until space frees up (or the service shuts down).
+  /// No accepted request is ever dropped in this mode.
+  kBlock,
+  /// Fail the returned future immediately with RejectedError.
+  kReject,
+};
+
+/// Queue and micro-batching knobs.
+struct AsyncServiceOptions {
+  /// Max requests waiting to be dispatched into a micro-batch.
+  size_t queue_capacity = 256;
+  BackpressureMode backpressure = BackpressureMode::kBlock;
+  /// Micro-batch size cap: the dispatcher never coalesces more requests
+  /// than this into one pipeline pass.
+  size_t max_batch_size = 16;
+  /// How long the dispatcher waits for more requests after the first one
+  /// of a forming micro-batch arrives. 0 dispatches immediately.
+  double max_batch_delay_ms = 1.0;
+};
+
+/// Thrown (through the future) when kReject backpressure refuses a request
+/// or when Submit races a shutdown.
+struct RejectedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown (through the future) for requests cancelled by
+/// Shutdown(/*drain=*/false) before they were dispatched.
+struct ShutdownError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Counter snapshot (stats()); monotone over the service's lifetime.
+/// Every accepted request lands in exactly one of completed / cancelled /
+/// failed, so submitted == completed + cancelled + failed once the
+/// service is drained.
+struct AsyncServiceStats {
+  uint64_t submitted = 0;   ///< Requests accepted into the queue.
+  uint64_t completed = 0;   ///< Futures fulfilled with a ranking.
+  uint64_t rejected = 0;    ///< Refused at Submit (queue full / shut down).
+  uint64_t cancelled = 0;   ///< Accepted but failed by Shutdown(false).
+  uint64_t failed = 0;      ///< Accepted but failed by an engine-stage error.
+  uint64_t batches = 0;     ///< Micro-batches dispatched into the pipeline.
+  size_t max_coalesced = 0; ///< Largest micro-batch dispatched.
+};
+
+class AsyncSearchService {
+ public:
+  /// `engine` must already be built and must outlive the service.
+  explicit AsyncSearchService(const SearchEngine* engine,
+                              const AsyncServiceOptions& options = {});
+  /// Shutdown(/*drain=*/true): serves everything accepted, then joins.
+  ~AsyncSearchService();
+
+  AsyncSearchService(const AsyncSearchService&) = delete;
+  AsyncSearchService& operator=(const AsyncSearchService&) = delete;
+
+  /// Enqueues one query; the future resolves to the same hits
+  /// SearchEngine::Search(query, k, strategy) would return. Under kBlock
+  /// backpressure a full queue blocks the caller; under kReject the future
+  /// fails with RejectedError. After Shutdown the future always fails with
+  /// RejectedError.
+  std::future<std::vector<SearchHit>> Submit(vision::ExtractedChart query,
+                                             int k, IndexStrategy strategy);
+
+  /// Enqueues a batch; one future per query, same semantics as Submit
+  /// (requests may still be coalesced with other submitters' work).
+  std::vector<std::future<std::vector<SearchHit>>> SubmitBatch(
+      std::vector<vision::ExtractedChart> queries, int k,
+      IndexStrategy strategy);
+
+  /// Stops accepting requests and joins the pipeline. drain=true serves
+  /// every accepted request first; drain=false fails queued-but-undispatched
+  /// requests with ShutdownError (micro-batches already in the pipeline
+  /// still complete). Idempotent; the first call's mode wins.
+  void Shutdown(bool drain = true);
+
+  AsyncServiceStats stats() const;
+
+ private:
+  struct Request;
+  struct MicroBatch;
+
+  /// Bounded single-producer/single-consumer hand-off between adjacent
+  /// pipeline stages. Push blocks while the stage ahead is `depth` batches
+  /// behind, so admission control propagates back to the request queue.
+  class StageChannel;
+
+  void DispatchLoop();   // Coalesce + stage 1 (encode).
+  void CandidateLoop();  // Stage 2 (LSH probes + merge).
+  void ScoreLoop();      // Stage 3 (score + rank) and fulfillment.
+
+  const SearchEngine* engine_;
+  AsyncServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;  // Queue has room (or shutting down).
+  std::condition_variable cv_data_;   // Queue has data (or shutting down).
+  std::deque<Request> queue_;
+  bool stopping_ = false;  // No new requests; set once by Shutdown.
+  bool cancel_ = false;    // Shutdown(false): fail undispatched requests.
+
+  // Monotone counters (guarded by mu_ where they pair with queue state;
+  // completed_ is only touched by the score thread).
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t batches_ = 0;
+  size_t max_coalesced_ = 0;
+
+  /// Fails every request of `batch` with `error` and accounts them as
+  /// failed — called when an engine stage throws; the pipeline stays up.
+  void FailBatch(MicroBatch* batch, const std::exception_ptr& error);
+
+  std::unique_ptr<StageChannel> encode_to_candidates_;
+  std::unique_ptr<StageChannel> candidates_to_score_;
+  std::thread dispatch_thread_;
+  std::thread candidate_thread_;
+  std::thread score_thread_;
+
+  std::mutex shutdown_mu_;  // Serializes Shutdown callers / the dtor.
+  bool joined_ = false;
+};
+
+}  // namespace fcm::index
+
+#endif  // FCM_INDEX_ASYNC_SERVICE_H_

@@ -38,7 +38,15 @@ struct SearchHit {
 /// Per-query statistics for the efficiency study.
 struct QueryStats {
   size_t candidates_scored = 0;
+  /// Time attributable to this query alone. Search reports the query's
+  /// full wall time; SearchBatch reports the summed scoring time of the
+  /// query's own candidates (its pairs may run on several workers at once,
+  /// so this is aggregate CPU time, not elapsed time — and never the whole
+  /// batch's wall clock, which used to over-count per-query cost).
   double seconds = 0.0;
+  /// Wall time of the call that served this query: == seconds for Search,
+  /// the shared whole-batch wall time for every query of a SearchBatch.
+  double batch_seconds = 0.0;
 };
 
 /// Index build statistics (Table VIII's build time / memory columns).
@@ -95,12 +103,49 @@ class SearchEngine {
   /// while amortizing thread-pool dispatch across the batch — chart
   /// encoding, LSH candidate generation (one QueryBatch over every
   /// query's line embeddings), candidate scoring, and ranking each fan
-  /// out once for the whole batch. `stats`, when given,
-  /// receives one entry per query; QueryStats::seconds reports the whole
-  /// batch's wall time for every query (per-query times overlap).
+  /// out once for the whole batch. `stats`, when given, receives one entry
+  /// per query (per-query scoring seconds plus the shared batch_seconds;
+  /// see QueryStats).
   std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<vision::ExtractedChart>& queries, int k,
       IndexStrategy strategy, std::vector<QueryStats>* stats = nullptr) const;
+
+  // ---- Serving-pipeline stages ----
+  // Search and SearchBatch are thin compositions of the three stages
+  // below, and AsyncSearchService runs them as overlapping pipeline
+  // stages on micro-batches of queued requests. Because every path goes
+  // through the same stage code with per-request strategy and k, a
+  // request's ranking is bit-identical however requests are grouped into
+  // stage calls. Stages are const and safe to call concurrently from
+  // several threads (the shared pool accepts concurrent owners).
+
+  /// One request's stage state. `query` must outlive the stage calls.
+  struct StagedQuery {
+    const vision::ExtractedChart* query = nullptr;
+    IndexStrategy strategy = IndexStrategy::kNoIndex;
+    int k = 0;
+    core::ChartRepresentation chart_rep;           // Stage 1 output.
+    std::vector<std::vector<int64_t>> line_hits;   // Stage 2, LSH probes.
+    std::vector<table::TableId> candidates;        // Stage 2 output.
+  };
+
+  /// Stage 1 — chart encoding: fills chart_rep for every staged query in
+  /// one pool dispatch. Queries without lines stay empty.
+  void EncodeStage(std::vector<StagedQuery>* staged) const;
+
+  /// Stage 2 — candidate generation: one sharded LSH QueryBatch over every
+  /// staged query that consults the LSH index, then the per-query merge
+  /// (sorted ids, identical to the single-query path).
+  void CandidateStage(std::vector<StagedQuery>* staged) const;
+
+  /// Stage 3 — scoring + ranking: one flat dispatch over all
+  /// (query, candidate) pairs, then per-query top-k assembly. `stats`,
+  /// when given, must be parallel to *staged and receives
+  /// candidates_scored plus per-query scoring seconds (batch_seconds is
+  /// left for the caller to fill).
+  std::vector<std::vector<SearchHit>> ScoreStage(
+      const std::vector<StagedQuery>& staged,
+      std::vector<QueryStats>* stats = nullptr) const;
 
   const BuildStats& build_stats() const { return build_stats_; }
 
@@ -119,19 +164,11 @@ class SearchEngine {
     std::vector<std::vector<std::vector<float>>> derivation_means;
   };
 
-  /// Per-line LSH payload lists for one query's chart representation:
-  /// computes every line's mean embedding once and probes all tables and
-  /// probes through one QueryBatch. Search and SearchBatch both feed
-  /// Candidates from here, so query-side means are never recomputed at
-  /// dispatch time.
-  std::vector<std::vector<int64_t>> QueryLineHits(
-      const core::ChartRepresentation& chart_rep) const;
-
   /// Candidate ids for one query under `strategy`, sorted ascending:
   /// RankHits breaks score ties by candidate position, so a sorted order
   /// is what keeps rankings reproducible across runs and platforms.
   /// `line_hits` points at `num_line_hits` per-line LSH payload lists
-  /// (one per chart line, from QueryLineHits / QueryBatch); required —
+  /// (one per chart line, from CandidateStage's QueryBatch); required —
   /// possibly empty — for the LSH and hybrid strategies, ignored
   /// otherwise.
   std::vector<table::TableId> Candidates(

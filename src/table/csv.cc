@@ -7,23 +7,64 @@
 
 namespace fcm::table {
 
+namespace {
+
+/// Splits one CSV record into cells, honoring double-quoted fields: commas
+/// inside quotes stay in the cell and "" unescapes to a single quote. A
+/// trailing '\r' is stripped first, so CRLF files parsed by splitting on
+/// '\n' no longer leak '\r' into the last header name and every row's last
+/// cell (which silently broke column lookup and numeric parsing). An
+/// unterminated quote runs to the end of the record.
+std::vector<std::string> SplitCsvRecord(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
 common::Result<Table> ParseCsv(const std::string& content,
                                const std::string& table_name) {
   std::vector<std::string> lines = common::Split(content, '\n');
-  // Drop trailing blank lines.
+  // Drop trailing blank lines (Trim also eats a blank CRLF line's '\r').
   while (!lines.empty() && common::Trim(lines.back()).empty()) {
     lines.pop_back();
   }
   if (lines.empty()) {
     return common::Status::InvalidArgument("empty CSV: " + table_name);
   }
-  const std::vector<std::string> header = common::Split(lines[0], ',');
+  const std::vector<std::string> header = SplitCsvRecord(lines[0]);
   std::vector<Column> cols;
   cols.reserve(header.size());
   for (const auto& h : header) cols.emplace_back(common::Trim(h),
                                                  std::vector<double>{});
   for (size_t li = 1; li < lines.size(); ++li) {
-    const std::vector<std::string> cells = common::Split(lines[li], ',');
+    const std::vector<std::string> cells = SplitCsvRecord(lines[li]);
     if (cells.size() != cols.size()) {
       return common::Status::InvalidArgument(
           common::StrFormat("CSV row %zu has %zu cells, expected %zu", li,

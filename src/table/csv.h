@@ -12,7 +12,9 @@ namespace fcm::table {
 
 /// Parses a CSV string whose first line is a header and remaining lines are
 /// numeric rows. Non-numeric cells fail with InvalidArgument; ragged rows
-/// fail with InvalidArgument.
+/// fail with InvalidArgument. Handles CRLF line endings and double-quoted
+/// fields (commas stay inside quotes; "" unescapes to one quote). Newlines
+/// inside quoted fields are not supported — records are one per line.
 common::Result<Table> ParseCsv(const std::string& content,
                                const std::string& table_name);
 

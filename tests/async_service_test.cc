@@ -1,0 +1,318 @@
+// Tests for index::AsyncSearchService: bit-identical equivalence with
+// SearchEngine::Search across coalescing patterns and strategies,
+// backpressure semantics (bounded queue, block vs reject), deterministic
+// shutdown (drain and cancel), and many-submitter stress — the latter is
+// the TSan target for concurrent stage dispatch onto the shared pool
+// (build with -DFCM_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "chart/renderer.h"
+#include "core/fcm_config.h"
+#include "core/fcm_model.h"
+#include "index/async_service.h"
+#include "index/search_engine.h"
+#include "table/data_lake.h"
+#include "table/data_series.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::index {
+namespace {
+
+class AsyncSearchServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) {
+      table::Table t;
+      for (int c = 0; c < 2; ++c) {
+        std::vector<double> v(60);
+        for (size_t j = 0; j < v.size(); ++j) {
+          v[j] = std::cos(static_cast<double>(j) * (0.05 + 0.03 * i) + c) *
+                     (2.0 + i) +
+                 1.5 * c;
+        }
+        t.AddColumn(table::Column("c" + std::to_string(c), std::move(v)));
+      }
+      lake_.Add(std::move(t));
+    }
+    core::FcmConfig config;
+    config.embed_dim = 16;
+    config.num_layers = 1;
+    config.strip_height = 16;
+    config.strip_width = 64;
+    config.line_segment_width = 16;
+    config.column_length = 64;
+    config.data_segment_size = 16;
+    model_ = std::make_unique<core::FcmModel>(config);
+
+    SearchEngineOptions options;
+    options.num_threads = 2;
+    engine_ = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    engine_->BuildWithOptions(options);
+
+    vision::MaskOracleExtractor oracle;
+    for (int q = 0; q < 5; ++q) {
+      table::DataSeries d;
+      d.y = lake_.Get(q % 8).column(q % 2).values;
+      queries_.push_back(
+          oracle.Extract(chart::RenderLineChart({d})).value());
+    }
+  }
+
+  static void ExpectSameHits(const std::vector<SearchHit>& a,
+                             const std::vector<SearchHit>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].table_id, b[i].table_id) << "rank " << i;
+      // Bit-identical, not approximately equal: the async pipeline runs
+      // the same stage code as Search, so scores must match exactly.
+      EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+    }
+  }
+
+  table::DataLake lake_;
+  std::unique_ptr<core::FcmModel> model_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::vector<vision::ExtractedChart> queries_;
+};
+
+TEST_F(AsyncSearchServiceTest, MatchesSearchAcrossCoalescingPatterns) {
+  // Micro-batch knobs from "never coalesce" through "coalesce everything";
+  // each configuration must produce rankings bit-identical to Search for
+  // every request, whatever batches the dispatcher happened to form.
+  const AsyncServiceOptions configs[] = {
+      {/*queue_capacity=*/64, BackpressureMode::kBlock,
+       /*max_batch_size=*/1, /*max_batch_delay_ms=*/0.0},
+      {/*queue_capacity=*/64, BackpressureMode::kBlock,
+       /*max_batch_size=*/3, /*max_batch_delay_ms=*/2.0},
+      {/*queue_capacity=*/64, BackpressureMode::kBlock,
+       /*max_batch_size=*/64, /*max_batch_delay_ms=*/5.0},
+  };
+  const IndexStrategy strategies[] = {
+      IndexStrategy::kNoIndex, IndexStrategy::kIntervalTree,
+      IndexStrategy::kLsh, IndexStrategy::kHybrid};
+  for (const auto& options : configs) {
+    AsyncSearchService service(engine_.get(), options);
+    std::vector<std::future<std::vector<SearchHit>>> futures;
+    std::vector<std::vector<SearchHit>> expected;
+    // Mixed strategies and k inside the same (potential) micro-batch.
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      for (const auto strategy : strategies) {
+        const int k = 1 + static_cast<int>(q);
+        futures.push_back(service.Submit(queries_[q], k, strategy));
+        expected.push_back(engine_->Search(queries_[q], k, strategy));
+      }
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      ExpectSameHits(futures[i].get(), expected[i]);
+    }
+    service.Shutdown();
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.submitted, futures.size());
+    EXPECT_EQ(stats.completed, futures.size());
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.cancelled, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GE(stats.batches, 1u);
+  }
+}
+
+TEST_F(AsyncSearchServiceTest, SubmitBatchMatchesSearchBatch) {
+  AsyncSearchService service(engine_.get());
+  auto futures = service.SubmitBatch(queries_, 3, IndexStrategy::kHybrid);
+  const auto expected =
+      engine_->SearchBatch(queries_, 3, IndexStrategy::kHybrid);
+  ASSERT_EQ(futures.size(), expected.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ExpectSameHits(futures[i].get(), expected[i]);
+  }
+}
+
+TEST_F(AsyncSearchServiceTest, EmptyQueryYieldsEmptyRanking) {
+  AsyncSearchService service(engine_.get());
+  auto future =
+      service.Submit(vision::ExtractedChart{}, 5, IndexStrategy::kNoIndex);
+  EXPECT_TRUE(future.get().empty());
+}
+
+TEST_F(AsyncSearchServiceTest, BlockModeNeverDropsUnderTinyQueue) {
+  // Capacity 1 with a fast submitter: block-mode backpressure must stall
+  // the caller instead of dropping or rejecting anything.
+  AsyncServiceOptions options;
+  options.queue_capacity = 1;
+  options.max_batch_size = 2;
+  options.max_batch_delay_ms = 0.0;
+  AsyncSearchService service(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  const int rounds = 20;
+  for (int r = 0; r < rounds; ++r) {
+    futures.push_back(service.Submit(queries_[r % queries_.size()], 3,
+                                     IndexStrategy::kNoIndex));
+  }
+  const auto expected = engine_->Search(queries_[0], 3, IndexStrategy::kNoIndex);
+  for (int r = 0; r < rounds; ++r) {
+    auto hits = futures[static_cast<size_t>(r)].get();
+    if (r % static_cast<int>(queries_.size()) == 0) {
+      ExpectSameHits(hits, expected);
+    }
+  }
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(rounds));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(rounds));
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(AsyncSearchServiceTest, RejectModeAccountsForEveryRequest) {
+  // kReject with a tiny queue and a burst of submitters: rejections are
+  // load-dependent, but accounting must be exact — every request either
+  // completes or carries RejectedError, and none may vanish.
+  AsyncServiceOptions options;
+  options.queue_capacity = 2;
+  options.backpressure = BackpressureMode::kReject;
+  options.max_batch_size = 2;
+  AsyncSearchService service(engine_.get(), options);
+  const int total = 40;
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  for (int r = 0; r < total; ++r) {
+    futures.push_back(service.Submit(queries_[r % queries_.size()], 2,
+                                     IndexStrategy::kNoIndex));
+  }
+  uint64_t served = 0, rejected = 0;
+  for (auto& future : futures) {
+    try {
+      future.get();
+      ++served;
+    } catch (const RejectedError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(served + rejected, static_cast<uint64_t>(total));
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, served);
+  EXPECT_EQ(stats.completed, served);
+  EXPECT_EQ(stats.rejected, rejected);
+}
+
+TEST_F(AsyncSearchServiceTest, ShutdownDrainsEverythingAccepted) {
+  AsyncServiceOptions options;
+  options.max_batch_size = 2;
+  options.max_batch_delay_ms = 5.0;
+  auto service =
+      std::make_unique<AsyncSearchService>(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  for (int r = 0; r < 12; ++r) {
+    futures.push_back(service->Submit(queries_[r % queries_.size()], 4,
+                                      IndexStrategy::kLsh));
+  }
+  service->Shutdown(/*drain=*/true);  // While micro-batches are in flight.
+  for (int r = 0; r < 12; ++r) {
+    ExpectSameHits(
+        futures[static_cast<size_t>(r)].get(),
+        engine_->Search(queries_[r % queries_.size()], 4, IndexStrategy::kLsh));
+  }
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  service.reset();  // Double shutdown through the destructor is a no-op.
+}
+
+TEST_F(AsyncSearchServiceTest, ShutdownCancelFailsUndispatchedRequests) {
+  AsyncServiceOptions options;
+  options.max_batch_size = 1;
+  options.max_batch_delay_ms = 0.0;
+  AsyncSearchService service(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  for (int r = 0; r < 30; ++r) {
+    futures.push_back(service.Submit(queries_[r % queries_.size()], 3,
+                                     IndexStrategy::kNoIndex));
+  }
+  service.Shutdown(/*drain=*/false);
+  uint64_t served = 0, cancelled = 0;
+  const auto expected = engine_->Search(queries_[0], 3, IndexStrategy::kNoIndex);
+  for (int r = 0; r < 30; ++r) {
+    try {
+      auto hits = futures[static_cast<size_t>(r)].get();
+      // Whatever was already dispatched must still be exact.
+      if (r % static_cast<int>(queries_.size()) == 0) {
+        ExpectSameHits(hits, expected);
+      }
+      ++served;
+    } catch (const ShutdownError&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, 30u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, served);
+  EXPECT_EQ(stats.cancelled, cancelled);
+}
+
+TEST_F(AsyncSearchServiceTest, SubmitAfterShutdownRejects) {
+  AsyncSearchService service(engine_.get());
+  service.Shutdown();
+  auto future = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
+  EXPECT_THROW(future.get(), RejectedError);
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST_F(AsyncSearchServiceTest, ManySubmittersStress) {
+  // Several submitter threads against one service, mixed strategies, with
+  // the pipeline stages dispatching onto the engine pool concurrently the
+  // whole time. Under FCM_SANITIZE=thread this is the regression test for
+  // the multi-owner ThreadPool contract.
+  AsyncServiceOptions options;
+  options.queue_capacity = 16;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.5;
+  AsyncSearchService service(engine_.get(), options);
+
+  std::vector<std::vector<SearchHit>> expected;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    expected.push_back(engine_->Search(queries_[q], 3, IndexStrategy::kHybrid));
+  }
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s]() {
+      for (int r = 0; r < kPerThread; ++r) {
+        const size_t q = static_cast<size_t>(s + r) % queries_.size();
+        auto hits =
+            service.Submit(queries_[q], 3, IndexStrategy::kHybrid).get();
+        if (hits.size() != expected[q].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < hits.size(); ++i) {
+          if (hits[i].table_id != expected[q][i].table_id ||
+              hits[i].score != expected[q][i].score) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kSubmitters * kPerThread));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+}  // namespace
+}  // namespace fcm::index

@@ -449,6 +449,36 @@ TEST_F(ParallelSearchEngineTest, SearchBatchMatchesPerQuerySearch) {
   }
 }
 
+TEST_F(ParallelSearchEngineTest, SearchBatchStatsSeparatePerQueryAndBatchTime) {
+  // Regression: SearchBatch used to write the whole batch's wall time into
+  // every QueryStats::seconds, over-counting per-query cost by the batch
+  // size. Now `seconds` is the query's own scoring time and the shared
+  // wall clock lives in `batch_seconds`.
+  std::vector<QueryStats> stats;
+  parallel_->SearchBatch(queries_, 4, IndexStrategy::kNoIndex, &stats);
+  ASSERT_EQ(stats.size(), queries_.size());
+  double sum_per_query = 0.0;
+  for (size_t q = 0; q < stats.size(); ++q) {
+    EXPECT_GT(stats[q].candidates_scored, 0u);
+    EXPECT_GT(stats[q].seconds, 0.0);
+    EXPECT_GT(stats[q].batch_seconds, 0.0);
+    // Every query reports the same batch wall time.
+    EXPECT_DOUBLE_EQ(stats[q].batch_seconds, stats[0].batch_seconds);
+    sum_per_query += stats[q].seconds;
+  }
+  // Per-query seconds are aggregate CPU scoring time: their sum is bounded
+  // by threads (4) * batch wall time, never queries * batch wall time (the
+  // old over-count wrote the full wall time into every entry). Allow
+  // generous slack for scheduling noise.
+  EXPECT_LT(sum_per_query, stats[0].batch_seconds * 8);
+
+  // Single-query Search reports its full wall time in both fields.
+  QueryStats single;
+  serial_->Search(queries_[0], 4, IndexStrategy::kNoIndex, &single);
+  EXPECT_DOUBLE_EQ(single.seconds, single.batch_seconds);
+  EXPECT_GT(single.seconds, 0.0);
+}
+
 TEST_F(ParallelSearchEngineTest, SearchBatchHandlesEmptyQueries) {
   std::vector<vision::ExtractedChart> queries = queries_;
   queries.insert(queries.begin() + 1, vision::ExtractedChart{});

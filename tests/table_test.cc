@@ -95,6 +95,57 @@ TEST(CsvTest, RejectsEmpty) {
   EXPECT_FALSE(ParseCsv("", "t").ok());
 }
 
+TEST(CsvTest, ParsesCrlfLineEndings) {
+  // Regression: splitting on '\n' alone leaked '\r' into the last header
+  // name and every row's last cell, silently breaking column lookup and
+  // numeric parsing of that column.
+  auto parsed = ParseCsv("a,b\r\n1,2\r\n3,4\r\n", "crlf");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& t = parsed.value();
+  ASSERT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.column(1).name, "b");  // Not "b\r".
+  ASSERT_EQ(t.column(1).values.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(1).values[0], 2.0);
+  EXPECT_DOUBLE_EQ(t.column(1).values[1], 4.0);
+}
+
+TEST(CsvTest, CrlfWithTrailingBlankLine) {
+  auto parsed = ParseCsv("a,b\r\n1,2\r\n\r\n", "crlf");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().column(0).values.size(), 1u);
+}
+
+TEST(CsvTest, QuotedHeaderKeepsCommaInName) {
+  auto parsed = ParseCsv("\"x, pos\",b\n1,2\n", "quoted");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& t = parsed.value();
+  ASSERT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.column(0).name, "x, pos");
+  EXPECT_DOUBLE_EQ(t.column(0).values[0], 1.0);
+}
+
+TEST(CsvTest, QuotedNumericCellsParse) {
+  auto parsed = ParseCsv("a,b\n\"1.5\",\"-2\"\n", "quoted");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed.value().column(0).values[0], 1.5);
+  EXPECT_DOUBLE_EQ(parsed.value().column(1).values[0], -2.0);
+}
+
+TEST(CsvTest, EscapedQuoteInHeader) {
+  auto parsed = ParseCsv("\"he\"\"llo\",b\n1,2\n", "quoted");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().column(0).name, "he\"llo");
+}
+
+TEST(CsvTest, QuotedCellWithCommaIsStillOneCell) {
+  // The quoted comma must not change the cell count (it used to split the
+  // row and fail as ragged); a non-numeric quoted cell still fails.
+  EXPECT_FALSE(ParseCsv("a,b\n\"1,5\",2\n", "t").ok());   // "1,5" non-numeric.
+  auto parsed = ParseCsv("a,b\n\"\",2\n", "t");           // Quoted empty cell.
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().column(0).values.empty());
+}
+
 TEST(CsvTest, FileRoundTrip) {
   const std::string path = "/tmp/fcm_csv_test.csv";
   ASSERT_TRUE(SaveCsvFile(MakeTable(), path).ok());

@@ -1,11 +1,16 @@
 // Tests for common::ThreadPool: deterministic result ordering, exception
-// propagation, pool reuse, and degenerate sizes.
+// propagation, pool reuse, degenerate sizes, and the multi-owner contract
+// (concurrent ParallelFor from several threads and re-entrant calls from
+// inside a worker) that the async serving pipeline relies on. The
+// concurrency tests are the TSan regression targets — build with
+// -DFCM_SANITIZE=thread.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -129,6 +134,111 @@ TEST(ThreadPoolTest, ParallelForShardedMatchesSerialState) {
   };
   ThreadPool serial(1), parallel(8);
   EXPECT_EQ(run(serial), run(parallel));
+}
+
+TEST(ThreadPoolTest, ConcurrentOwnersEachSeeTheirOwnBatch) {
+  // Several owner threads drive ParallelFors through one pool at once (the
+  // async pipeline's shape: every stage thread is an owner). Each owner's
+  // results must be exactly its own serial loop's.
+  ThreadPool pool(3);
+  constexpr int kOwners = 4;
+  constexpr size_t kN = 4000;
+  std::vector<std::vector<int>> results(kOwners);
+  std::vector<std::thread> owners;
+  for (int o = 0; o < kOwners; ++o) {
+    owners.emplace_back([&, o]() {
+      for (int round = 0; round < 5; ++round) {
+        results[static_cast<size_t>(o)] = pool.ParallelMap<int>(
+            kN, [o, round](size_t i) {
+              return static_cast<int>(i) * (o + 1) + round;
+            });
+      }
+    });
+  }
+  for (auto& t : owners) t.join();
+  for (int o = 0; o < kOwners; ++o) {
+    const auto& out = results[static_cast<size_t>(o)];
+    ASSERT_EQ(out.size(), kN);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i) * (o + 1) + 4) << "owner " << o;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForFromWorkerIteration) {
+  // A worker iteration may itself own a nested ParallelFor; the owner
+  // always participates in its own batch, so this cannot deadlock even
+  // when every worker is busy.
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 8, kInner = 500;
+  std::vector<long> sums(kOuter, 0);
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    std::atomic<long> acc{0};
+    pool.ParallelFor(kInner, [&](size_t i) {
+      acc.fetch_add(static_cast<long>(i) + static_cast<long>(o));
+    });
+    sums[o] = acc.load();
+  });
+  const long inner_base = static_cast<long>(kInner * (kInner - 1) / 2);
+  for (size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[o],
+              inner_base + static_cast<long>(o) * static_cast<long>(kInner));
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentOwnersSurviveOneOwnersException) {
+  // One owner's failing batch must not poison the others or the pool.
+  ThreadPool pool(3);
+  std::atomic<int> good{0};
+  std::thread thrower([&]() {
+    for (int round = 0; round < 10; ++round) {
+      EXPECT_THROW(
+          pool.ParallelFor(256,
+                           [](size_t i) {
+                             if (i == 17) throw std::runtime_error("boom");
+                           }),
+          std::runtime_error);
+    }
+  });
+  std::thread worker_owner([&]() {
+    for (int round = 0; round < 10; ++round) {
+      pool.ParallelFor(256, [&](size_t) { good.fetch_add(1); });
+    }
+  });
+  thrower.join();
+  worker_owner.join();
+  EXPECT_EQ(good.load(), 2560);
+  std::atomic<int> after{0};
+  pool.ParallelFor(64, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentShardedAndPlainOwners) {
+  ThreadPool pool(4);
+  std::vector<long> shard_sums(4, 0);
+  std::atomic<long> plain_sum{0};
+  std::thread sharded_owner([&]() {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<long> sums(4, 0);
+      pool.ParallelForSharded(
+          1000, 4, [](size_t i) { return i % 4; },
+          [&](size_t s, size_t i) { sums[s] += static_cast<long>(i); });
+      shard_sums = sums;
+    }
+  });
+  std::thread plain_owner([&]() {
+    for (int round = 0; round < 8; ++round) {
+      pool.ParallelFor(1000, [&](size_t i) {
+        plain_sum.fetch_add(static_cast<long>(i));
+      });
+    }
+  });
+  sharded_owner.join();
+  plain_owner.join();
+  long expected_shard_total = 0;
+  for (long s : shard_sums) expected_shard_total += s;
+  EXPECT_EQ(expected_shard_total, 1000L * 999 / 2);
+  EXPECT_EQ(plain_sum.load(), 8L * (1000L * 999 / 2));
 }
 
 TEST(ThreadPoolTest, ParallelForShardedZeroIterationsIsNoop) {

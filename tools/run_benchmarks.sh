@@ -3,7 +3,10 @@
 # BENCH_<date>.json at the repo root — the perf trajectory consumed by
 # future performance PRs. The JSON's "simd" section records the active
 # kernel dispatch target plus per-target GFLOP/s; set FCM_SIMD
-# (scalar|avx2|neon|auto) to override the dispatch for a run.
+# (scalar|avx2|neon|auto) to override the dispatch for a run. The "async"
+# section records the AsyncSearchService phase (QPS, p50/p99 latency); the
+# service runs with block-mode backpressure, so any dropped (rejected or
+# cancelled) request is a bug and fails this script loudly.
 # Usage: tools/run_benchmarks.sh [build_dir]
 set -euo pipefail
 
@@ -22,5 +25,30 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 "$BIN" "$OUT"
+
+# Block-mode backpressure means no request may ever be dropped; a nonzero
+# rejected/cancelled count in the async section is a serving bug. A json
+# without an async section means a stale bench binary served the run —
+# also an error, not a silent pass.
+if ! grep -q '"async": {' "$OUT"; then
+  echo "error: $OUT has no \"async\" section (stale bench_search_throughput" \
+       "binary in $BUILD_DIR?)" >&2
+  exit 1
+fi
+# `|| true`: under pipefail a no-match grep would otherwise kill the
+# script silently; awk still prints 0 on empty input.
+DROPPED=$(grep -oE '"(rejected|cancelled|failed)": [0-9]+' "$OUT" \
+          | awk '{sum += $2} END {print sum + 0}' || true)
+if [[ "$DROPPED" -ne 0 ]]; then
+  echo "error: async serving phase dropped $DROPPED request(s) in block" \
+       "mode (see the \"async\" section of $OUT)" >&2
+  exit 1
+fi
+
 echo "wrote $OUT (simd dispatch: $(grep -o '"active": "[a-z0-9]*"' "$OUT" \
      | head -1 | cut -d'"' -f4))"
+ASYNC=$(sed -n '/"async": {/,/},/p' "$OUT")
+echo "async serving: $(echo "$ASYNC" | grep -o '"qps": [0-9.]*' \
+     | cut -d' ' -f2) qps, p50/p99 $(echo "$ASYNC" \
+     | grep -o '"p50_ms": [0-9.]*' | cut -d' ' -f2)/$(echo "$ASYNC" \
+     | grep -o '"p99_ms": [0-9.]*' | cut -d' ' -f2) ms, 0 dropped"
