@@ -1,13 +1,24 @@
 // Search-pipeline throughput benchmark: index build and batched query
-// serving at 1/2/N threads over a synthetic lake, an async-serving phase
-// (concurrent submitters against AsyncSearchService's futures queue,
-// reporting QPS plus p50/p99 latency), plus sharded-LSH build and
-// candidate-generation phases, emitting machine-readable JSON (also
-// written to the path in argv[1] when given) so perf PRs can track the
-// BENCH_*.json trajectory. Parallel/sharded/async and serial paths must
-// return identical top-k rankings, and the async service must drop
-// nothing in block mode; the JSON records every check and the exit code
-// is nonzero when any fails.
+// serving at 1/2/N threads over a synthetic lake, async-serving phases
+// (concurrent submitters against AsyncSearchService's futures queue in
+// closed- and open-loop shapes, static and adaptive batching, reporting
+// QPS plus closed-loop p50/p99 latency and the adaptive controller's
+// decision trace), plus sharded-LSH build and candidate-generation
+// phases, emitting machine-readable JSON (written to --out=PATH or the
+// path in argv[1]) so perf PRs can track the BENCH_*.json trajectory.
+// Parallel/sharded/async and serial paths must return identical top-k
+// rankings, and the async service must drop nothing in block mode; the
+// JSON records every check and the exit code is nonzero when any fails.
+// docs/BENCHMARKS.md documents every emitted field.
+//
+// Batching knobs are CLI flags so bench configs are reproducible from
+// the command line (tools/run_benchmarks.sh passes them):
+//   --out=PATH              also write the JSON here (same as argv[1])
+//   --async-queue=N         request-queue capacity        (default 64)
+//   --async-max-batch=N     micro-batch size cap          (default 16)
+//   --async-max-delay-ms=X  static coalesce window, also the adaptive
+//                           controller's window cap       (default 2.0)
+//   --async-adaptive=0|1    run the adaptive phases + comparison (def. 1)
 //
 // Scale knobs: FCM_BENCH_TABLES (default 96), FCM_BENCH_QUERIES (default
 // 24), FCM_BENCH_LSH_ITEMS (default 20000), FCM_BENCH_ASYNC_REQUESTS
@@ -53,6 +64,58 @@ int EnvInt(const char* name, int fallback) {
   return v != nullptr ? std::atoi(v) : fallback;
 }
 
+/// CLI-selectable batching knobs (reproducible bench configs; see the
+/// file comment). Everything else stays an FCM_BENCH_* env knob.
+struct BenchFlags {
+  std::string out;
+  size_t async_queue = 64;
+  size_t async_max_batch = 16;
+  double async_max_delay_ms = 2.0;
+  bool async_adaptive = true;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Returns false (after printing usage) on an unknown or malformed flag.
+bool ParseArgs(int argc, char** argv, BenchFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "out", &value)) {
+      flags->out = value;
+    } else if (ParseFlag(arg, "async-queue", &value)) {
+      flags->async_queue = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "async-max-batch", &value)) {
+      flags->async_max_batch = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "async-max-delay-ms", &value)) {
+      flags->async_max_delay_ms = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "async-adaptive", &value)) {
+      flags->async_adaptive = value != "0" && value != "false";
+    } else if (arg.rfind("--", 0) != 0 && flags->out.empty()) {
+      flags->out = arg;  // Legacy positional output path.
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\nusage: %s [--out=PATH] "
+                   "[--async-queue=N] [--async-max-batch=N] "
+                   "[--async-max-delay-ms=X] [--async-adaptive=0|1] "
+                   "[OUT_PATH]\n",
+                   arg.c_str(), argv[0]);
+      return false;
+    }
+  }
+  if (flags->async_queue == 0 || flags->async_max_batch == 0 ||
+      flags->async_max_delay_ms < 0.0) {
+    std::fprintf(stderr, "invalid async batching flags\n");
+    return false;
+  }
+  return true;
+}
+
 bool SameHits(const std::vector<fcm::index::SearchHit>& a,
               const std::vector<fcm::index::SearchHit>& b) {
   if (a.size() != b.size()) return false;
@@ -71,6 +134,95 @@ bool SameHitLists(const std::vector<std::vector<fcm::index::SearchHit>>& a,
     if (!SameHits(a[i], b[i])) return false;
   }
   return true;
+}
+
+/// One async serving phase: `submitters` threads drive `requests`
+/// requests at the service. Closed loop waits for each response before
+/// submitting the next (per-request latency is meaningful); open loop
+/// fires every request as fast as backpressure admits it and latency is
+/// queueing-dominated, so only throughput is reported.
+struct AsyncPhaseResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;  // Closed loop only.
+  double p99_ms = 0.0;  // Closed loop only.
+  bool identical = true;
+  bool clean = false;
+  fcm::index::AsyncServiceStats stats;
+  std::vector<fcm::index::AdaptiveBatchController::TraceEntry> trace;
+};
+
+AsyncPhaseResult RunAsyncPhase(
+    const fcm::index::SearchEngine& engine,
+    const fcm::index::AsyncServiceOptions& options,
+    const std::vector<fcm::vision::ExtractedChart>& queries,
+    const std::vector<std::vector<fcm::index::SearchHit>>& reference, int k,
+    fcm::index::IndexStrategy strategy, int requests, int submitters,
+    bool open_loop) {
+  AsyncPhaseResult out;
+  std::vector<double> latencies_ms(static_cast<size_t>(requests), 0.0);
+  std::atomic<bool> identical{true};
+  std::atomic<int> next_request{0};
+  fcm::index::AsyncSearchService service(&engine, options);
+  const auto t_phase = Clock::now();
+  if (open_loop) {
+    // Submitters only enqueue; the main thread collects every future, so
+    // the clock stops when the last response lands.
+    std::vector<std::future<std::vector<fcm::index::SearchHit>>> futures(
+        static_cast<size_t>(requests));
+    std::vector<std::thread> threads;
+    for (int s = 0; s < submitters; ++s) {
+      threads.emplace_back([&]() {
+        for (;;) {
+          const int r = next_request.fetch_add(1);
+          if (r >= requests) break;
+          const size_t qi = static_cast<size_t>(r) % queries.size();
+          futures[static_cast<size_t>(r)] = service.Submit(queries[qi], k,
+                                                           strategy);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int r = 0; r < requests; ++r) {
+      const size_t qi = static_cast<size_t>(r) % queries.size();
+      if (!SameHits(futures[static_cast<size_t>(r)].get(), reference[qi])) {
+        identical.store(false);
+      }
+    }
+  } else {
+    std::vector<std::thread> threads;
+    for (int s = 0; s < submitters; ++s) {
+      threads.emplace_back([&]() {
+        for (;;) {
+          const int r = next_request.fetch_add(1);
+          if (r >= requests) break;
+          const size_t qi = static_cast<size_t>(r) % queries.size();
+          const auto t0 = Clock::now();
+          auto hits = service.Submit(queries[qi], k, strategy).get();
+          latencies_ms[static_cast<size_t>(r)] = Seconds(t0) * 1e3;
+          if (!SameHits(hits, reference[qi])) identical.store(false);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  out.seconds = Seconds(t_phase);
+  service.Shutdown();
+  out.stats = service.stats();
+  out.trace = service.controller_trace();
+  out.identical = identical.load();
+  out.qps = static_cast<double>(requests) / std::max(out.seconds, 1e-9);
+  if (!open_loop) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    out.p50_ms = latencies_ms[latencies_ms.size() / 2];
+    out.p99_ms = latencies_ms[std::min(latencies_ms.size() - 1,
+                                       latencies_ms.size() * 99 / 100)];
+  }
+  // Block mode must not drop or reject anything.
+  out.clean = out.identical && out.stats.rejected == 0 &&
+              out.stats.cancelled == 0 && out.stats.failed == 0 &&
+              out.stats.completed == static_cast<uint64_t>(requests);
+  return out;
 }
 
 std::vector<std::vector<float>> RandomEmbeddings(int n, int dim,
@@ -130,6 +282,8 @@ SimdKernelRates MeasureKernelRates(fcm::simd::Target target) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchFlags flags;
+  if (!ParseArgs(argc, argv, &flags)) return 64;
   const int num_tables = EnvInt("FCM_BENCH_TABLES", 96);
   const int num_queries = EnvInt("FCM_BENCH_QUERIES", 24);
   const int lsh_items = EnvInt("FCM_BENCH_LSH_ITEMS", 20000);
@@ -269,12 +423,16 @@ int main(int argc, char** argv) {
     determinism.push_back({fcm::index::IndexStrategyName(s), identical});
   }
 
-  // ---- Async serving: concurrent submitters vs a serial Search loop ----
-  // Closed-loop submitters drive AsyncSearchService (block-mode
-  // backpressure: nothing may be dropped) and every response is checked
-  // bit-identical against Search. The baseline is the plain serial loop a
-  // caller without the service would write: one thread, one Search per
-  // request, on the same engine.
+  // ---- Async serving: closed- and open-loop phases vs a serial loop ----
+  // All phases run block-mode backpressure (nothing may be dropped) and
+  // every response is checked bit-identical against Search. The baseline
+  // is the plain serial loop a caller without the service would write:
+  // one thread, one Search per request, on the same engine. Closed loop
+  // measures the latency story (a static coalesce window inflates p99
+  // when the queue never backs up); open loop measures the throughput
+  // story (immediate dispatch forfeits coalescing when arrivals pause).
+  // The adaptive phases run the queue-depth controller, which must match
+  // the best static configuration on both axes from one configuration.
   const int async_requests = EnvInt("FCM_BENCH_ASYNC_REQUESTS", 160);
   const int async_submitters =
       std::max(1, EnvInt("FCM_BENCH_ASYNC_SUBMITTERS", 4));
@@ -290,62 +448,73 @@ int main(int argc, char** argv) {
                      strategy);
   }
   const double async_serial_seconds = Seconds(t_async_serial);
-
-  fcm::index::AsyncServiceOptions async_options;
-  async_options.queue_capacity = 64;
-  async_options.backpressure = fcm::index::BackpressureMode::kBlock;
-  async_options.max_batch_size = 16;
-  // Closed-loop submitters: once the dispatcher has popped every in-flight
-  // request, no new one can arrive until a future resolves, so a coalesce
-  // delay would be a pure pipeline bubble. 0 dispatches whatever is queued
-  // (open-loop traffic is where the delay knob buys bigger batches).
-  async_options.max_batch_delay_ms = 0.0;
-  std::vector<double> latencies_ms(static_cast<size_t>(async_requests), 0.0);
-  std::atomic<bool> async_identical{true};
-  std::atomic<int> next_request{0};
-  double async_seconds = 0.0;
-  fcm::index::AsyncServiceStats service_stats;
-  {
-    fcm::index::AsyncSearchService service(&hw_engine, async_options);
-    const auto t_async = Clock::now();
-    std::vector<std::thread> submitter_threads;
-    for (int s = 0; s < async_submitters; ++s) {
-      submitter_threads.emplace_back([&]() {
-        for (;;) {
-          const int r = next_request.fetch_add(1);
-          if (r >= async_requests) break;
-          const size_t qi = static_cast<size_t>(r) % queries.size();
-          const auto t0 = Clock::now();
-          auto hits = service.Submit(queries[qi], k, strategy).get();
-          latencies_ms[static_cast<size_t>(r)] = Seconds(t0) * 1e3;
-          if (!SameHits(hits, async_reference[qi])) {
-            async_identical.store(false);
-          }
-        }
-      });
-    }
-    for (auto& t : submitter_threads) t.join();
-    async_seconds = Seconds(t_async);
-    service.Shutdown();
-    service_stats = service.stats();
-  }
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const double p50_ms = latencies_ms[latencies_ms.size() / 2];
-  const double p99_ms =
-      latencies_ms[std::min(latencies_ms.size() - 1,
-                            latencies_ms.size() * 99 / 100)];
-  const double async_qps =
-      static_cast<double>(async_requests) / std::max(async_seconds, 1e-9);
   const double async_serial_qps = static_cast<double>(async_requests) /
                                   std::max(async_serial_seconds, 1e-9);
-  // Block mode must not drop or reject anything: every submitted request
-  // has to complete. A violation fails the bench (and run_benchmarks.sh
-  // checks the JSON again).
-  const bool async_clean =
-      async_identical.load() && service_stats.rejected == 0 &&
-      service_stats.cancelled == 0 && service_stats.failed == 0 &&
-      service_stats.completed == static_cast<uint64_t>(async_requests);
-  all_identical = all_identical && async_clean;
+
+  // The adaptive controller's window cap: the static window, floored so
+  // a delay-0 CLI config still leaves the controller room to coalesce.
+  // One variable so the options the phases run with and the max_delay_ms
+  // the JSON reports cannot drift apart.
+  const double adaptive_delay_cap_ms = std::max(flags.async_max_delay_ms, 0.5);
+  const auto make_options = [&](double delay_ms, bool adaptive) {
+    fcm::index::AsyncServiceOptions options;
+    options.queue_capacity = flags.async_queue;
+    options.backpressure = fcm::index::BackpressureMode::kBlock;
+    options.max_batch_size = flags.async_max_batch;
+    options.max_batch_delay_ms = delay_ms;
+    options.adaptive = adaptive;
+    if (adaptive) {
+      // Fair comparison: the controller's window cap is the static
+      // window, its size cap the static batch cap (inherited via 0).
+      options.adaptive_config.max_delay_ms = adaptive_delay_cap_ms;
+      options.adaptive_config.max_batch_size = 0;
+    }
+    return options;
+  };
+  struct AsyncPhase {
+    const char* name;
+    bool open_loop;
+    bool adaptive;
+    double delay_ms;  // Static window; ignored when adaptive.
+    AsyncPhaseResult result;
+  };
+  std::vector<AsyncPhase> phases = {
+      {"closed_delay0", false, false, 0.0, {}},
+      {"closed_static", false, false, flags.async_max_delay_ms, {}},
+      {"open_delay0", true, false, 0.0, {}},
+      {"open_static", true, false, flags.async_max_delay_ms, {}},
+  };
+  if (flags.async_adaptive) {
+    phases.push_back({"closed_adaptive", false, true, 0.0, {}});
+    phases.push_back({"open_adaptive", true, true, 0.0, {}});
+  }
+  bool async_all_clean = true;
+  for (auto& phase : phases) {
+    phase.result = RunAsyncPhase(
+        hw_engine, make_options(phase.delay_ms, phase.adaptive), queries,
+        async_reference, k, strategy, async_requests, async_submitters,
+        phase.open_loop);
+    async_all_clean = async_all_clean && phase.result.clean;
+  }
+  all_identical = all_identical && async_all_clean;
+
+  // Adaptive acceptance numbers: one adaptive configuration must match
+  // (within measurement noise on a loaded container) the best static
+  // open-loop QPS and the delay-0 closed-loop p99. Recorded in the JSON;
+  // correctness (identical hits, zero drops) gates the exit code, perf
+  // ratios are trajectory data.
+  const AsyncPhaseResult* closed_delay0 = &phases[0].result;
+  const AsyncPhaseResult* closed_adaptive = nullptr;
+  const AsyncPhaseResult* open_adaptive = nullptr;
+  double best_static_open_qps = 0.0;
+  for (const auto& phase : phases) {
+    if (phase.open_loop && !phase.adaptive) {
+      best_static_open_qps = std::max(best_static_open_qps, phase.result.qps);
+    }
+    if (phase.adaptive) {
+      (phase.open_loop ? open_adaptive : closed_adaptive) = &phase.result;
+    }
+  }
 
   // ---- Sharded LSH build + candidate generation (index layer only) ----
   // The engine-level lake keeps LSH build in the microseconds, so this
@@ -483,35 +652,148 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf),
                 "    \"requests\": %d, \"submitters\": %d, "
                 "\"queue_capacity\": %zu, \"max_batch_size\": %zu, "
-                "\"max_batch_delay_ms\": %.2f, \"backpressure\": \"block\",\n",
-                async_requests, async_submitters,
-                async_options.queue_capacity, async_options.max_batch_size,
-                async_options.max_batch_delay_ms);
+                "\"static_max_delay_ms\": %.2f, \"adaptive_enabled\": %s, "
+                "\"backpressure\": \"block\",\n",
+                async_requests, async_submitters, flags.async_queue,
+                flags.async_max_batch, flags.async_max_delay_ms,
+                flags.async_adaptive ? "true" : "false");
   json += buf;
   std::snprintf(buf, sizeof(buf),
                 "    \"serial_seconds\": %.4f, \"serial_qps\": %.2f,\n",
                 async_serial_seconds, async_serial_qps);
   json += buf;
+  // Legacy trajectory summary: the closed-loop delay-0 phase is the same
+  // configuration earlier BENCH_*.json files recorded as the whole
+  // section, so these keys stay comparable across PRs.
   std::snprintf(buf, sizeof(buf),
                 "    \"seconds\": %.4f, \"qps\": %.2f, "
                 "\"qps_speedup_vs_serial\": %.3f,\n",
-                async_seconds, async_qps,
-                async_qps / std::max(async_serial_qps, 1e-9));
+                closed_delay0->seconds, closed_delay0->qps,
+                closed_delay0->qps / std::max(async_serial_qps, 1e-9));
   json += buf;
-  std::snprintf(buf, sizeof(buf),
-                "    \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n", p50_ms, p99_ms);
+  std::snprintf(buf, sizeof(buf), "    \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n",
+                closed_delay0->p50_ms, closed_delay0->p99_ms);
   json += buf;
   std::snprintf(buf, sizeof(buf),
                 "    \"batches\": %llu, \"max_coalesced\": %zu, "
                 "\"rejected\": %llu, \"cancelled\": %llu, "
-                "\"failed\": %llu, \"identical_topk\": %s\n  },\n",
-                static_cast<unsigned long long>(service_stats.batches),
-                service_stats.max_coalesced,
-                static_cast<unsigned long long>(service_stats.rejected),
-                static_cast<unsigned long long>(service_stats.cancelled),
-                static_cast<unsigned long long>(service_stats.failed),
-                async_clean ? "true" : "false");
+                "\"failed\": %llu, \"identical_topk\": %s,\n",
+                static_cast<unsigned long long>(closed_delay0->stats.batches),
+                closed_delay0->stats.max_coalesced,
+                static_cast<unsigned long long>(closed_delay0->stats.rejected),
+                static_cast<unsigned long long>(
+                    closed_delay0->stats.cancelled),
+                static_cast<unsigned long long>(closed_delay0->stats.failed),
+                closed_delay0->clean ? "true" : "false");
   json += buf;
+  json += "    \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const auto& phase = phases[i];
+    const auto& r = phase.result;
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"name\": \"%s\", \"loop\": \"%s\", "
+                  "\"batching\": \"%s\", \"max_delay_ms\": %.2f,\n",
+                  phase.name, phase.open_loop ? "open" : "closed",
+                  phase.adaptive ? "adaptive" : "static",
+                  phase.adaptive ? adaptive_delay_cap_ms : phase.delay_ms);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "       \"seconds\": %.4f, \"qps\": %.2f, "
+                  "\"qps_speedup_vs_serial\": %.3f,\n",
+                  r.seconds, r.qps, r.qps / std::max(async_serial_qps, 1e-9));
+    json += buf;
+    if (!phase.open_loop) {
+      std::snprintf(buf, sizeof(buf),
+                    "       \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n", r.p50_ms,
+                    r.p99_ms);
+      json += buf;
+    }
+    const double avg_coalesced =
+        r.stats.batches > 0 ? static_cast<double>(r.stats.completed) /
+                                  static_cast<double>(r.stats.batches)
+                            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "       \"batches\": %llu, \"max_coalesced\": %zu, "
+                  "\"avg_coalesced\": %.2f, \"rejected\": %llu, "
+                  "\"cancelled\": %llu, \"failed\": %llu, "
+                  "\"identical_topk\": %s%s\n",
+                  static_cast<unsigned long long>(r.stats.batches),
+                  r.stats.max_coalesced, avg_coalesced,
+                  static_cast<unsigned long long>(r.stats.rejected),
+                  static_cast<unsigned long long>(r.stats.cancelled),
+                  static_cast<unsigned long long>(r.stats.failed),
+                  r.clean ? "true" : "false", phase.adaptive ? "," : "");
+    json += buf;
+    if (phase.adaptive) {
+      const auto& c = r.stats.controller;
+      std::snprintf(buf, sizeof(buf),
+                    "       \"controller\": {\"decisions\": %llu, "
+                    "\"grows\": %llu, \"decays\": %llu, \"holds\": %llu, "
+                    "\"idle_resets\": %llu, \"max_window_ms\": %.3f, "
+                    "\"max_batch_size\": %zu, \"ewma_service_ms\": %.3f}\n",
+                    static_cast<unsigned long long>(c.decisions),
+                    static_cast<unsigned long long>(c.grows),
+                    static_cast<unsigned long long>(c.decays),
+                    static_cast<unsigned long long>(c.holds),
+                    static_cast<unsigned long long>(c.idle_resets),
+                    c.max_window_ms, c.max_batch_size, c.ewma_service_ms);
+      json += buf;
+    }
+    json += i + 1 < phases.size() ? "      },\n" : "      }\n";
+  }
+  json += "    ]";
+  if (flags.async_adaptive && open_adaptive != nullptr &&
+      closed_adaptive != nullptr) {
+    // Acceptance comparison: adaptive vs best static open-loop QPS and
+    // vs delay-0 closed-loop p99 (ratios >= / <= 1 mean "beats"; the
+    // match booleans allow measurement noise on a loaded container).
+    json += ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    \"adaptive_summary\": {\n"
+                  "      \"open_qps_best_static\": %.2f, "
+                  "\"open_qps_adaptive\": %.2f, \"open_qps_ratio\": %.3f,\n",
+                  best_static_open_qps, open_adaptive->qps,
+                  open_adaptive->qps / std::max(best_static_open_qps, 1e-9));
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "      \"closed_p99_delay0_ms\": %.3f, "
+        "\"closed_p99_adaptive_ms\": %.3f, \"closed_p99_ratio\": %.3f,\n",
+        closed_delay0->p99_ms, closed_adaptive->p99_ms,
+        closed_adaptive->p99_ms / std::max(closed_delay0->p99_ms, 1e-9));
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "      \"matches_best_static_open_qps\": %s, "
+        "\"matches_delay0_closed_p99\": %s\n    },\n",
+        open_adaptive->qps >= 0.9 * best_static_open_qps ? "true" : "false",
+        closed_adaptive->p99_ms <= 1.25 * closed_delay0->p99_ms ? "true"
+                                                                : "false");
+    json += buf;
+    // Controller decision trace from the open-loop adaptive phase (the
+    // one that exercises growth): queue depth in, window / size cap out.
+    const auto& trace = open_adaptive->trace;
+    constexpr size_t kMaxTraceEntries = 64;
+    const size_t emit = std::min(trace.size(), kMaxTraceEntries);
+    std::snprintf(buf, sizeof(buf),
+                  "    \"controller_trace\": {\"phase\": \"open_adaptive\", "
+                  "\"total_decisions\": %zu, \"entries\": [\n",
+                  trace.size());
+    json += buf;
+    for (size_t i = 0; i < emit; ++i) {
+      const auto& e = trace[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "      {\"t_ms\": %.3f, \"queue_depth\": %zu, "
+          "\"window_ms\": %.3f, \"batch_size\": %zu, \"event\": \"%s\"}%s\n",
+          e.t_ms, e.queue_depth, e.window_ms, e.batch_size,
+          fcm::index::AdaptiveBatchController::EventName(e.event),
+          i + 1 < emit ? "," : "");
+      json += buf;
+    }
+    json += "    ]}";
+  }
+  json += "\n  },\n";
   json += "  \"lsh_index\": {\n";
   std::snprintf(buf, sizeof(buf),
                 "    \"items\": %d, \"dim\": %d, \"tables\": %d, "
@@ -545,10 +827,10 @@ int main(int argc, char** argv) {
   json += "}\n";
 
   std::fputs(json.c_str(), stdout);
-  if (argc > 1) {
-    std::FILE* f = std::fopen(argv[1], "w");
+  if (!flags.out.empty()) {
+    std::FILE* f = std::fopen(flags.out.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      std::fprintf(stderr, "cannot write %s\n", flags.out.c_str());
       return 1;
     }
     std::fputs(json.c_str(), f);

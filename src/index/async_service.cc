@@ -1,5 +1,6 @@
 #include "index/async_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -22,6 +23,9 @@ struct AsyncSearchService::Request {
 struct AsyncSearchService::MicroBatch {
   std::vector<Request> requests;
   std::vector<SearchEngine::StagedQuery> staged;
+  /// Per-stage wall time, filled as the batch flows through the pipeline;
+  /// the score thread feeds the total back to the adaptive controller.
+  SearchEngine::StageTiming timing;
 };
 
 // Bounded stage hand-off. Depth 2 keeps at most one batch queued behind
@@ -76,6 +80,15 @@ AsyncSearchService::AsyncSearchService(const SearchEngine* engine,
   FCM_CHECK(engine_ != nullptr);
   FCM_CHECK_GT(options_.queue_capacity, 0u);
   FCM_CHECK_GT(options_.max_batch_size, 0u);
+  if (options_.adaptive) {
+    AdaptiveBatchConfig config = options_.adaptive_config;
+    if (config.max_batch_size == 0) {
+      config.max_batch_size = options_.max_batch_size;
+      config.min_batch_size =
+          std::min(config.min_batch_size, config.max_batch_size);
+    }
+    controller_ = std::make_unique<AdaptiveBatchController>(config);
+  }
   encode_to_candidates_ = std::make_unique<StageChannel>();
   candidates_to_score_ = std::make_unique<StageChannel>();
   dispatch_thread_ = std::thread([this]() { DispatchLoop(); });
@@ -146,18 +159,28 @@ void AsyncSearchService::DispatchLoop() {
       }
       if (queue_.empty()) break;  // stopping_ && drained: retire.
 
-      // Coalesce: take the first request, then wait up to max_batch_delay
-      // for more, capped at max_batch_size. The deadline is measured from
-      // the moment the batch starts forming, so a request's queueing
+      // Coalesce: take the first request, then wait up to the batch delay
+      // for more, capped at the batch-size cap. The deadline is measured
+      // from the moment the batch starts forming, so a request's queueing
       // latency is bounded by the delay knob (plus pipeline occupancy).
+      // Static mode uses the options' knobs; adaptive mode asks the
+      // controller, which samples the queue depth it is handed here and
+      // answers with this batch's window and size cap.
+      size_t batch_cap = options_.max_batch_size;
+      double delay_ms = options_.max_batch_delay_ms;
+      if (controller_ != nullptr) {
+        const BatchDecision decision = controller_->OnBatchStart(
+            std::chrono::steady_clock::now(), queue_.size());
+        batch_cap = decision.batch_size;
+        delay_ms = decision.delay_ms;
+      }
       const auto deadline =
           std::chrono::steady_clock::now() +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double, std::milli>(
-                  options_.max_batch_delay_ms));
+              std::chrono::duration<double, std::milli>(delay_ms));
       batch->requests.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      while (batch->requests.size() < options_.max_batch_size) {
+      while (batch->requests.size() < batch_cap) {
         if (queue_.empty()) {
           if (stopping_ ||
               cv_data_.wait_until(lk, deadline, [this]() {
@@ -182,7 +205,7 @@ void AsyncSearchService::DispatchLoop() {
       batch->staged[i].k = batch->requests[i].k;
     }
     try {
-      engine_->EncodeStage(&batch->staged);
+      engine_->EncodeStage(&batch->staged, &batch->timing);
     } catch (...) {
       FailBatch(batch.get(), std::current_exception());
       continue;
@@ -198,7 +221,7 @@ void AsyncSearchService::CandidateLoop() {
     auto batch = encode_to_candidates_->Pop();
     if (batch == nullptr) break;
     try {
-      engine_->CandidateStage(&batch->staged);
+      engine_->CandidateStage(&batch->staged, &batch->timing);
     } catch (...) {
       FailBatch(batch.get(), std::current_exception());
       continue;
@@ -214,7 +237,7 @@ void AsyncSearchService::ScoreLoop() {
     if (batch == nullptr) break;
     std::vector<std::vector<SearchHit>> results;
     try {
-      results = engine_->ScoreStage(batch->staged);
+      results = engine_->ScoreStage(batch->staged, nullptr, &batch->timing);
     } catch (...) {
       FailBatch(batch.get(), std::current_exception());
       continue;
@@ -224,6 +247,10 @@ void AsyncSearchService::ScoreLoop() {
     }
     std::lock_guard<std::mutex> lk(mu_);
     completed_ += batch->requests.size();
+    if (controller_ != nullptr) {
+      // Feed the controller's service-time EWMA (latency clamp input).
+      controller_->OnBatchServed(batch->timing.total_seconds());
+    }
   }
 }
 
@@ -267,7 +294,15 @@ AsyncServiceStats AsyncSearchService::stats() const {
   out.failed = failed_;
   out.batches = batches_;
   out.max_coalesced = max_coalesced_;
+  if (controller_ != nullptr) out.controller = controller_->counters();
   return out;
+}
+
+std::vector<AdaptiveBatchController::TraceEntry>
+AsyncSearchService::controller_trace() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (controller_ == nullptr) return {};
+  return controller_->trace();
 }
 
 }  // namespace fcm::index

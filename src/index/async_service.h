@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "index/batch_controller.h"
 #include "index/search_engine.h"
 #include "vision/extracted_chart.h"
 
@@ -53,8 +54,21 @@ struct AsyncServiceOptions {
   /// than this into one pipeline pass.
   size_t max_batch_size = 16;
   /// How long the dispatcher waits for more requests after the first one
-  /// of a forming micro-batch arrives. 0 dispatches immediately.
+  /// of a forming micro-batch arrives. 0 dispatches immediately. Ignored
+  /// when `adaptive` is on — the controller issues the window per batch.
   double max_batch_delay_ms = 1.0;
+  /// Adaptive micro-batching: a queue-depth-driven controller
+  /// (index/batch_controller.h) grows the coalesce window and batch-size
+  /// cap multiplicatively under sustained backlog and collapses both
+  /// toward immediate dispatch when the queue runs dry, replacing the
+  /// static max_batch_size / max_batch_delay_ms trade-off. Results stay
+  /// bit-identical to SearchEngine::Search in every mode — the controller
+  /// only changes when batches cut, never what a request returns.
+  bool adaptive = false;
+  /// Controller tuning when `adaptive` is on: min/max window,
+  /// growth/decay factors, depth thresholds (see AdaptiveBatchConfig).
+  /// adaptive_config.max_batch_size == 0 inherits max_batch_size above.
+  AdaptiveBatchConfig adaptive_config;
 };
 
 /// Thrown (through the future) when kReject backpressure refuses a request
@@ -81,6 +95,10 @@ struct AsyncServiceStats {
   uint64_t failed = 0;      ///< Accepted but failed by an engine-stage error.
   uint64_t batches = 0;     ///< Micro-batches dispatched into the pipeline.
   size_t max_coalesced = 0; ///< Largest micro-batch dispatched.
+  /// Adaptive-controller counters (zero when options.adaptive is off).
+  /// controller.decisions == batches: the controller decides once per
+  /// dispatched micro-batch.
+  AdaptiveBatchController::Counters controller;
 };
 
 class AsyncSearchService {
@@ -116,6 +134,13 @@ class AsyncSearchService {
 
   AsyncServiceStats stats() const;
 
+  /// Oldest-first copy of the adaptive controller's bounded decision
+  /// trace (empty when options.adaptive is off). Each entry records the
+  /// queue depth the dispatcher sampled and the window / size cap the
+  /// controller answered with — the bench serializes this into the BENCH
+  /// json's async section.
+  std::vector<AdaptiveBatchController::TraceEntry> controller_trace() const;
+
  private:
   struct Request;
   struct MicroBatch;
@@ -148,6 +173,12 @@ class AsyncSearchService {
   uint64_t failed_ = 0;
   uint64_t batches_ = 0;
   size_t max_coalesced_ = 0;
+
+  /// Adaptive micro-batching controller; null when options_.adaptive is
+  /// off. Guarded by mu_: the dispatcher consults it while holding the
+  /// queue lock and the score thread reports batch service time under
+  /// the same lock, so the controller itself needs no synchronization.
+  std::unique_ptr<AdaptiveBatchController> controller_;
 
   /// Fails every request of `batch` with `error` and accounts them as
   /// failed — called when an engine stage throws; the pipeline stays up.

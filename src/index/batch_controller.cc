@@ -1,0 +1,159 @@
+#include "index/batch_controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcm::index {
+
+const char* AdaptiveBatchController::EventName(Event e) {
+  switch (e) {
+    case Event::kHold:
+      return "hold";
+    case Event::kGrow:
+      return "grow";
+    case Event::kDecay:
+      return "decay";
+    case Event::kIdleReset:
+      return "idle_reset";
+  }
+  return "unknown";
+}
+
+AdaptiveBatchController::AdaptiveBatchController(
+    const AdaptiveBatchConfig& config)
+    : config_(config) {
+  FCM_CHECK_GE(config_.min_delay_ms, 0.0);
+  FCM_CHECK_GE(config_.max_delay_ms, config_.min_delay_ms);
+  FCM_CHECK_GT(config_.min_batch_size, 0u);
+  FCM_CHECK_GE(config_.max_batch_size, config_.min_batch_size);
+  FCM_CHECK_GT(config_.growth, 1.0);
+  FCM_CHECK_GT(config_.decay, 0.0);
+  FCM_CHECK(config_.decay < 1.0);
+  FCM_CHECK_GE(config_.backlog_depth, config_.drain_depth);
+  FCM_CHECK_GT(config_.sustain, 0u);
+  FCM_CHECK_GT(config_.seed_delay_ms, 0.0);
+  FCM_CHECK_GT(config_.ewma_alpha, 0.0);
+  FCM_CHECK(config_.ewma_alpha <= 1.0);
+  CollapseToFloors();
+}
+
+void AdaptiveBatchController::CollapseToFloors() {
+  window_ms_ = config_.min_delay_ms;
+  batch_size_ = config_.min_batch_size;
+  backlog_streak_ = 0;
+}
+
+BatchDecision AdaptiveBatchController::OnBatchStart(TimePoint now,
+                                                    size_t queue_depth) {
+  if (!started_) {
+    started_ = true;
+    origin_ = now;
+    last_ = now;
+  }
+  const double gap_ms =
+      std::chrono::duration<double, std::milli>(now - last_).count();
+  last_ = now;
+
+  Event event;
+  const bool was_at_floors = window_ms_ <= config_.min_delay_ms &&
+                             batch_size_ <= config_.min_batch_size;
+  const bool idle_gap =
+      config_.idle_reset_ms > 0.0 && gap_ms > config_.idle_reset_ms;
+  // Any lull invalidates backlog evidence gathered before it — a stale
+  // streak must not let the first batch of a fresh burst through the
+  // sustain gate.
+  if (idle_gap) backlog_streak_ = 0;
+  if (idle_gap && !was_at_floors && queue_depth < config_.backlog_depth) {
+    // The dispatcher slept on an empty queue through a traffic lull:
+    // whatever arrives now is fresh closed-loop traffic and must not pay
+    // the grown window one decay step at a time. A deep queue despite
+    // the gap is not a lull — it means the pipeline itself is slower
+    // than idle_reset_ms per batch under backlog, and collapsing then
+    // would oscillate between floors and caps instead of holding the
+    // caps, so the backlog branch below handles it.
+    CollapseToFloors();
+    event = Event::kIdleReset;
+    ++counters_.idle_resets;
+  } else if (queue_depth >= config_.backlog_depth) {
+    ++backlog_streak_;
+    if (backlog_streak_ >= config_.sustain) {
+      // Multiplicative increase. A zero-floor window cannot leave 0 by
+      // multiplication, so growth starts from the seed.
+      window_ms_ = std::min(
+          config_.max_delay_ms,
+          std::max(window_ms_ * config_.growth, config_.seed_delay_ms));
+      batch_size_ = std::min(
+          config_.max_batch_size,
+          std::max(static_cast<size_t>(static_cast<double>(batch_size_) *
+                                       config_.growth),
+                   batch_size_ + 1));
+      event = Event::kGrow;
+      ++counters_.grows;
+    } else {
+      event = Event::kHold;  // Backlog seen but not yet sustained.
+      ++counters_.holds;
+    }
+  } else if (queue_depth <= config_.drain_depth) {
+    backlog_streak_ = 0;
+    // Multiplicative decrease, snapping to the floor once the window
+    // falls below the seed — "toward immediate dispatch", not an
+    // asymptote that never gets there.
+    window_ms_ = std::max(config_.min_delay_ms, window_ms_ * config_.decay);
+    if (window_ms_ < std::max(config_.min_delay_ms, config_.seed_delay_ms)) {
+      window_ms_ = config_.min_delay_ms;
+    }
+    batch_size_ = std::max(
+        config_.min_batch_size,
+        static_cast<size_t>(static_cast<double>(batch_size_) * config_.decay));
+    event = Event::kDecay;
+    ++counters_.decays;
+  } else {
+    backlog_streak_ = 0;
+    event = Event::kHold;
+    ++counters_.holds;
+  }
+
+  BatchDecision decision;
+  decision.delay_ms = window_ms_;
+  decision.batch_size = batch_size_;
+  if (config_.latency_headroom > 0.0 && counters_.ewma_service_ms > 0.0) {
+    decision.delay_ms = std::min(
+        decision.delay_ms,
+        std::max(config_.min_delay_ms,
+                 config_.latency_headroom * counters_.ewma_service_ms));
+  }
+
+  ++counters_.decisions;
+  counters_.max_window_ms =
+      std::max(counters_.max_window_ms, decision.delay_ms);
+  counters_.max_batch_size =
+      std::max(counters_.max_batch_size, decision.batch_size);
+
+  TraceEntry entry;
+  entry.t_ms = std::chrono::duration<double, std::milli>(now - origin_).count();
+  entry.queue_depth = queue_depth;
+  entry.window_ms = window_ms_;
+  entry.batch_size = batch_size_;
+  entry.event = event;
+  if (trace_.size() == kTraceCapacity) trace_.pop_front();
+  trace_.push_back(entry);
+
+  return decision;
+}
+
+void AdaptiveBatchController::OnBatchServed(double service_seconds) {
+  const double ms = std::max(0.0, service_seconds) * 1e3;
+  counters_.ewma_service_ms =
+      counters_.ewma_service_ms == 0.0
+          ? ms
+          : (1.0 - config_.ewma_alpha) * counters_.ewma_service_ms +
+                config_.ewma_alpha * ms;
+}
+
+std::vector<AdaptiveBatchController::TraceEntry>
+AdaptiveBatchController::trace() const {
+  return {trace_.begin(), trace_.end()};
+}
+
+}  // namespace fcm::index

@@ -1,0 +1,169 @@
+// Closed-loop micro-batching controller for AsyncSearchService (the
+// ROADMAP's adaptive micro-batching item). The dispatcher's static
+// max-delay knob trades open-loop throughput against closed-loop latency:
+// tuned for overload it inflates idle-time p99, tuned for closed-loop
+// clients it forfeits coalescing under backlog. This controller makes the
+// trade dynamically from one signal the dispatcher already holds — queue
+// depth at the moment a batch starts forming — growing the coalesce
+// window and the target batch size multiplicatively under sustained
+// backlog and collapsing both toward immediate dispatch when the queue
+// runs dry, so a single configuration serves both traffic shapes.
+//
+// The controller never touches request contents: it decides *when* a
+// micro-batch cuts (window) and *how large* it may grow (size cap), and
+// every batch still runs the same per-request stage code, so rankings
+// stay bit-identical to SearchEngine::Search under every trajectory the
+// controller takes.
+//
+// Determinism contract: the controller owns no clock and performs no
+// waiting — callers pass `now` into every decision. Given the same
+// sequence of (now, queue_depth) samples and OnBatchServed calls, two
+// controllers with the same config produce identical decisions, counters,
+// and traces, which is what makes convergence unit-testable with a fake
+// clock and no wall-clock sleeps (tests/adaptive_batching_test.cc).
+//
+// Thread safety: none. AsyncSearchService calls it under its queue mutex;
+// standalone users must provide their own exclusion.
+
+#ifndef FCM_INDEX_BATCH_CONTROLLER_H_
+#define FCM_INDEX_BATCH_CONTROLLER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace fcm::index {
+
+/// Controller tuning. Defaults are the ones the serving bench ships with;
+/// docs/SERVING.md maps latency/throughput symptoms to these knobs.
+struct AdaptiveBatchConfig {
+  /// Coalesce-window floor: the delay used once the queue runs dry.
+  /// 0 (the default) collapses to immediate dispatch — closed-loop mode.
+  double min_delay_ms = 0.0;
+  /// Coalesce-window cap under sustained backlog.
+  double max_delay_ms = 8.0;
+  /// Batch-size floor (used when drained) and cap (used under backlog).
+  /// AsyncSearchService treats max_batch_size == 0 as "inherit the
+  /// service's static max_batch_size".
+  size_t min_batch_size = 1;
+  size_t max_batch_size = 16;
+  /// Multiplicative-increase factor applied to both the window and the
+  /// size cap on each grow step. Must be > 1.
+  double growth = 2.0;
+  /// Multiplicative-decrease factor applied on each decay step.
+  /// Must be in (0, 1).
+  double decay = 0.5;
+  /// Queue depth at batch start counted as backlog (grow signal).
+  size_t backlog_depth = 8;
+  /// Queue depth at batch start counted as drained (decay signal);
+  /// depths strictly between the two thresholds hold the current state.
+  size_t drain_depth = 0;
+  /// Consecutive backlog samples required before the first grow step —
+  /// one transient burst must not open the window.
+  size_t sustain = 2;
+  /// A gap between consecutive batch starts longer than this means the
+  /// dispatcher slept on an empty queue: the lull collapses the window
+  /// and size cap to their floors immediately instead of paying one
+  /// decay step per dispatch. <= 0 disables idle resets.
+  double idle_reset_ms = 50.0;
+  /// Window value a grow step starts from when the window sits at a zero
+  /// floor (multiplication cannot leave 0), and the threshold below which
+  /// a decay step snaps the window back to the floor.
+  double seed_delay_ms = 0.25;
+  /// Optional latency clamp: when > 0, the issued window is additionally
+  /// capped at `latency_headroom * EWMA(batch service time)` — there is
+  /// no point holding a batch open for much longer than the pipeline
+  /// needs to serve one, because backpressure refills the queue anyway.
+  /// 0 disables the clamp (OnBatchServed then only feeds telemetry).
+  double latency_headroom = 0.0;
+  /// EWMA smoothing for the batch-service-time estimate in (0, 1];
+  /// higher weighs recent batches more.
+  double ewma_alpha = 0.3;
+};
+
+/// What the dispatcher should use for the micro-batch it is forming.
+struct BatchDecision {
+  double delay_ms = 0.0;
+  size_t batch_size = 1;
+};
+
+/// Queue-depth-driven multiplicative-increase / multiplicative-decrease
+/// controller. See the file comment for the contract.
+class AdaptiveBatchController {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// What a decision did; recorded per trace entry and counted.
+  enum class Event : uint8_t {
+    kHold,       ///< Depth between the thresholds (or sustain not yet met).
+    kGrow,       ///< Sustained backlog: window and size cap multiplied up.
+    kDecay,      ///< Queue drained: window and size cap multiplied down.
+    kIdleReset,  ///< Idle gap exceeded idle_reset_ms: collapsed to floors.
+  };
+
+  static const char* EventName(Event e);
+
+  /// One controller decision, kept in a bounded trace (most recent
+  /// kTraceCapacity entries) for the bench's BENCH json and debugging.
+  struct TraceEntry {
+    double t_ms = 0.0;  ///< Time since the first decision.
+    size_t queue_depth = 0;
+    double window_ms = 0.0;   ///< Window after the decision (pre-clamp).
+    size_t batch_size = 0;    ///< Size cap after the decision.
+    Event event = Event::kHold;
+  };
+
+  /// Monotone observability counters.
+  struct Counters {
+    uint64_t decisions = 0;
+    uint64_t grows = 0;
+    uint64_t decays = 0;
+    uint64_t holds = 0;
+    uint64_t idle_resets = 0;
+    double max_window_ms = 0.0;   ///< Largest window ever issued.
+    size_t max_batch_size = 0;    ///< Largest size cap ever issued.
+    double ewma_service_ms = 0.0; ///< Smoothed batch service time.
+  };
+
+  static constexpr size_t kTraceCapacity = 256;
+
+  explicit AdaptiveBatchController(const AdaptiveBatchConfig& config);
+
+  /// Called once per micro-batch, when the dispatcher wakes holding work:
+  /// `queue_depth` is the number of queued requests (including the one
+  /// about to seed the batch) and `now` is the caller's clock sample.
+  /// Returns the coalesce window and batch-size cap for this batch.
+  BatchDecision OnBatchStart(TimePoint now, size_t queue_depth);
+
+  /// Feeds one served batch's summed stage wall time into the service-
+  /// time EWMA (the latency clamp's input; always recorded in counters).
+  void OnBatchServed(double service_seconds);
+
+  /// Current (post-last-decision) state; floors before any decision.
+  double window_ms() const { return window_ms_; }
+  size_t batch_size() const { return batch_size_; }
+
+  const Counters& counters() const { return counters_; }
+  /// Oldest-first copy of the bounded decision trace.
+  std::vector<TraceEntry> trace() const;
+
+ private:
+  void CollapseToFloors();
+
+  AdaptiveBatchConfig config_;
+  double window_ms_ = 0.0;
+  size_t batch_size_ = 1;
+  size_t backlog_streak_ = 0;
+  bool started_ = false;
+  TimePoint origin_{};   ///< First decision (trace time base).
+  TimePoint last_{};     ///< Previous decision (idle-gap detection).
+  Counters counters_;
+  std::deque<TraceEntry> trace_;
+};
+
+}  // namespace fcm::index
+
+#endif  // FCM_INDEX_BATCH_CONTROLLER_H_

@@ -228,16 +228,21 @@ bool SearchEngine::ScoreCandidate(const core::ChartRepresentation& chart_rep,
   return true;
 }
 
-void SearchEngine::EncodeStage(std::vector<StagedQuery>* staged) const {
+void SearchEngine::EncodeStage(std::vector<StagedQuery>* staged,
+                               StageTiming* timing) const {
   FCM_CHECK(!entries_.empty());
+  const auto t0 = std::chrono::steady_clock::now();
   pool_->ParallelFor(staged->size(), [&](size_t i) {
     StagedQuery& sq = (*staged)[i];
     if (sq.query->lines.empty()) return;
     sq.chart_rep = core::FcmModel::Detach(model_->EncodeChart(*sq.query));
   });
+  if (timing != nullptr) timing->encode_seconds = Seconds(t0);
 }
 
-void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged) const {
+void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
+                                  StageTiming* timing) const {
+  const auto t_stage = std::chrono::steady_clock::now();
   const auto uses_lsh = [](IndexStrategy s) {
     return s == IndexStrategy::kLsh || s == IndexStrategy::kHybrid;
   };
@@ -280,11 +285,13 @@ void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged) const {
     sq.candidates = Candidates(*sq.query, sq.strategy, sq.line_hits.data(),
                                sq.line_hits.size());
   });
+  if (timing != nullptr) timing->candidate_seconds = Seconds(t_stage);
 }
 
 std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
-    const std::vector<StagedQuery>& staged,
-    std::vector<QueryStats>* stats) const {
+    const std::vector<StagedQuery>& staged, std::vector<QueryStats>* stats,
+    StageTiming* timing) const {
+  const auto t_stage = std::chrono::steady_clock::now();
   const size_t q = staged.size();
   std::vector<std::vector<SearchHit>> results(q);
   if (stats != nullptr) stats->assign(q, {});
@@ -339,6 +346,7 @@ std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
     }
     results[i] = RankHits(std::move(hits), sq.k);
   });
+  if (timing != nullptr) timing->score_seconds = Seconds(t_stage);
   return results;
 }
 

@@ -119,6 +119,21 @@ class SearchEngine {
   // stage calls. Stages are const and safe to call concurrently from
   // several threads (the shared pool accepts concurrent owners).
 
+  /// Wall seconds one batch spent inside each serving stage. Serving
+  /// telemetry: AsyncSearchService feeds the per-batch total to its
+  /// adaptive micro-batching controller (see index/batch_controller.h),
+  /// and the tuning guide in docs/SERVING.md reads these to attribute
+  /// latency to a stage. Purely observational — timing never changes
+  /// what a stage computes.
+  struct StageTiming {
+    double encode_seconds = 0.0;
+    double candidate_seconds = 0.0;
+    double score_seconds = 0.0;
+    double total_seconds() const {
+      return encode_seconds + candidate_seconds + score_seconds;
+    }
+  };
+
   /// One request's stage state. `query` must outlive the stage calls.
   struct StagedQuery {
     const vision::ExtractedChart* query = nullptr;
@@ -130,22 +145,28 @@ class SearchEngine {
   };
 
   /// Stage 1 — chart encoding: fills chart_rep for every staged query in
-  /// one pool dispatch. Queries without lines stay empty.
-  void EncodeStage(std::vector<StagedQuery>* staged) const;
+  /// one pool dispatch. Queries without lines stay empty. `timing`, when
+  /// given, receives the stage's wall time in encode_seconds.
+  void EncodeStage(std::vector<StagedQuery>* staged,
+                   StageTiming* timing = nullptr) const;
 
   /// Stage 2 — candidate generation: one sharded LSH QueryBatch over every
   /// staged query that consults the LSH index, then the per-query merge
-  /// (sorted ids, identical to the single-query path).
-  void CandidateStage(std::vector<StagedQuery>* staged) const;
+  /// (sorted ids, identical to the single-query path). `timing`, when
+  /// given, receives the stage's wall time in candidate_seconds.
+  void CandidateStage(std::vector<StagedQuery>* staged,
+                      StageTiming* timing = nullptr) const;
 
   /// Stage 3 — scoring + ranking: one flat dispatch over all
   /// (query, candidate) pairs, then per-query top-k assembly. `stats`,
   /// when given, must be parallel to *staged and receives
   /// candidates_scored plus per-query scoring seconds (batch_seconds is
-  /// left for the caller to fill).
+  /// left for the caller to fill). `timing`, when given, receives the
+  /// stage's wall time in score_seconds.
   std::vector<std::vector<SearchHit>> ScoreStage(
       const std::vector<StagedQuery>& staged,
-      std::vector<QueryStats>* stats = nullptr) const;
+      std::vector<QueryStats>* stats = nullptr,
+      StageTiming* timing = nullptr) const;
 
   const BuildStats& build_stats() const { return build_stats_; }
 

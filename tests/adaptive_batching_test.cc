@@ -1,0 +1,455 @@
+// Tests for index::AdaptiveBatchController and the adaptive mode of
+// index::AsyncSearchService. The controller owns no clock — every
+// decision takes a caller-supplied time point — so convergence is driven
+// here with a fake clock and zero wall-clock sleeps: growth to the caps
+// under sustained backlog, decay below the closed-loop threshold in a
+// bounded number of dispatch cycles, idle resets, and decision-for-
+// decision determinism. The service-level tests check the other half of
+// the contract: whatever trajectory the controller takes, every request's
+// ranking stays bit-identical to SearchEngine::Search.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "chart/renderer.h"
+#include "core/fcm_config.h"
+#include "core/fcm_model.h"
+#include "index/async_service.h"
+#include "index/batch_controller.h"
+#include "index/search_engine.h"
+#include "table/data_lake.h"
+#include "table/data_series.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::index {
+namespace {
+
+using TimePoint = AdaptiveBatchController::TimePoint;
+
+/// Fake clock: a fixed epoch advanced by explicit milliseconds. Every
+/// controller input is derived from it, so tests are sleep-free and the
+/// decision sequence is reproducible run to run.
+class FakeClock {
+ public:
+  TimePoint now() const { return now_; }
+  void Advance(double ms) {
+    now_ += std::chrono::duration_cast<AdaptiveBatchController::Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+
+ private:
+  TimePoint now_ = TimePoint{} + std::chrono::hours(1);
+};
+
+AdaptiveBatchConfig TestConfig() {
+  AdaptiveBatchConfig config;
+  config.min_delay_ms = 0.0;
+  config.max_delay_ms = 8.0;
+  config.min_batch_size = 1;
+  config.max_batch_size = 16;
+  config.growth = 2.0;
+  config.decay = 0.5;
+  config.backlog_depth = 8;
+  config.drain_depth = 0;
+  config.sustain = 2;
+  config.idle_reset_ms = 50.0;
+  config.seed_delay_ms = 0.25;
+  return config;
+}
+
+/// Dispatch cycles a full decay needs: the window halves from max_delay
+/// until it falls below the seed and snaps to the floor, and the size cap
+/// halves from max_batch to the floor. Both are logarithmic.
+size_t DecayCycleBound(const AdaptiveBatchConfig& c) {
+  const double steps_window =
+      std::ceil(std::log(c.max_delay_ms / c.seed_delay_ms) /
+                std::log(1.0 / c.decay)) +
+      2.0;
+  const double steps_batch =
+      std::ceil(std::log(static_cast<double>(c.max_batch_size) /
+                         static_cast<double>(c.min_batch_size)) /
+                std::log(1.0 / c.decay)) +
+      2.0;
+  return static_cast<size_t>(std::max(steps_window, steps_batch));
+}
+
+TEST(AdaptiveBatchControllerTest, StartsCollapsedAtFloors) {
+  AdaptiveBatchController controller(TestConfig());
+  EXPECT_EQ(controller.window_ms(), 0.0);
+  EXPECT_EQ(controller.batch_size(), 1u);
+}
+
+TEST(AdaptiveBatchControllerTest, SustainedBacklogGrowsToCaps) {
+  const auto config = TestConfig();
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  // Open-loop overload: every dispatch finds a deep queue. The window and
+  // size cap must reach their caps within a small, bounded number of
+  // cycles (sustain gate + one doubling per cycle) and stay there.
+  size_t cycles_to_cap = 0;
+  for (size_t cycle = 1; cycle <= 32; ++cycle) {
+    clock.Advance(1.0);
+    const auto decision = controller.OnBatchStart(clock.now(), /*depth=*/32);
+    EXPECT_LE(decision.batch_size, config.max_batch_size);
+    EXPECT_LE(decision.delay_ms, config.max_delay_ms);
+    if (decision.batch_size == config.max_batch_size &&
+        decision.delay_ms == config.max_delay_ms && cycles_to_cap == 0) {
+      cycles_to_cap = cycle;
+    }
+  }
+  ASSERT_GT(cycles_to_cap, 0u) << "never reached the caps";
+  // sustain - 1 held cycles, then doublings: 1 -> 16 in 4, seed 0.25 ->
+  // 8 ms in 6. Allow slack but insist on logarithmic convergence.
+  EXPECT_LE(cycles_to_cap, config.sustain - 1 + 8);
+  EXPECT_EQ(controller.batch_size(), config.max_batch_size);
+  EXPECT_EQ(controller.window_ms(), config.max_delay_ms);
+  EXPECT_GT(controller.counters().grows, 0u);
+  EXPECT_EQ(controller.counters().idle_resets, 0u);
+}
+
+TEST(AdaptiveBatchControllerTest, TransientBurstDoesNotGrow) {
+  auto config = TestConfig();
+  config.sustain = 3;
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  // Backlog samples shorter than the sustain gate, each interrupted by an
+  // in-between depth: the controller must hold at the floors throughout.
+  for (int round = 0; round < 5; ++round) {
+    for (size_t i = 0; i + 1 < config.sustain; ++i) {
+      clock.Advance(1.0);
+      const auto d = controller.OnBatchStart(clock.now(), /*depth=*/32);
+      EXPECT_EQ(d.batch_size, config.min_batch_size);
+      EXPECT_EQ(d.delay_ms, config.min_delay_ms);
+    }
+    clock.Advance(1.0);
+    controller.OnBatchStart(clock.now(), /*depth=*/4);  // Between thresholds.
+  }
+  EXPECT_EQ(controller.counters().grows, 0u);
+}
+
+TEST(AdaptiveBatchControllerTest, DrainDecaysBelowClosedLoopThreshold) {
+  const auto config = TestConfig();
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  // Grow to the caps first.
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(1.0);
+    controller.OnBatchStart(clock.now(), /*depth=*/32);
+  }
+  ASSERT_EQ(controller.window_ms(), config.max_delay_ms);
+  ASSERT_EQ(controller.batch_size(), config.max_batch_size);
+  // Queue runs dry (closed-loop traffic): within the logarithmic cycle
+  // bound both knobs must be back at the floors — the window below the
+  // closed-loop threshold of "immediate dispatch".
+  const size_t bound = DecayCycleBound(config);
+  size_t cycles = 0;
+  while (cycles < bound && (controller.window_ms() > config.min_delay_ms ||
+                            controller.batch_size() > config.min_batch_size)) {
+    clock.Advance(1.0);  // Gap stays below idle_reset_ms: pure decay path.
+    controller.OnBatchStart(clock.now(), /*depth=*/0);
+    ++cycles;
+  }
+  EXPECT_EQ(controller.window_ms(), config.min_delay_ms);
+  EXPECT_EQ(controller.batch_size(), config.min_batch_size);
+  EXPECT_LE(cycles, bound);
+  EXPECT_GT(controller.counters().decays, 0u);
+}
+
+TEST(AdaptiveBatchControllerTest, IdleGapCollapsesImmediately) {
+  const auto config = TestConfig();
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(1.0);
+    controller.OnBatchStart(clock.now(), /*depth=*/32);
+  }
+  ASSERT_EQ(controller.window_ms(), config.max_delay_ms);
+  // One dispatch after a lull longer than idle_reset_ms: the first
+  // request of the fresh traffic must already see the floors, not pay
+  // the grown window down one decay step at a time.
+  clock.Advance(config.idle_reset_ms * 3.0);
+  const auto decision = controller.OnBatchStart(clock.now(), /*depth=*/1);
+  EXPECT_EQ(decision.delay_ms, config.min_delay_ms);
+  EXPECT_EQ(decision.batch_size, config.min_batch_size);
+  EXPECT_EQ(controller.counters().idle_resets, 1u);
+}
+
+TEST(AdaptiveBatchControllerTest, SlowBatchesUnderBacklogAreNotALull) {
+  const auto config = TestConfig();
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(1.0);
+    controller.OnBatchStart(clock.now(), /*depth=*/32);
+  }
+  ASSERT_EQ(controller.batch_size(), config.max_batch_size);
+  // Heavy pipeline: per-batch time exceeds idle_reset_ms while the queue
+  // stays deep. That gap is pipeline occupancy, not a traffic lull — the
+  // controller must hold the caps instead of oscillating through the
+  // floors (which would shrink batches and make overload worse).
+  for (int i = 0; i < 6; ++i) {
+    clock.Advance(config.idle_reset_ms * 2.0);
+    const auto d = controller.OnBatchStart(clock.now(), /*depth=*/32);
+    EXPECT_EQ(d.batch_size, config.max_batch_size);
+    EXPECT_EQ(d.delay_ms, config.max_delay_ms);
+  }
+  EXPECT_EQ(controller.counters().idle_resets, 0u);
+}
+
+TEST(AdaptiveBatchControllerTest, LullClearsStaleBacklogStreak) {
+  auto config = TestConfig();
+  config.sustain = 2;
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  // One backlog sample (streak 1, below the sustain gate)...
+  clock.Advance(1.0);
+  controller.OnBatchStart(clock.now(), /*depth=*/32);
+  ASSERT_EQ(controller.counters().grows, 0u);
+  // ...then a long lull at the floors. The first batch of the next burst
+  // must not combine with the pre-lull sample to satisfy the gate.
+  clock.Advance(config.idle_reset_ms * 10.0);
+  const auto d = controller.OnBatchStart(clock.now(), /*depth=*/32);
+  EXPECT_EQ(d.batch_size, config.min_batch_size);
+  EXPECT_EQ(d.delay_ms, config.min_delay_ms);
+  EXPECT_EQ(controller.counters().grows, 0u);
+  // The burst sustaining past the gate still grows.
+  clock.Advance(1.0);
+  controller.OnBatchStart(clock.now(), /*depth=*/32);
+  EXPECT_EQ(controller.counters().grows, 1u);
+}
+
+TEST(AdaptiveBatchControllerTest, BurstyLoadGrowsThenCollapses) {
+  const auto config = TestConfig();
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  // The ISSUE's convergence scenario end to end: a sustained open-loop
+  // burst grows the effective batch size to the cap; after the queue
+  // drains, the window decays below the closed-loop threshold within the
+  // bounded cycle count; a second burst regrows.
+  for (int i = 0; i < 12; ++i) {
+    clock.Advance(0.5);
+    controller.OnBatchStart(clock.now(), /*depth=*/64);
+  }
+  EXPECT_EQ(controller.batch_size(), config.max_batch_size);
+  EXPECT_EQ(controller.window_ms(), config.max_delay_ms);
+
+  const size_t bound = DecayCycleBound(config);
+  for (size_t i = 0; i < bound; ++i) {
+    clock.Advance(0.5);
+    controller.OnBatchStart(clock.now(), /*depth=*/0);
+  }
+  EXPECT_EQ(controller.batch_size(), config.min_batch_size);
+  EXPECT_EQ(controller.window_ms(), config.min_delay_ms);
+
+  for (int i = 0; i < 12; ++i) {
+    clock.Advance(0.5);
+    controller.OnBatchStart(clock.now(), /*depth=*/64);
+  }
+  EXPECT_EQ(controller.batch_size(), config.max_batch_size);
+  EXPECT_EQ(controller.window_ms(), config.max_delay_ms);
+}
+
+TEST(AdaptiveBatchControllerTest, DeterministicAcrossInstances) {
+  // Two controllers fed the identical (now, depth) sequence must agree
+  // decision for decision — the property that makes the service's
+  // batching reproducible given a traffic trace.
+  AdaptiveBatchController a(TestConfig());
+  AdaptiveBatchController b(TestConfig());
+  FakeClock clock;
+  const size_t depths[] = {1, 12, 30, 30, 30, 0, 0, 3, 64, 64, 64, 64, 0,
+                           0,  0,  1,  9, 9,  9, 9, 0, 2,  40, 40, 0};
+  for (size_t depth : depths) {
+    clock.Advance(depth == 3 ? 120.0 : 0.7);  // One idle gap mid-sequence.
+    const auto da = a.OnBatchStart(clock.now(), depth);
+    const auto db = b.OnBatchStart(clock.now(), depth);
+    EXPECT_EQ(da.delay_ms, db.delay_ms);
+    EXPECT_EQ(da.batch_size, db.batch_size);
+  }
+  const auto ta = a.trace();
+  const auto tb = b.trace();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].t_ms, tb[i].t_ms);
+    EXPECT_EQ(ta[i].queue_depth, tb[i].queue_depth);
+    EXPECT_EQ(ta[i].window_ms, tb[i].window_ms);
+    EXPECT_EQ(ta[i].batch_size, tb[i].batch_size);
+    EXPECT_EQ(ta[i].event, tb[i].event);
+  }
+  EXPECT_EQ(a.counters().grows, b.counters().grows);
+  EXPECT_EQ(a.counters().decays, b.counters().decays);
+  EXPECT_EQ(a.counters().idle_resets, b.counters().idle_resets);
+}
+
+TEST(AdaptiveBatchControllerTest, LatencyClampCapsIssuedWindow) {
+  auto config = TestConfig();
+  config.latency_headroom = 2.0;
+  AdaptiveBatchController controller(config);
+  FakeClock clock;
+  // Pipeline serves a batch in ~1 ms; with headroom 2 the issued window
+  // must not exceed 2 ms even though the internal window grows to 8 ms.
+  controller.OnBatchServed(0.001);
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(1.0);
+    const auto d = controller.OnBatchStart(clock.now(), /*depth=*/32);
+    EXPECT_LE(d.delay_ms, 2.0 * controller.counters().ewma_service_ms + 1e-9);
+  }
+  // The internal (unclamped) window still reached its cap — the clamp
+  // shapes what is issued, not the state machine.
+  EXPECT_EQ(controller.window_ms(), config.max_delay_ms);
+}
+
+TEST(AdaptiveBatchControllerTest, ServiceTimeEwmaSmoothes) {
+  AdaptiveBatchController controller(TestConfig());
+  controller.OnBatchServed(0.010);
+  EXPECT_DOUBLE_EQ(controller.counters().ewma_service_ms, 10.0);
+  controller.OnBatchServed(0.020);  // alpha 0.3: 0.7*10 + 0.3*20 = 13.
+  EXPECT_NEAR(controller.counters().ewma_service_ms, 13.0, 1e-9);
+}
+
+TEST(AdaptiveBatchControllerTest, TraceIsBounded) {
+  AdaptiveBatchController controller(TestConfig());
+  FakeClock clock;
+  const size_t n = AdaptiveBatchController::kTraceCapacity + 57;
+  for (size_t i = 0; i < n; ++i) {
+    clock.Advance(1.0);
+    controller.OnBatchStart(clock.now(), i % 3 == 0 ? 32 : 0);
+  }
+  const auto trace = controller.trace();
+  EXPECT_EQ(trace.size(), AdaptiveBatchController::kTraceCapacity);
+  EXPECT_EQ(controller.counters().decisions, n);
+  // Oldest-first and strictly advancing time stamps.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].t_ms, trace[i - 1].t_ms);
+  }
+}
+
+// ---- Service-level adaptive mode ----
+
+class AdaptiveServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      table::Table t;
+      for (int c = 0; c < 2; ++c) {
+        std::vector<double> v(60);
+        for (size_t j = 0; j < v.size(); ++j) {
+          v[j] = std::sin(static_cast<double>(j) * (0.04 + 0.03 * i) + c) *
+                     (1.5 + i) +
+                 0.7 * c;
+        }
+        t.AddColumn(table::Column("c" + std::to_string(c), std::move(v)));
+      }
+      lake_.Add(std::move(t));
+    }
+    core::FcmConfig config;
+    config.embed_dim = 16;
+    config.num_layers = 1;
+    config.strip_height = 16;
+    config.strip_width = 64;
+    config.line_segment_width = 16;
+    config.column_length = 64;
+    config.data_segment_size = 16;
+    model_ = std::make_unique<core::FcmModel>(config);
+
+    SearchEngineOptions options;
+    options.num_threads = 2;
+    engine_ = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    engine_->BuildWithOptions(options);
+
+    vision::MaskOracleExtractor oracle;
+    for (int q = 0; q < 4; ++q) {
+      table::DataSeries d;
+      d.y = lake_.Get(q % 6).column(q % 2).values;
+      queries_.push_back(oracle.Extract(chart::RenderLineChart({d})).value());
+    }
+  }
+
+  table::DataLake lake_;
+  std::unique_ptr<core::FcmModel> model_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::vector<vision::ExtractedChart> queries_;
+};
+
+TEST_F(AdaptiveServiceTest, AdaptiveResultsBitIdenticalToSearch) {
+  // Whatever windows and size caps the controller issues while this
+  // burst drains, every ranking must equal Search bit for bit — the
+  // controller changes when batches cut, never what a request returns.
+  AsyncServiceOptions options;
+  options.queue_capacity = 32;
+  options.max_batch_size = 8;
+  options.adaptive = true;
+  options.adaptive_config.max_delay_ms = 2.0;
+  options.adaptive_config.backlog_depth = 2;
+  options.adaptive_config.sustain = 1;
+  AsyncSearchService service(engine_.get(), options);
+
+  const IndexStrategy strategies[] = {
+      IndexStrategy::kNoIndex, IndexStrategy::kIntervalTree,
+      IndexStrategy::kLsh, IndexStrategy::kHybrid};
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  std::vector<std::vector<SearchHit>> expected;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      for (const auto strategy : strategies) {
+        const int k = 1 + static_cast<int>(q);
+        futures.push_back(service.Submit(queries_[q], k, strategy));
+        expected.push_back(engine_->Search(queries_[q], k, strategy));
+      }
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto hits = futures[i].get();
+    ASSERT_EQ(hits.size(), expected[i].size()) << "request " << i;
+    for (size_t r = 0; r < hits.size(); ++r) {
+      EXPECT_EQ(hits[r].table_id, expected[i][r].table_id) << "rank " << r;
+      EXPECT_EQ(hits[r].score, expected[i][r].score) << "rank " << r;
+    }
+  }
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, futures.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  // The controller decided once per dispatched micro-batch.
+  EXPECT_EQ(stats.controller.decisions, stats.batches);
+  EXPECT_GE(stats.controller.max_batch_size, 1u);
+  EXPECT_FALSE(service.controller_trace().empty());
+}
+
+TEST_F(AdaptiveServiceTest, StaticModeReportsNoControllerActivity) {
+  AsyncSearchService service(engine_.get());  // adaptive off by default.
+  service.Submit(queries_[0], 3, IndexStrategy::kNoIndex).get();
+  service.Shutdown();
+  EXPECT_EQ(service.stats().controller.decisions, 0u);
+  EXPECT_TRUE(service.controller_trace().empty());
+}
+
+TEST_F(AdaptiveServiceTest, AdaptiveConfigInheritsServiceBatchCap) {
+  // adaptive_config.max_batch_size == 0 inherits the service's static
+  // max_batch_size, so one knob sizes both modes.
+  AsyncServiceOptions options;
+  options.max_batch_size = 4;
+  options.adaptive = true;
+  options.adaptive_config.max_batch_size = 0;
+  options.adaptive_config.backlog_depth = 1;
+  options.adaptive_config.sustain = 1;
+  AsyncSearchService service(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  for (int r = 0; r < 24; ++r) {
+    futures.push_back(service.Submit(queries_[r % queries_.size()], 2,
+                                     IndexStrategy::kNoIndex));
+  }
+  for (auto& f : futures) f.get();
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_LE(stats.max_coalesced, 4u);
+  EXPECT_LE(stats.controller.max_batch_size, 4u);
+}
+
+}  // namespace
+}  // namespace fcm::index

@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
 # Builds Release, runs the throughput bench suite, and writes
 # BENCH_<date>.json at the repo root — the perf trajectory consumed by
-# future performance PRs. The JSON's "simd" section records the active
-# kernel dispatch target plus per-target GFLOP/s; set FCM_SIMD
-# (scalar|avx2|neon|auto) to override the dispatch for a run. The "async"
-# section records the AsyncSearchService phase (QPS, p50/p99 latency); the
-# service runs with block-mode backpressure, so any dropped (rejected or
-# cancelled) request is a bug and fails this script loudly.
+# future performance PRs (schema: docs/BENCHMARKS.md). The JSON's "simd"
+# section records the active kernel dispatch target plus per-target
+# GFLOP/s; set FCM_SIMD (scalar|avx2|neon|auto) to override the dispatch
+# for a run. The "async" section records the serving phases — closed- and
+# open-loop, static and adaptive micro-batching, with the adaptive
+# controller's decision trace; the service runs with block-mode
+# backpressure in every phase, so any dropped (rejected or cancelled)
+# request is a bug and fails this script loudly.
+#
+# The batching knobs are passed as CLI flags so a BENCH json names the
+# exact command that reproduces it; override via env:
+#   FCM_BENCH_ASYNC_QUEUE      request-queue capacity       (default 64)
+#   FCM_BENCH_MAX_BATCH        micro-batch size cap         (default 16)
+#   FCM_BENCH_MAX_DELAY_MS     static coalesce window / adaptive window
+#                              cap                          (default 2)
+#   FCM_BENCH_ADAPTIVE         0 skips the adaptive phases  (default 1)
 # Usage: tools/run_benchmarks.sh [build_dir]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-"$REPO_ROOT/build"}"
 OUT="$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json"
+
+ASYNC_QUEUE="${FCM_BENCH_ASYNC_QUEUE:-64}"
+MAX_BATCH="${FCM_BENCH_MAX_BATCH:-16}"
+MAX_DELAY_MS="${FCM_BENCH_MAX_DELAY_MS:-2}"
+ADAPTIVE="${FCM_BENCH_ADAPTIVE:-1}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target bench_search_throughput -j"$(nproc)"
@@ -24,10 +39,12 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-"$BIN" "$OUT"
+"$BIN" --out="$OUT" --async-queue="$ASYNC_QUEUE" \
+       --async-max-batch="$MAX_BATCH" --async-max-delay-ms="$MAX_DELAY_MS" \
+       --async-adaptive="$ADAPTIVE"
 
 # Block-mode backpressure means no request may ever be dropped; a nonzero
-# rejected/cancelled count in the async section is a serving bug. A json
+# rejected/cancelled count in any async phase is a serving bug. A json
 # without an async section means a stale bench binary served the run —
 # also an error, not a silent pass.
 if ! grep -q '"async": {' "$OUT"; then
@@ -40,15 +57,24 @@ fi
 DROPPED=$(grep -oE '"(rejected|cancelled|failed)": [0-9]+' "$OUT" \
           | awk '{sum += $2} END {print sum + 0}' || true)
 if [[ "$DROPPED" -ne 0 ]]; then
-  echo "error: async serving phase dropped $DROPPED request(s) in block" \
+  echo "error: async serving phases dropped $DROPPED request(s) in block" \
        "mode (see the \"async\" section of $OUT)" >&2
   exit 1
 fi
 
 echo "wrote $OUT (simd dispatch: $(grep -o '"active": "[a-z0-9]*"' "$OUT" \
      | head -1 | cut -d'"' -f4))"
-ASYNC=$(sed -n '/"async": {/,/},/p' "$OUT")
-echo "async serving: $(echo "$ASYNC" | grep -o '"qps": [0-9.]*' \
-     | cut -d' ' -f2) qps, p50/p99 $(echo "$ASYNC" \
-     | grep -o '"p50_ms": [0-9.]*' | cut -d' ' -f2)/$(echo "$ASYNC" \
-     | grep -o '"p99_ms": [0-9.]*' | cut -d' ' -f2) ms, 0 dropped"
+# The async section's legacy summary line (closed-loop delay-0 phase) is
+# the first line carrying qps_speedup_vs_serial; p50/p99 head -1 are the
+# same phase's.
+QPS=$(grep -m1 '"qps_speedup_vs_serial"' "$OUT" \
+      | grep -o '"qps": [0-9.]*' | cut -d' ' -f2)
+echo "async serving (closed-loop, delay 0): $QPS qps, p50/p99 $(grep -o \
+     '"p50_ms": [0-9.]*' "$OUT" | head -1 | cut -d' ' -f2)/$(grep -o \
+     '"p99_ms": [0-9.]*' "$OUT" | head -1 | cut -d' ' -f2) ms, 0 dropped"
+if [[ "$ADAPTIVE" != "0" ]]; then
+  echo "adaptive vs static: open-loop qps ratio $(grep -o \
+       '"open_qps_ratio": [0-9.]*' "$OUT" | cut -d' ' -f2) (>=1 beats best" \
+       "static), closed-loop p99 ratio $(grep -o \
+       '"closed_p99_ratio": [0-9.]*' "$OUT" | cut -d' ' -f2) (vs delay-0)"
+fi
