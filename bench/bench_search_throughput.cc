@@ -3,8 +3,10 @@
 // (concurrent submitters against AsyncSearchService's futures queue in
 // closed- and open-loop shapes, static and adaptive batching, reporting
 // QPS plus closed-loop p50/p99 latency and the adaptive controller's
-// decision trace), plus sharded-LSH build and candidate-generation
-// phases, emitting machine-readable JSON (written to --out=PATH or the
+// decision trace), a fault-injection phase (a keyed failpoint poisons a
+// known subset of request ids; the "faults" JSON section records recovery
+// QPS and blast-radius isolation), plus sharded-LSH build and
+// candidate-generation phases, emitting machine-readable JSON (written to --out=PATH or the
 // path in argv[1]) so perf PRs can track the BENCH_*.json trajectory.
 // Parallel/sharded/async and serial paths must return identical top-k
 // rankings, and the async service must drop nothing in block mode; the
@@ -39,6 +41,7 @@
 
 #include "chart/renderer.h"
 #include "index/async_service.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
@@ -516,6 +519,85 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Fault-injection serving: blast-radius isolation + recovery ----
+  // Submitting from one thread makes request ids deterministic (the
+  // service assigns 1..N in Submit order), so a keyed failpoint at the
+  // per-query scoring site poisons a known subset: every id = 3 mod 10.
+  // Three passes over the same workload measure the whole story: healthy
+  // (baseline QPS), armed (poisoned requests must fail alone — neighbors
+  // in their coalesced batches stay bit-identical — at whatever QPS the
+  // re-run recovery path sustains), and recovered (disarmed again; the
+  // service must serve exactly like before the faults). Isolation and
+  // recovery gate the exit code; the QPS ratios are trajectory data.
+  struct FaultPass {
+    double seconds = 0.0;
+    double qps = 0.0;
+    uint64_t ok = 0;
+    uint64_t faulted = 0;
+    bool isolation_ok = true;  // Failures exactly on the poisoned set.
+    fcm::index::AsyncServiceStats stats;
+  };
+  auto fault_options = make_options(0.0, false);
+  // The breaker is covered by the stress tests; here it is disabled so
+  // the phase isolates the per-batch recovery cost.
+  fault_options.breaker_threshold = 0;
+  const auto run_fault_pass = [&](bool armed) {
+    FaultPass out;
+    fcm::index::AsyncSearchService service(&hw_engine, fault_options);
+    std::vector<std::future<std::vector<fcm::index::SearchHit>>> futures(
+        static_cast<size_t>(async_requests));
+    const auto t0 = Clock::now();
+    for (int r = 0; r < async_requests; ++r) {
+      futures[static_cast<size_t>(r)] = service.Submit(
+          queries[static_cast<size_t>(r) % queries.size()], k, strategy);
+    }
+    for (int r = 0; r < async_requests; ++r) {
+      const size_t qi = static_cast<size_t>(r) % queries.size();
+      // Submit order == id order on a single submitter thread.
+      const bool poisoned = armed && (static_cast<uint64_t>(r) + 1) % 10 == 3;
+      try {
+        const auto hits = futures[static_cast<size_t>(r)].get();
+        ++out.ok;
+        if (poisoned || !SameHits(hits, async_reference[qi])) {
+          out.isolation_ok = false;
+        }
+      } catch (const fcm::common::failpoint::FailpointError&) {
+        ++out.faulted;
+        if (!poisoned) out.isolation_ok = false;
+      } catch (...) {
+        out.isolation_ok = false;  // Outside the documented taxonomy.
+      }
+    }
+    out.seconds = Seconds(t0);
+    service.Shutdown();
+    out.stats = service.stats();
+    out.qps = static_cast<double>(async_requests) /
+              std::max(out.seconds, 1e-9);
+    return out;
+  };
+  const FaultPass fault_healthy = run_fault_pass(false);
+  uint64_t fault_injected = 0;
+  for (int r = 0; r < async_requests; ++r) {
+    if ((static_cast<uint64_t>(r) + 1) % 10 == 3) ++fault_injected;
+  }
+  {
+    fcm::common::failpoint::Spec poison;
+    poison.matcher = [](uint64_t key) { return key % 10 == 3; };
+    fcm::common::failpoint::Arm("engine.score_query", std::move(poison));
+  }
+  const FaultPass fault_armed = run_fault_pass(true);
+  fcm::common::failpoint::DisarmAll();
+  const FaultPass fault_recovered = run_fault_pass(false);
+  const bool fault_phase_ok =
+      fault_healthy.isolation_ok && fault_healthy.faulted == 0 &&
+      fault_armed.isolation_ok && fault_armed.faulted == fault_injected &&
+      fault_armed.ok ==
+          static_cast<uint64_t>(async_requests) - fault_injected &&
+      fault_armed.stats.failed == fault_injected &&
+      (fault_injected == 0 || fault_armed.stats.retried > 0) &&
+      fault_recovered.isolation_ok && fault_recovered.faulted == 0;
+  all_identical = all_identical && fault_phase_ok;
+
   // ---- Sharded LSH build + candidate generation (index layer only) ----
   // The engine-level lake keeps LSH build in the microseconds, so this
   // phase scales the index layer alone: one batch insert of `lsh_items`
@@ -794,6 +876,42 @@ int main(int argc, char** argv) {
     json += "    ]}";
   }
   json += "\n  },\n";
+  // Fault-injection phase. Key names deliberately avoid "rejected" /
+  // "cancelled" / "failed": tools/run_benchmarks.sh sums those as
+  // block-mode drops, and these failures are injected on purpose.
+  json += "  \"faults\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"requests\": %d, \"injected\": %llu, "
+                "\"site\": \"engine.score_query\", "
+                "\"poisoned_ids\": \"id %% 10 == 3\",\n",
+                async_requests,
+                static_cast<unsigned long long>(fault_injected));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"healthy_qps\": %.2f, \"fault_qps\": %.2f, "
+                "\"recovered_qps\": %.2f, "
+                "\"fault_qps_ratio_vs_healthy\": %.3f,\n",
+                fault_healthy.qps, fault_armed.qps, fault_recovered.qps,
+                fault_armed.qps / std::max(fault_healthy.qps, 1e-9));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"completed_ok\": %llu, \"request_failures\": %llu, "
+                "\"retried\": %llu, \"expired\": %llu,\n",
+                static_cast<unsigned long long>(fault_armed.stats.completed),
+                static_cast<unsigned long long>(fault_armed.stats.failed),
+                static_cast<unsigned long long>(fault_armed.stats.retried),
+                static_cast<unsigned long long>(
+                    fault_armed.stats.deadline_expired));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"isolation_ok\": %s, \"recovered_clean\": %s, "
+                "\"clean\": %s\n  },\n",
+                fault_armed.isolation_ok ? "true" : "false",
+                fault_recovered.isolation_ok && fault_recovered.faulted == 0
+                    ? "true"
+                    : "false",
+                fault_phase_ok ? "true" : "false");
+  json += buf;
   json += "  \"lsh_index\": {\n";
   std::snprintf(buf, sizeof(buf),
                 "    \"items\": %d, \"dim\": %d, \"tables\": %d, "

@@ -1,0 +1,295 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace fcm::common::failpoint {
+
+namespace {
+
+/// Armed state of one site. The spec is immutable after construction (a
+/// re-Arm swaps the whole shared_ptr), so evaluations touch only the
+/// atomics — the hit path takes no per-site lock.
+struct Site {
+  explicit Site(Spec s) : spec(std::move(s)) {}
+  const Spec spec;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fires{0};
+};
+
+struct Registry {
+  std::shared_mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<Site>> sites;
+  /// Lifetime counters survive Disarm so tests can read stats after
+  /// tearing a schedule down.
+  std::unordered_map<std::string, SiteStats> retired;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked: outlives static dtors.
+  return *r;
+}
+
+/// splitmix64: decorrelates (seed, hit index) into a uniform u64 so the
+/// Bernoulli draw is reproducible per seed and independent of which
+/// thread produced which hit index.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Decides whether this evaluation fires and, if so, returns the spec to
+/// apply. Returns nullptr on "pass through untouched".
+std::shared_ptr<Site> ShouldFire(const char* name, uint64_t key) {
+  std::shared_ptr<Site> site;
+  {
+    std::shared_lock<std::shared_mutex> lk(registry().mu);
+    auto it = registry().sites.find(name);
+    if (it == registry().sites.end()) return nullptr;
+    site = it->second;
+  }
+  const Spec& spec = site->spec;
+  if (spec.matcher && !spec.matcher(key)) return nullptr;
+  const uint64_t hit = site->hits.fetch_add(1, std::memory_order_relaxed);
+  if (spec.every_nth > 0 && hit % spec.every_nth != 0) return nullptr;
+  if (spec.probability < 1.0) {
+    const double draw =
+        static_cast<double>(Mix(spec.seed ^ Mix(hit)) >> 11) * 0x1p-53;
+    if (draw >= spec.probability) return nullptr;
+  }
+  if (spec.max_fires > 0) {
+    // CAS keeps the cap exact under concurrent evaluations — only the
+    // first max_fires winners fire — and `fires` counts actual fires,
+    // never spent attempts.
+    uint64_t fired = site->fires.load(std::memory_order_relaxed);
+    do {
+      if (fired >= spec.max_fires) return nullptr;
+    } while (!site->fires.compare_exchange_weak(fired, fired + 1,
+                                                std::memory_order_relaxed));
+  } else {
+    site->fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return site;
+}
+
+std::string FireMessage(const char* name, const Spec& spec) {
+  return spec.message.empty() ? std::string("failpoint ") + name
+                              : spec.message;
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// One-time FCM_FAILPOINTS parse at process start (file-scope initializer
+/// in this TU; any use of the registry links it in). Malformed specs must
+/// not abort a production binary — warn and run unarmed instead.
+const bool g_env_armed = []() {
+  const Status status = ArmFromEnv(nullptr);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FCM_FAILPOINTS ignored: %s\n",
+                 status.ToString().c_str());
+  }
+  return status.ok();
+}();
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+void Evaluate(const char* site, uint64_t key) {
+  const auto fired = ShouldFire(site, key);
+  if (fired == nullptr) return;
+  switch (fired->spec.action) {
+    case Action::kDelay:
+      SleepMs(fired->spec.delay_ms);
+      return;
+    case Action::kThrow:
+    case Action::kError:
+      // kError at a throwing site still has to manifest as a fault.
+      throw FailpointError(FireMessage(site, fired->spec));
+  }
+}
+
+Status EvaluateStatus(const char* site, uint64_t key) {
+  const auto fired = ShouldFire(site, key);
+  if (fired == nullptr) return Status::OK();
+  switch (fired->spec.action) {
+    case Action::kDelay:
+      SleepMs(fired->spec.delay_ms);
+      return Status::OK();
+    case Action::kThrow:
+    case Action::kError:
+      // kThrow at a Status site degrades to an error Status: throwing
+      // across a Result-returning boundary would defeat the contract the
+      // site exists to test.
+      return Status(fired->spec.code, FireMessage(site, fired->spec));
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+void Arm(const std::string& site, Spec spec) {
+  auto armed = std::make_shared<Site>(std::move(spec));
+  std::unique_lock<std::shared_mutex> lk(registry().mu);
+  auto it = registry().sites.find(site);
+  if (it != registry().sites.end()) {
+    auto& retired = registry().retired[site];
+    retired.hits += it->second->hits.load(std::memory_order_relaxed);
+    retired.fires += it->second->fires.load(std::memory_order_relaxed);
+    it->second = std::move(armed);
+  } else {
+    registry().sites.emplace(site, std::move(armed));
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Disarm(const std::string& site) {
+  std::unique_lock<std::shared_mutex> lk(registry().mu);
+  auto it = registry().sites.find(site);
+  if (it == registry().sites.end()) return false;
+  auto& retired = registry().retired[site];
+  retired.hits += it->second->hits.load(std::memory_order_relaxed);
+  retired.fires += it->second->fires.load(std::memory_order_relaxed);
+  registry().sites.erase(it);
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DisarmAll() {
+  std::unique_lock<std::shared_mutex> lk(registry().mu);
+  for (const auto& [name, site] : registry().sites) {
+    auto& retired = registry().retired[name];
+    retired.hits += site->hits.load(std::memory_order_relaxed);
+    retired.fires += site->fires.load(std::memory_order_relaxed);
+  }
+  internal::g_armed_count.fetch_sub(
+      static_cast<int>(registry().sites.size()), std::memory_order_relaxed);
+  registry().sites.clear();
+}
+
+SiteStats Stats(const std::string& site) {
+  std::shared_lock<std::shared_mutex> lk(registry().mu);
+  SiteStats out;
+  auto retired = registry().retired.find(site);
+  if (retired != registry().retired.end()) out = retired->second;
+  auto it = registry().sites.find(site);
+  if (it != registry().sites.end()) {
+    out.hits += it->second->hits.load(std::memory_order_relaxed);
+    out.fires += it->second->fires.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses one "site=action(k=v,...)" clause into (site, spec).
+Status ParseClause(const std::string& clause, std::string* site, Spec* spec) {
+  const size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint clause needs 'site=action': '" +
+                                   clause + "'");
+  }
+  *site = Trim(clause.substr(0, eq));
+  std::string rhs = Trim(clause.substr(eq + 1));
+  std::string args;
+  const size_t paren = rhs.find('(');
+  if (paren != std::string::npos) {
+    if (rhs.back() != ')') {
+      return Status::InvalidArgument("unterminated '(' in '" + clause + "'");
+    }
+    args = rhs.substr(paren + 1, rhs.size() - paren - 2);
+    rhs = Trim(rhs.substr(0, paren));
+  }
+  if (rhs == "throw") {
+    spec->action = Action::kThrow;
+  } else if (rhs == "error") {
+    spec->action = Action::kError;
+  } else if (rhs == "delay") {
+    spec->action = Action::kDelay;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + rhs + "'");
+  }
+  for (const std::string& kv : Split(args, ',')) {
+    if (Trim(kv).empty()) continue;
+    const size_t kveq = kv.find('=');
+    if (kveq == std::string::npos) {
+      return Status::InvalidArgument("failpoint arg needs 'key=value': '" +
+                                     kv + "'");
+    }
+    const std::string k = Trim(kv.substr(0, kveq));
+    const std::string v = Trim(kv.substr(kveq + 1));
+    double num = 0.0;
+    if (k == "msg") {
+      spec->message = v;
+      continue;
+    }
+    if (k == "code") {
+      if (v == "invalid") spec->code = StatusCode::kInvalidArgument;
+      else if (v == "notfound") spec->code = StatusCode::kNotFound;
+      else if (v == "range") spec->code = StatusCode::kOutOfRange;
+      else if (v == "io") spec->code = StatusCode::kIoError;
+      else if (v == "precondition") spec->code = StatusCode::kFailedPrecondition;
+      else if (v == "internal") spec->code = StatusCode::kInternal;
+      else return Status::InvalidArgument("unknown status code '" + v + "'");
+      continue;
+    }
+    if (!ParseDouble(v, &num) || num < 0.0) {
+      return Status::InvalidArgument("bad failpoint arg value '" + kv + "'");
+    }
+    if (k == "p") {
+      if (num > 1.0) {
+        return Status::InvalidArgument("failpoint p must be in [0,1]: '" +
+                                       kv + "'");
+      }
+      spec->probability = num;
+    } else if (k == "seed") {
+      spec->seed = static_cast<uint64_t>(num);
+    } else if (k == "nth") {
+      spec->every_nth = static_cast<uint64_t>(num);
+    } else if (k == "max") {
+      spec->max_fires = static_cast<uint64_t>(num);
+    } else if (k == "ms") {
+      spec->delay_ms = num;
+    } else {
+      return Status::InvalidArgument("unknown failpoint arg '" + k + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ArmFromEnv(const char* spec_string) {
+  if (spec_string == nullptr) spec_string = std::getenv("FCM_FAILPOINTS");
+  if (spec_string == nullptr) return Status::OK();
+  // Validate every clause before arming any: a malformed spec arms
+  // nothing instead of half a schedule.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  for (const std::string& clause : Split(spec_string, ';')) {
+    if (Trim(clause).empty()) continue;
+    std::string site;
+    Spec spec;
+    FCM_RETURN_IF_ERROR(ParseClause(clause, &site, &spec));
+    parsed.emplace_back(std::move(site), std::move(spec));
+  }
+  for (auto& [site, spec] : parsed) Arm(site, std::move(spec));
+  return Status::OK();
+}
+
+}  // namespace fcm::common::failpoint

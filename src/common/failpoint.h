@@ -1,0 +1,157 @@
+// Deterministic fault injection for the serving stack. A *failpoint* is a
+// named site compiled into a hot spot (engine stages, queue operations,
+// ThreadPool task bodies, CSV ingestion) that normally does nothing: the
+// macros below compile to one relaxed atomic load when no failpoint is
+// armed, so the sites stay in production builds. Arming a site — from a
+// test via Arm(), or from the FCM_FAILPOINTS environment spec — makes it
+// throw FailpointError, return a common::Status error, or sleep, under
+// seeded-probability / every-Nth / bounded-fire triggers. That is what
+// lets recovery behavior (blast-radius isolation, deadline shedding, the
+// circuit breaker — see index/async_service.h) be *proven* by tests
+// instead of assumed: the fault schedule is reproducible from a seed.
+//
+// Environment spec (parsed once at process start):
+//   FCM_FAILPOINTS="site=action(key=value,...)[;site2=...]"
+// with actions throw | error | delay and keys
+//   p=<0..1>    fire probability (seeded Bernoulli per hit; default 1)
+//   seed=<u64>  probability hash seed (default 0)
+//   nth=<n>     fire on every n-th hit (1st, n+1-th, ...; default every)
+//   max=<n>     stop firing after n fires (max=1 is a one-shot)
+//   ms=<x>      sleep duration for delay (default 1)
+//   code=<c>    Status code for error: invalid|notfound|range|io|
+//               precondition|internal (default internal)
+//   msg=<text>  error message override (no commas or semicolons)
+// Example: FCM_FAILPOINTS="engine.score_stage=throw(p=0.05,seed=7)".
+//
+// Concurrency: sites are lock-free on the hit path (registry lookups take
+// a shared lock only while at least one failpoint is armed); Arm/Disarm
+// may race evaluations safely. Probability decisions hash (seed, hit
+// index), so a fixed seed gives a reproducible fire set per site
+// regardless of thread interleaving.
+
+#ifndef FCM_COMMON_FAILPOINT_H_
+#define FCM_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/result.h"
+
+namespace fcm::common::failpoint {
+
+/// Thrown by an armed throw-action failpoint (and by error-action
+/// failpoints evaluated at a throwing site).
+struct FailpointError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What an armed failpoint does when it fires.
+enum class Action {
+  kThrow,  ///< Throw FailpointError (Status-site: returns kInternal).
+  kError,  ///< Return a Status error (throwing site: throws FailpointError).
+  kDelay,  ///< Sleep for delay_ms, then continue normally.
+};
+
+/// Arming configuration for one site. Triggers compose: a hit fires only
+/// if the matcher (when set) accepts the site's key AND the every-Nth
+/// counter selects it AND the seeded Bernoulli draw passes AND fewer than
+/// max_fires fires have happened.
+struct Spec {
+  Action action = Action::kThrow;
+  /// Error/exception message; empty derives "failpoint <site>".
+  std::string message;
+  /// Fire probability in [0, 1]; decided by hashing (seed, hit index) so
+  /// a fixed seed reproduces the same fire set independent of thread
+  /// interleaving.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// > 0: fire only on hits 0, n, 2n, ... (by per-site hit index).
+  uint64_t every_nth = 0;
+  /// > 0: stop firing after this many fires (1 = one-shot).
+  uint64_t max_fires = 0;
+  /// Sleep for kDelay.
+  double delay_ms = 1.0;
+  /// Status code for kError at a Status site.
+  StatusCode code = StatusCode::kInternal;
+  /// Keyed sites (FCM_FAILPOINT_KEYED) only: fire only for keys this
+  /// predicate accepts; null accepts every key. Un-keyed sites pass key
+  /// 0. Programmatic arming only — the env spec cannot express matchers.
+  std::function<bool(uint64_t)> matcher;
+};
+
+/// Per-site counters: hits = evaluations while armed, fires = faults
+/// actually injected.
+struct SiteStats {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+void Evaluate(const char* site, uint64_t key);  // Throws / sleeps.
+Status EvaluateStatus(const char* site, uint64_t key);
+}  // namespace internal
+
+/// Number of currently armed sites. The macros gate on this with one
+/// relaxed load, which is the entire disarmed cost of a failpoint site.
+inline int ArmedCount() {
+  return internal::g_armed_count.load(std::memory_order_relaxed);
+}
+
+/// Arms (or re-arms, replacing the previous spec and counters) a site.
+void Arm(const std::string& site, Spec spec);
+
+/// Disarms one site; false when it was not armed.
+bool Disarm(const std::string& site);
+
+/// Disarms every site (test teardown).
+void DisarmAll();
+
+/// Counters for a site; zeros when never armed.
+SiteStats Stats(const std::string& site);
+
+/// Parses a spec string (FCM_FAILPOINTS grammar above) and arms every
+/// site in it. nullptr reads the FCM_FAILPOINTS environment variable (a
+/// missing/empty variable is OK and arms nothing). Called automatically
+/// once at process start; exposed for tests. On a malformed spec nothing
+/// new is armed and InvalidArgument is returned.
+Status ArmFromEnv(const char* spec_string = nullptr);
+
+}  // namespace fcm::common::failpoint
+
+/// Throwing-site failpoint: throws FailpointError (or sleeps) when armed
+/// and firing; a single relaxed atomic load when nothing is armed.
+#define FCM_FAILPOINT(site)                                          \
+  do {                                                               \
+    if (::fcm::common::failpoint::ArmedCount() > 0) {                \
+      ::fcm::common::failpoint::internal::Evaluate((site), 0);       \
+    }                                                                \
+  } while (0)
+
+/// Throwing-site failpoint carrying a key (e.g. a request id) that an
+/// armed matcher can select on — how a test poisons exactly one request
+/// of a coalesced micro-batch.
+#define FCM_FAILPOINT_KEYED(site, key)                               \
+  do {                                                               \
+    if (::fcm::common::failpoint::ArmedCount() > 0) {                \
+      ::fcm::common::failpoint::internal::Evaluate(                  \
+          (site), static_cast<uint64_t>(key));                       \
+    }                                                                \
+  } while (0)
+
+/// Status-site failpoint: `return`s a non-OK Status from the enclosing
+/// function (which may also build a Result<T>) when armed and firing.
+#define FCM_FAILPOINT_STATUS(site)                                   \
+  do {                                                               \
+    if (::fcm::common::failpoint::ArmedCount() > 0) {                \
+      ::fcm::common::Status _fcm_fp_status =                         \
+          ::fcm::common::failpoint::internal::EvaluateStatus((site), \
+                                                             0);     \
+      if (!_fcm_fp_status.ok()) return _fcm_fp_status;               \
+    }                                                                \
+  } while (0)
+
+#endif  // FCM_COMMON_FAILPOINT_H_

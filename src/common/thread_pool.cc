@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace fcm::common {
 
@@ -91,6 +92,11 @@ void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
     if (start >= batch->n) break;
     const size_t end = std::min(batch->n, start + batch->chunk);
     try {
+      // Fault-injection site for task bodies: an armed failpoint here
+      // exercises the pool's exception path (first error wins, remaining
+      // iterations abandoned, rethrow on the owner) without needing a
+      // cooperating fn.
+      FCM_FAILPOINT("threadpool.task");
       for (size_t i = start; i < end; ++i) (*batch->fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(batch->mu);
@@ -130,6 +136,7 @@ void ThreadPool::ParallelForSharded(
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    FCM_FAILPOINT("threadpool.task");  // Same site as the worker path.
     for (size_t i = 0; i < n; ++i) fn(i);  // Exceptions propagate directly.
     return;
   }

@@ -5,21 +5,55 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace fcm::index {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration MsToDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+std::exception_ptr DeadlineError(const char* where) {
+  return std::make_exception_ptr(DeadlineExceededError(
+      std::string("request deadline expired ") + where));
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
 
 /// One accepted request travelling through the pipeline.
 struct AsyncSearchService::Request {
   vision::ExtractedChart query;
   int k = 0;
   IndexStrategy strategy = IndexStrategy::kNoIndex;
+  /// Admission-ordered id (from 1); keys the engine's per-query failpoint
+  /// sites through StagedQuery::tag.
+  uint64_t id = 0;
+  Deadline deadline = kNoDeadline;
   std::promise<std::vector<SearchHit>> promise;
 };
 
 /// A coalesced group of requests plus their engine-side stage state.
-/// `staged[i].query` points into `requests[i]`, which is stable: the
-/// vectors are never resized after staging is set up.
+/// `staged[i].query` points into `requests[i]`; ShedExpired compacts the
+/// two vectors in lockstep and re-points the pointers, so the invariant
+/// holds across deadline shedding between stages.
 struct AsyncSearchService::MicroBatch {
   std::vector<Request> requests;
   std::vector<SearchEngine::StagedQuery> staged;
@@ -99,18 +133,48 @@ AsyncSearchService::AsyncSearchService(const SearchEngine* engine,
 AsyncSearchService::~AsyncSearchService() { Shutdown(/*drain=*/true); }
 
 std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
-    vision::ExtractedChart query, int k, IndexStrategy strategy) {
+    vision::ExtractedChart query, int k, IndexStrategy strategy,
+    Deadline deadline) {
   Request request;
   request.query = std::move(query);
   request.k = k;
   request.strategy = strategy;
+  request.deadline = deadline;
   auto future = request.promise.get_future();
 
   std::unique_lock<std::mutex> lk(mu_);
+  // Degraded mode: an open breaker sheds load before any queueing or
+  // blocking. After the cooldown the next arrival is admitted as a
+  // half-open probe whose outcome decides between closing and re-opening.
+  if (!stopping_ && breaker_ == BreakerState::kOpen) {
+    if (Clock::now() - breaker_opened_at_ >=
+        MsToDuration(options_.breaker_cooldown_ms)) {
+      breaker_ = BreakerState::kHalfOpen;
+    } else {
+      ++fast_rejected_;
+      lk.unlock();
+      request.promise.set_exception(std::make_exception_ptr(
+          DegradedError("circuit breaker open: service degraded")));
+      return future;
+    }
+  }
   if (options_.backpressure == BackpressureMode::kBlock) {
-    cv_space_.wait(lk, [this]() {
+    const auto have_room = [this]() {
       return stopping_ || queue_.size() < options_.queue_capacity;
-    });
+    };
+    if (request.deadline == kNoDeadline) {
+      cv_space_.wait(lk, have_room);
+    } else if (!cv_space_.wait_until(lk, request.deadline, have_room)) {
+      // The deadline expired while the caller was blocked on admission.
+      // The request was accepted for admission, so it counts as submitted
+      // + deadline_expired (keeping the stats balance invariant).
+      ++submitted_;
+      ++deadline_expired_;
+      lk.unlock();
+      request.promise.set_exception(DeadlineError("while blocked on a full "
+                                                  "queue"));
+      return future;
+    }
   }
   if (stopping_ || queue_.size() >= options_.queue_capacity) {
     ++rejected_;
@@ -119,6 +183,26 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
     lk.unlock();
     request.promise.set_exception(
         std::make_exception_ptr(RejectedError(reason)));
+    return future;
+  }
+  if (request.deadline <= Clock::now()) {
+    ++submitted_;
+    ++deadline_expired_;
+    lk.unlock();
+    request.promise.set_exception(DeadlineError("before admission"));
+    return future;
+  }
+  request.id = ++next_request_id_;
+  try {
+    FCM_FAILPOINT_KEYED("async.submit", request.id);
+  } catch (...) {
+    // Injected queue-op fault: the request was accepted, so it settles as
+    // a failure (and counts against the breaker like any other failure).
+    ++submitted_;
+    ++failed_;
+    NoteOutcomeLocked(false);
+    lk.unlock();
+    request.promise.set_exception(std::current_exception());
     return future;
   }
   queue_.push_back(std::move(request));
@@ -130,11 +214,12 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
 
 std::vector<std::future<std::vector<SearchHit>>>
 AsyncSearchService::SubmitBatch(std::vector<vision::ExtractedChart> queries,
-                                int k, IndexStrategy strategy) {
+                                int k, IndexStrategy strategy,
+                                Deadline deadline) {
   std::vector<std::future<std::vector<SearchHit>>> futures;
   futures.reserve(queries.size());
   for (auto& query : queries) {
-    futures.push_back(Submit(std::move(query), k, strategy));
+    futures.push_back(Submit(std::move(query), k, strategy, deadline));
   }
   return futures;
 }
@@ -142,6 +227,7 @@ AsyncSearchService::SubmitBatch(std::vector<vision::ExtractedChart> queries,
 void AsyncSearchService::DispatchLoop() {
   for (;;) {
     auto batch = std::make_unique<MicroBatch>();
+    bool retire = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_data_.wait(lk, [this]() { return stopping_ || !queue_.empty(); });
@@ -155,59 +241,76 @@ void AsyncSearchService::DispatchLoop() {
           request.promise.set_exception(std::make_exception_ptr(
               ShutdownError("cancelled by Shutdown(drain=false)")));
         }
-        break;
-      }
-      if (queue_.empty()) break;  // stopping_ && drained: retire.
-
-      // Coalesce: take the first request, then wait up to the batch delay
-      // for more, capped at the batch-size cap. The deadline is measured
-      // from the moment the batch starts forming, so a request's queueing
-      // latency is bounded by the delay knob (plus pipeline occupancy).
-      // Static mode uses the options' knobs; adaptive mode asks the
-      // controller, which samples the queue depth it is handed here and
-      // answers with this batch's window and size cap.
-      size_t batch_cap = options_.max_batch_size;
-      double delay_ms = options_.max_batch_delay_ms;
-      if (controller_ != nullptr) {
-        const BatchDecision decision = controller_->OnBatchStart(
-            std::chrono::steady_clock::now(), queue_.size());
-        batch_cap = decision.batch_size;
-        delay_ms = decision.delay_ms;
-      }
-      const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double, std::milli>(delay_ms));
-      batch->requests.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      while (batch->requests.size() < batch_cap) {
-        if (queue_.empty()) {
-          if (stopping_ ||
-              cv_data_.wait_until(lk, deadline, [this]() {
-                return stopping_ || !queue_.empty();
-              }) == false) {
-            break;  // Delay budget spent (or draining): dispatch what we have.
-          }
-          if (queue_.empty()) break;  // stopping_ woke us with nothing new.
+        retire = true;
+      } else {
+        // Shed requests that expired while queued before spending a
+        // controller decision or a pipeline pass on them.
+        const auto now = Clock::now();
+        while (!queue_.empty() && queue_.front().deadline <= now) {
+          Request request = std::move(queue_.front());
+          queue_.pop_front();
+          ++deadline_expired_;
+          request.promise.set_exception(DeadlineError("before dispatch"));
         }
-        batch->requests.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        if (queue_.empty()) {
+          // Everything queued had expired (or we woke for shutdown).
+          retire = stopping_;
+        } else {
+          // Coalesce: take the first request, then wait up to the batch
+          // delay for more, capped at the batch-size cap. The window is
+          // measured from the moment the batch starts forming, so a
+          // request's queueing latency is bounded by the delay knob (plus
+          // pipeline occupancy). Static mode uses the options' knobs;
+          // adaptive mode asks the controller, which samples the queue
+          // depth it is handed here and answers with this batch's window
+          // and size cap.
+          size_t batch_cap = options_.max_batch_size;
+          double delay_ms = options_.max_batch_delay_ms;
+          if (controller_ != nullptr) {
+            const BatchDecision decision =
+                controller_->OnBatchStart(Clock::now(), queue_.size());
+            batch_cap = decision.batch_size;
+            delay_ms = decision.delay_ms;
+          }
+          const auto window_end = Clock::now() + MsToDuration(delay_ms);
+          batch->requests.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          while (batch->requests.size() < batch_cap) {
+            if (queue_.empty()) {
+              if (stopping_ ||
+                  cv_data_.wait_until(lk, window_end, [this]() {
+                    return stopping_ || !queue_.empty();
+                  }) == false) {
+                break;  // Window spent (or draining): dispatch what we have.
+              }
+              if (queue_.empty()) break;  // stopping_ woke us, nothing new.
+            }
+            // Shed instead of coalescing a request that already expired.
+            if (queue_.front().deadline <= Clock::now()) {
+              Request request = std::move(queue_.front());
+              queue_.pop_front();
+              ++deadline_expired_;
+              request.promise.set_exception(DeadlineError("before dispatch"));
+              continue;
+            }
+            batch->requests.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
+          ++batches_;
+          max_coalesced_ = std::max(max_coalesced_, batch->requests.size());
+        }
       }
-      ++batches_;
-      max_coalesced_ = std::max(max_coalesced_, batch->requests.size());
     }
     cv_space_.notify_all();  // Freed queue slots.
+    if (retire) break;
+    if (batch->requests.empty()) continue;
 
-    batch->staged.resize(batch->requests.size());
-    for (size_t i = 0; i < batch->requests.size(); ++i) {
-      batch->staged[i].query = &batch->requests[i].query;
-      batch->staged[i].strategy = batch->requests[i].strategy;
-      batch->staged[i].k = batch->requests[i].k;
-    }
+    RestageBatch(batch.get());
     try {
+      FCM_FAILPOINT("async.dispatch");
       engine_->EncodeStage(&batch->staged, &batch->timing);
     } catch (...) {
-      FailBatch(batch.get(), std::current_exception());
+      RecoverBatch(batch.get());
       continue;
     }
     encode_to_candidates_->Push(std::move(batch));
@@ -220,10 +323,12 @@ void AsyncSearchService::CandidateLoop() {
   for (;;) {
     auto batch = encode_to_candidates_->Pop();
     if (batch == nullptr) break;
+    ShedExpired(batch.get());
+    if (batch->requests.empty()) continue;
     try {
       engine_->CandidateStage(&batch->staged, &batch->timing);
     } catch (...) {
-      FailBatch(batch.get(), std::current_exception());
+      RecoverBatch(batch.get());
       continue;
     }
     candidates_to_score_->Push(std::move(batch));
@@ -235,32 +340,147 @@ void AsyncSearchService::ScoreLoop() {
   for (;;) {
     auto batch = candidates_to_score_->Pop();
     if (batch == nullptr) break;
+    ShedExpired(batch.get());
+    if (batch->requests.empty()) continue;
     std::vector<std::vector<SearchHit>> results;
     try {
       results = engine_->ScoreStage(batch->staged, nullptr, &batch->timing);
     } catch (...) {
-      FailBatch(batch.get(), std::current_exception());
+      RecoverBatch(batch.get());
       continue;
+    }
+    // Count before settling: once a future resolves, stats()/Health()
+    // must already reflect that request (tests rely on this ordering).
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      completed_ += batch->requests.size();
+      for (size_t i = 0; i < batch->requests.size(); ++i) {
+        NoteOutcomeLocked(/*ok=*/true);
+      }
+      if (controller_ != nullptr) {
+        // Feed the controller's service-time EWMA (latency clamp input).
+        controller_->OnBatchServed(batch->timing.total_seconds());
+      }
     }
     for (size_t i = 0; i < batch->requests.size(); ++i) {
       batch->requests[i].promise.set_value(std::move(results[i]));
     }
+  }
+}
+
+void AsyncSearchService::RestageBatch(MicroBatch* batch) {
+  batch->staged.resize(batch->requests.size());
+  for (size_t i = 0; i < batch->requests.size(); ++i) {
+    batch->staged[i].query = &batch->requests[i].query;
+    batch->staged[i].strategy = batch->requests[i].strategy;
+    batch->staged[i].k = batch->requests[i].k;
+    batch->staged[i].tag = batch->requests[i].id;
+  }
+}
+
+void AsyncSearchService::ShedExpired(MicroBatch* batch) {
+  const auto now = Clock::now();
+  std::vector<std::promise<std::vector<SearchHit>>> expired;
+  size_t out = 0;
+  for (size_t i = 0; i < batch->requests.size(); ++i) {
+    if (batch->requests[i].deadline <= now) {
+      expired.push_back(std::move(batch->requests[i].promise));
+      continue;
+    }
+    if (out != i) {
+      // Keep requests[] and staged[] in lockstep so surviving requests
+      // retain the stage outputs already computed for them.
+      batch->requests[out] = std::move(batch->requests[i]);
+      batch->staged[out] = std::move(batch->staged[i]);
+    }
+    ++out;
+  }
+  if (expired.empty()) return;
+  batch->requests.resize(out);
+  batch->staged.resize(out);
+  for (size_t i = 0; i < out; ++i) {
+    batch->staged[i].query = &batch->requests[i].query;
+  }
+  {
     std::lock_guard<std::mutex> lk(mu_);
-    completed_ += batch->requests.size();
-    if (controller_ != nullptr) {
-      // Feed the controller's service-time EWMA (latency clamp input).
-      controller_->OnBatchServed(batch->timing.total_seconds());
+    deadline_expired_ += expired.size();
+  }
+  for (auto& promise : expired) {
+    promise.set_exception(DeadlineError("between pipeline stages"));
+  }
+}
+
+void AsyncSearchService::RecoverBatch(MicroBatch* batch) {
+  // Retry-once blast-radius isolation: a stage failed on this batch, so
+  // re-run each request individually through all three stages. Neighbors
+  // of a poisoned request get rankings bit-identical to Search (same
+  // stage code, singleton grouping) and requests hit by a transient
+  // batch-level fault simply succeed on the re-run; only requests that
+  // fail again — genuinely poisoned — carry an error, and that second
+  // failure is final (the re-runs below never recurse).
+  const size_t n = batch->requests.size();
+  if (common::GetLogLevel() <= common::LogLevel::kWarn) {
+    FCM_LOGS(WARN) << "stage failure on a micro-batch of " << n
+                   << " request(s); re-running individually";
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    retried_ += n;
+  }
+  for (auto& request : batch->requests) {
+    if (request.deadline <= Clock::now()) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++deadline_expired_;
+      }
+      request.promise.set_exception(DeadlineError("during batch recovery"));
+      continue;
+    }
+    std::vector<SearchEngine::StagedQuery> staged(1);
+    staged[0].query = &request.query;
+    staged[0].strategy = request.strategy;
+    staged[0].k = request.k;
+    staged[0].tag = request.id;
+    try {
+      engine_->EncodeStage(&staged);
+      engine_->CandidateStage(&staged);
+      auto results = engine_->ScoreStage(staged);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++completed_;
+        NoteOutcomeLocked(/*ok=*/true);
+      }
+      request.promise.set_value(std::move(results[0]));
+    } catch (...) {
+      const std::exception_ptr request_error = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++failed_;
+        NoteOutcomeLocked(/*ok=*/false);
+      }
+      request.promise.set_exception(request_error);
     }
   }
 }
 
-void AsyncSearchService::FailBatch(MicroBatch* batch,
-                                   const std::exception_ptr& error) {
-  for (auto& request : batch->requests) {
-    request.promise.set_exception(error);
+void AsyncSearchService::NoteOutcomeLocked(bool ok) {
+  if (ok) {
+    consecutive_failures_ = 0;
+    if (breaker_ == BreakerState::kHalfOpen) {
+      breaker_ = BreakerState::kClosed;
+    }
+    return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  failed_ += batch->requests.size();
+  ++consecutive_failures_;
+  if (options_.breaker_threshold == 0) return;
+  // A failed half-open probe re-opens (the run was never reset, so the
+  // threshold is still met); each transition into kOpen counts as a trip.
+  if (breaker_ != BreakerState::kOpen &&
+      consecutive_failures_ >= options_.breaker_threshold) {
+    breaker_ = BreakerState::kOpen;
+    breaker_opened_at_ = Clock::now();
+    ++breaker_trips_;
+  }
 }
 
 void AsyncSearchService::Shutdown(bool drain) {
@@ -284,17 +504,38 @@ void AsyncSearchService::Shutdown(bool drain) {
   }
 }
 
-AsyncServiceStats AsyncSearchService::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+AsyncServiceStats AsyncSearchService::StatsLocked() const {
   AsyncServiceStats out;
   out.submitted = submitted_;
   out.completed = completed_;
   out.rejected = rejected_;
   out.cancelled = cancelled_;
   out.failed = failed_;
+  out.deadline_expired = deadline_expired_;
+  out.retried = retried_;
+  out.fast_rejected = fast_rejected_;
   out.batches = batches_;
   out.max_coalesced = max_coalesced_;
   if (controller_ != nullptr) out.controller = controller_->counters();
+  return out;
+}
+
+AsyncServiceStats AsyncSearchService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return StatsLocked();
+}
+
+HealthSnapshot AsyncSearchService::Health() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  HealthSnapshot out;
+  out.breaker = breaker_;
+  out.consecutive_failures = consecutive_failures_;
+  out.breaker_trips = breaker_trips_;
+  out.degraded =
+      breaker_ == BreakerState::kOpen &&
+      Clock::now() - breaker_opened_at_ <
+          MsToDuration(options_.breaker_cooldown_ms);
+  out.stats = StatsLocked();
   return out;
 }
 

@@ -16,10 +16,26 @@
 // either drains (every accepted request is served) or cancels (requests
 // not yet dispatched fail with ShutdownError; micro-batches already in the
 // pipeline still complete), deterministically in both modes.
+//
+// Failure semantics (docs/SERVING.md "Failure semantics" for the caller
+// view; fault schedules that prove them live in common/failpoint.h):
+//  - Per-request deadlines: Submit takes an optional absolute deadline.
+//    Expired requests are shed with DeadlineExceededError before wasting
+//    pipeline work — at admission, at dispatch, and between stages.
+//  - Blast-radius isolation: when an engine stage throws on a coalesced
+//    micro-batch, the batch's requests are re-run individually (retry
+//    once, bisected to singletons), so only a genuinely poisoned request
+//    fails and every neighbor still returns hits bit-identical to Search.
+//  - Circuit breaker: breaker_threshold consecutive request failures flip
+//    the service into a degraded fast-reject mode (DegradedError) for
+//    breaker_cooldown_ms, after which the next request is admitted as a
+//    half-open probe whose outcome closes or re-opens the breaker.
+//    Health() snapshots breaker state plus all per-outcome counters.
 
 #ifndef FCM_INDEX_ASYNC_SERVICE_H_
 #define FCM_INDEX_ASYNC_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,7 +54,8 @@ namespace fcm::index {
 
 /// What Submit does when the request queue is full.
 enum class BackpressureMode {
-  /// Block the caller until space frees up (or the service shuts down).
+  /// Block the caller until space frees up (or the service shuts down,
+  /// or the request's deadline expires).
   /// No accepted request is ever dropped in this mode.
   kBlock,
   /// Fail the returned future immediately with RejectedError.
@@ -69,6 +86,14 @@ struct AsyncServiceOptions {
   /// growth/decay factors, depth thresholds (see AdaptiveBatchConfig).
   /// adaptive_config.max_batch_size == 0 inherits max_batch_size above.
   AdaptiveBatchConfig adaptive_config;
+  /// Circuit breaker: this many *consecutive* request failures (engine
+  /// stage errors after blast-radius isolation; deadline expiries and
+  /// cancellations never count) open the breaker, flipping the service
+  /// into fast-reject degraded mode. 0 disables the breaker.
+  uint64_t breaker_threshold = 16;
+  /// How long an open breaker fast-rejects before the next Submit is
+  /// admitted as a half-open probe (its outcome closes or re-opens).
+  double breaker_cooldown_ms = 100.0;
 };
 
 /// Thrown (through the future) when kReject backpressure refuses a request
@@ -77,22 +102,46 @@ struct RejectedError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown (through the future) when the circuit breaker is open and the
+/// service fast-rejects without queueing. Subtypes RejectedError so
+/// callers treating every admission failure alike keep working.
+struct DegradedError : RejectedError {
+  using RejectedError::RejectedError;
+};
+
 /// Thrown (through the future) for requests cancelled by
 /// Shutdown(/*drain=*/false) before they were dispatched.
 struct ShutdownError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown (through the future) when a request's deadline expired before
+/// the pipeline finished (or started) serving it.
+struct DeadlineExceededError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 /// Counter snapshot (stats()); monotone over the service's lifetime.
 /// Every accepted request lands in exactly one of completed / cancelled /
-/// failed, so submitted == completed + cancelled + failed once the
-/// service is drained.
+/// failed / deadline_expired, so once the service is drained
+///   submitted == completed + cancelled + failed + deadline_expired.
+/// rejected and fast_rejected count requests refused at Submit — they
+/// never enter the queue and are not part of `submitted`.
 struct AsyncServiceStats {
   uint64_t submitted = 0;   ///< Requests accepted into the queue.
   uint64_t completed = 0;   ///< Futures fulfilled with a ranking.
   uint64_t rejected = 0;    ///< Refused at Submit (queue full / shut down).
   uint64_t cancelled = 0;   ///< Accepted but failed by Shutdown(false).
   uint64_t failed = 0;      ///< Accepted but failed by an engine-stage error.
+  /// Accepted but shed with DeadlineExceededError (at admission wait,
+  /// dispatch, or between stages).
+  uint64_t deadline_expired = 0;
+  /// Requests re-run individually after an engine stage threw on their
+  /// coalesced micro-batch (blast-radius isolation). Each such request
+  /// still lands in completed / failed / deadline_expired.
+  uint64_t retried = 0;
+  /// Refused at Submit by the open circuit breaker (degraded mode).
+  uint64_t fast_rejected = 0;
   uint64_t batches = 0;     ///< Micro-batches dispatched into the pipeline.
   size_t max_coalesced = 0; ///< Largest micro-batch dispatched.
   /// Adaptive-controller counters (zero when options.adaptive is off).
@@ -101,8 +150,42 @@ struct AsyncServiceStats {
   AdaptiveBatchController::Counters controller;
 };
 
+/// Circuit-breaker position. Closed admits everything; Open fast-rejects
+/// (degraded mode); HalfOpen admits probes whose outcomes decide between
+/// Closed (success) and Open again (failure).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState s);
+
+/// Point-in-time health view: breaker position plus the full counter
+/// snapshot. `degraded` is the actionable bit — true exactly when a
+/// Submit issued now would be fast-rejected.
+struct HealthSnapshot {
+  BreakerState breaker = BreakerState::kClosed;
+  bool degraded = false;
+  /// Consecutive request failures since the last success (resets to 0 on
+  /// every completed request).
+  uint64_t consecutive_failures = 0;
+  /// Times the breaker transitioned into kOpen over the service lifetime.
+  uint64_t breaker_trips = 0;
+  AsyncServiceStats stats;
+};
+
 class AsyncSearchService {
  public:
+  /// Absolute per-request deadline on the steady clock.
+  using Deadline = std::chrono::steady_clock::time_point;
+
+  /// "No deadline": the request is served however long it queues.
+  static constexpr Deadline kNoDeadline = Deadline::max();
+
+  /// Deadline `ms` milliseconds from now.
+  static Deadline DeadlineAfterMs(double ms) {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double, std::milli>(ms));
+  }
+
   /// `engine` must already be built and must outlive the service.
   explicit AsyncSearchService(const SearchEngine* engine,
                               const AsyncServiceOptions& options = {});
@@ -114,17 +197,21 @@ class AsyncSearchService {
 
   /// Enqueues one query; the future resolves to the same hits
   /// SearchEngine::Search(query, k, strategy) would return. Under kBlock
-  /// backpressure a full queue blocks the caller; under kReject the future
-  /// fails with RejectedError. After Shutdown the future always fails with
-  /// RejectedError.
+  /// backpressure a full queue blocks the caller (at most until
+  /// `deadline`); under kReject the future fails with RejectedError.
+  /// After Shutdown the future always fails with RejectedError; while the
+  /// breaker is open it fails with DegradedError. A request whose
+  /// deadline expires before its ranking is computed fails with
+  /// DeadlineExceededError instead of occupying the pipeline.
   std::future<std::vector<SearchHit>> Submit(vision::ExtractedChart query,
-                                             int k, IndexStrategy strategy);
+                                             int k, IndexStrategy strategy,
+                                             Deadline deadline = kNoDeadline);
 
   /// Enqueues a batch; one future per query, same semantics as Submit
   /// (requests may still be coalesced with other submitters' work).
   std::vector<std::future<std::vector<SearchHit>>> SubmitBatch(
       std::vector<vision::ExtractedChart> queries, int k,
-      IndexStrategy strategy);
+      IndexStrategy strategy, Deadline deadline = kNoDeadline);
 
   /// Stops accepting requests and joins the pipeline. drain=true serves
   /// every accepted request first; drain=false fails queued-but-undispatched
@@ -133,6 +220,9 @@ class AsyncSearchService {
   void Shutdown(bool drain = true);
 
   AsyncServiceStats stats() const;
+
+  /// Breaker state + counters; see HealthSnapshot.
+  HealthSnapshot Health() const;
 
   /// Oldest-first copy of the adaptive controller's bounded decision
   /// trace (empty when options.adaptive is off). Each entry records the
@@ -154,6 +244,30 @@ class AsyncSearchService {
   void CandidateLoop();  // Stage 2 (LSH probes + merge).
   void ScoreLoop();      // Stage 3 (score + rank) and fulfillment.
 
+  /// (Re)points every staged[i].query at requests[i] — required after any
+  /// operation that moved the Request objects (batch compaction).
+  static void RestageBatch(MicroBatch* batch);
+
+  /// Fails every already-expired request of `batch` with
+  /// DeadlineExceededError, compacting the batch in place — called
+  /// between pipeline stages so expired work never occupies a stage.
+  void ShedExpired(MicroBatch* batch);
+
+  /// Engine-stage failure on `batch`: every request is re-run one at a
+  /// time through all three stages (retry-once blast-radius isolation).
+  /// Neighbors of a poisoned request — and requests hit by a transient
+  /// batch-level fault — still get exact rankings; only requests that
+  /// fail again, which is final, carry an error.
+  void RecoverBatch(MicroBatch* batch);
+
+  /// Breaker bookkeeping for one settled request (mu_ held). Successes
+  /// reset the consecutive-failure run and close a half-open breaker;
+  /// failures extend the run and open the breaker at the threshold.
+  void NoteOutcomeLocked(bool ok);
+
+  /// Counter snapshot with mu_ held (shared by stats() and Health()).
+  AsyncServiceStats StatsLocked() const;
+
   const SearchEngine* engine_;
   AsyncServiceOptions options_;
 
@@ -171,18 +285,27 @@ class AsyncSearchService {
   uint64_t rejected_ = 0;
   uint64_t cancelled_ = 0;
   uint64_t failed_ = 0;
+  uint64_t deadline_expired_ = 0;
+  uint64_t retried_ = 0;
+  uint64_t fast_rejected_ = 0;
   uint64_t batches_ = 0;
   size_t max_coalesced_ = 0;
+  /// Request ids start at 1 and are assigned in admission order; they key
+  /// the engine's per-query failpoint sites via StagedQuery::tag (0 is
+  /// reserved for untagged synchronous Search calls).
+  uint64_t next_request_id_ = 0;
+
+  // Circuit breaker (guarded by mu_).
+  BreakerState breaker_ = BreakerState::kClosed;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t breaker_trips_ = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
 
   /// Adaptive micro-batching controller; null when options_.adaptive is
   /// off. Guarded by mu_: the dispatcher consults it while holding the
   /// queue lock and the score thread reports batch service time under
   /// the same lock, so the controller itself needs no synchronization.
   std::unique_ptr<AdaptiveBatchController> controller_;
-
-  /// Fails every request of `batch` with `error` and accounts them as
-  /// failed — called when an engine stage throws; the pipeline stays up.
-  void FailBatch(MicroBatch* batch, const std::exception_ptr& error);
 
   std::unique_ptr<StageChannel> encode_to_candidates_;
   std::unique_ptr<StageChannel> candidates_to_score_;

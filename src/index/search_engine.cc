@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/simd.h"
 #include "table/resample.h"
@@ -232,8 +233,10 @@ void SearchEngine::EncodeStage(std::vector<StagedQuery>* staged,
                                StageTiming* timing) const {
   FCM_CHECK(!entries_.empty());
   const auto t0 = std::chrono::steady_clock::now();
+  FCM_FAILPOINT("engine.encode_stage");
   pool_->ParallelFor(staged->size(), [&](size_t i) {
     StagedQuery& sq = (*staged)[i];
+    FCM_FAILPOINT_KEYED("engine.encode_query", sq.tag);
     if (sq.query->lines.empty()) return;
     sq.chart_rep = core::FcmModel::Detach(model_->EncodeChart(*sq.query));
   });
@@ -243,6 +246,7 @@ void SearchEngine::EncodeStage(std::vector<StagedQuery>* staged,
 void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
                                   StageTiming* timing) const {
   const auto t_stage = std::chrono::steady_clock::now();
+  FCM_FAILPOINT("engine.candidate_stage");
   const auto uses_lsh = [](IndexStrategy s) {
     return s == IndexStrategy::kLsh || s == IndexStrategy::kHybrid;
   };
@@ -292,6 +296,7 @@ std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
     const std::vector<StagedQuery>& staged, std::vector<QueryStats>* stats,
     StageTiming* timing) const {
   const auto t_stage = std::chrono::steady_clock::now();
+  FCM_FAILPOINT("engine.score_stage");
   const size_t q = staged.size();
   std::vector<std::vector<SearchHit>> results(q);
   if (stats != nullptr) stats->assign(q, {});
@@ -330,6 +335,9 @@ std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
 
   pool_->ParallelFor(q, [&](size_t i) {
     const StagedQuery& sq = staged[i];
+    // Keyed per-query site: poisons one request's scoring even when its
+    // pairs interleaved with the whole batch in the flat dispatch above.
+    FCM_FAILPOINT_KEYED("engine.score_query", sq.tag);
     std::vector<SearchHit> hits;
     hits.reserve(sq.candidates.size());
     for (size_t c = 0; c < sq.candidates.size(); ++c) {

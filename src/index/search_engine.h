@@ -139,6 +139,12 @@ class SearchEngine {
     const vision::ExtractedChart* query = nullptr;
     IndexStrategy strategy = IndexStrategy::kNoIndex;
     int k = 0;
+    /// Caller-assigned identity carried through the stages, used only as
+    /// the key of the per-query failpoint sites (common/failpoint.h) —
+    /// AsyncSearchService sets it to the request id so a fault schedule
+    /// can poison exactly one request of a coalesced micro-batch.
+    /// Search/SearchBatch leave it 0. Never affects results.
+    uint64_t tag = 0;
     core::ChartRepresentation chart_rep;           // Stage 1 output.
     std::vector<std::vector<int64_t>> line_hits;   // Stage 2, LSH probes.
     std::vector<table::TableId> candidates;        // Stage 2 output.

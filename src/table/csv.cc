@@ -1,8 +1,10 @@
 #include "table/csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace fcm::table {
@@ -50,6 +52,7 @@ std::vector<std::string> SplitCsvRecord(std::string_view line) {
 
 common::Result<Table> ParseCsv(const std::string& content,
                                const std::string& table_name) {
+  FCM_FAILPOINT_STATUS("table.parse_csv");
   std::vector<std::string> lines = common::Split(content, '\n');
   // Drop trailing blank lines (Trim also eats a blank CRLF line's '\r').
   while (!lines.empty() && common::Trim(lines.back()).empty()) {
@@ -63,6 +66,13 @@ common::Result<Table> ParseCsv(const std::string& content,
   cols.reserve(header.size());
   for (const auto& h : header) cols.emplace_back(common::Trim(h),
                                                  std::vector<double>{});
+  // A header-only file would produce a zero-row table that every
+  // downstream consumer (encoding, augmentation, DTW) treats as a
+  // programming error; surface it at the ingestion boundary instead.
+  if (lines.size() == 1) {
+    return common::Status::InvalidArgument("CSV has no data rows: " +
+                                           table_name);
+  }
   for (size_t li = 1; li < lines.size(); ++li) {
     const std::vector<std::string> cells = SplitCsvRecord(lines[li]);
     if (cells.size() != cols.size()) {
@@ -79,6 +89,14 @@ common::Result<Table> ParseCsv(const std::string& content,
             common::StrFormat("CSV row %zu col %zu: non-numeric cell '%s'",
                               li, ci, cell.c_str()));
       }
+      // strtod happily parses "nan"/"inf"; letting them into a column
+      // poisons every downstream statistic (ranges, means, DTW), so they
+      // count as malformed input here.
+      if (!std::isfinite(v)) {
+        return common::Status::InvalidArgument(
+            common::StrFormat("CSV row %zu col %zu: non-finite cell '%s'",
+                              li, ci, cell.c_str()));
+      }
       cols[ci].values.push_back(v);
     }
   }
@@ -87,6 +105,7 @@ common::Result<Table> ParseCsv(const std::string& content,
 
 common::Result<Table> LoadCsvFile(const std::string& path,
                                   const std::string& table_name) {
+  FCM_FAILPOINT_STATUS("table.load_csv");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return common::Status::IoError("cannot open: " + path);
@@ -97,7 +116,13 @@ common::Result<Table> LoadCsvFile(const std::string& path,
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     content.append(buf, n);
   }
+  // A truncated read must not silently parse half a file as a valid
+  // (shorter) table.
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return common::Status::IoError("read error: " + path);
+  }
   return ParseCsv(content, table_name);
 }
 

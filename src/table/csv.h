@@ -11,10 +11,12 @@
 namespace fcm::table {
 
 /// Parses a CSV string whose first line is a header and remaining lines are
-/// numeric rows. Non-numeric cells fail with InvalidArgument; ragged rows
-/// fail with InvalidArgument. Handles CRLF line endings and double-quoted
-/// fields (commas stay inside quotes; "" unescapes to one quote). Newlines
-/// inside quoted fields are not supported — records are one per line.
+/// numeric rows. Malformed input never aborts the process — non-numeric or
+/// non-finite (nan/inf) cells, ragged rows, empty input, and header-only
+/// input all fail with InvalidArgument. Handles CRLF line endings and
+/// double-quoted fields (commas stay inside quotes; "" unescapes to one
+/// quote). Newlines inside quoted fields are not supported — records are
+/// one per line. Fault-injectable via the `table.parse_csv` failpoint.
 common::Result<Table> ParseCsv(const std::string& content,
                                const std::string& table_name);
 

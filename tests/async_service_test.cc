@@ -1,13 +1,15 @@
 // Tests for index::AsyncSearchService: bit-identical equivalence with
 // SearchEngine::Search across coalescing patterns and strategies,
 // backpressure semantics (bounded queue, block vs reject), deterministic
-// shutdown (drain and cancel), and many-submitter stress — the latter is
-// the TSan target for concurrent stage dispatch onto the shared pool
-// (build with -DFCM_SANITIZE=thread).
+// shutdown (drain and cancel), fault tolerance (blast-radius isolation,
+// per-request deadlines, the circuit breaker — driven by failpoints), and
+// many-submitter stress — the latter is the TSan target for concurrent
+// stage dispatch onto the shared pool (build with -DFCM_SANITIZE=thread).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <memory>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "chart/renderer.h"
+#include "common/failpoint.h"
 #include "core/fcm_config.h"
 #include "core/fcm_model.h"
 #include "index/async_service.h"
@@ -64,6 +67,15 @@ class AsyncSearchServiceTest : public ::testing::Test {
       queries_.push_back(
           oracle.Extract(chart::RenderLineChart({d})).value());
     }
+  }
+
+  void TearDown() override { common::failpoint::DisarmAll(); }
+
+  /// The accounting invariant every drained service must satisfy: each
+  /// accepted request lands in exactly one terminal counter.
+  static void ExpectBalanced(const AsyncServiceStats& stats) {
+    EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                   stats.failed + stats.deadline_expired);
   }
 
   static void ExpectSameHits(const std::vector<SearchHit>& a,
@@ -262,6 +274,306 @@ TEST_F(AsyncSearchServiceTest, SubmitAfterShutdownRejects) {
   auto future = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
   EXPECT_THROW(future.get(), RejectedError);
   EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST_F(AsyncSearchServiceTest, PoisonedRequestFailsAloneInCoalescedBatch) {
+  // The blast-radius acceptance test: one request of a coalesced
+  // micro-batch is poisoned (its id fails the score stage every time it
+  // runs); it alone must carry the error while every neighbor returns
+  // hits bit-identical to Search.
+  const int k = 3;
+  std::vector<std::vector<SearchHit>> expected;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    expected.push_back(engine_->Search(queries_[q], k, IndexStrategy::kHybrid));
+  }
+
+  // Ids are assigned in admission order from 1; single-threaded submission
+  // makes them 1..5. Poison id 3 — stable across the bisect retry, so the
+  // singleton re-run fails again while neighbors succeed.
+  constexpr uint64_t kPoisoned = 3;
+  common::failpoint::Spec spec;
+  spec.message = "poisoned request";
+  spec.matcher = [](uint64_t key) { return key == kPoisoned; };
+  common::failpoint::Arm("engine.score_query", std::move(spec));
+
+  AsyncServiceOptions options;
+  options.max_batch_size = 8;
+  options.max_batch_delay_ms = 100.0;  // Coalesce everything into one batch.
+  AsyncSearchService service(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    futures.push_back(service.Submit(queries_[q], k, IndexStrategy::kHybrid));
+  }
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    if (q + 1 == kPoisoned) {
+      EXPECT_THROW(futures[q].get(), common::failpoint::FailpointError);
+    } else {
+      ExpectSameHits(futures[q].get(), expected[q]);
+    }
+  }
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, queries_.size());
+  EXPECT_EQ(stats.completed, queries_.size() - 1);
+  EXPECT_EQ(stats.failed, 1u);
+  // The poisoned request's batch went through the isolation retry
+  // whatever coalescing the dispatcher chose.
+  EXPECT_GE(stats.retried, 1u);
+  ExpectBalanced(stats);
+  // One healthy request's failure must not trip the default breaker.
+  EXPECT_EQ(service.Health().breaker, BreakerState::kClosed);
+}
+
+TEST_F(AsyncSearchServiceTest, DispatchFaultRecoversEveryRequest) {
+  // A fault at batch granularity (async.dispatch fires once, before the
+  // encode stage) poisons no individual request: the isolation retry must
+  // serve every request of the affected batch exactly.
+  common::failpoint::Spec spec;
+  spec.max_fires = 1;
+  common::failpoint::Arm("async.dispatch", std::move(spec));
+
+  AsyncServiceOptions options;
+  options.max_batch_size = 8;
+  options.max_batch_delay_ms = 50.0;
+  AsyncSearchService service(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    futures.push_back(service.Submit(queries_[q], 2, IndexStrategy::kLsh));
+  }
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    ExpectSameHits(futures[q].get(),
+                   engine_->Search(queries_[q], 2, IndexStrategy::kLsh));
+  }
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, queries_.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.retried, 1u);  // The faulted batch took the retry path.
+  ExpectBalanced(stats);
+}
+
+TEST_F(AsyncSearchServiceTest, SubmitFaultCountsAsFailedRequest) {
+  common::failpoint::Spec spec;
+  spec.max_fires = 1;
+  common::failpoint::Arm("async.submit", std::move(spec));
+  AsyncSearchService service(engine_.get());
+  auto poisoned = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
+  EXPECT_THROW(poisoned.get(), common::failpoint::FailpointError);
+  auto healthy = service.Submit(queries_[1], 3, IndexStrategy::kNoIndex);
+  ExpectSameHits(healthy.get(),
+                 engine_->Search(queries_[1], 3, IndexStrategy::kNoIndex));
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  ExpectBalanced(stats);
+}
+
+TEST_F(AsyncSearchServiceTest, DeadlinesShedExpiredRequests) {
+  // Slow the score stage to 50 ms per batch, then queue one request with
+  // no deadline followed by seven with ~5 ms deadlines. The deadlined
+  // requests are stuck behind the first batch's 50 ms and must be shed
+  // with DeadlineExceededError — at dispatch or between stages — never
+  // served, never lost.
+  common::failpoint::Spec spec;
+  spec.action = common::failpoint::Action::kDelay;
+  spec.delay_ms = 50.0;
+  common::failpoint::Arm("engine.score_stage", std::move(spec));
+
+  AsyncServiceOptions options;
+  options.max_batch_size = 1;
+  options.max_batch_delay_ms = 0.0;
+  AsyncSearchService service(engine_.get(), options);
+  const auto expected =
+      engine_->Search(queries_[0], 3, IndexStrategy::kNoIndex);
+  auto unbounded = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
+  std::vector<std::future<std::vector<SearchHit>>> deadlined;
+  for (int r = 0; r < 7; ++r) {
+    deadlined.push_back(
+        service.Submit(queries_[static_cast<size_t>(r) % queries_.size()], 3,
+                       IndexStrategy::kNoIndex,
+                       AsyncSearchService::DeadlineAfterMs(5.0)));
+  }
+  ExpectSameHits(unbounded.get(), expected);  // Delay never changes results.
+  for (auto& future : deadlined) {
+    EXPECT_THROW(future.get(), DeadlineExceededError);
+  }
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.deadline_expired, 7u);
+  EXPECT_EQ(stats.failed, 0u);
+  ExpectBalanced(stats);
+}
+
+TEST_F(AsyncSearchServiceTest, DeadlineExpiresWhileBlockedOnFullQueue) {
+  // kBlock + a slow pipeline: a deadlined Submit must not block past its
+  // deadline. Whether it times out in the admission wait or is admitted
+  // and shed later, it fails with DeadlineExceededError and the books
+  // stay balanced.
+  common::failpoint::Spec spec;
+  spec.action = common::failpoint::Action::kDelay;
+  spec.delay_ms = 50.0;
+  common::failpoint::Arm("engine.score_stage", std::move(spec));
+
+  AsyncServiceOptions options;
+  options.queue_capacity = 1;
+  options.max_batch_size = 1;
+  options.max_batch_delay_ms = 0.0;
+  AsyncSearchService service(engine_.get(), options);
+  std::vector<std::future<std::vector<SearchHit>>> fillers;
+  for (int r = 0; r < 10; ++r) {
+    fillers.push_back(service.Submit(queries_[static_cast<size_t>(r) % 5], 2,
+                                     IndexStrategy::kNoIndex));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto deadlined =
+      service.Submit(queries_[0], 2, IndexStrategy::kNoIndex,
+                     AsyncSearchService::DeadlineAfterMs(10.0));
+  // Submit returned: with the queue saturated it either waited out the
+  // 10 ms deadline (well under the ~500 ms the fillers need) or slipped
+  // into a momentarily free slot.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(400));
+  EXPECT_THROW(deadlined.get(), DeadlineExceededError);
+  common::failpoint::DisarmAll();  // Let the fillers drain fast.
+  for (auto& future : fillers) future.get();
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 11u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  ExpectBalanced(stats);
+}
+
+TEST_F(AsyncSearchServiceTest, AlreadyExpiredDeadlineFailsImmediately) {
+  AsyncSearchService service(engine_.get());
+  auto future = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex,
+                               std::chrono::steady_clock::now() -
+                                   std::chrono::milliseconds(1));
+  EXPECT_THROW(future.get(), DeadlineExceededError);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  ExpectBalanced(stats);
+}
+
+TEST_F(AsyncSearchServiceTest, CircuitBreakerOpensFastRejectsAndRecovers) {
+  common::failpoint::Arm("engine.score_stage", common::failpoint::Spec{});
+
+  AsyncServiceOptions options;
+  options.max_batch_size = 1;
+  options.max_batch_delay_ms = 0.0;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 50.0;
+  AsyncSearchService service(engine_.get(), options);
+
+  // Two consecutive failures trip the breaker (counters update before the
+  // futures resolve, so the state is visible as soon as get() returns).
+  for (int r = 0; r < 2; ++r) {
+    auto future = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
+    EXPECT_THROW(future.get(), common::failpoint::FailpointError);
+  }
+  HealthSnapshot health = service.Health();
+  EXPECT_EQ(health.breaker, BreakerState::kOpen);
+  EXPECT_TRUE(health.degraded);
+  EXPECT_EQ(health.consecutive_failures, 2u);
+  EXPECT_EQ(health.breaker_trips, 1u);
+  EXPECT_STREQ(BreakerStateName(health.breaker), "open");
+
+  // Open breaker: fast-reject without queueing.
+  auto shed = service.Submit(queries_[1], 3, IndexStrategy::kNoIndex);
+  EXPECT_THROW(shed.get(), DegradedError);
+  EXPECT_EQ(service.stats().fast_rejected, 1u);
+
+  // Heal the engine, wait out the cooldown: the next request is admitted
+  // as a half-open probe, succeeds, and closes the breaker.
+  common::failpoint::DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  auto probe = service.Submit(queries_[1], 3, IndexStrategy::kNoIndex);
+  ExpectSameHits(probe.get(),
+                 engine_->Search(queries_[1], 3, IndexStrategy::kNoIndex));
+  health = service.Health();
+  EXPECT_EQ(health.breaker, BreakerState::kClosed);
+  EXPECT_FALSE(health.degraded);
+  EXPECT_EQ(health.consecutive_failures, 0u);
+  EXPECT_EQ(health.breaker_trips, 1u);
+
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);  // fast_rejected is not "submitted".
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  ExpectBalanced(stats);
+}
+
+TEST_F(AsyncSearchServiceTest, FailedHalfOpenProbeReopensBreaker) {
+  common::failpoint::Arm("engine.score_stage", common::failpoint::Spec{});
+  AsyncServiceOptions options;
+  options.max_batch_size = 1;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 1.0;
+  AsyncSearchService service(engine_.get(), options);
+  auto first = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
+  EXPECT_THROW(first.get(), common::failpoint::FailpointError);
+  EXPECT_EQ(service.Health().breaker, BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Still-broken engine: the probe fails and re-opens the breaker.
+  auto probe = service.Submit(queries_[0], 3, IndexStrategy::kNoIndex);
+  EXPECT_THROW(probe.get(), common::failpoint::FailpointError);
+  const HealthSnapshot health = service.Health();
+  EXPECT_EQ(health.breaker, BreakerState::kOpen);
+  EXPECT_EQ(health.breaker_trips, 2u);
+  service.Shutdown();
+  ExpectBalanced(service.stats());
+}
+
+TEST_F(AsyncSearchServiceTest, SubmittersRacingCancelShutdownSettleExactlyOnce) {
+  // Several kBlock submitters race Shutdown(drain=false) on a tiny queue.
+  // Every future must settle exactly once — served, rejected, or
+  // cancelled — with no hangs and balanced books.
+  AsyncServiceOptions options;
+  options.queue_capacity = 2;
+  options.max_batch_size = 2;
+  options.max_batch_delay_ms = 0.5;
+  AsyncSearchService service(engine_.get(), options);
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 15;
+  std::atomic<uint64_t> served{0}, rejected{0}, cancelled{0}, other{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s]() {
+      for (int r = 0; r < kPerThread; ++r) {
+        auto future = service.Submit(
+            queries_[static_cast<size_t>(s + r) % queries_.size()], 2,
+            IndexStrategy::kNoIndex);
+        try {
+          future.get();
+          served.fetch_add(1);
+        } catch (const ShutdownError&) {
+          cancelled.fetch_add(1);
+        } catch (const RejectedError&) {
+          rejected.fetch_add(1);
+        } catch (...) {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Shutdown(/*drain=*/false);
+  for (auto& t : submitters) t.join();
+
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(served.load() + rejected.load() + cancelled.load(),
+            static_cast<uint64_t>(kSubmitters * kPerThread));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, served.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.cancelled, cancelled.load());
+  ExpectBalanced(stats);
 }
 
 TEST_F(AsyncSearchServiceTest, ManySubmittersStress) {

@@ -1,0 +1,266 @@
+// Tests for common::failpoint: arm/disarm lifecycle, trigger composition
+// (every-Nth, max-fires, seeded probability, keyed matchers), Status-site
+// degradation, the FCM_FAILPOINTS env grammar, and counter accounting.
+// Site names are unique per test because lifetime counters deliberately
+// survive Disarm (retired stats).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace fcm::common::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+/// A Status-returning function guarded by a failpoint, the shape every
+/// FCM_FAILPOINT_STATUS call site has in production code.
+Status GuardedStatus(const char* site_literal) {
+  // The macro needs a literal-ish const char*; route through a switch of
+  // known test sites.
+  if (std::string(site_literal) == "fp.status") {
+    FCM_FAILPOINT_STATUS("fp.status");
+  } else {
+    FCM_FAILPOINT_STATUS("fp.status2");
+  }
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, DisarmedSiteDoesNothing) {
+  ASSERT_EQ(ArmedCount(), 0);
+  FCM_FAILPOINT("fp.never_armed");
+  EXPECT_TRUE(GuardedStatus("fp.status").ok());
+  EXPECT_EQ(Stats("fp.never_armed").hits, 0u);  // Not even counted.
+}
+
+TEST_F(FailpointTest, ArmThrowFiresAndCounts) {
+  Arm("fp.t1", Spec{});
+  EXPECT_EQ(ArmedCount(), 1);
+  EXPECT_THROW(FCM_FAILPOINT("fp.t1"), FailpointError);
+  EXPECT_THROW(FCM_FAILPOINT("fp.t1"), FailpointError);
+  const SiteStats s = Stats("fp.t1");
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.fires, 2u);
+  // Other sites are untouched while this one is armed.
+  FCM_FAILPOINT("fp.t1_other");
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndKeepsStats) {
+  Arm("fp.t2", Spec{});
+  EXPECT_THROW(FCM_FAILPOINT("fp.t2"), FailpointError);
+  EXPECT_TRUE(Disarm("fp.t2"));
+  EXPECT_FALSE(Disarm("fp.t2"));  // Already disarmed.
+  EXPECT_EQ(ArmedCount(), 0);
+  FCM_FAILPOINT("fp.t2");  // No longer fires.
+  // Lifetime counters survive the disarm.
+  const SiteStats s = Stats("fp.t2");
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.fires, 1u);
+}
+
+TEST_F(FailpointTest, CustomMessagePropagates) {
+  Spec spec;
+  spec.message = "poisoned request";
+  Arm("fp.msg", std::move(spec));
+  try {
+    FCM_FAILPOINT("fp.msg");
+    FAIL() << "should have thrown";
+  } catch (const FailpointError& e) {
+    EXPECT_STREQ(e.what(), "poisoned request");
+  }
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnMultiples) {
+  Spec spec;
+  spec.every_nth = 3;
+  Arm("fp.nth", std::move(spec));
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    try {
+      FCM_FAILPOINT("fp.nth");
+    } catch (const FailpointError&) {
+      ++fired;
+      // Hits 0, 3, 6 fire.
+      EXPECT_EQ(i % 3, 0) << "hit " << i;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(Stats("fp.nth").fires, 3u);
+}
+
+TEST_F(FailpointTest, MaxFiresIsOneShot) {
+  Spec spec;
+  spec.max_fires = 1;
+  Arm("fp.oneshot", std::move(spec));
+  EXPECT_THROW(FCM_FAILPOINT("fp.oneshot"), FailpointError);
+  for (int i = 0; i < 10; ++i) {
+    FCM_FAILPOINT("fp.oneshot");  // Spent: passes through.
+  }
+  const SiteStats s = Stats("fp.oneshot");
+  EXPECT_EQ(s.hits, 11u);
+  EXPECT_EQ(s.fires, 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  const auto fire_set = [](uint64_t seed) {
+    Spec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    Arm("fp.prob", std::move(spec));  // Re-arm resets the hit index.
+    std::set<int> fired;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        FCM_FAILPOINT("fp.prob");
+      } catch (const FailpointError&) {
+        fired.insert(i);
+      }
+    }
+    return fired;
+  };
+  const std::set<int> a = fire_set(42);
+  const std::set<int> b = fire_set(42);
+  const std::set<int> c = fire_set(1337);
+  EXPECT_EQ(a, b);  // Same seed: identical fire schedule.
+  EXPECT_NE(a, c);  // Different seed: different schedule.
+  // p=0.5 over 200 hits lands well inside [40, 160] unless the hash is
+  // badly biased.
+  EXPECT_GT(a.size(), 40u);
+  EXPECT_LT(a.size(), 160u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  Spec spec;
+  spec.probability = 0.0;
+  Arm("fp.p0", std::move(spec));
+  for (int i = 0; i < 100; ++i) FCM_FAILPOINT("fp.p0");
+  EXPECT_EQ(Stats("fp.p0").hits, 100u);
+  EXPECT_EQ(Stats("fp.p0").fires, 0u);
+}
+
+TEST_F(FailpointTest, MatcherSelectsKeys) {
+  Spec spec;
+  spec.matcher = [](uint64_t key) { return key == 7; };
+  Arm("fp.keyed", std::move(spec));
+  for (uint64_t key = 0; key < 16; ++key) {
+    if (key == 7) {
+      EXPECT_THROW(FCM_FAILPOINT_KEYED("fp.keyed", key), FailpointError);
+    } else {
+      FCM_FAILPOINT_KEYED("fp.keyed", key);
+    }
+  }
+  // Rejected keys do not consume hits (the matcher runs before the hit
+  // counter, so nth/probability schedules see only matching traffic).
+  const SiteStats s = Stats("fp.keyed");
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.fires, 1u);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndContinues) {
+  Spec spec;
+  spec.action = Action::kDelay;
+  spec.delay_ms = 0.1;
+  Arm("fp.delay", std::move(spec));
+  FCM_FAILPOINT("fp.delay");  // Must not throw.
+  EXPECT_EQ(Stats("fp.delay").fires, 1u);
+}
+
+TEST_F(FailpointTest, StatusSiteReturnsConfiguredCode) {
+  Spec spec;
+  spec.action = Action::kError;
+  spec.code = StatusCode::kIoError;
+  spec.message = "disk gone";
+  Arm("fp.status", std::move(spec));
+  const Status status = GuardedStatus("fp.status");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.ToString().find("disk gone"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ThrowActionAtStatusSiteDegradesToStatus) {
+  // A kThrow spec must not throw across a Result-returning boundary.
+  Arm("fp.status2", Spec{});
+  const Status status = GuardedStatus("fp.status2");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, ErrorActionAtThrowingSiteThrows) {
+  Spec spec;
+  spec.action = Action::kError;
+  Arm("fp.err_at_throw", std::move(spec));
+  EXPECT_THROW(FCM_FAILPOINT("fp.err_at_throw"), FailpointError);
+}
+
+TEST_F(FailpointTest, ReArmReplacesSpec) {
+  Spec one_shot;
+  one_shot.max_fires = 1;
+  Arm("fp.rearm", std::move(one_shot));
+  EXPECT_THROW(FCM_FAILPOINT("fp.rearm"), FailpointError);
+  FCM_FAILPOINT("fp.rearm");  // Spent.
+  Spec fresh;
+  fresh.max_fires = 1;
+  Arm("fp.rearm", std::move(fresh));  // New counters: fires again.
+  EXPECT_THROW(FCM_FAILPOINT("fp.rearm"), FailpointError);
+  EXPECT_EQ(ArmedCount(), 1);  // Re-arm did not double-count the site.
+  // Stats accumulate across the re-arm.
+  EXPECT_EQ(Stats("fp.rearm").fires, 2u);
+}
+
+TEST_F(FailpointTest, EnvSpecArmsMultipleSites) {
+  ASSERT_TRUE(
+      ArmFromEnv("fp.env_a=throw(p=1,seed=3); fp.env_b=delay(ms=0.1)").ok());
+  EXPECT_EQ(ArmedCount(), 2);
+  EXPECT_THROW(FCM_FAILPOINT("fp.env_a"), FailpointError);
+  FCM_FAILPOINT("fp.env_b");
+  EXPECT_EQ(Stats("fp.env_b").fires, 1u);
+}
+
+TEST_F(FailpointTest, EnvSpecParsesAllKeys) {
+  ASSERT_TRUE(ArmFromEnv("fp.env_full=error(p=0.5,seed=11,nth=2,max=3,"
+                         "code=notfound,msg=gone)")
+                  .ok());
+  EXPECT_EQ(ArmedCount(), 1);
+}
+
+TEST_F(FailpointTest, MalformedEnvSpecArmsNothing) {
+  const char* bad[] = {
+      "no_equals",                 // Missing '=action'.
+      "fp.x=explode",              // Unknown action.
+      "fp.x=throw(p=2)",           // p out of range.
+      "fp.x=throw(bogus=1)",       // Unknown key.
+      "fp.x=throw(p=abc)",         // Non-numeric value.
+      "fp.x=throw(p=0.5",          // Unterminated paren.
+      "fp.x=error(code=teapot)",   // Unknown status code.
+      "fp.ok=throw;fp.x=explode",  // One bad clause poisons the whole spec.
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(ArmFromEnv(spec).ok()) << spec;
+    EXPECT_EQ(ArmedCount(), 0) << spec;  // All-or-nothing arming.
+  }
+}
+
+TEST_F(FailpointTest, EmptyEnvSpecIsOk) {
+  EXPECT_TRUE(ArmFromEnv("").ok());
+  EXPECT_TRUE(ArmFromEnv(" ; ").ok());
+  EXPECT_EQ(ArmedCount(), 0);
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverySite) {
+  Arm("fp.d1", Spec{});
+  Arm("fp.d2", Spec{});
+  EXPECT_EQ(ArmedCount(), 2);
+  EXPECT_THROW(FCM_FAILPOINT("fp.d1"), FailpointError);
+  DisarmAll();
+  EXPECT_EQ(ArmedCount(), 0);
+  FCM_FAILPOINT("fp.d1");
+  FCM_FAILPOINT("fp.d2");
+  EXPECT_EQ(Stats("fp.d1").fires, 1u);  // From before the DisarmAll.
+  EXPECT_EQ(Stats("fp.d2").fires, 0u);
+}
+
+}  // namespace
+}  // namespace fcm::common::failpoint

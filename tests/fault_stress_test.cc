@@ -1,0 +1,279 @@
+// Randomized fault-schedule stress for the fault-tolerant serving stack:
+// submitter threads drive AsyncSearchService while a seeded chaos
+// schedule arms and disarms failpoints across every serving layer
+// (engine stages, per-query scoring, ThreadPool task bodies, queue ops).
+// The invariants under test:
+//   - liveness: every future resolves (the test terminates);
+//   - taxonomy: every resolution is a ranking or a documented error type;
+//   - accounting: client-side outcome counts match AsyncServiceStats
+//     exactly and submitted == completed + cancelled + failed +
+//     deadline_expired;
+//   - recovery: after DisarmAll the service serves requests bit-identical
+//     to SearchEngine::Search (the breaker closes after its cooldown).
+// Runs under ctest label `stress`; tools/run_fault_stress.sh builds it
+// with -DFCM_SANITIZE=thread, which makes it the TSan target for the
+// fault paths (RecoverBatch, ShedExpired, breaker transitions).
+// FCM_STRESS_REQUESTS and FCM_STRESS_SEED scale/reseed the schedule.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "chart/renderer.h"
+#include "common/failpoint.h"
+#include "core/fcm_config.h"
+#include "core/fcm_model.h"
+#include "index/async_service.h"
+#include "index/search_engine.h"
+#include "table/data_lake.h"
+#include "table/data_series.h"
+#include "vision/mask_oracle_extractor.h"
+
+namespace fcm::index {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// The drained-service accounting invariant (see AsyncServiceStats).
+void ExpectBalancedFinal(const AsyncServiceStats& stats) {
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.failed + stats.deadline_expired);
+}
+
+class FaultStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      table::Table t;
+      std::vector<double> v(60);
+      for (size_t j = 0; j < v.size(); ++j) {
+        v[j] = std::sin(static_cast<double>(j) * (0.04 + 0.05 * i)) *
+               (1.0 + i);
+      }
+      t.AddColumn(table::Column("c", std::move(v)));
+      lake_.Add(std::move(t));
+    }
+    core::FcmConfig config;
+    config.embed_dim = 16;
+    config.num_layers = 1;
+    config.strip_height = 16;
+    config.strip_width = 64;
+    config.line_segment_width = 16;
+    config.column_length = 64;
+    config.data_segment_size = 16;
+    model_ = std::make_unique<core::FcmModel>(config);
+    SearchEngineOptions options;
+    options.num_threads = 2;
+    engine_ = std::make_unique<SearchEngine>(model_.get(), &lake_);
+    engine_->BuildWithOptions(options);
+    vision::MaskOracleExtractor oracle;
+    for (int q = 0; q < 4; ++q) {
+      table::DataSeries d;
+      d.y = lake_.Get(q % 6).column(0).values;
+      queries_.push_back(oracle.Extract(chart::RenderLineChart({d})).value());
+    }
+  }
+
+  void TearDown() override { common::failpoint::DisarmAll(); }
+
+  table::DataLake lake_;
+  std::unique_ptr<core::FcmModel> model_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::vector<vision::ExtractedChart> queries_;
+};
+
+TEST_F(FaultStressTest, RandomFaultScheduleKeepsEveryInvariant) {
+  const uint64_t seed = EnvU64("FCM_STRESS_SEED", 1234);
+  const uint64_t total_requests = EnvU64("FCM_STRESS_REQUESTS", 200);
+  std::mt19937_64 rng(seed);
+
+  AsyncServiceOptions options;
+  options.queue_capacity = 16;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.5;
+  options.breaker_threshold = 8;
+  options.breaker_cooldown_ms = 10.0;
+  AsyncSearchService service(engine_.get(), options);
+
+  constexpr int kSubmitters = 4;
+  const uint64_t per_thread = total_requests / kSubmitters;
+  std::atomic<uint64_t> completed{0}, rejected{0}, fast_rejected{0},
+      deadline_expired{0}, failed{0}, unknown{0};
+  std::atomic<uint64_t> remaining{per_thread * kSubmitters};
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s]() {
+      // Per-thread deterministic sub-schedule (k, strategy, deadline).
+      std::mt19937_64 thread_rng(seed * 977u + static_cast<uint64_t>(s));
+      for (uint64_t r = 0; r < per_thread; ++r) {
+        const size_t q = static_cast<size_t>(thread_rng()) % queries_.size();
+        const int k = 1 + static_cast<int>(thread_rng() % 4);
+        const auto strategy = static_cast<IndexStrategy>(thread_rng() % 4);
+        auto deadline = AsyncSearchService::kNoDeadline;
+        if (thread_rng() % 4 == 0) {  // A quarter carry tight deadlines.
+          deadline = AsyncSearchService::DeadlineAfterMs(
+              1.0 + static_cast<double>(thread_rng() % 20));
+        }
+        auto future = service.Submit(queries_[q], k, strategy, deadline);
+        try {
+          const auto hits = future.get();
+          EXPECT_LE(hits.size(), static_cast<size_t>(k));
+          completed.fetch_add(1);
+        } catch (const DeadlineExceededError&) {
+          deadline_expired.fetch_add(1);
+        } catch (const DegradedError&) {
+          fast_rejected.fetch_add(1);
+        } catch (const RejectedError&) {
+          rejected.fetch_add(1);
+        } catch (const common::failpoint::FailpointError&) {
+          failed.fetch_add(1);
+        } catch (...) {
+          unknown.fetch_add(1);  // Anything else breaks the taxonomy.
+        }
+        remaining.fetch_sub(1);
+      }
+    });
+  }
+
+  // Seeded chaos schedule on the main thread: every round rewrites the
+  // armed set — throwing, erroring, and delaying sites across all layers,
+  // with seeded sub-probabilities so the whole run replays from one seed.
+  const char* kThrowSites[] = {"engine.encode_stage", "engine.candidate_stage",
+                               "engine.score_stage", "engine.score_query",
+                               "threadpool.task", "async.submit",
+                               "async.dispatch"};
+  while (remaining.load() > 0) {
+    common::failpoint::DisarmAll();
+    for (const char* site : kThrowSites) {
+      const uint64_t roll = rng() % 100;
+      if (roll < 40) continue;  // Leave this site healthy for the round.
+      common::failpoint::Spec spec;
+      if (roll < 70) {
+        spec.action = common::failpoint::Action::kThrow;
+        spec.probability = 0.2;
+      } else if (roll < 90) {
+        spec.action = common::failpoint::Action::kDelay;
+        spec.delay_ms = 1.0 + static_cast<double>(rng() % 3);
+        spec.probability = 0.3;
+      } else {
+        spec.action = common::failpoint::Action::kThrow;
+        spec.max_fires = 1 + rng() % 3;
+      }
+      spec.seed = rng();
+      common::failpoint::Arm(site, std::move(spec));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& t : submitters) t.join();
+  common::failpoint::DisarmAll();
+
+  // Taxonomy + client/service accounting agreement.
+  EXPECT_EQ(unknown.load(), 0u);
+  const uint64_t attempts = per_thread * kSubmitters;
+  EXPECT_EQ(completed.load() + rejected.load() + fast_rejected.load() +
+                deadline_expired.load() + failed.load(),
+            attempts);
+  AsyncServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, completed.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.fast_rejected, fast_rejected.load());
+  EXPECT_EQ(stats.deadline_expired, deadline_expired.load());
+  EXPECT_EQ(stats.failed, failed.load());
+  EXPECT_EQ(stats.cancelled, 0u);  // Drain-mode run: nothing cancelled.
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled + stats.failed +
+                                 stats.deadline_expired);
+  EXPECT_EQ(stats.submitted + stats.rejected + stats.fast_rejected, attempts);
+
+  // Recovery: with every fault gone the service must return to exact
+  // serving. The breaker may still be open from the fault storm — probe
+  // until the cooldown admits one and the success closes it.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 200 && !recovered; ++attempt) {
+    try {
+      service.Submit(queries_[0], 3, IndexStrategy::kHybrid).get();
+      recovered = true;
+    } catch (const DegradedError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_TRUE(recovered) << "breaker never re-closed after DisarmAll";
+  EXPECT_EQ(service.Health().breaker, BreakerState::kClosed);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const auto expected =
+        engine_->Search(queries_[q], 3, IndexStrategy::kHybrid);
+    const auto hits =
+        service.Submit(queries_[q], 3, IndexStrategy::kHybrid).get();
+    ASSERT_EQ(hits.size(), expected.size()) << "query " << q;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].table_id, expected[i].table_id) << "rank " << i;
+      EXPECT_EQ(hits[i].score, expected[i].score) << "rank " << i;
+    }
+  }
+  service.Shutdown();
+  ExpectBalancedFinal(service.stats());
+}
+
+TEST_F(FaultStressTest, CancelShutdownDuringFaultStorm) {
+  // Shutdown(drain=false) while faults are firing: every future still
+  // settles exactly once and the books balance (with cancellations now in
+  // the mix).
+  const uint64_t seed = EnvU64("FCM_STRESS_SEED", 1234) ^ 0xabcdef;
+  common::failpoint::Spec spec;
+  spec.probability = 0.15;
+  spec.seed = seed;
+  common::failpoint::Arm("engine.score_stage", std::move(spec));
+  common::failpoint::Spec delay;
+  delay.action = common::failpoint::Action::kDelay;
+  delay.delay_ms = 2.0;
+  common::failpoint::Arm("engine.encode_stage", std::move(delay));
+
+  AsyncServiceOptions options;
+  options.queue_capacity = 8;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.5;
+  AsyncSearchService service(engine_.get(), options);
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 20;
+  std::atomic<uint64_t> settled{0}, unknown{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s]() {
+      for (int r = 0; r < kPerThread; ++r) {
+        auto future = service.Submit(
+            queries_[static_cast<size_t>(s + r) % queries_.size()], 2,
+            IndexStrategy::kNoIndex);
+        try {
+          future.get();
+        } catch (const ShutdownError&) {
+        } catch (const RejectedError&) {
+        } catch (const common::failpoint::FailpointError&) {
+        } catch (...) {
+          unknown.fetch_add(1);
+        }
+        settled.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  service.Shutdown(/*drain=*/false);
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(settled.load(), static_cast<uint64_t>(kSubmitters * kPerThread));
+  EXPECT_EQ(unknown.load(), 0u);
+  ExpectBalancedFinal(service.stats());
+}
+
+}  // namespace
+}  // namespace fcm::index

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
+#include "common/failpoint.h"
 #include "table/aggregate.h"
 #include "table/augment.h"
 #include "table/csv.h"
@@ -93,6 +95,78 @@ TEST(CsvTest, RejectsRaggedRows) {
 
 TEST(CsvTest, RejectsEmpty) {
   EXPECT_FALSE(ParseCsv("", "t").ok());
+  EXPECT_FALSE(ParseCsv("\n\n\n", "t").ok());  // Blank lines only.
+}
+
+TEST(CsvTest, RejectsHeaderOnly) {
+  // A header with no data rows would build a zero-row table that every
+  // downstream consumer treats as a programming error; the ingestion
+  // boundary must reject it instead.
+  const auto parsed = ParseCsv("a,b\n", "t");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonFiniteCells) {
+  // strtod happily parses nan/inf spellings; letting them into a column
+  // would poison every downstream statistic, so they count as malformed.
+  for (const char* cell : {"nan", "inf", "-inf", "NaN", "Infinity"}) {
+    const std::string csv = std::string("a,b\n1,") + cell + "\n";
+    const auto parsed = ParseCsv(csv, "t");
+    ASSERT_FALSE(parsed.ok()) << cell;
+    EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument)
+        << cell;
+  }
+  // Ordinary large-but-finite values still parse.
+  EXPECT_TRUE(ParseCsv("a,b\n1,1e300\n", "t").ok());
+}
+
+TEST(CsvTest, MalformedInputsReportErrorsNotAborts) {
+  // The hardened ingestion contract: malformed files surface as Status
+  // errors with a useful message, never a crash or a silent empty table.
+  const auto ragged = ParseCsv("a,b\n1,2,3\n", "t");
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_NE(ragged.status().ToString().find("cells"), std::string::npos);
+  const auto non_numeric = ParseCsv("a,b\n1,x\n", "t");
+  ASSERT_FALSE(non_numeric.ok());
+  EXPECT_NE(non_numeric.status().ToString().find("non-numeric"),
+            std::string::npos);
+}
+
+TEST(CsvTest, LoadFileFailpointSurfacesAsIoError) {
+  // Fault-injected ingestion: an armed `table.load_csv` failpoint makes
+  // the loader fail with the configured Status instead of aborting, so
+  // callers' Result plumbing is exercised end to end.
+  const std::string path = "/tmp/fcm_csv_failpoint_test.csv";
+  ASSERT_TRUE(SaveCsvFile(MakeTable(), path).ok());
+  common::failpoint::Spec spec;
+  spec.action = common::failpoint::Action::kError;
+  spec.code = common::StatusCode::kIoError;
+  spec.max_fires = 1;
+  common::failpoint::Arm("table.load_csv", std::move(spec));
+  const auto faulted = LoadCsvFile(path, "demo");
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), common::StatusCode::kIoError);
+  // The one-shot is spent: the same load now succeeds.
+  const auto loaded = LoadCsvFile(path, "demo");
+  common::failpoint::DisarmAll();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_rows(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParseFailpointSurfacesConfiguredStatus) {
+  common::failpoint::Spec spec;
+  spec.action = common::failpoint::Action::kError;
+  spec.code = common::StatusCode::kInvalidArgument;
+  spec.message = "injected parse fault";
+  common::failpoint::Arm("table.parse_csv", std::move(spec));
+  const auto parsed = ParseCsv("a,b\n1,2\n", "t");
+  common::failpoint::DisarmAll();
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("injected parse fault"),
+            std::string::npos);
 }
 
 TEST(CsvTest, ParsesCrlfLineEndings) {

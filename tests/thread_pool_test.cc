@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace fcm::common {
@@ -239,6 +240,66 @@ TEST(ThreadPoolTest, ConcurrentShardedAndPlainOwners) {
   for (long s : shard_sums) expected_shard_total += s;
   EXPECT_EQ(expected_shard_total, 1000L * 999 / 2);
   EXPECT_EQ(plain_sum.load(), 8L * (1000L * 999 / 2));
+}
+
+TEST(ThreadPoolTest, TaskFailpointPropagatesToOwner) {
+  // The `threadpool.task` site fires inside worker task bodies; the pool
+  // must surface the injected fault to the owning ParallelFor caller and
+  // stay fully usable once disarmed.
+  ThreadPool pool(4);
+  common::failpoint::Spec spec;
+  spec.max_fires = 1;
+  common::failpoint::Arm("threadpool.task", std::move(spec));
+  EXPECT_THROW(pool.ParallelFor(1000, [](size_t) {}),
+               common::failpoint::FailpointError);
+  common::failpoint::DisarmAll();
+  std::atomic<int> ok{0};
+  pool.ParallelFor(100, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ThreadPoolTest, ConcurrentOwnersSurviveInjectedTaskFaults) {
+  // Several owner threads share one pool while `threadpool.task` fires
+  // probabilistically (seeded). Each owner's batch either completes with
+  // exact results or throws FailpointError; a fault in one owner's batch
+  // must never corrupt another owner's results or wedge the pool. Under
+  // FCM_SANITIZE=thread this doubles as the fault-path race check.
+  ThreadPool pool(3);
+  common::failpoint::Spec spec;
+  spec.probability = 0.3;
+  spec.seed = 99;
+  common::failpoint::Arm("threadpool.task", std::move(spec));
+  constexpr int kOwners = 4;
+  std::atomic<int> clean_batches{0}, faulted_batches{0}, corrupt{0};
+  std::vector<std::thread> owners;
+  for (int o = 0; o < kOwners; ++o) {
+    owners.emplace_back([&, o]() {
+      for (int round = 0; round < 10; ++round) {
+        try {
+          const auto out = pool.ParallelMap<int>(
+              512, [o](size_t i) { return static_cast<int>(i) * (o + 1); });
+          for (size_t i = 0; i < out.size(); ++i) {
+            if (out[i] != static_cast<int>(i) * (o + 1)) {
+              corrupt.fetch_add(1);
+              break;
+            }
+          }
+          clean_batches.fetch_add(1);
+        } catch (const common::failpoint::FailpointError&) {
+          faulted_batches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : owners) t.join();
+  common::failpoint::DisarmAll();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(clean_batches.load() + faulted_batches.load(), kOwners * 10);
+  EXPECT_GT(faulted_batches.load(), 0);  // p=0.3 over 40 batches must fire.
+  // The pool is intact after the fault storm.
+  std::atomic<int> after{0};
+  pool.ParallelFor(64, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
 }
 
 TEST(ThreadPoolTest, ParallelForShardedZeroIterationsIsNoop) {

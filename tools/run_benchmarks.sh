@@ -8,7 +8,10 @@
 # open-loop, static and adaptive micro-batching, with the adaptive
 # controller's decision trace; the service runs with block-mode
 # backpressure in every phase, so any dropped (rejected or cancelled)
-# request is a bug and fails this script loudly.
+# request is a bug and fails this script loudly. The "faults" section
+# records the fault-injection phase (keyed failpoint poisoning a known
+# request subset); its isolation/recovery verdicts also gate this script,
+# and the whole file must parse as JSON before anything trusts it.
 #
 # The batching knobs are passed as CLI flags so a BENCH json names the
 # exact command that reproduces it; override via env:
@@ -43,6 +46,15 @@ fi
        --async-max-batch="$MAX_BATCH" --async-max-delay-ms="$MAX_DELAY_MS" \
        --async-adaptive="$ADAPTIVE"
 
+# The trajectory file is consumed programmatically by future perf PRs, so
+# an output that does not parse as JSON is an error here, not a surprise
+# there. (The bench assembles the report by hand; a truncated snprintf or
+# a misplaced comma would otherwise slip through.)
+if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$OUT"; then
+  echo "error: $OUT is not parseable JSON (truncated or malformed bench" \
+       "output); fix bench_search_throughput before trusting this run" >&2
+  exit 1
+fi
 # Block-mode backpressure means no request may ever be dropped; a nonzero
 # rejected/cancelled count in any async phase is a serving bug. A json
 # without an async section means a stale bench binary served the run —
@@ -50,6 +62,21 @@ fi
 if ! grep -q '"async": {' "$OUT"; then
   echo "error: $OUT has no \"async\" section (stale bench_search_throughput" \
        "binary in $BUILD_DIR?)" >&2
+  exit 1
+fi
+# Same staleness guard for the fault-injection phase, and its correctness
+# verdicts (blast-radius isolation + post-fault recovery) fail the run.
+if ! grep -q '"faults": {' "$OUT"; then
+  echo "error: $OUT has no \"faults\" section (stale bench binary?)" >&2
+  exit 1
+fi
+if ! python3 -c '
+import json, sys
+f = json.load(open(sys.argv[1]))["faults"]
+sys.exit(0 if f["isolation_ok"] and f["recovered_clean"] and f["clean"]
+         else 1)' "$OUT"; then
+  echo "error: fault-injection phase failed isolation or recovery (see" \
+       "the \"faults\" section of $OUT)" >&2
   exit 1
 fi
 # `|| true`: under pipefail a no-match grep would otherwise kill the
@@ -78,3 +105,7 @@ if [[ "$ADAPTIVE" != "0" ]]; then
        "static), closed-loop p99 ratio $(grep -o \
        '"closed_p99_ratio": [0-9.]*' "$OUT" | cut -d' ' -f2) (vs delay-0)"
 fi
+echo "faults: $(grep -o '"injected": [0-9]*' "$OUT" | cut -d' ' -f2)" \
+     "injected, fault/healthy qps ratio $(grep -o \
+     '"fault_qps_ratio_vs_healthy": [0-9.]*' "$OUT" | cut -d' ' -f2)," \
+     "isolation+recovery clean"
