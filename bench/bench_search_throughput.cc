@@ -51,6 +51,7 @@
 #include "index/search_engine.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "storage/snapshot.h"
 #include "table/data_lake.h"
 #include "vision/mask_oracle_extractor.h"
 
@@ -612,7 +613,7 @@ int main(int argc, char** argv) {
   std::vector<fcm::index::LshInsertItem> items(embeddings.size());
   for (size_t i = 0; i < embeddings.size(); ++i) {
     // Three consecutive columns per synthetic table.
-    items[i] = {&embeddings[i], static_cast<int64_t>(i / 3)};
+    items[i] = {embeddings[i].data(), static_cast<int64_t>(i / 3)};
   }
   fcm::common::ThreadPool lsh_pool(hardware);
 
@@ -641,6 +642,75 @@ int main(int argc, char** argv) {
   const double query_batch_seconds = Seconds(t_query_batch);
   const bool candidates_identical = sharded_hits == unsharded_hits;
   all_identical = all_identical && candidates_identical;
+
+  // ---- Snapshot: save / open vs rebuild (cold-start serving) ----
+  // The case for frozen storage: a serving process that OpenSnapshot()s a
+  // saved engine must come up faster than one that re-encodes the lake
+  // (rebuild at full hardware parallelism — the honest baseline), and
+  // must rank bit-identically to the engine that saved the snapshot,
+  // under every pruning strategy.
+  const std::string snap_path = "/tmp/fcm_bench_snapshot.fcmsnap";
+  fcm::index::SearchEngineOptions rebuild_options;
+  rebuild_options.num_threads = hardware;
+  const auto t_rebuild = Clock::now();
+  fcm::index::SearchEngine rebuilt(&model, &lake);
+  rebuilt.BuildWithOptions(rebuild_options);
+  const double rebuild_seconds = Seconds(t_rebuild);
+
+  const auto t_save = Clock::now();
+  const auto save_status = rebuilt.SaveSnapshot(snap_path);
+  const double save_seconds = Seconds(t_save);
+  bool snapshot_ok = save_status.ok();
+  double open_seconds = 0.0, open_heap_seconds = 0.0;
+  size_t snapshot_bytes = 0;
+  bool snapshot_identical = snapshot_ok;
+  if (snapshot_ok) {
+    const auto t_open = Clock::now();
+    auto snap = fcm::index::SearchEngine::OpenSnapshot(snap_path);
+    open_seconds = Seconds(t_open);
+    snapshot_ok = snap.ok();
+    if (snap.ok()) {
+      fcm::index::SnapshotOpenOptions heap_options;
+      heap_options.use_mmap = false;
+      const auto t_heap = Clock::now();
+      auto heap_snap =
+          fcm::index::SearchEngine::OpenSnapshot(snap_path, heap_options);
+      open_heap_seconds = Seconds(t_heap);
+      snapshot_ok = snapshot_ok && heap_snap.ok();
+      {
+        auto reader = fcm::storage::SnapshotReader::Open(snap_path);
+        if (reader.ok()) snapshot_bytes = reader.value()->file_bytes();
+      }
+      // Equivalence across every strategy: snapshot-served rankings
+      // (mmap and heap) vs the engine that saved them.
+      for (const auto s :
+           {fcm::index::IndexStrategy::kNoIndex,
+            fcm::index::IndexStrategy::kIntervalTree,
+            fcm::index::IndexStrategy::kLsh,
+            fcm::index::IndexStrategy::kHybrid}) {
+        std::vector<std::vector<fcm::index::SearchHit>> reference;
+        reference.reserve(queries.size());
+        for (const auto& q : queries) {
+          reference.push_back(rebuilt.Search(q, k, s));
+        }
+        snapshot_identical =
+            snapshot_identical &&
+            SameHitLists(snap.value()->SearchBatch(queries, k, s), reference);
+        if (heap_snap.ok()) {
+          snapshot_identical =
+              snapshot_identical &&
+              SameHitLists(heap_snap.value()->SearchBatch(queries, k, s),
+                           reference);
+        }
+      }
+    } else {
+      snapshot_identical = false;
+    }
+  } else {
+    snapshot_identical = false;
+  }
+  std::remove(snap_path.c_str());
+  all_identical = all_identical && snapshot_ok && snapshot_identical;
 
   // ---- SIMD kernel dispatch: per-target GFLOP/s ----
   // The startup-resolved target (cpuid + FCM_SIMD env var) served every
@@ -939,8 +1009,28 @@ int main(int argc, char** argv) {
           std::max(query_batch_seconds, 1e-9),
       query_serial_seconds / std::max(query_batch_seconds, 1e-9));
   json += buf;
-  std::snprintf(buf, sizeof(buf), "    \"identical_candidates\": %s\n  }\n",
+  std::snprintf(buf, sizeof(buf), "    \"identical_candidates\": %s\n  },\n",
                 candidates_identical ? "true" : "false");
+  json += buf;
+  // Snapshot cold start: open (mmap zero-copy and heap) must beat a full
+  // rebuild, and snapshot-served rankings must be bit-identical across
+  // every strategy. tools/run_benchmarks.sh gates on both.
+  json += "  \"snapshot\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"file_bytes\": %zu, \"rebuild_seconds\": %.4f, "
+                "\"save_seconds\": %.4f,\n",
+                snapshot_bytes, rebuild_seconds, save_seconds);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"open_seconds\": %.4f, \"open_heap_seconds\": %.4f, "
+                "\"open_speedup_vs_rebuild\": %.2f,\n",
+                open_seconds, open_heap_seconds,
+                rebuild_seconds / std::max(open_seconds, 1e-9));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"save_open_ok\": %s, \"identical_topk\": %s\n  }\n",
+                snapshot_ok ? "true" : "false",
+                snapshot_identical ? "true" : "false");
   json += buf;
   json += "}\n";
 

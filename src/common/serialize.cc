@@ -2,24 +2,53 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define FCM_SERIALIZE_HAS_FSYNC 1
+#include <unistd.h>
+#endif
+
 namespace fcm::common {
 
-Status BinaryWriter::SaveToFile(const std::string& path) const {
+namespace {
+
+// Writes `buf` to `path` directly (non-atomic). Used for the temporary
+// file inside the atomic save.
+Status WriteFileRaw(const std::string& path,
+                    const std::vector<uint8_t>& buf) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open for writing: " + path);
   }
-  const size_t written = buf_.empty()
-                             ? 0
-                             : std::fwrite(buf_.data(), 1, buf_.size(), f);
+  const size_t written =
+      buf.empty() ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
+  bool flushed = std::fflush(f) == 0;
+#ifdef FCM_SERIALIZE_HAS_FSYNC
+  // Push the bytes to the device before the rename makes them visible:
+  // otherwise a crash after rename could expose a hole-punched file.
+  flushed = flushed && fsync(fileno(f)) == 0;
+#endif
   const int close_rc = std::fclose(f);
-  if (written != buf_.size() || close_rc != 0) {
+  if (written != buf.size() || !flushed || close_rc != 0) {
+    std::remove(path.c_str());
     return Status::IoError("short write: " + path);
   }
   return Status::OK();
 }
 
-Result<BinaryReader> BinaryReader::LoadFromFile(const std::string& path) {
+}  // namespace
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  FCM_RETURN_IF_ERROR(WriteFileRaw(tmp, buf_));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> BinaryReader::LoadFileBytes(
+    const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open for reading: " + path);
@@ -32,12 +61,19 @@ Result<BinaryReader> BinaryReader::LoadFromFile(const std::string& path) {
     return Status::IoError("cannot stat: " + path);
   }
   std::vector<uint8_t> buf(static_cast<size_t>(size));
-  const size_t read = buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+  const size_t read =
+      buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
   std::fclose(f);
   if (read != buf.size()) {
     return Status::IoError("short read: " + path);
   }
-  return BinaryReader(std::move(buf));
+  return buf;
+}
+
+Result<BinaryReader> BinaryReader::LoadFromFile(const std::string& path) {
+  auto bytes = LoadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return BinaryReader(std::move(bytes).ValueOrDie());
 }
 
 Result<std::string> BinaryReader::ReadString() {

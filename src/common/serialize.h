@@ -22,6 +22,9 @@ class BinaryWriter {
   void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
   void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
 
+  /// Appends raw bytes verbatim (no length prefix).
+  void WriteBytes(const void* data, size_t n) { WriteRaw(data, n); }
+
   void WriteString(const std::string& s) {
     WriteU64(s.size());
     WriteRaw(s.data(), s.size());
@@ -39,7 +42,11 @@ class BinaryWriter {
 
   const std::vector<uint8_t>& buffer() const { return buf_; }
 
-  /// Writes the buffer to a file. Fails with IoError on any write problem.
+  /// Atomically writes the buffer to a file: the bytes go to a temporary
+  /// sibling first, are fsync'ed, and are renamed over `path` only once
+  /// durable. A crash mid-save never leaves a torn file at `path` — readers
+  /// see either the old content or the complete new content. Fails with
+  /// IoError on any write problem (the temporary is cleaned up).
   Status SaveToFile(const std::string& path) const;
 
  private:
@@ -59,6 +66,9 @@ class BinaryReader {
 
   /// Loads a whole file into a reader.
   static Result<BinaryReader> LoadFromFile(const std::string& path);
+
+  /// Loads a whole file as raw bytes (no record framing).
+  static Result<std::vector<uint8_t>> LoadFileBytes(const std::string& path);
 
   Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
   Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }

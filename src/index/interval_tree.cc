@@ -1,16 +1,26 @@
 #include "index/interval_tree.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 namespace fcm::index {
 
-IntervalTree::IntervalTree(std::vector<Interval> intervals)
-    : size_(intervals.size()) {
-  root_ = Build(std::move(intervals));
-}
+namespace {
 
-std::unique_ptr<IntervalTree::Node> IntervalTree::Build(
-    std::vector<Interval> intervals) {
+// Transient pointer-based node used only during construction; the tree is
+// flattened into the columnar arrays and these nodes are discarded.
+struct BuildNode {
+  double center = 0.0;
+  /// Intervals crossing the center, sorted by lo ascending.
+  std::vector<Interval> by_lo;
+  /// Same intervals sorted by hi descending.
+  std::vector<Interval> by_hi;
+  std::unique_ptr<BuildNode> left;
+  std::unique_ptr<BuildNode> right;
+};
+
+std::unique_ptr<BuildNode> Build(std::vector<Interval> intervals) {
   if (intervals.empty()) return nullptr;
   // Median endpoint as the center keeps the tree balanced.
   std::vector<double> endpoints;
@@ -24,7 +34,7 @@ std::unique_ptr<IntervalTree::Node> IntervalTree::Build(
                    endpoints.end());
   const double center = endpoints[endpoints.size() / 2];
 
-  auto node = std::make_unique<Node>();
+  auto node = std::make_unique<BuildNode>();
   node->center = center;
   std::vector<Interval> left, right;
   for (auto& iv : intervals) {
@@ -52,35 +62,143 @@ std::unique_ptr<IntervalTree::Node> IntervalTree::Build(
   return node;
 }
 
-void IntervalTree::Query(const Node* node, double qlo, double qhi,
-                         std::vector<int64_t>* out) {
-  if (node == nullptr) return;
-  if (qhi < node->center) {
+}  // namespace
+
+IntervalTree::IntervalTree(std::vector<Interval> intervals)
+    : size_(intervals.size()) {
+  std::unique_ptr<BuildNode> root = Build(std::move(intervals));
+
+  // Flatten in preorder: children always land at larger indices than
+  // their parent (FromFrozen relies on this for termination).
+  struct Flattener {
+    IntervalTree* t;
+    int32_t Visit(const BuildNode* node) {
+      if (node == nullptr) return -1;
+      const auto idx = static_cast<int32_t>(t->center_.size());
+      t->center_.push_back(node->center);
+      t->left_.push_back(-1);
+      t->right_.push_back(-1);
+      t->slice_begin_.push_back(t->bylo_lo_.size());
+      t->slice_count_.push_back(node->by_lo.size());
+      for (const auto& iv : node->by_lo) {
+        t->bylo_lo_.push_back(iv.lo);
+        t->bylo_hi_.push_back(iv.hi);
+        t->bylo_payload_.push_back(iv.payload);
+      }
+      for (const auto& iv : node->by_hi) {
+        t->byhi_lo_.push_back(iv.lo);
+        t->byhi_hi_.push_back(iv.hi);
+        t->byhi_payload_.push_back(iv.payload);
+      }
+      t->left_[idx] = Visit(node->left.get());
+      t->right_[idx] = Visit(node->right.get());
+      return idx;
+    }
+  };
+  Flattener{this}.Visit(root.get());
+
+  view_ = Frozen{center_,      left_,    right_,        slice_begin_,
+                 slice_count_, bylo_lo_, bylo_hi_,      bylo_payload_,
+                 byhi_lo_,     byhi_hi_, byhi_payload_};
+}
+
+common::Result<IntervalTree> IntervalTree::FromFrozen(const Frozen& frozen) {
+  const size_t n = frozen.center.size();
+  auto bad = [](const std::string& what) {
+    return common::Status::InvalidArgument("interval tree frozen data: " +
+                                           what);
+  };
+  if (frozen.left.size() != n || frozen.right.size() != n ||
+      frozen.slice_begin.size() != n || frozen.slice_count.size() != n) {
+    return bad("node array lengths disagree");
+  }
+  const size_t total = frozen.bylo_lo.size();
+  if (frozen.bylo_hi.size() != total || frozen.bylo_payload.size() != total ||
+      frozen.byhi_lo.size() != total || frozen.byhi_hi.size() != total ||
+      frozen.byhi_payload.size() != total) {
+    return bad("interval array lengths disagree");
+  }
+  size_t covered = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Preorder property: a child's index strictly exceeds its parent's.
+    // Every traversal step then increases the node index, so a query
+    // terminates even on adversarial input.
+    for (const int32_t child : {frozen.left[i], frozen.right[i]}) {
+      if (child != -1 &&
+          (child <= static_cast<int32_t>(i) ||
+           child >= static_cast<int32_t>(n))) {
+        return bad("child index " + std::to_string(child) +
+                   " breaks preorder at node " + std::to_string(i));
+      }
+    }
+    const uint64_t begin = frozen.slice_begin[i];
+    const uint64_t count = frozen.slice_count[i];
+    if (begin > total || count > total - begin) {
+      return bad("interval slice of node " + std::to_string(i) +
+                 " out of bounds");
+    }
+    covered += count;
+  }
+  if (covered != total) {
+    return bad("interval slices cover " + std::to_string(covered) +
+               " of " + std::to_string(total) + " intervals");
+  }
+  if (n == 0 && total != 0) {
+    return bad("intervals present but no nodes");
+  }
+
+  IntervalTree tree;
+  tree.view_ = frozen;
+  tree.size_ = total;
+  return tree;
+}
+
+void IntervalTree::QueryNode(size_t node, double qlo, double qhi,
+                             std::vector<int64_t>* out) const {
+  const Frozen& f = view_;
+  const double center = f.center[node];
+  const size_t begin = f.slice_begin[node];
+  const size_t end = begin + f.slice_count[node];
+  if (qhi < center) {
     // Only intervals whose lo <= qhi can overlap; by_lo is sorted by lo.
-    for (const auto& iv : node->by_lo) {
-      if (iv.lo > qhi) break;
-      if (iv.Overlaps(qlo, qhi)) out->push_back(iv.payload);
+    for (size_t i = begin; i < end; ++i) {
+      if (f.bylo_lo[i] > qhi) break;
+      if (f.bylo_hi[i] >= qlo && f.bylo_lo[i] <= qhi) {
+        out->push_back(f.bylo_payload[i]);
+      }
     }
-    Query(node->left.get(), qlo, qhi, out);
-  } else if (qlo > node->center) {
-    for (const auto& iv : node->by_hi) {
-      if (iv.hi < qlo) break;
-      if (iv.Overlaps(qlo, qhi)) out->push_back(iv.payload);
+    if (f.left[node] >= 0) {
+      QueryNode(static_cast<size_t>(f.left[node]), qlo, qhi, out);
     }
-    Query(node->right.get(), qlo, qhi, out);
+  } else if (qlo > center) {
+    for (size_t i = begin; i < end; ++i) {
+      if (f.byhi_hi[i] < qlo) break;
+      if (f.byhi_hi[i] >= qlo && f.byhi_lo[i] <= qhi) {
+        out->push_back(f.byhi_payload[i]);
+      }
+    }
+    if (f.right[node] >= 0) {
+      QueryNode(static_cast<size_t>(f.right[node]), qlo, qhi, out);
+    }
   } else {
     // Query straddles the center: every stored interval crosses the
     // center, hence overlaps.
-    for (const auto& iv : node->by_lo) out->push_back(iv.payload);
-    Query(node->left.get(), qlo, qhi, out);
-    Query(node->right.get(), qlo, qhi, out);
+    for (size_t i = begin; i < end; ++i) {
+      out->push_back(f.bylo_payload[i]);
+    }
+    if (f.left[node] >= 0) {
+      QueryNode(static_cast<size_t>(f.left[node]), qlo, qhi, out);
+    }
+    if (f.right[node] >= 0) {
+      QueryNode(static_cast<size_t>(f.right[node]), qlo, qhi, out);
+    }
   }
 }
 
 std::vector<int64_t> IntervalTree::QueryOverlap(double qlo,
                                                 double qhi) const {
   std::vector<int64_t> out;
-  Query(root_.get(), qlo, qhi, &out);
+  if (!view_.center.empty()) QueryNode(0, qlo, qhi, &out);
   return out;
 }
 
@@ -88,13 +206,15 @@ std::vector<int64_t> IntervalTree::QueryPoint(double q) const {
   return QueryOverlap(q, q);
 }
 
-size_t IntervalTree::NodeBytes(const Node* node) {
-  if (node == nullptr) return 0;
-  return sizeof(Node) + (node->by_lo.size() + node->by_hi.size()) *
-                            sizeof(Interval) +
-         NodeBytes(node->left.get()) + NodeBytes(node->right.get());
+size_t IntervalTree::MemoryBytes() const {
+  const Frozen& f = view_;
+  return f.center.size() * sizeof(double) +
+         (f.left.size() + f.right.size()) * sizeof(int32_t) +
+         (f.slice_begin.size() + f.slice_count.size()) * sizeof(uint64_t) +
+         (f.bylo_lo.size() + f.bylo_hi.size() + f.byhi_lo.size() +
+          f.byhi_hi.size()) *
+             sizeof(double) +
+         (f.bylo_payload.size() + f.byhi_payload.size()) * sizeof(int64_t);
 }
-
-size_t IntervalTree::MemoryBytes() const { return NodeBytes(root_.get()); }
 
 }  // namespace fcm::index

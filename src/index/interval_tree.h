@@ -1,13 +1,22 @@
 // Centered interval tree (paper Sec. VI-A): indexes per-column possible
 // value ranges [min(C), sum(C)] so a chart's y-tick range quickly yields
 // the datasets with at least one overlapping column.
+//
+// Storage: the tree is frozen into flat parallel arrays at construction —
+// nodes in preorder (so every child index is strictly greater than its
+// parent's), each node owning a contiguous slice of the interval arrays.
+// Queries run over storage::Span views of those arrays, which lets the
+// identical traversal serve a heap-built tree or one whose arrays live in
+// an mmap'ed snapshot section (IntervalTree::FromFrozen).
 
 #ifndef FCM_INDEX_INTERVAL_TREE_H_
 #define FCM_INDEX_INTERVAL_TREE_H_
 
 #include <cstdint>
-#include <memory>
 #include <vector>
+
+#include "common/result.h"
+#include "storage/span.h"
 
 namespace fcm::index {
 
@@ -23,11 +32,42 @@ struct Interval {
 };
 
 /// Static centered interval tree: O(n log n) build, O(log n + k) stabbing
-/// and overlap queries.
+/// and overlap queries. Copy is disabled (the view aliases the owned
+/// arrays); move is fine (vector moves keep heap buffers alive).
 class IntervalTree {
  public:
-  /// Builds from a set of intervals (copied).
+  /// The frozen columnar layout. One entry per node in the first five
+  /// arrays; the by-lo / by-hi arrays hold every stored interval once
+  /// each, sliced per node via slice_begin/slice_count. by_lo is sorted
+  /// by lo ascending within a slice, by_hi by hi descending.
+  struct Frozen {
+    storage::Span<double> center;
+    storage::Span<int32_t> left;    // Child node index, -1 = none.
+    storage::Span<int32_t> right;
+    storage::Span<uint64_t> slice_begin;
+    storage::Span<uint64_t> slice_count;
+    storage::Span<double> bylo_lo;
+    storage::Span<double> bylo_hi;
+    storage::Span<int64_t> bylo_payload;
+    storage::Span<double> byhi_lo;
+    storage::Span<double> byhi_hi;
+    storage::Span<int64_t> byhi_payload;
+  };
+
+  /// Builds from a set of intervals (copied), then freezes.
   explicit IntervalTree(std::vector<Interval> intervals);
+
+  /// Wraps externally owned frozen arrays (e.g. mmap'ed snapshot
+  /// sections) without copying. Validates structural integrity — array
+  /// length consistency, child indices strictly descending the preorder
+  /// (termination), slice bounds — and fails loudly on any violation.
+  /// The backing memory must outlive the returned tree.
+  static common::Result<IntervalTree> FromFrozen(const Frozen& frozen);
+
+  IntervalTree(const IntervalTree&) = delete;
+  IntervalTree& operator=(const IntervalTree&) = delete;
+  IntervalTree(IntervalTree&&) = default;
+  IntervalTree& operator=(IntervalTree&&) = default;
 
   /// All payloads whose interval overlaps [qlo, qhi] (duplicates possible
   /// when one payload was inserted with several intervals).
@@ -36,28 +76,36 @@ class IntervalTree {
   /// All payloads whose interval contains the point q.
   std::vector<int64_t> QueryPoint(double q) const;
 
+  /// Number of stored intervals.
   size_t size() const { return size_; }
 
+  /// The frozen arrays (for snapshot serialization).
+  const Frozen& frozen() const { return view_; }
+
   /// Approximate memory footprint in bytes (for the Table VIII report).
+  /// Counts the frozen arrays whether owned or file-backed.
   size_t MemoryBytes() const;
 
  private:
-  struct Node {
-    double center = 0.0;
-    /// Intervals crossing the center, sorted by lo ascending.
-    std::vector<Interval> by_lo;
-    /// Same intervals sorted by hi descending.
-    std::vector<Interval> by_hi;
-    std::unique_ptr<Node> left;
-    std::unique_ptr<Node> right;
-  };
+  IntervalTree() = default;
 
-  static std::unique_ptr<Node> Build(std::vector<Interval> intervals);
-  static void Query(const Node* node, double qlo, double qhi,
-                    std::vector<int64_t>* out);
-  static size_t NodeBytes(const Node* node);
+  void QueryNode(size_t node, double qlo, double qhi,
+                 std::vector<int64_t>* out) const;
 
-  std::unique_ptr<Node> root_;
+  // Owned backing (empty when wrapping external frozen memory).
+  std::vector<double> center_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<uint64_t> slice_begin_;
+  std::vector<uint64_t> slice_count_;
+  std::vector<double> bylo_lo_;
+  std::vector<double> bylo_hi_;
+  std::vector<int64_t> bylo_payload_;
+  std::vector<double> byhi_lo_;
+  std::vector<double> byhi_hi_;
+  std::vector<int64_t> byhi_payload_;
+
+  Frozen view_;
   size_t size_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "index/lsh.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -28,12 +29,10 @@ RandomHyperplaneLsh::RandomHyperplaneLsh(int dim, const LshConfig& config)
   FCM_CHECK_LE(config.num_bits, 64);
   FCM_CHECK_GT(config.num_tables, 0);
   common::Rng rng(config.seed);
-  hyperplanes_.resize(
-      static_cast<size_t>(config.num_tables) * config.num_bits);
-  for (auto& h : hyperplanes_) {
-    h.resize(static_cast<size_t>(dim));
-    for (auto& v : h) v = static_cast<float>(rng.Normal());
-  }
+  hyperplane_data_.resize(static_cast<size_t>(config.num_tables) *
+                          config.num_bits * static_cast<size_t>(dim));
+  for (auto& v : hyperplane_data_) v = static_cast<float>(rng.Normal());
+  hyperplanes_view_ = hyperplane_data_;
   int requested = config.num_shards;
   if (requested <= 0) {
     requested =
@@ -49,26 +48,137 @@ RandomHyperplaneLsh::RandomHyperplaneLsh(int dim, const LshConfig& config)
   shards_.resize(static_cast<size_t>(config.num_tables) * num_shards_);
 }
 
+common::Result<RandomHyperplaneLsh> RandomHyperplaneLsh::FromFrozen(
+    int dim, const LshConfig& config, size_t num_items,
+    const Frozen& frozen) {
+  auto bad = [](const std::string& what) {
+    return common::Status::InvalidArgument("lsh frozen data: " + what);
+  };
+  if (dim <= 0 || config.num_bits <= 0 || config.num_bits > 64 ||
+      config.num_tables <= 0 || config.num_shards <= 0 ||
+      (config.num_shards & (config.num_shards - 1)) != 0) {
+    return bad("invalid configuration");
+  }
+  int shard_bits = 0;
+  while ((1 << shard_bits) < config.num_shards) ++shard_bits;
+  if (shard_bits > config.num_bits || shard_bits > 16) {
+    return bad("shard count out of range");
+  }
+  const size_t groups =
+      static_cast<size_t>(config.num_tables) * config.num_shards;
+  if (frozen.hyperplanes.size() != static_cast<size_t>(config.num_tables) *
+                                       config.num_bits *
+                                       static_cast<size_t>(dim)) {
+    return bad("hyperplane block has the wrong size");
+  }
+  if (frozen.group_begin.size() != groups + 1) {
+    return bad("group_begin length does not match table x shard count");
+  }
+  if (frozen.group_begin[0] != 0 ||
+      frozen.group_begin[groups] != frozen.codes.size()) {
+    return bad("group_begin does not span the code array");
+  }
+  for (size_t g = 0; g < groups; ++g) {
+    if (frozen.group_begin[g] > frozen.group_begin[g + 1]) {
+      return bad("group_begin is not monotone");
+    }
+    for (uint64_t i = frozen.group_begin[g] + 1;
+         i < frozen.group_begin[g + 1]; ++i) {
+      if (frozen.codes[i - 1] >= frozen.codes[i]) {
+        return bad("codes are not strictly increasing within a group");
+      }
+    }
+  }
+  if (frozen.payload_begin.size() != frozen.codes.size() + 1) {
+    return bad("payload_begin length does not match the code array");
+  }
+  if (!frozen.payload_begin.empty() &&
+      (frozen.payload_begin[0] != 0 ||
+       frozen.payload_begin.back() != frozen.payloads.size())) {
+    return bad("payload_begin does not span the payload array");
+  }
+  for (size_t i = 0; i + 1 < frozen.payload_begin.size(); ++i) {
+    // Every bucket holds at least one payload (empty buckets are never
+    // created by Insert and would be dropped by Freeze).
+    if (frozen.payload_begin[i] >= frozen.payload_begin[i + 1]) {
+      return bad("payload_begin is not strictly monotone");
+    }
+  }
+
+  RandomHyperplaneLsh lsh;
+  lsh.dim_ = dim;
+  lsh.config_ = config;
+  lsh.num_shards_ = config.num_shards;
+  lsh.shard_bits_ = shard_bits;
+  lsh.hyperplanes_view_ = frozen.hyperplanes;
+  lsh.frozen_ = true;
+  lsh.view_ = frozen;
+  lsh.num_items_ = num_items;
+  return lsh;
+}
+
+void RandomHyperplaneLsh::Freeze() {
+  if (frozen_) return;
+  const size_t groups = shards_.size();
+  group_begin_.assign(groups + 1, 0);
+  codes_.clear();
+  payload_begin_.clear();
+  payloads_.clear();
+  for (size_t g = 0; g < groups; ++g) {
+    group_begin_[g] = codes_.size();
+    // Sorted codes within the group make frozen probes binary searches;
+    // per-bucket payload order (insertion order) is preserved, so the
+    // frozen index answers bit-identically.
+    std::vector<uint64_t> group_codes;
+    group_codes.reserve(shards_[g].size());
+    for (const auto& [code, payloads] : shards_[g]) {
+      group_codes.push_back(code);
+    }
+    std::sort(group_codes.begin(), group_codes.end());
+    for (const uint64_t code : group_codes) {
+      codes_.push_back(code);
+      payload_begin_.push_back(payloads_.size());
+      const auto& bucket = shards_[g].at(code);
+      payloads_.insert(payloads_.end(), bucket.begin(), bucket.end());
+    }
+  }
+  group_begin_[groups] = codes_.size();
+  payload_begin_.push_back(payloads_.size());
+  shards_.clear();
+  shards_.shrink_to_fit();
+  frozen_ = true;
+  view_ = Frozen{hyperplanes_view_, group_begin_, codes_, payload_begin_,
+                 payloads_};
+}
+
+const RandomHyperplaneLsh::Frozen& RandomHyperplaneLsh::frozen_view() const {
+  FCM_CHECK(frozen_);
+  return view_;
+}
+
 size_t RandomHyperplaneLsh::ShardOf(uint64_t code) const {
   return shard_bits_ == 0
              ? 0
              : static_cast<size_t>(code >> (config_.num_bits - shard_bits_));
 }
 
-uint64_t RandomHyperplaneLsh::Code(const std::vector<float>& embedding,
-                                   int table) const {
-  FCM_CHECK_EQ(static_cast<int>(embedding.size()), dim_);
+uint64_t RandomHyperplaneLsh::CodeRaw(const float* embedding,
+                                      int table) const {
   const auto& kernels = simd::Active();
   uint64_t code = 0;
   for (int b = 0; b < config_.num_bits; ++b) {
-    const auto& h =
-        hyperplanes_[static_cast<size_t>(table) * config_.num_bits + b];
-    const float dot = kernels.dot_f32(h.data(), embedding.data(),
+    const float dot = kernels.dot_f32(Hyperplane(table, b), embedding,
                                       static_cast<size_t>(dim_));
     // The sign of the dot product rounds the cosine similarity to a bit.
     if (dot >= 0.0f) code |= (1ULL << b);
   }
   return code;
+}
+
+uint64_t RandomHyperplaneLsh::Code(const std::vector<float>& embedding,
+                                   int table) const {
+  FCM_CHECK_EQ(static_cast<int>(embedding.size()), dim_);
+  return CodeRaw(embedding.data(), table);
 }
 
 void RandomHyperplaneLsh::InsertCoded(int t, uint64_t code, int64_t payload) {
@@ -80,6 +190,7 @@ void RandomHyperplaneLsh::InsertCoded(int t, uint64_t code, int64_t payload) {
 
 void RandomHyperplaneLsh::Insert(const std::vector<float>& embedding,
                                  int64_t payload) {
+  FCM_CHECK(!frozen_);
   for (int t = 0; t < config_.num_tables; ++t) {
     InsertCoded(t, Code(embedding, t), payload);
   }
@@ -88,11 +199,17 @@ void RandomHyperplaneLsh::Insert(const std::vector<float>& embedding,
 
 void RandomHyperplaneLsh::InsertBatch(const std::vector<LshInsertItem>& items,
                                       common::ThreadPool* pool) {
+  FCM_CHECK(!frozen_);
   if (items.empty()) return;
   if (pool == nullptr || num_shards_ == 1) {
     // A single shard has no per-shard locality to exploit: keep the legacy
     // serial build, which `num_shards == 1` promises to reproduce exactly.
-    for (const auto& item : items) Insert(*item.embedding, item.payload);
+    for (const auto& item : items) {
+      for (int t = 0; t < config_.num_tables; ++t) {
+        InsertCoded(t, CodeRaw(item.embedding, t), item.payload);
+      }
+      ++num_items_;
+    }
     return;
   }
   const size_t tables = static_cast<size_t>(config_.num_tables);
@@ -101,7 +218,7 @@ void RandomHyperplaneLsh::InsertBatch(const std::vector<LshInsertItem>& items,
   std::vector<uint64_t> codes(items.size() * tables);
   pool->ParallelFor(items.size(), [&](size_t i) {
     for (size_t t = 0; t < tables; ++t) {
-      codes[i * tables + t] = Code(*items[i].embedding, static_cast<int>(t));
+      codes[i * tables + t] = CodeRaw(items[i].embedding, static_cast<int>(t));
     }
   });
   // Stage 2: (table, shard) tasks insert the pairs routed to them. Within
@@ -126,12 +243,32 @@ void RandomHyperplaneLsh::ProbeTable(int table, uint64_t code,
   // so the home shard takes the bulk of the lookups consecutively and
   // each top-bit flip then touches exactly one foreign shard. The final
   // sorted-unique merge makes the visit order invisible to callers.
-  const auto probe_one = [&](uint64_t probe) {
+  const auto probe_frozen = [&](uint64_t probe) {
+    const size_t g =
+        static_cast<size_t>(table) * num_shards_ + ShardOf(probe);
+    const uint64_t* begin = view_.codes.data() + view_.group_begin[g];
+    const uint64_t* end = view_.codes.data() + view_.group_begin[g + 1];
+    const uint64_t* it = std::lower_bound(begin, end, probe);
+    if (it == end || *it != probe) return;
+    const size_t bucket = static_cast<size_t>(it - view_.codes.data());
+    const uint64_t lo = view_.payload_begin[bucket];
+    const uint64_t hi = view_.payload_begin[bucket + 1];
+    out->insert(out->end(), view_.payloads.data() + lo,
+                view_.payloads.data() + hi);
+  };
+  const auto probe_map = [&](uint64_t probe) {
     const auto& buckets =
         shards_[static_cast<size_t>(table) * num_shards_ + ShardOf(probe)];
     auto it = buckets.find(probe);
     if (it == buckets.end()) return;
     out->insert(out->end(), it->second.begin(), it->second.end());
+  };
+  const auto probe_one = [&](uint64_t probe) {
+    if (frozen_) {
+      probe_frozen(probe);
+    } else {
+      probe_map(probe);
+    }
   };
   probe_one(code);
   if (config_.probe_hamming1) {
@@ -180,8 +317,14 @@ std::vector<std::vector<int64_t>> RandomHyperplaneLsh::QueryBatch(
 }
 
 size_t RandomHyperplaneLsh::MemoryBytes() const {
-  size_t bytes = hyperplanes_.size() * static_cast<size_t>(dim_) *
-                 sizeof(float);
+  size_t bytes = hyperplanes_view_.size() * sizeof(float);
+  if (frozen_) {
+    bytes += (view_.group_begin.size() + view_.codes.size() +
+              view_.payload_begin.size()) *
+                 sizeof(uint64_t) +
+             view_.payloads.size() * sizeof(int64_t);
+    return bytes;
+  }
   for (const auto& shard : shards_) {
     for (const auto& [code, payloads] : shard) {
       bytes += sizeof(code) + payloads.size() * sizeof(int64_t) + 32;

@@ -11,6 +11,14 @@
 // Query results are independent of the shard count and thread count;
 // `num_shards == 1` reproduces the unsharded layout (and serial build)
 // exactly.
+//
+// Lifecycle: build (hash-map buckets, mutable) -> Freeze() (buckets
+// rewritten into CSR-style flat arrays, maps discarded) -> serve. Frozen
+// probes binary-search sorted code arrays through storage::Span views, so
+// the same probe code serves a heap-frozen index or one whose arrays live
+// in an mmap'ed snapshot (FromFrozen). Query results are bit-identical
+// across all three states — SortedUnique makes probe order invisible and
+// per-bucket payload order is preserved by the freeze.
 
 #ifndef FCM_INDEX_LSH_H_
 #define FCM_INDEX_LSH_H_
@@ -19,8 +27,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "storage/span.h"
 
 namespace fcm::index {
 
@@ -41,23 +51,52 @@ struct LshConfig {
   int num_shards = 0;
 };
 
-/// One item of a batched build; `embedding` must outlive the InsertBatch
-/// call.
+/// One item of a batched build; the embedding memory (dim floats) must
+/// outlive the InsertBatch call.
 struct LshInsertItem {
-  const std::vector<float>* embedding = nullptr;
+  const float* embedding = nullptr;
   int64_t payload = 0;
 };
 
 /// Cosine LSH over dense float vectors with int64 payloads (table ids).
 class RandomHyperplaneLsh {
  public:
+  /// The frozen columnar bucket layout. Buckets are grouped by
+  /// group = table * num_shards + shard; within a group codes are sorted
+  /// ascending. group_begin (size groups + 1) slices `codes`;
+  /// payload_begin (size codes + 1) slices `payloads`, which preserve
+  /// per-bucket insertion order.
+  struct Frozen {
+    /// hyperplanes[(table * num_bits + bit) * dim + d].
+    storage::Span<float> hyperplanes;
+    storage::Span<uint64_t> group_begin;
+    storage::Span<uint64_t> codes;
+    storage::Span<uint64_t> payload_begin;
+    storage::Span<int64_t> payloads;
+  };
+
   /// `dim` is the embedding dimensionality.
   RandomHyperplaneLsh(int dim, const LshConfig& config);
+
+  /// Wraps externally owned frozen arrays (e.g. mmap'ed snapshot
+  /// sections) without copying. `config.num_shards` must be the resolved
+  /// power-of-two shard count. Validates array-length consistency,
+  /// offset monotonicity and in-group code ordering; fails loudly
+  /// otherwise. The backing memory must outlive the returned index.
+  static common::Result<RandomHyperplaneLsh> FromFrozen(
+      int dim, const LshConfig& config, size_t num_items,
+      const Frozen& frozen);
+
+  RandomHyperplaneLsh(const RandomHyperplaneLsh&) = delete;
+  RandomHyperplaneLsh& operator=(const RandomHyperplaneLsh&) = delete;
+  RandomHyperplaneLsh(RandomHyperplaneLsh&&) = default;
+  RandomHyperplaneLsh& operator=(RandomHyperplaneLsh&&) = default;
 
   /// Indexes `payload` under `embedding` (one call per column). Adjacent
   /// duplicate payloads within a bucket — several columns of one table
   /// colliding — are dropped: they cannot change Query results (which
-  /// dedup) and would only inflate memory and probe cost.
+  /// dedup) and would only inflate memory and probe cost. Requires an
+  /// unfrozen index.
   void Insert(const std::vector<float>& embedding, int64_t payload);
 
   /// Indexes every item with the build fanned out across `pool`: codes are
@@ -66,9 +105,20 @@ class RandomHyperplaneLsh {
   /// exclusively and visiting items in item order. The resulting layout is
   /// identical to calling Insert serially in item order, whatever the
   /// schedule. With a single shard or a null pool the build runs that
-  /// serial loop directly (the pre-sharding behaviour).
+  /// serial loop directly (the pre-sharding behaviour). Requires an
+  /// unfrozen index.
   void InsertBatch(const std::vector<LshInsertItem>& items,
                    common::ThreadPool* pool);
+
+  /// Rewrites the hash-map buckets into the flat frozen layout and
+  /// discards the maps. Inserts are rejected afterwards; queries return
+  /// exactly what they returned before freezing. Idempotent.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// The frozen arrays (for snapshot serialization). Requires frozen().
+  const Frozen& frozen_view() const;
 
   /// Binary code of an embedding in hash table `table`.
   uint64_t Code(const std::vector<float>& embedding, int table) const;
@@ -97,8 +147,19 @@ class RandomHyperplaneLsh {
  private:
   using BucketMap = std::unordered_map<uint64_t, std::vector<int64_t>>;
 
+  RandomHyperplaneLsh() = default;
+
   /// Shard a code routes to: its top shard-bits prefix.
   size_t ShardOf(uint64_t code) const;
+
+  /// The hyperplane for (table, bit): `dim_` floats.
+  const float* Hyperplane(int table, int bit) const {
+    return hyperplanes_view_.data() +
+           (static_cast<size_t>(table) * config_.num_bits + bit) *
+               static_cast<size_t>(dim_);
+  }
+
+  uint64_t CodeRaw(const float* embedding, int table) const;
 
   /// Appends `payload` to table `t`'s bucket for `code`, dropping adjacent
   /// duplicates.
@@ -110,14 +171,28 @@ class RandomHyperplaneLsh {
   /// shard-prefix bit flip.
   void ProbeTable(int table, uint64_t code, std::vector<int64_t>* out) const;
 
-  int dim_;
+  int dim_ = 0;
   LshConfig config_;
   int num_shards_ = 1;  // Power of two.
   int shard_bits_ = 0;  // log2(num_shards_), <= config_.num_bits.
-  /// hyperplanes_[table * num_bits + bit] is one random vector.
-  std::vector<std::vector<float>> hyperplanes_;
-  /// shards_[table * num_shards_ + shard]: that shard's code -> payloads.
+
+  /// Owned hyperplane block (empty when file-backed); hyperplanes_view_
+  /// is the single access path either way.
+  std::vector<float> hyperplane_data_;
+  storage::Span<float> hyperplanes_view_;
+
+  /// Build-phase buckets: shards_[table * num_shards_ + shard] maps
+  /// code -> payloads. Cleared by Freeze().
   std::vector<BucketMap> shards_;
+
+  /// Frozen layout: owned arrays (empty when file-backed) + the view.
+  bool frozen_ = false;
+  std::vector<uint64_t> group_begin_;
+  std::vector<uint64_t> codes_;
+  std::vector<uint64_t> payload_begin_;
+  std::vector<int64_t> payloads_;
+  Frozen view_;
+
   size_t num_items_ = 0;
 };
 

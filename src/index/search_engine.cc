@@ -90,30 +90,44 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   const auto t_encode = std::chrono::steady_clock::now();
   const auto& tables = lake_->tables();
   entries_.assign(lake_->size(), {});
+  // Per-table mean vectors land in scratch first (the parallel tasks
+  // cannot append to the shared block); a serial pass then flattens them
+  // into the engine-wide means block in table-id order.
+  std::vector<std::vector<std::vector<float>>> scratch_means(lake_->size());
   pool_->ParallelFor(tables.size(), [&](size_t i) {
     const auto& t = tables[i];
+    const auto id = static_cast<size_t>(t.id());
     TableEntry entry;
     entry.encoding = core::FcmModel::Detach(model_->EncodeDataset(t));
-    entry.column_means.reserve(entry.encoding.size());
+    auto& means = scratch_means[id];
+    means.reserve(entry.encoding.size());
     for (const auto& enc : entry.encoding) {
-      entry.column_means.push_back(MeanEmbedding(enc.representation));
+      means.push_back(MeanEmbedding(enc.representation));
     }
     if (options_.index_x_derivations) {
       // Sec. VI-B: derive T' per candidate x column and encode each.
       for (const auto& derived : table::AllXAxisDerivations(
                t, static_cast<size_t>(options_.x_derivation_grid))) {
         auto rep = core::FcmModel::Detach(model_->EncodeDataset(derived));
-        std::vector<std::vector<float>> means;
-        means.reserve(rep.size());
         for (const auto& enc : rep) {
           means.push_back(MeanEmbedding(enc.representation));
         }
         entry.derivations.push_back(std::move(rep));
-        entry.derivation_means.push_back(std::move(means));
       }
     }
-    entries_[static_cast<size_t>(t.id())] = std::move(entry);
+    entries_[id] = std::move(entry);
   });
+  const size_t embed_dim = static_cast<size_t>(model_->config().embed_dim);
+  means_data_.clear();
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    entries_[id].mean_begin = means_data_.size() / embed_dim;
+    entries_[id].num_means = scratch_means[id].size();
+    for (const auto& mean : scratch_means[id]) {
+      means_data_.insert(means_data_.end(), mean.begin(), mean.end());
+    }
+  }
+  scratch_means.clear();
+  means_view_ = means_data_;
   build_stats_.encode_seconds = Seconds(t_encode);
 
   // Interval tree over per-column possible ranges [min(C), sum(C)] —
@@ -151,16 +165,15 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   std::vector<LshInsertItem> items;
   for (const auto& t : lake_->tables()) {
     const auto& entry = entries_[static_cast<size_t>(t.id())];
-    for (const auto& mean : entry.column_means) {
-      items.push_back({&mean, t.id()});
-    }
-    for (const auto& means : entry.derivation_means) {
-      for (const auto& mean : means) {
-        items.push_back({&mean, t.id()});
-      }
+    for (size_t m = 0; m < entry.num_means; ++m) {
+      items.push_back(
+          {means_view_.data() + (entry.mean_begin + m) * embed_dim, t.id()});
     }
   }
   lsh_->InsertBatch(items, pool_.get());
+  // Freeze rewrites the hash-map buckets into the flat CSR arrays the
+  // serving path (and SaveSnapshot) reads; query results are unchanged.
+  lsh_->Freeze();
   build_stats_.lsh_build_seconds = Seconds(t_lsh);
   build_stats_.lsh_memory_bytes = lsh_->MemoryBytes();
   build_stats_.lsh_shards = lsh_->num_shards();
@@ -176,7 +189,8 @@ std::vector<table::TableId> SearchEngine::Candidates(
     const vision::ExtractedChart& query, IndexStrategy strategy,
     const std::vector<int64_t>* line_hits, size_t num_line_hits) const {
   if (strategy == IndexStrategy::kNoIndex) {
-    std::vector<table::TableId> all(lake_->size());
+    // entries_, not the lake: a snapshot-opened engine serves without one.
+    std::vector<table::TableId> all(entries_.size());
     for (size_t i = 0; i < all.size(); ++i) {
       all[i] = static_cast<table::TableId>(i);
     }

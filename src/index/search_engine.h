@@ -13,12 +13,16 @@
 #define FCM_INDEX_SEARCH_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/fcm_model.h"
 #include "index/interval_tree.h"
 #include "index/lsh.h"
+#include "storage/snapshot.h"
+#include "storage/span.h"
 #include "table/data_lake.h"
 #include "vision/extracted_chart.h"
 
@@ -79,8 +83,27 @@ struct SearchEngineOptions {
   int num_threads = 0;
 };
 
+/// Options for SearchEngine::OpenSnapshot.
+struct SnapshotOpenOptions {
+  /// Worker threads for query-time scoring; <= 0 uses the hardware
+  /// concurrency.
+  int num_threads = 0;
+  /// Serve the numeric index arrays straight out of a read-only mmap of
+  /// the snapshot file (zero-copy); false reads the file onto the heap.
+  bool use_mmap = true;
+};
+
 /// Owns the per-table FCM encodings (computed once, detached) plus both
 /// index structures; model and lake must outlive the engine.
+///
+/// Lifecycle: Build/BuildWithOptions encodes the lake and freezes every
+/// index structure into flat columnar arrays (LSH CSR buckets, interval
+/// tree node arrays, one contiguous mean-embedding block). SaveSnapshot
+/// persists that frozen state; OpenSnapshot serves a saved engine with
+/// the numeric arrays read zero-copy out of an mmap'ed snapshot — and
+/// ranks bit-identically to the freshly built engine under Search,
+/// SearchBatch, and async coalescing, because both run the same query
+/// code over the same frozen views.
 class SearchEngine {
  public:
   SearchEngine(const core::FcmModel* model, const table::DataLake* lake);
@@ -90,6 +113,24 @@ class SearchEngine {
 
   /// Build with full options (x-derivation indexing, thread count etc.).
   void BuildWithOptions(const SearchEngineOptions& options);
+
+  /// Persists the built engine — model weights, frozen LSH + interval
+  /// tree arrays, mean-embedding block, column encodings — as one
+  /// versioned, checksummed snapshot file (see storage/snapshot.h).
+  /// Atomic: a crash mid-save never leaves a torn file. Requires a built
+  /// engine.
+  common::Status SaveSnapshot(const std::string& path) const;
+
+  /// Opens a snapshot for serving. The returned engine is fully
+  /// self-contained (it owns the model reconstructed from the snapshot,
+  /// needs no data lake) and answers every query bit-identically to the
+  /// engine that saved the snapshot. LSH buckets, interval-tree arrays,
+  /// hyperplanes, and mean embeddings are served zero-copy from the mmap;
+  /// column-encoding tensors are materialized at open (the nn substrate
+  /// owns its buffers). Any corruption or version mismatch fails loudly.
+  static common::Result<std::unique_ptr<SearchEngine>> OpenSnapshot(
+      const std::string& path,
+      const SnapshotOpenOptions& options = SnapshotOpenOptions());
 
   /// Top-k search with the chosen pruning strategy. `k <= 0` asks for
   /// nothing and returns an empty ranking (candidates are still pruned and
@@ -181,14 +222,18 @@ class SearchEngine {
   static std::vector<float> MeanEmbedding(const nn::Tensor& rep);
 
  private:
-  /// Everything cached for one table: detached encodings plus each
-  /// encoding's mean embedding, computed once at build time (the means
-  /// feed every LSH insert instead of being recomputed per insert).
+  /// Everything cached for one table: detached encodings plus the slice
+  /// of the engine-wide mean-embedding block holding this table's mean
+  /// embeddings (column means first, then each derivation's, computed
+  /// once at build time — the means feed every LSH insert instead of
+  /// being recomputed per insert).
   struct TableEntry {
     core::DatasetRepresentation encoding;
-    std::vector<std::vector<float>> column_means;  // Parallel to encoding.
     std::vector<core::DatasetRepresentation> derivations;
-    std::vector<std::vector<std::vector<float>>> derivation_means;
+    /// First mean vector of this table in the means block, and how many
+    /// follow (each is embed_dim floats).
+    size_t mean_begin = 0;
+    size_t num_means = 0;
   };
 
   /// Candidate ids for one query under `strategy`, sorted ascending:
@@ -210,13 +255,24 @@ class SearchEngine {
                       double* score) const;
 
   const core::FcmModel* model_;
-  const table::DataLake* lake_;
+  const table::DataLake* lake_;  // Null for a snapshot-opened engine.
   SearchEngineOptions options_;
   std::vector<TableEntry> entries_;  // Indexed by table id.
   std::unique_ptr<IntervalTree> interval_tree_;
   std::unique_ptr<RandomHyperplaneLsh> lsh_;
   std::unique_ptr<common::ThreadPool> pool_;
   BuildStats build_stats_;
+
+  /// Mean-embedding block: num_means x embed_dim floats, tables in id
+  /// order. Owned after Build; a zero-copy view into the snapshot after
+  /// OpenSnapshot.
+  std::vector<float> means_data_;
+  storage::Span<float> means_view_;
+
+  /// Snapshot-opened engines own their model and keep the reader (and
+  /// with it the mmap every frozen view points into) alive.
+  std::unique_ptr<core::FcmModel> owned_model_;
+  std::unique_ptr<storage::SnapshotReader> snapshot_;
 };
 
 }  // namespace fcm::index

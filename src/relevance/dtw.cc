@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "common/check.h"
 #include "common/math_util.h"
 #include "common/simd.h"
 
@@ -140,6 +141,73 @@ double DtwLowerBound(const std::vector<double>& a,
   const size_t band = BandWidth(options, x.size(), y.size());
   return std::max(EnvelopeLowerBound(x, y, band, kInf),
                   EnvelopeLowerBound(y, x, band, kInf));
+}
+
+size_t DtwBandWidth(const DtwOptions& options, size_t n, size_t m) {
+  return BandWidth(options, n, m);
+}
+
+SeriesEnvelope ComputeSeriesEnvelope(const std::vector<double>& y_raw,
+                                     size_t n, const DtwOptions& options) {
+  SeriesEnvelope env;
+  if (y_raw.empty() || n == 0) return env;
+  std::vector<double> yn;
+  if (options.z_normalize) yn = ZNormalize(y_raw);
+  const std::vector<double>& y = options.z_normalize ? yn : y_raw;
+  const size_t m = y.size();
+  const size_t band = BandWidth(options, n, m);
+  env.upper.resize(n);
+  env.lower.resize(n);
+  // Same monotonic-deque walk as EnvelopeLowerBound, values recorded
+  // instead of consumed — the tabulated envelope is bit-identical to what
+  // the streaming pass sees.
+  std::deque<size_t> max_q, min_q;
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = (i > band) ? i - band : 0;
+    const size_t j_hi = std::min(m - 1, i + band);
+    while (next <= j_hi) {
+      while (!max_q.empty() && y[max_q.back()] <= y[next]) max_q.pop_back();
+      max_q.push_back(next);
+      while (!min_q.empty() && y[min_q.back()] >= y[next]) min_q.pop_back();
+      min_q.push_back(next);
+      ++next;
+    }
+    while (max_q.front() < j_lo) max_q.pop_front();
+    while (min_q.front() < j_lo) min_q.pop_front();
+    env.upper[i] = y[max_q.front()];
+    env.lower[i] = y[min_q.front()];
+  }
+  return env;
+}
+
+double DtwLowerBoundWithEnvelope(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const SeriesEnvelope& b_envelope,
+                                 const DtwOptions& options) {
+  if (a.empty() || b.empty()) return kInf;
+  FCM_CHECK_EQ(b_envelope.upper.size(), a.size());
+  std::vector<double> xn, yn;
+  if (options.z_normalize) {
+    xn = ZNormalize(a);
+    yn = ZNormalize(b);
+  }
+  const std::vector<double>& x = options.z_normalize ? xn : a;
+  const std::vector<double>& y = options.z_normalize ? yn : b;
+  // x against b's cached envelope: the identical accumulation (and the
+  // identical per-position envelope values) as the streaming direction of
+  // DtwLowerBound.
+  double lb = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double hi = b_envelope.upper[i], lo = b_envelope.lower[i];
+    if (x[i] > hi) {
+      lb += x[i] - hi;
+    } else if (x[i] < lo) {
+      lb += lo - x[i];
+    }
+  }
+  const size_t band = BandWidth(options, x.size(), y.size());
+  return std::max(lb, EnvelopeLowerBound(y, x, band, kInf));
 }
 
 double LowLevelRelevance(const std::vector<double>& d,

@@ -48,6 +48,38 @@ double DtwLowerBound(const std::vector<double>& a,
                      const std::vector<double>& b,
                      const DtwOptions& options = {});
 
+/// Band half-width DtwDistance uses for series of lengths n and m under
+/// `options`: at least |n - m| so a valid alignment exists, max(n, m)
+/// when the band is disabled.
+size_t DtwBandWidth(const DtwOptions& options, size_t n, size_t m);
+
+/// Tabulated banded min/max envelope of one series, the query-independent
+/// half of the LB_Keogh bound: upper[i] / lower[i] are the max / min of
+/// the series over the window [i - band, i + band] for every alignment
+/// position i of an opposite series of length n. Compute once per
+/// (candidate series, opposite length) and reuse across queries.
+struct SeriesEnvelope {
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+
+/// Tabulates `y`'s envelope for opposite-series length n, applying the
+/// band and z-normalization implied by `options` — exactly the values
+/// DtwLowerBound's streaming pass derives on the fly. Empty `y` or n == 0
+/// gives an empty envelope.
+SeriesEnvelope ComputeSeriesEnvelope(const std::vector<double>& y, size_t n,
+                                     const DtwOptions& options = {});
+
+/// DtwLowerBound(a, b, options) with b's side of the bound answered from
+/// `b_envelope` (which must have been built by ComputeSeriesEnvelope(b,
+/// a.size(), options)) instead of a fresh streaming pass. Bit-identical
+/// to DtwLowerBound — same per-position envelope values, same summation
+/// order — just cheaper when b's envelope is cached across queries.
+double DtwLowerBoundWithEnvelope(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const SeriesEnvelope& b_envelope,
+                                 const DtwOptions& options = {});
+
 /// Low-level relevance rel(d, C) = 1 / (1 + DTW(d, C)) in (0, 1]. With a
 /// finite abandon_above, pairs whose relevance falls below
 /// 1 / (1 + abandon_above) may return 0 instead of their tiny exact value.

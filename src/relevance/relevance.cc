@@ -10,6 +10,9 @@ namespace {
 /// Per-pair caps on rel(d_i, C_j) from the O(n + m) envelope bound:
 /// DTW >= DtwLowerBound, so rel = 1 / (1 + DTW) <= 1 / (1 + LB).
 /// Excluded columns get -1 ("never match"), mirroring RelevanceMatrix.
+/// With an envelope cache the candidate-side envelope is looked up instead
+/// of recomputed; DtwLowerBoundWithEnvelope guarantees the bound itself is
+/// bit-identical either way.
 std::vector<std::vector<double>> WeightCaps(const table::UnderlyingData& d,
                                             const table::Table& t,
                                             const RelevanceOptions& options) {
@@ -22,8 +25,17 @@ std::vector<std::vector<double>> WeightCaps(const table::UnderlyingData& d,
         caps[i][j] = -1.0;
         continue;
       }
-      caps[i][j] =
-          1.0 / (1.0 + DtwLowerBound(d[i].y, t.column(j).values, options.dtw));
+      double lb;
+      if (options.envelope_cache != nullptr && !d[i].y.empty() &&
+          !t.column(j).values.empty()) {
+        const SeriesEnvelope& env =
+            options.envelope_cache->Get(t, j, d[i].y.size(), options.dtw);
+        lb = DtwLowerBoundWithEnvelope(d[i].y, t.column(j).values, env,
+                                       options.dtw);
+      } else {
+        lb = DtwLowerBound(d[i].y, t.column(j).values, options.dtw);
+      }
+      caps[i][j] = 1.0 / (1.0 + lb);
     }
   }
   return caps;
@@ -45,6 +57,20 @@ double CapTotal(const std::vector<std::vector<double>>& caps,
 }
 
 }  // namespace
+
+const SeriesEnvelope& EnvelopeCache::Get(const table::Table& t, size_t column,
+                                         size_t n, const DtwOptions& options) {
+  const Key key{t.id(), static_cast<uint64_t>(column),
+                static_cast<uint64_t>(n)};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(key,
+                      ComputeSeriesEnvelope(t.column(column).values, n, options))
+             .first;
+  }
+  return it->second;
+}
 
 std::vector<std::vector<double>> RelevanceMatrix(
     const table::UnderlyingData& d, const table::Table& t,

@@ -5,6 +5,9 @@
 #ifndef FCM_RELEVANCE_RELEVANCE_H_
 #define FCM_RELEVANCE_RELEVANCE_H_
 
+#include <cstdint>
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "relevance/dtw.h"
@@ -14,6 +17,36 @@
 
 namespace fcm::rel {
 
+/// Cross-query cache of candidate-side LB_Keogh envelopes. The envelope of
+/// a table column depends only on (column values, opposite-series length,
+/// DtwOptions) — never on the query's values — so bulk scans that probe
+/// the same lake with many queries of the same resampled length rebuild
+/// identical envelopes per query. Keyed by (table id, column index,
+/// opposite length); entries are computed on first use and reused verbatim
+/// afterwards, so the cached bound is bit-identical to the uncached one.
+///
+/// Caveats: keys on Table::id(), so distinct tables must carry distinct
+/// ids and a table's columns must not change while cached. All lookups
+/// must use the same DtwOptions (band_fraction / z_normalize) — the
+/// options are not part of the key. Not thread-safe; use one cache per
+/// scan thread.
+class EnvelopeCache {
+ public:
+  /// The envelope of t.column(column) for opposite-series length n,
+  /// computed via ComputeSeriesEnvelope on first use.
+  const SeriesEnvelope& Get(const table::Table& t, size_t column, size_t n,
+                            const DtwOptions& options);
+
+  /// Number of cached envelopes.
+  size_t size() const { return cache_.size(); }
+
+  void clear() { cache_.clear(); }
+
+ private:
+  using Key = std::tuple<int64_t, uint64_t, uint64_t>;
+  std::map<Key, SeriesEnvelope> cache_;
+};
+
 /// Options for Rel(D, T) computation.
 struct RelevanceOptions {
   DtwOptions dtw;
@@ -22,6 +55,11 @@ struct RelevanceOptions {
   /// Normalize the matched weight sum by the number of data series so that
   /// Rel is comparable across charts with different line counts.
   bool normalize_by_series = true;
+  /// Optional (not owned, may be null) envelope cache consulted by the
+  /// pruning bounds in RelevanceUpperBound / PrunedRelevance. Purely a
+  /// speed knob: scores and pruning decisions are bit-identical with or
+  /// without it. See EnvelopeCache for the sharing rules.
+  EnvelopeCache* envelope_cache = nullptr;
 };
 
 /// The bipartite relevance matrix: rel(d_i, C_j) for every series/column

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-section
+// integrity check of the snapshot format. Table-driven, byte-at-a-time;
+// snapshot validation is a one-time open cost, so simplicity wins over a
+// slicing-by-8 variant.
+
+#ifndef FCM_STORAGE_CRC32_H_
+#define FCM_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fcm::storage {
+
+/// CRC-32 of `n` bytes. `seed` chains partial computations:
+/// Crc32(ab) == Crc32(b, n_b, Crc32(a, n_a)).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace fcm::storage
+
+#endif  // FCM_STORAGE_CRC32_H_

@@ -1,0 +1,304 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/serialize.h"
+#include "storage/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FCM_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace fcm::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'C', 'M', 'S', 'N', 'A', 'P', '\0'};
+constexpr size_t kHeaderBytes = 64;
+constexpr size_t kEntryBytes = 48;
+constexpr size_t kNameBytes = 24;
+
+size_t AlignUp(size_t v, size_t a) { return (v + a - 1) / a * a; }
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+common::Status Corrupt(const std::string& what) {
+  return common::Status::InvalidArgument("snapshot: " + what);
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(const std::string& name, const void* data,
+                                size_t bytes) {
+  FCM_CHECK(!name.empty());
+  FCM_CHECK_LE(name.size(), kSnapshotMaxNameLength);
+  for (const auto& s : sections_) FCM_CHECK(s.name != name);
+  Section section;
+  section.name = name;
+  const auto* p = static_cast<const uint8_t*>(data);
+  section.bytes.assign(p, p + bytes);
+  sections_.push_back(std::move(section));
+}
+
+std::vector<uint8_t> SnapshotWriter::Serialize() const {
+  const size_t table_offset = kHeaderBytes;
+  const size_t table_bytes = sections_.size() * kEntryBytes;
+  // Assign each section the next aligned offset.
+  std::vector<size_t> offsets(sections_.size());
+  size_t cursor = AlignUp(table_offset + table_bytes, kSnapshotAlignment);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    offsets[i] = cursor;
+    cursor = AlignUp(cursor + sections_[i].bytes.size(), kSnapshotAlignment);
+  }
+  // The file ends right after the last section's payload — the final
+  // alignment hop is not emitted (nothing follows it).
+  size_t file_bytes = table_offset + table_bytes;
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    file_bytes = std::max(file_bytes, offsets[i] + sections_[i].bytes.size());
+  }
+
+  std::vector<uint8_t> out(file_bytes, 0);
+  // Section table.
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    uint8_t* e = out.data() + table_offset + i * kEntryBytes;
+    std::memcpy(e, sections_[i].name.data(), sections_[i].name.size());
+    PutU64(e + kNameBytes, offsets[i]);
+    PutU64(e + kNameBytes + 8, sections_[i].bytes.size());
+    PutU32(e + kNameBytes + 16,
+           Crc32(sections_[i].bytes.data(), sections_[i].bytes.size()));
+    // Trailing u32 stays zero (validated by the reader).
+  }
+  // Payloads.
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    std::memcpy(out.data() + offsets[i], sections_[i].bytes.data(),
+                sections_[i].bytes.size());
+  }
+  // Header (last: it checksums the section table).
+  uint8_t* h = out.data();
+  std::memcpy(h, kMagic, sizeof(kMagic));
+  PutU32(h + 8, kSnapshotFormatVersion);
+  PutU32(h + 12, static_cast<uint32_t>(sections_.size()));
+  PutU64(h + 16, file_bytes);
+  PutU64(h + 24, table_offset);
+  PutU32(h + 32, Crc32(out.data() + table_offset, table_bytes));
+  PutU32(h + 60, Crc32(h, 60));
+  return out;
+}
+
+common::Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  const std::vector<uint8_t> image = Serialize();
+  common::BinaryWriter writer;
+  writer.WriteBytes(image.data(), image.size());
+  return writer.SaveToFile(path);
+}
+
+SnapshotReader::~SnapshotReader() {
+#ifdef FCM_SNAPSHOT_HAS_MMAP
+  if (mmap_base_ != nullptr) munmap(mmap_base_, mmap_length_);
+#endif
+}
+
+common::Result<std::unique_ptr<SnapshotReader>> SnapshotReader::Open(
+    const std::string& path, const Options& options) {
+  std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
+#ifdef FCM_SNAPSHOT_HAS_MMAP
+  if (options.use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return common::Status::IoError("snapshot: cannot open " + path);
+    }
+    struct stat st;
+    if (fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return common::Status::IoError("snapshot: cannot stat " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    // mmap of an empty file is invalid; size-0 files fail header checks
+    // below through the heap path instead.
+    if (size > 0) {
+      void* base = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (base == MAP_FAILED) {
+        return common::Status::IoError("snapshot: mmap failed for " + path);
+      }
+      reader->mmap_base_ = base;
+      reader->mmap_length_ = size;
+      reader->data_ = static_cast<const uint8_t*>(base);
+      reader->size_ = size;
+      auto status = reader->Validate();
+      if (!status.ok()) return status;
+      return reader;
+    }
+    ::close(fd);
+    return Corrupt("file is empty: " + path);
+  }
+#endif
+  auto buf = common::BinaryReader::LoadFileBytes(path);
+  if (!buf.ok()) return buf.status();
+  reader->heap_ = std::move(buf).ValueOrDie();
+  reader->data_ = reader->heap_.data();
+  reader->size_ = reader->heap_.size();
+  auto status = reader->Validate();
+  if (!status.ok()) return status;
+  return reader;
+}
+
+common::Result<std::unique_ptr<SnapshotReader>>
+SnapshotReader::OpenFromBuffer(std::vector<uint8_t> buffer) {
+  std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
+  reader->heap_ = std::move(buffer);
+  reader->data_ = reader->heap_.data();
+  reader->size_ = reader->heap_.size();
+  auto status = reader->Validate();
+  if (!status.ok()) return status;
+  return reader;
+}
+
+common::Status SnapshotReader::Validate() {
+  if (size_ < kHeaderBytes) return Corrupt("shorter than the header");
+  if (std::memcmp(data_, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a snapshot file)");
+  }
+  if (GetU32(data_ + 60) != Crc32(data_, 60)) {
+    return Corrupt("header checksum mismatch");
+  }
+  format_version_ = GetU32(data_ + 8);
+  if (format_version_ != kSnapshotFormatVersion) {
+    return Corrupt("unsupported format version " +
+                   std::to_string(format_version_) + " (expected " +
+                   std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const uint32_t count = GetU32(data_ + 12);
+  const uint64_t file_bytes = GetU64(data_ + 16);
+  const uint64_t table_offset = GetU64(data_ + 24);
+  if (file_bytes != size_) {
+    return Corrupt("file size " + std::to_string(size_) +
+                   " does not match recorded size " +
+                   std::to_string(file_bytes) + " (truncated?)");
+  }
+  const uint64_t table_bytes = static_cast<uint64_t>(count) * kEntryBytes;
+  if (table_offset < kHeaderBytes || table_offset > size_ ||
+      table_bytes > size_ - table_offset) {
+    return Corrupt("section table out of bounds");
+  }
+  if (GetU32(data_ + 32) != Crc32(data_ + table_offset, table_bytes)) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  // Parse + validate every entry.
+  sections_.clear();
+  names_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* e = data_ + table_offset + i * kEntryBytes;
+    SectionEntry entry;
+    // Name: NUL-terminated within 24 bytes, zero-padded after.
+    size_t len = 0;
+    while (len < kNameBytes && e[len] != 0) ++len;
+    if (len == 0 || len > kSnapshotMaxNameLength) {
+      return Corrupt("section " + std::to_string(i) + " has a bad name");
+    }
+    for (size_t j = len; j < kNameBytes; ++j) {
+      if (e[j] != 0) {
+        return Corrupt("section " + std::to_string(i) +
+                       " has garbage after its name");
+      }
+    }
+    entry.name.assign(reinterpret_cast<const char*>(e), len);
+    entry.offset = GetU64(e + kNameBytes);
+    entry.size = GetU64(e + kNameBytes + 8);
+    entry.crc = GetU32(e + kNameBytes + 16);
+    if (GetU32(e + kNameBytes + 20) != 0) {
+      return Corrupt("section '" + entry.name +
+                     "' has a nonzero reserved field");
+    }
+    if (entry.offset % kSnapshotAlignment != 0) {
+      return Corrupt("section '" + entry.name + "' is misaligned");
+    }
+    if (entry.offset > size_ || entry.size > size_ - entry.offset) {
+      return Corrupt("section '" + entry.name + "' out of bounds");
+    }
+    if (Crc32(data_ + entry.offset, entry.size) != entry.crc) {
+      return Corrupt("section '" + entry.name + "' checksum mismatch");
+    }
+    for (const auto& prev : sections_) {
+      if (prev.name == entry.name) {
+        return Corrupt("duplicate section '" + entry.name + "'");
+      }
+    }
+    names_.push_back(entry.name);
+    sections_.push_back(std::move(entry));
+  }
+
+  // Every byte outside header/table/sections is padding and must be zero
+  // — otherwise a flip in a gap would escape every checksum.
+  std::vector<std::pair<uint64_t, uint64_t>> covered;
+  covered.emplace_back(0, kHeaderBytes);
+  covered.emplace_back(table_offset, table_offset + table_bytes);
+  for (const auto& s : sections_) {
+    if (s.size > 0) covered.emplace_back(s.offset, s.offset + s.size);
+  }
+  std::sort(covered.begin(), covered.end());
+  uint64_t cursor = 0;
+  for (const auto& [lo, hi] : covered) {
+    if (lo < cursor) return Corrupt("overlapping regions");
+    for (uint64_t b = cursor; b < lo; ++b) {
+      if (data_[b] != 0) {
+        return Corrupt("nonzero padding byte at offset " + std::to_string(b));
+      }
+    }
+    cursor = std::max(cursor, hi);
+  }
+  for (uint64_t b = cursor; b < size_; ++b) {
+    if (data_[b] != 0) {
+      return Corrupt("nonzero trailing byte at offset " + std::to_string(b));
+    }
+  }
+  return common::Status::OK();
+}
+
+bool SnapshotReader::HasSection(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+common::Result<Span<uint8_t>> SnapshotReader::Section(
+    const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return Span<uint8_t>(data_ + s.offset, s.size);
+  }
+  return common::Status::NotFound("snapshot has no section '" + name + "'");
+}
+
+size_t SnapshotReader::SectionBytes(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return s.size;
+  }
+  return 0;
+}
+
+uint32_t SnapshotReader::SectionCrc(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return s.crc;
+  }
+  return 0;
+}
+
+}  // namespace fcm::storage

@@ -1,0 +1,164 @@
+// Versioned, checksummed snapshot container for frozen index state — the
+// on-disk half of the storage layer. A snapshot file is a flat set of
+// named byte sections behind a fixed header and a section table:
+//
+//   [header, 64 B] [section table, 48 B x N] [pad] [section 0] [pad] ...
+//
+//   header:  magic "FCMSNAP\0" | u32 format_version | u32 section_count
+//            | u64 file_bytes | u64 table_offset | u32 table_crc
+//            | zero padding | u32 header_crc (over bytes [0, 60))
+//   entry:   char name[24] (NUL-padded) | u64 offset | u64 size
+//            | u32 crc | u32 zero
+//
+// Every payload section starts on a 64-byte boundary, so numeric blocks
+// (f32/f64/u64/i64 arrays) written as sections can be handed out as typed
+// spans straight over the mmap'ed file — zero copies, N serving processes
+// share one page-cache copy. Every byte of the file is covered by exactly
+// one check: the header by header_crc, the table by table_crc, each
+// section by its entry's crc, and all padding must read zero. Any
+// truncation or byte flip therefore fails SnapshotReader::Open with a
+// loud Status — never UB, never a silently wrong ranking.
+//
+// Writes go through common::BinaryWriter::SaveToFile, which is atomic
+// (temp file + fsync + rename): a crash mid-save can never leave a torn
+// snapshot at the target path.
+
+#ifndef FCM_STORAGE_SNAPSHOT_H_
+#define FCM_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/span.h"
+
+namespace fcm::storage {
+
+/// Container format version; readers reject anything else.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Payload sections start on this boundary (>= any alignof we hand out).
+inline constexpr size_t kSnapshotAlignment = 64;
+/// Section names are at most this many bytes (excluding the NUL).
+inline constexpr size_t kSnapshotMaxNameLength = 23;
+
+/// Accumulates named sections and serializes the container. Section order
+/// is preserved in the file (and in SnapshotReader::section_names()).
+class SnapshotWriter {
+ public:
+  /// Adds a section (bytes are copied). Name must be non-empty, unique,
+  /// and at most kSnapshotMaxNameLength bytes.
+  void AddSection(const std::string& name, const void* data, size_t bytes);
+
+  /// Typed convenience: the vector's elements as raw little-endian bytes.
+  template <typename T>
+  void AddTypedSection(const std::string& name, const std::vector<T>& v) {
+    AddSection(name, v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void AddTypedSection(const std::string& name, Span<T> v) {
+    AddSection(name, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Serializes the container into a byte buffer (the file image).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Serializes and atomically writes the file.
+  common::Status WriteToFile(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Section> sections_;
+};
+
+/// How SnapshotReader::Open backs the file bytes.
+struct SnapshotReadOptions {
+  /// mmap the file read-only; false (or a platform without mmap) falls
+  /// back to reading the file onto the heap.
+  bool use_mmap = true;
+};
+
+/// Validates and serves an on-disk snapshot. The preferred backing is a
+/// read-only mmap of the file — typed sections are then served zero-copy
+/// out of the page cache — with a heap read as fallback (or on request).
+/// The reader must outlive every span it hands out.
+class SnapshotReader {
+ public:
+  using Options = SnapshotReadOptions;
+
+  /// Opens and fully validates a snapshot: magic, version, size, section
+  /// table, every section CRC, and zeroed padding. Any mismatch is a
+  /// Status error.
+  static common::Result<std::unique_ptr<SnapshotReader>> Open(
+      const std::string& path, const Options& options = Options());
+
+  /// Validates an in-memory file image (tests, corruption property
+  /// checks). The buffer is copied.
+  static common::Result<std::unique_ptr<SnapshotReader>> OpenFromBuffer(
+      std::vector<uint8_t> buffer);
+
+  ~SnapshotReader();
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  bool HasSection(const std::string& name) const;
+
+  /// Raw bytes of a section; NotFound for unknown names.
+  common::Result<Span<uint8_t>> Section(const std::string& name) const;
+
+  /// Section as a typed span. Fails when the section size is not a
+  /// multiple of sizeof(T) (alignment is guaranteed by the format).
+  template <typename T>
+  common::Result<Span<T>> TypedSection(const std::string& name) const {
+    auto raw = Section(name);
+    if (!raw.ok()) return raw.status();
+    if (raw.value().size() % sizeof(T) != 0) {
+      return common::Status::InvalidArgument(
+          "snapshot section '" + name + "' size " +
+          std::to_string(raw.value().size()) +
+          " is not a multiple of the element size");
+    }
+    return Span<T>(reinterpret_cast<const T*>(raw.value().data()),
+                   raw.value().size() / sizeof(T));
+  }
+
+  /// Section names in file order.
+  const std::vector<std::string>& section_names() const { return names_; }
+  size_t SectionBytes(const std::string& name) const;
+  uint32_t SectionCrc(const std::string& name) const;
+
+  size_t file_bytes() const { return size_; }
+  bool mmap_backed() const { return mmap_base_ != nullptr; }
+  uint32_t format_version() const { return format_version_; }
+
+ private:
+  SnapshotReader() = default;
+
+  /// Parses + validates the image at [data_, size_). Fills sections_.
+  common::Status Validate();
+
+  struct SectionEntry {
+    std::string name;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  void* mmap_base_ = nullptr;       // Non-null when mmap-backed.
+  size_t mmap_length_ = 0;
+  std::vector<uint8_t> heap_;       // Backing when not mmap-backed.
+  std::vector<SectionEntry> sections_;
+  std::vector<std::string> names_;  // File order.
+  uint32_t format_version_ = 0;
+};
+
+}  // namespace fcm::storage
+
+#endif  // FCM_STORAGE_SNAPSHOT_H_

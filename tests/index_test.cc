@@ -37,7 +37,7 @@ TEST(IntervalTreeTest, OverlapQueryBoundariesInclusive) {
 }
 
 TEST(IntervalTreeTest, EmptyTree) {
-  IntervalTree tree({});
+  IntervalTree tree(std::vector<Interval>{});
   EXPECT_TRUE(tree.QueryOverlap(0.0, 1.0).empty());
   EXPECT_EQ(tree.size(), 0u);
 }
@@ -191,7 +191,7 @@ TEST(LshShardTest, InsertBatchMatchesSerialInserts) {
   for (size_t i = 0; i < items.size(); ++i) {
     const auto payload = static_cast<int64_t>(i / 3);  // Columns per table.
     serial.Insert(items[i], payload);
-    batch.push_back({&items[i], payload});
+    batch.push_back({items[i].data(), payload});
   }
   common::ThreadPool pool(4);
   batched.InsertBatch(batch, &pool);

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "relevance/dtw.h"
 #include "relevance/hungarian.h"
@@ -491,6 +492,113 @@ TEST(RelevancePruningTest, TopKScanMatchesExhaustiveScan) {
   for (size_t i = 0; i < k; ++i) {
     EXPECT_EQ(top[i].second, exhaustive[i].second) << "rank " << i;
     EXPECT_DOUBLE_EQ(top[i].first, exhaustive[i].first) << "rank " << i;
+  }
+}
+
+// ---- Cross-query envelope caching (EnvelopeCache) ----
+
+TEST(EnvelopeCacheTest, EnvelopeMatchesBruteForceWindow) {
+  common::Rng rng(31);
+  for (const double band_fraction : {-1.0, 0.1, 0.3}) {
+    for (const bool z : {false, true}) {
+      DtwOptions options;
+      options.band_fraction = band_fraction;
+      options.z_normalize = z;
+      std::vector<double> y(37);
+      for (auto& x : y) x = rng.Normal(0.0, 5.0);
+      const size_t n = 29;
+      const auto env = ComputeSeriesEnvelope(y, n, options);
+      ASSERT_EQ(env.upper.size(), n);
+      ASSERT_EQ(env.lower.size(), n);
+      // Brute-force reference over the same (possibly normalized) values.
+      std::vector<double> ref = y;
+      if (z) {
+        const double m = common::Mean(ref);
+        double sd = common::Stddev(ref);
+        if (sd < 1e-12) sd = 1.0;
+        for (auto& x : ref) x = (x - m) / sd;
+      }
+      const size_t band = DtwBandWidth(options, n, ref.size());
+      for (size_t i = 0; i < n; ++i) {
+        const size_t lo = i > band ? i - band : 0;
+        const size_t hi = std::min(ref.size() - 1, i + band);
+        double mx = ref[lo], mn = ref[lo];
+        for (size_t j = lo; j <= hi; ++j) {
+          mx = std::max(mx, ref[j]);
+          mn = std::min(mn, ref[j]);
+        }
+        EXPECT_EQ(env.upper[i], mx) << "i=" << i;
+        EXPECT_EQ(env.lower[i], mn) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(EnvelopeCacheTest, CachedLowerBoundBitIdentical) {
+  common::Rng rng(33);
+  for (const double band_fraction : {-1.0, 0.15, 0.4}) {
+    for (const bool z : {false, true}) {
+      for (const size_t nb : {24u, 48u, 70u}) {
+        DtwOptions options;
+        options.band_fraction = band_fraction;
+        options.z_normalize = z;
+        std::vector<double> a(48), b(nb);
+        for (auto& x : a) x = rng.Normal(0.0, 4.0);
+        for (auto& x : b) x = rng.Normal(1.0, 6.0);
+        const auto env = ComputeSeriesEnvelope(b, a.size(), options);
+        // EXPECT_EQ, not NEAR: the cached path promises the identical
+        // per-position values and summation order.
+        EXPECT_EQ(DtwLowerBoundWithEnvelope(a, b, env, options),
+                  DtwLowerBound(a, b, options))
+            << "band=" << band_fraction << " z=" << z << " nb=" << nb;
+      }
+    }
+  }
+}
+
+TEST(EnvelopeCacheTest, EmptyInputsInfinite) {
+  const auto env = ComputeSeriesEnvelope({}, 5);
+  EXPECT_TRUE(env.upper.empty());
+  EXPECT_TRUE(ComputeSeriesEnvelope({1.0, 2.0}, 0).upper.empty());
+  EXPECT_TRUE(std::isinf(DtwLowerBoundWithEnvelope({}, {1.0}, env)));
+  EXPECT_TRUE(std::isinf(DtwLowerBoundWithEnvelope({1.0}, {}, env)));
+}
+
+TEST(EnvelopeCacheTest, PrunedScanBitIdenticalWithCache) {
+  common::Rng rng(37);
+  RelevanceOptions plain;
+  plain.dtw.band_fraction = 0.2;
+  EnvelopeCache cache;
+  RelevanceOptions cached = plain;
+  cached.envelope_cache = &cache;
+  // Distinct table ids: the cache keys on Table::id().
+  std::vector<table::Table> lake;
+  for (int i = 0; i < 6; ++i) {
+    table::Table t = RandomTable(&rng, 2 + i % 3, 40 + 4 * i);
+    t.set_id(i);
+    lake.push_back(std::move(t));
+  }
+  // Several queries of the same length: the second pass over the lake must
+  // hit the cache (size stops growing) and still score bit-identically.
+  size_t cache_size_after_first_query = 0;
+  for (int qi = 0; qi < 3; ++qi) {
+    const auto d = RandomQuery(&rng, 1 + qi, 48);
+    for (const auto& t : lake) {
+      for (const double threshold : {-1.0, 0.0, 0.2, 0.9}) {
+        EXPECT_EQ(PrunedRelevance(d, t, cached, threshold),
+                  PrunedRelevance(d, t, plain, threshold))
+            << "table " << t.id() << " threshold " << threshold;
+      }
+      EXPECT_EQ(RelevanceUpperBound(d, t, cached),
+                RelevanceUpperBound(d, t, plain));
+    }
+    if (qi == 0) {
+      cache_size_after_first_query = cache.size();
+      EXPECT_GT(cache_size_after_first_query, 0u);
+    } else {
+      EXPECT_EQ(cache.size(), cache_size_after_first_query)
+          << "same-length queries must reuse cached envelopes";
+    }
   }
 }
 

@@ -79,6 +79,25 @@ sys.exit(0 if f["isolation_ok"] and f["recovered_clean"] and f["clean"]
        "the \"faults\" section of $OUT)" >&2
   exit 1
 fi
+# Staleness guard for the snapshot phase, then its gates: save/open must
+# succeed, snapshot-served rankings must be bit-identical across every
+# strategy, and opening a snapshot must beat rebuilding the engine — the
+# whole point of frozen columnar storage (see docs/BENCHMARKS.md).
+if ! grep -q '"snapshot": {' "$OUT"; then
+  echo "error: $OUT has no \"snapshot\" section (stale bench binary?)" >&2
+  exit 1
+fi
+if ! python3 -c '
+import json, sys
+s = json.load(open(sys.argv[1]))["snapshot"]
+ok = s["save_open_ok"] and s["identical_topk"]
+ok = ok and s["open_seconds"] < s["rebuild_seconds"]
+sys.exit(0 if ok else 1)' "$OUT"; then
+  echo "error: snapshot phase failed (save/open error, non-identical" \
+       "rankings, or open slower than rebuild; see the \"snapshot\"" \
+       "section of $OUT)" >&2
+  exit 1
+fi
 # `|| true`: under pipefail a no-match grep would otherwise kill the
 # script silently; awk still prints 0 on empty input.
 DROPPED=$(grep -oE '"(rejected|cancelled|failed)": [0-9]+' "$OUT" \
@@ -109,3 +128,8 @@ echo "faults: $(grep -o '"injected": [0-9]*' "$OUT" | cut -d' ' -f2)" \
      "injected, fault/healthy qps ratio $(grep -o \
      '"fault_qps_ratio_vs_healthy": [0-9.]*' "$OUT" | cut -d' ' -f2)," \
      "isolation+recovery clean"
+echo "snapshot: open $(grep -o '"open_seconds": [0-9.]*' "$OUT" \
+     | cut -d' ' -f2)s vs rebuild $(grep -o '"rebuild_seconds": [0-9.]*' \
+     "$OUT" | cut -d' ' -f2)s ($(grep -o \
+     '"open_speedup_vs_rebuild": [0-9.]*' "$OUT" | cut -d' ' -f2)x)," \
+     "rankings identical"
