@@ -5,9 +5,14 @@
 // QPS plus closed-loop p50/p99 latency and the adaptive controller's
 // decision trace), a fault-injection phase (a keyed failpoint poisons a
 // known subset of request ids; the "faults" JSON section records recovery
-// QPS and blast-radius isolation), plus sharded-LSH build and
-// candidate-generation phases, emitting machine-readable JSON (written to --out=PATH or the
-// path in argv[1]) so perf PRs can track the BENCH_*.json trajectory.
+// QPS and blast-radius isolation), sharded-LSH build and
+// candidate-generation phases, and a "quant" phase comparing the int8
+// quantized embedding tier against f32 (memory footprint, QPS, top-k
+// recall with its gating floor, determinism, snapshot round-trip) over a
+// dim-32 model, emitting machine-readable JSON (written to --out=PATH or
+// the path in argv[1]) so perf PRs can track the BENCH_*.json trajectory.
+// A "machine" section (nproc, CPU model, active SIMD target) makes runs
+// comparable across hosts.
 // Parallel/sharded/async and serial paths must return identical top-k
 // rankings, and the async service must drop nothing in block mode; the
 // JSON records every check and the exit code is nonzero when any fails.
@@ -31,8 +36,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <string>
@@ -241,15 +248,19 @@ std::vector<std::vector<float>> RandomEmbeddings(int n, int dim,
 }
 
 /// Per-kernel GFLOP/s for one dispatch target: the float32 dot product
-/// (LSH codes / GemmAccumulateBt shape) and the full MatMul GEMM path.
+/// (LSH codes / GemmAccumulateBt shape), the full MatMul GEMM path, and
+/// the int8 quantized-tier kernels (GOPS = multiply-accumulate ops/s, the
+/// f32-equivalent work rate).
 struct SimdKernelRates {
   fcm::simd::Target target;
   double dot_f32_gflops = 0.0;
   double gemm_gflops = 0.0;
+  double dot_i8_gops = 0.0;
+  double gemm_i8f32_gops = 0.0;
 };
 
 SimdKernelRates MeasureKernelRates(fcm::simd::Target target) {
-  SimdKernelRates out{target, 0.0, 0.0};
+  SimdKernelRates out{target, 0.0, 0.0, 0.0, 0.0};
   constexpr size_t kDotN = 4096;
   constexpr int kGemmN = 160;
   fcm::common::Rng rng(404);
@@ -278,9 +289,77 @@ SimdKernelRates MeasureKernelRates(fcm::simd::Target target) {
   const double gemm_secs = Seconds(t_gemm);
   out.gemm_gflops = 2.0 * std::pow(static_cast<double>(kGemmN), 3) *
                     kGemmReps / std::max(gemm_secs, 1e-9) / 1e9;
-  // Keep the accumulated sink observable so the loops cannot be elided.
-  if (sink == 12345.678f) std::fprintf(stderr, "%f\n", sink);
+  // Int8 quantized-tier kernels on the same dot shape: codes in
+  // [-127, 127] (the quantizer's range contract).
+  std::vector<int8_t> qa(kDotN), qb(kDotN);
+  for (size_t i = 0; i < kDotN; ++i) {
+    qa[i] = static_cast<int8_t>(static_cast<int>(rng.Uniform() * 255.0) - 127);
+    qb[i] = static_cast<int8_t>(static_cast<int>(rng.Uniform() * 255.0) - 127);
+  }
+  int64_t isink = 0;
+  const auto t_dot_i8 = Clock::now();
+  for (int r = 0; r < kDotReps; ++r) {
+    isink += fcm::simd::DotI8(qa.data(), qb.data(), kDotN);
+  }
+  const double dot_i8_secs = Seconds(t_dot_i8);
+  out.dot_i8_gops = 2.0 * static_cast<double>(kDotN) * kDotReps /
+                    std::max(dot_i8_secs, 1e-9) / 1e9;
+  // GEMM shape of the mean-similarity prefilter: one quantized query row
+  // against a block of candidate rows.
+  constexpr size_t kGemmRows = 64;
+  constexpr size_t kGemmDim = 64;
+  std::vector<int8_t> gb(kGemmRows * kGemmDim);
+  for (auto& x : gb) {
+    x = static_cast<int8_t>(static_cast<int>(rng.Uniform() * 255.0) - 127);
+  }
+  std::vector<float> scales(kGemmRows, 0.01f), c(kGemmRows);
+  constexpr int kGemmI8Reps = 40000;
+  const auto t_gemm_i8 = Clock::now();
+  for (int r = 0; r < kGemmI8Reps; ++r) {
+    fcm::simd::GemmI8F32(qa.data(), gb.data(), kGemmDim, kGemmDim, 0.02f,
+                         scales.data(), c.data(), kGemmRows);
+    sink += c[0];
+  }
+  const double gemm_i8_secs = Seconds(t_gemm_i8);
+  out.gemm_i8f32_gops = 2.0 * static_cast<double>(kGemmRows * kGemmDim) *
+                        kGemmI8Reps / std::max(gemm_i8_secs, 1e-9) / 1e9;
+  // Keep the accumulated sinks observable so the loops cannot be elided.
+  if (sink == 12345.678f || isink == 987654321) {
+    std::fprintf(stderr, "%f %lld\n", sink, static_cast<long long>(isink));
+  }
   return out;
+}
+
+/// First "model name" line from /proc/cpuinfo ("unknown" elsewhere) for
+/// the JSON "machine" section.
+std::string CpuModelName() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[256];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        model = colon + 1;
+        // Trim surrounding whitespace/newline and JSON-hostile quotes.
+        while (!model.empty() &&
+               (model.front() == ' ' || model.front() == '\t')) {
+          model.erase(model.begin());
+        }
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == ' ')) {
+          model.pop_back();
+        }
+        for (auto& ch : model) {
+          if (ch == '"' || ch == '\\') ch = '\'';
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
 }
 
 }  // namespace
@@ -712,6 +791,169 @@ int main(int argc, char** argv) {
   std::remove(snap_path.c_str());
   all_identical = all_identical && snapshot_ok && snapshot_identical;
 
+  // ---- Quantized embedding tier: int8 vs f32 ----
+  // A dim-32 model (the repo default width) so the footprint story is
+  // honest: per row, int8 costs dim + 4 scale bytes vs 4*dim for f32 —
+  // 0.281x at dim 32. Both engines run the mean-similarity prefilter so
+  // the comparison isolates precision; the f32 no-prefilter engine is the
+  // exhaustive baseline recall is also measured against. Candidate sets
+  // may legitimately differ between precisions (LSH codes index the
+  // dequantized means); the final DTW scoring path stays float in both.
+  const int quant_prefilter = 32;
+  const int quant_queries =
+      std::min<int>(12, static_cast<int>(queries.size()));
+  fcm::core::FcmConfig quant_config;  // Defaults: embed_dim 32.
+  quant_config.num_layers = 1;
+  fcm::core::FcmModel quant_model(quant_config);
+  const auto build_quant_engine = [&](fcm::index::EmbeddingPrecision prec,
+                                      int prefilter, int threads) {
+    fcm::index::SearchEngineOptions options;
+    options.precision = prec;
+    options.mean_prefilter = prefilter;
+    options.num_threads = threads;
+    auto engine =
+        std::make_unique<fcm::index::SearchEngine>(&quant_model, &lake);
+    engine->BuildWithOptions(options);
+    return engine;
+  };
+  const auto t_quant_f32_build = Clock::now();
+  const auto quant_f32 = build_quant_engine(
+      fcm::index::EmbeddingPrecision::kFloat32, quant_prefilter, hardware);
+  const double quant_f32_build_seconds = Seconds(t_quant_f32_build);
+  const auto t_quant_i8_build = Clock::now();
+  const auto quant_i8 = build_quant_engine(
+      fcm::index::EmbeddingPrecision::kInt8, quant_prefilter, hardware);
+  const double quant_i8_build_seconds = Seconds(t_quant_i8_build);
+  const auto quant_f32_full = build_quant_engine(
+      fcm::index::EmbeddingPrecision::kFloat32, 0, hardware);
+  const auto quant_i8_serial = build_quant_engine(
+      fcm::index::EmbeddingPrecision::kInt8, quant_prefilter, 1);
+
+  const auto quant_strategy = fcm::index::IndexStrategy::kNoIndex;
+  const auto time_quant_qps = [&](fcm::index::SearchEngine& engine,
+                                  std::vector<std::vector<
+                                      fcm::index::SearchHit>>* results) {
+    constexpr int kReps = 3;
+    if (results != nullptr) results->clear();
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int q = 0; q < quant_queries; ++q) {
+        auto hits = engine.Search(queries[static_cast<size_t>(q)], k,
+                                  quant_strategy);
+        if (rep == 0 && results != nullptr) {
+          results->push_back(std::move(hits));
+        }
+      }
+    }
+    return static_cast<double>(kReps * quant_queries) /
+           std::max(Seconds(t0), 1e-9);
+  };
+  std::vector<std::vector<fcm::index::SearchHit>> quant_f32_hits,
+      quant_i8_hits, quant_full_hits;
+  const double quant_f32_qps = time_quant_qps(*quant_f32, &quant_f32_hits);
+  const double quant_i8_qps = time_quant_qps(*quant_i8, &quant_i8_hits);
+  const double quant_full_qps =
+      time_quant_qps(*quant_f32_full, &quant_full_hits);
+
+  // Top-k recall of the int8 tier: average id-set overlap with the f32
+  // prefilter engine (isolates quantization) and with the exhaustive f32
+  // engine (end-to-end), plus rank-1 agreement. The floor is the
+  // acceptance contract run_benchmarks.sh gates on.
+  const double quant_recall_floor = 0.95;
+  const auto topk_overlap =
+      [&](const std::vector<std::vector<fcm::index::SearchHit>>& got,
+          const std::vector<std::vector<fcm::index::SearchHit>>& want) {
+        double sum = 0.0;
+        size_t top1 = 0;
+        for (size_t q = 0; q < got.size(); ++q) {
+          size_t common = 0;
+          for (const auto& g : got[q]) {
+            for (const auto& w : want[q]) {
+              if (g.table_id == w.table_id) {
+                ++common;
+                break;
+              }
+            }
+          }
+          const size_t denom = std::max<size_t>(want[q].size(), 1);
+          sum += static_cast<double>(common) / static_cast<double>(denom);
+          if (!got[q].empty() && !want[q].empty() &&
+              got[q][0].table_id == want[q][0].table_id) {
+            ++top1;
+          }
+        }
+        return std::make_pair(
+            got.empty() ? 0.0 : sum / static_cast<double>(got.size()),
+            got.empty() ? 0.0
+                        : static_cast<double>(top1) /
+                              static_cast<double>(got.size()));
+      };
+  const auto recall_vs_f32 = topk_overlap(quant_i8_hits, quant_f32_hits);
+  const auto recall_vs_full = topk_overlap(quant_i8_hits, quant_full_hits);
+
+  // Determinism contract for the int8 mode: serial Search, pooled Search,
+  // and pooled SearchBatch must agree bit-for-bit, per strategy.
+  bool quant_deterministic = true;
+  for (const auto s : {fcm::index::IndexStrategy::kNoIndex,
+                       fcm::index::IndexStrategy::kLsh}) {
+    std::vector<fcm::vision::ExtractedChart> qset(
+        queries.begin(), queries.begin() + quant_queries);
+    const auto batched = quant_i8->SearchBatch(qset, k, s);
+    for (int q = 0; q < quant_queries; ++q) {
+      const auto serial =
+          quant_i8_serial->Search(queries[static_cast<size_t>(q)], k, s);
+      const auto pooled =
+          quant_i8->Search(queries[static_cast<size_t>(q)], k, s);
+      quant_deterministic = quant_deterministic &&
+                            SameHits(serial, pooled) &&
+                            SameHits(serial, batched[static_cast<size_t>(q)]);
+    }
+  }
+
+  // Int8 snapshot round-trip: mmap and heap backings must rank exactly
+  // like the engine that saved them.
+  const std::string quant_snap_path = "/tmp/fcm_bench_quant.fcmsnap";
+  bool quant_snapshot_ok =
+      quant_i8->SaveSnapshot(quant_snap_path).ok();
+  bool quant_snapshot_identical = quant_snapshot_ok;
+  size_t quant_snapshot_bytes = 0;
+  if (quant_snapshot_ok) {
+    for (const bool use_mmap : {true, false}) {
+      fcm::index::SnapshotOpenOptions open_options;
+      open_options.use_mmap = use_mmap;
+      auto snap =
+          fcm::index::SearchEngine::OpenSnapshot(quant_snap_path,
+                                                 open_options);
+      quant_snapshot_ok = quant_snapshot_ok && snap.ok();
+      if (!snap.ok()) {
+        quant_snapshot_identical = false;
+        break;
+      }
+      for (const auto s : {fcm::index::IndexStrategy::kNoIndex,
+                           fcm::index::IndexStrategy::kLsh}) {
+        for (int q = 0; q < quant_queries; ++q) {
+          quant_snapshot_identical =
+              quant_snapshot_identical &&
+              SameHits(
+                  snap.value()->Search(queries[static_cast<size_t>(q)], k,
+                                       s),
+                  quant_i8->Search(queries[static_cast<size_t>(q)], k, s));
+        }
+      }
+    }
+    auto reader = fcm::storage::SnapshotReader::Open(quant_snap_path);
+    if (reader.ok()) quant_snapshot_bytes = reader.value()->file_bytes();
+  } else {
+    quant_snapshot_identical = false;
+  }
+  std::remove(quant_snap_path.c_str());
+  const double quant_bytes_ratio =
+      static_cast<double>(quant_i8->embedding_bytes()) /
+      std::max<double>(static_cast<double>(quant_f32->embedding_bytes()),
+                       1.0);
+  all_identical = all_identical && quant_deterministic &&
+                  quant_snapshot_ok && quant_snapshot_identical;
+
   // ---- SIMD kernel dispatch: per-target GFLOP/s ----
   // The startup-resolved target (cpuid + FCM_SIMD env var) served every
   // phase above; here each compiled-in target is forced in turn so the
@@ -734,6 +976,15 @@ int main(int argc, char** argv) {
   // ---- JSON report ----
   std::string json = "{\n";
   json += "  \"bench\": \"search_throughput\",\n";
+  // Machine identity: BENCH_*.json files from different hosts are only
+  // comparable when the run records what it ran on.
+  json += "  \"machine\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"nproc\": %d,\n    \"cpu_model\": \"%s\",\n"
+                "    \"simd_target\": \"%s\"\n  },\n",
+                hardware, CpuModelName().c_str(),
+                fcm::simd::TargetName(startup_target));
+  json += buf;
   json += std::string("  \"simd\": {\n    \"active\": \"") +
           fcm::simd::TargetName(startup_target) + "\",\n";
   json += "    \"kernels\": [\n";
@@ -743,10 +994,19 @@ int main(int argc, char** argv) {
         buf, sizeof(buf),
         "      {\"target\": \"%s\", \"dot_f32_gflops\": %.2f, "
         "\"gemm_gflops\": %.2f, \"dot_speedup_vs_scalar\": %.2f, "
-        "\"gemm_speedup_vs_scalar\": %.2f}%s\n",
+        "\"gemm_speedup_vs_scalar\": %.2f,\n",
         fcm::simd::TargetName(r.target), r.dot_f32_gflops, r.gemm_gflops,
         r.dot_f32_gflops / std::max(scalar_dot, 1e-9),
-        r.gemm_gflops / std::max(scalar_gemm, 1e-9),
+        r.gemm_gflops / std::max(scalar_gemm, 1e-9));
+    json += buf;
+    // Int8 quantized-tier kernels; the vs-f32 ratio on the same target is
+    // the quantization speedup story (acceptance: >= 1.5 on avx2).
+    std::snprintf(
+        buf, sizeof(buf),
+        "       \"dot_i8_gops\": %.2f, \"gemm_i8f32_gops\": %.2f, "
+        "\"dot_i8_speedup_vs_f32\": %.2f}%s\n",
+        r.dot_i8_gops, r.gemm_i8f32_gops,
+        r.dot_i8_gops / std::max(r.dot_f32_gflops, 1e-9),
         i + 1 < simd_rates.size() ? "," : "");
     json += buf;
   }
@@ -1028,9 +1288,56 @@ int main(int argc, char** argv) {
                 rebuild_seconds / std::max(open_seconds, 1e-9));
   json += buf;
   std::snprintf(buf, sizeof(buf),
-                "    \"save_open_ok\": %s, \"identical_topk\": %s\n  }\n",
+                "    \"save_open_ok\": %s, \"identical_topk\": %s\n  },\n",
                 snapshot_ok ? "true" : "false",
                 snapshot_identical ? "true" : "false");
+  json += buf;
+  // Quantized embedding tier. Key names deliberately avoid "rejected" /
+  // "cancelled" / "failed" (run_benchmarks.sh sums those as drops).
+  json += "  \"quant\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"embed_dim\": %d, \"tables\": %d, \"queries\": %d, "
+                "\"k\": %d, \"mean_prefilter\": %d, \"strategy\": "
+                "\"no_index\",\n",
+                quant_config.embed_dim, num_tables, quant_queries, k,
+                quant_prefilter);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"embedding_bytes_f32\": %zu, "
+                "\"embedding_bytes_int8\": %zu, "
+                "\"embedding_bytes_ratio\": %.4f, "
+                "\"bytes_ratio_ceiling\": 0.30,\n",
+                quant_f32->embedding_bytes(), quant_i8->embedding_bytes(),
+                quant_bytes_ratio);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"build_seconds_f32\": %.4f, "
+                "\"build_seconds_int8\": %.4f, "
+                "\"snapshot_file_bytes\": %zu,\n",
+                quant_f32_build_seconds, quant_i8_build_seconds,
+                quant_snapshot_bytes);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"qps_f32\": %.2f, \"qps_int8\": %.2f, "
+                "\"qps_f32_exhaustive\": %.2f, "
+                "\"prefilter_speedup_vs_exhaustive\": %.3f,\n",
+                quant_f32_qps, quant_i8_qps, quant_full_qps,
+                quant_i8_qps / std::max(quant_full_qps, 1e-9));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"topk_recall_vs_f32\": %.4f, "
+                "\"top1_agreement_vs_f32\": %.4f, "
+                "\"topk_recall_vs_f32_exhaustive\": %.4f, "
+                "\"recall_floor\": %.2f,\n",
+                recall_vs_f32.first, recall_vs_f32.second,
+                recall_vs_full.first, quant_recall_floor);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"determinism_ok\": %s, \"snapshot_save_open_ok\": %s, "
+                "\"snapshot_identical_topk\": %s\n  }\n",
+                quant_deterministic ? "true" : "false",
+                quant_snapshot_ok ? "true" : "false",
+                quant_snapshot_identical ? "true" : "false");
   json += buf;
   json += "}\n";
 

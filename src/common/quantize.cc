@@ -1,0 +1,41 @@
+#include "common/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcm::common {
+
+float QuantizeRow(const float* src, size_t n, int8_t* dst) {
+  float maxabs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    maxabs = std::max(maxabs, std::fabs(src[i]));
+  }
+  if (maxabs == 0.0f) {
+    for (size_t i = 0; i < n; ++i) dst[i] = 0;
+    return 0.0f;
+  }
+  const float scale = maxabs / 127.0f;
+  QuantizeRowWithScale(src, n, scale, dst);
+  return scale;
+}
+
+void QuantizeRowWithScale(const float* src, size_t n, float scale,
+                          int8_t* dst) {
+  if (scale <= 0.0f) {
+    for (size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const float inv = 1.0f / scale;
+  for (size_t i = 0; i < n; ++i) {
+    long code = std::lrintf(src[i] * inv);
+    if (code > 127) code = 127;
+    if (code < -127) code = -127;
+    dst[i] = static_cast<int8_t>(code);
+  }
+}
+
+void DequantizeRow(const int8_t* src, size_t n, float scale, float* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = Dequantize(src[i], scale);
+}
+
+}  // namespace fcm::common

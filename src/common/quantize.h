@@ -1,0 +1,44 @@
+// Symmetric per-row int8 quantization for the embedding tier (see
+// docs/ARCHITECTURE.md, "Quantized embedding tier"): each row of floats
+// is stored as round(v / scale) clamped to [-127, 127] with one f32
+// scale = maxabs / 127 per row. The range is symmetric — -128 is never
+// produced — which is what lets the int8 SIMD kernels (common/simd.h)
+// accumulate exactly on every target. Properties the tests pin:
+//   - round-trip error per element is at most scale / 2 (plus float
+//     rounding slack),
+//   - an all-zero row quantizes to scale 0 and all-zero codes, and
+//     dequantizes back to exact zeros,
+//   - values beyond the scale's range saturate at +/-127, never -128.
+// Quantization is deterministic: the same row always yields the same
+// codes and scale, on every platform (ties round to even via lrintf
+// under the default rounding mode).
+
+#ifndef FCM_COMMON_QUANTIZE_H_
+#define FCM_COMMON_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fcm::common {
+
+/// Quantizes one row: picks scale = maxabs / 127 (0 for an all-zero
+/// row), writes n codes in [-127, 127] to dst, and returns the scale.
+float QuantizeRow(const float* src, size_t n, int8_t* dst);
+
+/// Quantizes one row with a caller-fixed scale, clamping codes to
+/// [-127, 127] (values beyond the representable range saturate). A
+/// scale <= 0 writes all-zero codes.
+void QuantizeRowWithScale(const float* src, size_t n, float scale,
+                          int8_t* dst);
+
+/// Reconstruction of one quantized value.
+inline float Dequantize(int8_t code, float scale) {
+  return static_cast<float>(code) * scale;
+}
+
+/// Reconstructs a full row into dst.
+void DequantizeRow(const int8_t* src, size_t n, float scale, float* dst);
+
+}  // namespace fcm::common
+
+#endif  // FCM_COMMON_QUANTIZE_H_

@@ -82,10 +82,29 @@ double ScalarDtwRowF64(double xi, const double* y, const double* prev,
   return row_min;
 }
 
+int32_t ScalarDotI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+void ScalarGemmI8F32(const int8_t* a, const int8_t* b, size_t b_stride,
+                     size_t n, float scale_a, const float* scale_b, float* c,
+                     size_t m) {
+  for (size_t r = 0; r < m; ++r) {
+    const int32_t acc = ScalarDotI8(a, b + r * b_stride, n);
+    // The pinned dequant epilogue shared by every target (see simd.h).
+    c[r] = static_cast<float>(acc) * (scale_a * scale_b[r]);
+  }
+}
+
 constexpr KernelTable kScalarKernels = {
     Target::kScalar,     ScalarDotF32,       ScalarAxpyF32,
     ScalarGemmMicroF32,  ScalarDotF64,       ScalarReduceSumF64,
     ScalarSumSqDiffF64,  ScalarMinMaxF64,    ScalarDtwRowF64,
+    ScalarDotI8,         ScalarGemmI8F32,
 };
 
 // ---- Dispatch resolution ----
@@ -130,37 +149,25 @@ Target BestTarget() {
   return Target::kScalar;
 }
 
-/// Parses FCM_SIMD; unknown or unavailable values fall back to auto with a
-/// warning so a stale override can never silently disable serving.
+/// Resolves FCM_SIMD via ResolveEnvSpec and logs the fallback loudly:
+/// an unrecognized value is a configuration bug (ERROR, naming the valid
+/// set), an unavailable one a platform mismatch (WARN). Either way the
+/// process keeps serving on the best available target — a stale override
+/// degrades dispatch, never disables serving.
 Target ResolveStartupTarget() {
   const char* env = std::getenv("FCM_SIMD");
-  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
-    return BestTarget();
-  }
-  Target requested = Target::kScalar;
-  bool known = true;
-  if (std::strcmp(env, "scalar") == 0) {
-    requested = Target::kScalar;
-  } else if (std::strcmp(env, "avx2") == 0) {
-    requested = Target::kAvx2;
-  } else if (std::strcmp(env, "neon") == 0) {
-    requested = Target::kNeon;
-  } else {
-    known = false;
-  }
-  if (!known) {
-    FCM_LOGS(WARN) << "FCM_SIMD=" << env
-                   << " is not one of scalar|avx2|neon|auto; using auto";
-    return BestTarget();
-  }
-  if (!TargetAvailable(requested)) {
+  const EnvSpecResolution r = ResolveEnvSpec(env);
+  if (!r.recognized) {
+    FCM_LOGS(ERROR) << "FCM_SIMD=" << env << " is not one of "
+                    << ValidEnvSpecs() << "; ignoring the override and using "
+                    << "auto (" << TargetName(r.target) << ")";
+  } else if (!r.available) {
     FCM_LOGS(WARN) << "FCM_SIMD=" << env
                    << " is not compiled in or not supported by this CPU; "
                       "using auto ("
-                   << TargetName(BestTarget()) << ")";
-    return BestTarget();
+                   << TargetName(r.target) << ")";
   }
-  return requested;
+  return r.target;
 }
 
 std::atomic<const KernelTable*> g_active{nullptr};
@@ -206,6 +213,33 @@ std::vector<Target> SupportedTargets() {
     if (TargetAvailable(t)) out.push_back(t);
   }
   return out;
+}
+
+const char* ValidEnvSpecs() { return "scalar|avx2|neon|auto"; }
+
+EnvSpecResolution ResolveEnvSpec(const char* spec) {
+  EnvSpecResolution r;
+  if (spec == nullptr || *spec == '\0' || std::strcmp(spec, "auto") == 0) {
+    r.target = BestTarget();
+    r.recognized = true;
+    r.available = true;
+    return r;
+  }
+  Target requested = Target::kScalar;
+  if (std::strcmp(spec, "scalar") == 0) {
+    requested = Target::kScalar;
+  } else if (std::strcmp(spec, "avx2") == 0) {
+    requested = Target::kAvx2;
+  } else if (std::strcmp(spec, "neon") == 0) {
+    requested = Target::kNeon;
+  } else {
+    r.target = BestTarget();
+    return r;  // Unrecognized: recognized/available stay false.
+  }
+  r.recognized = true;
+  r.available = TargetAvailable(requested);
+  r.target = r.available ? requested : BestTarget();
+  return r;
 }
 
 }  // namespace fcm::simd

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <unordered_set>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/quantize.h"
 #include "common/simd.h"
 #include "table/resample.h"
 
@@ -53,6 +56,14 @@ const char* IndexStrategyName(IndexStrategy s) {
     case IndexStrategy::kIntervalTree: return "Interval Tree";
     case IndexStrategy::kLsh: return "LSH";
     case IndexStrategy::kHybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+const char* EmbeddingPrecisionName(EmbeddingPrecision p) {
+  switch (p) {
+    case EmbeddingPrecision::kFloat32: return "f32";
+    case EmbeddingPrecision::kInt8: return "int8";
   }
   return "?";
 }
@@ -128,6 +139,24 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   }
   scratch_means.clear();
   means_view_ = means_data_;
+  if (options_.precision == EmbeddingPrecision::kInt8) {
+    // Quantize the block row by row, then overwrite the f32 rows with
+    // their dequantized reconstructions: the LSH hyperplane codes below
+    // must index exactly the values the int8 tier stores (and a snapshot
+    // reloads), or bucket membership could disagree with the served
+    // embeddings. Rows are independent, so the fan-out is deterministic.
+    const size_t rows = means_data_.size() / std::max<size_t>(1, embed_dim);
+    means_q_data_.resize(means_data_.size());
+    means_scale_data_.resize(rows);
+    pool_->ParallelFor(rows, [&](size_t r) {
+      float* row = means_data_.data() + r * embed_dim;
+      int8_t* codes = means_q_data_.data() + r * embed_dim;
+      means_scale_data_[r] = common::QuantizeRow(row, embed_dim, codes);
+      common::DequantizeRow(codes, embed_dim, means_scale_data_[r], row);
+    });
+    means_q_view_ = means_q_data_;
+    means_scale_view_ = means_scale_data_;
+  }
   build_stats_.encode_seconds = Seconds(t_encode);
 
   // Interval tree over per-column possible ranges [min(C), sum(C)] —
@@ -177,6 +206,15 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
   build_stats_.lsh_build_seconds = Seconds(t_lsh);
   build_stats_.lsh_memory_bytes = lsh_->MemoryBytes();
   build_stats_.lsh_shards = lsh_->num_shards();
+  if (options_.precision == EmbeddingPrecision::kInt8) {
+    // The LSH inserts were the dequantized block's last consumer; from
+    // here the int8 codes + scales are the tier's only storage — the
+    // memory cut that motivates the quantized mode.
+    means_data_.clear();
+    means_data_.shrink_to_fit();
+    means_view_ = storage::Span<float>();
+  }
+  build_stats_.embedding_bytes = embedding_bytes();
 
   FCM_LOGS(INFO) << "SearchEngine built over " << lake_->size()
                  << " tables with " << pool_->num_threads() << " threads"
@@ -226,6 +264,82 @@ std::vector<table::TableId> SearchEngine::Candidates(
   return out;
 }
 
+size_t SearchEngine::embedding_bytes() const {
+  if (options_.precision == EmbeddingPrecision::kInt8) {
+    return means_q_view_.size() * sizeof(int8_t) +
+           means_scale_view_.size() * sizeof(float);
+  }
+  return means_view_.size() * sizeof(float);
+}
+
+void SearchEngine::PrefilterCandidates(
+    const std::vector<float>* line_means, size_t num_lines,
+    std::vector<table::TableId>* candidates) const {
+  const size_t keep = static_cast<size_t>(options_.mean_prefilter);
+  if (num_lines == 0 || candidates->size() <= keep) return;
+  const size_t dim = line_means[0].size();
+  const bool int8_mode = options_.precision == EmbeddingPrecision::kInt8;
+
+  // kInt8: quantize the query-side line means once per query; candidate
+  // rows are already int8, so every similarity below runs through the
+  // exact integer kernels.
+  std::vector<int8_t> q_codes;
+  std::vector<float> q_scales;
+  if (int8_mode) {
+    q_codes.resize(num_lines * dim);
+    q_scales.resize(num_lines);
+    for (size_t l = 0; l < num_lines; ++l) {
+      q_scales[l] = common::QuantizeRow(line_means[l].data(), dim,
+                                        q_codes.data() + l * dim);
+    }
+  }
+
+  // Max over (line, mean-row) dot products per candidate. A candidate
+  // with no mean rows keeps -inf and sorts last (it would score as
+  // invalid downstream anyway).
+  std::vector<std::pair<float, table::TableId>> scored;
+  scored.reserve(candidates->size());
+  std::vector<float> sims;  // GemmI8F32 scratch, reused across candidates.
+  for (const table::TableId id : *candidates) {
+    const auto& entry = entries_[static_cast<size_t>(id)];
+    float best = -std::numeric_limits<float>::infinity();
+    if (int8_mode) {
+      sims.resize(entry.num_means);
+      const int8_t* rows = means_q_view_.data() + entry.mean_begin * dim;
+      const float* row_scales = means_scale_view_.data() + entry.mean_begin;
+      for (size_t l = 0; l < num_lines; ++l) {
+        simd::GemmI8F32(q_codes.data() + l * dim, rows, dim, dim,
+                        q_scales[l], row_scales, sims.data(),
+                        entry.num_means);
+        for (size_t r = 0; r < entry.num_means; ++r) {
+          best = std::max(best, sims[r]);
+        }
+      }
+    } else {
+      for (size_t r = 0; r < entry.num_means; ++r) {
+        const float* row =
+            means_view_.data() + (entry.mean_begin + r) * dim;
+        for (size_t l = 0; l < num_lines; ++l) {
+          best = std::max(best, simd::DotF32(line_means[l].data(), row, dim));
+        }
+      }
+    }
+    scored.push_back({best, id});
+  }
+
+  // Survivors: highest similarity first, ties by ascending id — fully
+  // deterministic — then re-sorted ascending to preserve the Candidates()
+  // ordering contract RankHits' tie-breaking relies on.
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(keep),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                    });
+  candidates->resize(keep);
+  for (size_t i = 0; i < keep; ++i) (*candidates)[i] = scored[i].second;
+  std::sort(candidates->begin(), candidates->end());
+}
+
 bool SearchEngine::ScoreCandidate(const core::ChartRepresentation& chart_rep,
                                   const vision::ExtractedChart& query,
                                   table::TableId id, double* score) const {
@@ -264,37 +378,55 @@ void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
   const auto uses_lsh = [](IndexStrategy s) {
     return s == IndexStrategy::kLsh || s == IndexStrategy::kHybrid;
   };
-  // Flatten every LSH-consulting query's line mean embeddings into one
-  // sharded QueryBatch so the probes run as a single dispatch whatever mix
-  // of strategies the stage call carries.
+  const bool prefilter_on = options_.mean_prefilter > 0;
+  // Per-query line mean embeddings feed two consumers — the sharded LSH
+  // QueryBatch and the mean-similarity prefilter — so compute each needed
+  // query's means once, flattened in query order.
   std::vector<size_t> line_offset(staged->size(), 0);
   size_t total_lines = 0;
   for (size_t i = 0; i < staged->size(); ++i) {
     line_offset[i] = total_lines;
-    if (uses_lsh((*staged)[i].strategy)) {
+    if (uses_lsh((*staged)[i].strategy) || prefilter_on) {
       total_lines += (*staged)[i].chart_rep.size();
     }
   }
+  std::vector<std::vector<float>> means(total_lines);
   if (total_lines > 0) {
-    std::vector<std::vector<float>> means(total_lines);
     pool_->ParallelFor(staged->size(), [&](size_t i) {
       const StagedQuery& sq = (*staged)[i];
-      if (!uses_lsh(sq.strategy)) return;
+      if (!uses_lsh(sq.strategy) && !prefilter_on) return;
       for (size_t l = 0; l < sq.chart_rep.size(); ++l) {
         means[line_offset[i] + l] = MeanEmbedding(sq.chart_rep[l].representation);
       }
     });
-    std::vector<std::vector<int64_t>> hits =
-        lsh_->QueryBatch(means, pool_.get());
+    // One sharded QueryBatch over every LSH-consulting query's lines,
+    // whatever mix of strategies the stage call carries. Prefilter-only
+    // queries must not probe the index, so their means are skipped here
+    // (moved when the prefilter no longer needs them).
+    std::vector<std::vector<float>> lsh_means;
+    std::vector<size_t> lsh_offset(staged->size(), 0);
     for (size_t i = 0; i < staged->size(); ++i) {
-      StagedQuery& sq = (*staged)[i];
+      lsh_offset[i] = lsh_means.size();
+      const StagedQuery& sq = (*staged)[i];
       if (!uses_lsh(sq.strategy)) continue;
-      sq.line_hits.assign(
-          std::make_move_iterator(hits.begin() +
-                                  static_cast<long>(line_offset[i])),
-          std::make_move_iterator(hits.begin() +
-                                  static_cast<long>(line_offset[i] +
-                                                    sq.chart_rep.size())));
+      for (size_t l = 0; l < sq.chart_rep.size(); ++l) {
+        auto& mean = means[line_offset[i] + l];
+        lsh_means.push_back(prefilter_on ? mean : std::move(mean));
+      }
+    }
+    if (!lsh_means.empty()) {
+      std::vector<std::vector<int64_t>> hits =
+          lsh_->QueryBatch(lsh_means, pool_.get());
+      for (size_t i = 0; i < staged->size(); ++i) {
+        StagedQuery& sq = (*staged)[i];
+        if (!uses_lsh(sq.strategy)) continue;
+        sq.line_hits.assign(
+            std::make_move_iterator(hits.begin() +
+                                    static_cast<long>(lsh_offset[i])),
+            std::make_move_iterator(hits.begin() +
+                                    static_cast<long>(lsh_offset[i] +
+                                                      sq.chart_rep.size())));
+      }
     }
   }
   pool_->ParallelFor(staged->size(), [&](size_t i) {
@@ -302,6 +434,10 @@ void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
     if (sq.query->lines.empty()) return;  // No candidates, empty ranking.
     sq.candidates = Candidates(*sq.query, sq.strategy, sq.line_hits.data(),
                                sq.line_hits.size());
+    if (prefilter_on) {
+      PrefilterCandidates(means.data() + line_offset[i],
+                          sq.chart_rep.size(), &sq.candidates);
+    }
   });
   if (timing != nullptr) timing->candidate_seconds = Seconds(t_stage);
 }

@@ -33,6 +33,18 @@ enum class IndexStrategy { kNoIndex, kIntervalTree, kLsh, kHybrid };
 
 const char* IndexStrategyName(IndexStrategy s);
 
+/// Storage precision of the mean-embedding block. kInt8 stores symmetric
+/// scale-per-row int8 codes (common/quantize.h) instead of f32 — about
+/// 0.25x the bytes plus one f32 scale per row — and scores the
+/// mean-similarity prefilter through the exact int8 SIMD kernels.
+/// Candidate sets may legitimately differ from a kFloat32 engine (the
+/// quantized means are what the LSH indexes and the prefilter ranks), but
+/// within one precision mode the full determinism contract holds
+/// unchanged. The final FCM relevance stage stays float either way.
+enum class EmbeddingPrecision { kFloat32 = 0, kInt8 = 1 };
+
+const char* EmbeddingPrecisionName(EmbeddingPrecision p);
+
 /// One ranked search hit.
 struct SearchHit {
   table::TableId table_id = table::kInvalidTableId;
@@ -63,6 +75,10 @@ struct BuildStats {
   /// Shard count the LSH index resolved to (power of two; may differ from
   /// the requested LshConfig::num_shards).
   int lsh_shards = 1;
+  /// Bytes held by the serving-side mean-embedding tier: the f32 block in
+  /// kFloat32 mode, the int8 code block plus its per-row f32 scale vector
+  /// in kInt8 mode (the f32 block is dropped after the LSH build).
+  size_t embedding_bytes = 0;
 };
 
 /// Engine construction options.
@@ -81,6 +97,19 @@ struct SearchEngineOptions {
   /// Worker threads for build-time encoding and query-time scoring;
   /// <= 0 uses the hardware concurrency, 1 runs fully serial.
   int num_threads = 0;
+  /// Storage precision of the mean-embedding block (see
+  /// EmbeddingPrecision). kInt8 quantizes at Freeze() time and drops the
+  /// f32 block, cutting the tier to ~0.28x of its f32 bytes.
+  EmbeddingPrecision precision = EmbeddingPrecision::kFloat32;
+  /// Mean-similarity prefilter: when > 0, CandidateStage keeps only the
+  /// `mean_prefilter` candidates whose mean embeddings score highest
+  /// against the query's line means (max over line x row dot products —
+  /// f32 kernels in kFloat32 mode, the exact int8 kernels in kInt8 mode)
+  /// before the expensive FCM scoring stage. 0 (default) scores every
+  /// candidate, exactly the pre-prefilter behavior. Survivors are ranked
+  /// (similarity desc, id asc) then re-sorted ascending, so the
+  /// determinism contract is unchanged for a fixed configuration.
+  int mean_prefilter = 0;
 };
 
 /// Options for SearchEngine::OpenSnapshot.
@@ -217,6 +246,14 @@ class SearchEngine {
 
   const BuildStats& build_stats() const { return build_stats_; }
 
+  /// Storage precision of the mean-embedding block (build option, or the
+  /// value recorded in the snapshot for an opened engine).
+  EmbeddingPrecision precision() const { return options_.precision; }
+
+  /// Bytes held by the serving-side mean-embedding tier (see
+  /// BuildStats::embedding_bytes).
+  size_t embedding_bytes() const;
+
   /// Mean embedding of a [N, K] representation (index key derivation:
   /// "averaging all representations of segments", Sec. VI-A).
   static std::vector<float> MeanEmbedding(const nn::Tensor& rep);
@@ -254,6 +291,16 @@ class SearchEngine {
                       const vision::ExtractedChart& query, table::TableId id,
                       double* score) const;
 
+  /// Mean-similarity prefilter (options_.mean_prefilter > 0): keeps the
+  /// candidates whose mean embeddings score highest against the query's
+  /// `num_lines` line means (similarity desc, id asc), re-sorted
+  /// ascending. Scores via the precision mode's kernels — f32 dot, or
+  /// quantize-the-query + the exact int8 GemmI8F32. Thread-safe (called
+  /// from CandidateStage's per-query fan-out).
+  void PrefilterCandidates(const std::vector<float>* line_means,
+                           size_t num_lines,
+                           std::vector<table::TableId>* candidates) const;
+
   const core::FcmModel* model_;
   const table::DataLake* lake_;  // Null for a snapshot-opened engine.
   SearchEngineOptions options_;
@@ -265,9 +312,20 @@ class SearchEngine {
 
   /// Mean-embedding block: num_means x embed_dim floats, tables in id
   /// order. Owned after Build; a zero-copy view into the snapshot after
-  /// OpenSnapshot.
+  /// OpenSnapshot. Empty in kInt8 mode (the quantized block below is the
+  /// tier's only storage once the LSH build has consumed the dequantized
+  /// values).
   std::vector<float> means_data_;
   storage::Span<float> means_view_;
+
+  /// kInt8 mode: the quantized mean-embedding block (num_means x
+  /// embed_dim int8 codes) and its per-row f32 scales (num_means), same
+  /// row order as the f32 block. Owned after Build; zero-copy views into
+  /// the snapshot after OpenSnapshot.
+  std::vector<int8_t> means_q_data_;
+  storage::Span<int8_t> means_q_view_;
+  std::vector<float> means_scale_data_;
+  storage::Span<float> means_scale_view_;
 
   /// Snapshot-opened engines own their model and keep the reader (and
   /// with it the mmap every frozen view points into) alive.

@@ -8,7 +8,10 @@
 
 #include "common/simd.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
@@ -108,6 +111,55 @@ TEST(SimdDispatchTest, TargetNamesAreStable) {
   EXPECT_STREQ(simd::TargetName(Target::kNeon), "neon");
 }
 
+TEST(SimdDispatchTest, EnvSpecResolutionPinsTheFallbackContract) {
+  // auto / empty / unset resolve to the best available target.
+  const Target best = simd::ResolveEnvSpec("auto").target;
+  for (const char* spec : {"auto", "", static_cast<const char*>(nullptr)}) {
+    const auto r = simd::ResolveEnvSpec(spec);
+    EXPECT_TRUE(r.recognized);
+    EXPECT_TRUE(r.available);
+    EXPECT_EQ(r.target, best);
+  }
+  // scalar is always recognized and available.
+  const auto scalar = simd::ResolveEnvSpec("scalar");
+  EXPECT_TRUE(scalar.recognized);
+  EXPECT_TRUE(scalar.available);
+  EXPECT_EQ(scalar.target, Target::kScalar);
+  // A known target resolves to itself when supported, to best otherwise —
+  // never to a dead table.
+  const auto supported = simd::SupportedTargets();
+  for (Target t : {Target::kAvx2, Target::kNeon}) {
+    const auto r = simd::ResolveEnvSpec(simd::TargetName(t));
+    EXPECT_TRUE(r.recognized) << simd::TargetName(t);
+    const bool have =
+        std::find(supported.begin(), supported.end(), t) != supported.end();
+    EXPECT_EQ(r.available, have);
+    EXPECT_EQ(r.target, have ? t : best);
+  }
+  // The bug under test: an unrecognized value must be reported as such
+  // (the startup path logs it loudly, naming ValidEnvSpecs()) and still
+  // fall back to the best available target.
+  for (const char* bogus : {"avx512", "AVX2", "scalar ", "fastest"}) {
+    const auto r = simd::ResolveEnvSpec(bogus);
+    EXPECT_FALSE(r.recognized) << bogus;
+    EXPECT_EQ(r.target, best) << bogus;
+  }
+  EXPECT_STREQ(simd::ValidEnvSpecs(), "scalar|avx2|neon|auto");
+}
+
+TEST(SimdDispatchTest, ResetTargetAppliesTheEnvOverride) {
+  // ResetTarget re-runs the startup resolution against the live
+  // environment: a valid override is honored, an unrecognized one falls
+  // back to auto instead of silently wedging the dispatch.
+  const Target best = simd::ResolveEnvSpec("auto").target;
+  ASSERT_EQ(setenv("FCM_SIMD", "scalar", 1), 0);
+  EXPECT_EQ(simd::ResetTarget(), Target::kScalar);
+  ASSERT_EQ(setenv("FCM_SIMD", "definitely-not-a-target", 1), 0);
+  EXPECT_EQ(simd::ResetTarget(), best);
+  ASSERT_EQ(unsetenv("FCM_SIMD"), 0);
+  EXPECT_EQ(simd::ResetTarget(), best);
+}
+
 TEST(SimdKernelTest, DotF32MatchesScalarOnAwkwardSizes) {
   for (Target target : SimdTargets()) {
     for (size_t n : kAwkwardSizes) {
@@ -164,6 +216,115 @@ TEST(SimdKernelTest, GemmMicroF32MatchesScalarUnitAndStridedA) {
           }
         }
       }
+    }
+  }
+  simd::ResetTarget();
+}
+
+/// Random int8 values across the quantizer's full range [-127, 127]
+/// (the kernels' documented operand precondition; -128 is excluded).
+std::vector<int8_t> RandomI8(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<int8_t>(static_cast<int>(rng.Uniform() * 255.0) - 127);
+  }
+  return v;
+}
+
+TEST(SimdKernelTest, DotI8BitIdenticalAcrossTargetsOnAwkwardSizes) {
+  // Integer accumulation is exact, so the int8 kernels carry a stronger
+  // contract than the f32 ones: EXPECT_EQ, no tolerance, every target.
+  for (Target target : SimdTargets()) {
+    for (size_t n : kAwkwardSizes) {
+      const auto a = RandomI8(n, 111 + n);
+      const auto b = RandomI8(n, 127 + n);
+      simd::SetTarget(Target::kScalar);
+      const int32_t expected = simd::DotI8(a.data(), b.data(), n);
+      ScopedTarget forced(target);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(expected, simd::DotI8(a.data(), b.data(), n))
+          << simd::TargetName(target) << " n=" << n;
+    }
+  }
+  simd::ResetTarget();
+}
+
+TEST(SimdKernelTest, DotI8SaturatedOperandsStayExact) {
+  // Worst-case magnitude: every product is +/-127*127. At n=4096 the
+  // accumulator reaches ~2.6e8, well inside i32 but far beyond the i16
+  // pair sums the AVX2 maddubs idiom produces internally — any overflow
+  // there would show up here.
+  const size_t n = 4096;
+  std::vector<int8_t> hi(n, 127), lo(n, -127);
+  simd::SetTarget(Target::kScalar);
+  const int32_t up = simd::DotI8(hi.data(), hi.data(), n);
+  const int32_t down = simd::DotI8(hi.data(), lo.data(), n);
+  EXPECT_EQ(up, static_cast<int32_t>(n) * 127 * 127);
+  EXPECT_EQ(down, -static_cast<int32_t>(n) * 127 * 127);
+  for (Target target : SimdTargets()) {
+    ScopedTarget forced(target);
+    ASSERT_TRUE(forced.ok());
+    EXPECT_EQ(up, simd::DotI8(hi.data(), hi.data(), n));
+    EXPECT_EQ(down, simd::DotI8(hi.data(), lo.data(), n));
+  }
+  simd::ResetTarget();
+}
+
+TEST(SimdKernelTest, GemmI8F32BitIdenticalAcrossTargets) {
+  // The dequant epilogue is one pinned IEEE expression in every
+  // implementation, so even the float outputs must match bit for bit.
+  for (Target target : SimdTargets()) {
+    for (size_t n : kAwkwardSizes) {
+      for (size_t m : {size_t{1}, size_t{3}, size_t{17}}) {
+        const auto a = RandomI8(n, 131 + n + m);
+        const auto b = RandomI8(n * m, 137 + n + m);
+        const auto scales = RandomF32(m, 139 + n + m);
+        std::vector<float> scale_b(m);
+        for (size_t r = 0; r < m; ++r) {
+          scale_b[r] = std::fabs(scales[r]) * 1e-2f + 1e-4f;
+        }
+        const float scale_a = 0.0371f;
+        std::vector<float> c_scalar(m), c_simd(m);
+        simd::SetTarget(Target::kScalar);
+        simd::GemmI8F32(a.data(), b.data(), n, n, scale_a, scale_b.data(),
+                        c_scalar.data(), m);
+        ScopedTarget forced(target);
+        ASSERT_TRUE(forced.ok());
+        simd::GemmI8F32(a.data(), b.data(), n, n, scale_a, scale_b.data(),
+                        c_simd.data(), m);
+        for (size_t r = 0; r < m; ++r) {
+          EXPECT_EQ(c_scalar[r], c_simd[r])
+              << simd::TargetName(target) << " n=" << n << " r=" << r;
+        }
+      }
+    }
+  }
+  simd::ResetTarget();
+}
+
+TEST(SimdKernelTest, GemmI8F32MatchesDotI8PlusEpilogue) {
+  // The GEMM row result is definitionally dot_i8 + the pinned epilogue;
+  // pin that equivalence on every target (b_stride > n exercises the
+  // strided row walk).
+  const size_t n = 33, m = 5, stride = 40;
+  const auto a = RandomI8(n, 151);
+  const auto b = RandomI8(stride * m, 157);
+  std::vector<float> scale_b(m);
+  for (size_t r = 0; r < m; ++r) {
+    scale_b[r] = 1e-3f * static_cast<float>(r + 1);
+  }
+  const float scale_a = 0.02f;
+  for (Target target : simd::SupportedTargets()) {
+    ScopedTarget forced(target);
+    ASSERT_TRUE(forced.ok());
+    std::vector<float> c(m);
+    simd::GemmI8F32(a.data(), b.data(), stride, n, scale_a, scale_b.data(),
+                    c.data(), m);
+    for (size_t r = 0; r < m; ++r) {
+      const int32_t acc = simd::DotI8(a.data(), b.data() + r * stride, n);
+      EXPECT_EQ(c[r], static_cast<float>(acc) * (scale_a * scale_b[r]))
+          << simd::TargetName(target) << " r=" << r;
     }
   }
   simd::ResetTarget();

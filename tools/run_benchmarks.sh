@@ -11,7 +11,12 @@
 # request is a bug and fails this script loudly. The "faults" section
 # records the fault-injection phase (keyed failpoint poisoning a known
 # request subset); its isolation/recovery verdicts also gate this script,
-# and the whole file must parse as JSON before anything trusts it.
+# and the whole file must parse as JSON before anything trusts it. The
+# "quant" section compares the int8 quantized embedding tier against f32;
+# its top-k recall must clear the recall_floor recorded in the JSON, the
+# embedding footprint must stay under the 0.30x ceiling, and int8
+# determinism plus snapshot round-trip verdicts gate the run. A "machine"
+# section records what hardware served the numbers.
 #
 # The batching knobs are passed as CLI flags so a BENCH json names the
 # exact command that reproduces it; override via env:
@@ -98,6 +103,33 @@ sys.exit(0 if ok else 1)' "$OUT"; then
        "section of $OUT)" >&2
   exit 1
 fi
+# Staleness guards for the machine and quant sections, then the quant
+# gates: recall at or above the floor the JSON itself records (a bench
+# that stopped stating its floor is a bug, not a pass), footprint at or
+# under the 0.30x ceiling, int8 determinism, and snapshot round-trip.
+if ! grep -q '"machine": {' "$OUT"; then
+  echo "error: $OUT has no \"machine\" section (stale bench binary?)" >&2
+  exit 1
+fi
+if ! grep -q '"quant": {' "$OUT"; then
+  echo "error: $OUT has no \"quant\" section (stale bench binary?)" >&2
+  exit 1
+fi
+if ! python3 -c '
+import json, sys
+q = json.load(open(sys.argv[1]))["quant"]
+floor = q["recall_floor"]
+ok = q["topk_recall_vs_f32"] >= floor
+ok = ok and q["embedding_bytes_ratio"] <= q["bytes_ratio_ceiling"]
+ok = ok and q["determinism_ok"] and q["snapshot_save_open_ok"]
+ok = ok and q["snapshot_identical_topk"]
+sys.exit(0 if ok else 1)' "$OUT"; then
+  echo "error: quant phase failed (int8 top-k recall below recall_floor," \
+       "embedding bytes over the 0.30x ceiling, non-deterministic int8" \
+       "rankings, or a broken int8 snapshot round-trip; see the \"quant\"" \
+       "section of $OUT)" >&2
+  exit 1
+fi
 # `|| true`: under pipefail a no-match grep would otherwise kill the
 # script silently; awk still prints 0 on empty input.
 DROPPED=$(grep -oE '"(rejected|cancelled|failed)": [0-9]+' "$OUT" \
@@ -133,3 +165,8 @@ echo "snapshot: open $(grep -o '"open_seconds": [0-9.]*' "$OUT" \
      "$OUT" | cut -d' ' -f2)s ($(grep -o \
      '"open_speedup_vs_rebuild": [0-9.]*' "$OUT" | cut -d' ' -f2)x)," \
      "rankings identical"
+echo "quant: int8 tier $(grep -o '"embedding_bytes_ratio": [0-9.]*' "$OUT" \
+     | cut -d' ' -f2)x of f32 bytes, top-k recall $(grep -o \
+     '"topk_recall_vs_f32": [0-9.]*' "$OUT" | cut -d' ' -f2) (floor" \
+     "$(grep -o '"recall_floor": [0-9.]*' "$OUT" | cut -d' ' -f2))," \
+     "deterministic + snapshot round-trip clean"
