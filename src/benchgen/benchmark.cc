@@ -71,7 +71,7 @@ table::Table GenerateTable(const BenchmarkConfig& config, int min_columns,
 
 // Builds a vis spec with `m` lines over distinct random columns.
 chart::VisSpec MakeSpec(const table::Table& t, int m, bool with_da,
-                        const BenchmarkConfig& config, common::Rng* rng) {
+                        common::Rng* rng) {
   chart::VisSpec spec;
   const auto cols = rng->SampleWithoutReplacement(
       t.num_columns(), static_cast<size_t>(
@@ -135,7 +135,7 @@ Benchmark BuildBenchmark(const BenchmarkConfig& config,
       const table::Table& source = bench.lake.Get(tid);
       const int m = LinesForBucket(SampleBucket(&rng), &rng);
       const bool da = rng.Bernoulli(config.da_query_fraction);
-      const chart::VisSpec spec = MakeSpec(source, m, da, config, &rng);
+      const chart::VisSpec spec = MakeSpec(source, m, da, &rng);
       const table::UnderlyingData d =
           chart::BuildUnderlyingData(source, spec);
       const chart::RenderedChart rendered =
@@ -165,7 +165,7 @@ Benchmark BuildBenchmark(const BenchmarkConfig& config,
     table::Table t = GenerateTable(config, /*min_columns=*/m,
                                    common::StrFormat("query_%d", i), &rng);
     const bool da = rng.Bernoulli(config.da_query_fraction);
-    const chart::VisSpec spec = MakeSpec(t, m, da, config, &rng);
+    const chart::VisSpec spec = MakeSpec(t, m, da, &rng);
     const table::UnderlyingData d = chart::BuildUnderlyingData(t, spec);
     const table::TableId tid = bench.lake.Add(std::move(t));
 

@@ -1,0 +1,200 @@
+// Clang Thread Safety Analysis wrappers: the only mutex/condvar types the
+// repo's concurrent subsystems may use (enforced by tools/fcm_lint.py rule
+// `naked-mutex`). Every protected field carries FCM_GUARDED_BY, every
+// helper that assumes a held lock carries FCM_REQUIRES, and the annotation
+// build (-Wthread-safety -Werror=thread-safety, see FCM_WERROR in
+// CMakeLists.txt) turns a lock dropped on the wrong field into a compile
+// error under clang. Under GCC the attributes expand to nothing and the
+// wrappers are zero-cost shims over the std primitives, so behavior is
+// identical on both toolchains — only the static checking differs.
+//
+// Conventions (docs/ARCHITECTURE.md "Static analysis & invariant
+// enforcement"):
+//  - Fields: `T field_ FCM_GUARDED_BY(mu_);` — after the member, before
+//    any initializer.
+//  - Locked helpers: name ends in `Locked` and the declaration carries
+//    FCM_REQUIRES(mu_).
+//  - CondVar predicates: the analysis checks each lambda body as a
+//    free-standing function, so a predicate reading guarded state must be
+//    marked FCM_NO_THREAD_SAFETY_ANALYSIS (the wait itself still runs
+//    under the caller's MutexLock; only the *check* is exempted).
+
+#ifndef FCM_COMMON_ANNOTATED_MUTEX_H_
+#define FCM_COMMON_ANNOTATED_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---- Attribute macros (no-ops outside clang) ----
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FCM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FCM_THREAD_ANNOTATION
+#define FCM_THREAD_ANNOTATION(x)
+#endif
+
+#define FCM_CAPABILITY(x) FCM_THREAD_ANNOTATION(capability(x))
+#define FCM_SCOPED_CAPABILITY FCM_THREAD_ANNOTATION(scoped_lockable)
+#define FCM_GUARDED_BY(x) FCM_THREAD_ANNOTATION(guarded_by(x))
+#define FCM_PT_GUARDED_BY(x) FCM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FCM_REQUIRES(...) \
+  FCM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FCM_REQUIRES_SHARED(...) \
+  FCM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define FCM_ACQUIRE(...) \
+  FCM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FCM_ACQUIRE_SHARED(...) \
+  FCM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FCM_RELEASE(...) \
+  FCM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FCM_RELEASE_SHARED(...) \
+  FCM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FCM_EXCLUDES(...) FCM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FCM_NO_THREAD_SAFETY_ANALYSIS \
+  FCM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fcm::common {
+
+class CondVar;
+
+/// Exclusive mutex carrying the `mutex` capability. Prefer MutexLock over
+/// manual Lock/Unlock pairs; manual pairs are for lock handoff across
+/// scopes only.
+class FCM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FCM_ACQUIRE() { mu_.lock(); }
+  void Unlock() FCM_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // fcm-lint: disable=naked-mutex (the wrapper itself)
+};
+
+/// RAII lock for Mutex. Supports early release (Unlock) and re-acquire
+/// (Lock) so callers can drop the lock before slow work — e.g. settling a
+/// promise — without leaving the scope.
+class FCM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FCM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() FCM_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early; the destructor then does nothing.
+  void Unlock() FCM_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+  /// Re-acquires after an early Unlock.
+  void Lock() FCM_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// Reader-writer mutex carrying the `shared_mutex` capability (failpoint
+/// registry: lock-free-ish hit path takes the shared side).
+class FCM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() FCM_ACQUIRE() { mu_.lock(); }
+  void Unlock() FCM_RELEASE() { mu_.unlock(); }
+  void ReaderLock() FCM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() FCM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // fcm-lint: disable=naked-mutex (wrapper)
+};
+
+/// RAII exclusive lock for SharedMutex.
+class FCM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) FCM_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() FCM_RELEASE() { mu_->Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared lock for SharedMutex.
+class FCM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) FCM_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() FCM_RELEASE_SHARED() { mu_->ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable paired with common::Mutex. Waits take the Mutex the
+/// caller already holds (via MutexLock); predicates that read guarded
+/// state must be FCM_NO_THREAD_SAFETY_ANALYSIS (see the file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) FCM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // The caller's MutexLock still owns the mutex.
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate pred) FCM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    cv_.wait(lk, std::move(pred));
+    lk.release();
+  }
+
+  /// Returns pred() at exit: false means the deadline passed with the
+  /// predicate still unsatisfied (same contract as std::condition_variable
+  /// wait_until).
+  template <typename TimePoint, typename Predicate>
+  bool WaitUntil(Mutex* mu, const TimePoint& deadline, Predicate pred)
+      FCM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_until(lk, deadline, std::move(pred));
+    lk.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // fcm-lint: disable=naked-mutex (wrapper)
+};
+
+}  // namespace fcm::common
+
+#endif  // FCM_COMMON_ANNOTATED_MUTEX_H_

@@ -4,12 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/string_util.h"
 
 namespace fcm::common::failpoint {
@@ -27,11 +26,12 @@ struct Site {
 };
 
 struct Registry {
-  std::shared_mutex mu;
-  std::unordered_map<std::string, std::shared_ptr<Site>> sites;
+  SharedMutex mu;
+  std::unordered_map<std::string, std::shared_ptr<Site>> sites
+      FCM_GUARDED_BY(mu);
   /// Lifetime counters survive Disarm so tests can read stats after
   /// tearing a schedule down.
-  std::unordered_map<std::string, SiteStats> retired;
+  std::unordered_map<std::string, SiteStats> retired FCM_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -54,7 +54,7 @@ uint64_t Mix(uint64_t x) {
 std::shared_ptr<Site> ShouldFire(const char* name, uint64_t key) {
   std::shared_ptr<Site> site;
   {
-    std::shared_lock<std::shared_mutex> lk(registry().mu);
+    ReaderMutexLock lk(&registry().mu);
     auto it = registry().sites.find(name);
     if (it == registry().sites.end()) return nullptr;
     site = it->second;
@@ -146,7 +146,7 @@ Status EvaluateStatus(const char* site, uint64_t key) {
 
 void Arm(const std::string& site, Spec spec) {
   auto armed = std::make_shared<Site>(std::move(spec));
-  std::unique_lock<std::shared_mutex> lk(registry().mu);
+  WriterMutexLock lk(&registry().mu);
   auto it = registry().sites.find(site);
   if (it != registry().sites.end()) {
     auto& retired = registry().retired[site];
@@ -160,7 +160,7 @@ void Arm(const std::string& site, Spec spec) {
 }
 
 bool Disarm(const std::string& site) {
-  std::unique_lock<std::shared_mutex> lk(registry().mu);
+  WriterMutexLock lk(&registry().mu);
   auto it = registry().sites.find(site);
   if (it == registry().sites.end()) return false;
   auto& retired = registry().retired[site];
@@ -172,7 +172,7 @@ bool Disarm(const std::string& site) {
 }
 
 void DisarmAll() {
-  std::unique_lock<std::shared_mutex> lk(registry().mu);
+  WriterMutexLock lk(&registry().mu);
   for (const auto& [name, site] : registry().sites) {
     auto& retired = registry().retired[name];
     retired.hits += site->hits.load(std::memory_order_relaxed);
@@ -184,7 +184,7 @@ void DisarmAll() {
 }
 
 SiteStats Stats(const std::string& site) {
-  std::shared_lock<std::shared_mutex> lk(registry().mu);
+  ReaderMutexLock lk(&registry().mu);
   SiteStats out;
   auto retired = registry().retired.find(site);
   if (retired != registry().retired.end()) out = retired->second;

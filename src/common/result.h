@@ -41,8 +41,12 @@ inline const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
-/// Success-or-error outcome of an operation, carrying a message on failure.
-class Status {
+/// Success-or-error outcome of an operation, carrying a message on
+/// failure. [[nodiscard]]: silently dropping a Status is a compile
+/// warning (an error under FCM_WERROR) — either handle it, propagate it
+/// with FCM_RETURN_IF_ERROR, or consume it explicitly with
+/// status.IgnoreError() naming why discarding is correct.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,14 +83,20 @@ class Status {
     return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
+  /// Explicitly discards this status. The only sanctioned way to drop a
+  /// Status on the floor — the call documents, greppably, that failure at
+  /// this site is intentionally not handled (e.g. best-effort cleanup).
+  void IgnoreError() const {}
+
  private:
   StatusCode code_;
   std::string message_;
 };
 
-/// Holds either a value of type T or a failure Status.
+/// Holds either a value of type T or a failure Status. [[nodiscard]] like
+/// Status: a dropped Result is a silently swallowed failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT

@@ -82,6 +82,7 @@ Result<std::string> BinaryReader::ReadString() {
   if (pos_ + n.value() > buf_.size()) {
     return Status::OutOfRange("binary reader: truncated string");
   }
+  // fcm-lint: uint8_t -> char byte view of the read buffer; same size/rep.
   std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
                 n.value());
   pos_ += n.value();

@@ -24,9 +24,9 @@ struct ThreadPool::Batch {
   /// (least-helped batch pick); decrements happen under `mu` so the
   /// owner's completion wait cannot miss its wakeup.
   std::atomic<int> active{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;  // Guarded by mu; first failure wins.
+  Mutex mu;
+  CondVar cv;
+  std::exception_ptr error FCM_GUARDED_BY(mu);  // First failure wins.
 
   bool exhausted() const {
     return next.load(std::memory_order_relaxed) >= n;
@@ -48,10 +48,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -59,8 +59,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this]() { return shutdown_ || !pending_.empty(); });
+      MutexLock lk(&mu_);
+      cv_.Wait(&mu_, [this]() FCM_NO_THREAD_SAFETY_ANALYSIS {
+        return ShouldWakeLocked();
+      });
       if (pending_.empty()) return;  // Shutdown with nothing in flight.
       // Prune exhausted batches, then help the live batch with the fewest
       // active helpers. Concurrent owners (pipeline stages, re-entrant
@@ -99,7 +101,7 @@ void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
       FCM_FAILPOINT("threadpool.task");
       for (size_t i = start; i < end; ++i) (*batch->fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(batch->mu);
+      MutexLock lk(&batch->mu);
       if (!batch->error) batch->error = std::current_exception();
       batch->next.store(batch->n);  // Abandon the remaining iterations.
       break;
@@ -109,10 +111,10 @@ void ThreadPool::RunBatch(const std::shared_ptr<Batch>& batch) {
     // The decrement must happen under mu: the owner's completion wait
     // checks `active` inside the same lock, so dropping to zero and the
     // notify can never interleave into a missed wakeup.
-    std::lock_guard<std::mutex> lk(batch->mu);
+    MutexLock lk(&batch->mu);
     batch->active.fetch_sub(1, std::memory_order_relaxed);
   }
-  batch->cv.notify_all();
+  batch->cv.NotifyAll();
 }
 
 void ThreadPool::ParallelForSharded(
@@ -147,22 +149,26 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   batch->chunk = std::max<size_t>(
       1, n / (static_cast<size_t>(num_threads_) * 4));
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     pending_.push_back(batch);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   RunBatch(batch);
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lk(batch->mu);
-    batch->cv.wait(lk, [&batch]() {
+    MutexLock lk(&batch->mu);
+    // The predicate reads only the batch's atomics, never `error`, so it
+    // needs no lock-analysis exemption.
+    batch->cv.Wait(&batch->mu, [&batch]() {
       return batch->active.load(std::memory_order_relaxed) == 0 &&
              batch->exhausted();
     });
+    error = batch->error;
   }
   {
     // Retire the batch eagerly so concurrent owners' scheduler scans stay
     // short; a worker may already have pruned it.
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->get() == batch.get()) {
         pending_.erase(it);
@@ -170,7 +176,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       }
     }
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace fcm::common

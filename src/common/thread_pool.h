@@ -16,14 +16,14 @@
 #ifndef FCM_COMMON_THREAD_POOL_H_
 #define FCM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace fcm::common {
 
@@ -78,14 +78,19 @@ class ThreadPool {
   void WorkerLoop();
   static void RunBatch(const std::shared_ptr<Batch>& batch);
 
+  /// Scheduler-wake predicate (workers sleep until shutdown or work).
+  bool ShouldWakeLocked() const FCM_REQUIRES(mu_) {
+    return shutdown_ || !pending_.empty();
+  }
+
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   /// In-flight batches; exhausted entries are pruned by workers and by the
   /// owning ParallelFor on its way out.
-  std::deque<std::shared_ptr<Batch>> pending_;
-  bool shutdown_ = false;
+  std::deque<std::shared_ptr<Batch>> pending_ FCM_GUARDED_BY(mu_);
+  bool shutdown_ FCM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fcm::common

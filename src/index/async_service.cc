@@ -73,39 +73,43 @@ class AsyncSearchService::StageChannel {
 
   /// Blocks while the channel is full. Never called after Close.
   void Push(std::unique_ptr<MicroBatch> batch) {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_space_.wait(lk, [this]() { return batches_.size() < kDepth; });
+    common::MutexLock lk(&mu_);
+    cv_space_.Wait(&mu_, [this]() FCM_NO_THREAD_SAFETY_ANALYSIS {
+      return batches_.size() < kDepth;
+    });
     batches_.push_back(std::move(batch));
-    lk.unlock();
-    cv_data_.notify_one();
+    lk.Unlock();
+    cv_data_.NotifyOne();
   }
 
   /// Blocks until a batch or Close; nullptr means closed and drained.
   std::unique_ptr<MicroBatch> Pop() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_data_.wait(lk, [this]() { return closed_ || !batches_.empty(); });
+    common::MutexLock lk(&mu_);
+    cv_data_.Wait(&mu_, [this]() FCM_NO_THREAD_SAFETY_ANALYSIS {
+      return closed_ || !batches_.empty();
+    });
     if (batches_.empty()) return nullptr;
     auto batch = std::move(batches_.front());
     batches_.pop_front();
-    lk.unlock();
-    cv_space_.notify_one();
+    lk.Unlock();
+    cv_space_.NotifyOne();
     return batch;
   }
 
   /// Marks the upstream stage done; queued batches still drain.
   void Close() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      common::MutexLock lk(&mu_);
       closed_ = true;
     }
-    cv_data_.notify_all();
+    cv_data_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_space_, cv_data_;
-  std::deque<std::unique_ptr<MicroBatch>> batches_;
-  bool closed_ = false;
+  common::Mutex mu_;
+  common::CondVar cv_space_, cv_data_;
+  std::deque<std::unique_ptr<MicroBatch>> batches_ FCM_GUARDED_BY(mu_);
+  bool closed_ FCM_GUARDED_BY(mu_) = false;
 };
 
 AsyncSearchService::AsyncSearchService(const SearchEngine* engine,
@@ -132,6 +136,14 @@ AsyncSearchService::AsyncSearchService(const SearchEngine* engine,
 
 AsyncSearchService::~AsyncSearchService() { Shutdown(/*drain=*/true); }
 
+bool AsyncSearchService::HaveRoomLocked() const {
+  return stopping_ || queue_.size() < options_.queue_capacity;
+}
+
+bool AsyncSearchService::QueueReadyLocked() const {
+  return stopping_ || !queue_.empty();
+}
+
 std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
     vision::ExtractedChart query, int k, IndexStrategy strategy,
     Deadline deadline) {
@@ -142,7 +154,7 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
   request.deadline = deadline;
   auto future = request.promise.get_future();
 
-  std::unique_lock<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   // Degraded mode: an open breaker sheds load before any queueing or
   // blocking. After the cooldown the next arrival is admitted as a
   // half-open probe whose outcome decides between closing and re-opening.
@@ -152,25 +164,25 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
       breaker_ = BreakerState::kHalfOpen;
     } else {
       ++fast_rejected_;
-      lk.unlock();
+      lk.Unlock();
       request.promise.set_exception(std::make_exception_ptr(
           DegradedError("circuit breaker open: service degraded")));
       return future;
     }
   }
   if (options_.backpressure == BackpressureMode::kBlock) {
-    const auto have_room = [this]() {
-      return stopping_ || queue_.size() < options_.queue_capacity;
+    const auto have_room = [this]() FCM_NO_THREAD_SAFETY_ANALYSIS {
+      return HaveRoomLocked();
     };
     if (request.deadline == kNoDeadline) {
-      cv_space_.wait(lk, have_room);
-    } else if (!cv_space_.wait_until(lk, request.deadline, have_room)) {
+      cv_space_.Wait(&mu_, have_room);
+    } else if (!cv_space_.WaitUntil(&mu_, request.deadline, have_room)) {
       // The deadline expired while the caller was blocked on admission.
       // The request was accepted for admission, so it counts as submitted
       // + deadline_expired (keeping the stats balance invariant).
       ++submitted_;
       ++deadline_expired_;
-      lk.unlock();
+      lk.Unlock();
       request.promise.set_exception(DeadlineError("while blocked on a full "
                                                   "queue"));
       return future;
@@ -180,7 +192,7 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
     ++rejected_;
     const char* reason =
         stopping_ ? "AsyncSearchService is shut down" : "request queue full";
-    lk.unlock();
+    lk.Unlock();
     request.promise.set_exception(
         std::make_exception_ptr(RejectedError(reason)));
     return future;
@@ -188,7 +200,7 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
   if (request.deadline <= Clock::now()) {
     ++submitted_;
     ++deadline_expired_;
-    lk.unlock();
+    lk.Unlock();
     request.promise.set_exception(DeadlineError("before admission"));
     return future;
   }
@@ -201,14 +213,14 @@ std::future<std::vector<SearchHit>> AsyncSearchService::Submit(
     ++submitted_;
     ++failed_;
     NoteOutcomeLocked(false);
-    lk.unlock();
+    lk.Unlock();
     request.promise.set_exception(std::current_exception());
     return future;
   }
   queue_.push_back(std::move(request));
   ++submitted_;
-  lk.unlock();
-  cv_data_.notify_one();
+  lk.Unlock();
+  cv_data_.NotifyOne();
   return future;
 }
 
@@ -229,8 +241,10 @@ void AsyncSearchService::DispatchLoop() {
     auto batch = std::make_unique<MicroBatch>();
     bool retire = false;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_data_.wait(lk, [this]() { return stopping_ || !queue_.empty(); });
+      common::MutexLock lk(&mu_);
+      cv_data_.Wait(&mu_, [this]() FCM_NO_THREAD_SAFETY_ANALYSIS {
+        return QueueReadyLocked();
+      });
       if (cancel_) {
         // Shutdown(false): fail everything still queued, deterministically
         // in queue order, then retire the pipeline.
@@ -278,9 +292,11 @@ void AsyncSearchService::DispatchLoop() {
           while (batch->requests.size() < batch_cap) {
             if (queue_.empty()) {
               if (stopping_ ||
-                  cv_data_.wait_until(lk, window_end, [this]() {
-                    return stopping_ || !queue_.empty();
-                  }) == false) {
+                  !cv_data_.WaitUntil(
+                      &mu_, window_end,
+                      [this]() FCM_NO_THREAD_SAFETY_ANALYSIS {
+                        return QueueReadyLocked();
+                      })) {
                 break;  // Window spent (or draining): dispatch what we have.
               }
               if (queue_.empty()) break;  // stopping_ woke us, nothing new.
@@ -301,7 +317,7 @@ void AsyncSearchService::DispatchLoop() {
         }
       }
     }
-    cv_space_.notify_all();  // Freed queue slots.
+    cv_space_.NotifyAll();  // Freed queue slots.
     if (retire) break;
     if (batch->requests.empty()) continue;
 
@@ -316,7 +332,7 @@ void AsyncSearchService::DispatchLoop() {
     encode_to_candidates_->Push(std::move(batch));
   }
   encode_to_candidates_->Close();
-  cv_space_.notify_all();  // Unblock kBlock submitters racing the shutdown.
+  cv_space_.NotifyAll();  // Unblock kBlock submitters racing the shutdown.
 }
 
 void AsyncSearchService::CandidateLoop() {
@@ -352,7 +368,7 @@ void AsyncSearchService::ScoreLoop() {
     // Count before settling: once a future resolves, stats()/Health()
     // must already reflect that request (tests rely on this ordering).
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      common::MutexLock lk(&mu_);
       completed_ += batch->requests.size();
       for (size_t i = 0; i < batch->requests.size(); ++i) {
         NoteOutcomeLocked(/*ok=*/true);
@@ -402,7 +418,7 @@ void AsyncSearchService::ShedExpired(MicroBatch* batch) {
     batch->staged[i].query = &batch->requests[i].query;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(&mu_);
     deadline_expired_ += expired.size();
   }
   for (auto& promise : expired) {
@@ -424,13 +440,13 @@ void AsyncSearchService::RecoverBatch(MicroBatch* batch) {
                    << " request(s); re-running individually";
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(&mu_);
     retried_ += n;
   }
   for (auto& request : batch->requests) {
     if (request.deadline <= Clock::now()) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        common::MutexLock lk(&mu_);
         ++deadline_expired_;
       }
       request.promise.set_exception(DeadlineError("during batch recovery"));
@@ -446,7 +462,7 @@ void AsyncSearchService::RecoverBatch(MicroBatch* batch) {
       engine_->CandidateStage(&staged);
       auto results = engine_->ScoreStage(staged);
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        common::MutexLock lk(&mu_);
         ++completed_;
         NoteOutcomeLocked(/*ok=*/true);
       }
@@ -454,7 +470,7 @@ void AsyncSearchService::RecoverBatch(MicroBatch* batch) {
     } catch (...) {
       const std::exception_ptr request_error = std::current_exception();
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        common::MutexLock lk(&mu_);
         ++failed_;
         NoteOutcomeLocked(/*ok=*/false);
       }
@@ -484,9 +500,9 @@ void AsyncSearchService::NoteOutcomeLocked(bool ok) {
 }
 
 void AsyncSearchService::Shutdown(bool drain) {
-  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  common::MutexLock shutdown_lk(&shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(&mu_);
     if (!stopping_) {
       stopping_ = true;
       cancel_ = !drain;
@@ -494,8 +510,8 @@ void AsyncSearchService::Shutdown(bool drain) {
     // A later Shutdown never un-cancels or re-cancels: the first call's
     // mode wins and this one just waits for the join below.
   }
-  cv_data_.notify_all();
-  cv_space_.notify_all();
+  cv_data_.NotifyAll();
+  cv_space_.NotifyAll();
   if (!joined_) {
     dispatch_thread_.join();
     candidate_thread_.join();
@@ -521,12 +537,12 @@ AsyncServiceStats AsyncSearchService::StatsLocked() const {
 }
 
 AsyncServiceStats AsyncSearchService::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   return StatsLocked();
 }
 
 HealthSnapshot AsyncSearchService::Health() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   HealthSnapshot out;
   out.breaker = breaker_;
   out.consecutive_failures = consecutive_failures_;
@@ -541,7 +557,7 @@ HealthSnapshot AsyncSearchService::Health() const {
 
 std::vector<AdaptiveBatchController::TraceEntry>
 AsyncSearchService::controller_trace() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (controller_ == nullptr) return {};
   return controller_->trace();
 }

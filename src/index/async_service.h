@@ -36,16 +36,15 @@
 #define FCM_INDEX_ASYNC_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "index/batch_controller.h"
 #include "index/search_engine.h"
 #include "vision/extracted_chart.h"
@@ -260,52 +259,63 @@ class AsyncSearchService {
   /// fail again, which is final, carry an error.
   void RecoverBatch(MicroBatch* batch);
 
-  /// Breaker bookkeeping for one settled request (mu_ held). Successes
-  /// reset the consecutive-failure run and close a half-open breaker;
-  /// failures extend the run and open the breaker at the threshold.
-  void NoteOutcomeLocked(bool ok);
+  /// Breaker bookkeeping for one settled request. Successes reset the
+  /// consecutive-failure run and close a half-open breaker; failures
+  /// extend the run and open the breaker at the threshold.
+  void NoteOutcomeLocked(bool ok) FCM_REQUIRES(mu_);
 
-  /// Counter snapshot with mu_ held (shared by stats() and Health()).
-  AsyncServiceStats StatsLocked() const;
+  /// Counter snapshot (shared by stats() and Health()).
+  AsyncServiceStats StatsLocked() const FCM_REQUIRES(mu_);
+
+  /// Admission predicate: the queue has room or the service is draining.
+  bool HaveRoomLocked() const FCM_REQUIRES(mu_);
+  /// Dispatcher wake predicate.
+  bool QueueReadyLocked() const FCM_REQUIRES(mu_);
 
   const SearchEngine* engine_;
   AsyncServiceOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_space_;  // Queue has room (or shutting down).
-  std::condition_variable cv_data_;   // Queue has data (or shutting down).
-  std::deque<Request> queue_;
-  bool stopping_ = false;  // No new requests; set once by Shutdown.
-  bool cancel_ = false;    // Shutdown(false): fail undispatched requests.
+  mutable common::Mutex mu_;
+  common::CondVar cv_space_;  // Queue has room (or shutting down).
+  common::CondVar cv_data_;   // Queue has data (or shutting down).
+  std::deque<Request> queue_ FCM_GUARDED_BY(mu_);
+  /// No new requests; set once by Shutdown.
+  bool stopping_ FCM_GUARDED_BY(mu_) = false;
+  /// Shutdown(false): fail undispatched requests.
+  bool cancel_ FCM_GUARDED_BY(mu_) = false;
 
-  // Monotone counters (guarded by mu_ where they pair with queue state;
-  // completed_ is only touched by the score thread).
-  uint64_t submitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t deadline_expired_ = 0;
-  uint64_t retried_ = 0;
-  uint64_t fast_rejected_ = 0;
-  uint64_t batches_ = 0;
-  size_t max_coalesced_ = 0;
+  // Monotone counters. All settle under mu_ so a stats()/Health() snapshot
+  // is consistent the moment any future resolves.
+  uint64_t submitted_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t cancelled_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_expired_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t retried_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t fast_rejected_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ FCM_GUARDED_BY(mu_) = 0;
+  size_t max_coalesced_ FCM_GUARDED_BY(mu_) = 0;
   /// Request ids start at 1 and are assigned in admission order; they key
   /// the engine's per-query failpoint sites via StagedQuery::tag (0 is
   /// reserved for untagged synchronous Search calls).
-  uint64_t next_request_id_ = 0;
+  uint64_t next_request_id_ FCM_GUARDED_BY(mu_) = 0;
 
-  // Circuit breaker (guarded by mu_).
-  BreakerState breaker_ = BreakerState::kClosed;
-  uint64_t consecutive_failures_ = 0;
-  uint64_t breaker_trips_ = 0;
-  std::chrono::steady_clock::time_point breaker_opened_at_{};
+  // Circuit breaker.
+  BreakerState breaker_ FCM_GUARDED_BY(mu_) = BreakerState::kClosed;
+  uint64_t consecutive_failures_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t breaker_trips_ FCM_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_
+      FCM_GUARDED_BY(mu_){};
 
   /// Adaptive micro-batching controller; null when options_.adaptive is
-  /// off. Guarded by mu_: the dispatcher consults it while holding the
-  /// queue lock and the score thread reports batch service time under
-  /// the same lock, so the controller itself needs no synchronization.
-  std::unique_ptr<AdaptiveBatchController> controller_;
+  /// off. The under-lock contract (batch_controller.h "Thread safety:
+  /// none") is compile-enforced here: both the pointer and the pointee
+  /// are guarded by mu_ — the dispatcher consults it holding the queue
+  /// lock and the score thread reports batch service time under the same
+  /// lock, so the controller itself needs no synchronization.
+  std::unique_ptr<AdaptiveBatchController> controller_ FCM_GUARDED_BY(mu_)
+      FCM_PT_GUARDED_BY(mu_);
 
   std::unique_ptr<StageChannel> encode_to_candidates_;
   std::unique_ptr<StageChannel> candidates_to_score_;
@@ -313,8 +323,8 @@ class AsyncSearchService {
   std::thread candidate_thread_;
   std::thread score_thread_;
 
-  std::mutex shutdown_mu_;  // Serializes Shutdown callers / the dtor.
-  bool joined_ = false;
+  common::Mutex shutdown_mu_;  // Serializes Shutdown callers / the dtor.
+  bool joined_ FCM_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace fcm::index

@@ -22,8 +22,11 @@
 // and traces, which is what makes convergence unit-testable with a fake
 // clock and no wall-clock sleeps (tests/adaptive_batching_test.cc).
 //
-// Thread safety: none. AsyncSearchService calls it under its queue mutex;
-// standalone users must provide their own exclusion.
+// Thread safety: none. AsyncSearchService calls it under its queue mutex —
+// a contract the clang thread-safety build enforces: the service declares
+// its controller_ pointer FCM_GUARDED_BY(mu_) FCM_PT_GUARDED_BY(mu_)
+// (src/index/async_service.h), so any dereference outside the lock is a
+// -Wthread-safety error. Standalone users must provide their own exclusion.
 
 #ifndef FCM_INDEX_BATCH_CONTROLLER_H_
 #define FCM_INDEX_BATCH_CONTROLLER_H_

@@ -255,12 +255,12 @@ std::vector<table::TableId> SearchEngine::Candidates(
   }
   if (strategy == IndexStrategy::kLsh) return SortedIds(s2);
 
-  // Hybrid: S1 ∩ S2.
+  // Hybrid: S1 ∩ S2, walked in sorted id order so the result is ordered
+  // without a trailing sort.
   std::vector<table::TableId> out;
-  for (table::TableId id : s2) {
+  for (table::TableId id : SortedIds(s2)) {
     if (s1.count(id)) out.push_back(id);
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

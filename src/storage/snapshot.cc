@@ -84,8 +84,10 @@ std::vector<uint8_t> SnapshotWriter::Serialize() const {
            Crc32(sections_[i].bytes.data(), sections_[i].bytes.size()));
     // Trailing u32 stays zero (validated by the reader).
   }
-  // Payloads.
+  // Payloads. Empty sections are skipped: memcpy from an empty vector's
+  // data() (null) is UB even with a zero byte count.
   for (size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].bytes.empty()) continue;
     std::memcpy(out.data() + offsets[i], sections_[i].bytes.data(),
                 sections_[i].bytes.size());
   }
@@ -162,9 +164,26 @@ common::Result<std::unique_ptr<SnapshotReader>> SnapshotReader::Open(
 common::Result<std::unique_ptr<SnapshotReader>>
 SnapshotReader::OpenFromBuffer(std::vector<uint8_t> buffer) {
   std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
-  reader->heap_ = std::move(buffer);
-  reader->data_ = reader->heap_.data();
-  reader->size_ = reader->heap_.size();
+  const size_t image_bytes = buffer.size();
+  // Section offsets are kSnapshotAlignment-aligned *within the image*;
+  // for TypedSection's reinterpretation to be aligned in memory the image
+  // base must be too. A vector only guarantees max_align_t (typically
+  // 16), so re-land the bytes at an aligned base when the allocator
+  // hands us less — mmap-backed opens are page-aligned and never copy.
+  const uintptr_t base = reinterpret_cast<uintptr_t>(buffer.data());
+  if (base % kSnapshotAlignment != 0) {
+    std::vector<uint8_t> aligned(image_bytes + kSnapshotAlignment);
+    const uintptr_t raw = reinterpret_cast<uintptr_t>(aligned.data());
+    const size_t shift =
+        (kSnapshotAlignment - raw % kSnapshotAlignment) % kSnapshotAlignment;
+    std::memcpy(aligned.data() + shift, buffer.data(), image_bytes);
+    reader->heap_ = std::move(aligned);
+    reader->data_ = reader->heap_.data() + shift;
+  } else {
+    reader->heap_ = std::move(buffer);
+    reader->data_ = reader->heap_.data();
+  }
+  reader->size_ = image_bytes;
   auto status = reader->Validate();
   if (!status.ok()) return status;
   return reader;

@@ -99,13 +99,19 @@ TEST_F(AsyncSearchServiceTest, MatchesSearchAcrossCoalescingPatterns) {
   // Micro-batch knobs from "never coalesce" through "coalesce everything";
   // each configuration must produce rankings bit-identical to Search for
   // every request, whatever batches the dispatcher happened to form.
+  const auto make_options = [](size_t max_batch_size,
+                               double max_batch_delay_ms) {
+    AsyncServiceOptions options;
+    options.queue_capacity = 64;
+    options.backpressure = BackpressureMode::kBlock;
+    options.max_batch_size = max_batch_size;
+    options.max_batch_delay_ms = max_batch_delay_ms;
+    return options;
+  };
   const AsyncServiceOptions configs[] = {
-      {/*queue_capacity=*/64, BackpressureMode::kBlock,
-       /*max_batch_size=*/1, /*max_batch_delay_ms=*/0.0},
-      {/*queue_capacity=*/64, BackpressureMode::kBlock,
-       /*max_batch_size=*/3, /*max_batch_delay_ms=*/2.0},
-      {/*queue_capacity=*/64, BackpressureMode::kBlock,
-       /*max_batch_size=*/64, /*max_batch_delay_ms=*/5.0},
+      make_options(/*max_batch_size=*/1, /*max_batch_delay_ms=*/0.0),
+      make_options(/*max_batch_size=*/3, /*max_batch_delay_ms=*/2.0),
+      make_options(/*max_batch_size=*/64, /*max_batch_delay_ms=*/5.0),
   };
   const IndexStrategy strategies[] = {
       IndexStrategy::kNoIndex, IndexStrategy::kIntervalTree,

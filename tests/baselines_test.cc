@@ -90,8 +90,12 @@ TEST(DeepEyeTest, NothingForUnplottableTable) {
 TEST(LineNetTest, EmbeddingDimensionsAndDeterminism) {
   LineNetConfig config;
   LineNetLite net(config);
+  // A diagonal stroke across the 64-row x 32-col image (row stride 32;
+  // the column is halved so it stays inside every row).
   std::vector<float> image(64 * 32, 0.0f);
-  for (int i = 0; i < 64; ++i) image[static_cast<size_t>(i) * 64 / 2 + i] = 1.0f;
+  for (int i = 0; i < 64; ++i) {
+    image[static_cast<size_t>(i) * 32 + static_cast<size_t>(i) / 2] = 1.0f;
+  }
   const auto e1 = net.Embed(image, 64, 32);
   const auto e2 = net.Embed(image, 64, 32);
   ASSERT_EQ(e1.size(), static_cast<size_t>(config.embed_dim));
@@ -220,7 +224,9 @@ TEST_F(MethodsTest, QetchStarPrefersSourceOverRandom) {
     ++total;
     if (self_score >= other_score) ++wins;
   }
-  if (total > 0) EXPECT_GE(wins, (total + 1) / 2);
+  if (total > 0) {
+    EXPECT_GE(wins, (total + 1) / 2);
+  }
 }
 
 TEST_F(MethodsTest, DeLnFitsAndScores) {

@@ -151,7 +151,9 @@ TEST(SnapshotTest, RoundtripThroughFileMmapAndHeap) {
     options.use_mmap = use_mmap;
     auto opened = SnapshotReader::Open(path, options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-    if (!use_mmap) EXPECT_FALSE(opened.value()->mmap_backed());
+    if (!use_mmap) {
+      EXPECT_FALSE(opened.value()->mmap_backed());
+    }
     auto f32 = opened.value()->TypedSection<float>("floats.f32");
     ASSERT_TRUE(f32.ok());
     EXPECT_EQ(f32.value()[2], 3.25f);

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# check_thread_safety.sh — prove the clang thread-safety annotation layer
+# actually analyzes (registered as the tier-1 `thread_safety_annotations`
+# ctest, label `static`).
+#
+# Three stages, all under `clang++ -fsyntax-only -Wthread-safety
+# -Werror=thread-safety`:
+#   1. positive probe: a correct Mutex/MutexLock/CondVar usage compiles;
+#   2. negative probe: a deliberately broken lock pattern (guarded field
+#      touched without the lock, Unlock of an unheld mutex) FAILS to
+#      compile — guards against the macros silently expanding to nothing;
+#   3. tree check: every migrated translation unit in src/ passes the
+#      analysis.
+#
+# Without clang on PATH (the annotations are no-ops under gcc) the script
+# exits 77, which ctest reports as SKIP via SKIP_RETURN_CODE.
+#
+# Usage: check_thread_safety.sh [repo_root]
+
+set -euo pipefail
+
+REPO_ROOT="${1:-$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)}"
+
+CLANG=""
+for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+            clang++-15 clang++-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    CLANG="$cand"
+    break
+  fi
+done
+
+if [[ -z "$CLANG" ]]; then
+  echo "thread_safety_annotations: no clang++ on PATH — annotations are" \
+       "no-ops under this toolchain; SKIPPED (run on a machine with clang" \
+       "to exercise -Wthread-safety)."
+  exit 77
+fi
+
+TSA_FLAGS=(-std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety
+           -I "$REPO_ROOT/src")
+TMPDIR_PROBE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_PROBE"' EXIT
+
+# ---- 1. positive probe -------------------------------------------------
+cat > "$TMPDIR_PROBE/good.cc" <<'EOF'
+#include "common/annotated_mutex.h"
+
+class Counter {
+ public:
+  void Add(int d) {
+    fcm::common::MutexLock lk(&mu_);
+    value_ += d;
+    cv_.NotifyAll();
+  }
+  int Get() const {
+    fcm::common::MutexLock lk(&mu_);
+    return value_;
+  }
+
+ private:
+  bool NonZeroLocked() const FCM_REQUIRES(mu_) { return value_ != 0; }
+
+  mutable fcm::common::Mutex mu_;
+  fcm::common::CondVar cv_;
+  int value_ FCM_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Get() - 1;
+}
+EOF
+if ! "$CLANG" "${TSA_FLAGS[@]}" "$TMPDIR_PROBE/good.cc"; then
+  echo "thread_safety_annotations: FAIL — correct annotated locking did" \
+       "not compile under -Wthread-safety (annotation layer is broken)." >&2
+  exit 1
+fi
+echo "  [1/3] positive probe: correct locking compiles"
+
+# ---- 2. negative probe -------------------------------------------------
+cat > "$TMPDIR_PROBE/bad.cc" <<'EOF'
+#include "common/annotated_mutex.h"
+
+class Racy {
+ public:
+  // Guarded field touched without the lock: must be a -Wthread-safety error.
+  void Add(int d) { value_ += d; }
+  // Unlock of a mutex this function never acquired: also an error.
+  void Drop() { mu_.Unlock(); }
+
+ private:
+  fcm::common::Mutex mu_;
+  int value_ FCM_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Racy r;
+  r.Add(1);
+  return 0;
+}
+EOF
+if "$CLANG" "${TSA_FLAGS[@]}" "$TMPDIR_PROBE/bad.cc" 2>/dev/null; then
+  echo "thread_safety_annotations: FAIL — a guarded-field race compiled" \
+       "cleanly; the capability macros are expanding to nothing under" \
+       "clang." >&2
+  exit 1
+fi
+echo "  [2/3] negative probe: broken locking rejected"
+
+# ---- 3. whole-tree analysis -------------------------------------------
+failures=0
+while IFS= read -r tu; do
+  if ! "$CLANG" "${TSA_FLAGS[@]}" "$tu"; then
+    echo "thread_safety_annotations: analysis failed for $tu" >&2
+    failures=$((failures + 1))
+  fi
+done < <(find "$REPO_ROOT/src" -name '*.cc' | sort)
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "thread_safety_annotations: FAIL — $failures translation unit(s)" \
+       "violate the lock annotations." >&2
+  exit 1
+fi
+echo "  [3/3] tree analysis: all src/ translation units pass -Wthread-safety"
+echo "thread_safety_annotations: OK"

@@ -1,0 +1,17 @@
+// fcm_lint fixture: cast-justify rule (linted as src/common/fixture.cc).
+#include <cstdint>
+
+float Bad(const char* bytes) {
+  const auto* f = reinterpret_cast<const float*>(bytes);  // expect[cast-justify]
+  return *f;
+}
+
+float GoodSameLine(const char* bytes) {
+  // fcm-lint: serialized little-endian float32, alignment checked by caller
+  const auto* f = reinterpret_cast<const float*>(bytes);
+  return *f;
+}
+
+const char* GoodPrevLine(const float* values) {
+  return reinterpret_cast<const char*>(values);  // fcm-lint: byte view for I/O
+}

@@ -1,0 +1,14 @@
+// fcm_lint fixture: path exemptions (linted as src/storage/fixture.cc).
+// src/storage is the mmap/zero-copy layer: reinterpret_cast is its bread
+// and butter and needs no per-site justification there. The other rules
+// still apply.
+#include <cstdint>
+#include <cstdlib>
+
+float NoJustificationNeededHere(const char* bytes) {
+  return *reinterpret_cast<const float*>(bytes);
+}
+
+long StillNoWallClock() {
+  return rand();  // expect[wall-clock]
+}

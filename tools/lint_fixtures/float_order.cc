@@ -1,0 +1,30 @@
+// fcm_lint fixture: float-order rule (linted as src/relevance/fixture.cc).
+#include <algorithm>
+#include <vector>
+
+struct Hit {
+  int id;
+  float score;
+};
+
+void Bad(std::vector<Hit>& hits) {
+  std::sort(hits.begin(), hits.end(),  // expect[float-order]
+            [](const Hit& a, const Hit& b) { return a.score > b.score; });
+}
+
+void Good(std::vector<Hit>& hits) {
+  // The documented tie-break pattern (see RankHits in search_engine.cc):
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.score != b.score ? a.score > b.score : a.id < b.id;
+  });
+  // Sorting by an integral key needs no tie-break:
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.id < b.id; });
+  // Default ordering of scalars is fine too:
+  std::vector<int> ids;
+  std::sort(ids.begin(), ids.end());
+  // Suppressible when ties are provably absent:
+  // fcm-lint: disable=float-order
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const Hit& a, const Hit& b) { return a.score > b.score; });
+}

@@ -1,0 +1,25 @@
+// fcm_lint fixture: naked-mutex rule (linted as src/common/fixture.cc).
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+struct Bad {
+  std::mutex mu;                 // expect[naked-mutex]
+  std::shared_mutex smu;         // expect[naked-mutex]
+  std::condition_variable cv;    // expect[naked-mutex]
+};
+
+void BadLocking(Bad& b) {
+  std::lock_guard<std::mutex> lk(b.mu);        // expect[naked-mutex]
+}
+
+void BadUnique(Bad& b) {
+  std::unique_lock<std::mutex> lk(b.mu);       // expect[naked-mutex]
+}
+
+struct Interop {
+  // Wrapping a std primitive is exactly what annotated_mutex.h does; any
+  // other site must justify why it cannot use common::Mutex.
+  // fcm-lint: disable=naked-mutex
+  std::mutex raw_for_c_api;
+};

@@ -1,0 +1,34 @@
+// fcm_lint fixture: unordered-iter rule (linted as src/index/fixture.cc).
+// Lines with an expect marker MUST be flagged; every other line MUST
+// stay clean (suppressions included).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using IdSet = std::unordered_set<int>;
+
+struct Index {
+  std::unordered_map<int, float> scores;
+  IdSet live;
+};
+
+int Sum(const Index& idx) {
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (const auto& kv : idx.scores) {  // expect[unordered-iter]
+    total += kv.first;
+  }
+  for (int id : idx.live) {  // expect[unordered-iter]
+    total += id;
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // expect[unordered-iter]
+    total += *it;
+  }
+  // Membership tests and sorted materialization are fine:
+  if (seen.count(3) != 0) ++total;
+  std::vector<int> sorted_ids(seen.begin(), seen.end());
+  // Justified iteration (order does not reach output) is suppressible:
+  // fcm-lint: disable=unordered-iter
+  for (int id : seen) total += id;
+  return total;
+}

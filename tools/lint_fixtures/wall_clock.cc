@@ -1,0 +1,28 @@
+// fcm_lint fixture: wall-clock rule (linted as src/common/fixture.cc).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long Bad() {
+  long x = rand();                           // expect[wall-clock]
+  std::random_device rd;                     // expect[wall-clock]
+  x += static_cast<long>(rd());
+  x += static_cast<long>(time(nullptr));     // expect[wall-clock]
+  auto wall = std::chrono::system_clock::now();  // expect[wall-clock]
+  x += wall.time_since_epoch().count();
+  return x;
+}
+
+long Good() {
+  // Monotonic clocks are allowed (latency measurement, deadlines):
+  auto t0 = std::chrono::steady_clock::now();
+  // Identifiers merely containing "time"/"rand" must not trip the rule:
+  long build_time(0);
+  long strand(1);
+  (void)strand;
+  // Sanctioned escape hatch for a deliberate wall read:
+  auto wall = std::chrono::system_clock::now();  // fcm-lint: disable=wall-clock
+  return build_time + wall.time_since_epoch().count() +
+         t0.time_since_epoch().count();
+}

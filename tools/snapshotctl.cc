@@ -115,7 +115,7 @@ int Inspect(const std::string& path) {
     const ElemType type = ElemTypeFor(name);
     const size_t bytes = r.SectionBytes(name);
     const size_t bpr = BytesPerRow(name, type, embed_dim);
-    char bpr_str[16] = "-";
+    char bpr_str[32] = "-";
     if (bpr > 0) std::snprintf(bpr_str, sizeof(bpr_str), "%zu", bpr);
     std::printf("%-24s %12zu 0x%08" PRIx32 " %6s %10zu %6s\n", name.c_str(),
                 bytes, r.SectionCrc(name), type.label, bytes / type.bytes,
