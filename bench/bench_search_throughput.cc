@@ -9,8 +9,12 @@
 // candidate-generation phases, and a "quant" phase comparing the int8
 // quantized embedding tier against f32 (memory footprint, QPS, top-k
 // recall with its gating floor, determinism, snapshot round-trip) over a
-// dim-32 model, emitting machine-readable JSON (written to --out=PATH or
-// the path in argv[1]) so perf PRs can track the BENCH_*.json trajectory.
+// dim-32 model, and an "ingest" phase (serving QPS/p99 while a writer
+// appends tables at a fixed cadence with background + forced mid-stream
+// compaction, gated on the epoch-determinism verdict: the post-append
+// engine must rank bit-identically to a from-scratch build), emitting
+// machine-readable JSON (written to --out=PATH or the path in argv[1])
+// so perf PRs can track the BENCH_*.json trajectory.
 // A "machine" section (nproc, CPU model, active SIMD target) makes runs
 // comparable across hosts.
 // Parallel/sharded/async and serial paths must return identical top-k
@@ -48,6 +52,7 @@
 
 #include "chart/renderer.h"
 #include "index/async_service.h"
+#include "index/ingest.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/simd.h"
@@ -377,9 +382,9 @@ int main(int argc, char** argv) {
   char buf[256];
 
   // Synthetic lake of mixed sinusoid tables (same substrate as the index
-  // tests, scaled up).
-  fcm::table::DataLake lake;
-  for (int i = 0; i < num_tables; ++i) {
+  // tests, scaled up). A pure function of i, so the ingest phase below
+  // can rebuild any prefix/suffix of the same logical lake.
+  const auto make_bench_table = [](int i) {
     fcm::table::Table t;
     for (int c = 0; c < 3; ++c) {
       std::vector<double> v(96);
@@ -391,8 +396,10 @@ int main(int argc, char** argv) {
       }
       t.AddColumn(fcm::table::Column("c" + std::to_string(c), std::move(v)));
     }
-    lake.Add(std::move(t));
-  }
+    return t;
+  };
+  fcm::table::DataLake lake;
+  for (int i = 0; i < num_tables; ++i) lake.Add(make_bench_table(i));
 
   fcm::core::FcmConfig config;
   config.embed_dim = 16;
@@ -954,6 +961,137 @@ int main(int argc, char** argv) {
   all_identical = all_identical && quant_deterministic &&
                   quant_snapshot_ok && quant_snapshot_identical;
 
+  // ---- Live ingestion: serving QPS/p99 while appending at a fixed rate --
+  // One submitter drives the async service closed-loop while a writer
+  // thread appends the second half of the lake in fixed-size batches on a
+  // fixed cadence, a background Compactor merges deltas, and one explicit
+  // mid-stream Compact measures the pause a forced merge costs under
+  // traffic. After the dust settles the engine must rank bit-identically
+  // to the from-scratch engines built over the full lake above, for every
+  // strategy — the epoch-determinism verdict tools/run_benchmarks.sh
+  // gates on.
+  const int ingest_base = num_tables / 2;
+  const int ingest_appended = num_tables - ingest_base;
+  const int ingest_batch_size = std::max(1, ingest_appended / 6);
+  const double append_interval_ms = 40.0;
+  fcm::table::DataLake ingest_lake;
+  for (int i = 0; i < ingest_base; ++i) ingest_lake.Add(make_bench_table(i));
+  fcm::index::SearchEngineOptions ingest_build_options;
+  ingest_build_options.num_threads = hardware;
+  fcm::index::SearchEngine ingest_engine(&model, &ingest_lake);
+  ingest_engine.BuildWithOptions(ingest_build_options);
+
+  double ingest_serving_qps = 0.0, ingest_p50_ms = 0.0, ingest_p99_ms = 0.0;
+  double ingest_publish_ms_mean = 0.0, ingest_publish_ms_max = 0.0;
+  double mid_compact_pause_ms = 0.0, final_compact_pause_ms = 0.0;
+  int ingest_batches = 0;
+  uint64_t ingest_requests = 0;
+  size_t delta_segments_precompact = 0;
+  std::atomic<bool> ingest_clean{true};  // Written by writer + submitter.
+  uint64_t background_compactions = 0;
+  {
+    fcm::index::AsyncSearchService ingest_service(&ingest_engine,
+                                                  make_options(0.0, false));
+    fcm::index::CompactorOptions compactor_options;
+    compactor_options.max_delta_segments = 4;
+    compactor_options.poll_interval = std::chrono::milliseconds(10);
+    fcm::index::Compactor compactor(&ingest_engine, compactor_options);
+    compactor.Start();
+
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      for (int lo = ingest_base; lo < num_tables; lo += ingest_batch_size) {
+        const int hi = std::min(lo + ingest_batch_size, num_tables);
+        std::vector<fcm::table::Table> batch;
+        for (int i = lo; i < hi; ++i) batch.push_back(make_bench_table(i));
+        const auto t0 = Clock::now();
+        if (!ingest_service.Ingest(std::move(batch)).ok()) {
+          ingest_clean = false;
+          break;
+        }
+        const double ms = Seconds(t0) * 1e3;
+        ingest_publish_ms_mean += ms;
+        ingest_publish_ms_max = std::max(ingest_publish_ms_max, ms);
+        ++ingest_batches;
+        compactor.Notify();
+        if (ingest_batches == 3) {
+          // One forced merge mid-traffic: the pause a compaction costs
+          // while requests are in flight.
+          fcm::index::CompactStats stats;
+          if (ingest_service.Compact(&stats).ok()) {
+            mid_compact_pause_ms = stats.seconds * 1e3;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            append_interval_ms));
+      }
+      writer_done.store(true, std::memory_order_release);
+    });
+
+    std::vector<double> latencies_ms;
+    const auto t_serving = Clock::now();
+    while (!writer_done.load(std::memory_order_acquire) ||
+           latencies_ms.size() < 32) {
+      const size_t qi = latencies_ms.size() % queries.size();
+      const auto t0 = Clock::now();
+      try {
+        auto hits = ingest_service.Submit(queries[qi], k, strategy).get();
+        if (hits.empty()) ingest_clean = false;
+      } catch (...) {
+        ingest_clean = false;
+      }
+      latencies_ms.push_back(Seconds(t0) * 1e3);
+    }
+    const double serving_seconds = Seconds(t_serving);
+    writer.join();
+    delta_segments_precompact = ingest_engine.num_delta_segments();
+    compactor.Stop();
+    background_compactions = compactor.stats().compactions;
+    {
+      fcm::index::CompactStats stats;
+      if (ingest_engine.Compact(&stats).ok()) {
+        final_compact_pause_ms = stats.seconds * 1e3;
+      } else {
+        ingest_clean = false;
+      }
+    }
+    ingest_service.Shutdown();
+    ingest_requests = static_cast<uint64_t>(latencies_ms.size());
+    ingest_serving_qps =
+        static_cast<double>(latencies_ms.size()) /
+        std::max(serving_seconds, 1e-9);
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto pct = [&](double p) {
+      if (latencies_ms.empty()) return 0.0;
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(latencies_ms.size() - 1));
+      return latencies_ms[idx];
+    };
+    ingest_p50_ms = pct(0.50);
+    ingest_p99_ms = pct(0.99);
+    if (ingest_batches > 0) {
+      ingest_publish_ms_mean /= static_cast<double>(ingest_batches);
+    }
+  }
+  // The verdict: after live appends + compactions, every strategy must
+  // rank exactly like the from-scratch build over the same tables.
+  bool ingest_identical =
+      ingest_engine.num_tables() == static_cast<size_t>(num_tables);
+  for (const auto s : {fcm::index::IndexStrategy::kNoIndex,
+                       fcm::index::IndexStrategy::kIntervalTree,
+                       fcm::index::IndexStrategy::kLsh,
+                       fcm::index::IndexStrategy::kHybrid}) {
+    std::vector<std::vector<fcm::index::SearchHit>> reference;
+    reference.reserve(queries.size());
+    for (const auto& q : queries) {
+      reference.push_back(serial_engine.Search(q, k, s));
+    }
+    ingest_identical =
+        ingest_identical &&
+        SameHitLists(ingest_engine.SearchBatch(queries, k, s), reference);
+  }
+  all_identical = all_identical && ingest_identical && ingest_clean;
+
   // ---- SIMD kernel dispatch: per-target GFLOP/s ----
   // The startup-resolved target (cpuid + FCM_SIMD env var) served every
   // phase above; here each compiled-in target is forced in turn so the
@@ -1334,10 +1472,45 @@ int main(int argc, char** argv) {
   json += buf;
   std::snprintf(buf, sizeof(buf),
                 "    \"determinism_ok\": %s, \"snapshot_save_open_ok\": %s, "
-                "\"snapshot_identical_topk\": %s\n  }\n",
+                "\"snapshot_identical_topk\": %s\n  },\n",
                 quant_deterministic ? "true" : "false",
                 quant_snapshot_ok ? "true" : "false",
                 quant_snapshot_identical ? "true" : "false");
+  json += buf;
+  // Live-ingestion phase. Key names deliberately avoid "rejected" /
+  // "cancelled" / "failed" (run_benchmarks.sh sums those as drops).
+  json += "  \"ingest\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"tables_base\": %d, \"tables_appended\": %d, "
+                "\"batch_size\": %d, \"batches\": %d, "
+                "\"append_interval_ms\": %.1f,\n",
+                ingest_base, ingest_appended, ingest_batch_size,
+                ingest_batches, append_interval_ms);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"requests\": %llu, \"serving_qps\": %.2f, "
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f,\n",
+                static_cast<unsigned long long>(ingest_requests),
+                ingest_serving_qps, ingest_p50_ms, ingest_p99_ms);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"ingest_publish_ms_mean\": %.3f, "
+                "\"ingest_publish_ms_max\": %.3f,\n",
+                ingest_publish_ms_mean, ingest_publish_ms_max);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"mid_compact_pause_ms\": %.3f, "
+                "\"final_compact_pause_ms\": %.3f, "
+                "\"background_compactions\": %llu, "
+                "\"delta_segments_precompact\": %zu,\n",
+                mid_compact_pause_ms, final_compact_pause_ms,
+                static_cast<unsigned long long>(background_compactions),
+                delta_segments_precompact);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"epoch_determinism_ok\": %s, \"clean\": %s\n  }\n",
+                ingest_identical ? "true" : "false",
+                ingest_clean ? "true" : "false");
   json += buf;
   json += "}\n";
 

@@ -60,6 +60,11 @@ struct AsyncSearchService::MicroBatch {
   /// Per-stage wall time, filled as the batch flows through the pipeline;
   /// the score thread feeds the total back to the adaptive controller.
   SearchEngine::StageTiming timing;
+  /// Index generation pinned at dispatch; every stage of this batch runs
+  /// against it, so concurrent Ingest/Compact publishes never change what
+  /// an in-flight batch observes. Released (possibly retiring the epoch)
+  /// when the batch is destroyed after fulfillment.
+  EpochPin epoch;
 };
 
 // Bounded stage hand-off. Depth 2 keeps at most one batch queued behind
@@ -132,6 +137,12 @@ AsyncSearchService::AsyncSearchService(const SearchEngine* engine,
   dispatch_thread_ = std::thread([this]() { DispatchLoop(); });
   candidate_thread_ = std::thread([this]() { CandidateLoop(); });
   score_thread_ = std::thread([this]() { ScoreLoop(); });
+}
+
+AsyncSearchService::AsyncSearchService(SearchEngine* engine,
+                                       const AsyncServiceOptions& options)
+    : AsyncSearchService(static_cast<const SearchEngine*>(engine), options) {
+  mutable_engine_ = engine;
 }
 
 AsyncSearchService::~AsyncSearchService() { Shutdown(/*drain=*/true); }
@@ -322,6 +333,10 @@ void AsyncSearchService::DispatchLoop() {
     if (batch->requests.empty()) continue;
 
     RestageBatch(batch.get());
+    // Pin this batch's index generation before any stage runs: the whole
+    // pipeline pass — including singleton recovery re-runs — serves from
+    // this epoch, whatever Ingest/Compact publishes meanwhile.
+    batch->epoch = engine_->PinEpoch();
     try {
       FCM_FAILPOINT("async.dispatch");
       engine_->EncodeStage(&batch->staged, &batch->timing);
@@ -342,7 +357,7 @@ void AsyncSearchService::CandidateLoop() {
     ShedExpired(batch.get());
     if (batch->requests.empty()) continue;
     try {
-      engine_->CandidateStage(&batch->staged, &batch->timing);
+      engine_->CandidateStage(&batch->staged, &batch->timing, batch->epoch);
     } catch (...) {
       RecoverBatch(batch.get());
       continue;
@@ -360,7 +375,8 @@ void AsyncSearchService::ScoreLoop() {
     if (batch->requests.empty()) continue;
     std::vector<std::vector<SearchHit>> results;
     try {
-      results = engine_->ScoreStage(batch->staged, nullptr, &batch->timing);
+      results = engine_->ScoreStage(batch->staged, nullptr, &batch->timing,
+                                    batch->epoch);
     } catch (...) {
       RecoverBatch(batch.get());
       continue;
@@ -457,10 +473,14 @@ void AsyncSearchService::RecoverBatch(MicroBatch* batch) {
     staged[0].strategy = request.strategy;
     staged[0].k = request.k;
     staged[0].tag = request.id;
+    // Re-run on the batch's pinned epoch so recovery cannot observe a
+    // different index generation than the batch it recovers.
+    const EpochPin pin =
+        batch->epoch != nullptr ? batch->epoch : engine_->PinEpoch();
     try {
       engine_->EncodeStage(&staged);
-      engine_->CandidateStage(&staged);
-      auto results = engine_->ScoreStage(staged);
+      engine_->CandidateStage(&staged, nullptr, pin);
+      auto results = engine_->ScoreStage(staged, nullptr, nullptr, pin);
       {
         common::MutexLock lk(&mu_);
         ++completed_;
@@ -499,6 +519,42 @@ void AsyncSearchService::NoteOutcomeLocked(bool ok) {
   }
 }
 
+common::Status AsyncSearchService::Ingest(std::vector<table::Table> tables,
+                                          IngestStats* stats) {
+  if (mutable_engine_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "Ingest requires the mutable-engine constructor");
+  }
+  // Choke point for fault schedules: an armed failure here models the
+  // admission layer rejecting an append before it reaches the engine.
+  FCM_FAILPOINT_STATUS("async.ingest");
+  IngestStats local;
+  FCM_RETURN_IF_ERROR(mutable_engine_->IngestBatch(std::move(tables), &local));
+  {
+    common::MutexLock lk(&mu_);
+    ++ingest_batches_;
+    ingested_tables_ += local.tables;
+  }
+  if (stats != nullptr) *stats = local;
+  return common::Status::OK();
+}
+
+common::Status AsyncSearchService::Compact(CompactStats* stats) {
+  if (mutable_engine_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "Compact requires the mutable-engine constructor");
+  }
+  FCM_FAILPOINT_STATUS("async.compact");
+  CompactStats local;
+  FCM_RETURN_IF_ERROR(mutable_engine_->Compact(&local));
+  {
+    common::MutexLock lk(&mu_);
+    ++compactions_;
+  }
+  if (stats != nullptr) *stats = local;
+  return common::Status::OK();
+}
+
 void AsyncSearchService::Shutdown(bool drain) {
   common::MutexLock shutdown_lk(&shutdown_mu_);
   {
@@ -532,6 +588,9 @@ AsyncServiceStats AsyncSearchService::StatsLocked() const {
   out.fast_rejected = fast_rejected_;
   out.batches = batches_;
   out.max_coalesced = max_coalesced_;
+  out.ingest_batches = ingest_batches_;
+  out.ingested_tables = ingested_tables_;
+  out.compactions = compactions_;
   if (controller_ != nullptr) out.controller = controller_->counters();
   return out;
 }

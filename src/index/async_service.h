@@ -17,6 +17,14 @@
 // not yet dispatched fail with ShutdownError; micro-batches already in the
 // pipeline still complete), deterministically in both modes.
 //
+// Live ingestion: a service constructed over a mutable engine also
+// forwards Ingest / Compact to it, so tables can be appended and segments
+// merged while the pipeline serves traffic. Each micro-batch pins one
+// engine epoch at dispatch and runs all three stages against that pin, so
+// every request observes a single consistent index generation — its
+// ranking equals Search against *some* epoch current between its admission
+// and its completion, bit-identically (the stage code is shared).
+//
 // Failure semantics (docs/SERVING.md "Failure semantics" for the caller
 // view; fault schedules that prove them live in common/failpoint.h):
 //  - Per-request deadlines: Submit takes an optional absolute deadline.
@@ -143,6 +151,12 @@ struct AsyncServiceStats {
   uint64_t fast_rejected = 0;
   uint64_t batches = 0;     ///< Micro-batches dispatched into the pipeline.
   size_t max_coalesced = 0; ///< Largest micro-batch dispatched.
+  // Writer-side counters (zero on a service without a mutable engine).
+  // These count Ingest/Compact calls, not requests — they are outside the
+  // submitted == completed + ... balance above.
+  uint64_t ingest_batches = 0;   ///< Successful Ingest calls.
+  uint64_t ingested_tables = 0;  ///< Tables appended across them.
+  uint64_t compactions = 0;      ///< Successful Compact calls.
   /// Adaptive-controller counters (zero when options.adaptive is off).
   /// controller.decisions == batches: the controller decides once per
   /// dispatched micro-batch.
@@ -188,6 +202,11 @@ class AsyncSearchService {
   /// `engine` must already be built and must outlive the service.
   explicit AsyncSearchService(const SearchEngine* engine,
                               const AsyncServiceOptions& options = {});
+
+  /// Mutable-engine constructor: same serving pipeline, plus Ingest /
+  /// Compact forward to the engine so the index can grow under traffic.
+  explicit AsyncSearchService(SearchEngine* engine,
+                              const AsyncServiceOptions& options = {});
   /// Shutdown(/*drain=*/true): serves everything accepted, then joins.
   ~AsyncSearchService();
 
@@ -211,6 +230,19 @@ class AsyncSearchService {
   std::vector<std::future<std::vector<SearchHit>>> SubmitBatch(
       std::vector<vision::ExtractedChart> queries, int k,
       IndexStrategy strategy, Deadline deadline = kNoDeadline);
+
+  /// Appends `tables` to the served index (SearchEngine::IngestBatch)
+  /// while the pipeline keeps serving: in-flight micro-batches finish on
+  /// their pinned epochs, batches dispatched after the publish see the new
+  /// tables. Requires the mutable-engine constructor (FailedPrecondition
+  /// otherwise). Safe to call concurrently with Submit and Compact.
+  common::Status Ingest(std::vector<table::Table> tables,
+                        IngestStats* stats = nullptr);
+
+  /// Merges the engine's segments (SearchEngine::Compact) under traffic —
+  /// rankings are unchanged by contract. Requires the mutable-engine
+  /// constructor.
+  common::Status Compact(CompactStats* stats = nullptr);
 
   /// Stops accepting requests and joins the pipeline. drain=true serves
   /// every accepted request first; drain=false fails queued-but-undispatched
@@ -273,6 +305,11 @@ class AsyncSearchService {
   bool QueueReadyLocked() const FCM_REQUIRES(mu_);
 
   const SearchEngine* engine_;
+  /// Non-null only for the mutable-engine constructor (same object as
+  /// engine_); gates Ingest / Compact. Set during construction and
+  /// immutable afterwards — never read by the pipeline threads — so it
+  /// needs no lock.
+  SearchEngine* mutable_engine_ = nullptr;
   AsyncServiceOptions options_;
 
   mutable common::Mutex mu_;
@@ -296,6 +333,9 @@ class AsyncSearchService {
   uint64_t fast_rejected_ FCM_GUARDED_BY(mu_) = 0;
   uint64_t batches_ FCM_GUARDED_BY(mu_) = 0;
   size_t max_coalesced_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t ingest_batches_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t ingested_tables_ FCM_GUARDED_BY(mu_) = 0;
+  uint64_t compactions_ FCM_GUARDED_BY(mu_) = 0;
   /// Request ids start at 1 and are assigned in admission order; they key
   /// the engine's per-query failpoint sites via StagedQuery::tag (0 is
   /// reserved for untagged synchronous Search calls).

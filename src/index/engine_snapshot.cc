@@ -33,6 +33,7 @@
 #include <utility>
 
 #include "common/serialize.h"
+#include "index/index_segment.h"
 #include "index/search_engine.h"
 
 namespace fcm::index {
@@ -203,16 +204,26 @@ common::Status ReadColumn(common::BinaryReader* idx, BlockCursor* rep,
 }  // namespace
 
 common::Status SearchEngine::SaveSnapshot(const std::string& path) const {
-  if (entries_.empty() || lsh_ == nullptr || interval_tree_ == nullptr) {
+  const EpochPin pin = PinEpoch();
+  if (pin == nullptr) {
     return common::Status::FailedPrecondition(
         "engine snapshot: engine is not built");
   }
-  FCM_CHECK(lsh_->frozen());
+  // The snapshot format is a single frozen base; a multi-segment epoch
+  // must be merged first. (Compact is cheap relative to encoding — only
+  // the means blocks move and the LSH / tree rebuild.)
+  if (pin->num_segments() != 1) {
+    return common::Status::FailedPrecondition(
+        "engine snapshot: epoch has " + std::to_string(pin->num_segments()) +
+        " segments; call Compact() before SaveSnapshot");
+  }
+  const IndexSegment& segment = *pin->segments_.front();
+  FCM_CHECK(segment.lsh->frozen());
   storage::SnapshotWriter writer;
 
   // meta.
   common::BinaryWriter meta;
-  meta.WriteU64(entries_.size());
+  meta.WriteU64(segment.entries.size());
   WriteConfig(&meta, model_->config());
   meta.WriteU32(options_.index_x_derivations ? 1 : 0);
   meta.WriteU32(static_cast<uint32_t>(options_.x_derivation_grid));
@@ -220,8 +231,8 @@ common::Status SearchEngine::SaveSnapshot(const std::string& path) const {
   meta.WriteU32(static_cast<uint32_t>(options_.lsh.num_tables));
   meta.WriteU32(options_.lsh.probe_hamming1 ? 1 : 0);
   meta.WriteU64(options_.lsh.seed);
-  meta.WriteU32(static_cast<uint32_t>(lsh_->num_shards()));
-  meta.WriteU64(lsh_->num_items());
+  meta.WriteU32(static_cast<uint32_t>(segment.lsh->num_shards()));
+  meta.WriteU64(segment.lsh->num_items());
   // Engine-meta v2 block, appended so pre-quantization readers of the
   // prefix layout stay compatible (and v1 snapshots open with defaults).
   meta.WriteU32(kEngineMetaVersion);
@@ -239,14 +250,14 @@ common::Status SearchEngine::SaveSnapshot(const std::string& path) const {
   // an int8 snapshot carries no f32 means at all (the footprint win
   // persists to disk and to the mmap).
   if (options_.precision == EmbeddingPrecision::kInt8) {
-    writer.AddTypedSection(kMeansQSection, means_q_view_);
-    writer.AddTypedSection(kMeansScaleSection, means_scale_view_);
+    writer.AddTypedSection(kMeansQSection, segment.means_q_view);
+    writer.AddTypedSection(kMeansScaleSection, segment.means_scale_view);
   } else {
-    writer.AddTypedSection(kMeansSection, means_view_);
+    writer.AddTypedSection(kMeansSection, segment.means_view);
   }
 
   // Frozen LSH.
-  const auto& lf = lsh_->frozen_view();
+  const auto& lf = segment.lsh->frozen_view();
   writer.AddTypedSection("lsh.planes.f32", lf.hyperplanes);
   writer.AddTypedSection("lsh.gbegin.u64", lf.group_begin);
   writer.AddTypedSection("lsh.codes.u64", lf.codes);
@@ -254,7 +265,7 @@ common::Status SearchEngine::SaveSnapshot(const std::string& path) const {
   writer.AddTypedSection("lsh.pay.i64", lf.payloads);
 
   // Frozen interval tree.
-  const auto& tf = interval_tree_->frozen();
+  const auto& tf = segment.interval_tree->frozen();
   writer.AddTypedSection("it.center.f64", tf.center);
   writer.AddTypedSection("it.left.i32", tf.left);
   writer.AddTypedSection("it.right.i32", tf.right);
@@ -270,7 +281,8 @@ common::Status SearchEngine::SaveSnapshot(const std::string& path) const {
   // Column encodings: structure stream + flat float blocks.
   common::BinaryWriter idx;
   std::vector<float> rep_block, desc_block, da_block;
-  for (const auto& entry : entries_) {
+  for (size_t i = 0; i < segment.entries.size(); ++i) {
+    const TableEntry& entry = *segment.entries[i];
     idx.WriteU64(entry.encoding.size());
     for (const auto& enc : entry.encoding) {
       WriteColumn(enc, &idx, &rep_block, &desc_block, &da_block);
@@ -282,7 +294,7 @@ common::Status SearchEngine::SaveSnapshot(const std::string& path) const {
         WriteColumn(enc, &idx, &rep_block, &desc_block, &da_block);
       }
     }
-    idx.WriteU64(entry.mean_begin);
+    idx.WriteU64(segment.mean_begin[i]);
     idx.WriteU64(entry.num_means);
   }
   writer.AddSection("enc.index", idx.buffer().data(), idx.buffer().size());
@@ -372,6 +384,12 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
   engine->options_.mean_prefilter = static_cast<int>(mean_prefilter);
   engine->pool_ = std::make_unique<common::ThreadPool>(options.num_threads);
 
+  // Everything below populates one frozen base segment, published as
+  // epoch 0 — an opened engine starts life compact, exactly like a
+  // freshly built one, and accepts IngestBatch the same way.
+  auto segment = std::make_shared<IndexSegment>();
+  segment->first_id = 0;
+
   // Mean-embedding block: zero-copy view(s) over the snapshot — the f32
   // block, or in kInt8 mode the code block plus its per-row scales.
   size_t total_means = 0;
@@ -389,12 +407,12 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
     if (scales.value().size() != total_means) {
       return Bad("means.scale.f32 size does not match means.i8 rows");
     }
-    engine->means_q_view_ = codes.value();
-    engine->means_scale_view_ = scales.value();
+    segment->means_q_view = codes.value();
+    segment->means_scale_view = scales.value();
   } else {
     auto means = reader->TypedSection<float>(kMeansSection);
     if (!means.ok()) return means.status();
-    engine->means_view_ = means.value();
+    segment->means_view = means.value();
     if (means.value().size() %
             static_cast<size_t>(config.embed_dim) != 0) {
       return Bad("means block size is not a multiple of embed_dim");
@@ -425,7 +443,7 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
     auto lsh = RandomHyperplaneLsh::FromFrozen(
         config.embed_dim, lsh_config, lsh_items.value(), frozen);
     if (!lsh.ok()) return lsh.status();
-    engine->lsh_ = std::make_unique<RandomHyperplaneLsh>(
+    segment->lsh = std::make_unique<RandomHyperplaneLsh>(
         std::move(lsh).ValueOrDie());
   }
 
@@ -470,7 +488,7 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
     frozen.byhi_payload = hi_pay.value();
     auto tree = IntervalTree::FromFrozen(frozen);
     if (!tree.ok()) return tree.status();
-    engine->interval_tree_ =
+    segment->interval_tree =
         std::make_unique<IntervalTree>(std::move(tree).ValueOrDie());
   }
 
@@ -488,19 +506,21 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
     BlockCursor rep_cursor{rep.value(), 0, "enc.rep.f32"};
     BlockCursor desc_cursor{desc.value(), 0, "enc.desc.f32"};
     BlockCursor da_cursor{da.value(), 0, "enc.da.f32"};
-    engine->entries_.assign(num_tables.value(), {});
-    for (auto& entry : engine->entries_) {
+    segment->entries.reserve(num_tables.value());
+    segment->mean_begin.reserve(num_tables.value());
+    for (uint64_t t = 0; t < num_tables.value(); ++t) {
+      auto entry = std::make_shared<TableEntry>();
       auto num_columns = idx.ReadU64();
       if (!num_columns.ok()) return num_columns.status();
-      entry.encoding.resize(num_columns.value());
-      for (auto& enc : entry.encoding) {
+      entry->encoding.resize(num_columns.value());
+      for (auto& enc : entry->encoding) {
         FCM_RETURN_IF_ERROR(
             ReadColumn(&idx, &rep_cursor, &desc_cursor, &da_cursor, &enc));
       }
       auto num_derivations = idx.ReadU64();
       if (!num_derivations.ok()) return num_derivations.status();
-      entry.derivations.resize(num_derivations.value());
-      for (auto& derived : entry.derivations) {
+      entry->derivations.resize(num_derivations.value());
+      for (auto& derived : entry->derivations) {
         auto n = idx.ReadU64();
         if (!n.ok()) return n.status();
         derived.resize(n.value());
@@ -513,12 +533,13 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
       auto num_means = idx.ReadU64();
       if (!mean_begin.ok()) return mean_begin.status();
       if (!num_means.ok()) return num_means.status();
-      entry.mean_begin = mean_begin.value();
-      entry.num_means = num_means.value();
-      if (entry.mean_begin > total_means ||
-          entry.num_means > total_means - entry.mean_begin) {
+      entry->num_means = num_means.value();
+      if (mean_begin.value() > total_means ||
+          entry->num_means > total_means - mean_begin.value()) {
         return Bad("table mean slice out of bounds");
       }
+      segment->mean_begin.push_back(mean_begin.value());
+      segment->entries.push_back(std::move(entry));
     }
     if (idx.remaining() != 0 || rep_cursor.pos != rep.value().size() ||
         desc_cursor.pos != desc.value().size() ||
@@ -528,10 +549,16 @@ common::Result<std::unique_ptr<SearchEngine>> SearchEngine::OpenSnapshot(
   }
 
   engine->build_stats_.interval_memory_bytes =
-      engine->interval_tree_->MemoryBytes();
-  engine->build_stats_.lsh_memory_bytes = engine->lsh_->MemoryBytes();
-  engine->build_stats_.lsh_shards = engine->lsh_->num_shards();
-  engine->build_stats_.embedding_bytes = engine->embedding_bytes();
+      segment->interval_tree->MemoryBytes();
+  engine->build_stats_.lsh_memory_bytes = segment->lsh->MemoryBytes();
+  engine->build_stats_.lsh_shards = segment->lsh->num_shards();
+  engine->build_stats_.embedding_bytes = segment->embedding_bytes();
+
+  std::shared_ptr<EngineEpoch> epoch(new EngineEpoch());
+  epoch->id_ = 0;
+  epoch->num_tables_ = segment->num_tables();
+  epoch->segments_.push_back(std::move(segment));
+  engine->PublishEpoch(std::move(epoch));
 
   // The reader owns the mapping every frozen view points into; it must
   // live exactly as long as the engine.

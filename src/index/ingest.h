@@ -1,0 +1,75 @@
+// Background compactor for the live-ingestion subsystem (search_engine.h):
+// a single thread that watches the engine's delta-segment count and calls
+// SearchEngine::Compact when it crosses a threshold, so steady appends
+// cannot let per-query segment fan-out grow without bound. Compaction runs
+// concurrently with serving traffic — readers keep their pinned epochs —
+// and serializes with IngestBatch on the engine's writer lock.
+
+#ifndef FCM_INDEX_INGEST_H_
+#define FCM_INDEX_INGEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/annotated_mutex.h"
+#include "index/search_engine.h"
+
+namespace fcm::index {
+
+struct CompactorOptions {
+  /// Compact when the current epoch carries at least this many delta
+  /// segments. 1 compacts after every ingest; higher trades per-query
+  /// segment fan-out for less rebuild work.
+  size_t max_delta_segments = 4;
+  /// Fallback poll period: the loop also re-checks this often even
+  /// without a Notify(), so a missed wakeup can only delay — never skip —
+  /// a due compaction.
+  std::chrono::milliseconds poll_interval{200};
+};
+
+/// Owns the compaction thread. Start/Stop are idempotent; the destructor
+/// stops. Call Notify() after an IngestBatch to wake the loop immediately
+/// instead of waiting out the poll interval. The engine must outlive the
+/// compactor.
+class Compactor {
+ public:
+  struct Stats {
+    uint64_t compactions = 0;   // Compact calls that merged > 1 segment.
+    uint64_t noops = 0;         // Wakeups where the epoch was compact.
+    uint64_t errors = 0;        // Compact calls that returned non-OK.
+  };
+
+  explicit Compactor(SearchEngine* engine, const CompactorOptions& options = {});
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Wakes the loop now (e.g. right after an IngestBatch).
+  void Notify();
+
+  Stats stats() const;
+
+ private:
+  void Loop();
+
+  SearchEngine* const engine_;
+  const CompactorOptions options_;
+
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  bool running_ FCM_GUARDED_BY(mu_) = false;
+  bool stop_ FCM_GUARDED_BY(mu_) = false;
+  bool notified_ FCM_GUARDED_BY(mu_) = false;
+  Stats stats_ FCM_GUARDED_BY(mu_);
+
+  std::thread thread_;
+};
+
+}  // namespace fcm::index
+
+#endif  // FCM_INDEX_INGEST_H_

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/quantize.h"
 #include "common/simd.h"
+#include "index/index_segment.h"
 #include "table/resample.h"
 
 namespace fcm::index {
@@ -48,7 +49,27 @@ std::vector<table::TableId> SortedIds(
   return out;
 }
 
+/// The segment whose [first_id, end_id) range holds `id`. Segments tile
+/// [0, num_tables) in ascending first_id order, so this is a plain binary
+/// search over first_id.
+const IndexSegment& SegmentContaining(
+    const std::vector<std::shared_ptr<const IndexSegment>>& segments,
+    table::TableId id) {
+  size_t lo = 0, hi = segments.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (segments[mid]->first_id <= id) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return *segments[lo];
+}
+
 }  // namespace
+
+EngineEpoch::~EngineEpoch() = default;
 
 const char* IndexStrategyName(IndexStrategy s) {
   switch (s) {
@@ -72,6 +93,8 @@ SearchEngine::SearchEngine(const core::FcmModel* model,
                            const table::DataLake* lake)
     : model_(model), lake_(lake) {}
 
+SearchEngine::~SearchEngine() = default;
+
 std::vector<float> SearchEngine::MeanEmbedding(const nn::Tensor& rep) {
   const int n = rep.dim(0), k = rep.dim(1);
   std::vector<float> out(static_cast<size_t>(k), 0.0f);
@@ -91,28 +114,30 @@ void SearchEngine::Build(const LshConfig& lsh_config) {
   BuildWithOptions(options);
 }
 
-void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
-  options_ = options;
-  pool_ = std::make_unique<common::ThreadPool>(options.num_threads);
+std::shared_ptr<const IndexSegment> SearchEngine::BuildSegment(
+    const std::vector<table::Table>& tables, table::TableId first_id,
+    double* encode_seconds, double* interval_seconds,
+    double* lsh_seconds) const {
+  auto segment = std::make_shared<IndexSegment>();
+  segment->first_id = first_id;
 
   // Encoding dominates build time and is embarrassingly parallel: each
   // table's encodings and mean embeddings depend only on that table, so
   // the fan-out is bit-identical to a serial loop over tables.
   const auto t_encode = std::chrono::steady_clock::now();
-  const auto& tables = lake_->tables();
-  entries_.assign(lake_->size(), {});
+  const size_t n = tables.size();
+  segment->entries.resize(n);
   // Per-table mean vectors land in scratch first (the parallel tasks
   // cannot append to the shared block); a serial pass then flattens them
-  // into the engine-wide means block in table-id order.
-  std::vector<std::vector<std::vector<float>>> scratch_means(lake_->size());
-  pool_->ParallelFor(tables.size(), [&](size_t i) {
+  // into the segment's means block in table-id order.
+  std::vector<std::vector<std::vector<float>>> scratch_means(n);
+  pool_->ParallelFor(n, [&](size_t i) {
     const auto& t = tables[i];
-    const auto id = static_cast<size_t>(t.id());
-    TableEntry entry;
-    entry.encoding = core::FcmModel::Detach(model_->EncodeDataset(t));
-    auto& means = scratch_means[id];
-    means.reserve(entry.encoding.size());
-    for (const auto& enc : entry.encoding) {
+    auto entry = std::make_shared<TableEntry>();
+    entry->encoding = core::FcmModel::Detach(model_->EncodeDataset(t));
+    auto& means = scratch_means[i];
+    means.reserve(entry->encoding.size());
+    for (const auto& enc : entry->encoding) {
       means.push_back(MeanEmbedding(enc.representation));
     }
     if (options_.index_x_derivations) {
@@ -123,98 +148,167 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
         for (const auto& enc : rep) {
           means.push_back(MeanEmbedding(enc.representation));
         }
-        entry.derivations.push_back(std::move(rep));
+        entry->derivations.push_back(std::move(rep));
       }
     }
-    entries_[id] = std::move(entry);
+    entry->num_means = means.size();
+    segment->entries[i] = std::move(entry);
   });
   const size_t embed_dim = static_cast<size_t>(model_->config().embed_dim);
-  means_data_.clear();
-  for (size_t id = 0; id < entries_.size(); ++id) {
-    entries_[id].mean_begin = means_data_.size() / embed_dim;
-    entries_[id].num_means = scratch_means[id].size();
-    for (const auto& mean : scratch_means[id]) {
-      means_data_.insert(means_data_.end(), mean.begin(), mean.end());
+  segment->mean_begin.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    segment->mean_begin[i] = segment->means_data.size() / embed_dim;
+    for (const auto& mean : scratch_means[i]) {
+      segment->means_data.insert(segment->means_data.end(), mean.begin(),
+                                 mean.end());
     }
   }
   scratch_means.clear();
-  means_view_ = means_data_;
+  segment->means_view = segment->means_data;
   if (options_.precision == EmbeddingPrecision::kInt8) {
-    // Quantize the block row by row, then overwrite the f32 rows with
-    // their dequantized reconstructions: the LSH hyperplane codes below
-    // must index exactly the values the int8 tier stores (and a snapshot
-    // reloads), or bucket membership could disagree with the served
-    // embeddings. Rows are independent, so the fan-out is deterministic.
-    const size_t rows = means_data_.size() / std::max<size_t>(1, embed_dim);
-    means_q_data_.resize(means_data_.size());
-    means_scale_data_.resize(rows);
+    // Quantize the block row by row, then drop the f32 block: from here
+    // the int8 codes + scales are the tier's only storage. The LSH build
+    // below indexes the dequantized reconstructions — exactly the values
+    // the tier serves (and a snapshot reloads) — so bucket membership can
+    // never disagree with the served embeddings. Rows are independent, so
+    // the fan-out is deterministic.
+    const size_t rows =
+        segment->means_data.size() / std::max<size_t>(1, embed_dim);
+    segment->means_q_data.resize(segment->means_data.size());
+    segment->means_scale_data.resize(rows);
     pool_->ParallelFor(rows, [&](size_t r) {
-      float* row = means_data_.data() + r * embed_dim;
-      int8_t* codes = means_q_data_.data() + r * embed_dim;
-      means_scale_data_[r] = common::QuantizeRow(row, embed_dim, codes);
-      common::DequantizeRow(codes, embed_dim, means_scale_data_[r], row);
+      const float* row = segment->means_data.data() + r * embed_dim;
+      int8_t* codes = segment->means_q_data.data() + r * embed_dim;
+      segment->means_scale_data[r] =
+          common::QuantizeRow(row, embed_dim, codes);
     });
-    means_q_view_ = means_q_data_;
-    means_scale_view_ = means_scale_data_;
+    segment->means_q_view = segment->means_q_data;
+    segment->means_scale_view = segment->means_scale_data;
+    segment->means_data.clear();
+    segment->means_data.shrink_to_fit();
+    segment->means_view = storage::Span<float>();
   }
-  build_stats_.encode_seconds = Seconds(t_encode);
+  if (encode_seconds != nullptr) *encode_seconds += Seconds(t_encode);
 
+  BuildSegmentIndexes(segment.get(), interval_seconds, lsh_seconds);
+  return segment;
+}
+
+void SearchEngine::BuildSegmentIndexes(IndexSegment* segment,
+                                       double* interval_seconds,
+                                       double* lsh_seconds) const {
   // Interval tree over per-column possible ranges [min(C), sum(C)] —
   // including every derivation's intervals when enabled (Sec. VI-B (2)).
   // Consumed serially in table order so the index layout is independent
   // of the encoding schedule.
   const auto t_interval = std::chrono::steady_clock::now();
   std::vector<Interval> intervals;
-  for (const auto& t : lake_->tables()) {
-    const auto& entry = entries_[static_cast<size_t>(t.id())];
+  for (size_t i = 0; i < segment->entries.size(); ++i) {
+    const auto id = segment->first_id + static_cast<table::TableId>(i);
+    const TableEntry& entry = *segment->entries[i];
     for (const auto& enc : entry.encoding) {
-      intervals.push_back({enc.range_lo, enc.range_hi, t.id()});
+      intervals.push_back({enc.range_lo, enc.range_hi, id});
     }
     for (const auto& derived : entry.derivations) {
       for (const auto& enc : derived) {
-        intervals.push_back({enc.range_lo, enc.range_hi, t.id()});
+        intervals.push_back({enc.range_lo, enc.range_hi, id});
       }
     }
   }
-  interval_tree_ = std::make_unique<IntervalTree>(std::move(intervals));
-  build_stats_.interval_build_seconds = Seconds(t_interval);
-  build_stats_.interval_memory_bytes = interval_tree_->MemoryBytes();
+  segment->interval_tree = std::make_unique<IntervalTree>(std::move(intervals));
+  if (interval_seconds != nullptr) *interval_seconds += Seconds(t_interval);
 
-  // LSH over the cached mean column embeddings (plus derivation means),
-  // sharded by code prefix so the batch insert fans (table, shard) tasks
-  // across the pool. Items are flattened in table order, which fixes the
-  // bucket layout whatever the schedule or shard count.
+  // LSH over the segment's mean rows (plus derivation means), sharded by
+  // code prefix so the batch insert fans (table, shard) tasks across the
+  // pool. Items are flattened in table order, which fixes the bucket
+  // layout whatever the schedule or shard count. Hyperplanes are a pure
+  // function of (dim, LshConfig) — identical for every segment — so a
+  // query probes the same buckets everywhere and the union of
+  // per-segment hits equals a single merged index's hits.
   const auto t_lsh = std::chrono::steady_clock::now();
+  const size_t embed_dim = static_cast<size_t>(model_->config().embed_dim);
   LshConfig lsh_config = options_.lsh;
   if (lsh_config.num_shards <= 0) {
     lsh_config.num_shards = pool_->num_threads();
   }
-  lsh_ = std::make_unique<RandomHyperplaneLsh>(model_->config().embed_dim,
-                                               lsh_config);
+  segment->lsh = std::make_unique<RandomHyperplaneLsh>(
+      model_->config().embed_dim, lsh_config);
+  const float* rows = segment->means_view.data();
+  std::vector<float> dequantized;
+  if (options_.precision == EmbeddingPrecision::kInt8) {
+    // int8 mode keeps no f32 block; reconstruct the rows the tier serves
+    // for the hyperplane codes. Identical values however many times the
+    // segment is (re)indexed — dequantization is pure.
+    const size_t n_rows = segment->means_scale_view.size();
+    dequantized.resize(n_rows * embed_dim);
+    pool_->ParallelFor(n_rows, [&](size_t r) {
+      common::DequantizeRow(segment->means_q_view.data() + r * embed_dim,
+                            embed_dim, segment->means_scale_view[r],
+                            dequantized.data() + r * embed_dim);
+    });
+    rows = dequantized.data();
+  }
   std::vector<LshInsertItem> items;
-  for (const auto& t : lake_->tables()) {
-    const auto& entry = entries_[static_cast<size_t>(t.id())];
-    for (size_t m = 0; m < entry.num_means; ++m) {
+  for (size_t i = 0; i < segment->entries.size(); ++i) {
+    const auto id = segment->first_id + static_cast<table::TableId>(i);
+    const size_t num_means = segment->entries[i]->num_means;
+    for (size_t m = 0; m < num_means; ++m) {
       items.push_back(
-          {means_view_.data() + (entry.mean_begin + m) * embed_dim, t.id()});
+          {rows + (segment->mean_begin[i] + m) * embed_dim, id});
     }
   }
-  lsh_->InsertBatch(items, pool_.get());
+  segment->lsh->InsertBatch(items, pool_.get());
   // Freeze rewrites the hash-map buckets into the flat CSR arrays the
   // serving path (and SaveSnapshot) reads; query results are unchanged.
-  lsh_->Freeze();
-  build_stats_.lsh_build_seconds = Seconds(t_lsh);
-  build_stats_.lsh_memory_bytes = lsh_->MemoryBytes();
-  build_stats_.lsh_shards = lsh_->num_shards();
-  if (options_.precision == EmbeddingPrecision::kInt8) {
-    // The LSH inserts were the dequantized block's last consumer; from
-    // here the int8 codes + scales are the tier's only storage — the
-    // memory cut that motivates the quantized mode.
-    means_data_.clear();
-    means_data_.shrink_to_fit();
-    means_view_ = storage::Span<float>();
-  }
-  build_stats_.embedding_bytes = embedding_bytes();
+  segment->lsh->Freeze();
+  if (lsh_seconds != nullptr) *lsh_seconds += Seconds(t_lsh);
+}
+
+void SearchEngine::PublishEpoch(std::shared_ptr<const EngineEpoch> epoch) {
+  common::MutexLock lock(&epoch_mu_);
+  epoch_ = std::move(epoch);
+}
+
+EpochPin SearchEngine::PinEpoch() const {
+  common::MutexLock lock(&epoch_mu_);
+  return epoch_;
+}
+
+size_t SearchEngine::num_tables() const {
+  const EpochPin pin = PinEpoch();
+  return pin == nullptr ? 0 : pin->num_tables();
+}
+
+size_t SearchEngine::num_delta_segments() const {
+  const EpochPin pin = PinEpoch();
+  return pin == nullptr || pin->num_segments() == 0
+             ? 0
+             : pin->num_segments() - 1;
+}
+
+uint64_t SearchEngine::epoch_id() const {
+  const EpochPin pin = PinEpoch();
+  return pin == nullptr ? 0 : pin->id();
+}
+
+void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
+  options_ = options;
+  pool_ = std::make_unique<common::ThreadPool>(options.num_threads);
+  build_stats_ = {};
+
+  auto segment = BuildSegment(
+      lake_->tables(), /*first_id=*/0, &build_stats_.encode_seconds,
+      &build_stats_.interval_build_seconds, &build_stats_.lsh_build_seconds);
+  build_stats_.interval_memory_bytes = segment->interval_tree->MemoryBytes();
+  build_stats_.lsh_memory_bytes = segment->lsh->MemoryBytes();
+  build_stats_.lsh_shards = segment->lsh->num_shards();
+  build_stats_.embedding_bytes = segment->embedding_bytes();
+
+  std::shared_ptr<EngineEpoch> epoch(new EngineEpoch());
+  epoch->id_ = 0;
+  epoch->num_tables_ = segment->num_tables();
+  epoch->segments_.push_back(std::move(segment));
+  PublishEpoch(std::move(epoch));
 
   FCM_LOGS(INFO) << "SearchEngine built over " << lake_->size()
                  << " tables with " << pool_->num_threads() << " threads"
@@ -224,11 +318,13 @@ void SearchEngine::BuildWithOptions(const SearchEngineOptions& options) {
 }
 
 std::vector<table::TableId> SearchEngine::Candidates(
-    const vision::ExtractedChart& query, IndexStrategy strategy,
-    const std::vector<int64_t>* line_hits, size_t num_line_hits) const {
+    const EngineEpoch& epoch, const vision::ExtractedChart& query,
+    IndexStrategy strategy, const std::vector<int64_t>* line_hits,
+    size_t num_line_hits) const {
   if (strategy == IndexStrategy::kNoIndex) {
-    // entries_, not the lake: a snapshot-opened engine serves without one.
-    std::vector<table::TableId> all(entries_.size());
+    // The epoch, not the lake: a snapshot-opened engine serves without
+    // one, and ingested tables were dropped after encoding.
+    std::vector<table::TableId> all(epoch.num_tables());
     for (size_t i = 0; i < all.size(); ++i) {
       all[i] = static_cast<table::TableId>(i);
     }
@@ -238,8 +334,13 @@ std::vector<table::TableId> SearchEngine::Candidates(
   std::unordered_set<table::TableId> s1;  // Interval tree survivors.
   if (strategy == IndexStrategy::kIntervalTree ||
       strategy == IndexStrategy::kHybrid) {
-    for (int64_t id : interval_tree_->QueryOverlap(query.y_lo, query.y_hi)) {
-      s1.insert(id);
+    // Per-segment trees store global ids; tables are range-partitioned
+    // across segments, so the union is exactly the merged tree's answer.
+    for (const auto& segment : epoch.segments_) {
+      for (int64_t id :
+           segment->interval_tree->QueryOverlap(query.y_lo, query.y_hi)) {
+        s1.insert(id);
+      }
     }
     if (strategy == IndexStrategy::kIntervalTree) return SortedIds(s1);
   }
@@ -265,16 +366,18 @@ std::vector<table::TableId> SearchEngine::Candidates(
 }
 
 size_t SearchEngine::embedding_bytes() const {
-  if (options_.precision == EmbeddingPrecision::kInt8) {
-    return means_q_view_.size() * sizeof(int8_t) +
-           means_scale_view_.size() * sizeof(float);
+  const EpochPin pin = PinEpoch();
+  if (pin == nullptr) return 0;
+  size_t total = 0;
+  for (const auto& segment : pin->segments_) {
+    total += segment->embedding_bytes();
   }
-  return means_view_.size() * sizeof(float);
+  return total;
 }
 
 void SearchEngine::PrefilterCandidates(
-    const std::vector<float>* line_means, size_t num_lines,
-    std::vector<table::TableId>* candidates) const {
+    const EngineEpoch& epoch, const std::vector<float>* line_means,
+    size_t num_lines, std::vector<table::TableId>* candidates) const {
   const size_t keep = static_cast<size_t>(options_.mean_prefilter);
   if (num_lines == 0 || candidates->size() <= keep) return;
   const size_t dim = line_means[0].size();
@@ -294,31 +397,34 @@ void SearchEngine::PrefilterCandidates(
     }
   }
 
-  // Max over (line, mean-row) dot products per candidate. A candidate
-  // with no mean rows keeps -inf and sorts last (it would score as
-  // invalid downstream anyway).
+  // Max over (line, mean-row) dot products per candidate, each candidate's
+  // rows read from its owning segment. A candidate with no mean rows keeps
+  // -inf and sorts last (it would score as invalid downstream anyway).
   std::vector<std::pair<float, table::TableId>> scored;
   scored.reserve(candidates->size());
   std::vector<float> sims;  // GemmI8F32 scratch, reused across candidates.
   for (const table::TableId id : *candidates) {
-    const auto& entry = entries_[static_cast<size_t>(id)];
+    const IndexSegment& segment = SegmentContaining(epoch.segments_, id);
+    const size_t local = static_cast<size_t>(id - segment.first_id);
+    const size_t num_means = segment.entries[local]->num_means;
+    const uint64_t mean_begin = segment.mean_begin[local];
     float best = -std::numeric_limits<float>::infinity();
     if (int8_mode) {
-      sims.resize(entry.num_means);
-      const int8_t* rows = means_q_view_.data() + entry.mean_begin * dim;
-      const float* row_scales = means_scale_view_.data() + entry.mean_begin;
+      sims.resize(num_means);
+      const int8_t* rows = segment.means_q_view.data() + mean_begin * dim;
+      const float* row_scales =
+          segment.means_scale_view.data() + mean_begin;
       for (size_t l = 0; l < num_lines; ++l) {
         simd::GemmI8F32(q_codes.data() + l * dim, rows, dim, dim,
-                        q_scales[l], row_scales, sims.data(),
-                        entry.num_means);
-        for (size_t r = 0; r < entry.num_means; ++r) {
+                        q_scales[l], row_scales, sims.data(), num_means);
+        for (size_t r = 0; r < num_means; ++r) {
           best = std::max(best, sims[r]);
         }
       }
     } else {
-      for (size_t r = 0; r < entry.num_means; ++r) {
+      for (size_t r = 0; r < num_means; ++r) {
         const float* row =
-            means_view_.data() + (entry.mean_begin + r) * dim;
+            segment.means_view.data() + (mean_begin + r) * dim;
         for (size_t l = 0; l < num_lines; ++l) {
           best = std::max(best, simd::DotF32(line_means[l].data(), row, dim));
         }
@@ -340,10 +446,13 @@ void SearchEngine::PrefilterCandidates(
   std::sort(candidates->begin(), candidates->end());
 }
 
-bool SearchEngine::ScoreCandidate(const core::ChartRepresentation& chart_rep,
+bool SearchEngine::ScoreCandidate(const EngineEpoch& epoch,
+                                  const core::ChartRepresentation& chart_rep,
                                   const vision::ExtractedChart& query,
                                   table::TableId id, double* score) const {
-  const auto& entry = entries_[static_cast<size_t>(id)];
+  const IndexSegment& segment = SegmentContaining(epoch.segments_, id);
+  const TableEntry& entry =
+      *segment.entries[static_cast<size_t>(id - segment.first_id)];
   if (entry.encoding.empty()) return false;
   double s =
       model_->ScoreEncoded(chart_rep, entry.encoding, query.y_lo, query.y_hi);
@@ -359,7 +468,7 @@ bool SearchEngine::ScoreCandidate(const core::ChartRepresentation& chart_rep,
 
 void SearchEngine::EncodeStage(std::vector<StagedQuery>* staged,
                                StageTiming* timing) const {
-  FCM_CHECK(!entries_.empty());
+  FCM_CHECK(pool_ != nullptr);
   const auto t0 = std::chrono::steady_clock::now();
   FCM_FAILPOINT("engine.encode_stage");
   pool_->ParallelFor(staged->size(), [&](size_t i) {
@@ -372,9 +481,12 @@ void SearchEngine::EncodeStage(std::vector<StagedQuery>* staged,
 }
 
 void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
-                                  StageTiming* timing) const {
+                                  StageTiming* timing,
+                                  const EpochPin& epoch) const {
   const auto t_stage = std::chrono::steady_clock::now();
   FCM_FAILPOINT("engine.candidate_stage");
+  const EpochPin pin = epoch != nullptr ? epoch : PinEpoch();
+  FCM_CHECK(pin != nullptr);
   const auto uses_lsh = [](IndexStrategy s) {
     return s == IndexStrategy::kLsh || s == IndexStrategy::kHybrid;
   };
@@ -415,8 +527,23 @@ void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
       }
     }
     if (!lsh_means.empty()) {
-      std::vector<std::vector<int64_t>> hits =
-          lsh_->QueryBatch(lsh_means, pool_.get());
+      // One QueryBatch per segment of the pinned epoch, per-line payload
+      // lists concatenated across segments. Segments hold disjoint id
+      // ranges and Candidates() set-merges the lists, so concatenation
+      // order cannot affect results — the union equals what one merged
+      // index would return (identical hyperplanes ⇒ identical buckets).
+      std::vector<std::vector<int64_t>> hits;
+      for (const auto& segment : pin->segments_) {
+        auto seg_hits = segment->lsh->QueryBatch(lsh_means, pool_.get());
+        if (hits.empty()) {
+          hits = std::move(seg_hits);
+          continue;
+        }
+        for (size_t j = 0; j < hits.size(); ++j) {
+          hits[j].insert(hits[j].end(), seg_hits[j].begin(),
+                         seg_hits[j].end());
+        }
+      }
       for (size_t i = 0; i < staged->size(); ++i) {
         StagedQuery& sq = (*staged)[i];
         if (!uses_lsh(sq.strategy)) continue;
@@ -432,10 +559,10 @@ void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
   pool_->ParallelFor(staged->size(), [&](size_t i) {
     StagedQuery& sq = (*staged)[i];
     if (sq.query->lines.empty()) return;  // No candidates, empty ranking.
-    sq.candidates = Candidates(*sq.query, sq.strategy, sq.line_hits.data(),
-                               sq.line_hits.size());
+    sq.candidates = Candidates(*pin, *sq.query, sq.strategy,
+                               sq.line_hits.data(), sq.line_hits.size());
     if (prefilter_on) {
-      PrefilterCandidates(means.data() + line_offset[i],
+      PrefilterCandidates(*pin, means.data() + line_offset[i],
                           sq.chart_rep.size(), &sq.candidates);
     }
   });
@@ -444,9 +571,11 @@ void SearchEngine::CandidateStage(std::vector<StagedQuery>* staged,
 
 std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
     const std::vector<StagedQuery>& staged, std::vector<QueryStats>* stats,
-    StageTiming* timing) const {
+    StageTiming* timing, const EpochPin& epoch) const {
   const auto t_stage = std::chrono::steady_clock::now();
   FCM_FAILPOINT("engine.score_stage");
+  const EpochPin pin = epoch != nullptr ? epoch : PinEpoch();
+  FCM_CHECK(pin != nullptr);
   const size_t q = staged.size();
   std::vector<std::vector<SearchHit>> results(q);
   if (stats != nullptr) stats->assign(q, {});
@@ -479,7 +608,7 @@ std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
     const table::TableId id = sq.candidates[p - offset[pair_query[p]]];
     const auto t0 = std::chrono::steady_clock::now();
     valid[p] =
-        ScoreCandidate(sq.chart_rep, *sq.query, id, &scores[p]) ? 1 : 0;
+        ScoreCandidate(*pin, sq.chart_rep, *sq.query, id, &scores[p]) ? 1 : 0;
     if (stats != nullptr) pair_seconds[p] = Seconds(t0);
   });
 
@@ -510,8 +639,11 @@ std::vector<std::vector<SearchHit>> SearchEngine::ScoreStage(
 
 std::vector<SearchHit> SearchEngine::Search(
     const vision::ExtractedChart& query, int k, IndexStrategy strategy,
-    QueryStats* stats) const {
-  FCM_CHECK(!entries_.empty());
+    QueryStats* stats, const EpochPin& epoch) const {
+  // Pin one epoch up front so the candidate and scoring stages see one
+  // consistent index generation however ingestion interleaves.
+  const EpochPin pin = epoch != nullptr ? epoch : PinEpoch();
+  FCM_CHECK(pin != nullptr);
   const auto t0 = std::chrono::steady_clock::now();
   if (query.lines.empty()) {
     if (stats != nullptr) {
@@ -525,9 +657,10 @@ std::vector<SearchHit> SearchEngine::Search(
   staged[0].strategy = strategy;
   staged[0].k = k;
   EncodeStage(&staged);
-  CandidateStage(&staged);
+  CandidateStage(&staged, nullptr, pin);
   std::vector<QueryStats> stage_stats;
-  auto results = ScoreStage(staged, stats != nullptr ? &stage_stats : nullptr);
+  auto results = ScoreStage(staged, stats != nullptr ? &stage_stats : nullptr,
+                            nullptr, pin);
   if (stats != nullptr) {
     *stats = stage_stats[0];
     // A single-query call's whole wall time is that query's true cost.
@@ -538,8 +671,10 @@ std::vector<SearchHit> SearchEngine::Search(
 
 std::vector<std::vector<SearchHit>> SearchEngine::SearchBatch(
     const std::vector<vision::ExtractedChart>& queries, int k,
-    IndexStrategy strategy, std::vector<QueryStats>* stats) const {
-  FCM_CHECK(!entries_.empty());
+    IndexStrategy strategy, std::vector<QueryStats>* stats,
+    const EpochPin& epoch) const {
+  const EpochPin pin = epoch != nullptr ? epoch : PinEpoch();
+  FCM_CHECK(pin != nullptr);
   const auto t0 = std::chrono::steady_clock::now();
   const size_t q = queries.size();
   if (stats != nullptr) stats->assign(q, {});
@@ -552,8 +687,8 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatch(
     staged[i].k = k;
   }
   EncodeStage(&staged);
-  CandidateStage(&staged);
-  auto results = ScoreStage(staged, stats);
+  CandidateStage(&staged, nullptr, pin);
+  auto results = ScoreStage(staged, stats, nullptr, pin);
   if (stats != nullptr) {
     // Per-query `seconds` (scoring attribution) came from ScoreStage; the
     // shared wall clock lands in batch_seconds only, so the efficiency

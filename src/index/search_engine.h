@@ -8,6 +8,20 @@
 // consumed in deterministic order, and candidate ids are sorted before
 // scoring — so rankings (including tie order) never depend on the thread
 // count, the LSH shard count, or hash-set iteration order.
+//
+// Live ingestion (the mutable-data-lake tentpole): a built engine is no
+// longer frozen for life. IngestBatch appends new tables as immutable
+// *delta segments* (incremental sharded LSH insert + an interval-tree
+// delta over just the new tables) and publishes a new *epoch*; Compact
+// merges every segment into a fresh frozen base. Readers pin an epoch for
+// the duration of a Search / SearchBatch / async request — an O(1)
+// shared_ptr copy, never a lock held across query work — and retired
+// epochs are destroyed when their last pinned reader drains (RCU with
+// refcounts). The determinism contract is restated per epoch: any pinned
+// epoch ranks bit-identically to a from-scratch Build over the same
+// logical tables, across thread counts, strategies, batching, and async
+// coalescing; ingestion and compaction never perturb a pinned epoch's
+// results (proven by tests/ingest_test.cc).
 
 #ifndef FCM_INDEX_SEARCH_ENGINE_H_
 #define FCM_INDEX_SEARCH_ENGINE_H_
@@ -16,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/fcm_model.h"
@@ -81,6 +96,28 @@ struct BuildStats {
   size_t embedding_bytes = 0;
 };
 
+/// Statistics of one IngestBatch call.
+struct IngestStats {
+  /// Tables appended by this batch.
+  size_t tables = 0;
+  /// Epoch id published by this batch (monotone; the base build is 0).
+  uint64_t epoch_id = 0;
+  /// Delta segments alive in the published epoch (base excluded).
+  size_t delta_segments = 0;
+  double encode_seconds = 0.0;
+  double lsh_seconds = 0.0;
+  double interval_seconds = 0.0;
+};
+
+/// Statistics of one Compact call.
+struct CompactStats {
+  /// Segments merged (1 means compaction was a no-op: already compact).
+  size_t segments_merged = 0;
+  /// Epoch id published (unchanged for a no-op).
+  uint64_t epoch_id = 0;
+  double seconds = 0.0;
+};
+
 /// Engine construction options.
 struct SearchEngineOptions {
   /// LSH settings; `lsh.num_shards <= 0` resolves to the engine's thread
@@ -122,20 +159,61 @@ struct SnapshotOpenOptions {
   bool use_mmap = true;
 };
 
+struct IndexSegment;  // Internal frozen slice; see index/index_segment.h.
+
+/// One immutable index generation: an ordered list of frozen segments
+/// (base first, deltas in ingest order) tiling table ids [0, num_tables).
+/// Opaque to callers — pin one with SearchEngine::PinEpoch and pass it to
+/// Search / SearchBatch / the stages to hold a consistent view across
+/// concurrent ingestion and compaction. Destroying the last pin retires
+/// the epoch (and any segment no newer epoch shares).
+class EngineEpoch {
+ public:
+  ~EngineEpoch();
+
+  /// Monotone generation number: 0 for the base build, +1 per published
+  /// IngestBatch / Compact.
+  uint64_t id() const { return id_; }
+  /// Logical tables searchable in this epoch.
+  size_t num_tables() const { return num_tables_; }
+  /// Frozen segments (>= 1; 1 means compact).
+  size_t num_segments() const { return segments_.size(); }
+
+ private:
+  friend class SearchEngine;
+  EngineEpoch() = default;
+
+  uint64_t id_ = 0;
+  size_t num_tables_ = 0;
+  std::vector<std::shared_ptr<const IndexSegment>> segments_;
+};
+
+/// A reader's hold on one epoch. Copy freely; O(1).
+using EpochPin = std::shared_ptr<const EngineEpoch>;
+
 /// Owns the per-table FCM encodings (computed once, detached) plus both
-/// index structures; model and lake must outlive the engine.
+/// index structures; model and lake must outlive the engine (the lake is
+/// only read during Build — ingested tables are encoded and dropped).
 ///
 /// Lifecycle: Build/BuildWithOptions encodes the lake and freezes every
 /// index structure into flat columnar arrays (LSH CSR buckets, interval
-/// tree node arrays, one contiguous mean-embedding block). SaveSnapshot
-/// persists that frozen state; OpenSnapshot serves a saved engine with
-/// the numeric arrays read zero-copy out of an mmap'ed snapshot — and
-/// ranks bit-identically to the freshly built engine under Search,
-/// SearchBatch, and async coalescing, because both run the same query
-/// code over the same frozen views.
+/// tree node arrays, one contiguous mean-embedding block), published as
+/// epoch 0. IngestBatch appends delta segments and publishes new epochs;
+/// Compact merges all segments back into one frozen base. SaveSnapshot
+/// persists a compact epoch; OpenSnapshot serves a saved engine with the
+/// numeric arrays read zero-copy out of an mmap'ed snapshot — and ranks
+/// bit-identically to the engine that saved it under Search, SearchBatch,
+/// and async coalescing, because both run the same query code over the
+/// same frozen views.
+///
+/// Thread safety: all query-side methods (Search, SearchBatch, the
+/// stages, PinEpoch, stats accessors) are const and safe to call
+/// concurrently with each other AND with the writer-side methods
+/// (IngestBatch, Compact), which serialize among themselves internally.
 class SearchEngine {
  public:
   SearchEngine(const core::FcmModel* model, const table::DataLake* lake);
+  ~SearchEngine();
 
   /// Encodes every dataset and builds the interval tree + LSH index.
   void Build(const LshConfig& lsh_config = {});
@@ -143,11 +221,50 @@ class SearchEngine {
   /// Build with full options (x-derivation indexing, thread count etc.).
   void BuildWithOptions(const SearchEngineOptions& options);
 
+  // ---- Live ingestion (writer side) ----
+
+  /// Appends `tables` to the served index as one immutable delta segment
+  /// and publishes a new epoch. The tables are assigned the next dense
+  /// ids (num_tables(), num_tables()+1, ...), encoded with the engine's
+  /// model, inserted into a fresh sharded LSH + interval-tree delta, and
+  /// dropped — only their encodings are retained. In-flight readers keep
+  /// their pinned epoch; new pins see the appended tables. Writers
+  /// (IngestBatch / Compact) serialize among themselves; concurrent
+  /// queries never block. Requires a built engine; an empty batch is a
+  /// no-op returning OK.
+  common::Status IngestBatch(std::vector<table::Table> tables,
+                             IngestStats* stats = nullptr);
+
+  /// Merges every segment of the current epoch into one fresh frozen
+  /// base — the means blocks re-concatenated in table order and the LSH /
+  /// interval tree rebuilt exactly as a from-scratch Build over the same
+  /// logical tables would, so rankings are unchanged (and SaveSnapshot
+  /// works again). Encodings are shared, never recomputed. A no-op when
+  /// the epoch is already compact. Publishes a new epoch; pinned readers
+  /// of older epochs are unaffected.
+  common::Status Compact(CompactStats* stats = nullptr);
+
+  /// Pins the current epoch: an O(1) shared_ptr copy readers hold for at
+  /// most the duration of a request. Never returns null on a built
+  /// engine.
+  EpochPin PinEpoch() const;
+
+  /// Logical tables in the current epoch (== lake size until the first
+  /// IngestBatch).
+  size_t num_tables() const;
+
+  /// Delta segments in the current epoch (0 when compact).
+  size_t num_delta_segments() const;
+
+  /// Current epoch id (0 after Build, +1 per published ingest/compact).
+  uint64_t epoch_id() const;
+
   /// Persists the built engine — model weights, frozen LSH + interval
   /// tree arrays, mean-embedding block, column encodings — as one
   /// versioned, checksummed snapshot file (see storage/snapshot.h).
   /// Atomic: a crash mid-save never leaves a torn file. Requires a built
-  /// engine.
+  /// engine whose current epoch is compact (call Compact() after
+  /// ingesting; FailedPrecondition otherwise).
   common::Status SaveSnapshot(const std::string& path) const;
 
   /// Opens a snapshot for serving. The returned engine is fully
@@ -156,17 +273,21 @@ class SearchEngine {
   /// engine that saved the snapshot. LSH buckets, interval-tree arrays,
   /// hyperplanes, and mean embeddings are served zero-copy from the mmap;
   /// column-encoding tensors are materialized at open (the nn substrate
-  /// owns its buffers). Any corruption or version mismatch fails loudly.
+  /// owns its buffers). The opened engine accepts IngestBatch like a
+  /// built one. Any corruption or version mismatch fails loudly.
   static common::Result<std::unique_ptr<SearchEngine>> OpenSnapshot(
       const std::string& path,
       const SnapshotOpenOptions& options = SnapshotOpenOptions());
 
   /// Top-k search with the chosen pruning strategy. `k <= 0` asks for
   /// nothing and returns an empty ranking (candidates are still pruned and
-  /// counted in `stats`).
+  /// counted in `stats`). `epoch`, when given, serves the query from that
+  /// pinned epoch; null pins the current one for the duration of the
+  /// call.
   std::vector<SearchHit> Search(const vision::ExtractedChart& query, int k,
                                 IndexStrategy strategy,
-                                QueryStats* stats = nullptr) const;
+                                QueryStats* stats = nullptr,
+                                const EpochPin& epoch = nullptr) const;
 
   /// Batched top-k search: answers every query with the same semantics as
   /// Search (identical hits and scores; `k <= 0` yields empty rankings)
@@ -175,10 +296,12 @@ class SearchEngine {
   /// query's line embeddings), candidate scoring, and ranking each fan
   /// out once for the whole batch. `stats`, when given, receives one entry
   /// per query (per-query scoring seconds plus the shared batch_seconds;
-  /// see QueryStats).
+  /// see QueryStats). One epoch — `epoch` or a fresh pin — serves the
+  /// whole batch.
   std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<vision::ExtractedChart>& queries, int k,
-      IndexStrategy strategy, std::vector<QueryStats>* stats = nullptr) const;
+      IndexStrategy strategy, std::vector<QueryStats>* stats = nullptr,
+      const EpochPin& epoch = nullptr) const;
 
   // ---- Serving-pipeline stages ----
   // Search and SearchBatch are thin compositions of the three stages
@@ -187,7 +310,11 @@ class SearchEngine {
   // through the same stage code with per-request strategy and k, a
   // request's ranking is bit-identical however requests are grouped into
   // stage calls. Stages are const and safe to call concurrently from
-  // several threads (the shared pool accepts concurrent owners).
+  // several threads (the shared pool accepts concurrent owners). The
+  // index-consulting stages take an optional pinned epoch; a caller
+  // serving one request across several stage calls (the async pipeline)
+  // passes the same pin to each so the request sees one consistent index
+  // generation end to end.
 
   /// Wall seconds one batch spent inside each serving stage. Serving
   /// telemetry: AsyncSearchService feeds the per-batch total to its
@@ -226,12 +353,14 @@ class SearchEngine {
   void EncodeStage(std::vector<StagedQuery>* staged,
                    StageTiming* timing = nullptr) const;
 
-  /// Stage 2 — candidate generation: one sharded LSH QueryBatch over every
-  /// staged query that consults the LSH index, then the per-query merge
-  /// (sorted ids, identical to the single-query path). `timing`, when
-  /// given, receives the stage's wall time in candidate_seconds.
+  /// Stage 2 — candidate generation: one sharded LSH QueryBatch per
+  /// segment of the pinned epoch over every staged query that consults
+  /// the LSH index, then the per-query merge (sorted ids, identical to
+  /// the single-query path). `timing`, when given, receives the stage's
+  /// wall time in candidate_seconds.
   void CandidateStage(std::vector<StagedQuery>* staged,
-                      StageTiming* timing = nullptr) const;
+                      StageTiming* timing = nullptr,
+                      const EpochPin& epoch = nullptr) const;
 
   /// Stage 3 — scoring + ranking: one flat dispatch over all
   /// (query, candidate) pairs, then per-query top-k assembly. `stats`,
@@ -242,7 +371,8 @@ class SearchEngine {
   std::vector<std::vector<SearchHit>> ScoreStage(
       const std::vector<StagedQuery>& staged,
       std::vector<QueryStats>* stats = nullptr,
-      StageTiming* timing = nullptr) const;
+      StageTiming* timing = nullptr,
+      const EpochPin& epoch = nullptr) const;
 
   const BuildStats& build_stats() const { return build_stats_; }
 
@@ -250,8 +380,8 @@ class SearchEngine {
   /// value recorded in the snapshot for an opened engine).
   EmbeddingPrecision precision() const { return options_.precision; }
 
-  /// Bytes held by the serving-side mean-embedding tier (see
-  /// BuildStats::embedding_bytes).
+  /// Bytes held by the serving-side mean-embedding tier across every
+  /// segment of the current epoch (see BuildStats::embedding_bytes).
   size_t embedding_bytes() const;
 
   /// Mean embedding of a [N, K] representation (index key derivation:
@@ -259,35 +389,22 @@ class SearchEngine {
   static std::vector<float> MeanEmbedding(const nn::Tensor& rep);
 
  private:
-  /// Everything cached for one table: detached encodings plus the slice
-  /// of the engine-wide mean-embedding block holding this table's mean
-  /// embeddings (column means first, then each derivation's, computed
-  /// once at build time — the means feed every LSH insert instead of
-  /// being recomputed per insert).
-  struct TableEntry {
-    core::DatasetRepresentation encoding;
-    std::vector<core::DatasetRepresentation> derivations;
-    /// First mean vector of this table in the means block, and how many
-    /// follow (each is embed_dim floats).
-    size_t mean_begin = 0;
-    size_t num_means = 0;
-  };
-
   /// Candidate ids for one query under `strategy`, sorted ascending:
   /// RankHits breaks score ties by candidate position, so a sorted order
   /// is what keeps rankings reproducible across runs and platforms.
   /// `line_hits` points at `num_line_hits` per-line LSH payload lists
-  /// (one per chart line, from CandidateStage's QueryBatch); required —
-  /// possibly empty — for the LSH and hybrid strategies, ignored
-  /// otherwise.
+  /// (one per chart line, merged across the epoch's segments by
+  /// CandidateStage); required — possibly empty — for the LSH and hybrid
+  /// strategies, ignored otherwise.
   std::vector<table::TableId> Candidates(
-      const vision::ExtractedChart& query, IndexStrategy strategy,
-      const std::vector<int64_t>* line_hits = nullptr,
+      const EngineEpoch& epoch, const vision::ExtractedChart& query,
+      IndexStrategy strategy, const std::vector<int64_t>* line_hits = nullptr,
       size_t num_line_hits = 0) const;
 
   /// Rel'(V, T) for one candidate (max over the table's derivations), or
   /// false when the table has no encodable columns.
-  bool ScoreCandidate(const core::ChartRepresentation& chart_rep,
+  bool ScoreCandidate(const EngineEpoch& epoch,
+                      const core::ChartRepresentation& chart_rep,
                       const vision::ExtractedChart& query, table::TableId id,
                       double* score) const;
 
@@ -295,37 +412,50 @@ class SearchEngine {
   /// candidates whose mean embeddings score highest against the query's
   /// `num_lines` line means (similarity desc, id asc), re-sorted
   /// ascending. Scores via the precision mode's kernels — f32 dot, or
-  /// quantize-the-query + the exact int8 GemmI8F32. Thread-safe (called
-  /// from CandidateStage's per-query fan-out).
-  void PrefilterCandidates(const std::vector<float>* line_means,
+  /// quantize-the-query + the exact int8 GemmI8F32 — reading each
+  /// candidate's rows from its owning segment. Thread-safe (called from
+  /// CandidateStage's per-query fan-out).
+  void PrefilterCandidates(const EngineEpoch& epoch,
+                           const std::vector<float>* line_means,
                            size_t num_lines,
                            std::vector<table::TableId>* candidates) const;
+
+  /// Encodes `tables` (global ids first_id, first_id+1, ...) into one
+  /// frozen segment: entries + means block (+ int8 tier), sharded LSH
+  /// insert in table order, interval tree. The shared construction path
+  /// of Build and IngestBatch — a delta segment is built exactly like a
+  /// base, just over fewer tables.
+  std::shared_ptr<const IndexSegment> BuildSegment(
+      const std::vector<table::Table>& tables, table::TableId first_id,
+      double* encode_seconds, double* interval_seconds,
+      double* lsh_seconds) const;
+
+  /// Rebuilds the interval tree + LSH of `segment` from its entries and
+  /// means views (segment.means arrays must already be populated).
+  /// Factored out of BuildSegment for Compact, which re-slices existing
+  /// encodings instead of encoding.
+  void BuildSegmentIndexes(IndexSegment* segment, double* interval_seconds,
+                           double* lsh_seconds) const;
+
+  /// Atomically publishes `epoch` as the current generation.
+  void PublishEpoch(std::shared_ptr<const EngineEpoch> epoch);
 
   const core::FcmModel* model_;
   const table::DataLake* lake_;  // Null for a snapshot-opened engine.
   SearchEngineOptions options_;
-  std::vector<TableEntry> entries_;  // Indexed by table id.
-  std::unique_ptr<IntervalTree> interval_tree_;
-  std::unique_ptr<RandomHyperplaneLsh> lsh_;
   std::unique_ptr<common::ThreadPool> pool_;
   BuildStats build_stats_;
 
-  /// Mean-embedding block: num_means x embed_dim floats, tables in id
-  /// order. Owned after Build; a zero-copy view into the snapshot after
-  /// OpenSnapshot. Empty in kInt8 mode (the quantized block below is the
-  /// tier's only storage once the LSH build has consumed the dequantized
-  /// values).
-  std::vector<float> means_data_;
-  storage::Span<float> means_view_;
+  /// The current epoch, swapped under epoch_mu_ by writers and copied
+  /// under it by PinEpoch. The lock is held only for the pointer
+  /// copy/swap — never across query or build work — which is what makes
+  /// reader pinning O(1) and writer publication wait-free for readers.
+  mutable common::Mutex epoch_mu_;
+  std::shared_ptr<const EngineEpoch> epoch_ FCM_GUARDED_BY(epoch_mu_);
 
-  /// kInt8 mode: the quantized mean-embedding block (num_means x
-  /// embed_dim int8 codes) and its per-row f32 scales (num_means), same
-  /// row order as the f32 block. Owned after Build; zero-copy views into
-  /// the snapshot after OpenSnapshot.
-  std::vector<int8_t> means_q_data_;
-  storage::Span<int8_t> means_q_view_;
-  std::vector<float> means_scale_data_;
-  storage::Span<float> means_scale_view_;
+  /// Serializes writers (IngestBatch / Compact) so segment construction
+  /// and epoch numbering are single-writer; never held by readers.
+  common::Mutex ingest_mu_;
 
   /// Snapshot-opened engines own their model and keep the reader (and
   /// with it the mmap every frozen view points into) alive.

@@ -28,6 +28,12 @@ Rules (all scoped to src/):
   cast-justify     reinterpret_cast outside src/storage and
                    src/common/simd* needs a `// fcm-lint:` justification
                    on the same or preceding line.
+  epoch-pin        No raw `EngineEpoch*`/`EngineEpoch&` in src/index
+                   outside the engine internals (search_engine.{h,cc},
+                   ingest.{h,cc}, engine_snapshot.cc, index_segment.h):
+                   a raw epoch pointer can outlive the EpochPin that
+                   keeps its segments alive — hold the pin (a
+                   shared_ptr) for the duration of the request instead.
 
 Suppression: `// fcm-lint: disable=<rule>[,<rule>]` on the offending line
 or the line directly above. `// fcm-lint: <free text>` is the cast
@@ -57,6 +63,8 @@ RULES = {
                    "annotations)",
     "cast-justify": "reinterpret_cast without a `// fcm-lint:` "
                     "justification",
+    "epoch-pin": "raw EngineEpoch pointer/reference outside the engine "
+                 "internals (hold an EpochPin for the request instead)",
 }
 
 RANKING_DIRS = ("src/index/", "src/relevance/")
@@ -64,6 +72,13 @@ RNG_FILES = ("src/common/rng.h", "src/common/rng.cc")
 ANNOTATED_MUTEX = "src/common/annotated_mutex.h"
 CAST_EXEMPT_PREFIXES = ("src/storage/",)
 CAST_EXEMPT_GLOBS = ("src/common/simd",)  # simd.h, simd.cc, simd_avx2.cc...
+# The engine internals that implement the epoch machinery itself — the
+# only files allowed to touch EngineEpoch outside a pin.
+EPOCH_PIN_EXEMPT = (
+    "src/index/search_engine.h", "src/index/search_engine.cc",
+    "src/index/ingest.h", "src/index/ingest.cc",
+    "src/index/engine_snapshot.cc", "src/index/index_segment.h",
+)
 
 SUPPRESS_RE = re.compile(r"//\s*fcm-lint:\s*disable=([\w,-]+)")
 JUSTIFY_RE = re.compile(r"//\s*fcm-lint:")
@@ -79,6 +94,7 @@ NAKED_MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|shared_mutex|timed_mutex|recursive_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
     r"scoped_lock)\b")
+EPOCH_PIN_RE = re.compile(r"\bEngineEpoch\b\s*(?:const\b\s*)?[*&]")
 SORT_CALL_RE = re.compile(
     r"\b(?:sort|stable_sort|partial_sort|nth_element|max_element|"
     r"min_element)\s*\(")
@@ -144,6 +160,8 @@ class FileLinter:
         if self.in_ranking_dir():
             self.check_unordered_iter()
             self.check_float_order()
+        if self.rel.startswith("src/index/"):
+            self.check_epoch_pin()
         return self.violations
 
     # ---- wall-clock ----
@@ -183,6 +201,19 @@ class FileLinter:
                              "reinterpret_cast needs a `// fcm-lint: "
                              "<why this aliasing is sound>` comment here "
                              "or on the line above")
+
+    # ---- epoch-pin ----
+    def check_epoch_pin(self):
+        if self.rel in EPOCH_PIN_EXEMPT:
+            return
+        for i, raw in enumerate(self.lines, 1):
+            m = EPOCH_PIN_RE.search(strip_comment(raw))
+            if m:
+                self.add(i, "epoch-pin",
+                         f"`{m.group(0).strip()}` outside the engine "
+                         "internals — a raw epoch pointer can outlive the "
+                         "pin that keeps its segments alive; hold the "
+                         "EpochPin (shared_ptr) for the whole request")
 
     # ---- unordered-iter ----
     def check_unordered_iter(self):
@@ -291,6 +322,7 @@ FIXTURE_PATHS = {
     "naked_mutex.cc": "src/common/fixture.cc",
     "cast_justify.cc": "src/common/fixture.cc",
     "exempt_paths.cc": "src/storage/fixture.cc",
+    "epoch_pin.cc": "src/index/fixture.cc",
 }
 
 

@@ -1,0 +1,33 @@
+// fcm_lint fixture: epoch-pin rule (linted as src/index/fixture.cc —
+// NOT one of the exempt engine-internal files, so raw EngineEpoch
+// pointers/references must be flagged).
+#include <memory>
+
+namespace fcm::index {
+
+class EngineEpoch;
+using EpochPin = std::shared_ptr<const EngineEpoch>;
+
+void BadRawPointer(const EngineEpoch* epoch);   // expect[epoch-pin]
+void BadRawReference(const EngineEpoch& epoch); // expect[epoch-pin]
+
+struct BadMember {
+  EngineEpoch* current = nullptr;  // expect[epoch-pin]
+};
+
+// Holding the pin is the sanctioned form: the shared_ptr keeps the
+// epoch's segments alive for the whole request.
+void GoodPinned(const EpochPin& epoch);
+void GoodPinnedByValue(EpochPin epoch);
+
+// Mentioning the type without taking a raw pointer/reference is fine.
+// (EngineEpoch is the payload; EpochPin is the handle.)
+void GoodTypeMention();  // returns stats about the EngineEpoch chain
+
+void SuppressedEscape() {
+  // fcm-lint: disable=epoch-pin
+  EngineEpoch* scratch = nullptr;
+  (void)scratch;
+}
+
+}  // namespace fcm::index

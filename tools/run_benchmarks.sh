@@ -15,8 +15,12 @@
 # "quant" section compares the int8 quantized embedding tier against f32;
 # its top-k recall must clear the recall_floor recorded in the JSON, the
 # embedding footprint must stay under the 0.30x ceiling, and int8
-# determinism plus snapshot round-trip verdicts gate the run. A "machine"
-# section records what hardware served the numbers.
+# determinism plus snapshot round-trip verdicts gate the run. The
+# "ingest" section records serving QPS/p99 while a writer appends tables
+# at a fixed cadence with background + forced compaction; its
+# epoch-determinism verdict (post-append rankings bit-identical to a
+# from-scratch build) gates the run. A "machine" section records what
+# hardware served the numbers.
 #
 # The batching knobs are passed as CLI flags so a BENCH json names the
 # exact command that reproduces it; override via env:
@@ -130,6 +134,24 @@ sys.exit(0 if ok else 1)' "$OUT"; then
        "section of $OUT)" >&2
   exit 1
 fi
+# Staleness guard for the ingest section, then its gate: the
+# epoch-determinism verdict (the post-append engine must rank
+# bit-identically to a from-scratch build over the same tables) and a
+# clean serving run (every future resolved with hits, every append and
+# compaction succeeded).
+if ! grep -q '"ingest": {' "$OUT"; then
+  echo "error: $OUT has no \"ingest\" section (stale bench binary?)" >&2
+  exit 1
+fi
+if ! python3 -c '
+import json, sys
+g = json.load(open(sys.argv[1]))["ingest"]
+sys.exit(0 if g["epoch_determinism_ok"] and g["clean"] else 1)' "$OUT"; then
+  echo "error: ingest phase failed the epoch-determinism verdict or" \
+       "dropped work under live appends (see the \"ingest\" section of" \
+       "$OUT)" >&2
+  exit 1
+fi
 # `|| true`: under pipefail a no-match grep would otherwise kill the
 # script silently; awk still prints 0 on empty input.
 DROPPED=$(grep -oE '"(rejected|cancelled|failed)": [0-9]+' "$OUT" \
@@ -170,3 +192,7 @@ echo "quant: int8 tier $(grep -o '"embedding_bytes_ratio": [0-9.]*' "$OUT" \
      '"topk_recall_vs_f32": [0-9.]*' "$OUT" | cut -d' ' -f2) (floor" \
      "$(grep -o '"recall_floor": [0-9.]*' "$OUT" | cut -d' ' -f2))," \
      "deterministic + snapshot round-trip clean"
+echo "ingest: $(grep -o '"serving_qps": [0-9.]*' "$OUT" \
+     | cut -d' ' -f2) qps under live appends, mid-stream compact pause" \
+     "$(grep -o '"mid_compact_pause_ms": [0-9.]*' "$OUT" \
+     | cut -d' ' -f2) ms, epoch determinism verified"

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Per-subsystem line-coverage report with a hard gate on the two
+# subsystems this repo's correctness story leans on: src/index (epoch
+# publication, pinned serving, ingestion/compaction) and src/storage
+# (snapshot encode/decode) must each stay >= 80% line coverage or the
+# script fails. Everything else is reported but not gated.
+#
+# Pipeline: a gcov-instrumented build tree (-DFCM_COVERAGE=ON, Debug so
+# optimization doesn't fold lines), the full ctest suite, then `gcov
+# --json-format --stdout` over every .gcda aggregated by an embedded
+# python3 reducer — a line is covered if ANY translation unit executed
+# it. No gcovr/lcov dependency; plain gcov + python3 only (llvm-cov's
+# `gcov` mode works as a drop-in via FCM_GCOV=llvm-cov-gcov-wrapper).
+#
+#   FCM_COVERAGE_MIN   gate threshold in percent        (default 80)
+#   FCM_GCOV           gcov binary                      (default gcov)
+# Usage: tools/run_coverage.sh [build_dir]   (default build-coverage)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-"$REPO_ROOT/build-coverage"}"
+GCOV_BIN="${FCM_GCOV:-gcov}"
+MIN_PCT="${FCM_COVERAGE_MIN:-80}"
+
+for tool in "$GCOV_BIN" python3 cmake; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "SKIP: $tool not found; coverage needs gcov + python3 + cmake"
+    exit 0
+  fi
+done
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DFCM_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Stale counters from a previous run would inflate the report.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j2
+
+GCOV_BIN="$GCOV_BIN" BUILD_DIR="$BUILD_DIR" REPO_ROOT="$REPO_ROOT" \
+MIN_PCT="$MIN_PCT" python3 - <<'PY'
+import json, os, subprocess, sys
+from collections import defaultdict
+
+build = os.environ["BUILD_DIR"]
+root = os.environ["REPO_ROOT"]
+gcov = os.environ["GCOV_BIN"]
+min_pct = float(os.environ["MIN_PCT"])
+
+gcda = []
+for dirpath, _, names in os.walk(build):
+    gcda += [os.path.join(dirpath, n) for n in names if n.endswith(".gcda")]
+if not gcda:
+    sys.exit("no .gcda files produced; did the instrumented tests run?")
+
+# (source file, line) -> executed by any TU. Dedup across TUs matters:
+# headers and template bodies show up in many objects.
+hits = defaultdict(bool)
+for path in gcda:
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout",
+         "-o", os.path.dirname(path), path],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"gcov failed on {path}: {proc.stderr.strip()}")
+    for doc in proc.stdout.splitlines():
+        if not doc.strip():
+            continue
+        data = json.loads(doc)
+        for f in data.get("files", []):
+            name = os.path.normpath(os.path.join(build, f["file"]))
+            rel = os.path.relpath(name, root)
+            if not rel.startswith("src" + os.sep):
+                continue
+            for line in f.get("lines", []):
+                key = (rel, line["line_number"])
+                hits[key] = hits[key] or line["count"] > 0
+
+subsystems = defaultdict(lambda: [0, 0])  # name -> [covered, total]
+for (rel, _), covered in hits.items():
+    parts = rel.split(os.sep)
+    name = parts[1] if len(parts) > 2 else "(top)"
+    subsystems[name][1] += 1
+    subsystems[name][0] += 1 if covered else 0
+
+print(f"\n{'subsystem':<12} {'covered':>8} {'total':>8} {'line%':>7}")
+gated = {"index", "storage"}
+failed = []
+for name in sorted(subsystems):
+    covered, total = subsystems[name]
+    pct = 100.0 * covered / total if total else 0.0
+    mark = ""
+    if name in gated:
+        mark = "  (gate >= %.0f%%)" % min_pct
+        if pct < min_pct:
+            mark += "  FAIL"
+            failed.append((name, pct))
+    print(f"src/{name:<8} {covered:>8} {total:>8} {pct:>6.1f}%{mark}")
+
+if failed:
+    detail = ", ".join(f"src/{n} at {p:.1f}%" for n, p in failed)
+    sys.exit(f"\ncoverage gate failed: {detail} (need >= {min_pct:.0f}%)")
+print(f"\ncoverage gate passed (src/index, src/storage >= {min_pct:.0f}%)")
+PY

@@ -1,27 +1,42 @@
 #!/usr/bin/env bash
-# Builds the fault-injection stress suite under ThreadSanitizer and runs
-# every ctest target labeled `stress` (tests/fault_stress_test.cc): a
-# seeded randomized fault schedule hammers AsyncSearchService's recovery
-# paths — RecoverBatch re-runs, deadline shedding, breaker transitions —
-# while TSan watches the settle/accounting ordering. A separate build
-# tree keeps the instrumented binaries out of the Release build.
+# Builds the stress suites under ThreadSanitizer AND AddressSanitizer and
+# runs every ctest target labeled `stress` in each build tree:
+#   - tests/fault_stress_test.cc: a seeded randomized fault schedule
+#     hammers AsyncSearchService's recovery paths — RecoverBatch re-runs,
+#     deadline shedding, breaker transitions;
+#   - tests/ingest_stress_test.cc: concurrent writer/reader/compactor
+#     interleavings over the epoch-based mutable index (pinned readers,
+#     async requests, background compaction racing explicit Compact).
+# TSan watches the settle/accounting and epoch publish/pin ordering; ASan
+# watches segment retirement (a retired epoch's buffers must outlive its
+# last reader). Separate build trees keep instrumented binaries out of
+# the Release build.
 #
-#   FCM_STRESS_REQUESTS  total requests per stress run   (default 200)
-#   FCM_STRESS_SEED      chaos-schedule seed             (default 1234)
-# Usage: tools/run_fault_stress.sh [build_dir]   (default build-tsan)
+#   FCM_STRESS_REQUESTS  requests per stress run          (default 200)
+#   FCM_STRESS_SEED      stress-schedule seed             (default 1234)
+# Usage: tools/run_fault_stress.sh [tsan_build_dir [asan_build_dir]]
+#        (defaults build-tsan and build-asan)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-"$REPO_ROOT/build-tsan"}"
+TSAN_DIR="${1:-"$REPO_ROOT/build-tsan"}"
+ASAN_DIR="${2:-"$REPO_ROOT/build-asan"}"
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DFCM_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target fault_stress_test -j"$(nproc)"
+run_pass() {  # run_pass <sanitizer> <build_dir> <env_var=opts>
+  local sanitizer="$1" build_dir="$2" san_env="$3"
+  cmake -B "$build_dir" -S "$REPO_ROOT" -DFCM_SANITIZE="$sanitizer" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" --target fault_stress_test \
+        --target ingest_stress_test -j"$(nproc)"
+  # halt_on_error: a single sanitizer report is a failure, not a log line.
+  env "$san_env" \
+      ctest --test-dir "$build_dir" -L stress --output-on-failure
+  echo "stress suites passed under ${sanitizer} sanitizer"
+}
 
-# halt_on_error: a single race report is a failure, not a log line.
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure
+run_pass thread "$TSAN_DIR" "TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}"
+run_pass address "$ASAN_DIR" "ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1}"
 
-echo "fault stress passed under TSan (seed ${FCM_STRESS_SEED:-1234}," \
-     "${FCM_STRESS_REQUESTS:-200} requests; rerun with FCM_STRESS_SEED" \
-     "to explore other schedules)"
+echo "fault + ingest stress passed under TSan and ASan (seed" \
+     "${FCM_STRESS_SEED:-1234}, ${FCM_STRESS_REQUESTS:-200} requests;" \
+     "rerun with FCM_STRESS_SEED to explore other schedules)"
